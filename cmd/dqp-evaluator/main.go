@@ -1,0 +1,77 @@
+// Command dqp-evaluator runs one Grid Query Evaluation Service as a real
+// network daemon: it hosts the fragment instances the coordinator's
+// scheduler places on this machine, serves them over TCP, and — when the
+// deployment is adaptive — forwards its raw self-monitoring events to the
+// coordinator.
+//
+// All processes of one deployment must be started with the same manifest
+// flags (-coordinator, -data, -compute, -scale, dataset sizes), because
+// each evaluator independently derives the identical physical plan from the
+// query text. A typical three-machine setup:
+//
+//	dqp-evaluator -node data1 -listen :7001 -peers coord=host0:7000,ws0=host2:7002,ws1=host3:7003 \
+//	    -coordinator coord -data data1 -compute ws0,ws1 -adaptive
+//	dqp-evaluator -node ws0 ... -perturb none
+//	dqp-evaluator -node ws1 ... -perturb x10
+//	dqp-coordinator -node coord ... -query "select ..."
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/cliutil"
+	"repro/internal/services"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+	"repro/internal/vtime"
+)
+
+func main() {
+	var (
+		node    = flag.String("node", "", "this machine's node name (required)")
+		listen  = flag.String("listen", ":7001", "TCP listen address")
+		perturb = flag.String("perturb", "none", "artificial load (vtime.Parse syntax: x10, sleep:10, normal:20,40, x10@500)")
+	)
+	manifestFlags := cliutil.NewManifestFlags()
+	flag.Parse()
+	if *node == "" {
+		fatalf("-node is required")
+	}
+	manifest, peers, err := manifestFlags.Build()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	tr, err := transport.NewTCP(simnet.NodeID(*node), *listen)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer tr.Close()
+	for name, addr := range peers {
+		tr.AddPeer(simnet.NodeID(name), addr)
+	}
+	ev, err := services.NewEvaluator(manifest, simnet.NodeID(*node), tr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer ev.Close()
+	p, err := vtime.Parse(*perturb)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	ev.SetPerturbation(p)
+	fmt.Printf("dqp-evaluator %s listening on %s (perturbation: %s)\n", *node, tr.Addr(), p)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dqp-evaluator: "+format+"\n", args...)
+	os.Exit(1)
+}

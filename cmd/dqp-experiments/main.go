@@ -1,0 +1,86 @@
+// Command dqp-experiments regenerates EXPERIMENTS.md: it runs the full
+// reproduction of the paper's evaluation — Table 1, Figs. 2–5, the overhead
+// analysis, and the monitoring-frequency study — on the calibrated
+// simulated Grid and writes the paper-vs-measured report.
+//
+// Usage:
+//
+//	dqp-experiments [-o EXPERIMENTS.md] [-only Table1,Fig2a]
+//
+// The full suite takes several minutes of real time: the simulated testbed
+// actually executes every query, including the heavily perturbed static
+// runs the paper measured.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	out := flag.String("o", "EXPERIMENTS.md", "output file ('-' for stdout)")
+	only := flag.String("only", "", "comma-separated experiment subset (Table1,Fig2a,Fig2b,Fig3a,Fig3b,Fig4,Fig5,Overheads,MonitoringFrequency)")
+	flag.Parse()
+
+	type builder struct {
+		name string
+		fn   func() (*exp.Experiment, error)
+	}
+	all := []builder{
+		{"Table1", exp.Table1},
+		{"Fig2a", exp.Fig2a},
+		{"Fig2b", exp.Fig2b},
+		{"Fig3a", exp.Fig3a},
+		{"Fig3b", exp.Fig3b},
+		{"Fig4", exp.Fig4},
+		{"Fig5", exp.Fig5},
+		{"Overheads", exp.Overheads},
+		{"MonitoringFrequency", exp.MonitoringFrequency},
+	}
+	selected := all
+	if *only != "" {
+		want := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToLower(name))] = true
+		}
+		selected = nil
+		for _, b := range all {
+			if want[strings.ToLower(b.name)] {
+				selected = append(selected, b)
+			}
+		}
+		if len(selected) == 0 {
+			fmt.Fprintf(os.Stderr, "dqp-experiments: no experiment matches %q\n", *only)
+			os.Exit(2)
+		}
+	}
+
+	start := time.Now()
+	var experiments []*exp.Experiment
+	for _, b := range selected {
+		fmt.Fprintf(os.Stderr, "running %-20s ... ", b.name)
+		t0 := time.Now()
+		e, err := b.fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "done in %s\n", time.Since(t0).Round(time.Second))
+		experiments = append(experiments, e)
+	}
+	report := exp.Report(experiments, time.Since(start))
+	if *out == "-" {
+		fmt.Print(report)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "dqp-experiments: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}

@@ -1,0 +1,166 @@
+// Command dqpctl runs one query on an in-process simulated Grid and prints
+// the rows plus the execution statistics. It is the quickest way to watch
+// the adaptive query processor at work:
+//
+//	dqpctl -adaptive -perturb ws1=x10 \
+//	   -query "select EntropyAnalyser(p.sequence) from protein_sequences p"
+//
+// Flags select the standard topology (one data node, N WS nodes, a
+// coordinator), the adaptivity policies (A1/A2 assessment, R1/R2 response),
+// and per-node perturbations in the syntax of vtime.Parse (x10, sleep:10,
+// normal:20,40, x10@500).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	repro "repro"
+	"repro/internal/vtime"
+)
+
+func main() {
+	var (
+		query        = flag.String("query", "select EntropyAnalyser(p.sequence) from protein_sequences p", "SQL query to execute")
+		adaptive     = flag.Bool("adaptive", false, "enable the AQP components")
+		retro        = flag.Bool("retrospective", false, "use R1 (retrospective) response instead of R2")
+		a2           = flag.Bool("a2", false, "use A2 assessment (adds communication cost) instead of A1")
+		wsNodes      = flag.Int("ws", 2, "number of WS/compute nodes")
+		sequences    = flag.Int("sequences", 3000, "protein_sequences cardinality")
+		interactions = flag.Int("interactions", 4700, "protein_interactions cardinality")
+		monitorEvery = flag.Int("monitor-every", 10, "M1 frequency in tuples (0 disables)")
+		scale        = flag.Duration("scale", 10*time.Microsecond, "real duration of one paper millisecond")
+		showRows     = flag.Int("rows", 5, "result rows to print (-1 for all)")
+		explain      = flag.Bool("explain", false, "print the plan instead of executing")
+		trace        = flag.Bool("trace", false, "print the adaptation timeline")
+		perturbs     multiFlag
+	)
+	flag.Var(&perturbs, "perturb", "node perturbation as node=SPEC (repeatable), e.g. ws1=x10, ws0=sleep:10")
+	flag.Parse()
+
+	grid := repro.NewGrid(repro.WithScale(*scale))
+	if err := grid.AddDemoDatabaseSized("data1", *sequences, *interactions); err != nil {
+		fatalf("%v", err)
+	}
+	for i := 0; i < *wsNodes; i++ {
+		if err := grid.AddComputeNode(fmt.Sprintf("ws%d", i), 1.0); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	for _, spec := range perturbs {
+		eq := strings.Index(spec, "=")
+		if eq < 0 {
+			fatalf("bad -perturb %q (want node=SPEC)", spec)
+		}
+		p, err := vtime.Parse(spec[eq+1:])
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := grid.Perturb(spec[:eq], p); err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	var opts []repro.CoordinatorOption
+	if *adaptive {
+		opts = append(opts, repro.Adaptive())
+		if *retro {
+			opts = append(opts, repro.Retrospective())
+		}
+		if *a2 {
+			opts = append(opts, repro.AssessWithCommunication())
+		}
+		opts = append(opts, repro.MonitorEvery(*monitorEvery))
+	}
+	coord, err := grid.NewCoordinator("coord", opts...)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if *explain {
+		out, err := coord.Explain(*query)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Print(out)
+		return
+	}
+
+	start := time.Now()
+	res, err := coord.Query(*query)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("response time: %.0f paper-ms (%.2fs real)\n", res.ResponseMs, time.Since(start).Seconds())
+	fmt.Printf("rows: %d\n", len(res.Rows))
+	if *adaptive {
+		s := res.Stats
+		fmt.Printf("raw monitoring events: %d, MED notifications: %d, proposals: %d\n",
+			s.RawEvents, s.MEDNotifications, s.Proposals)
+		fmt.Printf("adaptations: %d (skipped late: %d), tuples moved: %d, state replays: %d\n",
+			s.Adaptations, s.SkippedLate, s.TuplesMoved, s.StateReplays)
+		if *trace {
+			fmt.Println("adaptation timeline:")
+			for _, e := range s.Timeline {
+				mode := "R2"
+				if e.Retrospective {
+					mode = "R1"
+				}
+				switch e.Outcome {
+				case "adapted":
+					fmt.Printf("  t=%8.0fms %-6s %s deployed W=%v in %.0fms\n",
+						e.AtMs, e.Fragment, mode, roundWeights(e.Weights), e.DurationMs)
+				default:
+					fmt.Printf("  t=%8.0fms %-6s %s\n", e.AtMs, e.Fragment, e.Outcome)
+				}
+			}
+		}
+	}
+	if n := len(res.Rows); n > 0 && *showRows != 0 {
+		limit := *showRows
+		if limit < 0 || limit > n {
+			limit = n
+		}
+		var header []string
+		for _, c := range res.Columns {
+			header = append(header, c.QualifiedName())
+		}
+		fmt.Printf("\n%s\n", strings.Join(header, " | "))
+		for _, row := range res.Rows[:limit] {
+			var cells []string
+			for _, v := range row {
+				cells = append(cells, v.Format())
+			}
+			fmt.Println(strings.Join(cells, " | "))
+		}
+		if limit < n {
+			fmt.Printf("... (%d more rows)\n", n-limit)
+		}
+	}
+}
+
+// multiFlag collects repeatable string flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func roundWeights(ws []float64) []float64 {
+	out := make([]float64, len(ws))
+	for i, w := range ws {
+		out[i] = float64(int(w*100+0.5)) / 100
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dqpctl: "+format+"\n", args...)
+	os.Exit(1)
+}

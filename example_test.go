@@ -1,0 +1,74 @@
+package repro_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	repro "repro"
+)
+
+// Example demonstrates the smallest end-to-end use of the library: build a
+// simulated Grid, run the paper's Q1 and a GROUP BY query, and read the
+// results.
+func Example() {
+	grid := repro.NewGrid(repro.WithScale(2 * time.Microsecond))
+	if err := grid.AddDemoDatabaseSized("data1", 100, 200); err != nil {
+		log.Fatal(err)
+	}
+	for _, node := range []string{"ws0", "ws1"} {
+		if err := grid.AddComputeNode(node, 1.0); err != nil {
+			log.Fatal(err)
+		}
+	}
+	coord, err := grid.NewCoordinator("coord")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := coord.Query("select EntropyAnalyser(p.sequence) from protein_sequences p")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Q1 rows:", len(res.Rows))
+
+	agg, err := coord.Query("select count(*) AS n from protein_interactions i")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("interactions:", agg.Rows[0][0].Format())
+	// Output:
+	// Q1 rows: 100
+	// interactions: 200
+}
+
+// Example_adaptive shows the paper's experiment in miniature: perturb one
+// machine and let the Responder rebalance the running query.
+func Example_adaptive() {
+	grid := repro.NewGrid(repro.WithScale(2 * time.Microsecond))
+	if err := grid.AddDemoDatabaseSized("data1", 300, 100); err != nil {
+		log.Fatal(err)
+	}
+	for _, node := range []string{"ws0", "ws1"} {
+		if err := grid.AddComputeNode(node, 1.0); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// ws1 becomes 25x slower — the paper's §3.2 load injection.
+	if err := grid.Perturb("ws1", repro.Slowdown(25)); err != nil {
+		log.Fatal(err)
+	}
+	coord, err := grid.NewCoordinator("coord", repro.Adaptive(), repro.Retrospective())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := coord.Query("select EntropyAnalyser(p.sequence) from protein_sequences p")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("rows:", len(res.Rows))
+	fmt.Println("rebalanced:", res.Stats.Adaptations > 0)
+	// Output:
+	// rows: 300
+	// rebalanced: true
+}

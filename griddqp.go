@@ -1,0 +1,247 @@
+// Package repro (griddqp) is an adaptive distributed query processor for
+// simulated Grid environments, reproducing Gounaris et al., "Adapting to
+// Changing Resource Performance in Grid Query Processing" (VLDB DMG 2005).
+//
+// It provides:
+//
+//   - a service-based distributed query engine in the style of OGSA-DQP:
+//     a coordinator (GDQS) that parses, optimises and schedules SQL over
+//     machines advertised in a resource registry, and evaluation services
+//     (GQES) running iterator-model fragments connected by exchanges;
+//   - intra-operator parallelism with runtime-adaptable tuple distribution;
+//   - the paper's adaptivity architecture — self-monitoring operators,
+//     per-site MonitoringEventDetectors, a Diagnoser and a Responder
+//     communicating over an asynchronous publish/subscribe bus — able to
+//     rebalance both stateless operators (prospectively or retrospectively)
+//     and stateful hash joins (retrospectively, by repartitioning the
+//     operator state rebuilt from exchange recovery logs);
+//   - a simulated Grid substrate (virtual time, perturbable machines,
+//     100 Mbps network) on which the paper's evaluation is reproduced.
+//
+// # Quick start
+//
+//	g := repro.NewGrid()
+//	g.UseDemoDatabase()                        // protein tables on "data1"
+//	g.AddComputeNode("ws0", 1.0)               // hosts EntropyAnalyser
+//	g.AddComputeNode("ws1", 1.0)
+//	coord, _ := g.NewCoordinator("coord", repro.Adaptive())
+//	res, _ := coord.Query(
+//	    "select EntropyAnalyser(p.sequence) from protein_sequences p")
+//	fmt.Println(len(res.Rows), "rows in", res.ResponseMs, "paper-ms")
+//
+// Perturb a machine mid-flight with g.Perturb("ws1", repro.Slowdown(10))
+// and watch the Responder shift work away from it.
+package repro
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/relation"
+	"repro/internal/services"
+	"repro/internal/simnet"
+	"repro/internal/vtime"
+	"repro/internal/ws"
+)
+
+// Value, Tuple and Column are the relational primitives of results.
+type (
+	Value  = relation.Value
+	Tuple  = relation.Tuple
+	Column = relation.Column
+)
+
+// Re-exported value constructors.
+var (
+	Int    = relation.Int
+	Float  = relation.Float
+	String = relation.String
+)
+
+// Perturbation models artificial machine load; see Slowdown, SleepInjection,
+// NormalJitter and StepAt.
+type Perturbation = vtime.Perturbation
+
+// Slowdown makes every unit of work on the machine k times costlier — the
+// paper's "iterate the same function multiple times" load.
+func Slowdown(k float64) Perturbation { return vtime.Multiplier(k) }
+
+// SleepInjection adds ms of extra cost before each unit of work — the
+// paper's "inserting sleep() calls" load.
+func SleepInjection(ms float64) Perturbation { return vtime.Sleep(ms) }
+
+// NormalJitter draws a per-tuple slowdown from a normal distribution
+// clamped to [lo, hi] (the paper's "rapid changes" scenario).
+func NormalJitter(lo, hi float64, seed int64) Perturbation {
+	return vtime.NewNormalMultiplier(lo, hi, seed)
+}
+
+// StepAt switches from one perturbation to another after n work units.
+func StepAt(n int, before, after Perturbation) Perturbation {
+	return vtime.Step{At: n, Before: before, After: after}
+}
+
+// WebService is a callable operation, invocable from queries through the
+// operation_call operator. EntropyAnalyser and SequenceLength ship with the
+// library; implement the interface to add your own.
+type WebService = ws.Service
+
+// EntropyAnalyser returns the demo bioinformatics Web Service with the
+// given per-call cost in paper milliseconds (0 selects the default).
+func EntropyAnalyser(costMs float64) WebService { return ws.Entropy{CostMs: costMs} }
+
+// SequenceLength returns the auxiliary demo service.
+func SequenceLength() WebService { return ws.SequenceLength{} }
+
+// GridOption customises NewGrid.
+type GridOption func(*services.ClusterConfig)
+
+// WithScale sets the real duration of one paper millisecond (default 20µs);
+// all modelled costs are expressed in paper milliseconds.
+func WithScale(d time.Duration) GridOption {
+	return func(c *services.ClusterConfig) { c.Scale = d }
+}
+
+// WithCosts overrides the engine's operator cost model.
+func WithCosts(costs engine.Costs) GridOption {
+	return func(c *services.ClusterConfig) { c.Costs = costs }
+}
+
+// Grid is a simulated Grid under construction: machines, data, services.
+type Grid struct {
+	cluster *services.Cluster
+}
+
+// NewGrid builds an empty simulated Grid.
+func NewGrid(opts ...GridOption) *Grid {
+	cfg := services.ClusterConfig{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Grid{cluster: services.NewCluster(cfg)}
+}
+
+// Cluster exposes the underlying service layer for advanced use (bus
+// subscriptions, catalog inspection).
+func (g *Grid) Cluster() *services.Cluster { return g.cluster }
+
+// UseDemoDatabase adds a data node "data1" hosting the paper's demo tables
+// at their evaluation cardinalities (3000 protein_sequences, 4700
+// protein_interactions).
+func (g *Grid) UseDemoDatabase() error {
+	return g.cluster.AddDataNode("data1", dataset.Demo())
+}
+
+// AddDemoDatabaseSized is UseDemoDatabase with custom cardinalities.
+func (g *Grid) AddDemoDatabaseSized(node string, sequences, interactions int) error {
+	return g.cluster.AddDataNode(simnet.NodeID(node), dataset.DemoSized(sequences, interactions))
+}
+
+// AddComputeNode registers a machine able to evaluate query fragments. It
+// hosts the demo Web Services plus any extra ones given.
+func (g *Grid) AddComputeNode(name string, relativeSpeed float64, extra ...WebService) error {
+	reg := ws.NewRegistry(ws.Entropy{}, ws.SequenceLength{})
+	for _, s := range extra {
+		reg.Register(s)
+	}
+	return g.cluster.AddComputeNode(simnet.NodeID(name), relativeSpeed, reg)
+}
+
+// Perturb installs (or clears, with nil) an artificial load on a machine.
+// It may be called while queries run; that is the point.
+func (g *Grid) Perturb(node string, p Perturbation) error {
+	n := g.cluster.Node(simnet.NodeID(node))
+	if n == nil {
+		return fmt.Errorf("griddqp: unknown node %q", node)
+	}
+	n.SetPerturbation(p)
+	return nil
+}
+
+// CoordinatorOption customises NewCoordinator.
+type CoordinatorOption func(*services.GDQSConfig)
+
+// Adaptive enables the AQP components with the paper's default parameters.
+func Adaptive() CoordinatorOption {
+	return func(c *services.GDQSConfig) {
+		def := services.DefaultGDQSConfig()
+		def.QueryTimeout = c.QueryTimeout
+		*c = def
+	}
+}
+
+// Retrospective selects R1 response: recovery-log tuples (and hash-join
+// state) are redistributed, not just future tuples. Stateful fragments
+// always use R1 regardless.
+func Retrospective() CoordinatorOption {
+	return func(c *services.GDQSConfig) { c.Responder.Response = core.R1 }
+}
+
+// AssessWithCommunication selects A2 assessment: the Diagnoser adds the
+// observed per-tuple communication cost to each clone's processing cost.
+func AssessWithCommunication() CoordinatorOption {
+	return func(c *services.GDQSConfig) { c.Diagnoser.Assessment = core.A2 }
+}
+
+// MonitorEvery sets the M1 monitoring frequency in tuples (paper default
+// 10); 0 disables self-monitoring.
+func MonitorEvery(tuples int) CoordinatorOption {
+	return func(c *services.GDQSConfig) { c.MonitorEvery = tuples }
+}
+
+// QueryTimeout bounds a query's real execution time.
+func QueryTimeout(d time.Duration) CoordinatorOption {
+	return func(c *services.GDQSConfig) { c.QueryTimeout = d }
+}
+
+// Coordinator is a GDQS handle.
+type Coordinator struct {
+	gdqs *services.GDQS
+}
+
+// NewCoordinator creates the query coordinator on the named machine. With
+// no options it runs the static (non-adaptive) system.
+func (g *Grid) NewCoordinator(node string, opts ...CoordinatorOption) (*Coordinator, error) {
+	cfg := services.GDQSConfig{QueryTimeout: 5 * time.Minute}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	gd, err := services.NewGDQS(g.cluster, simnet.NodeID(node), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Coordinator{gdqs: gd}, nil
+}
+
+// Result is a completed query.
+type Result struct {
+	Columns []Column
+	Rows    []Tuple
+	// ResponseMs is the response time in paper milliseconds.
+	ResponseMs float64
+	// Stats exposes the full adaptivity counters.
+	Stats services.QueryStats
+}
+
+// Query executes a SQL statement to completion.
+func (c *Coordinator) Query(sql string) (*Result, error) {
+	res, err := c.gdqs.Execute(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Columns:    res.Columns,
+		Rows:       res.Rows,
+		ResponseMs: res.Stats.ResponseMs,
+		Stats:      res.Stats,
+	}, nil
+}
+
+// Explain returns the logical and scheduled physical plan of a query
+// without executing it.
+func (c *Coordinator) Explain(sql string) (string, error) {
+	return c.gdqs.Explain(sql)
+}

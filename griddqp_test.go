@@ -1,0 +1,117 @@
+package repro_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	repro "repro"
+)
+
+// demoGrid assembles the standard topology at a fast time scale.
+func demoGrid(t *testing.T, opts ...repro.CoordinatorOption) (*repro.Grid, *repro.Coordinator) {
+	t.Helper()
+	g := repro.NewGrid(repro.WithScale(2 * time.Microsecond))
+	if err := g.AddDemoDatabaseSized("data1", 300, 500); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"ws0", "ws1"} {
+		if err := g.AddComputeNode(n, 1.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	coord, err := g.NewCoordinator("coord", opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, coord
+}
+
+func TestFacadeStaticQuery(t *testing.T) {
+	_, coord := demoGrid(t)
+	res, err := coord.Query("select EntropyAnalyser(p.sequence) from protein_sequences p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 300 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.ResponseMs <= 0 {
+		t.Error("no response time")
+	}
+	if len(res.Columns) != 1 {
+		t.Errorf("columns = %v", res.Columns)
+	}
+}
+
+func TestFacadeAdaptiveWithPerturbation(t *testing.T) {
+	g, coord := demoGrid(t, repro.Adaptive(), repro.Retrospective(),
+		repro.QueryTimeout(2*time.Minute))
+	if err := g.Perturb("ws1", repro.Slowdown(15)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := coord.Query("select EntropyAnalyser(p.sequence) from protein_sequences p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 300 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Stats.Adaptations == 0 {
+		t.Errorf("expected at least one adaptation: %+v", res.Stats)
+	}
+}
+
+func TestFacadeJoin(t *testing.T) {
+	_, coord := demoGrid(t, repro.Adaptive())
+	res, err := coord.Query("select i.ORF2 from protein_sequences p, protein_interactions i where i.ORF1 = p.ORF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 500 {
+		t.Fatalf("rows = %d, want 500 (every interaction matches)", len(res.Rows))
+	}
+}
+
+func TestFacadeExplain(t *testing.T) {
+	_, coord := demoGrid(t)
+	out, err := coord.Explain("select EntropyAnalyser(p.sequence) from protein_sequences p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "OperationCall") || !strings.Contains(out, "fragment") {
+		t.Errorf("explain output:\n%s", out)
+	}
+}
+
+func TestFacadeErrors(t *testing.T) {
+	g, coord := demoGrid(t)
+	if err := g.Perturb("nope", repro.Slowdown(2)); err == nil {
+		t.Error("perturbing unknown node accepted")
+	}
+	if _, err := coord.Query("select broken from nowhere"); err == nil {
+		t.Error("bad query accepted")
+	}
+}
+
+func TestFacadePerturbationKinds(t *testing.T) {
+	// All perturbation constructors produce working models.
+	perts := []repro.Perturbation{
+		repro.Slowdown(2),
+		repro.SleepInjection(5),
+		repro.NormalJitter(1, 3, 42),
+		repro.StepAt(10, repro.Slowdown(1), repro.Slowdown(2)),
+	}
+	for _, p := range perts {
+		if got := p.Apply(1, 0); got <= 0 {
+			t.Errorf("%s: non-positive cost %v", p, got)
+		}
+	}
+}
+
+func TestFacadeValues(t *testing.T) {
+	tp := repro.Tuple{repro.Int(1), repro.Float(2.5), repro.String("x")}
+	if tp.Format() != "(1, 2.5, x)" {
+		t.Errorf("tuple format %q", tp.Format())
+	}
+}

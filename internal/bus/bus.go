@@ -1,0 +1,238 @@
+// Package bus implements the asynchronous publish/subscribe notification
+// substrate that the adaptivity components of the AQP architecture use to
+// communicate (paper §2): self-monitoring operators publish raw events, each
+// MonitoringEventDetector subscribes to its local engine's topic and
+// publishes filtered notifications, the Diagnoser subscribes to detectors
+// and publishes proposed redistributions, and the Responder subscribes to
+// the Diagnoser.
+//
+// Delivery is asynchronous: every subscription owns a goroutine and an
+// unbounded FIFO queue, so publishers never block on slow subscribers and
+// per-subscription ordering is preserved. When the bus is built over a
+// simulated network, deliveries between different nodes are charged the
+// modelled link cost, so notification traffic competes for the same fabric
+// as data buffers — which is what keeps the paper honest about "no flooding
+// of messages".
+package bus
+
+import (
+	"sync"
+
+	"repro/internal/simnet"
+	"repro/internal/vtime"
+)
+
+// Topic names a notification channel, e.g. "raw.ws0" or "diagnosis".
+type Topic string
+
+// Notification is one published message.
+type Notification struct {
+	Topic Topic
+	// From identifies the publishing component; FromNode the machine it
+	// runs on (used to charge cross-node delivery cost).
+	From     string
+	FromNode simnet.NodeID
+	// AtMs is the publication time in paper milliseconds.
+	AtMs    float64
+	Payload any
+}
+
+// Handler consumes notifications. Handlers run on the subscription's
+// delivery goroutine; a slow handler delays only its own subscription.
+type Handler func(Notification)
+
+// notificationWireSize approximates the on-the-wire size of a notification
+// in bytes; the paper ships them as SOAP messages, so small payloads still
+// cost a frame.
+const notificationWireSize = 512
+
+// Bus routes notifications from publishers to subscribers.
+type Bus struct {
+	clock *vtime.Clock
+	net   *simnet.Network // may be nil: delivery is then free
+
+	mu     sync.Mutex
+	subs   map[Topic][]*Subscription
+	closed bool
+
+	stats Stats
+}
+
+// Stats counts bus traffic; the Overheads experiment reports these to show
+// the system is not flooded by messages.
+type Stats struct {
+	Published map[Topic]int64
+	Delivered int64
+}
+
+// New builds a bus over the given clock. net may be nil, in which case
+// deliveries are instantaneous (used by unit tests).
+func New(clock *vtime.Clock, net *simnet.Network) *Bus {
+	return &Bus{
+		clock: clock,
+		net:   net,
+		subs:  make(map[Topic][]*Subscription),
+		stats: Stats{Published: make(map[Topic]int64)},
+	}
+}
+
+// Subscription is one subscriber's registration on one topic.
+type Subscription struct {
+	bus   *Bus
+	topic Topic
+	name  string
+	node  simnet.NodeID
+	h     Handler
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Notification
+	closed bool
+	done   chan struct{}
+}
+
+// Subscribe registers handler h, running on behalf of the named component on
+// the given node, for all notifications published to topic. The returned
+// Subscription must be Cancelled (or the Bus Closed) to release its
+// goroutine.
+func (b *Bus) Subscribe(name string, node simnet.NodeID, topic Topic, h Handler) *Subscription {
+	s := &Subscription{bus: b, topic: topic, name: name, node: node, h: h, done: make(chan struct{})}
+	s.cond = sync.NewCond(&s.mu)
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		close(s.done)
+		s.closed = true
+		return s
+	}
+	b.subs[topic] = append(b.subs[topic], s)
+	b.mu.Unlock()
+	go s.deliverLoop()
+	return s
+}
+
+// Publish sends payload to every subscription on topic. It never blocks on
+// subscribers.
+func (b *Bus) Publish(from string, fromNode simnet.NodeID, topic Topic, payload any) {
+	n := Notification{
+		Topic:    topic,
+		From:     from,
+		FromNode: fromNode,
+		AtMs:     b.clock.NowMs(),
+		Payload:  payload,
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.stats.Published[topic]++
+	targets := make([]*Subscription, len(b.subs[topic]))
+	copy(targets, b.subs[topic])
+	b.mu.Unlock()
+	for _, s := range targets {
+		s.enqueue(n)
+	}
+}
+
+// StatsSnapshot returns a copy of the traffic counters.
+func (b *Bus) StatsSnapshot() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := Stats{Published: make(map[Topic]int64, len(b.stats.Published)), Delivered: b.stats.Delivered}
+	for t, c := range b.stats.Published {
+		out.Published[t] = c
+	}
+	return out
+}
+
+// Close cancels every subscription and rejects further publishes. It does
+// not wait for in-flight deliveries; use Subscription.Drain where a test
+// needs that.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	var all []*Subscription
+	for _, subs := range b.subs {
+		all = append(all, subs...)
+	}
+	b.subs = make(map[Topic][]*Subscription)
+	b.mu.Unlock()
+	for _, s := range all {
+		s.stop()
+	}
+}
+
+func (b *Bus) countDelivered() {
+	b.mu.Lock()
+	b.stats.Delivered++
+	b.mu.Unlock()
+}
+
+func (s *Subscription) enqueue(n Notification) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.queue = append(s.queue, n)
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+func (s *Subscription) deliverLoop() {
+	defer close(s.done)
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if s.closed && len(s.queue) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		n := s.queue[0]
+		s.queue = s.queue[1:]
+		s.mu.Unlock()
+
+		// Charge the cross-node delivery cost on the receiving side, so a
+		// remote notification arrives later than a local one.
+		if s.bus.net != nil && n.FromNode != "" && s.node != "" && n.FromNode != s.node {
+			s.bus.net.Link(n.FromNode, s.node).Transmit(s.bus.clock, notificationWireSize)
+		}
+		s.h(n)
+		s.bus.countDelivered()
+	}
+}
+
+// Cancel removes the subscription; queued notifications are still delivered
+// before the goroutine exits.
+func (s *Subscription) Cancel() {
+	s.bus.mu.Lock()
+	subs := s.bus.subs[s.topic]
+	for i, other := range subs {
+		if other == s {
+			s.bus.subs[s.topic] = append(subs[:i:i], subs[i+1:]...)
+			break
+		}
+	}
+	s.bus.mu.Unlock()
+	s.stop()
+}
+
+// Drain blocks until the subscription's goroutine has delivered everything
+// and exited. Call Cancel (or Bus.Close) first.
+func (s *Subscription) Drain() { <-s.done }
+
+func (s *Subscription) stop() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		s.cond.Signal()
+	}
+	s.mu.Unlock()
+}

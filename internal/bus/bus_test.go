@@ -1,0 +1,205 @@
+package bus
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/vtime"
+)
+
+func testBus() *Bus {
+	return New(vtime.NewClock(time.Microsecond), nil)
+}
+
+func TestPublishDelivers(t *testing.T) {
+	b := testBus()
+	defer b.Close()
+	got := make(chan any, 1)
+	b.Subscribe("diag", "n1", "med", func(n Notification) { got <- n.Payload })
+	b.Publish("med0", "n0", "med", 42)
+	select {
+	case v := <-got:
+		if v != 42 {
+			t.Fatalf("payload = %v", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("notification never delivered")
+	}
+}
+
+func TestPerSubscriptionOrdering(t *testing.T) {
+	b := testBus()
+	defer b.Close()
+	const n = 500
+	recv := make([]int, 0, n)
+	done := make(chan struct{})
+	b.Subscribe("s", "n1", "t", func(nt Notification) {
+		recv = append(recv, nt.Payload.(int))
+		if len(recv) == n {
+			close(done)
+		}
+	})
+	for i := 0; i < n; i++ {
+		b.Publish("p", "n0", "t", i)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("only %d/%d delivered", len(recv), n)
+	}
+	for i, v := range recv {
+		if v != i {
+			t.Fatalf("out of order at %d: got %d", i, v)
+		}
+	}
+}
+
+func TestMultipleSubscribersEachGetACopy(t *testing.T) {
+	b := testBus()
+	defer b.Close()
+	var count atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(3)
+	for i := 0; i < 3; i++ {
+		b.Subscribe("s", "n1", "t", func(Notification) {
+			count.Add(1)
+			wg.Done()
+		})
+	}
+	b.Publish("p", "n0", "t", "x")
+	waitDone(t, &wg)
+	if count.Load() != 3 {
+		t.Fatalf("delivered %d, want 3", count.Load())
+	}
+}
+
+func TestTopicsAreIsolated(t *testing.T) {
+	b := testBus()
+	defer b.Close()
+	var wrong atomic.Int64
+	b.Subscribe("s", "n1", "other", func(Notification) { wrong.Add(1) })
+	hit := make(chan struct{}, 1)
+	b.Subscribe("s2", "n1", "t", func(Notification) { hit <- struct{}{} })
+	b.Publish("p", "n0", "t", nil)
+	<-hit
+	time.Sleep(10 * time.Millisecond)
+	if wrong.Load() != 0 {
+		t.Fatal("notification leaked across topics")
+	}
+}
+
+func TestCancelStopsDelivery(t *testing.T) {
+	b := testBus()
+	defer b.Close()
+	var count atomic.Int64
+	s := b.Subscribe("s", "n1", "t", func(Notification) { count.Add(1) })
+	b.Publish("p", "n0", "t", 1)
+	s.Cancel()
+	s.Drain()
+	after := count.Load()
+	b.Publish("p", "n0", "t", 2)
+	time.Sleep(10 * time.Millisecond)
+	if count.Load() != after {
+		t.Fatal("delivery after Cancel")
+	}
+	if after > 1 {
+		t.Fatalf("delivered %d before cancel, want ≤1", after)
+	}
+}
+
+func TestCloseRejectsPublishAndSubscribe(t *testing.T) {
+	b := testBus()
+	var count atomic.Int64
+	b.Subscribe("s", "n1", "t", func(Notification) { count.Add(1) })
+	b.Close()
+	b.Publish("p", "n0", "t", 1)
+	s2 := b.Subscribe("late", "n1", "t", func(Notification) { count.Add(1) })
+	s2.Drain() // returns immediately: subscription was stillborn
+	b.Publish("p", "n0", "t", 2)
+	time.Sleep(10 * time.Millisecond)
+	if count.Load() != 0 {
+		t.Fatalf("delivered %d after Close", count.Load())
+	}
+	b.Close() // idempotent
+}
+
+func TestStats(t *testing.T) {
+	b := testBus()
+	defer b.Close()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	b.Subscribe("s", "n1", "m1", func(Notification) { wg.Done() })
+	b.Publish("p", "n0", "m1", 1)
+	b.Publish("p", "n0", "m1", 2)
+	b.Publish("p", "n0", "m2", 3) // no subscriber: published but undelivered
+	waitDone(t, &wg)
+	st := b.StatsSnapshot()
+	if st.Published["m1"] != 2 || st.Published["m2"] != 1 {
+		t.Fatalf("published = %v", st.Published)
+	}
+	if st.Delivered != 2 {
+		t.Fatalf("delivered = %d, want 2", st.Delivered)
+	}
+}
+
+func TestCrossNodeDeliveryChargesLink(t *testing.T) {
+	clock := vtime.NewClock(50 * time.Microsecond)
+	net := simnet.NewNetwork(clock)
+	net.AddNode("a")
+	net.AddNode("b")
+	net.SetLink("a", "b", &simnet.Link{LatencyMs: 20}) // 1ms real
+	b := New(clock, net)
+	defer b.Close()
+
+	local := make(chan time.Time, 1)
+	remote := make(chan time.Time, 1)
+	b.Subscribe("local", "a", "t", func(Notification) { local <- time.Now() })
+	b.Subscribe("remote", "b", "t", func(Notification) { remote <- time.Now() })
+	start := time.Now()
+	b.Publish("p", "a", "t", nil)
+	lt, rt := <-local, <-remote
+	if lt.Sub(start) > 500*time.Microsecond {
+		t.Errorf("local delivery took %v, should be ~free", lt.Sub(start))
+	}
+	if rt.Sub(start) < 700*time.Microsecond {
+		t.Errorf("remote delivery took %v, want ≥ ~1ms link cost", rt.Sub(start))
+	}
+}
+
+func TestConcurrentPublishers(t *testing.T) {
+	b := testBus()
+	defer b.Close()
+	const pubs, each = 8, 200
+	var count atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(pubs * each)
+	b.Subscribe("s", "n1", "t", func(Notification) {
+		count.Add(1)
+		wg.Done()
+	})
+	for p := 0; p < pubs; p++ {
+		go func() {
+			for i := 0; i < each; i++ {
+				b.Publish("p", "n0", "t", i)
+			}
+		}()
+	}
+	waitDone(t, &wg)
+	if count.Load() != pubs*each {
+		t.Fatalf("delivered %d, want %d", count.Load(), pubs*each)
+	}
+}
+
+func waitDone(t *testing.T, wg *sync.WaitGroup) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for deliveries")
+	}
+}

@@ -1,0 +1,98 @@
+// Package catalog implements the metadata catalog the GDQS maintains
+// (paper §2): schemas and statistics for the tables reachable through Grid
+// Data Services, and signatures plus cost estimates for the Web Service
+// operations that queries may invoke as typed foreign functions.
+package catalog
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/relation"
+	"repro/internal/simnet"
+)
+
+// TableMeta records what the optimiser knows about one table.
+type TableMeta struct {
+	Name        string
+	Schema      *relation.Schema
+	Cardinality int
+	// AvgTupleBytes is the mean wire size of a tuple; the cost model uses
+	// it to estimate buffer transmission costs.
+	AvgTupleBytes int
+	// Node is the data resource hosting the table.
+	Node simnet.NodeID
+}
+
+// FunctionMeta records the signature and cost estimate of a Web Service
+// operation callable from queries, such as EntropyAnalyser.
+type FunctionMeta struct {
+	Name string
+	// ArgTypes are the expected argument types, positionally.
+	ArgTypes []relation.Type
+	// ResultType is the type of the operation's result column.
+	ResultType relation.Type
+	// CostMs is the estimated invocation cost per tuple in paper ms.
+	CostMs float64
+}
+
+// Catalog is a thread-safe metadata store.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]TableMeta
+	funcs  map[string]FunctionMeta
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		tables: make(map[string]TableMeta),
+		funcs:  make(map[string]FunctionMeta),
+	}
+}
+
+// PutTable registers or replaces table metadata. The name is
+// case-insensitive.
+func (c *Catalog) PutTable(m TableMeta) error {
+	if m.Name == "" || m.Schema == nil {
+		return fmt.Errorf("catalog: table metadata missing name or schema")
+	}
+	c.mu.Lock()
+	c.tables[strings.ToLower(m.Name)] = m
+	c.mu.Unlock()
+	return nil
+}
+
+// Table looks up table metadata by case-insensitive name.
+func (c *Catalog) Table(name string) (TableMeta, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	m, ok := c.tables[strings.ToLower(name)]
+	if !ok {
+		return TableMeta{}, fmt.Errorf("catalog: unknown table %q", name)
+	}
+	return m, nil
+}
+
+// PutFunction registers or replaces a callable operation.
+func (c *Catalog) PutFunction(m FunctionMeta) error {
+	if m.Name == "" || !m.ResultType.Valid() {
+		return fmt.Errorf("catalog: function metadata missing name or result type")
+	}
+	c.mu.Lock()
+	c.funcs[strings.ToLower(m.Name)] = m
+	c.mu.Unlock()
+	return nil
+}
+
+// Function looks up an operation by case-insensitive name.
+func (c *Catalog) Function(name string) (FunctionMeta, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	m, ok := c.funcs[strings.ToLower(name)]
+	if !ok {
+		return FunctionMeta{}, fmt.Errorf("catalog: unknown function %q", name)
+	}
+	return m, nil
+}

@@ -1,0 +1,67 @@
+package catalog
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestTableRoundTrip(t *testing.T) {
+	c := New()
+	meta := TableMeta{
+		Name:          "Protein_Sequences",
+		Schema:        relation.NewSchema(relation.Column{Name: "ORF", Type: relation.TString}),
+		Cardinality:   3000,
+		AvgTupleBytes: 150,
+		Node:          "data1",
+	}
+	if err := c.PutTable(meta); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Table("protein_sequences") // case-insensitive
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cardinality != 3000 || got.Node != "data1" {
+		t.Fatalf("got %+v", got)
+	}
+	if _, err := c.Table("missing"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestPutTableValidation(t *testing.T) {
+	c := New()
+	if err := c.PutTable(TableMeta{Name: "x"}); err == nil {
+		t.Error("nil schema accepted")
+	}
+	if err := c.PutTable(TableMeta{Schema: relation.NewSchema()}); err == nil {
+		t.Error("empty name accepted")
+	}
+}
+
+func TestFunctionRoundTrip(t *testing.T) {
+	c := New()
+	err := c.PutFunction(FunctionMeta{
+		Name:       "EntropyAnalyser",
+		ArgTypes:   []relation.Type{relation.TString},
+		ResultType: relation.TFloat,
+		CostMs:     16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Function("entropyanalyser")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ResultType != relation.TFloat || got.CostMs != 16 {
+		t.Fatalf("got %+v", got)
+	}
+	if _, err := c.Function("nope"); err == nil {
+		t.Fatal("expected error")
+	}
+	if err := c.PutFunction(FunctionMeta{Name: "bad"}); err == nil {
+		t.Fatal("invalid result type accepted")
+	}
+}

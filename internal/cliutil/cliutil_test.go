@@ -1,0 +1,96 @@
+package cliutil
+
+import (
+	"flag"
+	"testing"
+	"time"
+)
+
+// buildFrom parses args through a fresh flag set.
+func buildFrom(t *testing.T, args ...string) (*ManifestFlags, error) {
+	t.Helper()
+	old := flag.CommandLine
+	flag.CommandLine = flag.NewFlagSet("test", flag.ContinueOnError)
+	defer func() { flag.CommandLine = old }()
+	f := NewManifestFlags()
+	if err := flag.CommandLine.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return f, nil
+}
+
+func TestBuildDefaults(t *testing.T) {
+	f, _ := buildFrom(t)
+	m, peers, err := f.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Coordinator != "coord" {
+		t.Errorf("coordinator = %q", m.Coordinator)
+	}
+	if len(m.DataNodes) != 1 || m.DataNodes[0].Node != "data1" || m.DataNodes[0].Sequences != 3000 {
+		t.Errorf("data nodes = %+v", m.DataNodes)
+	}
+	if len(m.Compute) != 2 || m.Compute[0].Node != "ws0" || m.Compute[0].Speed != 1 {
+		t.Errorf("compute = %+v", m.Compute)
+	}
+	if len(peers) != 0 {
+		t.Errorf("peers = %v", peers)
+	}
+}
+
+func TestBuildCustom(t *testing.T) {
+	f, _ := buildFrom(t,
+		"-coordinator", "c0",
+		"-data", "d1,d2",
+		"-compute", "w0:2.5,w1",
+		"-peers", "c0=h:1,d1=h:2",
+		"-sequences", "100",
+		"-scale", "50us",
+		"-adaptive", "-retrospective", "-a2",
+	)
+	m, peers, err := f.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Coordinator != "c0" || !m.Adaptive || m.Scale != 50*time.Microsecond {
+		t.Errorf("manifest = %+v", m)
+	}
+	if len(m.DataNodes) != 2 || m.DataNodes[0].Sequences != 100 {
+		t.Errorf("data = %+v", m.DataNodes)
+	}
+	if m.Compute[0].Speed != 2.5 || m.Compute[1].Speed != 1 {
+		t.Errorf("compute speeds = %+v", m.Compute)
+	}
+	if peers["c0"] != "h:1" || peers["d1"] != "h:2" {
+		t.Errorf("peers = %v", peers)
+	}
+	if m.Response == 0 || m.Assessment == 0 {
+		t.Error("retrospective/a2 flags not applied")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	f, _ := buildFrom(t, "-compute", "w0:abc")
+	if _, _, err := f.Build(); err == nil {
+		t.Error("bad speed accepted")
+	}
+	f, _ = buildFrom(t, "-compute", "w0:-1")
+	if _, _, err := f.Build(); err == nil {
+		t.Error("negative speed accepted")
+	}
+	f, _ = buildFrom(t, "-peers", "nope")
+	if _, _, err := f.Build(); err == nil {
+		t.Error("bad peer accepted")
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	got := splitList(" a, b ,, c ")
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("splitList = %v", got)
+	}
+	if splitList("") != nil {
+		t.Error("empty list should be nil")
+	}
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/bus"
+	"repro/internal/simnet"
+)
+
+// Assessment selects how the Diagnoser computes the per-instance cost
+// c(p_i) (paper §3.1).
+type Assessment uint8
+
+// Assessment policies.
+const (
+	// A1 uses only the M1 processing-cost notifications of the subplan
+	// instance. It effectively assumes communication overlaps with
+	// processing thanks to pipelined parallelism.
+	A1 Assessment = iota + 1
+	// A2 additionally charges the per-tuple communication cost reported by
+	// the M2 notifications of the subplans delivering data to the
+	// instance; co-located pairs cost zero.
+	A2
+)
+
+// String names the assessment.
+func (a Assessment) String() string {
+	switch a {
+	case A1:
+		return "A1"
+	case A2:
+		return "A2"
+	default:
+		return "Assessment(?)"
+	}
+}
+
+// DiagnoserConfig tunes the assessment stage.
+type DiagnoserConfig struct {
+	// ThresA is the minimum |w'_i - w_i| required to notify the Responder
+	// (paper default: 20%), avoiding adaptations with low expected
+	// benefit.
+	ThresA float64
+	// Assessment selects A1 or A2.
+	Assessment Assessment
+}
+
+// DefaultDiagnoserConfig returns the paper's defaults.
+func DefaultDiagnoserConfig() DiagnoserConfig {
+	return DiagnoserConfig{ThresA: 0.20, Assessment: A1}
+}
+
+// Diagnoser gathers the MonitoringEventDetectors' notifications, maintains
+// the current tuple-distribution vector W of every registered partitioned
+// fragment, and proposes the balanced vector W' with w'_i ∝ 1/c(p_i)
+// whenever some |w'_i − w_i| exceeds thresA (paper §3.1, Assessment).
+type Diagnoser struct {
+	bus  *bus.Bus
+	node simnet.NodeID
+	cfg  DiagnoserConfig
+
+	mu        sync.Mutex
+	fragments map[string]*diagState
+	subs      []*bus.Subscription
+
+	notificationsIn int64
+	proposalsOut    int64
+}
+
+type diagState struct {
+	topo FragmentTopology
+	// weights is the Diagnoser's view of the current W.
+	weights []float64
+	// procCost is the latest per-tuple processing cost per instance (M1).
+	procCost map[int]float64
+	// commCost is the latest per-tuple communication cost per instance and
+	// producer key (M2), used by A2.
+	commCost map[int]map[string]float64
+}
+
+// NewDiagnoser builds the diagnoser on the given node and subscribes it to
+// the detectors and to the Responder's policy updates.
+func NewDiagnoser(b *bus.Bus, node simnet.NodeID, cfg DiagnoserConfig) *Diagnoser {
+	if cfg.Assessment == 0 {
+		cfg.Assessment = A1
+	}
+	d := &Diagnoser{
+		bus:       b,
+		node:      node,
+		cfg:       cfg,
+		fragments: make(map[string]*diagState),
+	}
+	d.subs = append(d.subs,
+		b.Subscribe("diagnoser", node, TopicMED, d.onCost),
+		b.Subscribe("diagnoser", node, TopicPolicy, d.onPolicy),
+	)
+	return d
+}
+
+// Stop cancels the subscriptions.
+func (d *Diagnoser) Stop() {
+	for _, s := range d.subs {
+		s.Cancel()
+	}
+}
+
+// Register makes the diagnoser monitor one partitioned fragment. The GDQS
+// registers every adaptable fragment at deployment.
+func (d *Diagnoser) Register(topo FragmentTopology) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.fragments[topo.Fragment] = &diagState{
+		topo:     topo,
+		weights:  append([]float64(nil), topo.Weights...),
+		procCost: make(map[int]float64),
+		commCost: make(map[int]map[string]float64),
+	}
+}
+
+// Stats reports notification and proposal counts for the overhead
+// experiments.
+func (d *Diagnoser) Stats() (notificationsIn, proposalsOut int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.notificationsIn, d.proposalsOut
+}
+
+func (d *Diagnoser) onPolicy(n bus.Notification) {
+	up, ok := n.Payload.(PolicyUpdate)
+	if !ok {
+		return
+	}
+	d.mu.Lock()
+	if st := d.fragments[up.Fragment]; st != nil {
+		copy(st.weights, up.Weights)
+	}
+	d.mu.Unlock()
+}
+
+func (d *Diagnoser) onCost(n bus.Notification) {
+	c, ok := n.Payload.(CostNotification)
+	if !ok {
+		return
+	}
+	d.mu.Lock()
+	d.notificationsIn++
+	var target *diagState
+	if c.IsComm {
+		// Communication cost counts against the consuming instance.
+		if st := d.fragments[c.ConsumerFragment]; st != nil {
+			m := st.commCost[c.ConsumerInstance]
+			if m == nil {
+				m = make(map[string]float64)
+				st.commCost[c.ConsumerInstance] = m
+			}
+			cost := c.AvgCostMs
+			if c.SameNode {
+				// Default configuration: communication between subplans on
+				// the same machine is considered zero.
+				cost = 0
+			}
+			m[c.Key] = cost
+			target = st
+		}
+	} else {
+		if st := d.fragments[c.Fragment]; st != nil {
+			st.procCost[c.Instance] = c.AvgCostMs
+			target = st
+		}
+	}
+	var proposal *Proposal
+	if target != nil {
+		proposal = d.assessLocked(target)
+	}
+	d.mu.Unlock()
+	if proposal != nil {
+		d.bus.Publish("diagnoser", d.node, TopicDiagnosis, *proposal)
+	}
+}
+
+// assessLocked computes W' for a fragment once every instance has reported,
+// returning a proposal when the imbalance clears thresA.
+func (d *Diagnoser) assessLocked(st *diagState) *Proposal {
+	n := len(st.topo.Instances)
+	costs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		proc, ok := st.procCost[i]
+		if !ok {
+			return nil // not all instances observed yet
+		}
+		c := proc
+		if d.cfg.Assessment == A2 {
+			for _, comm := range st.commCost[i] {
+				c += comm
+			}
+		}
+		if c <= 0 {
+			c = 1e-9
+		}
+		costs[i] = c
+	}
+	weights := balancedWeights(costs)
+	trigger := false
+	for i := range weights {
+		if math.Abs(weights[i]-st.weights[i]) >= d.cfg.ThresA {
+			trigger = true
+			break
+		}
+	}
+	if !trigger {
+		return nil
+	}
+	d.proposalsOut++
+	return &Proposal{Fragment: st.topo.Fragment, Weights: weights, Costs: costs}
+}
+
+// balancedWeights computes w_i ∝ 1/c_i, normalised.
+func balancedWeights(costs []float64) []float64 {
+	w := make([]float64, len(costs))
+	sum := 0.0
+	for i, c := range costs {
+		w[i] = 1 / c
+		sum += w[i]
+	}
+	total := 0.0
+	for i := range w {
+		w[i] /= sum
+		total += w[i]
+	}
+	// Absorb float residue so the engine's weight validation passes.
+	w[0] += 1 - total
+	return w
+}

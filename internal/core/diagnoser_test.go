@@ -1,0 +1,239 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bus"
+)
+
+// proposalCollector gathers Diagnoser proposals.
+type proposalCollector struct {
+	mu   sync.Mutex
+	seen []Proposal
+}
+
+func (c *proposalCollector) handler(n bus.Notification) {
+	if p, ok := n.Payload.(Proposal); ok {
+		c.mu.Lock()
+		c.seen = append(c.seen, p)
+		c.mu.Unlock()
+	}
+}
+
+func (c *proposalCollector) wait(t *testing.T, n int) []Proposal {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c.mu.Lock()
+		if len(c.seen) >= n {
+			out := append([]Proposal(nil), c.seen...)
+			c.mu.Unlock()
+			return out
+		}
+		c.mu.Unlock()
+		if time.Now().After(deadline) {
+			t.Fatalf("expected %d proposals", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func (c *proposalCollector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.seen)
+}
+
+func twoInstanceTopo() FragmentTopology {
+	return FragmentTopology{
+		Fragment: "F2",
+		Weights:  []float64{0.5, 0.5},
+		Instances: []InstanceRef{
+			{Index: 0, Node: "ws0", Service: "frag/F2#0"},
+			{Index: 1, Node: "ws1", Service: "frag/F2#1"},
+		},
+		Inputs: []ExchangeTopology{{
+			Exchange:  "E1",
+			Producers: []InstanceRef{{Index: 0, Node: "data1", Service: "frag/F1#0"}},
+		}},
+	}
+}
+
+func publishCost(b *bus.Bus, frag string, inst int, cost float64) {
+	b.Publish("med", "ws0", TopicMED, CostNotification{
+		Key: "m1", Fragment: frag, Instance: inst, AvgCostMs: cost,
+	})
+}
+
+func TestDiagnoserProposesInverseCostWeights(t *testing.T) {
+	b := testBus()
+	defer b.Close()
+	d := NewDiagnoser(b, "coord", DefaultDiagnoserConfig())
+	defer d.Stop()
+	d.Register(twoInstanceTopo())
+	col := &proposalCollector{}
+	b.Subscribe("test", "coord", TopicDiagnosis, col.handler)
+
+	// Paper scenario: one WS call 10x costlier. W' should be (10/11, 1/11).
+	publishCost(b, "F2", 0, 10)
+	publishCost(b, "F2", 1, 100)
+	got := col.wait(t, 1)
+	w := got[0].Weights
+	if math.Abs(w[0]-10.0/11) > 1e-6 || math.Abs(w[1]-1.0/11) > 1e-6 {
+		t.Fatalf("W' = %v, want ≈[0.909 0.091]", w)
+	}
+	if got[0].Fragment != "F2" || len(got[0].Costs) != 2 {
+		t.Fatalf("proposal = %+v", got[0])
+	}
+}
+
+func TestDiagnoserWaitsForAllInstances(t *testing.T) {
+	b := testBus()
+	defer b.Close()
+	d := NewDiagnoser(b, "coord", DefaultDiagnoserConfig())
+	defer d.Stop()
+	d.Register(twoInstanceTopo())
+	col := &proposalCollector{}
+	b.Subscribe("test", "coord", TopicDiagnosis, col.handler)
+
+	publishCost(b, "F2", 0, 10)
+	time.Sleep(20 * time.Millisecond)
+	if col.count() != 0 {
+		t.Fatal("proposed with only one instance observed")
+	}
+}
+
+func TestDiagnoserThresholdSuppressesBalancedLoad(t *testing.T) {
+	b := testBus()
+	defer b.Close()
+	d := NewDiagnoser(b, "coord", DefaultDiagnoserConfig())
+	defer d.Stop()
+	d.Register(twoInstanceTopo())
+	col := &proposalCollector{}
+	b.Subscribe("test", "coord", TopicDiagnosis, col.handler)
+
+	// 20% cost difference → W' ≈ (0.545, 0.455): |Δw| ≈ 0.045 < thresA.
+	publishCost(b, "F2", 0, 10)
+	publishCost(b, "F2", 1, 12)
+	time.Sleep(30 * time.Millisecond)
+	if col.count() != 0 {
+		t.Fatal("low-benefit adaptation not suppressed")
+	}
+}
+
+func TestDiagnoserPolicyUpdateStopsRepeatProposals(t *testing.T) {
+	b := testBus()
+	defer b.Close()
+	d := NewDiagnoser(b, "coord", DefaultDiagnoserConfig())
+	defer d.Stop()
+	d.Register(twoInstanceTopo())
+	col := &proposalCollector{}
+	b.Subscribe("test", "coord", TopicDiagnosis, col.handler)
+
+	publishCost(b, "F2", 0, 10)
+	publishCost(b, "F2", 1, 100)
+	got := col.wait(t, 1)
+	// The Responder applies W' and notifies.
+	b.Publish("responder", "coord", TopicPolicy, PolicyUpdate{Fragment: "F2", Weights: got[0].Weights})
+	time.Sleep(20 * time.Millisecond)
+	// Same costs again: W' equals current W → no new proposal.
+	publishCost(b, "F2", 0, 10)
+	publishCost(b, "F2", 1, 100)
+	time.Sleep(30 * time.Millisecond)
+	if col.count() != 1 {
+		t.Fatalf("proposals = %d, want 1 (stable after policy update)", col.count())
+	}
+}
+
+func TestDiagnoserA2AddsCommunicationCost(t *testing.T) {
+	b := testBus()
+	defer b.Close()
+	cfg := DiagnoserConfig{ThresA: 0.2, Assessment: A2}
+	d := NewDiagnoser(b, "coord", cfg)
+	defer d.Stop()
+	d.Register(twoInstanceTopo())
+	col := &proposalCollector{}
+	b.Subscribe("test", "coord", TopicDiagnosis, col.handler)
+
+	// Equal processing costs, but instance 1 pays heavy communication.
+	publishCost(b, "F2", 0, 10)
+	publishCost(b, "F2", 1, 10)
+	b.Publish("med", "data1", TopicMED, CostNotification{
+		Key: "m2:F1#0->F2#1", IsComm: true, AvgCostMs: 30,
+		ProducerFragment: "F1", ProducerInstance: 0,
+		ConsumerFragment: "F2", ConsumerInstance: 1,
+	})
+	got := col.wait(t, 1)
+	w := got[0].Weights
+	// c = (10, 40) → W' = (0.8, 0.2).
+	if math.Abs(w[0]-0.8) > 1e-6 || math.Abs(w[1]-0.2) > 1e-6 {
+		t.Fatalf("A2 weights = %v, want [0.8 0.2]", w)
+	}
+}
+
+func TestDiagnoserA2SameNodeCommIsZero(t *testing.T) {
+	b := testBus()
+	defer b.Close()
+	d := NewDiagnoser(b, "coord", DiagnoserConfig{ThresA: 0.2, Assessment: A2})
+	defer d.Stop()
+	d.Register(twoInstanceTopo())
+	col := &proposalCollector{}
+	b.Subscribe("test", "coord", TopicDiagnosis, col.handler)
+
+	publishCost(b, "F2", 0, 10)
+	publishCost(b, "F2", 1, 10)
+	b.Publish("med", "data1", TopicMED, CostNotification{
+		Key: "m2:F1#0->F2#1", IsComm: true, AvgCostMs: 30, SameNode: true,
+		ConsumerFragment: "F2", ConsumerInstance: 1,
+	})
+	time.Sleep(30 * time.Millisecond)
+	if col.count() != 0 {
+		t.Fatal("same-node communication must cost zero (paper default)")
+	}
+}
+
+func TestDiagnoserA1IgnoresCommunication(t *testing.T) {
+	b := testBus()
+	defer b.Close()
+	d := NewDiagnoser(b, "coord", DefaultDiagnoserConfig()) // A1
+	defer d.Stop()
+	d.Register(twoInstanceTopo())
+	col := &proposalCollector{}
+	b.Subscribe("test", "coord", TopicDiagnosis, col.handler)
+
+	publishCost(b, "F2", 0, 10)
+	publishCost(b, "F2", 1, 10)
+	b.Publish("med", "data1", TopicMED, CostNotification{
+		Key: "m2:F1#0->F2#1", IsComm: true, AvgCostMs: 500,
+		ConsumerFragment: "F2", ConsumerInstance: 1,
+	})
+	time.Sleep(30 * time.Millisecond)
+	if col.count() != 0 {
+		t.Fatal("A1 must not consider communication cost")
+	}
+}
+
+func TestBalancedWeights(t *testing.T) {
+	w := balancedWeights([]float64{10, 100})
+	if math.Abs(w[0]+w[1]-1) > 1e-12 {
+		t.Fatal("weights must sum to 1 exactly")
+	}
+	w3 := balancedWeights([]float64{10, 10, 10})
+	for _, x := range w3 {
+		if math.Abs(x-1.0/3) > 1e-9 {
+			t.Fatalf("equal costs → equal weights, got %v", w3)
+		}
+	}
+}
+
+func TestAssessmentAndResponseStrings(t *testing.T) {
+	if A1.String() != "A1" || A2.String() != "A2" || Assessment(0).String() == "" {
+		t.Error("assessment strings")
+	}
+	if R1.String() != "R1" || R2.String() != "R2" || Response(0).String() == "" {
+		t.Error("response strings")
+	}
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bus"
+	"repro/internal/engine"
+	"repro/internal/simnet"
+)
+
+// MonitorAdapter implements engine.MonitorSink by publishing raw events to
+// the node's raw topic, from which the local MonitoringEventDetector reads.
+type MonitorAdapter struct {
+	Bus  *bus.Bus
+	Node simnet.NodeID
+}
+
+// RawEvent wraps one engine monitoring event on the bus.
+type RawEvent struct {
+	M1 *engine.M1Event
+	M2 *engine.M2Event
+}
+
+// EmitM1 implements engine.MonitorSink.
+func (a *MonitorAdapter) EmitM1(e engine.M1Event) {
+	a.Bus.Publish("engine", a.Node, bus.Topic(TopicRawPrefix+string(a.Node)), RawEvent{M1: &e})
+}
+
+// EmitM2 implements engine.MonitorSink.
+func (a *MonitorAdapter) EmitM2(e engine.M2Event) {
+	a.Bus.Publish("engine", a.Node, bus.Topic(TopicRawPrefix+string(a.Node)), RawEvent{M2: &e})
+}
+
+// MEDConfig tunes the MonitoringEventDetector. Defaults follow the paper's
+// default configuration (§3.1).
+type MEDConfig struct {
+	// Window is the number of events the running average covers (paper
+	// default: the last 25 events).
+	Window int
+	// ThresM is the relative change of the windowed average required
+	// before subscribed Diagnosers are notified (paper default: 20%).
+	ThresM float64
+	// MinEvents is the minimum number of events per group before the
+	// first notification; with at least 3, the min/max discard is
+	// meaningful.
+	MinEvents int
+}
+
+// DefaultMEDConfig returns the paper's default configuration.
+func DefaultMEDConfig() MEDConfig {
+	return MEDConfig{Window: 25, ThresM: 0.20, MinEvents: 3}
+}
+
+// MonitoringEventDetector collects raw monitoring events from the local
+// query engine, groups them (M1 by reporting operator, M2 by concatenated
+// producer and recipient identifiers), computes a running average over a
+// window discarding the minimum and maximum values, and notifies subscribed
+// Diagnosers when the average changes by at least thresM (paper §3.1).
+type MonitoringEventDetector struct {
+	node simnet.NodeID
+	bus  *bus.Bus
+	cfg  MEDConfig
+
+	mu     sync.Mutex
+	groups map[string]*window
+	sub    *bus.Subscription
+
+	rawSeen  int64
+	notified int64
+}
+
+// window is the per-group running state.
+type window struct {
+	values       []float64
+	lastNotified float64
+	everNotified bool
+}
+
+// NewMED builds and subscribes the detector for one node.
+func NewMED(b *bus.Bus, node simnet.NodeID, cfg MEDConfig) *MonitoringEventDetector {
+	if cfg.Window <= 0 {
+		cfg.Window = 25
+	}
+	if cfg.MinEvents <= 0 {
+		cfg.MinEvents = 3
+	}
+	m := &MonitoringEventDetector{
+		node:   node,
+		bus:    b,
+		cfg:    cfg,
+		groups: make(map[string]*window),
+	}
+	m.sub = b.Subscribe("med@"+string(node), node, bus.Topic(TopicRawPrefix+string(node)), m.onRaw)
+	return m
+}
+
+// Stop cancels the subscription.
+func (m *MonitoringEventDetector) Stop() {
+	m.sub.Cancel()
+}
+
+// Stats reports how many raw events arrived and how many notifications were
+// forwarded; the paper's overhead analysis shows the detector filtering
+// 100–300 raw events down to about 10 notifications.
+func (m *MonitoringEventDetector) Stats() (raw, notifications int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rawSeen, m.notified
+}
+
+func (m *MonitoringEventDetector) onRaw(n bus.Notification) {
+	ev, ok := n.Payload.(RawEvent)
+	if !ok {
+		return
+	}
+	switch {
+	case ev.M1 != nil:
+		key := fmt.Sprintf("m1:%s#%d", ev.M1.Fragment, ev.M1.Instance)
+		if avg, fire := m.observe(key, ev.M1.CostPerTupleMs); fire {
+			m.publish(CostNotification{
+				Key:         key,
+				Fragment:    ev.M1.Fragment,
+				Instance:    ev.M1.Instance,
+				AvgCostMs:   avg,
+				WaitMs:      ev.M1.WaitPerTupleMs,
+				Selectivity: ev.M1.Selectivity,
+			})
+		}
+	case ev.M2 != nil:
+		if ev.M2.TupleCount == 0 {
+			return
+		}
+		key := fmt.Sprintf("m2:%s#%d->%s#%d", ev.M2.Fragment, ev.M2.Instance,
+			ev.M2.ConsumerFragment, ev.M2.ConsumerInstance)
+		perTuple := ev.M2.SendCostMs / float64(ev.M2.TupleCount)
+		if avg, fire := m.observe(key, perTuple); fire {
+			m.publish(CostNotification{
+				Key:              key,
+				IsComm:           true,
+				AvgCostMs:        avg,
+				ProducerFragment: ev.M2.Fragment,
+				ProducerInstance: ev.M2.Instance,
+				ConsumerFragment: ev.M2.ConsumerFragment,
+				ConsumerInstance: ev.M2.ConsumerInstance,
+				SameNode:         ev.M2.Node == ev.M2.ConsumerNode,
+			})
+		}
+	}
+}
+
+// observe folds one value into its group window and decides whether to
+// notify.
+func (m *MonitoringEventDetector) observe(key string, value float64) (avg float64, fire bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rawSeen++
+	w := m.groups[key]
+	if w == nil {
+		w = &window{}
+		m.groups[key] = w
+	}
+	w.values = append(w.values, value)
+	if len(w.values) > m.cfg.Window {
+		w.values = w.values[len(w.values)-m.cfg.Window:]
+	}
+	if len(w.values) < m.cfg.MinEvents {
+		return 0, false
+	}
+	avg = trimmedMean(w.values)
+	switch {
+	case !w.everNotified:
+		fire = true
+	case w.lastNotified == 0:
+		fire = avg != 0
+	default:
+		rel := (avg - w.lastNotified) / w.lastNotified
+		if rel < 0 {
+			rel = -rel
+		}
+		fire = rel >= m.cfg.ThresM
+	}
+	if fire {
+		w.everNotified = true
+		w.lastNotified = avg
+		m.notified++
+	}
+	return avg, fire
+}
+
+func (m *MonitoringEventDetector) publish(n CostNotification) {
+	m.bus.Publish("med@"+string(m.node), m.node, TopicMED, n)
+}
+
+// trimmedMean averages the values, discarding one minimum and one maximum
+// when at least three values are present (paper §3.1).
+func trimmedMean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	if len(values) < 3 {
+		sum := 0.0
+		for _, v := range values {
+			sum += v
+		}
+		return sum / float64(len(values))
+	}
+	minV, maxV := values[0], values[0]
+	sum := 0.0
+	for _, v := range values {
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+		sum += v
+	}
+	return (sum - minV - maxV) / float64(len(values)-2)
+}

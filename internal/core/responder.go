@@ -1,0 +1,563 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bus"
+	"repro/internal/engine"
+	"repro/internal/physical"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+	"repro/internal/vtime"
+)
+
+// Response selects how the Responder redistributes data (paper §3.1).
+type Response uint8
+
+// Response policies.
+const (
+	// R2 (prospective) changes only the routing of tuples not yet
+	// distributed; buffered tuples and recovery logs are untouched.
+	R2 Response = iota + 1
+	// R1 (retrospective) additionally redistributes the tuples held in the
+	// recovery logs — those buffered to be sent or sent but not yet
+	// processed — effectively recreating operator state on other machines.
+	// It is mandatory for stateful fragments.
+	R1
+)
+
+// String names the response policy.
+func (r Response) String() string {
+	switch r {
+	case R1:
+		return "R1"
+	case R2:
+		return "R2"
+	default:
+		return "Response(?)"
+	}
+}
+
+// ResponderConfig tunes the response stage.
+type ResponderConfig struct {
+	// Response selects prospective or retrospective redistribution for
+	// stateless fragments; stateful fragments always use R1.
+	Response Response
+	// MaxProgress vetoes adaptation when the producers have already
+	// routed this fraction of their estimated output ("if the execution
+	// is not close to completion", after Chaudhuri et al.'s progress
+	// estimator).
+	MaxProgress float64
+	// MinChange skips proposals whose W' differs from the deployed
+	// distribution by less than this in every component. Because the
+	// Diagnoser learns about deployments asynchronously, several identical
+	// proposals can queue up behind one imbalance; re-deploying them would
+	// pause the producers for nothing. Zero selects the default of 0.05.
+	MinChange float64
+}
+
+// DefaultResponderConfig returns the defaults used in the evaluation.
+func DefaultResponderConfig() ResponderConfig {
+	return ResponderConfig{Response: R2, MaxProgress: 0.9}
+}
+
+// ResponderStats counts response activity for the overhead experiments.
+type ResponderStats struct {
+	ProposalsIn  int64
+	Adaptations  int64
+	SkippedLate  int64 // vetoed by progress estimation
+	TuplesMoved  int64 // recalled or replayed retrospectively
+	StateReplays int64
+}
+
+// AdaptationEvent is one entry of the Responder's timeline: what it decided
+// about a proposal and how long deploying the decision took.
+type AdaptationEvent struct {
+	// AtMs is the decision time in paper milliseconds since the responder
+	// was created.
+	AtMs     float64
+	Fragment string
+	// Outcome is "adapted", "skipped-late" (progress veto) or "failed".
+	Outcome string
+	// Retrospective reports whether the deployed response was R1.
+	Retrospective bool
+	// Weights is the deployed distribution W' (nil unless adapted).
+	Weights []float64
+	// DurationMs is the wall time the response protocol took.
+	DurationMs float64
+}
+
+// Responder receives imbalance proposals from the Diagnoser and deploys
+// them: it contacts the producing evaluators to estimate progress, then
+// drives the engine's control plane — prospective weight swaps for R2, and
+// the full pause/recall/evict/replay/resend cycle for R1 (paper §3.1,
+// Response).
+type Responder struct {
+	bus   *bus.Bus
+	tr    transport.Transport
+	node  simnet.NodeID
+	cfg   ResponderConfig
+	rpc   *rpcClient
+	clock *vtime.Clock
+
+	mu        sync.Mutex
+	fragments map[string]*respState
+	stats     ResponderStats
+	timeline  []AdaptationEvent
+	sub       *bus.Subscription
+}
+
+type respState struct {
+	topo FragmentTopology
+	// weights mirrors the deployed distribution vector.
+	weights []float64
+	// mirror reproduces the producers' hash policy so the Responder can
+	// compute the canonical new owner map and the moved buckets (stateful
+	// fragments only).
+	mirror *engine.HashPolicy
+}
+
+// NewResponder builds the responder on the given node. The clock stamps
+// the adaptation timeline; nil uses a private clock at the default scale.
+func NewResponder(b *bus.Bus, tr transport.Transport, node simnet.NodeID, cfg ResponderConfig) *Responder {
+	if cfg.Response == 0 {
+		cfg.Response = R2
+	}
+	if cfg.MaxProgress <= 0 {
+		cfg.MaxProgress = 0.9
+	}
+	if cfg.MinChange <= 0 {
+		cfg.MinChange = 0.05
+	}
+	r := &Responder{
+		bus:       b,
+		tr:        tr,
+		node:      node,
+		cfg:       cfg,
+		clock:     vtime.NewClock(vtime.DefaultScale),
+		fragments: make(map[string]*respState),
+		rpc:       newRPCClient(tr, node, "aqp/responder@"+string(node)),
+	}
+	r.sub = b.Subscribe("responder", node, TopicDiagnosis, r.onProposal)
+	return r
+}
+
+// Stop cancels the subscription and releases the RPC endpoint.
+func (r *Responder) Stop() {
+	r.sub.Cancel()
+	r.rpc.close()
+}
+
+// Register makes the responder manage one partitioned fragment.
+func (r *Responder) Register(topo FragmentTopology) error {
+	st := &respState{
+		topo:    topo,
+		weights: append([]float64(nil), topo.Weights...),
+	}
+	if topo.Stateful {
+		buckets := topo.Buckets
+		if buckets <= 0 {
+			buckets = engine.DefaultBuckets
+		}
+		mirror, err := engine.NewHashPolicy(nil, buckets, topo.Weights)
+		if err != nil {
+			return fmt.Errorf("core: responder mirror for %s: %w", topo.Fragment, err)
+		}
+		st.mirror = mirror
+	}
+	r.mu.Lock()
+	r.fragments[topo.Fragment] = st
+	r.mu.Unlock()
+	return nil
+}
+
+// SetClock replaces the timeline clock (call before any query runs).
+func (r *Responder) SetClock(c *vtime.Clock) { r.clock = c }
+
+// Stats returns a snapshot of the activity counters.
+func (r *Responder) Stats() ResponderStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Timeline returns the recorded adaptation events in order.
+func (r *Responder) Timeline() []AdaptationEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]AdaptationEvent(nil), r.timeline...)
+}
+
+func (r *Responder) record(e AdaptationEvent) {
+	r.mu.Lock()
+	r.timeline = append(r.timeline, e)
+	r.mu.Unlock()
+}
+
+// onProposal handles one Diagnoser proposal. Proposals are processed
+// sequentially on the subscription's delivery goroutine, so at most one
+// adaptation is in flight.
+func (r *Responder) onProposal(n bus.Notification) {
+	p, ok := n.Payload.(Proposal)
+	if !ok {
+		return
+	}
+	r.mu.Lock()
+	st := r.fragments[p.Fragment]
+	r.stats.ProposalsIn++
+	r.mu.Unlock()
+	if st == nil {
+		return
+	}
+	start := r.clock.NowMs()
+	if err := r.adapt(st, p); err != nil {
+		// An adaptation failure must not kill the query; execution simply
+		// continues under the old distribution. Surface it on the bus for
+		// observability.
+		r.record(AdaptationEvent{AtMs: start, Fragment: p.Fragment, Outcome: "failed",
+			DurationMs: r.clock.NowMs() - start})
+		r.bus.Publish("responder", r.node, "responder.error", err.Error())
+	}
+}
+
+func (r *Responder) adapt(st *respState, p Proposal) error {
+	// Drop proposals that would redeploy (nearly) the current distribution:
+	// they are stale duplicates from the asynchronous proposal pipeline.
+	r.mu.Lock()
+	redundant := true
+	for i := range p.Weights {
+		d := p.Weights[i] - st.weights[i]
+		if d < 0 {
+			d = -d
+		}
+		if d >= r.cfg.MinChange {
+			redundant = false
+			break
+		}
+	}
+	r.mu.Unlock()
+	if redundant {
+		r.record(AdaptationEvent{AtMs: r.clock.NowMs(), Fragment: p.Fragment, Outcome: "redundant"})
+		return nil
+	}
+
+	// Estimate the subplan's progress (after Chaudhuri et al.): expected
+	// input from the producing evaluators' estimates, work done from the
+	// tuples each clone has actually processed. Routing progress alone
+	// would overestimate badly: a fast data source can finish distributing
+	// long before the slow machine's queue drains, which is precisely when
+	// retrospective redistribution pays off.
+	var processed, est int64
+	for _, ex := range st.topo.Inputs {
+		var exEst int64
+		for _, prod := range ex.Producers {
+			reply, err := r.rpc.call(prod, ctrlMsg(ex.Exchange, &transport.Ctrl{Op: transport.CtrlProgress}))
+			if err != nil {
+				return err
+			}
+			if reply.Est > exEst {
+				exEst = reply.Est
+			}
+		}
+		est += exEst
+		for _, cons := range st.topo.Instances {
+			reply, err := r.rpc.call(cons, ctrlMsg(ex.Exchange, &transport.Ctrl{Op: transport.CtrlProgress}))
+			if err != nil {
+				return err
+			}
+			processed += reply.Routed
+		}
+	}
+	startMs := r.clock.NowMs()
+	if est > 0 && float64(processed)/float64(est) >= r.cfg.MaxProgress {
+		r.mu.Lock()
+		r.stats.SkippedLate++
+		r.mu.Unlock()
+		r.record(AdaptationEvent{AtMs: startMs, Fragment: p.Fragment, Outcome: "skipped-late"})
+		return nil
+	}
+
+	retrospective := r.cfg.Response == R1 || st.topo.Stateful
+	var err error
+	if st.topo.Stateful {
+		err = r.adaptStateful(st, p)
+	} else if retrospective {
+		err = r.adaptStatelessR1(st, p)
+	} else {
+		err = r.adaptStatelessR2(st, p)
+	}
+	if err != nil {
+		return err
+	}
+
+	r.mu.Lock()
+	copy(st.weights, p.Weights)
+	r.stats.Adaptations++
+	r.mu.Unlock()
+	r.record(AdaptationEvent{
+		AtMs: startMs, Fragment: p.Fragment, Outcome: "adapted",
+		Retrospective: retrospective,
+		Weights:       append([]float64(nil), p.Weights...),
+		DurationMs:    r.clock.NowMs() - startMs,
+	})
+	// Notify the Diagnosers that need to update the current distribution.
+	r.bus.Publish("responder", r.node, TopicPolicy, PolicyUpdate{
+		Fragment:      p.Fragment,
+		Weights:       append([]float64(nil), p.Weights...),
+		Retrospective: retrospective,
+	})
+	return nil
+}
+
+// adaptStatelessR2 deploys W' prospectively: producers route future tuples
+// by the new weights; nothing already distributed moves.
+func (r *Responder) adaptStatelessR2(st *respState, p Proposal) error {
+	for _, ex := range st.topo.Inputs {
+		for _, prod := range ex.Producers {
+			if _, err := r.rpc.call(prod, ctrlMsg(ex.Exchange,
+				&transport.Ctrl{Op: transport.CtrlSetWeights, Weights: p.Weights})); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// adaptStatelessR1 deploys W' retrospectively: pause, recall unprocessed
+// tuples from every consumer, install W', re-route the recalled tuples,
+// resume.
+func (r *Responder) adaptStatelessR1(st *respState, p Proposal) error {
+	if err := r.pauseAll(st, true); err != nil {
+		return err
+	}
+	defer func() { _ = r.pauseAll(st, false) }()
+
+	// Recall still-unprocessed tuples from each consumer instance — all
+	// input exchanges in one atomic step per instance.
+	type recalled struct {
+		exchange string
+		prodIdx  int
+		consIdx  int
+		seqs     []int64
+	}
+	var recalls []recalled
+	for _, cons := range st.topo.Instances {
+		reply, err := r.rpc.call(cons, ctrlMsg("", &transport.Ctrl{Op: transport.CtrlDiscard}))
+		if err != nil {
+			return err
+		}
+		for key, seqs := range reply.DiscardedSeqs {
+			ex, prodIdx, err := transport.ParseStreamKey(key)
+			if err != nil {
+				return err
+			}
+			recalls = append(recalls, recalled{exchange: ex, prodIdx: prodIdx, consIdx: cons.Index, seqs: seqs})
+		}
+	}
+	// Install the new weights, then re-route the recalled tuples.
+	for _, ex := range st.topo.Inputs {
+		for _, prod := range ex.Producers {
+			if _, err := r.rpc.call(prod, ctrlMsg(ex.Exchange,
+				&transport.Ctrl{Op: transport.CtrlSetWeights, Weights: p.Weights})); err != nil {
+				return err
+			}
+		}
+	}
+	for _, rc := range recalls {
+		if len(rc.seqs) == 0 {
+			continue
+		}
+		prod, ok := r.producerRef(st, rc.exchange, rc.prodIdx)
+		if !ok {
+			return fmt.Errorf("core: discard report names unknown stream %s/%d", rc.exchange, rc.prodIdx)
+		}
+		msg := ctrlMsg(rc.exchange, &transport.Ctrl{Op: transport.CtrlResend, Seqs: rc.seqs})
+		msg.ConsumerIdx = rc.consIdx
+		if _, err := r.rpc.call(prod, msg); err != nil {
+			return err
+		}
+		r.mu.Lock()
+		r.stats.TuplesMoved += int64(len(rc.seqs))
+		r.mu.Unlock()
+	}
+	return nil
+}
+
+// producerRef resolves a producer instance of one of the fragment's input
+// exchanges.
+func (r *Responder) producerRef(st *respState, exchange string, prodIdx int) (InstanceRef, bool) {
+	for _, ex := range st.topo.Inputs {
+		if ex.Exchange != exchange {
+			continue
+		}
+		for _, prod := range ex.Producers {
+			if prod.Index == prodIdx {
+				return prod, true
+			}
+		}
+	}
+	return InstanceRef{}, false
+}
+
+// adaptStateful deploys W' for a stateful fragment: the bucket→owner map
+// moves minimally, queued tuples of the moved buckets are recalled, the
+// moved buckets' build state is evicted, the recovery logs replay the state
+// to its new owners, and recalled probe tuples are re-routed.
+func (r *Responder) adaptStateful(st *respState, p Proposal) error {
+	r.mu.Lock()
+	moved, err := st.mirror.SetWeights(p.Weights)
+	newMap := st.mirror.OwnerMap()
+	r.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if len(moved) == 0 {
+		return nil
+	}
+
+	if err := r.pauseAll(st, true); err != nil {
+		return err
+	}
+	defer func() { _ = r.pauseAll(st, false) }()
+
+	// Recall queued tuples of the moved buckets — every input exchange of
+	// an instance in one atomic step — and evict their state. Discarded
+	// build-side tuples need no resend: the replay below retransmits every
+	// logged tuple of the moved buckets.
+	stateful := make(map[string]bool, len(st.topo.Inputs))
+	for _, ex := range st.topo.Inputs {
+		stateful[ex.Exchange] = ex.Stateful
+	}
+	type resend struct {
+		exchange string
+		prodIdx  int
+		consIdx  int
+		seqs     []int64
+	}
+	var resends []resend
+	for _, cons := range st.topo.Instances {
+		reply, err := r.rpc.call(cons, ctrlMsg("",
+			&transport.Ctrl{Op: transport.CtrlDiscard, Buckets: moved}))
+		if err != nil {
+			return err
+		}
+		for key, seqs := range reply.DiscardedSeqs {
+			ex, prodIdx, err := transport.ParseStreamKey(key)
+			if err != nil {
+				return err
+			}
+			if stateful[ex] {
+				continue // covered by replay below
+			}
+			resends = append(resends, resend{exchange: ex, prodIdx: prodIdx, consIdx: cons.Index, seqs: seqs})
+		}
+		if _, err := r.rpc.call(cons, ctrlMsg("", &transport.Ctrl{Op: transport.CtrlEvict, Buckets: moved})); err != nil {
+			return err
+		}
+	}
+	// Install the new owner map everywhere, then replay state and re-route
+	// recalled probes.
+	for _, ex := range st.topo.Inputs {
+		for _, prod := range ex.Producers {
+			if _, err := r.rpc.call(prod, ctrlMsg(ex.Exchange,
+				&transport.Ctrl{Op: transport.CtrlSetBucketMap, BucketMap: newMap})); err != nil {
+				return err
+			}
+		}
+	}
+	for _, ex := range st.topo.Inputs {
+		if !ex.Stateful {
+			continue
+		}
+		for _, prod := range ex.Producers {
+			if _, err := r.rpc.call(prod, ctrlMsg(ex.Exchange,
+				&transport.Ctrl{Op: transport.CtrlReplay, Buckets: moved})); err != nil {
+				return err
+			}
+			r.mu.Lock()
+			r.stats.StateReplays++
+			r.mu.Unlock()
+		}
+	}
+	for _, rs := range resends {
+		if len(rs.seqs) == 0 {
+			continue
+		}
+		prod, ok := r.producerRef(st, rs.exchange, rs.prodIdx)
+		if !ok {
+			return fmt.Errorf("core: discard report names unknown stream %s/%d", rs.exchange, rs.prodIdx)
+		}
+		msg := ctrlMsg(rs.exchange, &transport.Ctrl{Op: transport.CtrlResend, Seqs: rs.seqs})
+		msg.ConsumerIdx = rs.consIdx
+		if _, err := r.rpc.call(prod, msg); err != nil {
+			return err
+		}
+		r.mu.Lock()
+		r.stats.TuplesMoved += int64(len(rs.seqs))
+		r.mu.Unlock()
+	}
+	return nil
+}
+
+// pauseAll pauses or resumes every producer feeding the fragment.
+func (r *Responder) pauseAll(st *respState, pause bool) error {
+	op := transport.CtrlResume
+	if pause {
+		op = transport.CtrlPause
+	}
+	var firstErr error
+	for _, ex := range st.topo.Inputs {
+		for _, prod := range ex.Producers {
+			if _, err := r.rpc.call(prod, ctrlMsg(ex.Exchange, &transport.Ctrl{Op: op})); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+func ctrlMsg(exchange string, ctrl *transport.Ctrl) *transport.Message {
+	return &transport.Message{Kind: transport.KindControl, Exchange: exchange, Ctrl: ctrl}
+}
+
+// TopologyOf derives the adaptivity topology of every partitioned fragment
+// in a physical plan; the GDQS registers these with the Diagnoser and
+// Responder at deployment.
+func TopologyOf(plan *physical.Plan, buckets int) []FragmentTopology {
+	var out []FragmentTopology
+	for _, frag := range plan.Fragments {
+		if !frag.Partitioned {
+			continue
+		}
+		topo := FragmentTopology{
+			Fragment: frag.ID,
+			Stateful: frag.Stateful,
+			Weights:  append([]float64(nil), frag.InitialWeights...),
+			Buckets:  buckets,
+		}
+		for i, node := range frag.Instances {
+			topo.Instances = append(topo.Instances, InstanceRef{
+				Index: i, Node: node, Service: "frag/" + frag.InstanceID(i),
+			})
+		}
+		for _, other := range plan.Fragments {
+			if other.Output == nil || other.Output.ConsumerFragment != frag.ID {
+				continue
+			}
+			ext := ExchangeTopology{
+				Exchange: other.Output.ID,
+				Policy:   other.Output.Policy,
+				Stateful: other.Output.Stateful,
+			}
+			for i, node := range other.Instances {
+				ext.Producers = append(ext.Producers, InstanceRef{
+					Index: i, Node: node, Service: "frag/" + other.InstanceID(i),
+				})
+			}
+			topo.Inputs = append(topo.Inputs, ext)
+		}
+		out = append(out, topo)
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/transport"
+)
+
+// rpcClient gives the Responder request/response semantics over the
+// one-way message transport: control requests carry a RequestID and a
+// reply-to address; the matching KindReply resolves the pending call.
+type rpcClient struct {
+	tr      transport.Transport
+	node    simnet.NodeID
+	service string
+	timeout time.Duration
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan *transport.Ctrl
+}
+
+func newRPCClient(tr transport.Transport, node simnet.NodeID, service string) *rpcClient {
+	c := &rpcClient{
+		tr:      tr,
+		node:    node,
+		service: service,
+		timeout: 60 * time.Second,
+		pending: make(map[uint64]chan *transport.Ctrl),
+	}
+	tr.Register(node, service, c.onReply)
+	return c
+}
+
+func (c *rpcClient) close() {
+	c.tr.Unregister(c.node, c.service)
+}
+
+func (c *rpcClient) onReply(_ simnet.NodeID, msg *transport.Message) {
+	if msg.Kind != transport.KindReply || msg.Ctrl == nil {
+		return
+	}
+	c.mu.Lock()
+	ch := c.pending[msg.Ctrl.RequestID]
+	delete(c.pending, msg.Ctrl.RequestID)
+	c.mu.Unlock()
+	if ch != nil {
+		ch <- msg.Ctrl
+	}
+}
+
+// call sends a control request to a fragment instance and waits for its
+// reply.
+func (c *rpcClient) call(to InstanceRef, msg *transport.Message) (*transport.Ctrl, error) {
+	c.mu.Lock()
+	c.nextID++
+	id := c.nextID
+	ch := make(chan *transport.Ctrl, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	msg.Ctrl.RequestID = id
+	msg.Ctrl.ReplyTo = c.node
+	msg.Ctrl.ReplyService = c.service
+	if _, err := c.tr.Send(c.node, to.Node, to.Service, msg); err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+	select {
+	case reply := <-ch:
+		if !reply.OK && reply.Err != "" {
+			return reply, fmt.Errorf("core: %v on %s: %s", msg.Ctrl.Op, to.Service, reply.Err)
+		}
+		return reply, nil
+	case <-time.After(c.timeout):
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("core: %v on %s timed out", msg.Ctrl.Op, to.Service)
+	}
+}

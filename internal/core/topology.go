@@ -1,0 +1,119 @@
+// Package core implements the paper's adaptive query processing
+// architecture (§2): loosely-coupled adaptivity components that communicate
+// asynchronously over a publish/subscribe notification bus, separated into
+// the monitoring (feedback collection), assessment, and response stages of
+// adaptation:
+//
+//   - a MonitorAdapter turns the engine's raw self-monitoring events into
+//     bus notifications;
+//   - a MonitoringEventDetector per evaluating site groups and filters
+//     them, notifying subscribers only on significant change;
+//   - the Diagnoser assesses workload imbalance and proposes a rebalanced
+//     distribution vector W';
+//   - the Responder estimates progress and deploys the redistribution,
+//     prospectively (R2) or retrospectively (R1) through the engine's
+//     recovery-log machinery.
+//
+// The GDQS optimiser plays no role during adaptation: these components
+// encapsulate every mechanism needed to adjust execution in a decentralised
+// way.
+package core
+
+import (
+	"repro/internal/physical"
+	"repro/internal/simnet"
+)
+
+// Bus topics used by the adaptivity components.
+const (
+	// TopicRawPrefix + node carries raw engine events to the local
+	// MonitoringEventDetector.
+	TopicRawPrefix = "raw."
+	// TopicMED carries filtered cost notifications to Diagnosers.
+	TopicMED = "med"
+	// TopicDiagnosis carries rebalancing proposals to Responders.
+	TopicDiagnosis = "diagnosis"
+	// TopicPolicy announces applied redistributions, so Diagnosers update
+	// their view of the current distribution W.
+	TopicPolicy = "policy"
+)
+
+// InstanceRef addresses one fragment instance.
+type InstanceRef struct {
+	Index   int
+	Node    simnet.NodeID
+	Service string
+}
+
+// ExchangeTopology describes one exchange feeding an adaptable fragment.
+type ExchangeTopology struct {
+	Exchange string
+	Policy   physical.PolicyKind
+	// Stateful marks the hash-join build side: its recovery log recreates
+	// operator state, and its recalled tuples are covered by replay rather
+	// than resend.
+	Stateful  bool
+	Producers []InstanceRef
+}
+
+// FragmentTopology describes one partitioned fragment (the paper's subplan
+// p, cloned as p_1..p_n) to the Diagnoser and Responder.
+type FragmentTopology struct {
+	Fragment string
+	// Stateful fragments hold operator state and must be rebalanced
+	// retrospectively (R1); the paper calls this "imperative for
+	// redistributing tuples processed by stateful operators".
+	Stateful  bool
+	Instances []InstanceRef
+	// Weights is the distribution vector W at deployment.
+	Weights []float64
+	Inputs  []ExchangeTopology
+	// Buckets is the hash-policy bucket count (stateful fragments).
+	Buckets int
+}
+
+// CostNotification is what a MonitoringEventDetector sends to subscribed
+// Diagnosers: a windowed average that moved by at least thresM.
+type CostNotification struct {
+	// Key groups the underlying raw events: M1 events by the reporting
+	// operator, M2 events by producer·recipient pair (paper §3.1).
+	Key string
+	// IsComm distinguishes M2-derived (communication) notifications.
+	IsComm bool
+
+	// M1 fields.
+	Fragment string
+	Instance int
+	// AvgCostMs is the windowed per-tuple processing cost (M1) or the
+	// per-tuple communication cost (M2).
+	AvgCostMs   float64
+	WaitMs      float64
+	Selectivity float64
+
+	// M2 fields.
+	ProducerFragment string
+	ProducerInstance int
+	ConsumerFragment string
+	ConsumerInstance int
+	// SameNode marks co-located producer/consumer pairs, whose
+	// communication cost the default configuration treats as zero.
+	SameNode bool
+}
+
+// Proposal is the Diagnoser's output: a rebalanced distribution vector for
+// one partitioned fragment.
+type Proposal struct {
+	Fragment string
+	// Weights is the proposed W' with w'_i ∝ 1/c(p_i).
+	Weights []float64
+	// Costs are the per-instance costs c(p_i) the proposal derives from.
+	Costs []float64
+}
+
+// PolicyUpdate announces that the Responder deployed a new distribution.
+type PolicyUpdate struct {
+	Fragment string
+	Weights  []float64
+	// Retrospective reports whether the change was R1.
+	Retrospective bool
+}

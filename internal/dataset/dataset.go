@@ -1,0 +1,185 @@
+// Package dataset provides the demo bioinformatics database used by the
+// paper's evaluation: the protein_sequences and protein_interactions tables
+// of the OGSA-DQP demo database. The originals are not distributable, so the
+// generators here produce deterministic synthetic data with the same
+// cardinalities (3000 sequences, 4700 interactions), fixed-width sequences
+// (the paper pads all tuples to the same length "to facilitate result
+// analysis"), and an ORF key domain that makes the Q2 join selective but
+// productive.
+//
+// It also provides Store, the in-memory table store that plays the role the
+// OGSA-DAI Grid Data Service wrappers play in the paper: the thing a scan
+// operator reads from on a data node.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/relation"
+)
+
+// Default cardinalities from the paper (§3.2): Q1 retrieves 3000 sequence
+// tuples; protein_interactions contains 4700 tuples.
+const (
+	DefaultSequences    = 3000
+	DefaultInteractions = 4700
+	// SequenceLength is the fixed width of every protein sequence, in
+	// residues. All tuples have the same length, as in the paper.
+	SequenceLength = 128
+)
+
+// aminoAcids is the 20-letter residue alphabet.
+const aminoAcids = "ACDEFGHIKLMNPQRSTVWY"
+
+// Table is an immutable named relation.
+type Table struct {
+	Name   string
+	Schema *relation.Schema
+	Tuples []relation.Tuple
+}
+
+// Cardinality returns the number of tuples.
+func (t *Table) Cardinality() int { return len(t.Tuples) }
+
+// AvgTupleBytes returns the mean wire size of the table's tuples, used by
+// the optimiser's cost model.
+func (t *Table) AvgTupleBytes() int {
+	if len(t.Tuples) == 0 {
+		return 0
+	}
+	total := 0
+	for _, tp := range t.Tuples {
+		total += tp.ByteSize()
+	}
+	return total / len(t.Tuples)
+}
+
+// orfName formats the i-th open-reading-frame identifier.
+func orfName(i int) string { return fmt.Sprintf("YAL%05dC", i) }
+
+// ProteinSequences generates the protein_sequences table with n tuples:
+// (ORF VARCHAR, sequence VARCHAR). Generation is deterministic in (n, seed).
+func ProteinSequences(n int, seed int64) *Table {
+	rng := rand.New(rand.NewSource(seed))
+	schema := relation.NewSchema(
+		relation.Column{Table: "protein_sequences", Name: "ORF", Type: relation.TString},
+		relation.Column{Table: "protein_sequences", Name: "sequence", Type: relation.TString},
+	)
+	tuples := make([]relation.Tuple, n)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.Reset()
+		b.Grow(SequenceLength)
+		// Real protein sequences start with methionine.
+		b.WriteByte('M')
+		for j := 1; j < SequenceLength; j++ {
+			b.WriteByte(aminoAcids[rng.Intn(len(aminoAcids))])
+		}
+		tuples[i] = relation.Tuple{
+			relation.String(orfName(i)),
+			relation.String(b.String()),
+		}
+	}
+	return &Table{Name: "protein_sequences", Schema: schema, Tuples: tuples}
+}
+
+// ProteinInteractions generates the protein_interactions table with n tuples
+// (ORF1 VARCHAR, ORF2 VARCHAR). ORF1 values are drawn from the first
+// seqCount sequence ORFs so that the Q2 equi-join on i.ORF1 = p.ORF matches;
+// ORF2 is an arbitrary partner. Deterministic in (n, seqCount, seed).
+func ProteinInteractions(n, seqCount int, seed int64) *Table {
+	rng := rand.New(rand.NewSource(seed + 1))
+	schema := relation.NewSchema(
+		relation.Column{Table: "protein_interactions", Name: "ORF1", Type: relation.TString},
+		relation.Column{Table: "protein_interactions", Name: "ORF2", Type: relation.TString},
+	)
+	tuples := make([]relation.Tuple, n)
+	for i := 0; i < n; i++ {
+		tuples[i] = relation.Tuple{
+			relation.String(orfName(rng.Intn(seqCount))),
+			relation.String(orfName(rng.Intn(seqCount))),
+		}
+	}
+	return &Table{Name: "protein_interactions", Schema: schema, Tuples: tuples}
+}
+
+// ProteinInteractionsZipf generates protein_interactions with a Zipf-skewed
+// ORF1 distribution (exponent s > 1): a few hub proteins dominate the
+// interaction list, as in real interaction networks. Skewed group sizes
+// stress hash-partitioned aggregation and joins: the buckets holding hub
+// keys carry far more state than the rest, so repartitioning them moves
+// visibly more work. Deterministic in (n, seqCount, s, seed).
+func ProteinInteractionsZipf(n, seqCount int, s float64, seed int64) *Table {
+	rng := rand.New(rand.NewSource(seed + 2))
+	zipf := rand.NewZipf(rng, s, 1, uint64(seqCount-1))
+	schema := relation.NewSchema(
+		relation.Column{Table: "protein_interactions", Name: "ORF1", Type: relation.TString},
+		relation.Column{Table: "protein_interactions", Name: "ORF2", Type: relation.TString},
+	)
+	tuples := make([]relation.Tuple, n)
+	for i := 0; i < n; i++ {
+		tuples[i] = relation.Tuple{
+			relation.String(orfName(int(zipf.Uint64()))),
+			relation.String(orfName(rng.Intn(seqCount))),
+		}
+	}
+	return &Table{Name: "protein_interactions", Schema: schema, Tuples: tuples}
+}
+
+// Demo builds the standard demo database at the paper's cardinalities.
+func Demo() *Store { return DemoSized(DefaultSequences, DefaultInteractions) }
+
+// DemoSized builds the demo database with custom cardinalities; the paper's
+// "varying the dataset size" experiment doubles the Q1 input to 6000.
+func DemoSized(sequences, interactions int) *Store {
+	s := NewStore()
+	s.Add(ProteinSequences(sequences, 1))
+	s.Add(ProteinInteractions(interactions, sequences, 1))
+	return s
+}
+
+// Store is a named collection of tables: the data a Grid Data Service
+// exposes on one data node. It is safe for concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{tables: make(map[string]*Table)}
+}
+
+// Add registers a table, replacing any previous table with the same name.
+func (s *Store) Add(t *Table) {
+	s.mu.Lock()
+	s.tables[strings.ToLower(t.Name)] = t
+	s.mu.Unlock()
+}
+
+// Table returns the named table (case-insensitive) or an error.
+func (s *Store) Table(name string) (*Table, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("dataset: no table %q", name)
+	}
+	return t, nil
+}
+
+// Names returns the sorted table names.
+func (s *Store) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,366 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/logical"
+	"repro/internal/relation"
+)
+
+// HashAggregate groups its input by key columns and computes aggregates per
+// group. Like the hash join, its state is organised in routing buckets and
+// implements StateTarget, so the retrospective (R1) protocol can move whole
+// buckets of groups to another clone: the moved groups' raw input tuples
+// are replayed from the exchange recovery logs and re-absorbed at the new
+// owner. The aggregate is the second stateful operator of the engine and
+// demonstrates that the paper's architecture extends beyond hash joins.
+type HashAggregate struct {
+	Child     Iterator
+	GroupOrds []int
+	// Kinds and ArgOrds describe the aggregate columns (ArgOrd -1 for
+	// COUNT(*)).
+	Kinds   []logical.AggKind
+	ArgOrds []int
+
+	ctx     *ExecContext
+	buckets int
+
+	mu    sync.Mutex
+	state map[int32]map[uint64][]*groupState
+
+	// emit phase.
+	emitting bool
+	out      []relation.Tuple
+	pos      int
+
+	mon         *opMonitor
+	insertMeter *opInsertMeter
+}
+
+// groupState is one group's accumulators.
+type groupState struct {
+	key  relation.Tuple // group-key values, in GroupOrds order
+	accs []accumulator
+}
+
+// accumulator folds one aggregate column.
+type accumulator struct {
+	count  int64
+	sum    float64
+	minmax relation.Value
+	seen   bool
+}
+
+// Open implements Iterator. Unlike the join's build phase, absorption
+// happens lazily in Next so that it interleaves with control operations.
+func (a *HashAggregate) Open(ctx *ExecContext) error {
+	a.ctx = ctx
+	a.buckets = ctx.Buckets
+	if a.buckets <= 0 {
+		a.buckets = DefaultBuckets
+	}
+	a.state = make(map[int32]map[uint64][]*groupState)
+	a.mon = newOpMonitor(ctx)
+	a.insertMeter = newOpInsertMeter(ctx)
+	return a.Child.Open(ctx)
+}
+
+// Next implements Iterator: it drains the child (absorbing every tuple into
+// group state), then emits one row per group.
+func (a *HashAggregate) Next() (relation.Tuple, bool, error) {
+	if !a.emitting {
+		for {
+			t, ok, err := a.Child.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				break
+			}
+			a.ctx.charge(a.ctx.Costs.AggMs)
+			a.absorb(t)
+			a.mon.tick()
+		}
+		a.beginEmit()
+	}
+	if a.pos >= len(a.out) {
+		return nil, false, nil
+	}
+	t := a.out[a.pos]
+	a.pos++
+	a.ctx.chargeFlat(a.ctx.Costs.ProjectMs)
+	return t, true, nil
+}
+
+// absorb folds one input tuple into its group.
+func (a *HashAggregate) absorb(t relation.Tuple) {
+	h := t.Hash(a.GroupOrds)
+	b := int32(h % uint64(a.buckets))
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.state == nil {
+		return // closed; replay raced completion
+	}
+	m := a.state[b]
+	if m == nil {
+		m = make(map[uint64][]*groupState)
+		a.state[b] = m
+	}
+	var g *groupState
+	for _, cand := range m[h] {
+		if a.sameKey(cand.key, t) {
+			g = cand
+			break
+		}
+	}
+	if g == nil {
+		g = &groupState{key: t.Project(a.GroupOrds), accs: make([]accumulator, len(a.Kinds))}
+		m[h] = append(m[h], g)
+	}
+	for i, kind := range a.Kinds {
+		acc := &g.accs[i]
+		ord := a.ArgOrds[i]
+		var v relation.Value
+		if ord >= 0 {
+			v = t[ord]
+			if v.IsNull() {
+				continue // SQL aggregates skip NULLs
+			}
+		}
+		switch kind {
+		case logical.AggCount:
+			acc.count++
+		case logical.AggSum, logical.AggAvg:
+			acc.count++
+			acc.sum += v.AsFloat()
+		case logical.AggMin:
+			if !acc.seen || v.Compare(acc.minmax) < 0 {
+				acc.minmax = v
+				acc.seen = true
+			}
+		case logical.AggMax:
+			if !acc.seen || v.Compare(acc.minmax) > 0 {
+				acc.minmax = v
+				acc.seen = true
+			}
+		}
+	}
+}
+
+func (a *HashAggregate) sameKey(key relation.Tuple, t relation.Tuple) bool {
+	for i, ord := range a.GroupOrds {
+		if !key[i].Equal(t[ord]) {
+			return false
+		}
+	}
+	return true
+}
+
+// beginEmit freezes the state into output rows, sorted by group key for
+// deterministic per-instance output.
+func (a *HashAggregate) beginEmit() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.emitting = true
+	var groups []*groupState
+	for _, m := range a.state {
+		for _, chain := range m {
+			groups = append(groups, chain...)
+		}
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		return groups[i].key.Key() < groups[j].key.Key()
+	})
+	a.out = a.out[:0]
+	for _, g := range groups {
+		row := make(relation.Tuple, 0, len(g.key)+len(g.accs))
+		row = append(row, g.key...)
+		for i, kind := range a.Kinds {
+			row = append(row, g.accs[i].result(kind))
+		}
+		a.out = append(a.out, row)
+	}
+	// A global aggregate emits exactly one row even over empty input.
+	if len(a.GroupOrds) == 0 && len(groups) == 0 {
+		row := make(relation.Tuple, 0, len(a.Kinds))
+		var empty accumulator
+		for _, kind := range a.Kinds {
+			row = append(row, empty.result(kind))
+		}
+		a.out = append(a.out, row)
+	}
+}
+
+// result finalises one accumulator.
+func (acc *accumulator) result(kind logical.AggKind) relation.Value {
+	switch kind {
+	case logical.AggCount:
+		return relation.Int(acc.count)
+	case logical.AggSum:
+		if acc.count == 0 {
+			return relation.Null
+		}
+		return relation.Float(acc.sum)
+	case logical.AggAvg:
+		if acc.count == 0 {
+			return relation.Null
+		}
+		return relation.Float(acc.sum / float64(acc.count))
+	case logical.AggMin, logical.AggMax:
+		if !acc.seen {
+			return relation.Null
+		}
+		return acc.minmax
+	default:
+		return relation.Null
+	}
+}
+
+// Close implements Iterator.
+func (a *HashAggregate) Close() error {
+	err := a.Child.Close()
+	a.mu.Lock()
+	a.state = nil
+	a.mu.Unlock()
+	return err
+}
+
+// InsertState implements StateTarget: replayed raw input tuples are
+// re-absorbed into group state on this clone.
+func (a *HashAggregate) InsertState(tuples []relation.Tuple) {
+	for _, t := range tuples {
+		a.insertMeter.charge(a.ctx.Node.PerturbedCost(a.ctx.Costs.AggMs))
+		a.absorb(t)
+	}
+}
+
+// EvictBuckets implements StateTarget.
+func (a *HashAggregate) EvictBuckets(buckets []int32) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.state == nil {
+		return
+	}
+	for _, b := range buckets {
+		delete(a.state, b)
+	}
+}
+
+// StateSize implements StateTarget: the number of groups held.
+func (a *HashAggregate) StateSize() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, m := range a.state {
+		for _, chain := range m {
+			n += len(chain)
+		}
+	}
+	return n
+}
+
+// Sort buffers its entire input, sorts it by the key ordinals, and emits in
+// order. It runs at the result-collection site.
+type Sort struct {
+	Child Iterator
+	Ords  []int
+	Desc  []bool
+
+	ctx    *ExecContext
+	sorted []relation.Tuple
+	pos    int
+	done   bool
+}
+
+// Open implements Iterator.
+func (s *Sort) Open(ctx *ExecContext) error {
+	s.ctx = ctx
+	return s.Child.Open(ctx)
+}
+
+// Next implements Iterator.
+func (s *Sort) Next() (relation.Tuple, bool, error) {
+	if !s.done {
+		for {
+			t, ok, err := s.Child.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				break
+			}
+			s.ctx.chargeFlat(s.ctx.Costs.SortMs)
+			s.sorted = append(s.sorted, t)
+		}
+		sort.SliceStable(s.sorted, func(i, j int) bool { return s.less(s.sorted[i], s.sorted[j]) })
+		s.done = true
+	}
+	if s.pos >= len(s.sorted) {
+		return nil, false, nil
+	}
+	t := s.sorted[s.pos]
+	s.pos++
+	return t, true, nil
+}
+
+func (s *Sort) less(a, b relation.Tuple) bool {
+	for i, ord := range s.Ords {
+		cmp := a[ord].Compare(b[ord])
+		if s.Desc[i] {
+			cmp = -cmp
+		}
+		if cmp != 0 {
+			return cmp < 0
+		}
+	}
+	return false
+}
+
+// Close implements Iterator.
+func (s *Sort) Close() error {
+	s.sorted = nil
+	return s.Child.Close()
+}
+
+// Limit forwards the first N tuples and then reports end of stream without
+// draining the rest of its input.
+type Limit struct {
+	Child Iterator
+	N     int64
+
+	seen int64
+}
+
+// Open implements Iterator.
+func (l *Limit) Open(ctx *ExecContext) error { return l.Child.Open(ctx) }
+
+// Next implements Iterator.
+func (l *Limit) Next() (relation.Tuple, bool, error) {
+	if l.seen >= l.N {
+		return nil, false, nil
+	}
+	t, ok, err := l.Child.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	l.seen++
+	return t, true, nil
+}
+
+// Close implements Iterator.
+func (l *Limit) Close() error { return l.Child.Close() }
+
+// aggKindsOf converts the wire representation back to logical kinds.
+func aggKindsOf(raw []uint8) ([]logical.AggKind, error) {
+	kinds := make([]logical.AggKind, len(raw))
+	for i, r := range raw {
+		k := logical.AggKind(r)
+		if k < logical.AggCount || k > logical.AggMax {
+			return nil, fmt.Errorf("engine: invalid aggregate kind %d", r)
+		}
+		kinds[i] = k
+	}
+	return kinds, nil
+}

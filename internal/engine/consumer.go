@@ -1,0 +1,332 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/relation"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+)
+
+// Addr is a transport endpoint of a fragment instance.
+type Addr struct {
+	Node    simnet.NodeID
+	Service string
+}
+
+// queueEntry is one received tuple awaiting processing.
+type queueEntry struct {
+	producer int
+	seq      int64
+	bucket   int32
+	tuple    relation.Tuple
+}
+
+// streamState tracks the checkpoint/acknowledgement protocol for one
+// producer→consumer stream (paper §3.1, Response): the producer inserts
+// checkpoints into the data flow and keeps every tuple in its recovery log
+// until the consumer acknowledges the checkpoint, meaning the interval's
+// tuples "have finished processing and are not needed any more".
+type streamState struct {
+	// outstanding holds received-but-unprocessed sequence numbers.
+	outstanding map[int64]bool
+	// discarded holds sequence numbers removed by a retrospective recall;
+	// checkpoints covering them are never acknowledged, so the producer
+	// keeps (or explicitly migrates) those log entries.
+	discarded map[int64]bool
+	// pending are checkpoint sequences awaiting acknowledgement, ascending.
+	pending []int64
+}
+
+// Consumer is the receiving half of an exchange: a queue of tuples arriving
+// from the producer instances of an upstream fragment, exposed to the local
+// operator tree as an Iterator leaf. Its queue is unbounded, matching the
+// paper's configuration where "the incoming queues within exchanges can fit
+// the complete dataset".
+type Consumer struct {
+	Exchange string
+	// ConsumerIdx is this instance's index within the consuming fragment.
+	ConsumerIdx int
+	// Producers addresses the upstream instances, for acknowledgements.
+	Producers []Addr
+	// Stateful suppresses acknowledgements: build-side tuples constitute
+	// operator state and must stay in the producers' recovery logs.
+	Stateful bool
+
+	gate *flowGate
+	ctx  *ExecContext
+	tr   transport.Transport
+	node simnet.NodeID
+
+	// Guarded by gate.mu.
+	queue    []queueEntry
+	eos      int
+	streams  []*streamState
+	lastPop  []queueEntry // entries popped but not yet marked processed
+	consumed int64
+	waitMs   float64
+	closed   bool
+
+	// stateTarget receives replayed state tuples (hash-join build side).
+	stateTarget StateTarget
+}
+
+// newConsumer wires a consumer; the fragment runtime constructs these while
+// compiling KConsume specs.
+func newConsumer(exchange string, consumerIdx int, producers []Addr, stateful bool,
+	gate *flowGate, tr transport.Transport, node simnet.NodeID) *Consumer {
+	c := &Consumer{
+		Exchange:    exchange,
+		ConsumerIdx: consumerIdx,
+		Producers:   producers,
+		Stateful:    stateful,
+		gate:        gate,
+		tr:          tr,
+		node:        node,
+		streams:     make([]*streamState, len(producers)),
+	}
+	for i := range c.streams {
+		c.streams[i] = &streamState{
+			outstanding: make(map[int64]bool),
+			discarded:   make(map[int64]bool),
+		}
+	}
+	return c
+}
+
+// SetStateTarget registers the stateful operator absorbing replayed state.
+func (c *Consumer) SetStateTarget(t StateTarget) { c.stateTarget = t }
+
+// Open implements Iterator.
+func (c *Consumer) Open(ctx *ExecContext) error {
+	c.ctx = ctx
+	return nil
+}
+
+// Next implements Iterator: it blocks until a tuple arrives, every producer
+// has closed the exchange, or the consumer is closed. Marking the previous
+// tuple processed happens on entry, so that between two pops there is
+// exactly one in-flight tuple the flow gate can wait on.
+func (c *Consumer) Next() (relation.Tuple, bool, error) {
+	c.gate.mu.Lock()
+	c.finishInflightLocked()
+	flushed := false
+	for {
+		if len(c.queue) > 0 && !c.gate.paused {
+			e := c.queue[0]
+			c.queue = c.queue[1:]
+			c.lastPop = append(c.lastPop, e)
+			c.gate.inflight++
+			c.consumed++
+			c.gate.mu.Unlock()
+			return e.tuple, true, nil
+		}
+		if c.closed || (c.eos == len(c.Producers) && len(c.queue) == 0 && !c.gate.paused) {
+			c.gate.mu.Unlock()
+			return nil, false, nil
+		}
+		if !flushed {
+			// About to block: pay the outstanding modelled work first so
+			// the measured wait reflects genuine starvation, then recheck.
+			flushed = true
+			c.gate.mu.Unlock()
+			c.ctx.Meter.Flush()
+			c.gate.mu.Lock()
+			continue
+		}
+		start := c.ctx.Clock.NowMs()
+		c.gate.cond.Wait()
+		c.waitMs += c.ctx.Clock.NowMs() - start
+	}
+}
+
+// ackItem is one checkpoint acknowledgement to transmit: everything at or
+// below the checkpoint is processed, except the listed recalled sequences.
+type ackItem struct {
+	producer   int
+	checkpoint int64
+	except     []int64
+}
+
+// finishInflightLocked marks the previously popped entries processed,
+// releasing the gate and acknowledging completed checkpoints.
+func (c *Consumer) finishInflightLocked() {
+	if len(c.lastPop) == 0 {
+		return
+	}
+	for _, e := range c.lastPop {
+		st := c.streams[e.producer]
+		delete(st.outstanding, e.seq)
+		c.gate.inflight--
+	}
+	c.lastPop = c.lastPop[:0]
+	c.gate.cond.Broadcast()
+	acks := c.ackableLocked()
+	if len(acks) == 0 {
+		return
+	}
+	// Send acks outside the gate lock: transmission sleeps.
+	c.gate.mu.Unlock()
+	for _, a := range acks {
+		c.sendAck(a)
+	}
+	c.gate.mu.Lock()
+}
+
+// ackableLocked pops every pending checkpoint that is complete: no sequence
+// at or below it is still outstanding. Sequences discarded by a recall
+// count as satisfied but are reported in the ack's exclusion list so the
+// producer keeps their log entries for the resend step.
+func (c *Consumer) ackableLocked() []ackItem {
+	if c.Stateful {
+		return nil
+	}
+	var acks []ackItem
+	for p, st := range c.streams {
+		for len(st.pending) > 0 {
+			ck := st.pending[0]
+			if hasAtOrBelow(st.outstanding, ck) {
+				break
+			}
+			var except []int64
+			for s := range st.discarded {
+				if s <= ck {
+					except = append(except, s)
+				}
+			}
+			acks = append(acks, ackItem{producer: p, checkpoint: ck, except: except})
+			st.pending = st.pending[1:]
+		}
+	}
+	return acks
+}
+
+func hasAtOrBelow(set map[int64]bool, ck int64) bool {
+	for s := range set {
+		if s <= ck {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Consumer) sendAck(a ackItem) {
+	addr := c.Producers[a.producer]
+	msg := &transport.Message{
+		Kind:        transport.KindAck,
+		Exchange:    c.Exchange,
+		ProducerIdx: a.producer,
+		ConsumerIdx: c.ConsumerIdx,
+		Checkpoint:  a.checkpoint,
+		Except:      a.except,
+	}
+	// A failed ack only delays log release; it cannot corrupt the query.
+	_, _ = c.tr.Send(c.node, addr.Node, addr.Service, msg)
+}
+
+// Close implements Iterator: it releases any blocked Next.
+func (c *Consumer) Close() error {
+	c.gate.locked(func() {
+		c.finishInflightLocked()
+		c.closed = true
+		c.gate.cond.Broadcast()
+	})
+	return nil
+}
+
+// Deliver ingests a data or EOS message from the transport. Replay buffers
+// go straight to the registered state target; normal buffers join the
+// queue.
+func (c *Consumer) Deliver(msg *transport.Message) error {
+	switch msg.Kind {
+	case transport.KindEOS:
+		c.gate.locked(func() {
+			c.eos++
+			c.gate.cond.Broadcast()
+		})
+		return nil
+	case transport.KindData:
+		if msg.Replay {
+			if c.stateTarget == nil {
+				return fmt.Errorf("engine: replay buffer on exchange %s with no state target", c.Exchange)
+			}
+			c.stateTarget.InsertState(msg.Tuples)
+			return nil
+		}
+		if msg.ProducerIdx < 0 || msg.ProducerIdx >= len(c.streams) {
+			return fmt.Errorf("engine: bad producer index %d on exchange %s", msg.ProducerIdx, c.Exchange)
+		}
+		var acks []ackItem
+		c.gate.locked(func() {
+			st := c.streams[msg.ProducerIdx]
+			for i, t := range msg.Tuples {
+				seq := msg.StartSeq + int64(i)
+				var bucket int32 = -1
+				if msg.Buckets != nil {
+					bucket = msg.Buckets[i]
+				}
+				c.queue = append(c.queue, queueEntry{
+					producer: msg.ProducerIdx,
+					seq:      seq,
+					bucket:   bucket,
+					tuple:    t,
+				})
+				st.outstanding[seq] = true
+			}
+			if msg.Checkpoint > 0 {
+				st.pending = append(st.pending, msg.Checkpoint)
+				sort.Slice(st.pending, func(i, j int) bool { return st.pending[i] < st.pending[j] })
+				// A checkpoint-only message may close an interval whose
+				// tuples were all processed already.
+				acks = c.ackableLocked()
+			}
+			c.gate.cond.Broadcast()
+		})
+		// Acks triggered by delivery are sent asynchronously: the in-proc
+		// transport runs Deliver on the producer's own goroutine, which may
+		// hold the producer lock the ack handler needs.
+		for _, a := range acks {
+			go c.sendAck(a)
+		}
+		return nil
+	default:
+		return fmt.Errorf("engine: consumer cannot handle %v message", msg.Kind)
+	}
+}
+
+// Discard implements the consumer half of retrospective redistribution
+// (R1): it removes still-unprocessed queued tuples — all of them, or only
+// those in the given buckets — and reports their sequence numbers per
+// producer so the producers can re-route exactly those tuples from their
+// recovery logs. It must run inside the fragment's quiesce window.
+func (c *Consumer) discardLocked(buckets []int32) map[int][]int64 {
+	var filter map[int32]bool
+	if buckets != nil {
+		filter = make(map[int32]bool, len(buckets))
+		for _, b := range buckets {
+			filter[b] = true
+		}
+	}
+	report := make(map[int][]int64)
+	kept := c.queue[:0]
+	for _, e := range c.queue {
+		if filter == nil || filter[e.bucket] {
+			st := c.streams[e.producer]
+			delete(st.outstanding, e.seq)
+			st.discarded[e.seq] = true
+			report[e.producer] = append(report[e.producer], e.seq)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	c.queue = kept
+	return report
+}
+
+// Stats reports consumption counters for monitoring (M1 wait/selectivity).
+func (c *Consumer) Stats() (consumed int64, waitMs float64, queued int) {
+	c.gate.mu.Lock()
+	defer c.gate.mu.Unlock()
+	return c.consumed, c.waitMs, len(c.queue)
+}

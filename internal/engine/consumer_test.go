@@ -1,0 +1,267 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/relation"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+	"repro/internal/vtime"
+)
+
+// consumerHarness wires a consumer with a capture endpoint for its acks.
+type consumerHarness struct {
+	cons *Consumer
+	ctx  *ExecContext
+
+	mu   sync.Mutex
+	acks []*transport.Message
+}
+
+func newConsumerHarness(t *testing.T, producers int, stateful bool) *consumerHarness {
+	t.Helper()
+	clock := vtime.NewClock(time.Microsecond)
+	net := simnet.NewNetwork(clock)
+	net.AddNode("src")
+	net.AddNode("sink")
+	tr := transport.NewInProc(net)
+	h := &consumerHarness{}
+	addrs := make([]Addr, producers)
+	for i := range addrs {
+		addrs[i] = Addr{Node: "src", Service: "prod"}
+	}
+	tr.Register("src", "prod", func(_ simnet.NodeID, m *transport.Message) {
+		h.mu.Lock()
+		h.acks = append(h.acks, m)
+		h.mu.Unlock()
+	})
+	h.ctx = &ExecContext{Clock: clock, Node: net.Node("sink"),
+		Meter: vtime.NewMeter(clock), Costs: DefaultCosts(), Buckets: 16}
+	h.cons = newConsumer("EX", 0, addrs, stateful, newFlowGate(), tr, "sink")
+	if err := h.cons.Open(h.ctx); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func (h *consumerHarness) ackMessages() []*transport.Message {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]*transport.Message(nil), h.acks...)
+}
+
+// deliver pushes a data buffer from producer 0.
+func (h *consumerHarness) deliver(t *testing.T, startSeq int64, ckpt int64, buckets []int32, tuples ...relation.Tuple) {
+	t.Helper()
+	msg := &transport.Message{
+		Kind: transport.KindData, Exchange: "EX",
+		ProducerIdx: 0, ConsumerIdx: 0,
+		StartSeq: startSeq, Checkpoint: ckpt,
+		Tuples: tuples, Buckets: buckets,
+	}
+	if err := h.cons.Deliver(msg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (h *consumerHarness) pop(t *testing.T) (relation.Tuple, bool) {
+	t.Helper()
+	tp, ok, err := h.cons.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp, ok
+}
+
+func TestConsumerFIFOAndEOS(t *testing.T) {
+	h := newConsumerHarness(t, 1, false)
+	h.deliver(t, 1, 0, nil, intTuple(1), intTuple(2))
+	if err := h.cons.Deliver(&transport.Message{Kind: transport.KindEOS, Exchange: "EX"}); err != nil {
+		t.Fatal(err)
+	}
+	for want := 1; want <= 2; want++ {
+		tp, ok := h.pop(t)
+		if !ok || tp[0].AsInt() != int64(want) {
+			t.Fatalf("pop %d: %v %v", want, tp, ok)
+		}
+	}
+	if _, ok := h.pop(t); ok {
+		t.Fatal("expected EOS")
+	}
+	consumed, _, queued := h.cons.Stats()
+	if consumed != 2 || queued != 0 {
+		t.Fatalf("stats: consumed=%d queued=%d", consumed, queued)
+	}
+}
+
+func TestConsumerAcksCompletedCheckpoints(t *testing.T) {
+	h := newConsumerHarness(t, 1, false)
+	h.deliver(t, 1, 3, nil, intTuple(1), intTuple(2), intTuple(3))
+	// Pop all three; the third's processing completes at the next call.
+	for i := 0; i < 3; i++ {
+		h.pop(t)
+	}
+	if len(h.ackMessages()) != 0 {
+		t.Fatal("acked before the interval was fully processed")
+	}
+	h.cons.Deliver(&transport.Message{Kind: transport.KindEOS, Exchange: "EX"})
+	h.pop(t) // EOS; finishes the in-flight tuple and triggers the ack
+	acks := h.ackMessages()
+	if len(acks) != 1 || acks[0].Checkpoint != 3 || len(acks[0].Except) != 0 {
+		t.Fatalf("acks = %+v", acks)
+	}
+}
+
+func TestConsumerDiscardReportsAndTaints(t *testing.T) {
+	h := newConsumerHarness(t, 1, false)
+	h.deliver(t, 1, 4, nil, intTuple(1), intTuple(2), intTuple(3), intTuple(4))
+	h.pop(t) // tuple 1 in flight
+	// Recall everything still queued (seqs 2..4).
+	var report map[int][]int64
+	h.cons.gate.mu.Lock()
+	report = h.cons.discardLocked(nil)
+	h.cons.gate.mu.Unlock()
+	if len(report[0]) != 3 {
+		t.Fatalf("discard report = %v", report)
+	}
+	// Finish tuple 1; checkpoint 4 completes with the discarded seqs listed
+	// as exceptions.
+	h.cons.Deliver(&transport.Message{Kind: transport.KindEOS, Exchange: "EX"})
+	h.pop(t)
+	acks := h.ackMessages()
+	if len(acks) != 1 || acks[0].Checkpoint != 4 || len(acks[0].Except) != 3 {
+		t.Fatalf("acks = %+v", acks)
+	}
+}
+
+func TestConsumerDiscardByBucket(t *testing.T) {
+	h := newConsumerHarness(t, 1, true)
+	h.deliver(t, 1, 0, []int32{3, 5, 3}, intTuple(1), intTuple(2), intTuple(3))
+	h.cons.gate.mu.Lock()
+	report := h.cons.discardLocked([]int32{3})
+	queued := len(h.cons.queue)
+	h.cons.gate.mu.Unlock()
+	if len(report[0]) != 2 {
+		t.Fatalf("bucket discard report = %v", report)
+	}
+	if queued != 1 {
+		t.Fatalf("queued after discard = %d", queued)
+	}
+}
+
+func TestConsumerStatefulNeverAcks(t *testing.T) {
+	h := newConsumerHarness(t, 1, true)
+	h.deliver(t, 1, 2, nil, intTuple(1), intTuple(2))
+	h.cons.Deliver(&transport.Message{Kind: transport.KindEOS, Exchange: "EX"})
+	for {
+		if _, ok := h.pop(t); !ok {
+			break
+		}
+	}
+	if len(h.ackMessages()) != 0 {
+		t.Fatal("stateful consumer acked")
+	}
+}
+
+func TestConsumerReplayGoesToStateTarget(t *testing.T) {
+	h := newConsumerHarness(t, 1, true)
+	target := &fakeStateTarget{}
+	h.cons.SetStateTarget(target)
+	msg := &transport.Message{
+		Kind: transport.KindData, Exchange: "EX", Replay: true,
+		Tuples: []relation.Tuple{intTuple(1), intTuple(2)},
+	}
+	if err := h.cons.Deliver(msg); err != nil {
+		t.Fatal(err)
+	}
+	if target.inserted != 2 {
+		t.Fatalf("state target received %d tuples", target.inserted)
+	}
+	if _, _, queued := h.cons.Stats(); queued != 0 {
+		t.Fatal("replay tuples leaked into the queue")
+	}
+	// Replay without a target is an error.
+	h.cons.SetStateTarget(nil)
+	if err := h.cons.Deliver(msg); err == nil {
+		t.Fatal("replay without state target accepted")
+	}
+}
+
+type fakeStateTarget struct{ inserted int }
+
+func (f *fakeStateTarget) InsertState(ts []relation.Tuple) { f.inserted += len(ts) }
+func (f *fakeStateTarget) EvictBuckets([]int32)            {}
+func (f *fakeStateTarget) StateSize() int                  { return f.inserted }
+
+func TestConsumerRejectsBadMessages(t *testing.T) {
+	h := newConsumerHarness(t, 1, false)
+	if err := h.cons.Deliver(&transport.Message{Kind: transport.KindAck}); err == nil {
+		t.Error("ack accepted by consumer")
+	}
+	if err := h.cons.Deliver(&transport.Message{Kind: transport.KindData, ProducerIdx: 9}); err == nil {
+		t.Error("bad producer index accepted")
+	}
+}
+
+func TestConsumerBlocksUntilDelivery(t *testing.T) {
+	h := newConsumerHarness(t, 1, false)
+	got := make(chan relation.Tuple, 1)
+	go func() {
+		tp, _, _ := h.cons.Next()
+		got <- tp
+	}()
+	select {
+	case <-got:
+		t.Fatal("Next returned without data")
+	case <-time.After(20 * time.Millisecond):
+	}
+	h.deliver(t, 1, 0, nil, intTuple(42))
+	select {
+	case tp := <-got:
+		if tp[0].AsInt() != 42 {
+			t.Fatalf("got %v", tp)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Next never woke up")
+	}
+}
+
+func TestConsumerCloseUnblocks(t *testing.T) {
+	h := newConsumerHarness(t, 1, false)
+	done := make(chan bool, 1)
+	go func() {
+		_, ok, _ := h.cons.Next()
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	_ = h.cons.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("Next returned a tuple after Close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not unblock Next")
+	}
+}
+
+func TestFlowGateQuiesceWaitsForInflight(t *testing.T) {
+	h := newConsumerHarness(t, 1, false)
+	h.deliver(t, 1, 0, nil, intTuple(1), intTuple(2))
+	h.pop(t) // tuple 1 now in flight
+	quiesced := make(chan struct{})
+	go h.cons.gate.quiesce(func() { close(quiesced) })
+	select {
+	case <-quiesced:
+		t.Fatal("quiesce ran with a tuple in flight")
+	case <-time.After(20 * time.Millisecond):
+	}
+	h.pop(t) // finishes tuple 1 (and pops tuple 2 once unpaused)
+	select {
+	case <-quiesced:
+	case <-time.After(2 * time.Second):
+		t.Fatal("quiesce never ran")
+	}
+}

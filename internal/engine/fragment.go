@@ -1,0 +1,528 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/logical"
+	"repro/internal/physical"
+	"repro/internal/relation"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+)
+
+// Sink receives the top fragment's output rows (the query result stream the
+// GDQS hands back to the client).
+type Sink interface {
+	Send(relation.Tuple) error
+	Close() error
+}
+
+// ServiceName returns the transport service under which a fragment instance
+// registers.
+func ServiceName(fragment string, instance int) string {
+	return fmt.Sprintf("frag/%s#%d", fragment, instance)
+}
+
+// RuntimeConfig assembles a fragment instance.
+type RuntimeConfig struct {
+	Plan     *physical.Plan
+	Fragment *physical.FragmentSpec
+	Instance int
+	Ctx      *ExecContext
+	Tr       transport.Transport
+	Node     simnet.NodeID
+	// Sink receives results; required iff the fragment has no output
+	// exchange.
+	Sink Sink
+	// BufferTuples and CheckpointEvery tune the output exchange; zero
+	// selects the defaults.
+	BufferTuples    int
+	CheckpointEvery int
+}
+
+// FragmentRuntime hosts one fragment instance inside a query evaluation
+// service: the compiled operator tree, the exchange endpoints, and the
+// driver goroutine. It stays registered on the transport after the driver
+// completes so that retrospective adaptations can still recall, evict, and
+// replay logged tuples until the query is torn down.
+type FragmentRuntime struct {
+	cfg  RuntimeConfig
+	gate *flowGate
+
+	root        Iterator
+	consumers   map[string]*Consumer
+	producer    *Producer
+	join        *HashJoin
+	stateTarget StateTarget
+	service     string
+
+	mu       sync.Mutex
+	err      error
+	produced int64
+}
+
+// NewFragmentRuntime compiles the fragment's operator tree, wires its
+// exchanges, and registers the instance's transport service. Call Run to
+// start the driver and Stop to tear the instance down.
+func NewFragmentRuntime(cfg RuntimeConfig) (*FragmentRuntime, error) {
+	r := &FragmentRuntime{
+		cfg:       cfg,
+		gate:      newFlowGate(),
+		consumers: make(map[string]*Consumer),
+		service:   "frag/" + cfg.Fragment.InstanceID(cfg.Instance),
+	}
+	root, err := r.compile(cfg.Fragment.Root)
+	if err != nil {
+		return nil, err
+	}
+	r.root = root
+
+	if out := cfg.Fragment.Output; out != nil {
+		consFrag := cfg.Plan.Fragment(out.ConsumerFragment)
+		if consFrag == nil {
+			return nil, fmt.Errorf("engine: exchange %s names unknown fragment %s", out.ID, out.ConsumerFragment)
+		}
+		policy, err := buildPolicy(out, consFrag, cfg.Ctx)
+		if err != nil {
+			return nil, err
+		}
+		r.producer = NewProducer(ProducerConfig{
+			Exchange:         out.ID,
+			Fragment:         cfg.Fragment.ID,
+			Instance:         cfg.Instance,
+			ConsumerFragment: consFrag.ID,
+			Consumers:        instanceAddrs(consFrag),
+			Stateful:         out.Stateful,
+			Est:              int64(out.EstTuples),
+			Policy:           policy,
+			Transport:        cfg.Tr,
+			Node:             cfg.Node,
+			BufferTuples:     cfg.BufferTuples,
+			CheckpointEvery:  cfg.CheckpointEvery,
+		})
+		r.producer.Bind(cfg.Ctx)
+	} else if cfg.Sink == nil {
+		return nil, fmt.Errorf("engine: top fragment %s needs a result sink", cfg.Fragment.ID)
+	}
+
+	cfg.Tr.Register(cfg.Node, r.service, r.handle)
+	return r, nil
+}
+
+// buildPolicy instantiates the initial distribution policy of an exchange.
+func buildPolicy(out *physical.ExchangeSpec, consumer *physical.FragmentSpec, ctx *ExecContext) (DistPolicy, error) {
+	switch out.Policy {
+	case physical.PolicyWeighted:
+		return NewWeightedPolicy(consumer.InitialWeights)
+	case physical.PolicyHash:
+		buckets := ctx.Buckets
+		if buckets <= 0 {
+			buckets = DefaultBuckets
+		}
+		return NewHashPolicy(out.KeyOrds, buckets, consumer.InitialWeights)
+	default:
+		return nil, fmt.Errorf("engine: unknown policy %v on exchange %s", out.Policy, out.ID)
+	}
+}
+
+// instanceAddrs lists the transport endpoints of a fragment's instances.
+func instanceAddrs(f *physical.FragmentSpec) []Addr {
+	addrs := make([]Addr, len(f.Instances))
+	for i, node := range f.Instances {
+		addrs[i] = Addr{Node: node, Service: "frag/" + f.InstanceID(i)}
+	}
+	return addrs
+}
+
+// compile lowers an operator spec to an iterator tree.
+func (r *FragmentRuntime) compile(spec *physical.OpSpec) (Iterator, error) {
+	switch spec.Kind {
+	case physical.KScan:
+		return &TableScan{Table: spec.Table}, nil
+
+	case physical.KFilter:
+		child, err := r.compile(spec.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		pred, err := logical.CompilePredicate(spec.Pred, spec.Children[0].OutSchema())
+		if err != nil {
+			return nil, err
+		}
+		return &Select{Child: child, Pred: pred}, nil
+
+	case physical.KProject:
+		child, err := r.compile(spec.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		return &Project{Child: child, Ords: spec.Ords}, nil
+
+	case physical.KOpCall:
+		child, err := r.compile(spec.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		return &OperationCall{Fn: spec.Fn, ArgOrds: spec.ArgOrds, Child: child}, nil
+
+	case physical.KJoin:
+		build, err := r.compile(spec.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		probe, err := r.compile(spec.Children[1])
+		if err != nil {
+			return nil, err
+		}
+		join := &HashJoin{
+			Build: build, Probe: probe,
+			BuildKeys: spec.BuildKeys, ProbeKeys: spec.ProbeKeys,
+		}
+		r.join = join
+		// The build-side consumer feeds replayed state directly into the
+		// join; the scheduler always places the consume leaf directly
+		// below the join.
+		if bc, ok := build.(*Consumer); ok {
+			bc.SetStateTarget(join)
+			r.stateTarget = join
+		}
+		return join, nil
+
+	case physical.KAggregate:
+		child, err := r.compile(spec.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		kinds, err := aggKindsOf(spec.AggKinds)
+		if err != nil {
+			return nil, err
+		}
+		agg := &HashAggregate{
+			Child:     child,
+			GroupOrds: spec.GroupOrds,
+			Kinds:     kinds,
+			ArgOrds:   spec.AggArgs,
+		}
+		// The consume leaf feeds replayed state straight into the
+		// aggregate, as with the join's build side.
+		if c, ok := child.(*Consumer); ok {
+			c.SetStateTarget(agg)
+			r.stateTarget = agg
+		}
+		return agg, nil
+
+	case physical.KSort:
+		child, err := r.compile(spec.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		return &Sort{Child: child, Ords: spec.SortOrds, Desc: spec.SortDesc}, nil
+
+	case physical.KLimit:
+		child, err := r.compile(spec.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		return &Limit{Child: child, N: spec.LimitN}, nil
+
+	case physical.KConsume:
+		producerFrag := r.producerFragmentOf(spec.Exchange)
+		if producerFrag == nil {
+			return nil, fmt.Errorf("engine: no fragment produces exchange %s", spec.Exchange)
+		}
+		c := newConsumer(spec.Exchange, r.cfg.Instance, instanceAddrs(producerFrag),
+			producerFrag.Output.Stateful, r.gate, r.cfg.Tr, r.cfg.Node)
+		r.consumers[spec.Exchange] = c
+		return c, nil
+
+	default:
+		return nil, fmt.Errorf("engine: unknown operator kind %v", spec.Kind)
+	}
+}
+
+func (r *FragmentRuntime) producerFragmentOf(exchange string) *physical.FragmentSpec {
+	for _, f := range r.cfg.Plan.Fragments {
+		if f.Output != nil && f.Output.ID == exchange {
+			return f
+		}
+	}
+	return nil
+}
+
+// Producer exposes the output exchange (nil on the top fragment).
+func (r *FragmentRuntime) Producer() *Producer { return r.producer }
+
+// Consumer exposes an input exchange endpoint by ID.
+func (r *FragmentRuntime) Consumer(exchange string) *Consumer { return r.consumers[exchange] }
+
+// Join exposes the fragment's hash join, if any.
+func (r *FragmentRuntime) Join() *HashJoin { return r.join }
+
+// Service returns the instance's transport service name.
+func (r *FragmentRuntime) Service() string { return r.service }
+
+// Err returns the first driver error.
+func (r *FragmentRuntime) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// Run executes the fragment: it opens the tree, pumps tuples from the root
+// into the output exchange (or result sink), and emits M1 self-monitoring
+// events every MonitorEvery produced tuples. It returns when the input is
+// exhausted or on the first error.
+func (r *FragmentRuntime) Run() error {
+	ctx := r.cfg.Ctx
+	if ctx.Costs.StartupMs > 0 {
+		ctx.chargeFlat(ctx.Costs.StartupMs)
+	}
+	if ctx.Monitor != nil && ctx.Costs.AdaptStartupMs > 0 {
+		ctx.chargeFlat(ctx.Costs.AdaptStartupMs)
+	}
+	if err := r.root.Open(ctx); err != nil {
+		return r.fail(err)
+	}
+	// Monitoring baselines exclude startup and build-phase costs only in
+	// the sense that per-interval deltas start here.
+	lastCharged := ctx.Meter.ChargedMs()
+	lastWait := r.waitMs()
+	var sinceM1 int64
+
+	for {
+		t, ok, err := r.root.Next()
+		if err != nil {
+			return r.fail(err)
+		}
+		if !ok {
+			break
+		}
+		if r.producer != nil {
+			err = r.producer.Send(t)
+		} else {
+			err = r.cfg.Sink.Send(t)
+		}
+		if err != nil {
+			return r.fail(err)
+		}
+		r.mu.Lock()
+		r.produced++
+		produced := r.produced
+		r.mu.Unlock()
+		sinceM1++
+		if ctx.Monitor != nil && ctx.MonitorEvery > 0 && sinceM1 >= int64(ctx.MonitorEvery) {
+			charged := ctx.Meter.ChargedMs()
+			wait := r.waitMs()
+			consumed := r.consumedTuples()
+			sel := 1.0
+			if consumed > 0 {
+				sel = float64(produced) / float64(consumed)
+			}
+			ctx.Monitor.EmitM1(M1Event{
+				Fragment:       r.cfg.Fragment.ID,
+				Instance:       r.cfg.Instance,
+				Node:           r.cfg.Node,
+				CostPerTupleMs: (charged - lastCharged) / float64(sinceM1),
+				WaitPerTupleMs: (wait - lastWait) / float64(sinceM1),
+				Selectivity:    sel,
+				Produced:       produced,
+			})
+			lastCharged, lastWait, sinceM1 = charged, wait, 0
+		}
+	}
+	if err := r.root.Close(); err != nil {
+		return r.fail(err)
+	}
+	if r.producer != nil {
+		if err := r.producer.Close(); err != nil {
+			return r.fail(err)
+		}
+	} else if err := r.cfg.Sink.Close(); err != nil {
+		return r.fail(err)
+	}
+	ctx.Meter.Flush()
+	return nil
+}
+
+func (r *FragmentRuntime) waitMs() float64 {
+	total := 0.0
+	for _, c := range r.consumers {
+		_, w, _ := c.Stats()
+		total += w
+	}
+	return total
+}
+
+func (r *FragmentRuntime) consumedTuples() int64 {
+	var total int64
+	for _, c := range r.consumers {
+		n, _, _ := c.Stats()
+		total += n
+	}
+	return total
+}
+
+// Produced reports the cumulative output tuple count.
+func (r *FragmentRuntime) Produced() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.produced
+}
+
+func (r *FragmentRuntime) fail(err error) error {
+	r.mu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.mu.Unlock()
+	return err
+}
+
+// Stop unregisters the instance and releases resources. Call after the
+// whole query has completed.
+func (r *FragmentRuntime) Stop() {
+	r.cfg.Tr.Unregister(r.cfg.Node, r.service)
+	for _, c := range r.consumers {
+		_ = c.Close()
+	}
+	if r.producer != nil {
+		r.producer.Release()
+	}
+}
+
+// handle is the transport entry point for everything addressed to this
+// fragment instance.
+func (r *FragmentRuntime) handle(from simnet.NodeID, msg *transport.Message) {
+	switch msg.Kind {
+	case transport.KindData, transport.KindEOS:
+		c := r.consumers[msg.Exchange]
+		if c == nil {
+			r.fail(fmt.Errorf("engine: %s: data for unknown exchange %s", r.service, msg.Exchange))
+			return
+		}
+		if err := c.Deliver(msg); err != nil {
+			r.fail(err)
+		}
+	case transport.KindAck:
+		if r.producer != nil {
+			r.producer.HandleAck(msg)
+		}
+	case transport.KindControl:
+		r.handleControl(msg)
+	default:
+		r.fail(fmt.Errorf("engine: %s: unexpected %v message", r.service, msg.Kind))
+	}
+}
+
+// handleControl executes adaptivity control operations and replies to the
+// requester.
+func (r *FragmentRuntime) handleControl(msg *transport.Message) {
+	ctrl := msg.Ctrl
+	reply := &transport.Ctrl{Op: ctrl.Op, RequestID: ctrl.RequestID, OK: true}
+	switch ctrl.Op {
+	case transport.CtrlPause:
+		if err := r.requireProducer(ctrl, func(p *Producer) error { return p.Pause() }); err != nil {
+			reply.OK, reply.Err = false, err.Error()
+		}
+	case transport.CtrlResume:
+		if err := r.requireProducer(ctrl, func(p *Producer) error { p.Resume(); return nil }); err != nil {
+			reply.OK, reply.Err = false, err.Error()
+		}
+	case transport.CtrlSetWeights:
+		if err := r.requireProducer(ctrl, func(p *Producer) error { return p.SetWeights(ctrl.Weights) }); err != nil {
+			reply.OK, reply.Err = false, err.Error()
+		}
+	case transport.CtrlSetBucketMap:
+		if err := r.requireProducer(ctrl, func(p *Producer) error { return p.SetOwnerMap(ctrl.BucketMap) }); err != nil {
+			reply.OK, reply.Err = false, err.Error()
+		}
+	case transport.CtrlReplay:
+		if err := r.requireProducer(ctrl, func(p *Producer) error {
+			_, err := p.Replay(ctrl.Buckets)
+			return err
+		}); err != nil {
+			reply.OK, reply.Err = false, err.Error()
+		}
+	case transport.CtrlResend:
+		if err := r.requireProducer(ctrl, func(p *Producer) error {
+			_, err := p.Resend(msg.ConsumerIdx, ctrl.Seqs)
+			return err
+		}); err != nil {
+			reply.OK, reply.Err = false, err.Error()
+		}
+	case transport.CtrlProgress:
+		// Producers report routed/estimate; a request naming one of this
+		// instance's input exchanges reports the tuples consumed from it,
+		// so the Responder can estimate progress as processed/expected.
+		if c := r.consumers[msg.Exchange]; c != nil {
+			consumed, _, _ := c.Stats()
+			reply.Routed = consumed
+		} else if r.producer != nil {
+			reply.Routed, reply.Est = r.producer.Progress()
+		} else {
+			reply.OK, reply.Err = false, "no producer on "+r.service
+		}
+	case transport.CtrlDiscard:
+		// An empty exchange filters EVERY input queue in one quiesce, so a
+		// stateful fragment can never observe a state gap between its
+		// build-queue and probe-queue recalls.
+		var targets []*Consumer
+		if msg.Exchange == "" {
+			for _, c := range r.consumers {
+				targets = append(targets, c)
+			}
+		} else if c := r.consumers[msg.Exchange]; c != nil {
+			targets = []*Consumer{c}
+		} else {
+			reply.OK, reply.Err = false, fmt.Sprintf("no consumer for exchange %s on %s", msg.Exchange, r.service)
+			break
+		}
+		report := make(map[string][]int64)
+		r.gate.quiesce(func() {
+			for _, c := range targets {
+				for prod, seqs := range c.discardLocked(ctrl.Buckets) {
+					report[transport.StreamKey(c.Exchange, prod)] = seqs
+				}
+			}
+		})
+		reply.DiscardedSeqs = report
+	case transport.CtrlEvict:
+		if r.stateTarget == nil {
+			reply.OK, reply.Err = false, "no stateful operator on "+r.service
+			break
+		}
+		r.stateTarget.EvictBuckets(ctrl.Buckets)
+	default:
+		reply.OK, reply.Err = false, fmt.Sprintf("unknown control op %v", ctrl.Op)
+	}
+	if ctrl.ReplyService == "" {
+		return
+	}
+	out := &transport.Message{Kind: transport.KindReply, Exchange: msg.Exchange, Ctrl: reply}
+	if _, err := r.cfg.Tr.Send(r.cfg.Node, ctrl.ReplyTo, ctrl.ReplyService, out); err != nil {
+		r.fail(err)
+	}
+}
+
+func (r *FragmentRuntime) requireProducer(ctrl *transport.Ctrl, fn func(*Producer) error) error {
+	if r.producer == nil {
+		return fmt.Errorf("engine: control %v on fragment %s with no producer", ctrl.Op, r.cfg.Fragment.ID)
+	}
+	return fn(r.producer)
+}
+
+// ConsumedTuples reports the cumulative tuples this instance consumed from
+// its input exchanges; the experiments report the per-machine tuple split.
+func (r *FragmentRuntime) ConsumedTuples() int64 { return r.consumedTuples() }
+
+// QueuedTuples reports the tuples currently waiting in the instance's input
+// queues.
+func (r *FragmentRuntime) QueuedTuples() int {
+	total := 0
+	for _, c := range r.consumers {
+		_, _, q := c.Stats()
+		total += q
+	}
+	return total
+}

@@ -1,0 +1,135 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/physical"
+	"repro/internal/relation"
+	"repro/internal/simnet"
+	"repro/internal/sqlparse"
+	"repro/internal/transport"
+	"repro/internal/vtime"
+	"repro/internal/ws"
+)
+
+func TestServiceName(t *testing.T) {
+	if got := ServiceName("F2", 1); got != "frag/F2#1" {
+		t.Fatalf("ServiceName = %q", got)
+	}
+}
+
+// runtimeFixture builds the plumbing for a single-fragment runtime.
+func runtimeFixture(t *testing.T, root *physical.OpSpec, sink Sink) (*physical.Plan, RuntimeConfig) {
+	t.Helper()
+	clock := vtime.NewClock(time.Microsecond)
+	net := simnet.NewNetwork(clock)
+	net.AddNode("data1")
+	frag := &physical.FragmentSpec{
+		ID:             "F1",
+		Root:           root,
+		Instances:      []simnet.NodeID{"data1"},
+		InitialWeights: []float64{1},
+	}
+	plan := &physical.Plan{Fragments: []*physical.FragmentSpec{frag}, Coordinator: "coord"}
+	ctx := &ExecContext{
+		Clock:    clock,
+		Node:     net.Node("data1"),
+		Meter:    vtime.NewMeter(clock),
+		Store:    dataset.DemoSized(10, 10),
+		Services: ws.NewRegistry(ws.Entropy{}),
+		Costs:    Costs{},
+		Buckets:  16,
+	}
+	return plan, RuntimeConfig{
+		Plan: plan, Fragment: frag, Instance: 0, Ctx: ctx,
+		Tr: transport.NewInProc(net), Node: "data1", Sink: sink,
+	}
+}
+
+// nullSink discards rows.
+type nullSink struct{ rows int }
+
+func (s *nullSink) Send(relation.Tuple) error { s.rows++; return nil }
+func (s *nullSink) Close() error              { return nil }
+
+func TestRuntimeCompileErrors(t *testing.T) {
+	cols := []relation.Column{{Name: "x", Type: relation.TInt}}
+	cases := map[string]*physical.OpSpec{
+		"bad kind": {Kind: physical.OpKind(99), OutCols: cols},
+		"unknown exchange": {Kind: physical.KConsume, Exchange: "EZZZ",
+			NumProducers: 1, OutCols: cols},
+		"bad agg kind": {Kind: physical.KAggregate, OutCols: cols,
+			AggKinds: []uint8{77}, AggArgs: []int{-1},
+			Children: []*physical.OpSpec{{Kind: physical.KScan, Table: "protein_sequences", OutCols: cols}}},
+		"bad filter pred": {Kind: physical.KFilter, OutCols: cols,
+			Pred: []sqlparse.Comparison{{
+				Left:  sqlparse.ColumnRef{Name: "nope"},
+				Op:    sqlparse.OpEq,
+				Right: sqlparse.IntLit{Value: 1},
+			}},
+			Children: []*physical.OpSpec{{Kind: physical.KScan, Table: "protein_sequences",
+				OutCols: cols}}},
+	}
+	for name, spec := range cases {
+		_, cfg := runtimeFixture(t, spec, &nullSink{})
+		if _, err := NewFragmentRuntime(cfg); err == nil {
+			t.Errorf("%s: compile succeeded", name)
+		}
+	}
+}
+
+func TestRuntimeRequiresSinkOrProducer(t *testing.T) {
+	cols := []relation.Column{{Name: "ORF", Type: relation.TString}}
+	spec := &physical.OpSpec{Kind: physical.KScan, Table: "protein_sequences", OutCols: cols}
+	_, cfg := runtimeFixture(t, spec, nil)
+	if _, err := NewFragmentRuntime(cfg); err == nil || !strings.Contains(err.Error(), "sink") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRuntimeRunScanToSink(t *testing.T) {
+	cols := []relation.Column{
+		{Table: "protein_sequences", Name: "ORF", Type: relation.TString},
+		{Table: "protein_sequences", Name: "sequence", Type: relation.TString},
+	}
+	spec := &physical.OpSpec{Kind: physical.KScan, Table: "protein_sequences", OutCols: cols}
+	sink := &nullSink{}
+	_, cfg := runtimeFixture(t, spec, sink)
+	rt, err := NewFragmentRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.rows != 10 || rt.Produced() != 10 {
+		t.Fatalf("rows = %d, produced = %d", sink.rows, rt.Produced())
+	}
+	if rt.Err() != nil {
+		t.Fatalf("Err = %v", rt.Err())
+	}
+	if rt.QueuedTuples() != 0 || rt.ConsumedTuples() != 0 {
+		t.Fatal("scan fragment has no consumers")
+	}
+}
+
+func TestRuntimeRunErrorPath(t *testing.T) {
+	cols := []relation.Column{{Name: "x", Type: relation.TString}}
+	spec := &physical.OpSpec{Kind: physical.KScan, Table: "missing_table", OutCols: cols}
+	_, cfg := runtimeFixture(t, spec, &nullSink{})
+	rt, err := NewFragmentRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	if err := rt.Run(); err == nil {
+		t.Fatal("Run over a missing table succeeded")
+	}
+	if rt.Err() == nil {
+		t.Fatal("Err not recorded")
+	}
+}

@@ -1,0 +1,44 @@
+package engine
+
+import "sync"
+
+// flowGate coordinates a fragment instance's tuple flow with the control
+// plane. All exchange-consumer queues of one fragment instance share the
+// gate's mutex, and the gate tracks whether a popped tuple is still being
+// processed ("in flight"). Quiesce blocks new pops and waits for the
+// in-flight tuple to finish, giving the retrospective-adaptation protocol a
+// moment where the instance is provably between tuples: the queue can be
+// filtered and join state evicted without racing a half-processed tuple.
+type flowGate struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	inflight int
+	paused   bool
+}
+
+func newFlowGate() *flowGate {
+	g := &flowGate{}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// quiesce runs fn while the instance is paused between tuples.
+func (g *flowGate) quiesce(fn func()) {
+	g.mu.Lock()
+	g.paused = true
+	for g.inflight > 0 {
+		g.cond.Wait()
+	}
+	fn()
+	g.paused = false
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// locked runs fn under the gate mutex (for queue mutations from the data
+// path).
+func (g *flowGate) locked(fn func()) {
+	g.mu.Lock()
+	fn()
+	g.mu.Unlock()
+}

@@ -1,0 +1,194 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/relation"
+)
+
+// StateTarget is implemented by stateful operators whose state is organised
+// in routing buckets and can be repartitioned at runtime: the Responder's
+// retrospective (R1) protocol evicts buckets from old owners and recreates
+// them on new owners by replaying recovery-log tuples (paper §3.1).
+type StateTarget interface {
+	// InsertState absorbs replayed build tuples into operator state.
+	InsertState(tuples []relation.Tuple)
+	// EvictBuckets discards the state of the given buckets.
+	EvictBuckets(buckets []int32)
+	// StateSize reports the number of tuples held as state.
+	StateSize() int
+}
+
+// HashJoin is the partitioned equi-join: it drains its build input into a
+// bucketed hash table during Open, then streams the probe input, emitting
+// one concatenated tuple per match. Each clone of the join holds only the
+// buckets the current distribution policy routes to it; moving a bucket to
+// another clone moves the corresponding state.
+type HashJoin struct {
+	Build, Probe         Iterator
+	BuildKeys, ProbeKeys []int
+
+	ctx     *ExecContext
+	buckets int
+
+	// mu guards state: the probe path mutates nothing but reads it, while
+	// the control path (evict/replay) mutates it concurrently.
+	mu    sync.Mutex
+	state map[int32]map[uint64][]relation.Tuple
+	held  int
+
+	// pending holds the remaining outputs of the current probe tuple.
+	pending []relation.Tuple
+	// insertMeter charges replay-insert work happening on control
+	// goroutines (the driver's meter is goroutine-confined).
+	insertMeter *opInsertMeter
+	mon         *opMonitor
+
+	buildDone bool
+}
+
+// Open implements Iterator: it fully drains the build input.
+func (j *HashJoin) Open(ctx *ExecContext) error {
+	j.ctx = ctx
+	j.buckets = ctx.Buckets
+	if j.buckets <= 0 {
+		j.buckets = DefaultBuckets
+	}
+	j.state = make(map[int32]map[uint64][]relation.Tuple)
+	j.insertMeter = newOpInsertMeter(ctx)
+	j.mon = newOpMonitor(ctx)
+	if err := j.Build.Open(ctx); err != nil {
+		return err
+	}
+	for {
+		t, ok, err := j.Build.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		j.ctx.charge(j.ctx.Costs.JoinBuildMs)
+		j.insert(t)
+		// The build phase produces nothing, so the driver's M1 emission is
+		// silent; emit operator-level events so the Diagnoser can already
+		// rebalance a perturbed build.
+		j.mon.tick()
+	}
+	j.buildDone = true
+	return j.Probe.Open(ctx)
+}
+
+// insert adds one build tuple to its bucket. Inserts after Close (a replay
+// racing query completion) are benign no-ops: the join has already produced
+// its full output from complete state.
+func (j *HashJoin) insert(t relation.Tuple) {
+	h := t.Hash(j.BuildKeys)
+	b := int32(h % uint64(j.buckets))
+	j.mu.Lock()
+	if j.state == nil {
+		j.mu.Unlock()
+		return
+	}
+	m := j.state[b]
+	if m == nil {
+		m = make(map[uint64][]relation.Tuple)
+		j.state[b] = m
+	}
+	m[h] = append(m[h], t)
+	j.held++
+	j.mu.Unlock()
+}
+
+// Next implements Iterator.
+func (j *HashJoin) Next() (relation.Tuple, bool, error) {
+	for {
+		if len(j.pending) > 0 {
+			out := j.pending[0]
+			j.pending = j.pending[1:]
+			return out, true, nil
+		}
+		t, ok, err := j.Probe.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		// The probe is "the processing of each tuple by the join" that the
+		// paper's sleep() perturbation inflates.
+		j.ctx.charge(j.ctx.Costs.JoinProbeMs)
+		h := t.Hash(j.ProbeKeys)
+		b := int32(h % uint64(j.buckets))
+		j.mu.Lock()
+		for _, cand := range j.state[b][h] {
+			if j.keysEqual(cand, t) {
+				j.pending = append(j.pending, cand.Concat(t))
+			}
+		}
+		j.mu.Unlock()
+	}
+}
+
+// keysEqual guards against 64-bit hash collisions.
+func (j *HashJoin) keysEqual(build, probe relation.Tuple) bool {
+	for i := range j.BuildKeys {
+		if !build[j.BuildKeys[i]].Equal(probe[j.ProbeKeys[i]]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Close implements Iterator.
+func (j *HashJoin) Close() error {
+	errB := j.Build.Close()
+	errP := j.Probe.Close()
+	j.mu.Lock()
+	j.state = nil
+	j.held = 0
+	j.mu.Unlock()
+	if errB != nil {
+		return errB
+	}
+	return errP
+}
+
+// InsertState implements StateTarget: replayed build tuples recreate bucket
+// state on this clone. It may run concurrently with probing.
+func (j *HashJoin) InsertState(tuples []relation.Tuple) {
+	for _, t := range tuples {
+		j.insertMeter.charge(j.ctx.Node.PerturbedCost(j.ctx.Costs.JoinBuildMs))
+		j.insert(t)
+	}
+}
+
+// EvictBuckets implements StateTarget.
+func (j *HashJoin) EvictBuckets(buckets []int32) {
+	j.mu.Lock()
+	if j.state == nil {
+		j.mu.Unlock()
+		return
+	}
+	for _, b := range buckets {
+		for _, tuples := range j.state[b] {
+			j.held -= len(tuples)
+		}
+		delete(j.state, b)
+	}
+	j.mu.Unlock()
+}
+
+// StateSize implements StateTarget.
+func (j *HashJoin) StateSize() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.held
+}
+
+// BucketOf reports the bucket a build-side tuple belongs to; tests use it
+// to cross-check alignment with the distribution policy.
+func (j *HashJoin) BucketOf(t relation.Tuple) (int32, error) {
+	if j.buckets == 0 {
+		return 0, fmt.Errorf("engine: join not opened")
+	}
+	return int32(t.Hash(j.BuildKeys) % uint64(j.buckets)), nil
+}

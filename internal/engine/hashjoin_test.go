@@ -1,0 +1,205 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func buildTuples(n int) []relation.Tuple {
+	out := make([]relation.Tuple, n)
+	for i := range out {
+		out[i] = relation.Tuple{
+			relation.String(fmt.Sprintf("K%03d", i)),
+			relation.String(fmt.Sprintf("seq%d", i)),
+		}
+	}
+	return out
+}
+
+func probeTuples(n, keyDomain int) []relation.Tuple {
+	out := make([]relation.Tuple, n)
+	for i := range out {
+		out[i] = relation.Tuple{
+			relation.String(fmt.Sprintf("K%03d", i%keyDomain)),
+			relation.Int(int64(i)),
+		}
+	}
+	return out
+}
+
+func newJoin(build, probe []relation.Tuple) *HashJoin {
+	return &HashJoin{
+		Build:     NewSliceSource(build, 0),
+		Probe:     NewSliceSource(probe, 0),
+		BuildKeys: []int{0},
+		ProbeKeys: []int{0},
+	}
+}
+
+func TestHashJoinMatches(t *testing.T) {
+	ctx := testCtx()
+	j := newJoin(buildTuples(20), probeTuples(60, 20))
+	out := drain(t, j, ctx)
+	if len(out) != 60 {
+		t.Fatalf("join produced %d tuples, want 60 (every probe matches once)", len(out))
+	}
+	for _, tp := range out {
+		if len(tp) != 4 {
+			t.Fatal("concat width")
+		}
+		if !tp[0].Equal(tp[2]) {
+			t.Fatalf("keys differ in output: %v", tp.Format())
+		}
+	}
+}
+
+func TestHashJoinNoMatches(t *testing.T) {
+	ctx := testCtx()
+	probe := []relation.Tuple{{relation.String("NOPE"), relation.Int(1)}}
+	out := drain(t, newJoin(buildTuples(5), probe), ctx)
+	if len(out) != 0 {
+		t.Fatalf("unexpected matches: %d", len(out))
+	}
+}
+
+func TestHashJoinDuplicateBuildKeys(t *testing.T) {
+	ctx := testCtx()
+	build := append(buildTuples(3), buildTuples(3)...) // each key twice
+	out := drain(t, newJoin(build, probeTuples(3, 3)), ctx)
+	if len(out) != 6 {
+		t.Fatalf("join produced %d tuples, want 6", len(out))
+	}
+}
+
+func TestHashJoinStateSize(t *testing.T) {
+	ctx := testCtx()
+	j := newJoin(buildTuples(30), nil)
+	if err := j.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if j.StateSize() != 30 {
+		t.Fatalf("state size = %d", j.StateSize())
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if j.StateSize() != 0 {
+		t.Fatal("Close must drop state")
+	}
+}
+
+func TestHashJoinEvictAndReplay(t *testing.T) {
+	ctx := testCtx()
+	build := buildTuples(40)
+	j := newJoin(build, probeTuples(40, 40))
+	if err := j.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Evict the buckets of the first 10 build tuples.
+	var evict []int32
+	evictSet := make(map[int32]bool)
+	for _, tp := range build[:10] {
+		b, err := j.BucketOf(tp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !evictSet[b] {
+			evictSet[b] = true
+			evict = append(evict, b)
+		}
+	}
+	j.EvictBuckets(evict)
+	if j.StateSize() >= 40 {
+		t.Fatal("eviction did not shrink state")
+	}
+	// Replay exactly the tuples whose buckets were evicted (as the
+	// recovery log would) and verify the join output is complete again.
+	var replay []relation.Tuple
+	for _, tp := range build {
+		b, _ := j.BucketOf(tp)
+		if evictSet[b] {
+			replay = append(replay, tp)
+		}
+	}
+	j.InsertState(replay)
+	if j.StateSize() != 40 {
+		t.Fatalf("state after replay = %d, want 40", j.StateSize())
+	}
+	var out []relation.Tuple
+	for {
+		tp, ok, err := j.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		out = append(out, tp)
+	}
+	if len(out) != 40 {
+		t.Fatalf("join after evict+replay produced %d, want 40", len(out))
+	}
+}
+
+func TestHashJoinBucketAlignmentWithPolicy(t *testing.T) {
+	// The join's bucket for a build tuple must equal the bucket the hash
+	// distribution policy routes it by, or eviction and replay would
+	// target different state than the producer moves.
+	ctx := testCtx()
+	j := newJoin(buildTuples(1), nil)
+	if err := j.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	pol, err := NewHashPolicy([]int{0}, ctx.Buckets, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range buildTuples(100) {
+		jb, _ := j.BucketOf(tp)
+		_, pb := pol.Route(tp)
+		if jb != pb {
+			t.Fatalf("bucket mismatch: join %d vs policy %d for %v", jb, pb, tp.Format())
+		}
+	}
+}
+
+func TestHashJoinHashCollisionSafety(t *testing.T) {
+	// Two different keys that share a bucket must not match; we force the
+	// issue with a single bucket.
+	ctx := testCtx()
+	ctx.Buckets = 1
+	build := []relation.Tuple{{relation.String("A"), relation.String("x")}}
+	probe := []relation.Tuple{{relation.String("B"), relation.Int(1)}}
+	out := drain(t, newJoin(build, probe), ctx)
+	if len(out) != 0 {
+		t.Fatal("cross-key match leaked through shared bucket")
+	}
+}
+
+func BenchmarkHashJoinProbe(b *testing.B) {
+	ctx := testCtx()
+	ctx.Costs = Costs{} // measure the data structure, not the cost model
+	build := buildTuples(1000)
+	j := newJoin(build, nil)
+	if err := j.Open(ctx); err != nil {
+		b.Fatal(err)
+	}
+	probe := probeTuples(1000, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j.Probe = NewSliceSource(probe, 0)
+		_ = j.Probe.Open(ctx)
+		for {
+			_, ok, err := j.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+		}
+	}
+}

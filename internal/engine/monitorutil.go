@@ -1,0 +1,56 @@
+package engine
+
+import "repro/internal/vtime"
+
+// opMonitor lets a blocking operator emit M1 self-monitoring events while
+// it absorbs input. The fragment driver's own M1 emission is keyed to
+// *produced* tuples, so a hash join's build phase or a hash aggregate's
+// absorb phase would otherwise be invisible to the Diagnoser — and the
+// machine could not be rebalanced until the operator started emitting.
+type opMonitor struct {
+	ctx         *ExecContext
+	count       int64
+	lastCharged float64
+	lastCount   int64
+}
+
+func newOpMonitor(ctx *ExecContext) *opMonitor {
+	return &opMonitor{ctx: ctx, lastCharged: ctx.Meter.ChargedMs()}
+}
+
+// tick records one absorbed tuple and emits an M1 event every MonitorEvery
+// tuples.
+func (m *opMonitor) tick() {
+	if m.ctx.Monitor == nil || m.ctx.MonitorEvery <= 0 {
+		return
+	}
+	m.count++
+	if m.count-m.lastCount < int64(m.ctx.MonitorEvery) {
+		return
+	}
+	charged := m.ctx.Meter.ChargedMs()
+	interval := m.count - m.lastCount
+	m.ctx.Monitor.EmitM1(M1Event{
+		Fragment:       m.ctx.Fragment,
+		Instance:       m.ctx.Instance,
+		Node:           m.ctx.Node.ID(),
+		CostPerTupleMs: (charged - m.lastCharged) / float64(interval),
+		Selectivity:    1,
+		Produced:       m.count,
+	})
+	m.lastCharged = charged
+	m.lastCount = m.count
+}
+
+// opInsertMeter charges replay-insert work happening on control-plane
+// goroutines, where the driver's goroutine-confined meter must not be
+// touched.
+type opInsertMeter struct {
+	meter *vtime.Meter
+}
+
+func newOpInsertMeter(ctx *ExecContext) *opInsertMeter {
+	return &opInsertMeter{meter: vtime.NewMeter(ctx.Clock)}
+}
+
+func (m *opInsertMeter) charge(ms float64) { m.meter.Charge(ms) }

@@ -1,0 +1,196 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+	"repro/internal/scalar"
+	"repro/internal/ws"
+)
+
+// TableScan reads a base table from the node's Grid Data Service store.
+type TableScan struct {
+	Table string
+
+	ctx    *ExecContext
+	tuples []relation.Tuple
+	pos    int
+}
+
+// Open implements Iterator.
+func (s *TableScan) Open(ctx *ExecContext) error {
+	if ctx.Store == nil {
+		return fmt.Errorf("engine: scan of %q on a node with no data store", s.Table)
+	}
+	tbl, err := ctx.Store.Table(s.Table)
+	if err != nil {
+		return err
+	}
+	s.ctx = ctx
+	s.tuples = tbl.Tuples
+	s.pos = 0
+	return nil
+}
+
+// Next implements Iterator.
+func (s *TableScan) Next() (relation.Tuple, bool, error) {
+	if s.pos >= len(s.tuples) {
+		return nil, false, nil
+	}
+	t := s.tuples[s.pos]
+	s.pos++
+	s.ctx.charge(s.ctx.Costs.ScanMs + s.ctx.Costs.ScanByteMs*float64(t.ByteSize()))
+	return t, true, nil
+}
+
+// Close implements Iterator.
+func (s *TableScan) Close() error {
+	s.tuples = nil
+	return nil
+}
+
+// Select filters tuples by a compiled predicate.
+type Select struct {
+	Child Iterator
+	Pred  scalar.Predicate
+
+	ctx *ExecContext
+}
+
+// Open implements Iterator.
+func (s *Select) Open(ctx *ExecContext) error {
+	s.ctx = ctx
+	return s.Child.Open(ctx)
+}
+
+// Next implements Iterator.
+func (s *Select) Next() (relation.Tuple, bool, error) {
+	for {
+		t, ok, err := s.Child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		s.ctx.charge(s.ctx.Costs.FilterMs)
+		if s.Pred.Matches(t) {
+			return t, true, nil
+		}
+	}
+}
+
+// Close implements Iterator.
+func (s *Select) Close() error { return s.Child.Close() }
+
+// Project keeps the columns at the given ordinals.
+type Project struct {
+	Child Iterator
+	Ords  []int
+
+	ctx *ExecContext
+}
+
+// Open implements Iterator.
+func (p *Project) Open(ctx *ExecContext) error {
+	p.ctx = ctx
+	return p.Child.Open(ctx)
+}
+
+// Next implements Iterator.
+func (p *Project) Next() (relation.Tuple, bool, error) {
+	t, ok, err := p.Child.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	p.ctx.charge(p.ctx.Costs.ProjectMs)
+	return t.Project(p.Ords), true, nil
+}
+
+// Close implements Iterator.
+func (p *Project) Close() error { return p.Child.Close() }
+
+// OperationCall invokes a Web Service operation per tuple and appends the
+// result column — OGSA-DQP's operation_call operator, the expensive step of
+// the paper's Q1. Its per-invocation cost is charged through the node's
+// perturbation model, which is how "the cost of the WS call in one machine"
+// is made "exactly 10 times more than in the other" (§3.2).
+type OperationCall struct {
+	Fn      string
+	ArgOrds []int
+	Child   Iterator
+
+	ctx  *ExecContext
+	svc  ws.Service
+	args []relation.Value
+}
+
+// Open implements Iterator.
+func (o *OperationCall) Open(ctx *ExecContext) error {
+	if ctx.Services == nil {
+		return fmt.Errorf("engine: no web services available for %q", o.Fn)
+	}
+	svc, err := ctx.Services.Lookup(o.Fn)
+	if err != nil {
+		return err
+	}
+	o.ctx = ctx
+	o.svc = svc
+	o.args = make([]relation.Value, len(o.ArgOrds))
+	return o.Child.Open(ctx)
+}
+
+// Next implements Iterator.
+func (o *OperationCall) Next() (relation.Tuple, bool, error) {
+	t, ok, err := o.Child.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	for i, ord := range o.ArgOrds {
+		o.args[i] = t[ord]
+	}
+	o.ctx.charge(o.svc.BaseCostMs())
+	v, err := o.svc.Invoke(o.args)
+	if err != nil {
+		return nil, false, fmt.Errorf("engine: %s: %w", o.Fn, err)
+	}
+	out := make(relation.Tuple, 0, len(t)+1)
+	out = append(out, t...)
+	out = append(out, v)
+	return out, true, nil
+}
+
+// Close implements Iterator.
+func (o *OperationCall) Close() error { return o.Child.Close() }
+
+// sliceIterator feeds a fixed tuple slice; tests and examples use it as a
+// lightweight source.
+type sliceIterator struct {
+	tuples []relation.Tuple
+	pos    int
+	costMs float64
+	ctx    *ExecContext
+}
+
+// NewSliceSource returns an iterator over the given tuples charging costMs
+// per tuple.
+func NewSliceSource(tuples []relation.Tuple, costMs float64) Iterator {
+	return &sliceIterator{tuples: tuples, costMs: costMs}
+}
+
+func (s *sliceIterator) Open(ctx *ExecContext) error {
+	s.ctx = ctx
+	s.pos = 0
+	return nil
+}
+
+func (s *sliceIterator) Next() (relation.Tuple, bool, error) {
+	if s.pos >= len(s.tuples) {
+		return nil, false, nil
+	}
+	t := s.tuples[s.pos]
+	s.pos++
+	if s.costMs > 0 {
+		s.ctx.charge(s.costMs)
+	}
+	return t, true, nil
+}
+
+func (s *sliceIterator) Close() error { return nil }

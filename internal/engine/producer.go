@@ -1,0 +1,506 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/relation"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+)
+
+// DefaultBufferTuples is how many tuples a producer batches per buffer; the
+// paper ships tuple blocks over SOAP/HTTP and reports one M2 event per
+// buffer sent.
+const DefaultBufferTuples = 50
+
+// DefaultCheckpointEvery is the checkpoint interval per consumer stream, in
+// tuples (paper §3.1: producers "insert checkpoint tuples into the set of
+// data tuples they send").
+const DefaultCheckpointEvery = 50
+
+// logEntry is one recovery-log record: a tuple that has been sent but has
+// not finished processing at its consumer (or constitutes operator state).
+type logEntry struct {
+	tuple  relation.Tuple
+	bucket int32
+}
+
+// Producer is the sending half of an exchange: it routes the fragment's
+// output tuples to the consumer instances under the current distribution
+// policy, batches them into buffers, inserts checkpoints, and keeps every
+// unacknowledged tuple in a per-consumer recovery log. The log is the
+// substrate of retrospective adaptation: it contains, at any point, the
+// in-transit tuples plus the tuples making up downstream operator state
+// (paper §3.1, Response).
+type Producer struct {
+	Exchange string
+	// Fragment and Instance identify the producing subplan clone.
+	Fragment string
+	Instance int
+	// ConsumerFragment names the downstream fragment; Consumers addresses
+	// its instances.
+	ConsumerFragment string
+	Consumers        []Addr
+	// Stateful marks the exchange as feeding operator state (join build
+	// side): acknowledgements are not expected and the log retains
+	// everything until Release.
+	Stateful bool
+	// Est is the optimiser's estimate of total tuples, for progress
+	// replies.
+	Est int64
+
+	policy DistPolicy
+	tr     transport.Transport
+	node   simnet.NodeID
+	ctx    *ExecContext
+
+	bufferTuples    int
+	checkpointEvery int
+
+	mu        sync.Mutex
+	sendCond  *sync.Cond
+	paused    bool
+	epoch     int
+	buffers   [][]bufEntry
+	logs      []map[int64]logEntry
+	nextSeq   []int64
+	sinceCkpt []int
+	routed    int64
+	driverEOS bool
+	eosSent   bool
+	// buffersSent counts transmitted buffers, for overhead reporting.
+	buffersSent int64
+}
+
+type bufEntry struct {
+	seq    int64
+	bucket int32
+	tuple  relation.Tuple
+}
+
+// ProducerConfig collects construction parameters.
+type ProducerConfig struct {
+	Exchange         string
+	Fragment         string
+	Instance         int
+	ConsumerFragment string
+	Consumers        []Addr
+	Stateful         bool
+	Est              int64
+	Policy           DistPolicy
+	Transport        transport.Transport
+	Node             simnet.NodeID
+	BufferTuples     int
+	CheckpointEvery  int
+}
+
+// NewProducer builds a producer.
+func NewProducer(cfg ProducerConfig) *Producer {
+	n := len(cfg.Consumers)
+	p := &Producer{
+		Exchange:         cfg.Exchange,
+		Fragment:         cfg.Fragment,
+		Instance:         cfg.Instance,
+		ConsumerFragment: cfg.ConsumerFragment,
+		Consumers:        cfg.Consumers,
+		Stateful:         cfg.Stateful,
+		Est:              cfg.Est,
+		policy:           cfg.Policy,
+		tr:               cfg.Transport,
+		node:             cfg.Node,
+		bufferTuples:     cfg.BufferTuples,
+		checkpointEvery:  cfg.CheckpointEvery,
+		buffers:          make([][]bufEntry, n),
+		logs:             make([]map[int64]logEntry, n),
+		nextSeq:          make([]int64, n),
+		sinceCkpt:        make([]int, n),
+	}
+	if p.bufferTuples <= 0 {
+		p.bufferTuples = DefaultBufferTuples
+	}
+	if p.checkpointEvery <= 0 {
+		p.checkpointEvery = DefaultCheckpointEvery
+	}
+	for i := range p.logs {
+		p.logs[i] = make(map[int64]logEntry)
+		p.nextSeq[i] = 1
+	}
+	p.sendCond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Bind attaches the runtime context (set once by the fragment runtime
+// before the driver starts).
+func (p *Producer) Bind(ctx *ExecContext) { p.ctx = ctx }
+
+// Send routes one tuple. It blocks while the producer is paused by the
+// control plane.
+func (p *Producer) Send(t relation.Tuple) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.paused {
+		p.ctx.Meter.Flush()
+		p.sendCond.Wait()
+	}
+	if p.ctx != nil && p.ctx.Costs.LogAppendMs > 0 {
+		p.ctx.chargeFlat(p.ctx.Costs.LogAppendMs)
+	}
+	consumer, bucket := p.policy.Route(t)
+	p.appendLocked(consumer, bucket, t)
+	p.routed++
+	if len(p.buffers[consumer]) >= p.bufferTuples {
+		return p.flushLocked(consumer, false)
+	}
+	return nil
+}
+
+// appendLocked assigns the next stream sequence and records the tuple in
+// buffer and recovery log.
+func (p *Producer) appendLocked(consumer int, bucket int32, t relation.Tuple) {
+	seq := p.nextSeq[consumer]
+	p.nextSeq[consumer]++
+	p.buffers[consumer] = append(p.buffers[consumer], bufEntry{seq: seq, bucket: bucket, tuple: t})
+	p.logs[consumer][seq] = logEntry{tuple: t, bucket: bucket}
+}
+
+// flushLocked transmits consumer's pending buffer, inserting a checkpoint
+// when the interval is due, and emits the M2 monitoring event.
+func (p *Producer) flushLocked(consumer int, replay bool) error {
+	buf := p.buffers[consumer]
+	if len(buf) == 0 {
+		return nil
+	}
+	p.buffers[consumer] = nil
+	msg := &transport.Message{
+		Kind:        transport.KindData,
+		Exchange:    p.Exchange,
+		ProducerIdx: p.Instance,
+		ConsumerIdx: consumer,
+		Epoch:       p.epoch,
+		StartSeq:    buf[0].seq,
+		Replay:      replay,
+	}
+	msg.Tuples = make([]relation.Tuple, len(buf))
+	hasBuckets := false
+	for i, e := range buf {
+		msg.Tuples[i] = e.tuple
+		if e.bucket >= 0 {
+			hasBuckets = true
+		}
+	}
+	if hasBuckets {
+		msg.Buckets = make([]int32, len(buf))
+		for i, e := range buf {
+			msg.Buckets[i] = e.bucket
+		}
+	}
+	if !replay {
+		p.sinceCkpt[consumer] += len(buf)
+		if p.sinceCkpt[consumer] >= p.checkpointEvery {
+			msg.Checkpoint = buf[len(buf)-1].seq
+			p.sinceCkpt[consumer] = 0
+		}
+	}
+	addr := p.Consumers[consumer]
+	cost, err := p.tr.Send(p.node, addr.Node, addr.Service, msg)
+	if err != nil {
+		return fmt.Errorf("engine: exchange %s flush to %s: %w", p.Exchange, addr.Service, err)
+	}
+	p.buffersSent++
+	if p.ctx != nil && p.ctx.Monitor != nil {
+		p.ctx.Monitor.EmitM2(M2Event{
+			Exchange:         p.Exchange,
+			Fragment:         p.Fragment,
+			Instance:         p.Instance,
+			Node:             p.node,
+			ConsumerFragment: p.ConsumerFragment,
+			ConsumerInstance: consumer,
+			ConsumerNode:     addr.Node,
+			SendCostMs:       cost,
+			TupleCount:       len(msg.Tuples),
+		})
+	}
+	return nil
+}
+
+// Close flushes everything and marks the driver done; the exchange is
+// closed towards consumers as soon as the recovery log permits.
+func (p *Producer) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.buffers {
+		if err := p.flushLocked(i, false); err != nil {
+			return err
+		}
+	}
+	p.driverEOS = true
+	if err := p.finalizeCheckpointsLocked(); err != nil {
+		return err
+	}
+	return p.maybeFinishLocked()
+}
+
+// finalizeCheckpointsLocked closes the open checkpoint interval of every
+// stream once the driver is done: without it the tail tuples would never be
+// acknowledged and the recovery log would never drain.
+func (p *Producer) finalizeCheckpointsLocked() error {
+	if !p.driverEOS || p.Stateful {
+		return nil
+	}
+	for c := range p.Consumers {
+		if p.sinceCkpt[c] == 0 || p.nextSeq[c] == 1 {
+			continue
+		}
+		p.sinceCkpt[c] = 0
+		msg := &transport.Message{
+			Kind:        transport.KindData,
+			Exchange:    p.Exchange,
+			ProducerIdx: p.Instance,
+			ConsumerIdx: c,
+			Epoch:       p.epoch,
+			Checkpoint:  p.nextSeq[c] - 1,
+		}
+		addr := p.Consumers[c]
+		if _, err := p.tr.Send(p.node, addr.Node, addr.Service, msg); err != nil {
+			return fmt.Errorf("engine: exchange %s checkpoint to %s: %w", p.Exchange, addr.Service, err)
+		}
+	}
+	return nil
+}
+
+// maybeFinishLocked sends the exchange-complete signal when allowed. For a
+// stateful exchange the normal flow ends with the driver (the consumer's
+// build phase must terminate; the log stays for replay). For a stateless
+// exchange the signal is deferred until the recovery log drains, because
+// logged tuples may yet be recalled and re-routed to consumers that would
+// otherwise have finished.
+func (p *Producer) maybeFinishLocked() error {
+	if !p.driverEOS || p.eosSent {
+		return nil
+	}
+	if !p.Stateful {
+		for _, log := range p.logs {
+			if len(log) > 0 {
+				return nil
+			}
+		}
+	}
+	p.eosSent = true
+	for i, addr := range p.Consumers {
+		msg := &transport.Message{
+			Kind:        transport.KindEOS,
+			Exchange:    p.Exchange,
+			ProducerIdx: p.Instance,
+			ConsumerIdx: i,
+		}
+		if _, err := p.tr.Send(p.node, addr.Node, addr.Service, msg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HandleAck releases acknowledged log entries (stateless exchanges only;
+// stateful logs persist until Release). Sequences listed in Except were
+// discarded by a recall: they stay logged until the resend step migrates
+// them to their new consumer.
+func (p *Producer) HandleAck(msg *transport.Message) {
+	if p.Stateful {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var keep map[int64]bool
+	if len(msg.Except) > 0 {
+		keep = make(map[int64]bool, len(msg.Except))
+		for _, s := range msg.Except {
+			keep[s] = true
+		}
+	}
+	log := p.logs[msg.ConsumerIdx]
+	for seq := range log {
+		if seq <= msg.Checkpoint && !keep[seq] {
+			delete(log, seq)
+		}
+	}
+	_ = p.maybeFinishLocked()
+}
+
+// Pause stops the normal flow after flushing pending buffers, so that when
+// it returns every routed tuple is at (or on the wire to) its consumer and
+// the retrospective protocol sees a consistent picture.
+func (p *Producer) Pause() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.buffers {
+		if err := p.flushLocked(i, false); err != nil {
+			return err
+		}
+	}
+	p.paused = true
+	return nil
+}
+
+// Resume restarts the normal flow.
+func (p *Producer) Resume() {
+	p.mu.Lock()
+	p.paused = false
+	p.epoch++
+	p.sendCond.Broadcast()
+	p.mu.Unlock()
+}
+
+// SetWeights installs a new distribution vector (prospective, R2).
+func (p *Producer) SetWeights(w []float64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, err := p.policy.SetWeights(w)
+	return err
+}
+
+// SetOwnerMap installs a new bucket→owner map (hash policies).
+func (p *Producer) SetOwnerMap(m []int32) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.policy.SetOwnerMap(m)
+}
+
+// Weights reports the current distribution vector.
+func (p *Producer) Weights() []float64 { return p.policy.Weights() }
+
+// Progress reports routed tuples and the optimiser's estimate.
+func (p *Producer) Progress() (routed, est int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.routed, p.Est
+}
+
+// Replay retransmits every logged tuple belonging to the given buckets,
+// routing by the (already updated) owner map and marking the buffers as
+// replay so consumers rebuild operator state from them. Entries migrate to
+// the new owner's log under fresh sequence numbers. Call while paused.
+func (p *Producer) Replay(buckets []int32) (int, error) {
+	set := make(map[int32]bool, len(buckets))
+	for _, b := range buckets {
+		set[b] = true
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	// Snapshot every affected entry across all logs BEFORE migrating any:
+	// entries appended to the new owner's log during migration must not be
+	// replayed a second time when the iteration reaches that log, or the
+	// rebuilt state would contain duplicates.
+	type movedEntry struct {
+		consumer int
+		seq      int64
+		e        logEntry
+	}
+	var pending []movedEntry
+	for consumer, log := range p.logs {
+		for seq, e := range log {
+			if set[e.bucket] {
+				pending = append(pending, movedEntry{consumer: consumer, seq: seq, e: e})
+			}
+		}
+	}
+	sort.Slice(pending, func(i, j int) bool {
+		if pending[i].consumer != pending[j].consumer {
+			return pending[i].consumer < pending[j].consumer
+		}
+		return pending[i].seq < pending[j].seq
+	})
+	moved := 0
+	for _, m := range pending {
+		delete(p.logs[m.consumer], m.seq)
+		target := p.policy.RouteBucket(m.e.bucket)
+		p.appendLocked(target, m.e.bucket, m.e.tuple)
+		moved++
+		if len(p.buffers[target]) >= p.bufferTuples {
+			if err := p.flushLocked(target, true); err != nil {
+				return moved, err
+			}
+		}
+	}
+	for i := range p.buffers {
+		if err := p.flushLocked(i, true); err != nil {
+			return moved, err
+		}
+	}
+	return moved, nil
+}
+
+// Resend re-routes previously discarded tuples (reported by a consumer
+// recall) under the current policy as normal flow. Call while paused.
+func (p *Producer) Resend(fromConsumer int, seqs []int64) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	log := p.logs[fromConsumer]
+	sorted := append([]int64(nil), seqs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	n := 0
+	for _, seq := range sorted {
+		e, ok := log[seq]
+		if !ok {
+			return n, fmt.Errorf("engine: resend of unknown seq %d on %s/consumer %d", seq, p.Exchange, fromConsumer)
+		}
+		delete(log, seq)
+		var target int
+		if e.bucket >= 0 {
+			target = p.policy.RouteBucket(e.bucket)
+		} else {
+			target, _ = p.policy.Route(e.tuple)
+		}
+		p.appendLocked(target, e.bucket, e.tuple)
+		n++
+		if len(p.buffers[target]) >= p.bufferTuples {
+			if err := p.flushLocked(target, false); err != nil {
+				return n, err
+			}
+		}
+	}
+	for i := range p.buffers {
+		if err := p.flushLocked(i, false); err != nil {
+			return n, err
+		}
+	}
+	if err := p.finalizeCheckpointsLocked(); err != nil {
+		return n, err
+	}
+	_ = p.maybeFinishLocked()
+	return n, nil
+}
+
+// Release drops a stateful exchange's log at query end.
+func (p *Producer) Release() {
+	p.mu.Lock()
+	for i := range p.logs {
+		p.logs[i] = make(map[int64]logEntry)
+	}
+	p.mu.Unlock()
+}
+
+// Stats reports counters for the overhead experiments.
+func (p *Producer) Stats() (routed int64, buffers int64, logSize int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	size := 0
+	for _, l := range p.logs {
+		size += len(l)
+	}
+	return p.routed, p.buffersSent, size
+}
+
+// ConsumerTupleCounts reports how many tuples were routed to each consumer
+// (cumulative, including resends); the paper reports the slow/fast ratio in
+// its overhead analysis.
+func (p *Producer) ConsumerTupleCounts() []int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	counts := make([]int64, len(p.nextSeq))
+	for i, next := range p.nextSeq {
+		counts[i] = next - 1
+	}
+	return counts
+}

@@ -1,0 +1,276 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/relation"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+	"repro/internal/vtime"
+)
+
+// producerHarness wires a producer to an in-proc transport with a capture
+// endpoint per consumer.
+type producerHarness struct {
+	tr   *transport.InProc
+	ctx  *ExecContext
+	prod *Producer
+
+	mu       sync.Mutex
+	received map[int][]*transport.Message // consumerIdx -> messages
+}
+
+func newProducerHarness(t *testing.T, consumers int, stateful bool, policy DistPolicy) *producerHarness {
+	t.Helper()
+	clock := vtime.NewClock(time.Microsecond)
+	net := simnet.NewNetwork(clock)
+	net.AddNode("src")
+	h := &producerHarness{
+		tr:       transport.NewInProc(net),
+		received: make(map[int][]*transport.Message),
+	}
+	addrs := make([]Addr, consumers)
+	for i := 0; i < consumers; i++ {
+		i := i
+		node := simnet.NodeID("sink")
+		if net.Node(node) == nil {
+			net.AddNode(node)
+		}
+		svc := "cons/" + string(rune('0'+i))
+		h.tr.Register(node, svc, func(_ simnet.NodeID, m *transport.Message) {
+			h.mu.Lock()
+			h.received[i] = append(h.received[i], m)
+			h.mu.Unlock()
+		})
+		addrs[i] = Addr{Node: node, Service: svc}
+	}
+	h.ctx = &ExecContext{
+		Clock: clock, Node: net.Node("src"), Meter: vtime.NewMeter(clock),
+		Costs: DefaultCosts(), Buckets: 16,
+	}
+	h.prod = NewProducer(ProducerConfig{
+		Exchange: "EX", Fragment: "F", Instance: 0,
+		ConsumerFragment: "G", Consumers: addrs, Stateful: stateful,
+		Est: 1000, Policy: policy, Transport: h.tr, Node: "src",
+		BufferTuples: 4, CheckpointEvery: 8,
+	})
+	h.prod.Bind(h.ctx)
+	return h
+}
+
+func (h *producerHarness) messages(consumer int) []*transport.Message {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]*transport.Message(nil), h.received[consumer]...)
+}
+
+func intTuple(i int) relation.Tuple { return relation.Tuple{relation.Int(int64(i))} }
+
+func TestProducerBuffersAndCheckpoints(t *testing.T) {
+	pol, _ := NewWeightedPolicy([]float64{1})
+	h := newProducerHarness(t, 1, false, pol)
+	for i := 0; i < 10; i++ {
+		if err := h.prod.Send(intTuple(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.prod.Close(); err != nil {
+		t.Fatal(err)
+	}
+	msgs := h.messages(0)
+	// 10 tuples in buffers of 4: data(4), data(4 ckpt@8), data(2), then a
+	// checkpoint-only finaliser and, once acked... EOS deferred (no acks in
+	// this harness).
+	var dataCount, tuples int
+	var ckpts []int64
+	for _, m := range msgs {
+		if m.Kind == transport.KindData {
+			dataCount++
+			tuples += len(m.Tuples)
+			if m.Checkpoint > 0 {
+				ckpts = append(ckpts, m.Checkpoint)
+			}
+		}
+	}
+	if tuples != 10 {
+		t.Fatalf("tuples delivered = %d", tuples)
+	}
+	if len(ckpts) != 2 || ckpts[0] != 8 || ckpts[1] != 10 {
+		t.Fatalf("checkpoints = %v, want [8 10]", ckpts)
+	}
+	// EOS must NOT have been sent: the log has unacked entries.
+	for _, m := range msgs {
+		if m.Kind == transport.KindEOS {
+			t.Fatal("EOS sent with a non-empty recovery log")
+		}
+	}
+	// Ack everything; EOS follows.
+	h.prod.HandleAck(&transport.Message{Kind: transport.KindAck, ConsumerIdx: 0, Checkpoint: 10})
+	var sawEOS bool
+	for _, m := range h.messages(0) {
+		if m.Kind == transport.KindEOS {
+			sawEOS = true
+		}
+	}
+	if !sawEOS {
+		t.Fatal("EOS not sent after the log drained")
+	}
+	if _, _, logSize := h.prod.Stats(); logSize != 0 {
+		t.Fatalf("log size = %d after full ack", logSize)
+	}
+}
+
+func TestProducerAckExclusionKeepsRecalledEntries(t *testing.T) {
+	pol, _ := NewWeightedPolicy([]float64{1})
+	h := newProducerHarness(t, 1, false, pol)
+	for i := 0; i < 8; i++ {
+		_ = h.prod.Send(intTuple(i))
+	}
+	_ = h.prod.Close()
+	// Ack checkpoint 8 but except seqs 3 and 4 (recalled by a consumer).
+	h.prod.HandleAck(&transport.Message{
+		Kind: transport.KindAck, ConsumerIdx: 0, Checkpoint: 8, Except: []int64{3, 4},
+	})
+	if _, _, logSize := h.prod.Stats(); logSize != 2 {
+		t.Fatalf("log size = %d, want 2 (excepted entries retained)", logSize)
+	}
+	// Resend migrates them; log drains; EOS fires.
+	n, err := h.prod.Resend(0, []int64{3, 4})
+	if err != nil || n != 2 {
+		t.Fatalf("Resend = %d, %v", n, err)
+	}
+	// The re-routed tuples got fresh seqs 9,10 on the same stream; ack them.
+	h.prod.HandleAck(&transport.Message{Kind: transport.KindAck, ConsumerIdx: 0, Checkpoint: 10})
+	if _, _, logSize := h.prod.Stats(); logSize != 0 {
+		t.Fatalf("log size = %d after migrating recalled entries", logSize)
+	}
+}
+
+func TestProducerStatefulNeverAcks(t *testing.T) {
+	pol, err := NewHashPolicy([]int{0}, 16, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newProducerHarness(t, 2, true, pol)
+	for i := 0; i < 20; i++ {
+		_ = h.prod.Send(intTuple(i))
+	}
+	if err := h.prod.Close(); err != nil {
+		t.Fatal(err)
+	}
+	h.prod.HandleAck(&transport.Message{Kind: transport.KindAck, ConsumerIdx: 0, Checkpoint: 100})
+	if _, _, logSize := h.prod.Stats(); logSize != 20 {
+		t.Fatalf("stateful log = %d, want 20 (acks ignored)", logSize)
+	}
+	// Stateful EOS is immediate at Close (the consumer's build phase ends).
+	eos := 0
+	for c := 0; c < 2; c++ {
+		for _, m := range h.messages(c) {
+			if m.Kind == transport.KindEOS {
+				eos++
+			}
+		}
+	}
+	if eos != 2 {
+		t.Fatalf("EOS count = %d, want 2", eos)
+	}
+	h.prod.Release()
+	if _, _, logSize := h.prod.Stats(); logSize != 0 {
+		t.Fatal("Release did not drop the log")
+	}
+}
+
+func TestProducerPauseBlocksSend(t *testing.T) {
+	pol, _ := NewWeightedPolicy([]float64{1})
+	h := newProducerHarness(t, 1, false, pol)
+	if err := h.prod.Pause(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		_ = h.prod.Send(intTuple(1))
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("Send completed while paused")
+	case <-time.After(30 * time.Millisecond):
+	}
+	h.prod.Resume()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Send never resumed")
+	}
+}
+
+func TestProducerReplayRoutesByNewMap(t *testing.T) {
+	pol, err := NewHashPolicy([]int{0}, 16, []float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newProducerHarness(t, 2, true, pol)
+	for i := 0; i < 12; i++ {
+		_ = h.prod.Send(intTuple(i))
+	}
+	_ = h.prod.Close()
+	if got := len(h.messages(1)); got > 1 { // EOS only
+		t.Fatalf("consumer 1 received %d messages under weights (1,0)", got)
+	}
+	// Move every bucket to consumer 1 and replay.
+	newMap := make([]int32, 16)
+	for i := range newMap {
+		newMap[i] = 1
+	}
+	if err := h.prod.SetOwnerMap(newMap); err != nil {
+		t.Fatal(err)
+	}
+	moved := make([]int32, 16)
+	for i := range moved {
+		moved[i] = int32(i)
+	}
+	n, err := h.prod.Replay(moved)
+	if err != nil || n != 12 {
+		t.Fatalf("Replay = %d, %v; want 12", n, err)
+	}
+	replayTuples := 0
+	for _, m := range h.messages(1) {
+		if m.Kind == transport.KindData && m.Replay {
+			replayTuples += len(m.Tuples)
+		}
+	}
+	if replayTuples != 12 {
+		t.Fatalf("replayed tuples at new owner = %d, want 12", replayTuples)
+	}
+	// Log entries migrated to consumer 1's stream.
+	if _, _, logSize := h.prod.Stats(); logSize != 12 {
+		t.Fatalf("log = %d after replay (stateful retains)", logSize)
+	}
+}
+
+func TestProducerResendUnknownSeq(t *testing.T) {
+	pol, _ := NewWeightedPolicy([]float64{1})
+	h := newProducerHarness(t, 1, false, pol)
+	_ = h.prod.Send(intTuple(1))
+	if _, err := h.prod.Resend(0, []int64{99}); err == nil {
+		t.Fatal("resend of unknown seq accepted")
+	}
+}
+
+func TestProducerProgressAndCounts(t *testing.T) {
+	pol, _ := NewWeightedPolicy([]float64{0.5, 0.5})
+	h := newProducerHarness(t, 2, false, pol)
+	for i := 0; i < 6; i++ {
+		_ = h.prod.Send(intTuple(i))
+	}
+	routed, est := h.prod.Progress()
+	if routed != 6 || est != 1000 {
+		t.Fatalf("Progress = %d/%d", routed, est)
+	}
+	counts := h.prod.ConsumerTupleCounts()
+	if counts[0]+counts[1] != 6 || counts[0] != 3 {
+		t.Fatalf("counts = %v", counts)
+	}
+}

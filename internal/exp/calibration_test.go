@@ -1,0 +1,99 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/vtime"
+)
+
+// runMin executes the config reps times and keeps the fastest run; timing
+// noise (GC, scheduler) is additive, so the minimum is the best estimate of
+// the modelled response.
+func runMin(t *testing.T, cfg Config, reps int) *Result {
+	t.Helper()
+	var best *Result
+	for i := 0; i < reps; i++ {
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best == nil || res.ResponseMs < best.ResponseMs {
+			best = res
+		}
+	}
+	return best
+}
+
+// TestCalibrationQ1 checks the headline shape of Table 1 / Fig. 2(a): the
+// ratios need not match the paper's numbers exactly, but who wins and by
+// roughly what factor must hold. It runs at reduced data size to stay fast;
+// the full-size runs live in the benchmarks.
+func TestCalibrationQ1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration runs take seconds")
+	}
+	base := runMin(t, Config{Query: Q1}, 2)
+	t.Logf("base response: %.0f paper-ms", base.ResponseMs)
+
+	noAd, err := Run(Config{Query: Q1, Perturb: perturbWS1(vtime.Multiplier(10))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := noAd.ResponseMs / base.ResponseMs
+	t.Logf("no-ad x10: ratio %.2f (paper 3.53)", r1)
+	if r1 < 2.5 || r1 > 5 {
+		t.Errorf("no-ad x10 ratio %.2f outside [2.5, 5] (paper 3.53)", r1)
+	}
+
+	adR2 := runMin(t, Config{Query: Q1, Adaptive: true, Response: core.R2,
+		Perturb: perturbWS1(vtime.Multiplier(10))}, 2)
+	r2 := adR2.ResponseMs / base.ResponseMs
+	t.Logf("ad-R2 x10: ratio %.2f (paper 1.45), adaptations=%d consumed=%v",
+		r2, adR2.Stats.Adaptations, adR2.ConsumedByWS)
+	if r2 >= r1*0.7 {
+		t.Errorf("adaptivity gain too small: ad %.2f vs no-ad %.2f", r2, r1)
+	}
+
+	adNoImb := runMin(t, Config{Query: Q1, Adaptive: true, Response: core.R2}, 2)
+	ov := adNoImb.ResponseMs/base.ResponseMs - 1
+	t.Logf("ad-R2 no-imb overhead: %.1f%% (paper 5.9%%)", ov*100)
+	if ov < -0.05 || ov > 0.25 {
+		t.Errorf("R2 overhead %.1f%% outside [-5,25]%%", ov*100)
+	}
+}
+
+func perturbWS1(p vtime.Perturbation) map[int]vtime.Perturbation {
+	return map[int]vtime.Perturbation{1: p}
+}
+
+// TestCalibrationQ2 checks the Q2 row of Table 1: sleep(10 ms) per join
+// tuple degrades the static system noticeably, and retrospective adaptation
+// recovers most of it.
+func TestCalibrationQ2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration runs take seconds")
+	}
+	base := runMin(t, Config{Query: Q2}, 2)
+	t.Logf("Q2 base response: %.0f paper-ms", base.ResponseMs)
+	noAd, err := Run(Config{Query: Q2, Perturb: perturbWS1(vtime.Sleep(10))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := noAd.ResponseMs / base.ResponseMs
+	t.Logf("Q2 no-ad sleep(10): ratio %.2f (paper 1.71)", r1)
+	if r1 < 1.25 || r1 > 2.6 {
+		t.Errorf("Q2 no-ad ratio %.2f outside [1.25, 2.6] (paper 1.71)", r1)
+	}
+	ad := runMin(t, Config{Query: Q2, Adaptive: true, Response: core.R1,
+		Perturb: perturbWS1(vtime.Sleep(10))}, 2)
+	r2 := ad.ResponseMs / base.ResponseMs
+	t.Logf("Q2 ad-R1 sleep(10): ratio %.2f (paper 1.31), adaptations=%d replays=%d",
+		r2, ad.Stats.Adaptations, ad.Stats.StateReplays)
+	if r2 >= r1 {
+		t.Errorf("Q2 adaptivity did not help: ad %.2f vs no-ad %.2f", r2, r1)
+	}
+	if ad.Stats.Rows != base.Stats.Rows {
+		t.Errorf("row count changed under adaptation: %d vs %d", ad.Stats.Rows, base.Stats.Rows)
+	}
+}

@@ -1,0 +1,79 @@
+package exp
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/vtime"
+)
+
+func TestExperimentRender(t *testing.T) {
+	e := &Experiment{
+		ID:    "Table 1",
+		Title: "demo",
+		Notes: []string{"a note"},
+		Rows: []Measurement{
+			{Label: "exact", Paper: 3.53, Measured: 3.61},
+			{Label: "from figure", Paper: 1.6, Approx: true, Measured: 1.55},
+			{Label: "no paper value", Paper: math.NaN(), Measured: 2.0},
+		},
+	}
+	out := e.Render()
+	for _, want := range []string{
+		"### Table 1 — demo",
+		"| exact | 3.53 | 3.61 |",
+		"| from figure | ≈1.60 | 1.55 |",
+		"| no paper value | — | 2.00 |",
+		"a note",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportStructure(t *testing.T) {
+	e := &Experiment{ID: "Fig X", Title: "t", Rows: []Measurement{{Label: "r", Paper: 1, Measured: 1}}}
+	out := Report([]*Experiment{e}, 3*time.Second)
+	for _, want := range []string{"# EXPERIMENTS", "### Fig X", "thresM 20%", "Generated in 3s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Report missing %q", want)
+		}
+	}
+}
+
+func TestTupleRatio(t *testing.T) {
+	if got := tupleRatio([]int64{100, 50}); got != 2 {
+		t.Errorf("ratio = %v", got)
+	}
+	if got := tupleRatio([]int64{70, 70}); got != 1 {
+		t.Errorf("balanced ratio = %v", got)
+	}
+	if !math.IsNaN(tupleRatio(nil)) || !math.IsNaN(tupleRatio([]int64{5, 0})) {
+		t.Error("degenerate ratios must be NaN")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Query != Q1 || c.Sequences != 3000 || c.Interactions != 4700 || c.WSNodes != 2 {
+		t.Errorf("defaults = %+v", c)
+	}
+	if c.MonitorEvery != 0 {
+		t.Error("non-adaptive default must not enable monitoring")
+	}
+	ad := Config{Adaptive: true}.withDefaults()
+	if ad.MonitorEvery != 10 {
+		t.Error("adaptive default must monitor every 10 tuples")
+	}
+}
+
+func TestRunRejectsBadPerturbIndex(t *testing.T) {
+	_, err := Run(Config{Query: Q1, Sequences: 10, Interactions: 10,
+		Perturb: map[int]vtime.Perturbation{9: vtime.Multiplier(2)}})
+	if err == nil {
+		t.Fatal("perturbation of unknown node accepted")
+	}
+}

@@ -1,0 +1,160 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/vtime"
+)
+
+// Overheads reproduces the paper's overhead analysis (§3.2, Overheads): Q1
+// with no WS perturbation, measuring the cost of having adaptivity enabled
+// when it is not needed, the tuple-distribution balance, and the
+// notification traffic volumes that show "the system is not flooded by
+// messages".
+func Overheads() (*Experiment, error) {
+	e := &Experiment{
+		ID:    "Overheads",
+		Title: "Q1 without perturbation: the cost of unnecessary adaptivity",
+	}
+	r := newRunner()
+	base, err := r.baseline(Config{Query: Q1}.withDefaults())
+	if err != nil {
+		return nil, err
+	}
+
+	prospective, err := runBest(Config{Query: Q1, Adaptive: true, Response: core.R2}, 2)
+	if err != nil {
+		return nil, err
+	}
+	retrospective, err := runBest(Config{Query: Q1, Adaptive: true, Response: core.R1}, 2)
+	if err != nil {
+		return nil, err
+	}
+	e.Rows = append(e.Rows,
+		Measurement{Label: "prospective (R2) overhead %", Paper: 5.9,
+			Measured: (prospective.ResponseMs/base - 1) * 100},
+		Measurement{Label: "retrospective (R1) overhead %", Paper: 15.3,
+			Measured: (retrospective.ResponseMs/base - 1) * 100},
+		Measurement{Label: "tuple ratio (R2, unperturbed)", Paper: 1.21,
+			Measured: tupleRatio(prospective.ConsumedByWS)},
+		Measurement{Label: "tuple ratio (R1, unperturbed)", Paper: 1.01,
+			Measured: tupleRatio(retrospective.ConsumedByWS)},
+	)
+
+	// Notification-volume analysis under a 10× perturbation: the paper
+	// reports 100–300 raw engine events filtered to ~10 Diagnoser
+	// notifications, 1–3 of which lead to actual rebalancing.
+	perturbed, err := Run(Config{Query: Q1, Adaptive: true, Response: core.R2,
+		Perturb: map[int]vtime.Perturbation{1: vtime.Multiplier(10)}})
+	if err != nil {
+		return nil, err
+	}
+	e.Rows = append(e.Rows,
+		Measurement{Label: "raw engine events (10×)", Paper: 200, Approx: true,
+			Measured: float64(perturbed.Stats.RawEvents)},
+		Measurement{Label: "MED→Diagnoser notifications (10×)", Paper: 10, Approx: true,
+			Measured: float64(perturbed.Stats.MEDNotifications)},
+		Measurement{Label: "actual rebalancings (10×)", Paper: 2, Approx: true,
+			Measured: float64(perturbed.Stats.Adaptations)},
+	)
+	e.Notes = append(e.Notes,
+		"Paper: raw events 100–300, ~10 MED→Diagnoser notifications, 1–3 rebalancings; the paper's midpoints are tabled.",
+		"Our raw-event count covers every fragment and both event types (the scan fragment alone emits ~300 M1 "+
+			"events for 3000 tuples); the filtering ratio is the claim being reproduced, and it holds: "+
+			"hundreds of raw events collapse to ~10 notifications and 1–3 rebalancings.",
+		"The unperturbed tuple ratios measure 1.00 exactly because modelled costs are noise-free, so no spurious "+
+			"adaptation fires; the paper's 1.21 comes from 'slight fluctuations in performance that are "+
+			"inevitable in a real wide-area environment'.",
+	)
+	return e, nil
+}
+
+// tupleRatio reports max/min of the per-machine tuple counts.
+func tupleRatio(counts []int64) float64 {
+	if len(counts) == 0 {
+		return math.NaN()
+	}
+	minC, maxC := counts[0], counts[0]
+	for _, c := range counts {
+		if c < minC {
+			minC = c
+		}
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if minC == 0 {
+		return math.NaN()
+	}
+	return float64(maxC) / float64(minC)
+}
+
+// MonitoringFrequency reproduces the paper's monitoring-frequency study
+// (§3.2, Overheads, final paragraph): Q1 with one WS 10× costlier while the
+// raw monitoring frequency varies between 0 (no monitoring, hence no
+// adaptivity) and one notification per 10, 20 and 30 tuples. Both
+// adaptation quality and overhead should be insensitive to the frequency.
+func MonitoringFrequency() (*Experiment, error) {
+	e := &Experiment{
+		ID:    "Monitoring frequency",
+		Title: "Q1 (10× perturbation) under varying raw monitoring frequency",
+		Notes: []string{
+			"The paper omits this figure for space but reports both adaptation quality and overhead to be " +
+				"'rather insensitive' to the monitoring frequency; frequency 0 disables adaptation entirely.",
+		},
+	}
+	r := newRunner()
+	for _, every := range []int{0, 10, 20, 30} {
+		cfg := Config{Query: Q1, Adaptive: true, Response: core.R2,
+			MonitorEvery: every,
+			Perturb:      map[int]vtime.Perturbation{1: vtime.Multiplier(10)}}
+		if every == 0 {
+			// withDefaults would reset 0 to 10 for adaptive runs; an
+			// explicitly disabled monitor is the static system.
+			cfg.Adaptive = false
+		}
+		ratio, res, err := r.normalised(cfg)
+		if err != nil {
+			return nil, err
+		}
+		label := fmt.Sprintf("1 notification / %d tuples", every)
+		paper := math.NaN()
+		if every == 0 {
+			label = "no monitoring (frequency 0)"
+			paper = 3.53
+		}
+		e.Rows = append(e.Rows, Measurement{Label: label, Paper: paper, Measured: ratio})
+		_ = res
+	}
+	return e, nil
+}
+
+// All runs every experiment in paper order.
+func All() ([]*Experiment, error) {
+	type builder struct {
+		name string
+		fn   func() (*Experiment, error)
+	}
+	builders := []builder{
+		{"Table1", Table1},
+		{"Fig2a", Fig2a},
+		{"Fig2b", Fig2b},
+		{"Fig3a", Fig3a},
+		{"Fig3b", Fig3b},
+		{"Fig4", Fig4},
+		{"Fig5", Fig5},
+		{"Overheads", Overheads},
+		{"MonitoringFrequency", MonitoringFrequency},
+	}
+	var out []*Experiment
+	for _, b := range builders {
+		e, err := b.fn()
+		if err != nil {
+			return out, fmt.Errorf("exp: %s: %w", b.name, err)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

@@ -1,0 +1,184 @@
+package logical
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// AggKind enumerates the built-in aggregate functions.
+type AggKind uint8
+
+// Aggregate functions.
+const (
+	AggCount AggKind = iota + 1
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String names the aggregate.
+func (k AggKind) String() string {
+	switch k {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	default:
+		return fmt.Sprintf("AggKind(%d)", uint8(k))
+	}
+}
+
+// AggKindOf resolves an aggregate function name; ok is false for ordinary
+// (Web Service) functions.
+func AggKindOf(name string) (AggKind, bool) {
+	switch strings.ToLower(name) {
+	case "count":
+		return AggCount, true
+	case "sum":
+		return AggSum, true
+	case "avg":
+		return AggAvg, true
+	case "min":
+		return AggMin, true
+	case "max":
+		return AggMax, true
+	default:
+		return 0, false
+	}
+}
+
+// resultType returns the aggregate's output type given its argument type
+// (ignored for COUNT).
+func (k AggKind) resultType(arg relation.Type) relation.Type {
+	switch k {
+	case AggCount:
+		return relation.TInt
+	case AggSum, AggAvg:
+		return relation.TFloat
+	default:
+		return arg
+	}
+}
+
+// AggSpec is one aggregate column of an Aggregate node.
+type AggSpec struct {
+	Kind AggKind
+	// ArgOrd is the input-column ordinal, or -1 for COUNT(*).
+	ArgOrd int
+	// Name is the output column name.
+	Name string
+}
+
+// Aggregate groups its input by the key ordinals and computes the listed
+// aggregates per group. The engine implements it as a bucketed hash
+// aggregate whose state — like the hash join's — can be repartitioned at
+// runtime: groups live in routing buckets, and moving a bucket replays its
+// raw input tuples from the exchange recovery logs onto the new owner.
+type Aggregate struct {
+	Child Node
+	// GroupOrds are the grouping-key ordinals into the child schema; empty
+	// for a global aggregate (one output row).
+	GroupOrds []int
+	Aggs      []AggSpec
+	schema    *relation.Schema
+}
+
+// NewAggregate builds an aggregate node; the output schema is the group
+// columns followed by the aggregate columns.
+func NewAggregate(child Node, groupOrds []int, aggs []AggSpec) *Aggregate {
+	cols := make([]relation.Column, 0, len(groupOrds)+len(aggs))
+	for _, o := range groupOrds {
+		cols = append(cols, child.Schema().Column(o))
+	}
+	for _, a := range aggs {
+		var argType relation.Type
+		if a.ArgOrd >= 0 {
+			argType = child.Schema().Column(a.ArgOrd).Type
+		}
+		cols = append(cols, relation.Column{Name: a.Name, Type: a.Kind.resultType(argType)})
+	}
+	return &Aggregate{
+		Child:     child,
+		GroupOrds: append([]int(nil), groupOrds...),
+		Aggs:      append([]AggSpec(nil), aggs...),
+		schema:    relation.NewSchema(cols...),
+	}
+}
+
+// Schema implements Node.
+func (a *Aggregate) Schema() *relation.Schema { return a.schema }
+
+// Children implements Node.
+func (a *Aggregate) Children() []Node { return []Node{a.Child} }
+
+// Label implements Node.
+func (a *Aggregate) Label() string {
+	keys := make([]string, len(a.GroupOrds))
+	for i, o := range a.GroupOrds {
+		keys[i] = a.Child.Schema().Column(o).QualifiedName()
+	}
+	aggs := make([]string, len(a.Aggs))
+	for i, sp := range a.Aggs {
+		arg := "*"
+		if sp.ArgOrd >= 0 {
+			arg = a.Child.Schema().Column(sp.ArgOrd).QualifiedName()
+		}
+		aggs[i] = fmt.Sprintf("%s(%s)", sp.Kind, arg)
+	}
+	return fmt.Sprintf("Aggregate(by [%s]: %s)", strings.Join(keys, ", "), strings.Join(aggs, ", "))
+}
+
+// SortKey is one ORDER BY key.
+type SortKey struct {
+	Ord  int
+	Desc bool
+}
+
+// Sort orders its input by the keys. It is a blocking operator evaluated at
+// the result collection site.
+type Sort struct {
+	Child Node
+	Keys  []SortKey
+}
+
+// Schema implements Node.
+func (s *Sort) Schema() *relation.Schema { return s.Child.Schema() }
+
+// Children implements Node.
+func (s *Sort) Children() []Node { return []Node{s.Child} }
+
+// Label implements Node.
+func (s *Sort) Label() string {
+	keys := make([]string, len(s.Keys))
+	for i, k := range s.Keys {
+		keys[i] = s.Child.Schema().Column(k.Ord).QualifiedName()
+		if k.Desc {
+			keys[i] += " DESC"
+		}
+	}
+	return fmt.Sprintf("Sort(%s)", strings.Join(keys, ", "))
+}
+
+// Limit truncates its input to the first N tuples.
+type Limit struct {
+	Child Node
+	N     int64
+}
+
+// Schema implements Node.
+func (l *Limit) Schema() *relation.Schema { return l.Child.Schema() }
+
+// Children implements Node.
+func (l *Limit) Children() []Node { return []Node{l.Child} }
+
+// Label implements Node.
+func (l *Limit) Label() string { return fmt.Sprintf("Limit(%d)", l.N) }

@@ -1,0 +1,205 @@
+package logical
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/relation"
+	"repro/internal/sqlparse"
+)
+
+func TestPlanGroupByCount(t *testing.T) {
+	n := plan(t, "select i.ORF1, count(*) AS n from protein_interactions i group by i.ORF1")
+	proj, ok := n.(*Project)
+	if !ok {
+		t.Fatalf("root = %T", n)
+	}
+	agg, ok := proj.Child.(*Aggregate)
+	if !ok {
+		t.Fatalf("child = %T", proj.Child)
+	}
+	if len(agg.GroupOrds) != 1 || agg.GroupOrds[0] != 0 {
+		t.Fatalf("group ords = %v", agg.GroupOrds)
+	}
+	if len(agg.Aggs) != 1 || agg.Aggs[0].Kind != AggCount || agg.Aggs[0].ArgOrd != -1 {
+		t.Fatalf("aggs = %+v", agg.Aggs)
+	}
+	s := n.Schema()
+	if s.Len() != 2 || s.Column(1).Name != "n" || s.Column(1).Type != relation.TInt {
+		t.Fatalf("schema = %v", s)
+	}
+}
+
+func TestPlanGlobalAggregate(t *testing.T) {
+	n := plan(t, "select count(*) from protein_sequences")
+	agg, ok := n.(*Project).Child.(*Aggregate)
+	if !ok {
+		t.Fatalf("child = %T", n.(*Project).Child)
+	}
+	if len(agg.GroupOrds) != 0 {
+		t.Fatalf("global aggregate has group ords %v", agg.GroupOrds)
+	}
+}
+
+func TestPlanAggregateSelectOrder(t *testing.T) {
+	// Aggregate output is (groups..., aggs...); the projection must restore
+	// the select-list order.
+	n := plan(t, "select count(*) AS n, i.ORF1 from protein_interactions i group by i.ORF1")
+	s := n.Schema()
+	if s.Column(0).Name != "n" || s.Column(1).Name != "ORF1" {
+		t.Fatalf("schema order = %v", s)
+	}
+}
+
+func TestPlanAggregateKindsAndTypes(t *testing.T) {
+	// protein tables have no numeric columns; extend the catalog locally.
+	cat := demoCatalog()
+	_ = cat.PutTable(tableWithInt(t))
+	stmt := parseQ(t, "select k, sum(v) s, avg(v) a, min(v) mn, max(v) mx, count(v) c from nums group by k")
+	n, err := Plan(stmt, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := n.Schema()
+	wantTypes := []relation.Type{relation.TString, relation.TFloat, relation.TFloat,
+		relation.TInt, relation.TInt, relation.TInt}
+	for i, want := range wantTypes {
+		if got := s.Column(i).Type; got != want {
+			t.Errorf("column %d (%s): type %v, want %v", i, s.Column(i).Name, got, want)
+		}
+	}
+	if !strings.Contains(Explain(n), "Aggregate(by [nums.k]") {
+		t.Errorf("explain:\n%s", Explain(n))
+	}
+}
+
+func TestPlanOrderByLimit(t *testing.T) {
+	n := plan(t, "select p.ORF from protein_sequences p order by p.ORF desc limit 7")
+	lim, ok := n.(*Limit)
+	if !ok || lim.N != 7 {
+		t.Fatalf("root = %#v", n)
+	}
+	srt, ok := lim.Child.(*Sort)
+	if !ok || len(srt.Keys) != 1 || !srt.Keys[0].Desc || srt.Keys[0].Ord != 0 {
+		t.Fatalf("sort = %#v", lim.Child)
+	}
+	if !strings.Contains(srt.Label(), "DESC") || !strings.Contains(lim.Label(), "7") {
+		t.Error("labels")
+	}
+}
+
+func TestPlanOrderByAlias(t *testing.T) {
+	n := plan(t, "select i.ORF1, count(*) AS n from protein_interactions i group by i.ORF1 order by n desc")
+	if _, ok := n.(*Sort); !ok {
+		t.Fatalf("root = %T", n)
+	}
+}
+
+func TestPlanAggregateErrors(t *testing.T) {
+	cases := map[string]string{
+		"select i.ORF2, count(*) from protein_interactions i group by i.ORF1":   "must appear in GROUP BY",
+		"select sum(*) from protein_interactions":                               "only valid for COUNT",
+		"select sum(i.ORF1) from protein_interactions i":                        "non-numeric",
+		"select count(i.ORF1, i.ORF2) from protein_interactions i":              "exactly one argument",
+		"select EntropyAnalyser(p.sequence), count(*) from protein_sequences p": "cannot be mixed",
+		"select count(nope) from protein_interactions i":                        "unknown column",
+		"select i.ORF1 from protein_interactions i order by nope":               "ORDER BY",
+		"select i.ORF1, count(*) from protein_interactions i group by nope":     "GROUP BY",
+		"select avg(3) from protein_interactions i":                             "column reference",
+	}
+	for q, sub := range cases {
+		err := planErr(t, q)
+		if !strings.Contains(strings.ToLower(err.Error()), strings.ToLower(strings.Split(sub, " ")[0])) {
+			t.Errorf("Plan(%q) error %q missing %q", q, err, sub)
+		}
+	}
+}
+
+func TestAggKindOf(t *testing.T) {
+	for name, want := range map[string]AggKind{
+		"count": AggCount, "SUM": AggSum, "Avg": AggAvg, "min": AggMin, "MAX": AggMax,
+	} {
+		got, ok := AggKindOf(name)
+		if !ok || got != want {
+			t.Errorf("AggKindOf(%q) = %v, %v", name, got, ok)
+		}
+	}
+	if _, ok := AggKindOf("EntropyAnalyser"); ok {
+		t.Error("WS function classified as aggregate")
+	}
+	for _, k := range []AggKind{AggCount, AggSum, AggAvg, AggMin, AggMax} {
+		if k.String() == "" || strings.Contains(k.String(), "AggKind(") {
+			t.Errorf("String for %d", k)
+		}
+	}
+}
+
+// tableWithInt registers a numeric table for aggregate type tests.
+func tableWithInt(t *testing.T) catalog.TableMeta {
+	t.Helper()
+	return catalog.TableMeta{
+		Name: "nums",
+		Schema: relation.NewSchema(
+			relation.Column{Table: "nums", Name: "k", Type: relation.TString},
+			relation.Column{Table: "nums", Name: "v", Type: relation.TInt},
+		),
+		Cardinality: 100, AvgTupleBytes: 20, Node: "data1",
+	}
+}
+
+// parseQ parses or fails the test.
+func parseQ(t *testing.T, q string) *sqlparse.SelectStmt {
+	t.Helper()
+	stmt, err := sqlparse.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stmt
+}
+
+func TestPlanHaving(t *testing.T) {
+	n := plan(t, "select i.ORF1, count(*) AS n from protein_interactions i group by i.ORF1 having count(*) > 2")
+	proj := n.(*Project)
+	f, ok := proj.Child.(*Filter)
+	if !ok {
+		t.Fatalf("expected Filter above Aggregate, got %T", proj.Child)
+	}
+	agg, ok := f.Child.(*Aggregate)
+	if !ok {
+		t.Fatalf("filter child = %T", f.Child)
+	}
+	// The HAVING aggregate is hidden: select has 1 agg, the node has 2.
+	if len(agg.Aggs) != 2 || agg.Aggs[1].Name != "_having1" {
+		t.Fatalf("aggs = %+v", agg.Aggs)
+	}
+	// The final projection drops the hidden column.
+	if n.Schema().Len() != 2 {
+		t.Fatalf("output schema = %v", n.Schema())
+	}
+	if !strings.Contains(f.Pred.String(), "_having1 > 2") {
+		t.Fatalf("pred = %v", f.Pred)
+	}
+}
+
+func TestPlanHavingGroupColumn(t *testing.T) {
+	n := plan(t, "select i.ORF1, count(*) from protein_interactions i group by i.ORF1 having i.ORF1 <> 'x'")
+	if _, ok := n.(*Project).Child.(*Filter); !ok {
+		t.Fatalf("no filter: %T", n.(*Project).Child)
+	}
+}
+
+func TestPlanHavingErrors(t *testing.T) {
+	cases := map[string]string{
+		"select i.ORF1, count(*) from protein_interactions i group by i.ORF1 having i.ORF2 = 'x'":                "must appear in GROUP BY",
+		"select i.ORF1, count(*) from protein_interactions i group by i.ORF1 having EntropyAnalyser(i.ORF1) > 1": "only aggregates",
+		"select i.ORF1, count(*) from protein_interactions i group by i.ORF1 having sum(i.ORF2) > 1":             "non-numeric",
+		"select i.ORF1, count(*) from protein_interactions i group by i.ORF1 having count(*) = 'x'":              "cannot compare",
+	}
+	for q, sub := range cases {
+		err := planErr(t, q)
+		if !strings.Contains(strings.ToLower(err.Error()), strings.ToLower(strings.Split(sub, " ")[0])) {
+			t.Errorf("Plan(%q) error %q missing %q", q, err, sub)
+		}
+	}
+}

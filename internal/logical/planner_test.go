@@ -1,0 +1,225 @@
+package logical
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/relation"
+	"repro/internal/sqlparse"
+)
+
+// demoCatalog builds catalog metadata matching the demo database.
+func demoCatalog() *catalog.Catalog {
+	c := catalog.New()
+	_ = c.PutTable(catalog.TableMeta{
+		Name: "protein_sequences",
+		Schema: relation.NewSchema(
+			relation.Column{Table: "protein_sequences", Name: "ORF", Type: relation.TString},
+			relation.Column{Table: "protein_sequences", Name: "sequence", Type: relation.TString},
+		),
+		Cardinality: 3000, AvgTupleBytes: 150, Node: "data1",
+	})
+	_ = c.PutTable(catalog.TableMeta{
+		Name: "protein_interactions",
+		Schema: relation.NewSchema(
+			relation.Column{Table: "protein_interactions", Name: "ORF1", Type: relation.TString},
+			relation.Column{Table: "protein_interactions", Name: "ORF2", Type: relation.TString},
+		),
+		Cardinality: 4700, AvgTupleBytes: 25, Node: "data1",
+	})
+	_ = c.PutFunction(catalog.FunctionMeta{
+		Name:       "EntropyAnalyser",
+		ArgTypes:   []relation.Type{relation.TString},
+		ResultType: relation.TFloat,
+		CostMs:     10,
+	})
+	return c
+}
+
+func plan(t *testing.T, q string) Node {
+	t.Helper()
+	stmt, err := sqlparse.Parse(q)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	n, err := Plan(stmt, demoCatalog())
+	if err != nil {
+		t.Fatalf("plan %q: %v", q, err)
+	}
+	return n
+}
+
+func planErr(t *testing.T, q string) error {
+	t.Helper()
+	stmt, err := sqlparse.Parse(q)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, err = Plan(stmt, demoCatalog())
+	if err == nil {
+		t.Fatalf("Plan(%q): expected error", q)
+	}
+	return err
+}
+
+func TestPlanQ1Shape(t *testing.T) {
+	n := plan(t, "select EntropyAnalyser(p.sequence) from protein_sequences p")
+	proj, ok := n.(*Project)
+	if !ok {
+		t.Fatalf("root = %T", n)
+	}
+	if proj.Schema().Len() != 1 || proj.Schema().Column(0).Name != "EntropyAnalyser" {
+		t.Fatalf("output schema = %v", proj.Schema())
+	}
+	if proj.Schema().Column(0).Type != relation.TFloat {
+		t.Fatal("result type")
+	}
+	op, ok := proj.Child.(*OpCall)
+	if !ok {
+		t.Fatalf("child = %T", proj.Child)
+	}
+	if op.Fn.Name != "EntropyAnalyser" || len(op.ArgOrds) != 1 || op.ArgOrds[0] != 1 {
+		t.Fatalf("opcall = %+v", op)
+	}
+	scan, ok := op.Child.(*Scan)
+	if !ok {
+		t.Fatalf("grandchild = %T", op.Child)
+	}
+	if scan.Alias != "p" || scan.Table.Cardinality != 3000 {
+		t.Fatalf("scan = %+v", scan)
+	}
+}
+
+func TestPlanQ1Alias(t *testing.T) {
+	n := plan(t, "select EntropyAnalyser(p.sequence) AS h from protein_sequences p")
+	if got := n.Schema().Column(0).Name; got != "h" {
+		t.Fatalf("aliased output = %q", got)
+	}
+}
+
+func TestPlanQ2Shape(t *testing.T) {
+	n := plan(t, "select i.ORF2 from protein_sequences p, protein_interactions i where i.ORF1=p.ORF")
+	proj := n.(*Project)
+	if proj.Schema().Len() != 1 || proj.Schema().Column(0).QualifiedName() != "i.ORF2" {
+		t.Fatalf("schema = %v", proj.Schema())
+	}
+	join, ok := proj.Child.(*Join)
+	if !ok {
+		t.Fatalf("child = %T", proj.Child)
+	}
+	// Left input is the first FROM table (protein_sequences p): build side.
+	ls, ok := join.Left.(*Scan)
+	if !ok || ls.Alias != "p" {
+		t.Fatalf("left = %#v", join.Left)
+	}
+	rs, ok := join.Right.(*Scan)
+	if !ok || rs.Alias != "i" {
+		t.Fatalf("right = %#v", join.Right)
+	}
+	// Key ordinals: p.ORF is ordinal 0 on the left; i.ORF1 ordinal 0 right.
+	if len(join.LeftKeys) != 1 || join.LeftKeys[0] != 0 || join.RightKeys[0] != 0 {
+		t.Fatalf("keys = %v / %v", join.LeftKeys, join.RightKeys)
+	}
+}
+
+func TestPlanStar(t *testing.T) {
+	n := plan(t, "select * from protein_sequences")
+	if n.Schema().Len() != 2 {
+		t.Fatalf("star schema = %v", n.Schema())
+	}
+	if got := n.Schema().Column(0).Table; got != "protein_sequences" {
+		t.Fatalf("effective name = %q", got)
+	}
+}
+
+func TestPlanFilterPushdown(t *testing.T) {
+	n := plan(t, "select i.ORF2 from protein_sequences p, protein_interactions i where i.ORF1=p.ORF and p.ORF = 'YAL00001C'")
+	join := n.(*Project).Child.(*Join)
+	f, ok := join.Left.(*Filter)
+	if !ok {
+		t.Fatalf("filter not pushed to left scan: %T", join.Left)
+	}
+	if !strings.Contains(f.Pred.String(), "p.ORF = YAL00001C") {
+		t.Fatalf("pred = %v", f.Pred)
+	}
+	if _, ok := join.Right.(*Scan); !ok {
+		t.Fatalf("right should remain bare scan: %T", join.Right)
+	}
+	if f.Selectivity >= 1 || f.Selectivity <= 0 {
+		t.Errorf("selectivity = %v", f.Selectivity)
+	}
+}
+
+func TestPlanPostJoinFilter(t *testing.T) {
+	n := plan(t, "select i.ORF2 from protein_sequences p, protein_interactions i where i.ORF1=p.ORF and i.ORF2 <> p.ORF")
+	proj := n.(*Project)
+	f, ok := proj.Child.(*Filter)
+	if !ok {
+		t.Fatalf("expected post-join filter, got %T", proj.Child)
+	}
+	if _, ok := f.Child.(*Join); !ok {
+		t.Fatalf("filter child = %T", f.Child)
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	cases := map[string]string{
+		"select x from missing_table":                                            "unknown table",
+		"select nope from protein_sequences":                                     "unknown column",
+		"select NoSuchFn(p.sequence) from protein_sequences p":                   "unknown function",
+		"select EntropyAnalyser(p.sequence, p.ORF) from protein_sequences p":     "expects 1 argument",
+		"select EntropyAnalyser(3) from protein_sequences p":                     "column reference",
+		"select p.ORF from protein_sequences p, protein_interactions i":          "cartesian",
+		"select p.ORF from protein_sequences p, protein_sequences p":             "duplicate",
+		"select p.ORF from protein_sequences p where p.ORF = 3":                  "cannot compare",
+		"select p.ORF from protein_sequences p where EntropyAnalyser(p.ORF) = 1": "not allowed in predicates",
+	}
+	for q, sub := range cases {
+		err := planErr(t, q)
+		if !strings.Contains(strings.ToLower(err.Error()), strings.ToLower(strings.Split(sub, " ")[0])) {
+			t.Errorf("Plan(%q) error %q missing %q", q, err, sub)
+		}
+	}
+}
+
+func TestPlanUnqualifiedColumns(t *testing.T) {
+	n := plan(t, "select ORF2 from protein_sequences p, protein_interactions i where ORF1=ORF")
+	join := n.(*Project).Child.(*Join)
+	if join.LeftKeys[0] != 0 || join.RightKeys[0] != 0 {
+		t.Fatalf("keys = %v / %v", join.LeftKeys, join.RightKeys)
+	}
+}
+
+func TestExplainRendersTree(t *testing.T) {
+	n := plan(t, "select i.ORF2 from protein_sequences p, protein_interactions i where i.ORF1=p.ORF")
+	out := Explain(n)
+	for _, want := range []string{"Project(", "HashJoin(", "Scan(protein_sequences", "Scan(protein_interactions"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %q:\n%s", want, out)
+		}
+	}
+	// Children are indented under parents.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 || strings.HasPrefix(lines[1], strings.Repeat(" ", 4)) || !strings.HasPrefix(lines[2], "    ") {
+		t.Errorf("Explain structure:\n%s", out)
+	}
+}
+
+func TestPlanNoFrom(t *testing.T) {
+	_, err := Plan(&sqlparse.SelectStmt{}, demoCatalog())
+	if err == nil {
+		t.Fatal("expected error for empty FROM")
+	}
+}
+
+func TestPlanAliasedStarRejected(t *testing.T) {
+	// The parser cannot produce this shape, but a programmatic caller can.
+	stmt := &sqlparse.SelectStmt{
+		Items: []sqlparse.SelectItem{{Expr: sqlparse.Star{}, Alias: "x"}},
+		From:  []sqlparse.TableRef{{Table: "protein_sequences"}},
+	}
+	if _, err := Plan(stmt, demoCatalog()); err == nil {
+		t.Fatal("expected error for aliased *")
+	}
+}

@@ -1,0 +1,100 @@
+// Package registry implements the resource registry the GDQS contacts at
+// query-compile time (paper §2): it lists the computational resources
+// (machines that can host evaluation services) and data resources (machines
+// exposing Grid Data Services) available to a query, together with the
+// static capability metadata the scheduler uses for its initial, pre-
+// adaptation placement.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/simnet"
+)
+
+// ComputeResource describes a machine able to host a query evaluation
+// service.
+type ComputeResource struct {
+	Node simnet.NodeID
+	// RelativeSpeed is the registry's static claim about CPU speed, with
+	// 1.0 the reference machine. The whole point of the paper is that this
+	// claim goes stale at runtime; the scheduler uses it only for the
+	// initial distribution.
+	RelativeSpeed float64
+}
+
+// DataResource describes a machine exposing one or more tables through a
+// Grid Data Service.
+type DataResource struct {
+	Node   simnet.NodeID
+	Tables []string
+}
+
+// Registry is a thread-safe directory of Grid resources.
+type Registry struct {
+	mu      sync.RWMutex
+	compute map[simnet.NodeID]ComputeResource
+	data    map[simnet.NodeID]DataResource
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		compute: make(map[simnet.NodeID]ComputeResource),
+		data:    make(map[simnet.NodeID]DataResource),
+	}
+}
+
+// RegisterCompute advertises a computational resource. A non-positive
+// relative speed is rejected.
+func (r *Registry) RegisterCompute(node simnet.NodeID, relativeSpeed float64) error {
+	if relativeSpeed <= 0 {
+		return fmt.Errorf("registry: non-positive speed %g for %q", relativeSpeed, node)
+	}
+	r.mu.Lock()
+	r.compute[node] = ComputeResource{Node: node, RelativeSpeed: relativeSpeed}
+	r.mu.Unlock()
+	return nil
+}
+
+// RegisterData advertises a data resource hosting the given tables.
+func (r *Registry) RegisterData(node simnet.NodeID, tables ...string) {
+	r.mu.Lock()
+	r.data[node] = DataResource{Node: node, Tables: append([]string(nil), tables...)}
+	r.mu.Unlock()
+}
+
+// ComputeResources returns the advertised computational resources, sorted
+// by node ID for deterministic scheduling.
+func (r *Registry) ComputeResources() []ComputeResource {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]ComputeResource, 0, len(r.compute))
+	for _, c := range r.compute {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// DataResourceFor returns the data resource hosting the named table.
+func (r *Registry) DataResourceFor(table string) (DataResource, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var found []DataResource
+	for _, d := range r.data {
+		for _, t := range d.Tables {
+			if t == table {
+				found = append(found, d)
+			}
+		}
+	}
+	if len(found) == 0 {
+		return DataResource{}, fmt.Errorf("registry: no data resource hosts table %q", table)
+	}
+	// Prefer the lexicographically first for determinism when replicated.
+	sort.Slice(found, func(i, j int) bool { return found[i].Node < found[j].Node })
+	return found[0], nil
+}

@@ -1,0 +1,61 @@
+package registry
+
+import "testing"
+
+func TestRegisterCompute(t *testing.T) {
+	r := New()
+	if err := r.RegisterCompute("ws1", 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterCompute("ws0", 2.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterCompute("bad", 0); err == nil {
+		t.Fatal("expected error for zero speed")
+	}
+	got := r.ComputeResources()
+	if len(got) != 2 || got[0].Node != "ws0" || got[1].Node != "ws1" {
+		t.Fatalf("ComputeResources = %v (want sorted ws0, ws1)", got)
+	}
+	if got[0].RelativeSpeed != 2.0 {
+		t.Errorf("speed = %v", got[0].RelativeSpeed)
+	}
+}
+
+func TestRegisterComputeOverwrite(t *testing.T) {
+	r := New()
+	_ = r.RegisterCompute("a", 1)
+	_ = r.RegisterCompute("a", 3)
+	got := r.ComputeResources()
+	if len(got) != 1 || got[0].RelativeSpeed != 3 {
+		t.Fatalf("overwrite failed: %v", got)
+	}
+}
+
+func TestDataResourceLookup(t *testing.T) {
+	r := New()
+	r.RegisterData("data1", "protein_sequences", "protein_interactions")
+	d, err := r.DataResourceFor("protein_sequences")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Node != "data1" {
+		t.Errorf("node = %v", d.Node)
+	}
+	if _, err := r.DataResourceFor("nope"); err == nil {
+		t.Fatal("expected error for unhosted table")
+	}
+}
+
+func TestDataResourceReplicatedDeterministic(t *testing.T) {
+	r := New()
+	r.RegisterData("data2", "t")
+	r.RegisterData("data1", "t")
+	d, err := r.DataResourceFor("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Node != "data1" {
+		t.Errorf("replicated table resolved to %v, want data1 (deterministic)", d.Node)
+	}
+}

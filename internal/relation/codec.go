@@ -1,0 +1,143 @@
+package relation
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// The binary tuple codec is used by the TCP transport when shipping buffers
+// between evaluators and by tests that assert the wire representation is
+// stable. The format is:
+//
+//	tuple   := count:uvarint value*
+//	value   := tag:byte payload
+//	tag 0   := NULL (no payload)
+//	tag 1   := TInt, payload int64 zig-zag uvarint
+//	tag 2   := TFloat, payload 8 bytes little-endian IEEE-754
+//	tag 3   := TString, payload len:uvarint bytes
+//
+// The codec is self-describing, so a schema is not required for decoding.
+
+// ErrCorrupt is returned (wrapped) when decoding malformed bytes.
+var ErrCorrupt = errors.New("relation: corrupt tuple encoding")
+
+// AppendTuple appends the binary encoding of t to dst and returns the
+// extended slice.
+func AppendTuple(dst []byte, t Tuple) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(t)))
+	for _, v := range t {
+		switch v.typ {
+		case 0:
+			dst = append(dst, 0)
+		case TInt:
+			dst = append(dst, 1)
+			dst = binary.AppendVarint(dst, v.i)
+		case TFloat:
+			dst = append(dst, 2)
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.f))
+		case TString:
+			dst = append(dst, 3)
+			dst = binary.AppendUvarint(dst, uint64(len(v.s)))
+			dst = append(dst, v.s...)
+		default:
+			panic(fmt.Sprintf("relation: encoding value of invalid type %d", v.typ))
+		}
+	}
+	return dst
+}
+
+// EncodeTuple returns the binary encoding of t.
+func EncodeTuple(t Tuple) []byte {
+	return AppendTuple(make([]byte, 0, t.ByteSize()), t)
+}
+
+// DecodeTuple decodes one tuple from the front of b, returning the tuple and
+// the remaining bytes.
+func DecodeTuple(b []byte) (Tuple, []byte, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, b, fmt.Errorf("%w: bad value count", ErrCorrupt)
+	}
+	if n > uint64(len(b)) { // cheap sanity bound: ≥1 byte per value
+		return nil, b, fmt.Errorf("%w: value count %d exceeds input", ErrCorrupt, n)
+	}
+	b = b[sz:]
+	t := make(Tuple, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if len(b) == 0 {
+			return nil, b, fmt.Errorf("%w: truncated value", ErrCorrupt)
+		}
+		tag := b[0]
+		b = b[1:]
+		switch tag {
+		case 0:
+			t = append(t, Null)
+		case 1:
+			v, sz := binary.Varint(b)
+			if sz <= 0 {
+				return nil, b, fmt.Errorf("%w: bad int", ErrCorrupt)
+			}
+			b = b[sz:]
+			t = append(t, Int(v))
+		case 2:
+			if len(b) < 8 {
+				return nil, b, fmt.Errorf("%w: truncated float", ErrCorrupt)
+			}
+			t = append(t, Float(math.Float64frombits(binary.LittleEndian.Uint64(b))))
+			b = b[8:]
+		case 3:
+			l, sz := binary.Uvarint(b)
+			if sz <= 0 || l > uint64(len(b[sz:])) {
+				return nil, b, fmt.Errorf("%w: bad string length", ErrCorrupt)
+			}
+			b = b[sz:]
+			t = append(t, String(string(b[:l])))
+			b = b[l:]
+		default:
+			return nil, b, fmt.Errorf("%w: unknown value tag %d", ErrCorrupt, tag)
+		}
+	}
+	return t, b, nil
+}
+
+// EncodeTuples encodes a slice of tuples back to back, prefixed by a count.
+func EncodeTuples(ts []Tuple) []byte {
+	size := 4
+	for _, t := range ts {
+		size += t.ByteSize()
+	}
+	b := make([]byte, 0, size)
+	b = binary.AppendUvarint(b, uint64(len(ts)))
+	for _, t := range ts {
+		b = AppendTuple(b, t)
+	}
+	return b
+}
+
+// DecodeTuples decodes a count-prefixed tuple sequence produced by
+// EncodeTuples.
+func DecodeTuples(b []byte) ([]Tuple, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, fmt.Errorf("%w: bad tuple count", ErrCorrupt)
+	}
+	if n > uint64(len(b)) {
+		return nil, fmt.Errorf("%w: tuple count %d exceeds input", ErrCorrupt, n)
+	}
+	b = b[sz:]
+	out := make([]Tuple, 0, n)
+	for i := uint64(0); i < n; i++ {
+		t, rest, err := DecodeTuple(b)
+		if err != nil {
+			return nil, fmt.Errorf("tuple %d: %w", i, err)
+		}
+		out = append(out, t)
+		b = rest
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(b))
+	}
+	return out, nil
+}

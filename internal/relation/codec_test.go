@@ -1,0 +1,127 @@
+package relation
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	tuples := []Tuple{
+		{},
+		{Null},
+		{Int(0), Int(-1), Int(math.MaxInt64), Int(math.MinInt64)},
+		{Float(0), Float(math.Pi), Float(math.Inf(-1)), Float(-0.0)},
+		{String(""), String("MALSTQ"), String("a\x00b\xffc")},
+		{Int(7), String("ORF007"), Float(1.5), Null},
+	}
+	for i, tp := range tuples {
+		enc := EncodeTuple(tp)
+		dec, rest, err := DecodeTuple(enc)
+		if err != nil {
+			t.Fatalf("tuple %d: decode: %v", i, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("tuple %d: %d trailing bytes", i, len(rest))
+		}
+		if !dec.Equal(tp) {
+			t.Fatalf("tuple %d: round trip %v != %v", i, dec.Format(), tp.Format())
+		}
+	}
+}
+
+func TestCodecRoundTripProperty(t *testing.T) {
+	prop := func(g tupleGen) bool {
+		enc := EncodeTuple(g.T)
+		dec, rest, err := DecodeTuple(enc)
+		return err == nil && len(rest) == 0 && dec.Equal(g.T)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCodecBatchRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	batch := make([]Tuple, 64)
+	for i := range batch {
+		batch[i] = randTuple(r)
+	}
+	enc := EncodeTuples(batch)
+	dec, err := DecodeTuples(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(batch) {
+		t.Fatalf("decoded %d tuples, want %d", len(dec), len(batch))
+	}
+	for i := range batch {
+		if !dec[i].Equal(batch[i]) {
+			t.Fatalf("tuple %d differs: %v != %v", i, dec[i].Format(), batch[i].Format())
+		}
+	}
+}
+
+func TestCodecCorruptInputs(t *testing.T) {
+	good := EncodeTuple(Tuple{Int(1), String("abc"), Float(2.5)})
+	cases := map[string][]byte{
+		"empty":            {},
+		"truncated header": good[:1],
+		"truncated string": good[:len(good)-6],
+		"truncated float":  good[:len(good)-3],
+		"bad tag":          append(append([]byte{}, 1), 200),
+		"huge count":       {0xff, 0xff, 0xff, 0xff, 0x0f},
+	}
+	for name, b := range cases {
+		if _, _, err := DecodeTuple(b); err == nil {
+			t.Errorf("%s: expected error", name)
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: error %v does not wrap ErrCorrupt", name, err)
+		}
+	}
+}
+
+func TestCodecBatchCorrupt(t *testing.T) {
+	enc := EncodeTuples([]Tuple{{Int(1)}, {Int(2)}})
+	if _, err := DecodeTuples(enc[:len(enc)-1]); err == nil {
+		t.Error("truncated batch should fail")
+	}
+	if _, err := DecodeTuples(append(enc, 0)); err == nil {
+		t.Error("trailing bytes should fail")
+	}
+	if _, err := DecodeTuples(nil); err == nil {
+		t.Error("nil batch should fail")
+	}
+}
+
+func TestCodecNeverPanicsOnGarbage(t *testing.T) {
+	// Fuzz-ish: random byte strings must produce an error or a tuple, never
+	// a panic or an out-of-range read.
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 2000; i++ {
+		b := make([]byte, r.Intn(40))
+		r.Read(b)
+		_, _, _ = DecodeTuple(b)
+		_, _ = DecodeTuples(b)
+	}
+}
+
+func BenchmarkEncodeTuple(b *testing.B) {
+	tp := Tuple{String("ORF000123"), String("MALSTQWKDEFGHIRNPVYCMALSTQWKDEFGHIRNPVYC"), Int(40)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		EncodeTuple(tp)
+	}
+}
+
+func BenchmarkDecodeTuple(b *testing.B) {
+	enc := EncodeTuple(Tuple{String("ORF000123"), String("MALSTQWKDEFGHIRNPVYCMALSTQWKDEFGHIRNPVYC"), Int(40)})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecodeTuple(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Package relation defines the tuple and schema model used throughout the
+// query processor: typed columns, tuples, a compact binary codec used by the
+// exchange operators when shipping buffers between evaluators, and the hash
+// functions that drive partitioned parallelism.
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type enumerates the column types supported by the engine.
+type Type uint8
+
+const (
+	// TInt is a 64-bit signed integer column.
+	TInt Type = iota + 1
+	// TFloat is a 64-bit IEEE-754 column.
+	TFloat
+	// TString is a variable-length UTF-8 column.
+	TString
+)
+
+// String returns the SQL-ish name of the type.
+func (t Type) String() string {
+	switch t {
+	case TInt:
+		return "INTEGER"
+	case TFloat:
+		return "DOUBLE"
+	case TString:
+		return "VARCHAR"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// Valid reports whether t is one of the defined column types.
+func (t Type) Valid() bool { return t >= TInt && t <= TString }
+
+// Column describes a single attribute of a relation.
+type Column struct {
+	// Name is the bare attribute name, e.g. "ORF".
+	Name string
+	// Table is the relation (or alias) the attribute belongs to; it may be
+	// empty for computed columns such as the result of an operation call.
+	Table string
+	// Type is the column's value type.
+	Type Type
+}
+
+// QualifiedName returns "table.name" when a table qualifier is present and
+// the bare name otherwise.
+func (c Column) QualifiedName() string {
+	if c.Table == "" {
+		return c.Name
+	}
+	return c.Table + "." + c.Name
+}
+
+// Schema is an ordered list of columns describing the tuples of a stream.
+type Schema struct {
+	cols []Column
+}
+
+// NewSchema builds a schema from the given columns. The column slice is
+// copied, so the caller may reuse it.
+func NewSchema(cols ...Column) *Schema {
+	s := &Schema{cols: make([]Column, len(cols))}
+	copy(s.cols, cols)
+	return s
+}
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.cols) }
+
+// Column returns the i-th column.
+func (s *Schema) Column(i int) Column { return s.cols[i] }
+
+// Columns returns a copy of the column list.
+func (s *Schema) Columns() []Column {
+	out := make([]Column, len(s.cols))
+	copy(out, s.cols)
+	return out
+}
+
+// IndexOf resolves an attribute reference to a column ordinal. The reference
+// may be qualified ("p.ORF") or bare ("ORF"); a bare reference matches any
+// table qualifier but must be unambiguous. It returns -1 when the reference
+// does not resolve, and an error describing why.
+func (s *Schema) IndexOf(table, name string) (int, error) {
+	found := -1
+	for i, c := range s.cols {
+		if !strings.EqualFold(c.Name, name) {
+			continue
+		}
+		if table != "" && !strings.EqualFold(c.Table, table) {
+			continue
+		}
+		if found >= 0 {
+			return -1, fmt.Errorf("relation: ambiguous column reference %q", ref(table, name))
+		}
+		found = i
+	}
+	if found < 0 {
+		return -1, fmt.Errorf("relation: unknown column %q", ref(table, name))
+	}
+	return found, nil
+}
+
+func ref(table, name string) string {
+	if table == "" {
+		return name
+	}
+	return table + "." + name
+}
+
+// Project returns a new schema containing the columns at the given ordinals.
+func (s *Schema) Project(ordinals []int) *Schema {
+	cols := make([]Column, len(ordinals))
+	for i, o := range ordinals {
+		cols[i] = s.cols[o]
+	}
+	return &Schema{cols: cols}
+}
+
+// Concat returns the schema of the concatenation of tuples of s and t, as
+// produced by a join.
+func (s *Schema) Concat(t *Schema) *Schema {
+	cols := make([]Column, 0, len(s.cols)+len(t.cols))
+	cols = append(cols, s.cols...)
+	cols = append(cols, t.cols...)
+	return &Schema{cols: cols}
+}
+
+// WithAlias returns a copy of the schema with every column's table qualifier
+// replaced by alias. It is used when a base table is referenced under an
+// alias in a query ("protein_sequences p").
+func (s *Schema) WithAlias(alias string) *Schema {
+	cols := make([]Column, len(s.cols))
+	for i, c := range s.cols {
+		c.Table = alias
+		cols[i] = c
+	}
+	return &Schema{cols: cols}
+}
+
+// String renders the schema as "(table.col TYPE, ...)".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s.cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.QualifiedName())
+		b.WriteByte(' ')
+		b.WriteString(c.Type.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Equal reports whether two schemas have identical column lists.
+func (s *Schema) Equal(t *Schema) bool {
+	if s.Len() != t.Len() {
+		return false
+	}
+	for i := range s.cols {
+		if s.cols[i] != t.cols[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,103 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+)
+
+func proteinSchema() *Schema {
+	return NewSchema(
+		Column{Table: "p", Name: "ORF", Type: TString},
+		Column{Table: "p", Name: "sequence", Type: TString},
+		Column{Table: "p", Name: "length", Type: TInt},
+	)
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := proteinSchema()
+	if got := s.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	if got := s.Column(1).QualifiedName(); got != "p.sequence" {
+		t.Errorf("Column(1) = %q, want p.sequence", got)
+	}
+	if got := s.String(); !strings.Contains(got, "p.ORF VARCHAR") {
+		t.Errorf("String() = %q, missing p.ORF VARCHAR", got)
+	}
+}
+
+func TestSchemaIndexOf(t *testing.T) {
+	s := proteinSchema()
+	tests := []struct {
+		table, name string
+		want        int
+		wantErr     bool
+	}{
+		{"p", "ORF", 0, false},
+		{"", "ORF", 0, false},
+		{"p", "orf", 0, false}, // case-insensitive
+		{"", "length", 2, false},
+		{"q", "ORF", -1, true},
+		{"", "missing", -1, true},
+	}
+	for _, tc := range tests {
+		got, err := s.IndexOf(tc.table, tc.name)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("IndexOf(%q,%q) err = %v, wantErr %v", tc.table, tc.name, err, tc.wantErr)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("IndexOf(%q,%q) = %d, want %d", tc.table, tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestSchemaIndexOfAmbiguous(t *testing.T) {
+	s := NewSchema(
+		Column{Table: "a", Name: "x", Type: TInt},
+		Column{Table: "b", Name: "x", Type: TInt},
+	)
+	if _, err := s.IndexOf("", "x"); err == nil {
+		t.Fatal("expected ambiguity error for bare x")
+	}
+	if i, err := s.IndexOf("b", "x"); err != nil || i != 1 {
+		t.Fatalf("IndexOf(b.x) = %d, %v; want 1, nil", i, err)
+	}
+}
+
+func TestSchemaProjectConcatAlias(t *testing.T) {
+	s := proteinSchema()
+	p := s.Project([]int{2, 0})
+	if p.Len() != 2 || p.Column(0).Name != "length" || p.Column(1).Name != "ORF" {
+		t.Fatalf("Project = %v", p)
+	}
+	other := NewSchema(Column{Table: "i", Name: "ORF1", Type: TString})
+	c := s.Concat(other)
+	if c.Len() != 4 || c.Column(3).QualifiedName() != "i.ORF1" {
+		t.Fatalf("Concat = %v", c)
+	}
+	a := s.WithAlias("q")
+	if a.Column(0).Table != "q" || s.Column(0).Table != "p" {
+		t.Fatalf("WithAlias mutated original or failed: %v / %v", a, s)
+	}
+	if !s.Equal(proteinSchema()) || s.Equal(a) {
+		t.Fatal("Equal misbehaves")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	for _, tc := range []struct {
+		typ  Type
+		want string
+	}{{TInt, "INTEGER"}, {TFloat, "DOUBLE"}, {TString, "VARCHAR"}} {
+		if got := tc.typ.String(); got != tc.want {
+			t.Errorf("%d.String() = %q, want %q", tc.typ, got, tc.want)
+		}
+		if !tc.typ.Valid() {
+			t.Errorf("%v should be valid", tc.typ)
+		}
+	}
+	if Type(0).Valid() || Type(99).Valid() {
+		t.Error("invalid types reported valid")
+	}
+}

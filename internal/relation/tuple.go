@@ -1,0 +1,111 @@
+package relation
+
+import (
+	"strings"
+)
+
+// Tuple is an ordered list of values conforming to some schema. Tuples are
+// immutable by convention: operators build new tuples rather than mutating
+// received ones, so a tuple may be shared between an operator's output, a
+// recovery log, and an in-flight buffer without copying.
+type Tuple []Value
+
+// Clone returns a deep-enough copy of the tuple (values are value types, so
+// a slice copy suffices).
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Concat returns the concatenation of t and u, as produced by a join.
+func (t Tuple) Concat(u Tuple) Tuple {
+	out := make(Tuple, 0, len(t)+len(u))
+	out = append(out, t...)
+	out = append(out, u...)
+	return out
+}
+
+// Project returns a new tuple with the values at the given ordinals.
+func (t Tuple) Project(ordinals []int) Tuple {
+	out := make(Tuple, len(ordinals))
+	for i, o := range ordinals {
+		out[i] = t[o]
+	}
+	return out
+}
+
+// Equal reports whether two tuples have equal values position-wise.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(u[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Hash combines the hashes of the values at the given key ordinals. It is
+// the partitioning hash used by hash-distribution policies and hash joins:
+// equal keys always land in the same partition regardless of the values in
+// non-key columns.
+func (t Tuple) Hash(keyOrdinals []int) uint64 {
+	var h uint64 = 14695981039346656037 // FNV offset basis
+	for _, o := range keyOrdinals {
+		vh := t[o].Hash()
+		for i := 0; i < 8; i++ {
+			h ^= vh & 0xff
+			h *= 1099511628211 // FNV prime
+			vh >>= 8
+		}
+	}
+	return h
+}
+
+// Format renders the tuple as "(v1, v2, ...)" for logs and examples.
+func (t Tuple) Format() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range t {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.Format())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Key renders the tuple as a canonical string usable as a map key in tests
+// that compare result multisets.
+func (t Tuple) Key() string {
+	var b strings.Builder
+	for i, v := range t {
+		if i > 0 {
+			b.WriteByte('\x1f')
+		}
+		b.WriteByte(byte(v.typ))
+		b.WriteString(v.Format())
+	}
+	return b.String()
+}
+
+// ByteSize returns an estimate of the wire size of the tuple in bytes; the
+// simulated network charges bandwidth by this size.
+func (t Tuple) ByteSize() int {
+	n := 2 // count header
+	for _, v := range t {
+		switch v.typ {
+		case TInt, TFloat:
+			n += 9
+		case TString:
+			n += 5 + len(v.s)
+		default:
+			n++
+		}
+	}
+	return n
+}

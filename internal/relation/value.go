@@ -1,0 +1,188 @@
+package relation
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
+)
+
+// Value is a single typed datum. The zero Value is the NULL of type 0.
+// Values are small and passed by copy.
+type Value struct {
+	typ Type
+	i   int64   // TInt payload
+	f   float64 // TFloat payload
+	s   string  // TString payload
+}
+
+// Int returns a TInt value.
+func Int(v int64) Value { return Value{typ: TInt, i: v} }
+
+// Float returns a TFloat value.
+func Float(v float64) Value { return Value{typ: TFloat, f: v} }
+
+// String returns a TString value.
+func String(v string) Value { return Value{typ: TString, s: v} }
+
+// Null is the untyped null value.
+var Null = Value{}
+
+// Type returns the value's type; 0 for NULL.
+func (v Value) Type() Type { return v.typ }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.typ == 0 }
+
+// AsInt returns the integer payload. It panics if the value is not a TInt;
+// use Type to check first when the type is not statically known.
+func (v Value) AsInt() int64 {
+	if v.typ != TInt {
+		panic(fmt.Sprintf("relation: AsInt on %v value", v.typ))
+	}
+	return v.i
+}
+
+// AsFloat returns the float payload, widening TInt values.
+func (v Value) AsFloat() float64 {
+	switch v.typ {
+	case TFloat:
+		return v.f
+	case TInt:
+		return float64(v.i)
+	default:
+		panic(fmt.Sprintf("relation: AsFloat on %v value", v.typ))
+	}
+}
+
+// AsString returns the string payload. It panics if the value is not a
+// TString.
+func (v Value) AsString() string {
+	if v.typ != TString {
+		panic(fmt.Sprintf("relation: AsString on %v value", v.typ))
+	}
+	return v.s
+}
+
+// Format renders the value for display: NULL, decimal integers, shortest
+// round-trip floats, and raw strings.
+func (v Value) Format() string {
+	switch v.typ {
+	case 0:
+		return "NULL"
+	case TInt:
+		return strconv.FormatInt(v.i, 10)
+	case TFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case TString:
+		return v.s
+	default:
+		return fmt.Sprintf("<bad value type %d>", uint8(v.typ))
+	}
+}
+
+// Equal reports deep equality of two values. NULL equals only NULL (this is
+// the equality used for hash-join keys, not three-valued SQL logic; the
+// planner never routes NULL keys to the join when the predicate is an
+// equi-join, because Compare filters them).
+func (v Value) Equal(w Value) bool {
+	if v.typ != w.typ {
+		// Allow numeric cross-type equality so that join keys of mixed
+		// integer/float columns behave as SQL users expect.
+		if (v.typ == TInt || v.typ == TFloat) && (w.typ == TInt || w.typ == TFloat) {
+			return v.AsFloat() == w.AsFloat()
+		}
+		return false
+	}
+	switch v.typ {
+	case 0:
+		return true
+	case TInt:
+		return v.i == w.i
+	case TFloat:
+		return v.f == w.f
+	case TString:
+		return v.s == w.s
+	}
+	return false
+}
+
+// Compare orders two values of the same broad type: -1, 0, +1. NULL sorts
+// before every non-NULL value. Comparing a string with a number panics; the
+// planner type-checks predicates so this is unreachable for valid plans.
+func (v Value) Compare(w Value) int {
+	if v.IsNull() || w.IsNull() {
+		switch {
+		case v.IsNull() && w.IsNull():
+			return 0
+		case v.IsNull():
+			return -1
+		default:
+			return 1
+		}
+	}
+	if v.typ == TString || w.typ == TString {
+		if v.typ != TString || w.typ != TString {
+			panic("relation: comparing string with non-string")
+		}
+		switch {
+		case v.s < w.s:
+			return -1
+		case v.s > w.s:
+			return 1
+		default:
+			return 0
+		}
+	}
+	a, b := v.AsFloat(), w.AsFloat()
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Hash returns a 64-bit hash of the value, suitable for partitioning.
+// Numeric values that compare equal hash equally (ints are hashed via their
+// float64 image when they fit exactly, which all demo data does).
+func (v Value) Hash() uint64 {
+	h := fnv.New64a()
+	var buf [9]byte
+	switch v.typ {
+	case 0:
+		buf[0] = 0
+		h.Write(buf[:1])
+	case TInt:
+		buf[0] = 1
+		putUint64(buf[1:], uint64(v.i))
+		h.Write(buf[:])
+	case TFloat:
+		buf[0] = 1 // same tag as TInt so 3 and 3.0 collide
+		if f := v.f; f == math.Trunc(f) && math.Abs(f) < 1<<62 {
+			putUint64(buf[1:], uint64(int64(f)))
+		} else {
+			putUint64(buf[1:], math.Float64bits(f))
+		}
+		h.Write(buf[:])
+	case TString:
+		buf[0] = 3
+		h.Write(buf[:1])
+		h.Write([]byte(v.s))
+	}
+	return h.Sum64()
+}
+
+func putUint64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}

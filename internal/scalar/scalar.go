@@ -1,0 +1,172 @@
+// Package scalar provides compiled scalar expressions and predicates over
+// tuples. The logical planner type-checks query expressions against schemas
+// and lowers them to these forms; the engine evaluates them per tuple with
+// no name resolution on the hot path.
+package scalar
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// Expr is a compiled scalar expression.
+type Expr interface {
+	// Type is the statically known result type.
+	Type() relation.Type
+	// Eval computes the expression over one input tuple.
+	Eval(t relation.Tuple) relation.Value
+	// String renders the expression for plan explanations.
+	String() string
+}
+
+// col references an input column by ordinal.
+type col struct {
+	ord  int
+	typ  relation.Type
+	name string
+}
+
+// Col returns an expression reading the column at the given ordinal. The
+// name is used only for display.
+func Col(ord int, typ relation.Type, name string) Expr {
+	return col{ord: ord, typ: typ, name: name}
+}
+
+func (c col) Type() relation.Type                  { return c.typ }
+func (c col) Eval(t relation.Tuple) relation.Value { return t[c.ord] }
+func (c col) String() string {
+	if c.name != "" {
+		return c.name
+	}
+	return fmt.Sprintf("$%d", c.ord)
+}
+
+// constant wraps a literal value.
+type constant struct{ v relation.Value }
+
+// Const returns a constant expression.
+func Const(v relation.Value) Expr { return constant{v: v} }
+
+func (c constant) Type() relation.Type                { return c.v.Type() }
+func (c constant) Eval(relation.Tuple) relation.Value { return c.v }
+func (c constant) String() string                     { return c.v.Format() }
+
+// Op enumerates comparison operators for predicates.
+type Op uint8
+
+// Comparison operators.
+const (
+	Eq Op = iota + 1
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+// String renders the operator.
+func (o Op) String() string {
+	switch o {
+	case Eq:
+		return "="
+	case Ne:
+		return "<>"
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Predicate is a compiled boolean filter over tuples.
+type Predicate interface {
+	Matches(t relation.Tuple) bool
+	String() string
+}
+
+// comparison applies an operator to two sub-expressions.
+type comparison struct {
+	left, right Expr
+	op          Op
+}
+
+// Compare builds a type-checked comparison predicate. String operands may
+// only meet string operands; numeric types mix freely.
+func Compare(left Expr, op Op, right Expr) (Predicate, error) {
+	if op < Eq || op > Ge {
+		return nil, fmt.Errorf("scalar: invalid operator %v", op)
+	}
+	ls, rs := left.Type() == relation.TString, right.Type() == relation.TString
+	if ls != rs {
+		return nil, fmt.Errorf("scalar: cannot compare %v with %v in %s %s %s",
+			left.Type(), right.Type(), left, op, right)
+	}
+	return comparison{left: left, right: right, op: op}, nil
+}
+
+func (c comparison) Matches(t relation.Tuple) bool {
+	l, r := c.left.Eval(t), c.right.Eval(t)
+	// SQL three-valued logic: a comparison with NULL is not true.
+	if l.IsNull() || r.IsNull() {
+		return false
+	}
+	switch c.op {
+	case Eq:
+		return l.Equal(r)
+	case Ne:
+		return !l.Equal(r)
+	}
+	cmp := l.Compare(r)
+	switch c.op {
+	case Lt:
+		return cmp < 0
+	case Le:
+		return cmp <= 0
+	case Gt:
+		return cmp > 0
+	case Ge:
+		return cmp >= 0
+	}
+	return false
+}
+
+func (c comparison) String() string {
+	return fmt.Sprintf("%s %s %s", c.left, c.op, c.right)
+}
+
+// And conjoins predicates; And() is the always-true predicate.
+func And(preds ...Predicate) Predicate {
+	if len(preds) == 1 {
+		return preds[0]
+	}
+	return conjunction(preds)
+}
+
+type conjunction []Predicate
+
+func (c conjunction) Matches(t relation.Tuple) bool {
+	for _, p := range c {
+		if !p.Matches(t) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c conjunction) String() string {
+	if len(c) == 0 {
+		return "true"
+	}
+	s := c[0].String()
+	for _, p := range c[1:] {
+		s += " AND " + p.String()
+	}
+	return s
+}

@@ -1,0 +1,140 @@
+package scalar
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+)
+
+func TestColAndConst(t *testing.T) {
+	tp := relation.Tuple{relation.Int(5), relation.String("x")}
+	c := Col(1, relation.TString, "t.name")
+	if got := c.Eval(tp); got.AsString() != "x" {
+		t.Errorf("Col eval = %v", got)
+	}
+	if c.Type() != relation.TString || c.String() != "t.name" {
+		t.Error("Col metadata")
+	}
+	if Col(0, relation.TInt, "").String() != "$0" {
+		t.Error("anonymous col display")
+	}
+	k := Const(relation.Int(9))
+	if k.Eval(tp).AsInt() != 9 || k.Type() != relation.TInt || k.String() != "9" {
+		t.Error("Const")
+	}
+}
+
+func TestCompareTypeChecking(t *testing.T) {
+	i := Col(0, relation.TInt, "a")
+	s := Col(1, relation.TString, "b")
+	f := Const(relation.Float(1.5))
+	if _, err := Compare(i, Eq, s); err == nil {
+		t.Error("int vs string must be rejected")
+	}
+	if _, err := Compare(i, Lt, f); err != nil {
+		t.Errorf("int vs float should be fine: %v", err)
+	}
+	if _, err := Compare(i, Op(99), i); err == nil {
+		t.Error("bad operator must be rejected")
+	}
+}
+
+func TestComparisonSemantics(t *testing.T) {
+	a := Col(0, relation.TInt, "a")
+	b := Col(1, relation.TInt, "b")
+	tests := []struct {
+		op   Op
+		x, y int64
+		want bool
+	}{
+		{Eq, 3, 3, true}, {Eq, 3, 4, false},
+		{Ne, 3, 4, true}, {Ne, 3, 3, false},
+		{Lt, 3, 4, true}, {Lt, 4, 3, false}, {Lt, 3, 3, false},
+		{Le, 3, 3, true}, {Le, 4, 3, false},
+		{Gt, 4, 3, true}, {Gt, 3, 3, false},
+		{Ge, 3, 3, true}, {Ge, 2, 3, false},
+	}
+	for _, tc := range tests {
+		p, err := Compare(a, tc.op, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tp := relation.Tuple{relation.Int(tc.x), relation.Int(tc.y)}
+		if got := p.Matches(tp); got != tc.want {
+			t.Errorf("%d %v %d = %v, want %v", tc.x, tc.op, tc.y, got, tc.want)
+		}
+	}
+}
+
+func TestComparisonNullIsNotTrue(t *testing.T) {
+	a := Col(0, relation.TInt, "a")
+	for _, op := range []Op{Eq, Ne, Lt, Le, Gt, Ge} {
+		p, err := Compare(a, op, Const(relation.Int(1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Matches(relation.Tuple{relation.Null}) {
+			t.Errorf("NULL %v 1 must not match", op)
+		}
+	}
+}
+
+func TestStringComparison(t *testing.T) {
+	p, err := Compare(Col(0, relation.TString, "s"), Lt, Const(relation.String("m")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Matches(relation.Tuple{relation.String("a")}) || p.Matches(relation.Tuple{relation.String("z")}) {
+		t.Error("string ordering")
+	}
+}
+
+func TestAnd(t *testing.T) {
+	a := Col(0, relation.TInt, "a")
+	p1, _ := Compare(a, Gt, Const(relation.Int(0)))
+	p2, _ := Compare(a, Lt, Const(relation.Int(10)))
+	all := And(p1, p2)
+	if !all.Matches(relation.Tuple{relation.Int(5)}) {
+		t.Error("5 in (0,10)")
+	}
+	if all.Matches(relation.Tuple{relation.Int(11)}) {
+		t.Error("11 not in (0,10)")
+	}
+	if And(p1) != p1 {
+		t.Error("single-predicate And should be identity")
+	}
+	empty := And()
+	if !empty.Matches(relation.Tuple{relation.Int(-5)}) {
+		t.Error("empty And must be true")
+	}
+	if empty.String() != "true" {
+		t.Errorf("empty And String = %q", empty.String())
+	}
+	if all.String() != "a > 0 AND a < 10" {
+		t.Errorf("And String = %q", all.String())
+	}
+}
+
+func TestEqNeAreDuals(t *testing.T) {
+	a := Col(0, relation.TInt, "a")
+	b := Col(1, relation.TInt, "b")
+	eq, _ := Compare(a, Eq, b)
+	ne, _ := Compare(a, Ne, b)
+	prop := func(x, y int16) bool {
+		tp := relation.Tuple{relation.Int(int64(x)), relation.Int(int64(y))}
+		return eq.Matches(tp) != ne.Matches(tp)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	wants := map[Op]string{Eq: "=", Ne: "<>", Lt: "<", Le: "<=", Gt: ">", Ge: ">="}
+	for op, want := range wants {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q, want %q", op, op.String(), want)
+		}
+	}
+}

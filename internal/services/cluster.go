@@ -1,0 +1,209 @@
+// Package services implements the Grid service layer of OGSA-DQP (paper
+// §2): the GDQS (Grid Distributed Query Service) that accepts queries,
+// compiles and schedules them, and dynamically creates evaluation services
+// on the selected machines; and the AGQESs (Adaptive Grid Query Evaluation
+// Services), each hosting the query engine plus the adaptivity components.
+// The Cluster type assembles a complete simulated Grid — machines, network,
+// notification bus, registries — inside one process.
+package services
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/bus"
+	"repro/internal/catalog"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/registry"
+	"repro/internal/relation"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+	"repro/internal/vtime"
+	"repro/internal/ws"
+)
+
+// ClusterConfig sets the physical characteristics of the simulated Grid.
+type ClusterConfig struct {
+	// Scale is the real duration of one paper millisecond
+	// (vtime.DefaultScale when zero).
+	Scale time.Duration
+	// Costs are the engine's operator cost parameters.
+	Costs engine.Costs
+	// Buckets is the hash-policy bucket count.
+	Buckets int
+	// BufferTuples and CheckpointEvery tune the exchanges.
+	BufferTuples    int
+	CheckpointEvery int
+}
+
+// Cluster is a simulated Grid: nodes, network, transport, notification bus,
+// and the resource registry / metadata catalog the GDQS consults.
+type Cluster struct {
+	cfg   ClusterConfig
+	clock *vtime.Clock
+	net   *simnet.Network
+	tr    *transport.InProc
+	bus   *bus.Bus
+
+	registry *registry.Registry
+	catalog  *catalog.Catalog
+
+	mu       sync.Mutex
+	stores   map[simnet.NodeID]*dataset.Store
+	services map[simnet.NodeID]*ws.Registry
+}
+
+// NewCluster builds an empty simulated Grid.
+func NewCluster(cfg ClusterConfig) *Cluster {
+	if cfg.Scale <= 0 {
+		cfg.Scale = vtime.DefaultScale
+	}
+	if cfg.Costs == (engine.Costs{}) {
+		cfg.Costs = engine.DefaultCosts()
+	}
+	if cfg.Buckets <= 0 {
+		cfg.Buckets = engine.DefaultBuckets
+	}
+	clock := vtime.NewClock(cfg.Scale)
+	net := simnet.NewNetwork(clock)
+	c := &Cluster{
+		cfg:      cfg,
+		clock:    clock,
+		net:      net,
+		tr:       transport.NewInProc(net),
+		bus:      bus.New(clock, net),
+		registry: registry.New(),
+		catalog:  catalog.New(),
+		stores:   make(map[simnet.NodeID]*dataset.Store),
+		services: make(map[simnet.NodeID]*ws.Registry),
+	}
+	return c
+}
+
+// Clock exposes the cluster's virtual clock.
+func (c *Cluster) Clock() *vtime.Clock { return c.clock }
+
+// Network exposes the simulated network (experiments perturb nodes through
+// it).
+func (c *Cluster) Network() *simnet.Network { return c.net }
+
+// Bus exposes the notification bus (examples subscribe to watch
+// adaptations happen).
+func (c *Cluster) Bus() *bus.Bus { return c.bus }
+
+// Transport exposes the message transport.
+func (c *Cluster) Transport() transport.Transport { return c.tr }
+
+// Registry exposes the resource registry.
+func (c *Cluster) Registry() *registry.Registry { return c.registry }
+
+// Catalog exposes the metadata catalog.
+func (c *Cluster) Catalog() *catalog.Catalog { return c.catalog }
+
+// Node returns a machine by ID, or nil.
+func (c *Cluster) Node(id simnet.NodeID) *simnet.Node { return c.net.Node(id) }
+
+// AddDataNode registers a machine exposing the store's tables as Grid Data
+// Services, and advertises the table metadata in the catalog — the role the
+// resource registries and OGSA-DAI wrappers play in the paper.
+func (c *Cluster) AddDataNode(id simnet.NodeID, store *dataset.Store) error {
+	c.net.AddNode(id)
+	c.mu.Lock()
+	c.stores[id] = store
+	c.mu.Unlock()
+	var tables []string
+	for _, name := range store.Names() {
+		tbl, err := store.Table(name)
+		if err != nil {
+			return err
+		}
+		if err := c.catalog.PutTable(catalog.TableMeta{
+			Name:          tbl.Name,
+			Schema:        tbl.Schema,
+			Cardinality:   tbl.Cardinality(),
+			AvgTupleBytes: tbl.AvgTupleBytes(),
+			Node:          id,
+		}); err != nil {
+			return err
+		}
+		tables = append(tables, tbl.Name)
+	}
+	c.registry.RegisterData(id, tables...)
+	return nil
+}
+
+// AddComputeNode registers a machine able to host evaluation services, with
+// the given static speed claim and callable Web Service operations.
+func (c *Cluster) AddComputeNode(id simnet.NodeID, relativeSpeed float64, services *ws.Registry) error {
+	c.net.AddNode(id)
+	if services == nil {
+		services = ws.NewRegistry()
+	}
+	c.mu.Lock()
+	c.services[id] = services
+	c.mu.Unlock()
+	if err := c.registry.RegisterCompute(id, relativeSpeed); err != nil {
+		return err
+	}
+	for _, svc := range services.Services() {
+		if err := c.catalog.PutFunction(catalog.FunctionMeta{
+			Name:       svc.Name(),
+			ArgTypes:   svc.ArgTypes(),
+			ResultType: svc.ResultType(),
+			CostMs:     svc.BaseCostMs(),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// storeOf returns the data store hosted on a node (nil if none).
+func (c *Cluster) storeOf(id simnet.NodeID) *dataset.Store {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stores[id]
+}
+
+// servicesOf returns the Web Services hosted on a node (nil if none).
+func (c *Cluster) servicesOf(id simnet.NodeID) *ws.Registry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.services[id]
+}
+
+// Close shuts the cluster's bus down.
+func (c *Cluster) Close() {
+	c.bus.Close()
+}
+
+// rowSink streams result tuples to the collector. Close is idempotent: the
+// GDQS also closes it on error paths where the top driver never did.
+type rowSink struct {
+	ch   chan relation.Tuple
+	once sync.Once
+}
+
+func (s *rowSink) Send(t relation.Tuple) error {
+	s.ch <- t
+	return nil
+}
+
+func (s *rowSink) Close() error {
+	s.once.Do(func() { close(s.ch) })
+	return nil
+}
+
+// ensureNode registers a node on first use (the coordinator may not be a
+// compute or data resource).
+func (c *Cluster) ensureNode(id simnet.NodeID) error {
+	if c.net.Node(id) == nil {
+		c.net.AddNode(id)
+	}
+	if c.net.Node(id) == nil {
+		return fmt.Errorf("services: cannot create node %q", id)
+	}
+	return nil
+}

@@ -1,0 +1,341 @@
+package services
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/logical"
+	"repro/internal/physical"
+	"repro/internal/relation"
+	"repro/internal/simnet"
+	"repro/internal/sqlparse"
+	"repro/internal/vtime"
+)
+
+// GDQSConfig configures a Grid Distributed Query Service instance.
+type GDQSConfig struct {
+	// Adaptive enables the AQP components; disabled, the evaluators are
+	// plain static GQESs — the paper's "no ad" baseline.
+	Adaptive bool
+	// MonitorEvery is the M1 frequency in tuples (paper default 10; 0
+	// disables monitoring even when Adaptive is set — the paper's
+	// "frequency 0" configuration).
+	MonitorEvery int
+	// MED, Diagnoser and Responder tune the adaptivity components.
+	MED       core.MEDConfig
+	Diagnoser core.DiagnoserConfig
+	Responder core.ResponderConfig
+	// MaxParallelism caps the compute resources used per query.
+	MaxParallelism int
+	// QueryTimeout bounds one query's real execution time.
+	QueryTimeout time.Duration
+}
+
+// DefaultGDQSConfig returns an adaptive configuration with the paper's
+// default parameters.
+func DefaultGDQSConfig() GDQSConfig {
+	return GDQSConfig{
+		Adaptive:     true,
+		MonitorEvery: 10,
+		MED:          core.DefaultMEDConfig(),
+		Diagnoser:    core.DefaultDiagnoserConfig(),
+		Responder:    core.DefaultResponderConfig(),
+		QueryTimeout: 5 * time.Minute,
+	}
+}
+
+// queryCounter hands out process-wide query tags, so plans of concurrently
+// executing queries (even through different coordinators sharing one
+// cluster) never collide on the transport namespace.
+var queryCounter atomic.Int64
+
+// GDQS is the coordinator service: it parses, optimises and schedules
+// queries, dynamically creates a GQES (or AGQES) on each machine the
+// scheduler selected, collects the results, and — when adaptive — hosts the
+// Diagnoser and Responder while each evaluating site runs its own
+// MonitoringEventDetector.
+type GDQS struct {
+	cluster *Cluster
+	node    simnet.NodeID
+	cfg     GDQSConfig
+
+	mu sync.Mutex // serialises Execute per coordinator
+}
+
+// NewGDQS creates the coordinator on the given node.
+func NewGDQS(cluster *Cluster, node simnet.NodeID, cfg GDQSConfig) (*GDQS, error) {
+	if err := cluster.ensureNode(node); err != nil {
+		return nil, err
+	}
+	if cfg.QueryTimeout <= 0 {
+		cfg.QueryTimeout = 5 * time.Minute
+	}
+	return &GDQS{cluster: cluster, node: node, cfg: cfg}, nil
+}
+
+// QueryStats aggregates what one execution observed; the experiment harness
+// reads everything it reports from here.
+type QueryStats struct {
+	// ResponseMs is the query response time in paper milliseconds.
+	ResponseMs float64
+	Rows       int
+	// Plan is the scheduled physical plan (for explain output).
+	Plan *physical.Plan
+	// ConsumedByInstance maps fragment instance IDs to the tuples each
+	// consumed — the paper reports the slow/fast machine tuple ratio.
+	ConsumedByInstance map[string]int64
+	// Raw monitoring and adaptivity traffic counters (paper §3.2,
+	// Overheads).
+	RawEvents        int64
+	MEDNotifications int64
+	Proposals        int64
+	Adaptations      int64
+	SkippedLate      int64
+	TuplesMoved      int64
+	StateReplays     int64
+	// Timeline records every Responder decision with timestamps.
+	Timeline []core.AdaptationEvent
+}
+
+// QueryResult is a completed query.
+type QueryResult struct {
+	Columns []relation.Column
+	Rows    []relation.Tuple
+	Stats   QueryStats
+}
+
+// Execute runs one SQL query to completion.
+func (g *GDQS) Execute(query string) (*QueryResult, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	stmt, err := sqlparse.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	lplan, err := logical.Plan(stmt, g.cluster.catalog)
+	if err != nil {
+		return nil, err
+	}
+	pplan, err := physical.Schedule(lplan, g.cluster.registry, physical.Options{
+		Coordinator:    g.node,
+		MaxParallelism: g.cfg.MaxParallelism,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pplan.Tag(fmt.Sprintf("q%d", queryCounter.Add(1)))
+	if err := pplan.Validate(); err != nil {
+		return nil, err
+	}
+	return g.run(pplan)
+}
+
+// run deploys and executes a scheduled plan.
+func (g *GDQS) run(plan *physical.Plan) (*QueryResult, error) {
+	cluster := g.cluster
+	start := time.Now()
+
+	// Adaptivity components: one MED per evaluating site, one Diagnoser
+	// and one Responder (paper §3.1), hosted at the coordinator.
+	var (
+		meds      []*core.MonitoringEventDetector
+		diagnoser *core.Diagnoser
+		responder *core.Responder
+	)
+	if g.cfg.Adaptive {
+		seen := map[simnet.NodeID]bool{}
+		for _, frag := range plan.Fragments {
+			for _, node := range frag.Instances {
+				if !seen[node] {
+					seen[node] = true
+					meds = append(meds, core.NewMED(cluster.bus, node, g.cfg.MED))
+				}
+			}
+		}
+		diagnoser = core.NewDiagnoser(cluster.bus, g.node, g.cfg.Diagnoser)
+		responder = core.NewResponder(cluster.bus, cluster.tr, g.node, g.cfg.Responder)
+		responder.SetClock(cluster.clock)
+		for _, topo := range core.TopologyOf(plan, cluster.cfg.Buckets) {
+			diagnoser.Register(topo)
+			if err := responder.Register(topo); err != nil {
+				return nil, err
+			}
+		}
+	}
+	defer func() {
+		for _, m := range meds {
+			m.Stop()
+		}
+		if diagnoser != nil {
+			diagnoser.Stop()
+		}
+		if responder != nil {
+			responder.Stop()
+		}
+	}()
+
+	// Dynamically create an evaluation service per fragment instance.
+	sink := &rowSink{ch: make(chan relation.Tuple, 4096)}
+	runtimes := make(map[string]*engine.FragmentRuntime)
+	defer func() {
+		for _, rt := range runtimes {
+			rt.Stop()
+		}
+	}()
+	for _, frag := range plan.Fragments {
+		for i, nodeID := range frag.Instances {
+			node := cluster.net.Node(nodeID)
+			if node == nil {
+				return nil, fmt.Errorf("services: plan references unknown node %q", nodeID)
+			}
+			ctx := &engine.ExecContext{
+				Clock:        cluster.clock,
+				Node:         node,
+				Meter:        vtime.NewMeter(cluster.clock),
+				Store:        cluster.storeOf(nodeID),
+				Services:     cluster.servicesOf(nodeID),
+				Costs:        cluster.cfg.Costs,
+				MonitorEvery: g.cfg.MonitorEvery,
+				Buckets:      cluster.cfg.Buckets,
+				Fragment:     frag.ID,
+				Instance:     i,
+			}
+			if g.cfg.Adaptive && g.cfg.MonitorEvery > 0 {
+				ctx.Monitor = &core.MonitorAdapter{Bus: cluster.bus, Node: nodeID}
+			}
+			cfg := engine.RuntimeConfig{
+				Plan:            plan,
+				Fragment:        frag,
+				Instance:        i,
+				Ctx:             ctx,
+				Tr:              cluster.tr,
+				Node:            nodeID,
+				BufferTuples:    cluster.cfg.BufferTuples,
+				CheckpointEvery: cluster.cfg.CheckpointEvery,
+			}
+			if frag.Output == nil {
+				cfg.Sink = sink
+			}
+			rt, err := engine.NewFragmentRuntime(cfg)
+			if err != nil {
+				return nil, err
+			}
+			runtimes[frag.InstanceID(i)] = rt
+		}
+	}
+
+	// Start all drivers; collect rows until the sink closes.
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(runtimes))
+	for _, rt := range runtimes {
+		rt := rt
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := rt.Run(); err != nil {
+				errCh <- err
+			}
+		}()
+	}
+
+	var rows []relation.Tuple
+	collectDone := make(chan struct{})
+	go func() {
+		defer close(collectDone)
+		for t := range sink.ch {
+			rows = append(rows, t)
+		}
+	}()
+
+	driversDone := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(driversDone)
+	}()
+
+	var execErr error
+	select {
+	case <-driversDone:
+	case err := <-errCh:
+		execErr = err
+		for _, rt := range runtimes {
+			rt.Stop() // unblocks consumers so remaining drivers exit
+		}
+		<-driversDone
+	case <-time.After(g.cfg.QueryTimeout):
+		execErr = fmt.Errorf("services: query exceeded timeout %v", g.cfg.QueryTimeout)
+		for _, rt := range runtimes {
+			rt.Stop()
+		}
+		<-driversDone
+	}
+	_ = sink.Close() // idempotent: drains the collector on error paths
+	<-collectDone
+	if execErr == nil {
+		select {
+		case err := <-errCh:
+			execErr = err
+		default:
+		}
+	}
+	if execErr != nil {
+		return nil, execErr
+	}
+
+	stats := QueryStats{
+		ResponseMs:         cluster.clock.MsOf(time.Since(start)),
+		Rows:               len(rows),
+		Plan:               plan,
+		ConsumedByInstance: make(map[string]int64),
+	}
+	for id, rt := range runtimes {
+		stats.ConsumedByInstance[id] = rt.ConsumedTuples()
+	}
+	for _, m := range meds {
+		raw, notif := m.Stats()
+		stats.RawEvents += raw
+		stats.MEDNotifications += notif
+	}
+	if diagnoser != nil {
+		_, proposals := diagnoser.Stats()
+		stats.Proposals = proposals
+	}
+	if responder != nil {
+		rs := responder.Stats()
+		stats.Adaptations = rs.Adaptations
+		stats.SkippedLate = rs.SkippedLate
+		stats.TuplesMoved = rs.TuplesMoved
+		stats.StateReplays = rs.StateReplays
+		stats.Timeline = responder.Timeline()
+	}
+	return &QueryResult{
+		Columns: plan.Top().Root.OutSchema().Columns(),
+		Rows:    rows,
+		Stats:   stats,
+	}, nil
+}
+
+// Explain compiles and schedules a query without executing it.
+func (g *GDQS) Explain(query string) (string, error) {
+	stmt, err := sqlparse.Parse(query)
+	if err != nil {
+		return "", err
+	}
+	lplan, err := logical.Plan(stmt, g.cluster.catalog)
+	if err != nil {
+		return "", err
+	}
+	pplan, err := physical.Schedule(lplan, g.cluster.registry, physical.Options{
+		Coordinator:    g.node,
+		MaxParallelism: g.cfg.MaxParallelism,
+	})
+	if err != nil {
+		return "", err
+	}
+	return logical.Explain(lplan) + "\n" + pplan.Explain(), nil
+}

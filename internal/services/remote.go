@@ -1,0 +1,638 @@
+package services
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/bus"
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/logical"
+	"repro/internal/physical"
+	"repro/internal/registry"
+	"repro/internal/relation"
+	"repro/internal/simnet"
+	"repro/internal/sqlparse"
+	"repro/internal/transport"
+	"repro/internal/vtime"
+	"repro/internal/ws"
+	"sort"
+)
+
+// Manifest describes a multi-process deployment identically to every
+// participant: which machines exist, what they host, and the shared cost
+// model. Because the demo database is generated deterministically from its
+// seed and the scheduler is deterministic, every process derives the same
+// physical plan from the same SQL — the deploy message carries only the
+// query text.
+type Manifest struct {
+	// Scale is the real duration of a paper millisecond.
+	Scale time.Duration
+	Costs engine.Costs
+	// Buckets, BufferTuples and CheckpointEvery tune the exchanges.
+	Buckets         int
+	BufferTuples    int
+	CheckpointEvery int
+
+	Coordinator simnet.NodeID
+	DataNodes   []DataNodeSpec
+	Compute     []ComputeNodeSpec
+
+	// Adaptive enables the AQP components; the coordinator hosts the
+	// MonitoringEventDetectors, Diagnoser and Responder, and evaluators
+	// forward raw monitoring events to it over the transport.
+	Adaptive     bool
+	MonitorEvery int
+	Assessment   core.Assessment
+	Response     core.Response
+}
+
+// DataNodeSpec describes one data machine.
+type DataNodeSpec struct {
+	Node         simnet.NodeID
+	Sequences    int
+	Interactions int
+}
+
+// ComputeNodeSpec describes one evaluation machine.
+type ComputeNodeSpec struct {
+	Node          simnet.NodeID
+	Speed         float64
+	EntropyCostMs float64
+}
+
+func (m Manifest) withDefaults() Manifest {
+	if m.Scale <= 0 {
+		m.Scale = vtime.DefaultScale
+	}
+	if m.Costs == (engine.Costs{}) {
+		m.Costs = engine.DefaultCosts()
+	}
+	if m.Buckets <= 0 {
+		m.Buckets = engine.DefaultBuckets
+	}
+	if m.MonitorEvery == 0 && m.Adaptive {
+		m.MonitorEvery = 10
+	}
+	if m.Assessment == 0 {
+		m.Assessment = core.A1
+	}
+	if m.Response == 0 {
+		m.Response = core.R2
+	}
+	return m
+}
+
+// storeFor builds the deterministic table store of a data node.
+func (s DataNodeSpec) storeFor() *dataset.Store {
+	seqs := s.Sequences
+	if seqs == 0 {
+		seqs = dataset.DefaultSequences
+	}
+	ints := s.Interactions
+	if ints == 0 {
+		ints = dataset.DefaultInteractions
+	}
+	return dataset.DemoSized(seqs, ints)
+}
+
+// metadata derives the catalog and registry every process agrees on.
+func (m Manifest) metadata() (*catalog.Catalog, *registry.Registry, error) {
+	cat := catalog.New()
+	reg := registry.New()
+	for _, d := range m.DataNodes {
+		store := d.storeFor()
+		var tables []string
+		for _, name := range store.Names() {
+			tbl, err := store.Table(name)
+			if err != nil {
+				return nil, nil, err
+			}
+			if err := cat.PutTable(catalog.TableMeta{
+				Name:          tbl.Name,
+				Schema:        tbl.Schema,
+				Cardinality:   tbl.Cardinality(),
+				AvgTupleBytes: tbl.AvgTupleBytes(),
+				Node:          d.Node,
+			}); err != nil {
+				return nil, nil, err
+			}
+			tables = append(tables, tbl.Name)
+		}
+		reg.RegisterData(d.Node, tables...)
+	}
+	for _, c := range m.Compute {
+		if err := reg.RegisterCompute(c.Node, c.Speed); err != nil {
+			return nil, nil, err
+		}
+		for _, svc := range computeServices(c).Services() {
+			if err := cat.PutFunction(catalog.FunctionMeta{
+				Name:       svc.Name(),
+				ArgTypes:   svc.ArgTypes(),
+				ResultType: svc.ResultType(),
+				CostMs:     svc.BaseCostMs(),
+			}); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return cat, reg, nil
+}
+
+func computeServices(c ComputeNodeSpec) *ws.Registry {
+	return ws.NewRegistry(ws.Entropy{CostMs: c.EntropyCostMs}, ws.SequenceLength{})
+}
+
+// plan derives the (deterministic) physical plan of a query.
+func (m Manifest) plan(sql string) (*physical.Plan, error) {
+	cat, reg, err := m.metadata()
+	if err != nil {
+		return nil, err
+	}
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	lp, err := logical.Plan(stmt, cat)
+	if err != nil {
+		return nil, err
+	}
+	return physical.Schedule(lp, reg, physical.Options{Coordinator: m.Coordinator})
+}
+
+// gqesService is the deploy/teardown endpoint every evaluator registers.
+const gqesService = "gqes"
+
+// monitorService is the coordinator endpoint receiving forwarded raw
+// monitoring events.
+const monitorService = "aqp/monitor"
+
+// remoteMonitorSink forwards the engine's raw events to the coordinator
+// over the transport.
+type remoteMonitorSink struct {
+	tr    transport.Transport
+	local simnet.NodeID
+	coord simnet.NodeID
+}
+
+func (s *remoteMonitorSink) EmitM1(e engine.M1Event) {
+	msg := &transport.Message{Kind: transport.KindMonitor, Mon: &transport.Monitor{
+		Fragment: e.Fragment, Instance: e.Instance, Node: e.Node,
+		CostMs: e.CostPerTupleMs, WaitMs: e.WaitPerTupleMs,
+		Selectivity: e.Selectivity, Produced: e.Produced,
+	}}
+	_, _ = s.tr.Send(s.local, s.coord, monitorService, msg)
+}
+
+func (s *remoteMonitorSink) EmitM2(e engine.M2Event) {
+	msg := &transport.Message{Kind: transport.KindMonitor, Exchange: e.Exchange,
+		Mon: &transport.Monitor{
+			IsM2: true, Fragment: e.Fragment, Instance: e.Instance, Node: e.Node,
+			ConsumerFragment: e.ConsumerFragment, ConsumerInstance: e.ConsumerInstance,
+			ConsumerNode: e.ConsumerNode, SendCostMs: e.SendCostMs, TupleCount: e.TupleCount,
+		}}
+	_, _ = s.tr.Send(s.local, s.coord, monitorService, msg)
+}
+
+// Evaluator is the multi-process GQES/AGQES daemon: it waits for deploy
+// requests, instantiates the fragment instances scheduled on its machine,
+// and runs them.
+type Evaluator struct {
+	manifest Manifest
+	node     simnet.NodeID
+	tr       transport.Transport
+	clock    *vtime.Clock
+	machine  *simnet.Node
+	store    *dataset.Store
+	services *ws.Registry
+
+	mu       sync.Mutex
+	runtimes []*engine.FragmentRuntime
+}
+
+// NewEvaluator builds and registers the evaluator for the local node.
+func NewEvaluator(manifest Manifest, node simnet.NodeID, tr transport.Transport) (*Evaluator, error) {
+	manifest = manifest.withDefaults()
+	e := &Evaluator{
+		manifest: manifest,
+		node:     node,
+		tr:       tr,
+		clock:    vtime.NewClock(manifest.Scale),
+		machine:  simnet.NewNode(node),
+	}
+	for _, d := range manifest.DataNodes {
+		if d.Node == node {
+			e.store = d.storeFor()
+		}
+	}
+	for _, c := range manifest.Compute {
+		if c.Node == node {
+			e.services = computeServices(c)
+		}
+	}
+	tr.Register(node, gqesService, e.handle)
+	return e, nil
+}
+
+// SetPerturbation installs an artificial load on the local machine.
+func (e *Evaluator) SetPerturbation(p vtime.Perturbation) {
+	e.machine.SetPerturbation(p)
+}
+
+func (e *Evaluator) handle(from simnet.NodeID, msg *transport.Message) {
+	switch msg.Kind {
+	case transport.KindDeploy:
+		err := e.deploy(msg.Query)
+		e.reply(msg, err)
+	case transport.KindTeardown:
+		e.teardown()
+		e.reply(msg, nil)
+	}
+}
+
+func (e *Evaluator) reply(msg *transport.Message, err error) {
+	if msg.Ctrl == nil || msg.Ctrl.ReplyService == "" {
+		return
+	}
+	reply := &transport.Ctrl{RequestID: msg.Ctrl.RequestID, OK: err == nil}
+	if err != nil {
+		reply.Err = err.Error()
+	}
+	out := &transport.Message{Kind: transport.KindReply, Ctrl: reply}
+	_, _ = e.tr.Send(e.node, msg.Ctrl.ReplyTo, msg.Ctrl.ReplyService, out)
+}
+
+// deploy instantiates and starts this machine's fragment instances.
+func (e *Evaluator) deploy(sql string) error {
+	plan, err := e.manifest.plan(sql)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.runtimes) > 0 {
+		return fmt.Errorf("services: evaluator %s already has an active query", e.node)
+	}
+	var started []*engine.FragmentRuntime
+	for _, frag := range plan.Fragments {
+		for i, nodeID := range frag.Instances {
+			if nodeID != e.node {
+				continue
+			}
+			ctx := &engine.ExecContext{
+				Clock:        e.clock,
+				Node:         e.machine,
+				Meter:        vtime.NewMeter(e.clock),
+				Store:        e.store,
+				Services:     e.services,
+				Costs:        e.manifest.Costs,
+				MonitorEvery: e.manifest.MonitorEvery,
+				Buckets:      e.manifest.Buckets,
+				Fragment:     frag.ID,
+				Instance:     i,
+			}
+			if e.manifest.Adaptive && e.manifest.MonitorEvery > 0 {
+				ctx.Monitor = &remoteMonitorSink{tr: e.tr, local: e.node, coord: e.manifest.Coordinator}
+			}
+			rt, err := engine.NewFragmentRuntime(engine.RuntimeConfig{
+				Plan:            plan,
+				Fragment:        frag,
+				Instance:        i,
+				Ctx:             ctx,
+				Tr:              e.tr,
+				Node:            nodeID,
+				BufferTuples:    e.manifest.BufferTuples,
+				CheckpointEvery: e.manifest.CheckpointEvery,
+			})
+			if err != nil {
+				for _, r := range started {
+					r.Stop()
+				}
+				return err
+			}
+			started = append(started, rt)
+		}
+	}
+	e.runtimes = started
+	for _, rt := range started {
+		go func(rt *engine.FragmentRuntime) { _ = rt.Run() }(rt)
+	}
+	return nil
+}
+
+func (e *Evaluator) teardown() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, rt := range e.runtimes {
+		rt.Stop()
+	}
+	e.runtimes = nil
+}
+
+// Close tears down any active query and unregisters the evaluator.
+func (e *Evaluator) Close() {
+	e.teardown()
+	e.tr.Unregister(e.node, gqesService)
+}
+
+// RemoteCoordinator is the multi-process GDQS: it plans queries, deploys
+// fragments to the evaluators over the transport, hosts the top fragment
+// and the result sink locally, and — when adaptive — hosts every
+// MonitoringEventDetector plus the Diagnoser and Responder, fed by
+// forwarded raw events.
+type RemoteCoordinator struct {
+	manifest Manifest
+	tr       transport.Transport
+	clock    *vtime.Clock
+	machine  *simnet.Node
+	bus      *bus.Bus
+
+	mu sync.Mutex // serialises Execute
+}
+
+// NewRemoteCoordinator builds the coordinator for the manifest's
+// coordinator node.
+func NewRemoteCoordinator(manifest Manifest, tr transport.Transport) (*RemoteCoordinator, error) {
+	manifest = manifest.withDefaults()
+	clock := vtime.NewClock(manifest.Scale)
+	c := &RemoteCoordinator{
+		manifest: manifest,
+		tr:       tr,
+		clock:    clock,
+		machine:  simnet.NewNode(manifest.Coordinator),
+		bus:      bus.New(clock, nil),
+	}
+	return c, nil
+}
+
+// Close shuts the coordinator's bus down.
+func (c *RemoteCoordinator) Close() {
+	c.bus.Close()
+}
+
+// rpcWait sends a request to a remote service and waits for the ack.
+func (c *RemoteCoordinator) rpcWait(to simnet.NodeID, service string, msg *transport.Message, timeout time.Duration) error {
+	replyCh := make(chan *transport.Ctrl, 1)
+	replyService := fmt.Sprintf("deploy-reply/%d", time.Now().UnixNano())
+	c.tr.Register(c.manifest.Coordinator, replyService, func(_ simnet.NodeID, m *transport.Message) {
+		if m.Kind == transport.KindReply && m.Ctrl != nil {
+			select {
+			case replyCh <- m.Ctrl:
+			default:
+			}
+		}
+	})
+	defer c.tr.Unregister(c.manifest.Coordinator, replyService)
+	msg.Ctrl = &transport.Ctrl{RequestID: 1, ReplyTo: c.manifest.Coordinator, ReplyService: replyService}
+	if _, err := c.tr.Send(c.manifest.Coordinator, to, service, msg); err != nil {
+		return err
+	}
+	select {
+	case reply := <-replyCh:
+		if !reply.OK {
+			return fmt.Errorf("services: %s on %s: %s", msg.Kind, to, reply.Err)
+		}
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("services: %s on %s timed out", msg.Kind, to)
+	}
+}
+
+// evaluatorNodes lists every machine hosting fragments other than the
+// coordinator, ordered so that consumers deploy before their producers: a
+// producer that starts pumping towards a not-yet-registered consumer
+// endpoint would lose buffers. Plan fragments are bottom-up (producers
+// first), so ordering nodes by the highest fragment index they host,
+// descending, deploys the consuming side of every exchange first.
+func (c *RemoteCoordinator) evaluatorNodes(plan *physical.Plan) []simnet.NodeID {
+	maxIdx := make(map[simnet.NodeID]int)
+	for idx, f := range plan.Fragments {
+		for _, n := range f.Instances {
+			if n == c.manifest.Coordinator {
+				continue
+			}
+			if idx > maxIdx[n] || maxIdx[n] == 0 {
+				maxIdx[n] = idx + 1
+			}
+		}
+	}
+	out := make([]simnet.NodeID, 0, len(maxIdx))
+	for n := range maxIdx {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if maxIdx[out[i]] != maxIdx[out[j]] {
+			return maxIdx[out[i]] > maxIdx[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Execute plans, deploys and runs one query across the remote evaluators.
+func (c *RemoteCoordinator) Execute(sql string, timeout time.Duration) (*QueryResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if timeout <= 0 {
+		timeout = 5 * time.Minute
+	}
+	plan, err := c.manifest.plan(sql)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+
+	// Adaptivity components, all hosted here; raw events arrive over the
+	// transport and are republished on the local bus.
+	var (
+		meds      []*core.MonitoringEventDetector
+		diagnoser *core.Diagnoser
+		responder *core.Responder
+	)
+	if c.manifest.Adaptive {
+		seen := map[simnet.NodeID]bool{}
+		for _, frag := range plan.Fragments {
+			for _, node := range frag.Instances {
+				if !seen[node] {
+					seen[node] = true
+					meds = append(meds, core.NewMED(c.bus, node, core.DefaultMEDConfig()))
+				}
+			}
+		}
+		diagnoser = core.NewDiagnoser(c.bus, c.manifest.Coordinator,
+			core.DiagnoserConfig{ThresA: 0.2, Assessment: c.manifest.Assessment})
+		responder = core.NewResponder(c.bus, c.tr, c.manifest.Coordinator,
+			core.ResponderConfig{Response: c.manifest.Response, MaxProgress: 0.9})
+		responder.SetClock(c.clock)
+		for _, topo := range core.TopologyOf(plan, c.manifest.Buckets) {
+			diagnoser.Register(topo)
+			if err := responder.Register(topo); err != nil {
+				return nil, err
+			}
+		}
+		c.tr.Register(c.manifest.Coordinator, monitorService, func(_ simnet.NodeID, m *transport.Message) {
+			if m.Kind != transport.KindMonitor || m.Mon == nil {
+				return
+			}
+			adapter := &core.MonitorAdapter{Bus: c.bus, Node: m.Mon.Node}
+			if m.Mon.IsM2 {
+				adapter.EmitM2(engine.M2Event{
+					Exchange: m.Exchange, Fragment: m.Mon.Fragment, Instance: m.Mon.Instance,
+					Node: m.Mon.Node, ConsumerFragment: m.Mon.ConsumerFragment,
+					ConsumerInstance: m.Mon.ConsumerInstance, ConsumerNode: m.Mon.ConsumerNode,
+					SendCostMs: m.Mon.SendCostMs, TupleCount: m.Mon.TupleCount,
+				})
+			} else {
+				adapter.EmitM1(engine.M1Event{
+					Fragment: m.Mon.Fragment, Instance: m.Mon.Instance, Node: m.Mon.Node,
+					CostPerTupleMs: m.Mon.CostMs, WaitPerTupleMs: m.Mon.WaitMs,
+					Selectivity: m.Mon.Selectivity, Produced: m.Mon.Produced,
+				})
+			}
+		})
+	}
+	defer func() {
+		for _, m := range meds {
+			m.Stop()
+		}
+		if diagnoser != nil {
+			diagnoser.Stop()
+		}
+		if responder != nil {
+			responder.Stop()
+		}
+		if c.manifest.Adaptive {
+			c.tr.Unregister(c.manifest.Coordinator, monitorService)
+		}
+	}()
+
+	// Local runtimes first (the top fragment's consumers must exist before
+	// remote producers start), then deploy outward.
+	sink := &rowSink{ch: make(chan relation.Tuple, 4096)}
+	var local []*engine.FragmentRuntime
+	defer func() {
+		for _, rt := range local {
+			rt.Stop()
+		}
+	}()
+	for _, frag := range plan.Fragments {
+		for i, nodeID := range frag.Instances {
+			if nodeID != c.manifest.Coordinator {
+				continue
+			}
+			ctx := &engine.ExecContext{
+				Clock:    c.clock,
+				Node:     c.machine,
+				Meter:    vtime.NewMeter(c.clock),
+				Costs:    c.manifest.Costs,
+				Buckets:  c.manifest.Buckets,
+				Fragment: frag.ID,
+				Instance: i,
+			}
+			cfg := engine.RuntimeConfig{
+				Plan: plan, Fragment: frag, Instance: i, Ctx: ctx,
+				Tr: c.tr, Node: nodeID,
+				BufferTuples:    c.manifest.BufferTuples,
+				CheckpointEvery: c.manifest.CheckpointEvery,
+			}
+			if frag.Output == nil {
+				cfg.Sink = sink
+			}
+			rt, err := engine.NewFragmentRuntime(cfg)
+			if err != nil {
+				return nil, err
+			}
+			local = append(local, rt)
+		}
+	}
+
+	evaluators := c.evaluatorNodes(plan)
+	deployed := evaluators[:0:0]
+	defer func() {
+		for _, node := range deployed {
+			_ = c.rpcWait(node, gqesService, &transport.Message{Kind: transport.KindTeardown}, 10*time.Second)
+		}
+	}()
+	for _, node := range evaluators {
+		if err := c.rpcWait(node, gqesService,
+			&transport.Message{Kind: transport.KindDeploy, Query: sql}, 30*time.Second); err != nil {
+			return nil, err
+		}
+		deployed = append(deployed, node)
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(local))
+	for _, rt := range local {
+		rt := rt
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := rt.Run(); err != nil {
+				errCh <- err
+			}
+		}()
+	}
+
+	var rows []relation.Tuple
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for t := range sink.ch {
+			rows = append(rows, t)
+		}
+	}()
+	finished := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(finished)
+	}()
+	var execErr error
+	select {
+	case <-finished:
+	case err := <-errCh:
+		execErr = err
+		for _, rt := range local {
+			rt.Stop()
+		}
+		<-finished
+	case <-time.After(timeout):
+		execErr = fmt.Errorf("services: remote query exceeded timeout %v", timeout)
+		for _, rt := range local {
+			rt.Stop()
+		}
+		<-finished
+	}
+	_ = sink.Close()
+	<-done
+	if execErr == nil {
+		select {
+		case execErr = <-errCh:
+		default:
+		}
+	}
+	if execErr != nil {
+		return nil, execErr
+	}
+
+	stats := QueryStats{
+		ResponseMs: c.clock.MsOf(time.Since(start)),
+		Rows:       len(rows),
+		Plan:       plan,
+	}
+	if responder != nil {
+		rs := responder.Stats()
+		stats.Adaptations = rs.Adaptations
+		stats.TuplesMoved = rs.TuplesMoved
+		stats.StateReplays = rs.StateReplays
+		stats.Timeline = responder.Timeline()
+	}
+	return &QueryResult{
+		Columns: plan.Top().Root.OutSchema().Columns(),
+		Rows:    rows,
+		Stats:   stats,
+	}, nil
+}

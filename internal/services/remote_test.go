@@ -1,0 +1,128 @@
+package services
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+	"repro/internal/vtime"
+)
+
+// remoteCluster spins a coordinator and three evaluators, each with its own
+// TCP transport on localhost — separate transports exactly as separate
+// processes would have.
+func remoteCluster(t *testing.T, adaptive bool) (*RemoteCoordinator, map[simnet.NodeID]*Evaluator) {
+	t.Helper()
+	manifest := Manifest{
+		Scale: 2 * time.Microsecond,
+		Costs: engine.Costs{ScanMs: 0.5, FilterMs: 0.01, ProjectMs: 0.01,
+			JoinBuildMs: 0.05, JoinProbeMs: 0.3, StartupMs: 20},
+		Coordinator: "coord",
+		DataNodes:   []DataNodeSpec{{Node: "data1", Sequences: 200, Interactions: 300}},
+		Compute: []ComputeNodeSpec{
+			{Node: "ws0", Speed: 1, EntropyCostMs: 3},
+			{Node: "ws1", Speed: 1, EntropyCostMs: 3},
+		},
+		Adaptive: adaptive,
+		Response: core.R1,
+	}
+
+	nodes := []simnet.NodeID{"coord", "data1", "ws0", "ws1"}
+	transports := make(map[simnet.NodeID]*transport.TCP, len(nodes))
+	for _, n := range nodes {
+		tr, err := transport.NewTCP(n, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		transports[n] = tr
+		t.Cleanup(func() { _ = tr.Close() })
+	}
+	for _, a := range nodes {
+		for _, b := range nodes {
+			if a != b {
+				transports[a].AddPeer(b, transports[b].Addr())
+			}
+		}
+	}
+
+	evaluators := make(map[simnet.NodeID]*Evaluator)
+	for _, n := range []simnet.NodeID{"data1", "ws0", "ws1"} {
+		ev, err := NewEvaluator(manifest, n, transports[n])
+		if err != nil {
+			t.Fatal(err)
+		}
+		evaluators[n] = ev
+		t.Cleanup(ev.Close)
+	}
+	coord, err := NewRemoteCoordinator(manifest, transports["coord"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	return coord, evaluators
+}
+
+func TestRemoteQ1OverTCP(t *testing.T) {
+	coord, _ := remoteCluster(t, false)
+	res, err := coord.Execute(q1, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 200 {
+		t.Fatalf("rows = %d, want 200", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if h := r[0].AsFloat(); h <= 0 || h > 8 {
+			t.Fatalf("bad entropy %v", h)
+		}
+	}
+}
+
+func TestRemoteQ2OverTCP(t *testing.T) {
+	coord, _ := remoteCluster(t, false)
+	res, err := coord.Execute(q2, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 300 {
+		t.Fatalf("rows = %d, want 300", len(res.Rows))
+	}
+}
+
+func TestRemoteAdaptiveOverTCP(t *testing.T) {
+	coord, evaluators := remoteCluster(t, true)
+	evaluators["ws1"].SetPerturbation(vtime.Multiplier(50))
+	res, err := coord.Execute(q1, 2*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 200 {
+		t.Fatalf("rows = %d, want 200 (no loss under remote adaptation)", len(res.Rows))
+	}
+	if res.Stats.Adaptations == 0 {
+		t.Error("remote adaptive run never adapted")
+	}
+}
+
+func TestRemoteSequentialQueries(t *testing.T) {
+	coord, _ := remoteCluster(t, false)
+	for i := 0; i < 2; i++ {
+		res, err := coord.Execute(q1, time.Minute)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if len(res.Rows) != 200 {
+			t.Fatalf("query %d: rows = %d", i, len(res.Rows))
+		}
+	}
+}
+
+func TestRemoteBadQuery(t *testing.T) {
+	coord, _ := remoteCluster(t, false)
+	if _, err := coord.Execute("select nope from nothing", time.Minute); err == nil {
+		t.Fatal("bad query accepted")
+	}
+}

@@ -1,0 +1,210 @@
+// Package simnet models the physical fabric of the simulated Grid: the
+// machines (nodes) that host query evaluation services and the network links
+// between them.
+//
+// The paper's testbed is three RedHat Linux machines on a 100 Mbps LAN,
+// "autonomously exposed as Grid resources". Here a Node carries a
+// vtime.Perturbation that stands in for the artificial load the authors
+// injected, and a Link charges latency plus size/bandwidth for every buffer
+// a producer transmits, with the bandwidth portion serialised per link so
+// that concurrent senders share capacity as they would on a real wire.
+package simnet
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/vtime"
+)
+
+// NodeID identifies a machine in the simulated Grid.
+type NodeID string
+
+// Node is a simulated machine. Its perturbation models external load and
+// may be swapped at any time (e.g. mid-query) by tests and experiments.
+type Node struct {
+	id NodeID
+
+	mu        sync.Mutex
+	perturb   vtime.Perturbation
+	workIndex int
+}
+
+// NewNode returns an unperturbed node.
+func NewNode(id NodeID) *Node {
+	return &Node{id: id, perturb: vtime.None}
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() NodeID { return n.id }
+
+// SetPerturbation installs p as the node's load model. A nil p resets the
+// node to unperturbed.
+func (n *Node) SetPerturbation(p vtime.Perturbation) {
+	if p == nil {
+		p = vtime.None
+	}
+	n.mu.Lock()
+	n.perturb = p
+	n.mu.Unlock()
+}
+
+// Perturbation returns the current load model.
+func (n *Node) Perturbation() vtime.Perturbation {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.perturb
+}
+
+// PerturbedCost maps the base cost of one unit of work executed on this node
+// to its cost under the node's current load, advancing the node's work
+// index (used by index-based perturbations such as vtime.Step).
+func (n *Node) PerturbedCost(baseMs float64) float64 {
+	n.mu.Lock()
+	p, i := n.perturb, n.workIndex
+	n.workIndex++
+	n.mu.Unlock()
+	return p.Apply(baseMs, i)
+}
+
+// Link models a directed network path between two nodes.
+type Link struct {
+	// LatencyMs is the fixed per-message cost in paper milliseconds. It
+	// subsumes protocol overheads (the paper ships buffers as SOAP/HTTP,
+	// which dominates small-message cost).
+	LatencyMs float64
+	// BytesPerMs is the link bandwidth. 100 Mbps ≈ 12500 bytes per paper
+	// millisecond.
+	BytesPerMs float64
+
+	mu sync.Mutex // serialises the bandwidth portion of transfers
+}
+
+// LAN100Mbps returns a link modelled on the paper's testbed network, with a
+// per-message latency that reflects 2005-era SOAP/HTTP framing.
+func LAN100Mbps() *Link {
+	return &Link{LatencyMs: 2, BytesPerMs: 12500}
+}
+
+// Loopback returns a link for co-located producer/consumer pairs. The
+// paper's default configuration treats same-machine communication cost as
+// zero.
+func Loopback() *Link { return &Link{LatencyMs: 0, BytesPerMs: 0} }
+
+// CostMs returns the modelled cost of transmitting size bytes, without
+// sleeping.
+func (l *Link) CostMs(size int) float64 {
+	cost := l.LatencyMs
+	if l.BytesPerMs > 0 {
+		cost += float64(size) / l.BytesPerMs
+	}
+	return cost
+}
+
+// Transmit blocks the caller for the modelled cost of sending size bytes and
+// returns that cost in paper milliseconds. The bandwidth portion holds the
+// link lock so concurrent transfers queue behind each other; the latency
+// portion is concurrent.
+func (l *Link) Transmit(clock *vtime.Clock, size int) float64 {
+	var bw float64
+	if l.BytesPerMs > 0 {
+		bw = float64(size) / l.BytesPerMs
+		l.mu.Lock()
+		clock.Sleep(bw)
+		l.mu.Unlock()
+	}
+	if l.LatencyMs > 0 {
+		clock.Sleep(l.LatencyMs)
+	}
+	return bw + l.LatencyMs
+}
+
+// Network is the set of nodes and links of a simulated Grid. Links are
+// directed; a missing link entry falls back to the network default, and a
+// node's link to itself falls back to Loopback.
+type Network struct {
+	clock *vtime.Clock
+
+	mu      sync.Mutex
+	nodes   map[NodeID]*Node
+	links   map[[2]NodeID]*Link
+	defLink func() *Link
+}
+
+// NewNetwork builds an empty network over the given clock, with LAN100Mbps
+// as the default link model.
+func NewNetwork(clock *vtime.Clock) *Network {
+	return &Network{
+		clock:   clock,
+		nodes:   make(map[NodeID]*Node),
+		links:   make(map[[2]NodeID]*Link),
+		defLink: LAN100Mbps,
+	}
+}
+
+// Clock returns the network's virtual clock.
+func (n *Network) Clock() *vtime.Clock { return n.clock }
+
+// AddNode creates and registers a node. Adding a duplicate ID is a
+// programming error and panics.
+func (n *Network) AddNode(id NodeID) *Node {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.nodes[id]; dup {
+		panic(fmt.Sprintf("simnet: duplicate node %q", id))
+	}
+	node := NewNode(id)
+	n.nodes[id] = node
+	return node
+}
+
+// Node returns the registered node, or nil.
+func (n *Network) Node(id NodeID) *Node {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.nodes[id]
+}
+
+// Nodes returns the registered node IDs in unspecified order.
+func (n *Network) Nodes() []NodeID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ids := make([]NodeID, 0, len(n.nodes))
+	for id := range n.nodes {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// SetLink installs a specific link model for the from→to direction.
+func (n *Network) SetLink(from, to NodeID, l *Link) {
+	n.mu.Lock()
+	n.links[[2]NodeID{from, to}] = l
+	n.mu.Unlock()
+}
+
+// SetDefaultLink replaces the factory used for unconfigured node pairs.
+func (n *Network) SetDefaultLink(factory func() *Link) {
+	n.mu.Lock()
+	n.defLink = factory
+	n.mu.Unlock()
+}
+
+// Link returns the link used for from→to transfers, creating it on first
+// use. Same-node pairs get a Loopback link.
+func (n *Network) Link(from, to NodeID) *Link {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	key := [2]NodeID{from, to}
+	if l, ok := n.links[key]; ok {
+		return l
+	}
+	var l *Link
+	if from == to {
+		l = Loopback()
+	} else {
+		l = n.defLink()
+	}
+	n.links[key] = l
+	return l
+}

@@ -1,0 +1,149 @@
+package simnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/vtime"
+)
+
+func testClock() *vtime.Clock { return vtime.NewClock(time.Microsecond) }
+
+func TestNodePerturbedCost(t *testing.T) {
+	n := NewNode("wsA")
+	if n.ID() != "wsA" {
+		t.Fatal("ID")
+	}
+	if got := n.PerturbedCost(5); got != 5 {
+		t.Errorf("unperturbed cost = %v", got)
+	}
+	n.SetPerturbation(vtime.Multiplier(10))
+	if got := n.PerturbedCost(5); got != 50 {
+		t.Errorf("x10 cost = %v", got)
+	}
+	n.SetPerturbation(nil)
+	if got := n.PerturbedCost(5); got != 5 {
+		t.Errorf("reset cost = %v", got)
+	}
+}
+
+func TestNodeWorkIndexAdvances(t *testing.T) {
+	n := NewNode("a")
+	n.SetPerturbation(vtime.Step{At: 2, Before: vtime.None, After: vtime.Multiplier(3)})
+	costs := []float64{n.PerturbedCost(1), n.PerturbedCost(1), n.PerturbedCost(1)}
+	want := []float64{1, 1, 3}
+	for i := range want {
+		if costs[i] != want[i] {
+			t.Errorf("work %d: cost %v, want %v", i, costs[i], want[i])
+		}
+	}
+}
+
+func TestNodeConcurrentSafety(t *testing.T) {
+	n := NewNode("a")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				n.PerturbedCost(1)
+				n.SetPerturbation(vtime.Multiplier(2))
+				_ = n.Perturbation()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestLinkCost(t *testing.T) {
+	l := LAN100Mbps()
+	if got := l.CostMs(12500); got != 3 { // 2ms latency + 1ms bandwidth
+		t.Errorf("CostMs(12500) = %v, want 3", got)
+	}
+	if got := Loopback().CostMs(1 << 20); got != 0 {
+		t.Errorf("loopback cost = %v, want 0", got)
+	}
+}
+
+func TestLinkTransmitSleeps(t *testing.T) {
+	clock := vtime.NewClock(10 * time.Microsecond)
+	l := &Link{LatencyMs: 50, BytesPerMs: 1000}
+	start := time.Now()
+	cost := l.Transmit(clock, 50000) // 50ms bw + 50ms latency = 100 paper-ms = 1ms real
+	elapsed := time.Since(start)
+	if cost != 100 {
+		t.Errorf("cost = %v, want 100", cost)
+	}
+	if elapsed < 700*time.Microsecond {
+		t.Errorf("Transmit returned too quickly: %v", elapsed)
+	}
+}
+
+func TestLinkBandwidthSerialised(t *testing.T) {
+	// Two concurrent transfers of 1 paper-ms bandwidth each must take at
+	// least ~2 paper-ms in total on one link.
+	clock := vtime.NewClock(200 * time.Microsecond)
+	l := &Link{LatencyMs: 0, BytesPerMs: 1000}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l.Transmit(clock, 1000)
+		}()
+	}
+	wg.Wait()
+	if got := time.Since(start); got < 350*time.Microsecond {
+		t.Errorf("concurrent transfers completed in %v; bandwidth not serialised", got)
+	}
+}
+
+func TestNetworkNodesAndLinks(t *testing.T) {
+	net := NewNetwork(testClock())
+	a := net.AddNode("a")
+	net.AddNode("b")
+	if net.Node("a") != a {
+		t.Error("Node lookup")
+	}
+	if net.Node("zzz") != nil {
+		t.Error("missing node should be nil")
+	}
+	if got := len(net.Nodes()); got != 2 {
+		t.Errorf("Nodes len = %d", got)
+	}
+	// Same-node link is loopback (zero cost).
+	if got := net.Link("a", "a").CostMs(1000); got != 0 {
+		t.Errorf("loopback cost = %v", got)
+	}
+	// Cross-node link defaults to LAN; cached on second fetch.
+	l1 := net.Link("a", "b")
+	if l1.CostMs(0) != 2 {
+		t.Errorf("default link latency = %v", l1.CostMs(0))
+	}
+	if net.Link("a", "b") != l1 {
+		t.Error("link not cached")
+	}
+	custom := &Link{LatencyMs: 99}
+	net.SetLink("b", "a", custom)
+	if net.Link("b", "a") != custom {
+		t.Error("SetLink ignored")
+	}
+	net.SetDefaultLink(Loopback)
+	if got := net.Link("b", "c").CostMs(5000); got != 0 {
+		t.Errorf("custom default link cost = %v", got)
+	}
+}
+
+func TestNetworkDuplicateNodePanics(t *testing.T) {
+	net := NewNetwork(testClock())
+	net.AddNode("a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate node")
+		}
+	}()
+	net.AddNode("a")
+}

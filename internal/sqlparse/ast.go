@@ -1,0 +1,219 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a scalar expression in a select list or predicate.
+type Expr interface {
+	// SQL renders the expression back to SQL text.
+	SQL() string
+	exprNode()
+}
+
+// ColumnRef references a column, optionally table-qualified.
+type ColumnRef struct {
+	Table string // alias or table name; empty when unqualified
+	Name  string
+}
+
+func (c ColumnRef) SQL() string {
+	if c.Table == "" {
+		return c.Name
+	}
+	return c.Table + "." + c.Name
+}
+func (ColumnRef) exprNode() {}
+
+// IntLit is an integer literal.
+type IntLit struct{ Value int64 }
+
+func (l IntLit) SQL() string { return fmt.Sprintf("%d", l.Value) }
+func (IntLit) exprNode()     {}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct{ Value float64 }
+
+func (l FloatLit) SQL() string { return fmt.Sprintf("%g", l.Value) }
+func (FloatLit) exprNode()     {}
+
+// StringLit is a string literal.
+type StringLit struct{ Value string }
+
+func (l StringLit) SQL() string {
+	return "'" + strings.ReplaceAll(l.Value, "'", "''") + "'"
+}
+func (StringLit) exprNode() {}
+
+// FuncCall invokes a Web Service operation on the given arguments, e.g.
+// EntropyAnalyser(p.sequence).
+type FuncCall struct {
+	Name string
+	Args []Expr
+}
+
+func (f FuncCall) SQL() string {
+	args := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		args[i] = a.SQL()
+	}
+	return f.Name + "(" + strings.Join(args, ", ") + ")"
+}
+func (FuncCall) exprNode() {}
+
+// Star is the bare `*` select item.
+type Star struct{}
+
+func (Star) SQL() string { return "*" }
+func (Star) exprNode()   {}
+
+// CompareOp enumerates predicate comparison operators.
+type CompareOp string
+
+// Supported comparison operators.
+const (
+	OpEq CompareOp = "="
+	OpNe CompareOp = "<>"
+	OpLt CompareOp = "<"
+	OpLe CompareOp = "<="
+	OpGt CompareOp = ">"
+	OpGe CompareOp = ">="
+)
+
+// Comparison is one conjunct of the WHERE clause: left op right.
+type Comparison struct {
+	Left  Expr
+	Op    CompareOp
+	Right Expr
+}
+
+// SQL renders the comparison.
+func (c Comparison) SQL() string {
+	return c.Left.SQL() + " " + string(c.Op) + " " + c.Right.SQL()
+}
+
+// SelectItem is one output column: an expression with an optional alias.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// SQL renders the item.
+func (s SelectItem) SQL() string {
+	if s.Alias == "" {
+		return s.Expr.SQL()
+	}
+	return s.Expr.SQL() + " AS " + s.Alias
+}
+
+// TableRef is one FROM-clause entry: a base table with an optional alias.
+type TableRef struct {
+	Table string
+	Alias string
+}
+
+// EffectiveName is the name columns are qualified with: the alias if
+// present, otherwise the table name.
+func (t TableRef) EffectiveName() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// SQL renders the reference.
+func (t TableRef) SQL() string {
+	if t.Alias == "" {
+		return t.Table
+	}
+	return t.Table + " " + t.Alias
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Col  ColumnRef
+	Desc bool
+}
+
+// SQL renders the order key.
+func (o OrderItem) SQL() string {
+	if o.Desc {
+		return o.Col.SQL() + " DESC"
+	}
+	return o.Col.SQL()
+}
+
+// SelectStmt is a parsed query:
+// SELECT items FROM tables [WHERE conjuncts] [GROUP BY cols]
+// [ORDER BY keys] [LIMIT n].
+type SelectStmt struct {
+	Items   []SelectItem
+	From    []TableRef
+	Where   []Comparison // implicit conjunction
+	GroupBy []ColumnRef
+	// Having filters groups after aggregation (implicit conjunction).
+	Having  []Comparison
+	OrderBy []OrderItem
+	// Limit is nil when absent.
+	Limit *int64
+}
+
+// SQL renders the statement back to SQL text.
+func (s *SelectStmt) SQL() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(it.SQL())
+	}
+	b.WriteString(" FROM ")
+	for i, t := range s.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.SQL())
+	}
+	if len(s.Where) > 0 {
+		b.WriteString(" WHERE ")
+		for i, c := range s.Where {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			b.WriteString(c.SQL())
+		}
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, c := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(c.SQL())
+		}
+	}
+	if len(s.Having) > 0 {
+		b.WriteString(" HAVING ")
+		for i, c := range s.Having {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			b.WriteString(c.SQL())
+		}
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.SQL())
+		}
+	}
+	if s.Limit != nil {
+		fmt.Fprintf(&b, " LIMIT %d", *s.Limit)
+	}
+	return b.String()
+}

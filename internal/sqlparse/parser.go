@@ -1,0 +1,326 @@
+package sqlparse
+
+import (
+	"strconv"
+	"strings"
+)
+
+// parser is a recursive-descent parser over the lexer's token stream with
+// one token of lookahead.
+type parser struct {
+	lex  lexer
+	tok  token // current token
+	err  error
+	done bool
+}
+
+// Parse parses a single SELECT statement.
+func Parse(query string) (*SelectStmt, error) {
+	p := &parser{lex: lexer{src: query}}
+	p.advance()
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, errAt(p.tok.pos, "unexpected %s after statement", p.tok)
+	}
+	return stmt, nil
+}
+
+func (p *parser) advance() {
+	if p.err != nil {
+		return
+	}
+	p.tok, p.err = p.lex.next()
+}
+
+// isKeyword reports whether the current token is the given keyword
+// (case-insensitive identifier match).
+func (p *parser) isKeyword(kw string) bool {
+	return p.tok.kind == tokIdent && strings.EqualFold(p.tok.text, kw)
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if p.err != nil {
+		return p.err
+	}
+	if !p.isKeyword(kw) {
+		return errAt(p.tok.pos, "expected %s, found %s", strings.ToUpper(kw), p.tok)
+	}
+	p.advance()
+	return p.err
+}
+
+// reserved words cannot be used as aliases or bare identifiers.
+var reserved = map[string]bool{
+	"select": true, "from": true, "where": true, "and": true, "as": true,
+	"group": true, "by": true, "order": true, "limit": true,
+	"asc": true, "desc": true, "having": true,
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if p.tok.kind != tokComma {
+			break
+		}
+		p.advance()
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	for {
+		ref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		stmt.From = append(stmt.From, ref)
+		if p.tok.kind != tokComma {
+			break
+		}
+		p.advance()
+	}
+	if p.isKeyword("where") {
+		p.advance()
+		for {
+			cmp, err := p.parseComparison()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Where = append(stmt.Where, cmp)
+			if !p.isKeyword("and") {
+				break
+			}
+			p.advance()
+		}
+	}
+	if p.isKeyword("group") {
+		p.advance()
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, col)
+			if p.tok.kind != tokComma {
+				break
+			}
+			p.advance()
+		}
+	}
+	if p.isKeyword("having") {
+		p.advance()
+		for {
+			cmp, err := p.parseComparison()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Having = append(stmt.Having, cmp)
+			if !p.isKeyword("and") {
+				break
+			}
+			p.advance()
+		}
+	}
+	if p.isKeyword("order") {
+		p.advance()
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Col: col}
+			if p.isKeyword("desc") {
+				item.Desc = true
+				p.advance()
+			} else if p.isKeyword("asc") {
+				p.advance()
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if p.tok.kind != tokComma {
+				break
+			}
+			p.advance()
+		}
+	}
+	if p.isKeyword("limit") {
+		p.advance()
+		if p.tok.kind != tokNumber {
+			return nil, errAt(p.tok.pos, "expected row count after LIMIT, found %s", p.tok)
+		}
+		n, err := strconv.ParseInt(p.tok.text, 10, 64)
+		if err != nil || n < 0 {
+			return nil, errAt(p.tok.pos, "bad LIMIT %q", p.tok.text)
+		}
+		stmt.Limit = &n
+		p.advance()
+	}
+	return stmt, p.err
+}
+
+// parseColumnRef parses a (possibly qualified) column reference.
+func (p *parser) parseColumnRef() (ColumnRef, error) {
+	e, err := p.parseExpr()
+	if err != nil {
+		return ColumnRef{}, err
+	}
+	col, ok := e.(ColumnRef)
+	if !ok {
+		return ColumnRef{}, errAt(p.tok.pos, "expected column reference, found %s", e.SQL())
+	}
+	return col, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.tok.kind == tokStar {
+		p.advance()
+		return SelectItem{Expr: Star{}}, p.err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.isKeyword("as") {
+		p.advance()
+		if p.tok.kind != tokIdent {
+			return SelectItem{}, errAt(p.tok.pos, "expected alias after AS, found %s", p.tok)
+		}
+		item.Alias = p.tok.text
+		p.advance()
+	} else if p.tok.kind == tokIdent && !reserved[strings.ToLower(p.tok.text)] {
+		item.Alias = p.tok.text
+		p.advance()
+	}
+	return item, p.err
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	if p.tok.kind != tokIdent || reserved[strings.ToLower(p.tok.text)] {
+		return TableRef{}, errAt(p.tok.pos, "expected table name, found %s", p.tok)
+	}
+	ref := TableRef{Table: p.tok.text}
+	p.advance()
+	if p.isKeyword("as") {
+		p.advance()
+		if p.tok.kind != tokIdent {
+			return TableRef{}, errAt(p.tok.pos, "expected alias after AS, found %s", p.tok)
+		}
+	}
+	if p.tok.kind == tokIdent && !reserved[strings.ToLower(p.tok.text)] {
+		ref.Alias = p.tok.text
+		p.advance()
+	}
+	return ref, p.err
+}
+
+func (p *parser) parseComparison() (Comparison, error) {
+	left, err := p.parseExpr()
+	if err != nil {
+		return Comparison{}, err
+	}
+	if p.tok.kind != tokOp {
+		return Comparison{}, errAt(p.tok.pos, "expected comparison operator, found %s", p.tok)
+	}
+	opText := p.tok.text
+	if opText == "!=" {
+		opText = "<>"
+	}
+	op := CompareOp(opText)
+	p.advance()
+	right, err := p.parseExpr()
+	if err != nil {
+		return Comparison{}, err
+	}
+	return Comparison{Left: left, Op: op, Right: right}, p.err
+}
+
+func (p *parser) parseExpr() (Expr, error) {
+	if p.err != nil {
+		return nil, p.err
+	}
+	switch p.tok.kind {
+	case tokNumber:
+		text := p.tok.text
+		pos := p.tok.pos
+		p.advance()
+		if strings.Contains(text, ".") {
+			v, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return nil, errAt(pos, "bad numeric literal %q", text)
+			}
+			return FloatLit{Value: v}, p.err
+		}
+		v, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return nil, errAt(pos, "bad integer literal %q", text)
+		}
+		return IntLit{Value: v}, p.err
+	case tokString:
+		v := p.tok.text
+		p.advance()
+		return StringLit{Value: v}, p.err
+	case tokIdent:
+		if reserved[strings.ToLower(p.tok.text)] {
+			return nil, errAt(p.tok.pos, "unexpected keyword %s in expression", p.tok)
+		}
+		name := p.tok.text
+		p.advance()
+		switch p.tok.kind {
+		case tokLParen: // function or aggregate call
+			p.advance()
+			call := FuncCall{Name: name}
+			if p.tok.kind != tokRParen {
+				for {
+					// COUNT(*) takes a bare star as its argument.
+					if p.tok.kind == tokStar {
+						call.Args = append(call.Args, Star{})
+						p.advance()
+					} else {
+						arg, err := p.parseExpr()
+						if err != nil {
+							return nil, err
+						}
+						call.Args = append(call.Args, arg)
+					}
+					if p.tok.kind != tokComma {
+						break
+					}
+					p.advance()
+				}
+			}
+			if p.tok.kind != tokRParen {
+				return nil, errAt(p.tok.pos, "expected ) in call to %s, found %s", name, p.tok)
+			}
+			p.advance()
+			return call, p.err
+		case tokDot: // qualified column
+			p.advance()
+			if p.tok.kind != tokIdent {
+				return nil, errAt(p.tok.pos, "expected column name after %q., found %s", name, p.tok)
+			}
+			col := ColumnRef{Table: name, Name: p.tok.text}
+			p.advance()
+			return col, p.err
+		default:
+			return ColumnRef{Name: name}, p.err
+		}
+	default:
+		return nil, errAt(p.tok.pos, "expected expression, found %s", p.tok)
+	}
+}

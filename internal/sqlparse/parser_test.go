@@ -1,0 +1,236 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, q string) *SelectStmt {
+	t.Helper()
+	stmt, err := Parse(q)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", q, err)
+	}
+	return stmt
+}
+
+func TestParseQ1(t *testing.T) {
+	stmt := mustParse(t, "select EntropyAnalyser(p.sequence) from protein_sequences p")
+	if len(stmt.Items) != 1 || len(stmt.From) != 1 || len(stmt.Where) != 0 {
+		t.Fatalf("shape: %+v", stmt)
+	}
+	call, ok := stmt.Items[0].Expr.(FuncCall)
+	if !ok || call.Name != "EntropyAnalyser" || len(call.Args) != 1 {
+		t.Fatalf("item: %#v", stmt.Items[0].Expr)
+	}
+	arg, ok := call.Args[0].(ColumnRef)
+	if !ok || arg.Table != "p" || arg.Name != "sequence" {
+		t.Fatalf("arg: %#v", call.Args[0])
+	}
+	if stmt.From[0].Table != "protein_sequences" || stmt.From[0].Alias != "p" {
+		t.Fatalf("from: %+v", stmt.From[0])
+	}
+	if stmt.From[0].EffectiveName() != "p" {
+		t.Fatal("EffectiveName should prefer alias")
+	}
+}
+
+func TestParseQ2(t *testing.T) {
+	stmt := mustParse(t, `select i.ORF2 from protein_sequences p,
+		protein_interactions i where i.ORF1=p.ORF`)
+	if len(stmt.From) != 2 || len(stmt.Where) != 1 {
+		t.Fatalf("shape: %+v", stmt)
+	}
+	w := stmt.Where[0]
+	if w.Op != OpEq {
+		t.Fatalf("op = %q", w.Op)
+	}
+	l := w.Left.(ColumnRef)
+	r := w.Right.(ColumnRef)
+	if l.Table != "i" || l.Name != "ORF1" || r.Table != "p" || r.Name != "ORF" {
+		t.Fatalf("predicate: %v %v", l, r)
+	}
+}
+
+func TestParseVariations(t *testing.T) {
+	cases := []string{
+		"SELECT * FROM t",
+		"select a, b, c from t",
+		"select t.a AS x, f(t.b, 3, 'lit') y from t",
+		"select a from t1, t2, t3 where t1.x = t2.x and t2.y = t3.y and t1.z > 5",
+		"select a from t where a <> 'it''s'",
+		"select a from t where a != 3 and b <= 2.5 and c >= -7 and d < 1 and e > 0",
+		"select g() from t",
+		"select nested(inner1(a), inner2(b, c)) from t",
+		"select a from tbl AS al where al.a = 1",
+	}
+	for _, q := range cases {
+		if _, err := Parse(q); err != nil {
+			t.Errorf("Parse(%q): %v", q, err)
+		}
+	}
+}
+
+func TestParseNormalisesNe(t *testing.T) {
+	stmt := mustParse(t, "select a from t where a != 3")
+	if stmt.Where[0].Op != OpNe {
+		t.Fatalf("!= should normalise to <>, got %q", stmt.Where[0].Op)
+	}
+}
+
+func TestParseAliases(t *testing.T) {
+	stmt := mustParse(t, "select a AS x, b y from t")
+	if stmt.Items[0].Alias != "x" || stmt.Items[1].Alias != "y" {
+		t.Fatalf("aliases: %+v", stmt.Items)
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	stmt := mustParse(t, "select a from t where a = 3 and b = 2.5 and c = 'x' and d = -4")
+	if v := stmt.Where[0].Right.(IntLit); v.Value != 3 {
+		t.Errorf("int literal: %v", v)
+	}
+	if v := stmt.Where[1].Right.(FloatLit); v.Value != 2.5 {
+		t.Errorf("float literal: %v", v)
+	}
+	if v := stmt.Where[2].Right.(StringLit); v.Value != "x" {
+		t.Errorf("string literal: %v", v)
+	}
+	if v := stmt.Where[3].Right.(IntLit); v.Value != -4 {
+		t.Errorf("negative literal: %v", v)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"":                                  "expected SELECT",
+		"select":                            "expected expression",
+		"select a":                          "expected FROM",
+		"select a from":                     "expected table name",
+		"select a from t where":             "expected expression",
+		"select a from t where a":           "expected comparison",
+		"select a from t where a =":         "expected expression",
+		"select a from t extra ,":           "expected table name",
+		"select f(a from t":                 "expected )",
+		"select a from t where a = 'unterm": "unterminated string",
+		"select a.b.c from t":               "expected FROM",
+		"select a from t where a ! b":       "unexpected character",
+		"select @ from t":                   "unexpected character",
+		"select a from select":              "expected table name",
+		"select a from t where select = 1":  "unexpected keyword",
+		"select a AS from t":                "expected alias",
+	}
+	for q, wantSub := range cases {
+		_, err := Parse(q)
+		if err == nil {
+			t.Errorf("Parse(%q): expected error", q)
+			continue
+		}
+		if !strings.Contains(strings.ToLower(err.Error()), strings.ToLower(strings.Split(wantSub, " ")[0])) {
+			t.Errorf("Parse(%q) error %q does not mention %q", q, err, wantSub)
+		}
+	}
+}
+
+func TestSQLRoundTrip(t *testing.T) {
+	// Parse → SQL → Parse must be a fixpoint.
+	cases := []string{
+		"select EntropyAnalyser(p.sequence) from protein_sequences p",
+		"select i.ORF2 from protein_sequences p, protein_interactions i where i.ORF1 = p.ORF",
+		"select * from t",
+		"select a AS x, f(b, 'it''s', 2.5) from t1, t2 where t1.a <> t2.b and t1.c <= 3",
+	}
+	for _, q := range cases {
+		s1 := mustParse(t, q)
+		rendered := s1.SQL()
+		s2, err := Parse(rendered)
+		if err != nil {
+			t.Errorf("re-Parse(%q): %v", rendered, err)
+			continue
+		}
+		if s2.SQL() != rendered {
+			t.Errorf("SQL round trip not a fixpoint:\n%q\n%q", rendered, s2.SQL())
+		}
+	}
+}
+
+func TestErrorPositions(t *testing.T) {
+	_, err := Parse("select a from t where a @ b")
+	perr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if perr.Pos != 24 {
+		t.Errorf("error position = %d, want 24", perr.Pos)
+	}
+}
+
+func TestParseGroupBy(t *testing.T) {
+	stmt := mustParse(t, "select i.ORF1, count(*) from protein_interactions i group by i.ORF1")
+	if len(stmt.GroupBy) != 1 || stmt.GroupBy[0].Table != "i" || stmt.GroupBy[0].Name != "ORF1" {
+		t.Fatalf("GroupBy = %+v", stmt.GroupBy)
+	}
+	call := stmt.Items[1].Expr.(FuncCall)
+	if call.Name != "count" || len(call.Args) != 1 {
+		t.Fatalf("count call = %+v", call)
+	}
+	if _, ok := call.Args[0].(Star); !ok {
+		t.Fatalf("count(*) arg = %#v", call.Args[0])
+	}
+}
+
+func TestParseGroupByMultipleKeys(t *testing.T) {
+	stmt := mustParse(t, "select a, b, sum(c) from t group by a, b")
+	if len(stmt.GroupBy) != 2 {
+		t.Fatalf("GroupBy = %+v", stmt.GroupBy)
+	}
+}
+
+func TestParseOrderByLimit(t *testing.T) {
+	stmt := mustParse(t, "select a from t order by a desc, b asc, c limit 10")
+	if len(stmt.OrderBy) != 3 {
+		t.Fatalf("OrderBy = %+v", stmt.OrderBy)
+	}
+	if !stmt.OrderBy[0].Desc || stmt.OrderBy[1].Desc || stmt.OrderBy[2].Desc {
+		t.Fatalf("desc flags = %+v", stmt.OrderBy)
+	}
+	if stmt.Limit == nil || *stmt.Limit != 10 {
+		t.Fatalf("Limit = %v", stmt.Limit)
+	}
+}
+
+func TestParseFullClauseOrder(t *testing.T) {
+	q := "select i.ORF1 AS orf, count(*) n from protein_interactions i " +
+		"where i.ORF2 <> 'x' group by i.ORF1 order by i.ORF1 limit 5"
+	stmt := mustParse(t, q)
+	if len(stmt.Where) != 1 || len(stmt.GroupBy) != 1 || len(stmt.OrderBy) != 1 || stmt.Limit == nil {
+		t.Fatalf("clauses: %+v", stmt)
+	}
+	// SQL round trip stays a fixpoint with the new clauses.
+	re, err := Parse(stmt.SQL())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", stmt.SQL(), err)
+	}
+	if re.SQL() != stmt.SQL() {
+		t.Fatalf("round trip:\n%q\n%q", stmt.SQL(), re.SQL())
+	}
+}
+
+func TestParseGroupOrderErrors(t *testing.T) {
+	cases := []string{
+		"select a from t group a",
+		"select a from t group by",
+		"select a from t group by 3",
+		"select a from t order by",
+		"select a from t order by f(x)",
+		"select a from t limit",
+		"select a from t limit x",
+		"select a from t limit -1",
+		"select group from t",
+	}
+	for _, q := range cases {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q): expected error", q)
+		}
+	}
+}

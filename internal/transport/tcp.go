@@ -1,0 +1,267 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/simnet"
+)
+
+// TCP carries messages between real processes: each process hosts one node,
+// listens on its own address, and dials peers lazily. Frames are a 4-byte
+// big-endian length followed by the wire-encoded message plus routing
+// header. Unlike InProc, no simulated link cost is charged — the real
+// network provides the latency.
+//
+// The multi-process deployment in cmd/dqp-coordinator and cmd/dqp-evaluator
+// uses this transport; the single-process experiments use InProc.
+type TCP struct {
+	local simnet.NodeID
+
+	mu        sync.Mutex
+	peers     map[simnet.NodeID]string // node -> address
+	conns     map[simnet.NodeID]*tcpConn
+	endpoints map[string]Handler
+	listener  net.Listener
+	accepted  []net.Conn
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+type tcpConn struct {
+	mu sync.Mutex // serialises writes
+	c  net.Conn
+	w  *bufio.Writer
+}
+
+// maxFrame bounds a frame to keep a corrupt peer from forcing huge
+// allocations.
+const maxFrame = 64 << 20
+
+// NewTCP creates the transport for the local node, listening on listenAddr
+// (e.g. ":7011"; an empty string disables listening, for send-only
+// clients).
+func NewTCP(local simnet.NodeID, listenAddr string) (*TCP, error) {
+	t := &TCP{
+		local:     local,
+		peers:     make(map[simnet.NodeID]string),
+		conns:     make(map[simnet.NodeID]*tcpConn),
+		endpoints: make(map[string]Handler),
+	}
+	if listenAddr != "" {
+		ln, err := net.Listen("tcp", listenAddr)
+		if err != nil {
+			return nil, fmt.Errorf("transport: listen %s: %w", listenAddr, err)
+		}
+		t.listener = ln
+		t.wg.Add(1)
+		go t.acceptLoop(ln)
+	}
+	return t, nil
+}
+
+// Addr returns the listening address (useful with ":0").
+func (t *TCP) Addr() string {
+	if t.listener == nil {
+		return ""
+	}
+	return t.listener.Addr().String()
+}
+
+// AddPeer registers the address of a remote node.
+func (t *TCP) AddPeer(node simnet.NodeID, addr string) {
+	t.mu.Lock()
+	t.peers[node] = addr
+	t.mu.Unlock()
+}
+
+// Register implements Transport.
+func (t *TCP) Register(node simnet.NodeID, service string, h Handler) {
+	if node != t.local {
+		panic(fmt.Sprintf("transport: registering %q for remote node %q on %q", service, node, t.local))
+	}
+	t.mu.Lock()
+	t.endpoints[service] = h
+	t.mu.Unlock()
+}
+
+// Unregister implements Transport.
+func (t *TCP) Unregister(node simnet.NodeID, service string) {
+	t.mu.Lock()
+	delete(t.endpoints, service)
+	t.mu.Unlock()
+}
+
+// Send implements Transport. Local sends dispatch directly.
+func (t *TCP) Send(from, to simnet.NodeID, service string, msg *Message) (float64, error) {
+	if to == t.local {
+		t.mu.Lock()
+		h := t.endpoints[service]
+		t.mu.Unlock()
+		if h == nil {
+			return 0, fmt.Errorf("transport: no local endpoint %q", service)
+		}
+		h(from, msg)
+		return 0, nil
+	}
+	conn, err := t.connTo(to)
+	if err != nil {
+		return 0, err
+	}
+	payload := MarshalMessage(msg)
+	frame := make([]byte, 0, 8+len(service)+len(payload))
+	frame = appendString(frame, service)
+	frame = appendString(frame, string(from))
+	frame = append(frame, payload...)
+
+	conn.mu.Lock()
+	defer conn.mu.Unlock()
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(frame)))
+	if _, err := conn.w.Write(lenBuf[:]); err != nil {
+		t.dropConn(to)
+		return 0, err
+	}
+	if _, err := conn.w.Write(frame); err != nil {
+		t.dropConn(to)
+		return 0, err
+	}
+	if err := conn.w.Flush(); err != nil {
+		t.dropConn(to)
+		return 0, err
+	}
+	return 0, nil
+}
+
+func (t *TCP) connTo(node simnet.NodeID) (*tcpConn, error) {
+	t.mu.Lock()
+	if c, ok := t.conns[node]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	addr, ok := t.peers[node]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: no address for node %q", node)
+	}
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %q (%s): %w", node, addr, err)
+	}
+	c := &tcpConn{c: raw, w: bufio.NewWriter(raw)}
+	t.mu.Lock()
+	if existing, ok := t.conns[node]; ok {
+		t.mu.Unlock()
+		_ = raw.Close()
+		return existing, nil
+	}
+	t.conns[node] = c
+	t.mu.Unlock()
+	// Replies may come back on the same connection.
+	t.wg.Add(1)
+	go t.readLoop(raw)
+	return c, nil
+}
+
+func (t *TCP) dropConn(node simnet.NodeID) {
+	t.mu.Lock()
+	if c, ok := t.conns[node]; ok {
+		delete(t.conns, node)
+		_ = c.c.Close()
+	}
+	t.mu.Unlock()
+}
+
+func (t *TCP) acceptLoop(ln net.Listener) {
+	defer t.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		t.accepted = append(t.accepted, conn)
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCP) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n == 0 || n > maxFrame {
+			return
+		}
+		frame := make([]byte, n)
+		if _, err := io.ReadFull(r, frame); err != nil {
+			return
+		}
+		service, rest, err := readString(frame)
+		if err != nil {
+			return
+		}
+		fromStr, rest, err := readString(rest)
+		if err != nil {
+			return
+		}
+		msg, err := UnmarshalMessage(rest)
+		if err != nil {
+			continue // drop corrupt message, keep the connection
+		}
+		t.mu.Lock()
+		h := t.endpoints[service]
+		t.mu.Unlock()
+		if h != nil {
+			h(simnet.NodeID(fromStr), msg)
+		}
+	}
+}
+
+func readString(b []byte) (string, []byte, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || n > uint64(len(b[sz:])) {
+		return "", nil, fmt.Errorf("%w: bad string", ErrWire)
+	}
+	return string(b[sz : sz+int(n)]), b[sz+int(n):], nil
+}
+
+// Close stops the listener and closes every connection.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	if t.listener != nil {
+		_ = t.listener.Close()
+	}
+	for node, c := range t.conns {
+		_ = c.c.Close()
+		delete(t.conns, node)
+	}
+	for _, c := range t.accepted {
+		_ = c.Close()
+	}
+	t.accepted = nil
+	t.mu.Unlock()
+	t.wg.Wait()
+	return nil
+}

@@ -1,0 +1,185 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/relation"
+	"repro/internal/simnet"
+)
+
+// tcpPair builds two connected TCP transports.
+func tcpPair(t *testing.T) (*TCP, *TCP) {
+	t.Helper()
+	a, err := NewTCP("nodeA", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTCP("nodeB", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.AddPeer("nodeB", b.Addr())
+	b.AddPeer("nodeA", a.Addr())
+	t.Cleanup(func() {
+		_ = a.Close()
+		_ = b.Close()
+	})
+	return a, b
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never satisfied")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestTCPDelivery(t *testing.T) {
+	a, b := tcpPair(t)
+	var mu sync.Mutex
+	var got *Message
+	var from simnet.NodeID
+	b.Register("nodeB", "frag/F2#0", func(f simnet.NodeID, m *Message) {
+		mu.Lock()
+		from, got = f, m
+		mu.Unlock()
+	})
+	msg := &Message{
+		Kind: KindData, Exchange: "E1", StartSeq: 5,
+		Tuples: []relation.Tuple{{relation.String("ORF"), relation.Int(9)}},
+	}
+	if _, err := a.Send("nodeA", "nodeB", "frag/F2#0", msg); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return got != nil
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	if from != "nodeA" || got.StartSeq != 5 || len(got.Tuples) != 1 ||
+		got.Tuples[0][0].AsString() != "ORF" {
+		t.Fatalf("delivered %+v from %q", got, from)
+	}
+}
+
+func TestTCPReplyOverSameDirection(t *testing.T) {
+	// Request goes A->B, reply goes B->A through B's own dial-back.
+	a, b := tcpPair(t)
+	reply := make(chan *Message, 1)
+	a.Register("nodeA", "responder", func(_ simnet.NodeID, m *Message) {
+		reply <- m
+	})
+	b.Register("nodeB", "frag/F1#0", func(from simnet.NodeID, m *Message) {
+		out := &Message{Kind: KindReply, Ctrl: &Ctrl{
+			Op: m.Ctrl.Op, RequestID: m.Ctrl.RequestID, OK: true, Routed: 77,
+		}}
+		if _, err := b.Send("nodeB", from, m.Ctrl.ReplyService, out); err != nil {
+			t.Errorf("reply: %v", err)
+		}
+	})
+	req := &Message{Kind: KindControl, Ctrl: &Ctrl{
+		Op: CtrlProgress, RequestID: 1, ReplyTo: "nodeA", ReplyService: "responder",
+	}}
+	if _, err := a.Send("nodeA", "nodeB", "frag/F1#0", req); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-reply:
+		if m.Ctrl.Routed != 77 || !m.Ctrl.OK {
+			t.Fatalf("reply = %+v", m.Ctrl)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no reply")
+	}
+}
+
+func TestTCPLocalDelivery(t *testing.T) {
+	a, _ := tcpPair(t)
+	hit := false
+	a.Register("nodeA", "svc", func(simnet.NodeID, *Message) { hit = true })
+	if _, err := a.Send("nodeA", "nodeA", "svc", &Message{Kind: KindEOS}); err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("local delivery must be synchronous")
+	}
+}
+
+func TestTCPErrors(t *testing.T) {
+	a, _ := tcpPair(t)
+	if _, err := a.Send("nodeA", "nodeC", "svc", &Message{Kind: KindEOS}); err == nil {
+		t.Error("send to unknown peer accepted")
+	}
+	if _, err := a.Send("nodeA", "nodeA", "missing", &Message{Kind: KindEOS}); err == nil {
+		t.Error("send to missing local service accepted")
+	}
+	a.Unregister("nodeA", "svc")
+	defer func() {
+		if recover() == nil {
+			t.Error("registering for a remote node must panic")
+		}
+	}()
+	a.Register("nodeZ", "svc", func(simnet.NodeID, *Message) {})
+}
+
+func TestTCPManyMessagesOrdered(t *testing.T) {
+	a, b := tcpPair(t)
+	var mu sync.Mutex
+	var seqs []int64
+	b.Register("nodeB", "svc", func(_ simnet.NodeID, m *Message) {
+		mu.Lock()
+		seqs = append(seqs, m.StartSeq)
+		mu.Unlock()
+	})
+	const n = 500
+	for i := 0; i < n; i++ {
+		if _, err := a.Send("nodeA", "nodeB", "svc", &Message{Kind: KindData, StartSeq: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(seqs) == n
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	for i, s := range seqs {
+		if s != int64(i) {
+			t.Fatalf("out of order at %d: %d", i, s)
+		}
+	}
+}
+
+func TestTCPCloseIdempotent(t *testing.T) {
+	a, err := NewTCP("x", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Addr() == "" {
+		t.Error("no listen address")
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Send-only transport.
+	c, err := NewTCP("y", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Addr() != "" {
+		t.Error("send-only transport has an address")
+	}
+	_ = c.Close()
+}

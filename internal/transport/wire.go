@@ -1,0 +1,326 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/relation"
+	"repro/internal/simnet"
+)
+
+// Wire format (all integers varint unless noted):
+//
+//	message := kind:byte exchange:str producerIdx consumerIdx epoch
+//	           startSeq checkpoint replay:byte
+//	           ntuples tuple* nbuckets bucket* nexcept except*
+//	           hasCtrl:byte [ctrl]
+//	ctrl    := op:byte requestID replyTo:str replyService:str
+//	           nweights float64*  nbucketMap int32*  nbuckets int32*
+//	           nseqs int64*  epoch ok:byte err:str routed est
+//	           ndiscarded (key:int nseqs seq*)*
+//	str     := len bytes
+//
+// Tuples use the relation codec. The format is self-contained; the TCP
+// transport frames each message with a 4-byte big-endian length prefix.
+
+// ErrWire is wrapped by unmarshalling errors.
+var ErrWire = errors.New("transport: corrupt wire message")
+
+// MarshalMessage encodes a message.
+func MarshalMessage(m *Message) []byte {
+	b := make([]byte, 0, 256+32*len(m.Tuples))
+	b = append(b, byte(m.Kind))
+	b = appendString(b, m.Exchange)
+	b = binary.AppendVarint(b, int64(m.ProducerIdx))
+	b = binary.AppendVarint(b, int64(m.ConsumerIdx))
+	b = binary.AppendVarint(b, int64(m.Epoch))
+	b = binary.AppendVarint(b, m.StartSeq)
+	b = binary.AppendVarint(b, m.Checkpoint)
+	b = appendBool(b, m.Replay)
+	b = binary.AppendUvarint(b, uint64(len(m.Tuples)))
+	for _, t := range m.Tuples {
+		b = relation.AppendTuple(b, t)
+	}
+	b = binary.AppendUvarint(b, uint64(len(m.Buckets)))
+	for _, bk := range m.Buckets {
+		b = binary.AppendVarint(b, int64(bk))
+	}
+	b = binary.AppendUvarint(b, uint64(len(m.Except)))
+	for _, s := range m.Except {
+		b = binary.AppendVarint(b, s)
+	}
+	b = appendString(b, m.Query)
+	if m.Mon != nil {
+		b = appendBool(b, true)
+		mo := m.Mon
+		b = appendBool(b, mo.IsM2)
+		b = appendString(b, mo.Fragment)
+		b = binary.AppendVarint(b, int64(mo.Instance))
+		b = appendString(b, string(mo.Node))
+		b = binary.AppendUvarint(b, math.Float64bits(mo.CostMs))
+		b = binary.AppendUvarint(b, math.Float64bits(mo.WaitMs))
+		b = binary.AppendUvarint(b, math.Float64bits(mo.Selectivity))
+		b = binary.AppendVarint(b, mo.Produced)
+		b = appendString(b, mo.ConsumerFragment)
+		b = binary.AppendVarint(b, int64(mo.ConsumerInstance))
+		b = appendString(b, string(mo.ConsumerNode))
+		b = binary.AppendUvarint(b, math.Float64bits(mo.SendCostMs))
+		b = binary.AppendVarint(b, int64(mo.TupleCount))
+	} else {
+		b = appendBool(b, false)
+	}
+	if m.Ctrl == nil {
+		return appendBool(b, false)
+	}
+	b = appendBool(b, true)
+	c := m.Ctrl
+	b = append(b, byte(c.Op))
+	b = binary.AppendUvarint(b, c.RequestID)
+	b = appendString(b, string(c.ReplyTo))
+	b = appendString(b, c.ReplyService)
+	b = binary.AppendUvarint(b, uint64(len(c.Weights)))
+	for _, w := range c.Weights {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(w))
+	}
+	b = binary.AppendUvarint(b, uint64(len(c.BucketMap)))
+	for _, o := range c.BucketMap {
+		b = binary.AppendVarint(b, int64(o))
+	}
+	b = binary.AppendUvarint(b, uint64(len(c.Buckets)))
+	for _, o := range c.Buckets {
+		b = binary.AppendVarint(b, int64(o))
+	}
+	b = binary.AppendUvarint(b, uint64(len(c.Seqs)))
+	for _, s := range c.Seqs {
+		b = binary.AppendVarint(b, s)
+	}
+	b = binary.AppendVarint(b, int64(c.Epoch))
+	b = appendBool(b, c.OK)
+	b = appendString(b, c.Err)
+	b = binary.AppendVarint(b, c.Routed)
+	b = binary.AppendVarint(b, c.Est)
+	b = binary.AppendUvarint(b, uint64(len(c.DiscardedSeqs)))
+	for k, seqs := range c.DiscardedSeqs {
+		b = appendString(b, k)
+		b = binary.AppendUvarint(b, uint64(len(seqs)))
+		for _, s := range seqs {
+			b = binary.AppendVarint(b, s)
+		}
+	}
+	return b
+}
+
+// UnmarshalMessage decodes a message produced by MarshalMessage.
+func UnmarshalMessage(b []byte) (*Message, error) {
+	d := &decoder{b: b}
+	m := &Message{}
+	m.Kind = Kind(d.byte())
+	m.Exchange = d.str()
+	m.ProducerIdx = int(d.varint())
+	m.ConsumerIdx = int(d.varint())
+	m.Epoch = int(d.varint())
+	m.StartSeq = d.varint()
+	m.Checkpoint = d.varint()
+	m.Replay = d.bool()
+	if n := d.count(); n > 0 {
+		m.Tuples = make([]relation.Tuple, 0, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			t, rest, err := relation.DecodeTuple(d.b)
+			if err != nil {
+				return nil, fmt.Errorf("%w: tuple %d: %v", ErrWire, i, err)
+			}
+			d.b = rest
+			m.Tuples = append(m.Tuples, t)
+		}
+	}
+	if n := d.count(); n > 0 {
+		m.Buckets = make([]int32, n)
+		for i := range m.Buckets {
+			m.Buckets[i] = int32(d.varint())
+		}
+	}
+	if n := d.count(); n > 0 {
+		m.Except = make([]int64, n)
+		for i := range m.Except {
+			m.Except[i] = d.varint()
+		}
+	}
+	m.Query = d.str()
+	if d.bool() {
+		mo := &Monitor{}
+		mo.IsM2 = d.bool()
+		mo.Fragment = d.str()
+		mo.Instance = int(d.varint())
+		mo.Node = simnet.NodeID(d.str())
+		mo.CostMs = math.Float64frombits(d.uvarint())
+		mo.WaitMs = math.Float64frombits(d.uvarint())
+		mo.Selectivity = math.Float64frombits(d.uvarint())
+		mo.Produced = d.varint()
+		mo.ConsumerFragment = d.str()
+		mo.ConsumerInstance = int(d.varint())
+		mo.ConsumerNode = simnet.NodeID(d.str())
+		mo.SendCostMs = math.Float64frombits(d.uvarint())
+		mo.TupleCount = int(d.varint())
+		m.Mon = mo
+	}
+	if d.bool() {
+		c := &Ctrl{}
+		c.Op = CtrlOp(d.byte())
+		c.RequestID = d.uvarint()
+		c.ReplyTo = simnet.NodeID(d.str())
+		c.ReplyService = d.str()
+		if n := d.count(); n > 0 {
+			c.Weights = make([]float64, n)
+			for i := range c.Weights {
+				c.Weights[i] = d.float64()
+			}
+		}
+		if n := d.count(); n > 0 {
+			c.BucketMap = make([]int32, n)
+			for i := range c.BucketMap {
+				c.BucketMap[i] = int32(d.varint())
+			}
+		}
+		if n := d.count(); n > 0 {
+			c.Buckets = make([]int32, n)
+			for i := range c.Buckets {
+				c.Buckets[i] = int32(d.varint())
+			}
+		}
+		if n := d.count(); n > 0 {
+			c.Seqs = make([]int64, n)
+			for i := range c.Seqs {
+				c.Seqs[i] = d.varint()
+			}
+		}
+		c.Epoch = int(d.varint())
+		c.OK = d.bool()
+		c.Err = d.str()
+		c.Routed = d.varint()
+		c.Est = d.varint()
+		if n := d.count(); n > 0 {
+			c.DiscardedSeqs = make(map[string][]int64, n)
+			for i := 0; i < n && d.err == nil; i++ {
+				k := d.str()
+				cnt := d.count()
+				seqs := make([]int64, cnt)
+				for j := range seqs {
+					seqs[j] = d.varint()
+				}
+				c.DiscardedSeqs[k] = seqs
+			}
+		}
+		m.Ctrl = c
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrWire, len(d.b))
+	}
+	if !validKind(m.Kind) {
+		return nil, fmt.Errorf("%w: bad kind %d", ErrWire, m.Kind)
+	}
+	return m, nil
+}
+
+func validKind(k Kind) bool { return k >= KindData && k <= KindMonitor }
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// decoder reads the wire format with sticky errors.
+type decoder struct {
+	b   []byte
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: truncated", ErrWire)
+	}
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil || len(d.b) == 0 {
+		d.fail()
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *decoder) bool() bool { return d.byte() != 0 }
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+// count reads a length, bounding it by the remaining input to stop
+// adversarial allocations.
+func (d *decoder) count() int {
+	v := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if v > uint64(len(d.b))+1 {
+		d.fail()
+		return 0
+	}
+	return int(v)
+}
+
+func (d *decoder) float64() float64 {
+	if d.err != nil || len(d.b) < 8 {
+		d.fail()
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b))
+	d.b = d.b[8:]
+	return v
+}
+
+func (d *decoder) str() string {
+	n := d.count()
+	if d.err != nil || len(d.b) < n {
+		d.fail()
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}

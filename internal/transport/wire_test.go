@@ -1,0 +1,195 @@
+package transport
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+)
+
+func sampleMessages() []*Message {
+	return []*Message{
+		{Kind: KindEOS, Exchange: "E1", ProducerIdx: 2, ConsumerIdx: 1},
+		{
+			Kind: KindData, Exchange: "E2", ProducerIdx: 0, ConsumerIdx: 3,
+			Epoch: 5, StartSeq: 100, Checkpoint: 149, Replay: true,
+			Tuples: []relation.Tuple{
+				{relation.String("ORF1"), relation.Int(42)},
+				{relation.Float(2.5), relation.Null},
+			},
+			Buckets: []int32{7, 300},
+		},
+		{Kind: KindAck, Exchange: "E1", ConsumerIdx: 1, Checkpoint: 50,
+			Except: []int64{12, 17, 23}},
+		{
+			Kind: KindControl, Exchange: "E1",
+			Ctrl: &Ctrl{
+				Op: CtrlDiscard, RequestID: 99, ReplyTo: "coord",
+				ReplyService: "aqp/responder@coord",
+				Buckets:      []int32{1, 2, 3},
+				Epoch:        7,
+			},
+		},
+		{
+			Kind: KindReply,
+			Ctrl: &Ctrl{
+				Op: CtrlDiscard, RequestID: 99, OK: true,
+				DiscardedSeqs: map[string][]int64{"E1/0": {5, 6}, "E1/2": {11}},
+			},
+		},
+		{
+			Kind: KindControl,
+			Ctrl: &Ctrl{
+				Op: CtrlSetWeights, RequestID: 1,
+				Weights: []float64{0.75, 0.25}, OK: false, Err: "nope",
+				Routed: 1234, Est: 3000,
+				BucketMap: []int32{0, 1, 0, 1},
+				Seqs:      []int64{9, 8, 7},
+			},
+		},
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	for i, m := range sampleMessages() {
+		enc := MarshalMessage(m)
+		dec, err := UnmarshalMessage(enc)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if !messagesEqual(m, dec) {
+			t.Fatalf("message %d round trip:\n in: %+v\nout: %+v", i, m, dec)
+		}
+	}
+}
+
+// messagesEqual compares messages modulo nil-vs-empty slices.
+func messagesEqual(a, b *Message) bool {
+	if a.Kind != b.Kind || a.Exchange != b.Exchange ||
+		a.ProducerIdx != b.ProducerIdx || a.ConsumerIdx != b.ConsumerIdx ||
+		a.Epoch != b.Epoch || a.StartSeq != b.StartSeq ||
+		a.Checkpoint != b.Checkpoint || a.Replay != b.Replay {
+		return false
+	}
+	if len(a.Tuples) != len(b.Tuples) {
+		return false
+	}
+	for i := range a.Tuples {
+		if !a.Tuples[i].Equal(b.Tuples[i]) {
+			return false
+		}
+	}
+	if !int32sEqual(a.Buckets, b.Buckets) || !int64sEqual(a.Except, b.Except) {
+		return false
+	}
+	if (a.Ctrl == nil) != (b.Ctrl == nil) {
+		return false
+	}
+	if a.Ctrl != nil {
+		ac, bc := *a.Ctrl, *b.Ctrl
+		if ac.Op != bc.Op || ac.RequestID != bc.RequestID || ac.ReplyTo != bc.ReplyTo ||
+			ac.ReplyService != bc.ReplyService || ac.Epoch != bc.Epoch ||
+			ac.OK != bc.OK || ac.Err != bc.Err || ac.Routed != bc.Routed || ac.Est != bc.Est {
+			return false
+		}
+		if !reflect.DeepEqual(normaliseMap(ac.DiscardedSeqs), normaliseMap(bc.DiscardedSeqs)) {
+			return false
+		}
+		if !float64sEqual(ac.Weights, bc.Weights) || !int32sEqual(ac.BucketMap, bc.BucketMap) ||
+			!int32sEqual(ac.Buckets, bc.Buckets) || !int64sEqual(ac.Seqs, bc.Seqs) {
+			return false
+		}
+	}
+	return true
+}
+
+func normaliseMap(m map[string][]int64) map[string][]int64 {
+	if len(m) == 0 {
+		return nil
+	}
+	return m
+}
+
+func int32sEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func int64sEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func float64sEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestWireRejectsGarbage(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 3000; i++ {
+		b := make([]byte, r.Intn(60))
+		r.Read(b)
+		// Must never panic; errors are fine.
+		_, _ = UnmarshalMessage(b)
+	}
+	if _, err := UnmarshalMessage(nil); err == nil {
+		t.Error("nil input accepted")
+	}
+	good := MarshalMessage(&Message{Kind: KindEOS})
+	if _, err := UnmarshalMessage(append(good, 0xff)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	if _, err := UnmarshalMessage(good[:len(good)-1]); err == nil {
+		t.Error("truncated input accepted")
+	}
+}
+
+func TestWireRandomDataMessages(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := &Message{
+			Kind:        Kind(1 + r.Intn(5)),
+			Exchange:    "E",
+			ProducerIdx: r.Intn(8),
+			ConsumerIdx: r.Intn(8),
+			StartSeq:    r.Int63n(1 << 40),
+			Checkpoint:  r.Int63n(1 << 40),
+		}
+		n := r.Intn(20)
+		for i := 0; i < n; i++ {
+			m.Tuples = append(m.Tuples, relation.Tuple{
+				relation.Int(r.Int63()), relation.String("x"),
+			})
+			m.Buckets = append(m.Buckets, int32(r.Intn(512)))
+		}
+		dec, err := UnmarshalMessage(MarshalMessage(m))
+		return err == nil && messagesEqual(m, dec)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,126 @@
+// Package vtime provides the virtual-time substrate of the simulated Grid.
+//
+// The paper's experiments run on three physical machines and report
+// wall-clock response times in the order of minutes. Here every modelled
+// cost — CPU work per tuple, web-service invocation, buffer transmission —
+// is expressed in *paper milliseconds* and converted to a (much smaller)
+// real sleep through a Clock with a configurable scale, so an experiment
+// that took minutes on the 2005 testbed completes in well under a second
+// while preserving every cost ratio. All results are reported normalised,
+// exactly as in the paper, so the absolute scale cancels out.
+//
+// Because scaled costs can be only a few microseconds of real time, naive
+// per-tuple time.Sleep calls would be dominated by timer slop. A Meter
+// therefore accumulates virtual debt and sleeps in larger quanta, keeping
+// long-run rates accurate to well under a percent.
+package vtime
+
+import (
+	"fmt"
+	"time"
+)
+
+// DefaultScale is the default real duration of one paper millisecond.
+const DefaultScale = 20 * time.Microsecond
+
+// Clock converts between paper milliseconds and wall-clock time. A Clock is
+// immutable after creation and safe for concurrent use.
+type Clock struct {
+	scale time.Duration // real duration per paper millisecond
+	start time.Time
+}
+
+// NewClock returns a clock where one paper millisecond lasts scale of real
+// time. A non-positive scale panics: a zero scale would make every modelled
+// cost free and the experiments meaningless.
+func NewClock(scale time.Duration) *Clock {
+	if scale <= 0 {
+		panic(fmt.Sprintf("vtime: non-positive scale %v", scale))
+	}
+	return &Clock{scale: scale, start: time.Now()}
+}
+
+// Scale returns the real duration of one paper millisecond.
+func (c *Clock) Scale() time.Duration { return c.scale }
+
+// NowMs returns the paper milliseconds elapsed since the clock was created.
+func (c *Clock) NowMs() float64 {
+	return float64(time.Since(c.start)) / float64(c.scale)
+}
+
+// DurationOf converts a paper-millisecond cost to a real duration.
+func (c *Clock) DurationOf(ms float64) time.Duration {
+	if ms <= 0 {
+		return 0
+	}
+	return time.Duration(ms * float64(c.scale))
+}
+
+// MsOf converts a real duration to paper milliseconds.
+func (c *Clock) MsOf(d time.Duration) float64 {
+	return float64(d) / float64(c.scale)
+}
+
+// Sleep blocks for the given paper-millisecond cost. Prefer a Meter inside
+// per-tuple loops.
+func (c *Clock) Sleep(ms float64) {
+	if d := c.DurationOf(ms); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Meter accumulates fine-grained virtual costs and converts them to real
+// sleeps in coarser quanta. It is goroutine-confined: each fragment driver
+// owns one.
+type Meter struct {
+	clock   *Clock
+	quantum time.Duration // sleep once debt exceeds this
+	debt    time.Duration
+	charged float64 // total paper ms ever charged
+}
+
+// DefaultQuantum is the real-time granularity at which a Meter converts
+// accumulated virtual debt into sleeps. 200µs is large enough that Linux
+// timer slop (~50µs) stays below a few percent of each sleep.
+const DefaultQuantum = 200 * time.Microsecond
+
+// NewMeter returns a meter over clock with the default quantum.
+func NewMeter(clock *Clock) *Meter {
+	return &Meter{clock: clock, quantum: DefaultQuantum}
+}
+
+// Charge records a cost of ms paper milliseconds, sleeping if enough debt
+// has accumulated.
+func (m *Meter) Charge(ms float64) {
+	if ms <= 0 {
+		return
+	}
+	m.charged += ms
+	m.debt += m.clock.DurationOf(ms)
+	if m.debt >= m.quantum {
+		m.settle()
+	}
+}
+
+// Flush sleeps off any remaining debt. Call it before a blocking operation
+// (such as waiting on an empty queue) so that the modelled cost is fully
+// paid before the goroutine parks.
+func (m *Meter) Flush() {
+	if m.debt > 0 {
+		m.settle()
+	}
+}
+
+// ChargedMs returns the total paper milliseconds ever charged to the meter.
+func (m *Meter) ChargedMs() float64 { return m.charged }
+
+func (m *Meter) settle() {
+	begin := time.Now()
+	time.Sleep(m.debt)
+	// Credit oversleep back so long-run rates stay exact even when the OS
+	// timer overshoots: debt goes negative and absorbs future charges.
+	m.debt -= time.Since(begin)
+	if m.debt < -10*m.quantum {
+		m.debt = -10 * m.quantum // bound the credit to avoid free work bursts
+	}
+}

@@ -1,0 +1,87 @@
+package vtime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClockConversions(t *testing.T) {
+	c := NewClock(10 * time.Microsecond)
+	if got := c.DurationOf(100); got != time.Millisecond {
+		t.Errorf("DurationOf(100) = %v, want 1ms", got)
+	}
+	if got := c.DurationOf(-5); got != 0 {
+		t.Errorf("DurationOf(-5) = %v, want 0", got)
+	}
+	if got := c.MsOf(time.Millisecond); got != 100 {
+		t.Errorf("MsOf(1ms) = %v, want 100", got)
+	}
+	if c.Scale() != 10*time.Microsecond {
+		t.Errorf("Scale = %v", c.Scale())
+	}
+}
+
+func TestClockRejectsBadScale(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero scale")
+		}
+	}()
+	NewClock(0)
+}
+
+func TestClockNowAdvances(t *testing.T) {
+	c := NewClock(time.Microsecond)
+	before := c.NowMs()
+	time.Sleep(2 * time.Millisecond)
+	after := c.NowMs()
+	if after-before < 1000 { // 2ms real = 2000 paper-ms at 1µs scale
+		t.Errorf("NowMs advanced only %v paper-ms over 2ms real", after-before)
+	}
+}
+
+func TestMeterChargesAccumulate(t *testing.T) {
+	c := NewClock(time.Microsecond)
+	m := NewMeter(c)
+	for i := 0; i < 100; i++ {
+		m.Charge(3)
+	}
+	m.Charge(0)
+	m.Charge(-1)
+	if got := m.ChargedMs(); got != 300 {
+		t.Errorf("ChargedMs = %v, want 300", got)
+	}
+}
+
+func TestMeterRateAccuracy(t *testing.T) {
+	// 2000 charges of 1 paper-ms at 5µs/ms should take ~10ms of real time;
+	// allow generous slop for CI schedulers but catch gross errors (i.e. a
+	// meter that never sleeps or sleeps per-charge with 100µs slop each).
+	c := NewClock(5 * time.Microsecond)
+	m := NewMeter(c)
+	start := time.Now()
+	for i := 0; i < 2000; i++ {
+		m.Charge(1)
+	}
+	m.Flush()
+	got := time.Since(start)
+	want := 10 * time.Millisecond
+	if got < want*8/10 {
+		t.Errorf("meter too fast: %v for %v of modelled work", got, want)
+	}
+	if got > want*3 {
+		t.Errorf("meter too slow: %v for %v of modelled work", got, want)
+	}
+}
+
+func TestMeterFlushPaysDebt(t *testing.T) {
+	c := NewClock(100 * time.Microsecond)
+	m := NewMeter(c)
+	m.Charge(0.5) // 50µs of debt, below the quantum
+	start := time.Now()
+	m.Flush()
+	if time.Since(start) < 30*time.Microsecond {
+		t.Error("Flush did not pay outstanding debt")
+	}
+	m.Flush() // second flush is a no-op (debt ≤ 0)
+}

@@ -1,0 +1,72 @@
+package vtime
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse builds a Perturbation from a compact textual spec, used by command
+// line flags:
+//
+//	none                 no perturbation
+//	x10                  constant 10× multiplier
+//	sleep:10             add 10 paper-ms per work unit
+//	normal:20,40         per-unit multiplier ~ N(30, (20/6)²) clamped
+//	normal:20,40:7       same with explicit seed
+//	x10@500              no load for 500 work units, then 10×
+//	sleep:10@500         same for sleep injection
+func Parse(spec string) (Perturbation, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "none" {
+		return None, nil
+	}
+	if at := strings.LastIndex(spec, "@"); at >= 0 {
+		n, err := strconv.Atoi(spec[at+1:])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("vtime: bad step offset in %q", spec)
+		}
+		inner, err := Parse(spec[:at])
+		if err != nil {
+			return nil, err
+		}
+		return Step{At: n, Before: None, After: inner}, nil
+	}
+	switch {
+	case strings.HasPrefix(spec, "x"):
+		k, err := strconv.ParseFloat(spec[1:], 64)
+		if err != nil || k <= 0 {
+			return nil, fmt.Errorf("vtime: bad multiplier %q", spec)
+		}
+		return Multiplier(k), nil
+	case strings.HasPrefix(spec, "sleep:"):
+		ms, err := strconv.ParseFloat(spec[len("sleep:"):], 64)
+		if err != nil || ms < 0 {
+			return nil, fmt.Errorf("vtime: bad sleep %q", spec)
+		}
+		return Sleep(ms), nil
+	case strings.HasPrefix(spec, "normal:"):
+		rest := spec[len("normal:"):]
+		var seed int64 = 1
+		if i := strings.Index(rest, ":"); i >= 0 {
+			s, err := strconv.ParseInt(rest[i+1:], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("vtime: bad seed in %q", spec)
+			}
+			seed = s
+			rest = rest[:i]
+		}
+		parts := strings.Split(rest, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("vtime: bad normal range %q", spec)
+		}
+		lo, err1 := strconv.ParseFloat(parts[0], 64)
+		hi, err2 := strconv.ParseFloat(parts[1], 64)
+		if err1 != nil || err2 != nil || hi < lo {
+			return nil, fmt.Errorf("vtime: bad normal range %q", spec)
+		}
+		return NewNormalMultiplier(lo, hi, seed), nil
+	default:
+		return nil, fmt.Errorf("vtime: unknown perturbation spec %q", spec)
+	}
+}

@@ -1,0 +1,64 @@
+package vtime
+
+import "testing"
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		spec string
+		// probe: Apply(1, idx) expected value (NaN-free specs only)
+		idx  int
+		want float64
+	}{
+		{"", 0, 1},
+		{"none", 0, 1},
+		{"x10", 0, 10},
+		{" x2.5 ", 0, 2.5},
+		{"sleep:10", 0, 11},
+		{"x10@5", 4, 1},
+		{"x10@5", 5, 10},
+		{"sleep:3@2", 2, 4},
+	}
+	for _, tc := range cases {
+		p, err := Parse(tc.spec)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.spec, err)
+			continue
+		}
+		if got := p.Apply(1, tc.idx); got != tc.want {
+			t.Errorf("Parse(%q).Apply(1,%d) = %v, want %v", tc.spec, tc.idx, got, tc.want)
+		}
+	}
+}
+
+func TestParseNormal(t *testing.T) {
+	p, err := Parse("normal:20,40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		v := p.Apply(1, i)
+		if v < 20 || v > 40 {
+			t.Fatalf("out of range: %v", v)
+		}
+	}
+	p2, err := Parse("normal:20,40:9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.String() != "normal[20,40]" {
+		t.Errorf("String = %q", p2.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"x", "xabc", "x0", "x-1",
+		"sleep:", "sleep:abc", "sleep:-1",
+		"normal:", "normal:5", "normal:5,1", "normal:a,b", "normal:1,2:zz",
+		"wibble", "x10@", "x10@-1", "x10@abc",
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q): expected error", spec)
+		}
+	}
+}

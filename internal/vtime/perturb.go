@@ -1,0 +1,122 @@
+package vtime
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Perturbation models an artificial load on a machine, following §3.2 of the
+// paper, which creates load by (i) iterating a computation k times —
+// a multiplicative slowdown — and (ii) inserting sleep() calls before each
+// tuple — an additive slowdown. Apply maps the base cost of the i-th unit of
+// work on the perturbed machine to its perturbed cost, in paper ms.
+//
+// Implementations must be safe for concurrent use; a node's operators may
+// run on several goroutines.
+type Perturbation interface {
+	Apply(baseMs float64, workIndex int) float64
+	// String describes the perturbation for experiment reports.
+	String() string
+}
+
+// None is the identity perturbation: an unperturbed machine.
+var None Perturbation = noneP{}
+
+type noneP struct{}
+
+func (noneP) Apply(base float64, _ int) float64 { return base }
+func (noneP) String() string                    { return "none" }
+
+// Multiplier perturbs work by a constant factor, modelling the paper's
+// "programming a computation to iterate over the same function multiple
+// times": a 10× multiplier makes each WS call ten times costlier.
+type Multiplier float64
+
+// Apply implements Perturbation.
+func (m Multiplier) Apply(base float64, _ int) float64 { return base * float64(m) }
+
+func (m Multiplier) String() string { return fmt.Sprintf("x%g", float64(m)) }
+
+// Sleep perturbs work by inserting a fixed extra cost before each unit,
+// modelling the paper's "inserting sleep() calls" (e.g. sleep(10msecs)
+// before the processing of each tuple by the join).
+type Sleep float64
+
+// Apply implements Perturbation.
+func (s Sleep) Apply(base float64, _ int) float64 { return base + float64(s) }
+
+func (s Sleep) String() string { return fmt.Sprintf("sleep(%gms)", float64(s)) }
+
+// NormalMultiplier varies the multiplier per work unit in a normally
+// distributed way with a stable mean, as in the paper's "Rapid Changes"
+// experiment (Fig. 5): the factor is drawn from N((lo+hi)/2, ((hi-lo)/6)²)
+// and clamped to [lo, hi], so e.g. [1,60] has the same mean as a stable 30×
+// but fluctuates wildly between tuples.
+type NormalMultiplier struct {
+	lo, hi float64
+	mu     sync.Mutex
+	rng    *rand.Rand
+}
+
+// NewNormalMultiplier builds the jittered multiplier for the range [lo, hi]
+// with a deterministic seed.
+func NewNormalMultiplier(lo, hi float64, seed int64) *NormalMultiplier {
+	if hi < lo {
+		panic(fmt.Sprintf("vtime: invalid normal multiplier range [%g,%g]", lo, hi))
+	}
+	return &NormalMultiplier{lo: lo, hi: hi, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Apply implements Perturbation.
+func (n *NormalMultiplier) Apply(base float64, _ int) float64 {
+	mean := (n.lo + n.hi) / 2
+	sigma := (n.hi - n.lo) / 6
+	n.mu.Lock()
+	k := n.rng.NormFloat64()*sigma + mean
+	n.mu.Unlock()
+	if k < n.lo {
+		k = n.lo
+	}
+	if k > n.hi {
+		k = n.hi
+	}
+	return base * k
+}
+
+func (n *NormalMultiplier) String() string {
+	return fmt.Sprintf("normal[%g,%g]", n.lo, n.hi)
+}
+
+// Step switches from one perturbation to another after the node has
+// processed a given number of work units. It models a machine whose load
+// changes mid-query, the scenario motivating adaptivity in the first place.
+type Step struct {
+	At     int // work index at which the switch happens
+	Before Perturbation
+	After  Perturbation
+}
+
+// Apply implements Perturbation.
+func (s Step) Apply(base float64, i int) float64 {
+	if i < s.At {
+		return s.Before.Apply(base, i)
+	}
+	return s.After.Apply(base, i-s.At)
+}
+
+func (s Step) String() string {
+	return fmt.Sprintf("step@%d(%s->%s)", s.At, s.Before, s.After)
+}
+
+// Compose applies q to the result of p, so Compose(Multiplier(10),
+// Sleep(5)) costs base*10+5.
+func Compose(p, q Perturbation) Perturbation { return composed{p, q} }
+
+type composed struct{ p, q Perturbation }
+
+func (c composed) Apply(base float64, i int) float64 {
+	return c.q.Apply(c.p.Apply(base, i), i)
+}
+
+func (c composed) String() string { return c.p.String() + "+" + c.q.String() }

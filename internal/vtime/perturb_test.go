@@ -1,0 +1,118 @@
+package vtime
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNonePerturbation(t *testing.T) {
+	if got := None.Apply(7, 0); got != 7 {
+		t.Errorf("None.Apply(7) = %v", got)
+	}
+	if None.String() != "none" {
+		t.Error("None.String")
+	}
+}
+
+func TestMultiplier(t *testing.T) {
+	m := Multiplier(10)
+	if got := m.Apply(16, 3); got != 160 {
+		t.Errorf("x10.Apply(16) = %v", got)
+	}
+	if m.String() != "x10" {
+		t.Errorf("String = %q", m.String())
+	}
+}
+
+func TestSleep(t *testing.T) {
+	s := Sleep(10)
+	if got := s.Apply(2, 0); got != 12 {
+		t.Errorf("sleep(10).Apply(2) = %v", got)
+	}
+	if s.String() != "sleep(10ms)" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestNormalMultiplierBounds(t *testing.T) {
+	n := NewNormalMultiplier(1, 60, 42)
+	for i := 0; i < 5000; i++ {
+		got := n.Apply(1, i)
+		if got < 1 || got > 60 {
+			t.Fatalf("Apply out of range: %v", got)
+		}
+	}
+}
+
+func TestNormalMultiplierMeanStable(t *testing.T) {
+	// Paper Fig. 5: the mean of the jittered multiplier must match the
+	// stable 30× case for each of the tested ranges.
+	for _, rng := range [][2]float64{{25, 35}, {20, 40}, {1, 60}} {
+		n := NewNormalMultiplier(rng[0], rng[1], 7)
+		sum := 0.0
+		const trials = 20000
+		for i := 0; i < trials; i++ {
+			sum += n.Apply(1, i)
+		}
+		mean := sum / trials
+		if math.Abs(mean-30) > 1.0 {
+			t.Errorf("range %v: mean %v, want ≈30", rng, mean)
+		}
+	}
+}
+
+func TestNormalMultiplierRejectsBadRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewNormalMultiplier(5, 1, 0)
+}
+
+func TestStep(t *testing.T) {
+	s := Step{At: 10, Before: None, After: Multiplier(5)}
+	if got := s.Apply(2, 9); got != 2 {
+		t.Errorf("before step: %v", got)
+	}
+	if got := s.Apply(2, 10); got != 10 {
+		t.Errorf("after step: %v", got)
+	}
+	if s.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestCompose(t *testing.T) {
+	c := Compose(Multiplier(10), Sleep(5))
+	if got := c.Apply(2, 0); got != 25 {
+		t.Errorf("compose = %v, want 25", got)
+	}
+	if c.String() != "x10+sleep(5ms)" {
+		t.Errorf("String = %q", c.String())
+	}
+}
+
+func TestPerturbationNonNegativeProperty(t *testing.T) {
+	// Property: all shipped perturbations map non-negative base costs to
+	// non-negative perturbed costs.
+	n := NewNormalMultiplier(2, 8, 1)
+	perts := []Perturbation{None, Multiplier(3), Sleep(4), n,
+		Step{At: 5, Before: None, After: Multiplier(2)}}
+	prop := func(base float64, idx uint8) bool {
+		b := math.Abs(base)
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		for _, p := range perts {
+			if p.Apply(b, int(idx)) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,160 @@
+// Package ws provides the Web Services that queries invoke as typed foreign
+// functions through the operation_call operator (paper §2). The evaluation's
+// Q1 calls EntropyAnalyser, an operation of the OGSA-DQP demo that analyses
+// a protein sequence; here it is a real Shannon-entropy computation plus a
+// modelled invocation cost, so the operator exercises a genuine computation
+// while the virtual-time substrate controls how expensive it appears.
+package ws
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+
+	"repro/internal/relation"
+)
+
+// Service is one callable Web Service operation.
+type Service interface {
+	// Name is the operation name as referenced in queries.
+	Name() string
+	// ArgTypes and ResultType describe the signature.
+	ArgTypes() []relation.Type
+	ResultType() relation.Type
+	// BaseCostMs is the unperturbed per-invocation cost in paper ms.
+	BaseCostMs() float64
+	// Invoke computes the operation's value for one tuple's arguments.
+	Invoke(args []relation.Value) (relation.Value, error)
+}
+
+// EntropyAnalyser computes the Shannon entropy (bits per residue) of a
+// protein sequence. DefaultEntropyCostMs reflects that in the paper Q1 "is
+// computation-intensive rather than data- or communication-intensive", yet
+// retrieval and communication still "do contribute to the total response
+// time".
+const DefaultEntropyCostMs = 10.0
+
+// Entropy is the EntropyAnalyser service.
+type Entropy struct {
+	// CostMs is the per-call modelled cost; zero means
+	// DefaultEntropyCostMs.
+	CostMs float64
+}
+
+// Name implements Service.
+func (Entropy) Name() string { return "EntropyAnalyser" }
+
+// ArgTypes implements Service.
+func (Entropy) ArgTypes() []relation.Type { return []relation.Type{relation.TString} }
+
+// ResultType implements Service.
+func (Entropy) ResultType() relation.Type { return relation.TFloat }
+
+// BaseCostMs implements Service.
+func (e Entropy) BaseCostMs() float64 {
+	if e.CostMs > 0 {
+		return e.CostMs
+	}
+	return DefaultEntropyCostMs
+}
+
+// Invoke computes the Shannon entropy of the sequence argument.
+func (Entropy) Invoke(args []relation.Value) (relation.Value, error) {
+	if len(args) != 1 || args[0].Type() != relation.TString {
+		return relation.Null, fmt.Errorf("ws: EntropyAnalyser expects one string argument")
+	}
+	s := args[0].AsString()
+	if len(s) == 0 {
+		return relation.Float(0), nil
+	}
+	var counts [256]int
+	for i := 0; i < len(s); i++ {
+		counts[s[i]]++
+	}
+	var h float64
+	n := float64(len(s))
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return relation.Float(h), nil
+}
+
+// SequenceLength is a second demo service used by tests and examples: it
+// returns the length of its string argument.
+type SequenceLength struct {
+	// CostMs is the per-call modelled cost (may be zero: the operation is
+	// trivial).
+	CostMs float64
+}
+
+// Name implements Service.
+func (SequenceLength) Name() string { return "SequenceLength" }
+
+// ArgTypes implements Service.
+func (SequenceLength) ArgTypes() []relation.Type { return []relation.Type{relation.TString} }
+
+// ResultType implements Service.
+func (SequenceLength) ResultType() relation.Type { return relation.TInt }
+
+// BaseCostMs implements Service.
+func (s SequenceLength) BaseCostMs() float64 { return s.CostMs }
+
+// Invoke implements Service.
+func (SequenceLength) Invoke(args []relation.Value) (relation.Value, error) {
+	if len(args) != 1 || args[0].Type() != relation.TString {
+		return relation.Null, fmt.Errorf("ws: SequenceLength expects one string argument")
+	}
+	return relation.Int(int64(len(args[0].AsString()))), nil
+}
+
+// Registry maps operation names (case-insensitively) to services. It plays
+// the role of the WSDL-described service endpoints available to the query
+// engine on one machine.
+type Registry struct {
+	mu       sync.RWMutex
+	services map[string]Service
+}
+
+// NewRegistry builds a registry holding the given services.
+func NewRegistry(services ...Service) *Registry {
+	r := &Registry{services: make(map[string]Service, len(services))}
+	for _, s := range services {
+		r.Register(s)
+	}
+	return r
+}
+
+// Register adds or replaces a service.
+func (r *Registry) Register(s Service) {
+	r.mu.Lock()
+	r.services[strings.ToLower(s.Name())] = s
+	r.mu.Unlock()
+}
+
+// Lookup resolves an operation name.
+func (r *Registry) Lookup(name string) (Service, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.services[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("ws: unknown operation %q", name)
+	}
+	return s, nil
+}
+
+// Services returns the registered services in unspecified order; the GDQS
+// uses it to populate the metadata catalog with callable operations.
+func (r *Registry) Services() []Service {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Service, 0, len(r.services))
+	for _, s := range r.services {
+		out = append(out, s)
+	}
+	return out
+}

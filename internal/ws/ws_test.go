@@ -1,0 +1,105 @@
+package ws
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+)
+
+func TestEntropyKnownValues(t *testing.T) {
+	e := Entropy{}
+	tests := []struct {
+		seq  string
+		want float64
+	}{
+		{"", 0},
+		{"AAAA", 0},                   // single symbol: zero entropy
+		{"AC", 1},                     // two equiprobable symbols: 1 bit
+		{"ACGT", 2},                   // four equiprobable symbols: 2 bits
+		{strings.Repeat("AC", 50), 1}, // ratio is what matters
+	}
+	for _, tc := range tests {
+		got, err := e.Invoke([]relation.Value{relation.String(tc.seq)})
+		if err != nil {
+			t.Fatalf("%q: %v", tc.seq, err)
+		}
+		if math.Abs(got.AsFloat()-tc.want) > 1e-9 {
+			t.Errorf("entropy(%q) = %v, want %v", tc.seq, got.AsFloat(), tc.want)
+		}
+	}
+}
+
+func TestEntropyBounds(t *testing.T) {
+	// Property: 0 ≤ H ≤ log2(alphabet size ≤ 256) = 8 for any byte string.
+	e := Entropy{}
+	prop := func(s string) bool {
+		v, err := e.Invoke([]relation.Value{relation.String(s)})
+		if err != nil {
+			return false
+		}
+		h := v.AsFloat()
+		return h >= 0 && h <= 8+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEntropyBadArgs(t *testing.T) {
+	e := Entropy{}
+	for _, args := range [][]relation.Value{
+		nil,
+		{relation.Int(3)},
+		{relation.String("A"), relation.String("B")},
+	} {
+		if _, err := e.Invoke(args); err == nil {
+			t.Errorf("Invoke(%v): expected error", args)
+		}
+	}
+}
+
+func TestEntropyCost(t *testing.T) {
+	if got := (Entropy{}).BaseCostMs(); got != DefaultEntropyCostMs {
+		t.Errorf("default cost = %v", got)
+	}
+	if got := (Entropy{CostMs: 99}).BaseCostMs(); got != 99 {
+		t.Errorf("custom cost = %v", got)
+	}
+}
+
+func TestSequenceLength(t *testing.T) {
+	s := SequenceLength{}
+	v, err := s.Invoke([]relation.Value{relation.String("MALST")})
+	if err != nil || v.AsInt() != 5 {
+		t.Fatalf("got %v, %v", v, err)
+	}
+	if _, err := s.Invoke([]relation.Value{relation.Int(1)}); err == nil {
+		t.Fatal("expected error for bad arg type")
+	}
+	if s.ResultType() != relation.TInt || len(s.ArgTypes()) != 1 {
+		t.Error("signature")
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	r := NewRegistry(Entropy{}, SequenceLength{})
+	svc, err := r.Lookup("entropyanalyser") // case-insensitive
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.Name() != "EntropyAnalyser" {
+		t.Errorf("Name = %q", svc.Name())
+	}
+	if _, err := r.Lookup("nope"); err == nil {
+		t.Fatal("expected error")
+	}
+	// Register replaces.
+	r.Register(Entropy{CostMs: 5})
+	svc, _ = r.Lookup("EntropyAnalyser")
+	if svc.BaseCostMs() != 5 {
+		t.Errorf("replacement not registered: cost %v", svc.BaseCostMs())
+	}
+}
