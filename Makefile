@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: check vet build test race bench micro experiments fuzz
+
+## check: the full tier-1 gate — vet, build, and the test suite under -race.
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench: the engine micro-benchmarks (codec, producer, volcano vs batch).
+bench:
+	$(GO) test ./internal/microbench/ -bench . -benchmem -run xxx
+
+## micro: write the micro-benchmark results to BENCH_micro.json.
+micro:
+	$(GO) run ./cmd/dqp-experiments -micro BENCH_micro.json
+
+## experiments: regenerate EXPERIMENTS.md (several minutes).
+experiments:
+	$(GO) run ./cmd/dqp-experiments
+
+## fuzz: a short fuzzing pass over the tuple codec.
+fuzz:
+	$(GO) test ./internal/relation/ -fuzz FuzzTupleCodecRoundTrip -fuzztime 30s

@@ -6,13 +6,19 @@
 // Usage:
 //
 //	dqp-experiments [-o EXPERIMENTS.md] [-only Table1,Fig2a]
+//	dqp-experiments -micro BENCH_micro.json
 //
 // The full suite takes several minutes of real time: the simulated testbed
 // actually executes every query, including the heavily perturbed static
 // runs the paper measured.
+//
+// With -micro, the command instead runs the engine micro-benchmarks (tuple
+// codec, exchange producer, volcano-vs-batch operator chain) and writes the
+// results as JSON to the given file.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,12 +26,22 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/microbench"
 )
 
 func main() {
 	out := flag.String("o", "EXPERIMENTS.md", "output file ('-' for stdout)")
 	only := flag.String("only", "", "comma-separated experiment subset (Table1,Fig2a,Fig2b,Fig3a,Fig3b,Fig4,Fig5,Overheads,MonitoringFrequency)")
+	micro := flag.String("micro", "", "run the engine micro-benchmarks and write JSON results to this file ('-' for stdout), skipping the experiments")
 	flag.Parse()
+
+	if *micro != "" {
+		if err := runMicro(*micro); err != nil {
+			fmt.Fprintf(os.Stderr, "dqp-experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	type builder struct {
 		name string
@@ -83,4 +99,25 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}
+
+// runMicro executes the micro-benchmark suite and writes the results as
+// indented JSON, one object per benchmark.
+func runMicro(path string) error {
+	fmt.Fprintln(os.Stderr, "running micro-benchmarks (this takes ~30s) ...")
+	results := microbench.All()
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
 }

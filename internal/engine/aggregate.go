@@ -35,6 +35,9 @@ type HashAggregate struct {
 	out      []relation.Tuple
 	pos      int
 
+	// in is the owned input batch for the vectorized absorb phase.
+	in *relation.Batch
+
 	mon         *opMonitor
 	insertMeter *opInsertMeter
 }
@@ -64,26 +67,40 @@ func (a *HashAggregate) Open(ctx *ExecContext) error {
 	a.state = make(map[int32]map[uint64][]*groupState)
 	a.mon = newOpMonitor(ctx)
 	a.insertMeter = newOpInsertMeter(ctx)
+	a.in = relation.GetBatch()
 	return a.Child.Open(ctx)
+}
+
+// drain absorbs the entire child input batch-at-a-time (clamped to the M1
+// window so absorb-phase monitoring cadence is unchanged) and freezes the
+// emit-phase output.
+func (a *HashAggregate) drain() error {
+	a.in.SetLimit(batchLimit(a.ctx, relation.DefaultBatchSize))
+	for {
+		n, err := FillBatch(a.Child, a.in)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			break
+		}
+		a.ctx.chargeN(a.ctx.Costs.AggMs, n)
+		a.absorbBatch(a.in.Tuples)
+		for i := 0; i < n; i++ {
+			a.mon.tick()
+		}
+	}
+	a.beginEmit()
+	return nil
 }
 
 // Next implements Iterator: it drains the child (absorbing every tuple into
 // group state), then emits one row per group.
 func (a *HashAggregate) Next() (relation.Tuple, bool, error) {
 	if !a.emitting {
-		for {
-			t, ok, err := a.Child.Next()
-			if err != nil {
-				return nil, false, err
-			}
-			if !ok {
-				break
-			}
-			a.ctx.charge(a.ctx.Costs.AggMs)
-			a.absorb(t)
-			a.mon.tick()
+		if err := a.drain(); err != nil {
+			return nil, false, err
 		}
-		a.beginEmit()
 	}
 	if a.pos >= len(a.out) {
 		return nil, false, nil
@@ -94,12 +111,50 @@ func (a *HashAggregate) Next() (relation.Tuple, bool, error) {
 	return t, true, nil
 }
 
+// NextBatch implements BatchIterator: the absorb phase consumes whole input
+// batches with one lock acquisition and one charge bundle per batch; the
+// emit phase hands out result rows by reference.
+func (a *HashAggregate) NextBatch(dst *relation.Batch) (int, error) {
+	if !a.emitting {
+		if err := a.drain(); err != nil {
+			return 0, err
+		}
+	}
+	dst.Rewind()
+	n := len(a.out) - a.pos
+	if n <= 0 {
+		return 0, nil
+	}
+	if c := dst.Cap(); n > c {
+		n = c
+	}
+	for _, t := range a.out[a.pos : a.pos+n] {
+		dst.Append(t)
+	}
+	a.pos += n
+	a.ctx.chargeFlat(a.ctx.Costs.ProjectMs * float64(n))
+	return n, nil
+}
+
 // absorb folds one input tuple into its group.
 func (a *HashAggregate) absorb(t relation.Tuple) {
-	h := t.Hash(a.GroupOrds)
-	b := int32(h % uint64(a.buckets))
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	a.absorbLocked(t)
+}
+
+// absorbBatch folds a batch of input tuples under one lock acquisition.
+func (a *HashAggregate) absorbBatch(ts []relation.Tuple) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, t := range ts {
+		a.absorbLocked(t)
+	}
+}
+
+func (a *HashAggregate) absorbLocked(t relation.Tuple) {
+	h := t.Hash(a.GroupOrds)
+	b := int32(h % uint64(a.buckets))
 	if a.state == nil {
 		return // closed; replay raced completion
 	}
@@ -224,6 +279,10 @@ func (a *HashAggregate) Close() error {
 	a.mu.Lock()
 	a.state = nil
 	a.mu.Unlock()
+	if a.in != nil {
+		a.in.Release()
+		a.in = nil
+	}
 	return err
 }
 

@@ -1,0 +1,188 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/logical"
+	"repro/internal/relation"
+	"repro/internal/scalar"
+)
+
+// drainBatch runs an iterator to completion through the vectorized path.
+func drainBatch(t *testing.T, it Iterator, ctx *ExecContext, limit int) []relation.Tuple {
+	t.Helper()
+	if err := it.Open(ctx); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	batch := relation.GetBatch()
+	defer batch.Release()
+	if limit > 0 {
+		batch.SetLimit(limit)
+	}
+	var out []relation.Tuple
+	for {
+		n, err := FillBatch(it, batch)
+		if err != nil {
+			t.Fatalf("FillBatch: %v", err)
+		}
+		if n == 0 {
+			break
+		}
+		out = append(out, batch.Tuples...)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return out
+}
+
+// sameTuples compares two result sets element by element.
+func sameTuples(t *testing.T, got, want []relation.Tuple) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("batch path produced %d tuples, volcano produced %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Key() != want[i].Key() {
+			t.Fatalf("tuple %d: batch %v != volcano %v", i, got[i], want[i])
+		}
+	}
+}
+
+// scanSelectProject builds the same scan→filter→project plan twice.
+func scanSelectProject(t *testing.T) (Iterator, Iterator) {
+	t.Helper()
+	mk := func() Iterator {
+		pred, err := scalar.Compare(
+			scalar.Col(0, relation.TString, "ORF"), scalar.Ne,
+			scalar.Const(relation.String("YAL00007C")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &Project{
+			Child: &Select{Child: &TableScan{Table: "protein_sequences"}, Pred: pred},
+			Ords:  []int{0},
+		}
+	}
+	return mk(), mk()
+}
+
+func TestBatchEquivalenceScanSelectProject(t *testing.T) {
+	volcano, batched := scanSelectProject(t)
+	want := drain(t, volcano, testCtx())
+	got := drainBatch(t, batched, testCtx(), 0)
+	sameTuples(t, got, want)
+}
+
+func TestBatchEquivalenceSmallBatches(t *testing.T) {
+	// A tiny batch limit exercises the operators' partial-batch and
+	// carry-over paths (Select draining across input batches, overflow).
+	volcano, batched := scanSelectProject(t)
+	want := drain(t, volcano, testCtx())
+	got := drainBatch(t, batched, testCtx(), 3)
+	sameTuples(t, got, want)
+}
+
+func TestBatchEquivalenceJoin(t *testing.T) {
+	mk := func() Iterator {
+		return &HashJoin{
+			Build:     &TableScan{Table: "protein_sequences"},
+			Probe:     &TableScan{Table: "protein_interactions"},
+			BuildKeys: []int{0},
+			ProbeKeys: []int{0},
+		}
+	}
+	want := drain(t, mk(), testCtx())
+	got := drainBatch(t, mk(), testCtx(), 0)
+	sameTuples(t, got, want)
+	if len(got) == 0 {
+		t.Fatal("join produced nothing")
+	}
+	// Batch size 1 forces the join's pending-overflow path on every multi-
+	// match probe tuple.
+	tiny := drainBatch(t, mk(), testCtx(), 1)
+	sameTuples(t, tiny, want)
+}
+
+func TestBatchEquivalenceAggregate(t *testing.T) {
+	mk := func() Iterator {
+		return &HashAggregate{
+			Child:     &TableScan{Table: "protein_interactions"},
+			GroupOrds: []int{0},
+			Kinds:     []logical.AggKind{logical.AggCount},
+			ArgOrds:   []int{-1},
+		}
+	}
+	want := drain(t, mk(), testCtx())
+	got := drainBatch(t, mk(), testCtx(), 0)
+	sameTuples(t, got, want)
+}
+
+func TestBatchEquivalenceOperationCall(t *testing.T) {
+	mk := func() Iterator {
+		return &OperationCall{
+			Fn:      "EntropyAnalyser",
+			ArgOrds: []int{1},
+			Child:   &TableScan{Table: "protein_sequences"},
+		}
+	}
+	want := drain(t, mk(), testCtx())
+	got := drainBatch(t, mk(), testCtx(), 0)
+	sameTuples(t, got, want)
+}
+
+// TestFillBatchAdapter covers the tuple-at-a-time fallback: Sort has no
+// NextBatch, so FillBatch must loop its Next under the hood.
+func TestFillBatchAdapter(t *testing.T) {
+	mk := func() Iterator {
+		return &Sort{
+			Child: &TableScan{Table: "protein_sequences"},
+			Ords:  []int{0},
+			Desc:  []bool{true},
+		}
+	}
+	want := drain(t, mk(), testCtx())
+	got := drainBatch(t, mk(), testCtx(), 7)
+	sameTuples(t, got, want)
+}
+
+// TestBatchCostParity verifies batching does not change charged work: the
+// vectorized path must bill exactly the same modelled milliseconds as the
+// volcano path for an identical plan on unperturbed nodes.
+func TestBatchCostParity(t *testing.T) {
+	volcano, batched := scanSelectProject(t)
+	vctx := testCtx()
+	drain(t, volcano, vctx)
+	vctx.Meter.Flush()
+	bctx := testCtx()
+	drainBatch(t, batched, bctx, 0)
+	bctx.Meter.Flush()
+	v, b := vctx.Meter.ChargedMs(), bctx.Meter.ChargedMs()
+	// Identical per-tuple charges, summed in a different order: only
+	// float-rounding noise may differ.
+	if diff := math.Abs(v - b); diff > 1e-9 {
+		t.Fatalf("charged cost diverged: volcano %v ms, batch %v ms", v, b)
+	}
+}
+
+// countingSink records M1 emissions.
+type countingSink struct{ m1 []M1Event }
+
+func (s *countingSink) EmitM1(e M1Event) { s.m1 = append(s.m1, e) }
+func (s *countingSink) EmitM2(M2Event)   {}
+
+func TestBatchLimitClampsToMonitorWindow(t *testing.T) {
+	ctx := testCtx()
+	if got := batchLimit(ctx, 256); got != 256 {
+		t.Fatalf("unmonitored batchLimit = %d, want 256", got)
+	}
+	ctx.Monitor = &countingSink{}
+	ctx.MonitorEvery = 10
+	if got := batchLimit(ctx, 256); got != 10 {
+		t.Fatalf("monitored batchLimit = %d, want 10", got)
+	}
+	if got := batchLimit(ctx, 4); got != 4 {
+		t.Fatalf("small-default batchLimit = %d, want 4", got)
+	}
+}

@@ -269,10 +269,15 @@ func (r *FragmentRuntime) Err() error {
 	return r.err
 }
 
-// Run executes the fragment: it opens the tree, pumps tuples from the root
-// into the output exchange (or result sink), and emits M1 self-monitoring
-// events every MonitorEvery produced tuples. It returns when the input is
-// exhausted or on the first error.
+// Run executes the fragment batch-at-a-time: it opens the tree, pulls
+// batches from the root through FillBatch (vectorized operators run their
+// native NextBatch, everything else goes through the adapter), pushes them
+// into the output exchange with one SendBatch per batch (or into the result
+// sink), and emits M1 self-monitoring events every MonitorEvery produced
+// tuples. When monitoring is active, each batch is clamped to the remaining
+// M1 window, so events fire at exactly the same produced-tuple counts — and
+// attribute exactly the same cost windows — as the tuple-at-a-time driver
+// did. It returns when the input is exhausted or on the first error.
 func (r *FragmentRuntime) Run() error {
 	ctx := r.cfg.Ctx
 	if ctx.Costs.StartupMs > 0 {
@@ -289,29 +294,39 @@ func (r *FragmentRuntime) Run() error {
 	lastCharged := ctx.Meter.ChargedMs()
 	lastWait := r.waitMs()
 	var sinceM1 int64
+	monitoring := ctx.Monitor != nil && ctx.MonitorEvery > 0
 
+	batch := relation.GetBatch()
+	defer batch.Release()
 	for {
-		t, ok, err := r.root.Next()
+		if monitoring {
+			batch.SetLimit(ctx.MonitorEvery - int(sinceM1))
+		}
+		n, err := FillBatch(r.root, batch)
 		if err != nil {
 			return r.fail(err)
 		}
-		if !ok {
+		if n == 0 {
 			break
 		}
 		if r.producer != nil {
-			err = r.producer.Send(t)
+			err = r.producer.SendBatch(batch.Tuples)
 		} else {
-			err = r.cfg.Sink.Send(t)
+			for _, t := range batch.Tuples {
+				if err = r.cfg.Sink.Send(t); err != nil {
+					break
+				}
+			}
 		}
 		if err != nil {
 			return r.fail(err)
 		}
 		r.mu.Lock()
-		r.produced++
+		r.produced += int64(n)
 		produced := r.produced
 		r.mu.Unlock()
-		sinceM1++
-		if ctx.Monitor != nil && ctx.MonitorEvery > 0 && sinceM1 >= int64(ctx.MonitorEvery) {
+		sinceM1 += int64(n)
+		if monitoring && sinceM1 >= int64(ctx.MonitorEvery) {
 			charged := ctx.Meter.ChargedMs()
 			wait := r.waitMs()
 			consumed := r.consumedTuples()

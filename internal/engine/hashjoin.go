@@ -38,8 +38,13 @@ type HashJoin struct {
 	state map[int32]map[uint64][]relation.Tuple
 	held  int
 
-	// pending holds the remaining outputs of the current probe tuple.
+	// pending holds overflow outputs that did not fit the current output
+	// batch (a single probe tuple can match many build tuples).
 	pending []relation.Tuple
+	// in is the owned probe-side input batch; arena amortizes output-tuple
+	// allocation.
+	in    *relation.Batch
+	arena relation.Arena
 	// insertMeter charges replay-insert work happening on control
 	// goroutines (the driver's meter is goroutine-confined).
 	insertMeter *opInsertMeter
@@ -48,7 +53,8 @@ type HashJoin struct {
 	buildDone bool
 }
 
-// Open implements Iterator: it fully drains the build input.
+// Open implements Iterator: it fully drains the build input, batch-at-a-time
+// (clamped to the M1 window so build-phase monitoring cadence is unchanged).
 func (j *HashJoin) Open(ctx *ExecContext) error {
 	j.ctx = ctx
 	j.buckets = ctx.Buckets
@@ -58,23 +64,27 @@ func (j *HashJoin) Open(ctx *ExecContext) error {
 	j.state = make(map[int32]map[uint64][]relation.Tuple)
 	j.insertMeter = newOpInsertMeter(ctx)
 	j.mon = newOpMonitor(ctx)
+	j.in = relation.GetBatch()
 	if err := j.Build.Open(ctx); err != nil {
 		return err
 	}
+	j.in.SetLimit(batchLimit(ctx, relation.DefaultBatchSize))
 	for {
-		t, ok, err := j.Build.Next()
+		n, err := FillBatch(j.Build, j.in)
 		if err != nil {
 			return err
 		}
-		if !ok {
+		if n == 0 {
 			break
 		}
-		j.ctx.charge(j.ctx.Costs.JoinBuildMs)
-		j.insert(t)
+		j.ctx.chargeN(j.ctx.Costs.JoinBuildMs, n)
+		j.insertBatch(j.in.Tuples)
 		// The build phase produces nothing, so the driver's M1 emission is
 		// silent; emit operator-level events so the Diagnoser can already
 		// rebalance a perturbed build.
-		j.mon.tick()
+		for i := 0; i < n; i++ {
+			j.mon.tick()
+		}
 	}
 	j.buildDone = true
 	return j.Probe.Open(ctx)
@@ -99,6 +109,26 @@ func (j *HashJoin) insert(t relation.Tuple) {
 	m[h] = append(m[h], t)
 	j.held++
 	j.mu.Unlock()
+}
+
+// insertBatch adds a batch of build tuples under one lock acquisition.
+func (j *HashJoin) insertBatch(ts []relation.Tuple) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == nil {
+		return
+	}
+	for _, t := range ts {
+		h := t.Hash(j.BuildKeys)
+		b := int32(h % uint64(j.buckets))
+		m := j.state[b]
+		if m == nil {
+			m = make(map[uint64][]relation.Tuple)
+			j.state[b] = m
+		}
+		m[h] = append(m[h], t)
+		j.held++
+	}
 }
 
 // Next implements Iterator.
@@ -128,6 +158,48 @@ func (j *HashJoin) Next() (relation.Tuple, bool, error) {
 	}
 }
 
+// NextBatch implements BatchIterator: it probes whole input batches under
+// one state-lock acquisition, emitting concatenated matches carved from an
+// arena. Matches overflowing dst spill to pending and lead the next batch.
+func (j *HashJoin) NextBatch(dst *relation.Batch) (int, error) {
+	dst.Rewind()
+	for len(j.pending) > 0 && !dst.Full() {
+		dst.Append(j.pending[0])
+		j.pending = j.pending[1:]
+	}
+	j.in.SetLimit(dst.Cap())
+	for dst.Len() == 0 {
+		n, err := FillBatch(j.Probe, j.in)
+		if err != nil {
+			return dst.Len(), err
+		}
+		if n == 0 {
+			return dst.Len(), nil
+		}
+		j.ctx.chargeN(j.ctx.Costs.JoinProbeMs, n)
+		j.mu.Lock()
+		for _, t := range j.in.Tuples {
+			h := t.Hash(j.ProbeKeys)
+			b := int32(h % uint64(j.buckets))
+			for _, cand := range j.state[b][h] {
+				if !j.keysEqual(cand, t) {
+					continue
+				}
+				out := j.arena.Alloc(len(cand) + len(t))
+				copy(out, cand)
+				copy(out[len(cand):], t)
+				if dst.Full() {
+					j.pending = append(j.pending, out)
+				} else {
+					dst.Append(out)
+				}
+			}
+		}
+		j.mu.Unlock()
+	}
+	return dst.Len(), nil
+}
+
 // keysEqual guards against 64-bit hash collisions.
 func (j *HashJoin) keysEqual(build, probe relation.Tuple) bool {
 	for i := range j.BuildKeys {
@@ -146,6 +218,10 @@ func (j *HashJoin) Close() error {
 	j.state = nil
 	j.held = 0
 	j.mu.Unlock()
+	if j.in != nil {
+		j.in.Release()
+		j.in = nil
+	}
 	if errB != nil {
 		return errB
 	}

@@ -15,6 +15,7 @@ type TableScan struct {
 	ctx    *ExecContext
 	tuples []relation.Tuple
 	pos    int
+	costs  []float64 // per-tuple base costs, reused across batches
 }
 
 // Open implements Iterator.
@@ -43,9 +44,40 @@ func (s *TableScan) Next() (relation.Tuple, bool, error) {
 	return t, true, nil
 }
 
+// NextBatch implements BatchIterator: it hands out table tuples by
+// reference (zero copies, zero allocations) and charges the whole batch's
+// scan cost in one node/meter round trip.
+func (s *TableScan) NextBatch(dst *relation.Batch) (int, error) {
+	dst.Rewind()
+	n := len(s.tuples) - s.pos
+	if n <= 0 {
+		return 0, nil
+	}
+	if c := dst.Cap(); n > c {
+		n = c
+	}
+	chunk := s.tuples[s.pos : s.pos+n]
+	s.pos += n
+	if s.ctx.Costs.ScanByteMs == 0 {
+		s.ctx.chargeN(s.ctx.Costs.ScanMs, n)
+	} else {
+		if cap(s.costs) < n {
+			s.costs = make([]float64, n)
+		}
+		costs := s.costs[:n]
+		for i, t := range chunk {
+			costs[i] = s.ctx.Costs.ScanMs + s.ctx.Costs.ScanByteMs*float64(t.ByteSize())
+		}
+		s.ctx.chargeEach(costs)
+	}
+	dst.AppendAll(chunk)
+	return n, nil
+}
+
 // Close implements Iterator.
 func (s *TableScan) Close() error {
 	s.tuples = nil
+	s.costs = nil
 	return nil
 }
 
@@ -77,15 +109,53 @@ func (s *Select) Next() (relation.Tuple, bool, error) {
 	}
 }
 
+// NextBatch implements BatchIterator: it fills dst from the child and
+// filters it in place by compaction, so surviving tuples are forwarded
+// without re-staging (a tuple that passes before the first miss is never
+// rewritten at all) and the filter cost is charged once per batch.
+// Low-selectivity predicates loop over input batches until at least one
+// tuple survives, so n == 0 still means end of stream.
+func (s *Select) NextBatch(dst *relation.Batch) (int, error) {
+	for {
+		n, err := FillBatch(s.Child, dst)
+		if err != nil || n == 0 {
+			return n, err
+		}
+		s.ctx.chargeN(s.ctx.Costs.FilterMs, n)
+		ts := dst.Tuples
+		i := 0
+		for i < n && s.Pred.Matches(ts[i]) {
+			i++
+		}
+		if i == n {
+			return n, nil
+		}
+		w := i
+		for i++; i < n; i++ {
+			if s.Pred.Matches(ts[i]) {
+				ts[w] = ts[i]
+				w++
+			}
+		}
+		dst.Tuples = ts[:w]
+		if w > 0 {
+			return w, nil
+		}
+	}
+}
+
 // Close implements Iterator.
-func (s *Select) Close() error { return s.Child.Close() }
+func (s *Select) Close() error {
+	return s.Child.Close()
+}
 
 // Project keeps the columns at the given ordinals.
 type Project struct {
 	Child Iterator
 	Ords  []int
 
-	ctx *ExecContext
+	ctx   *ExecContext
+	arena relation.Arena
 }
 
 // Open implements Iterator.
@@ -104,8 +174,32 @@ func (p *Project) Next() (relation.Tuple, bool, error) {
 	return t.Project(p.Ords), true, nil
 }
 
+// NextBatch implements BatchIterator: it fills dst from the child and
+// replaces each tuple with its projection in place. The whole batch's output
+// values are carved from the arena in one allocation, and the per-tuple
+// charge is bundled.
+func (p *Project) NextBatch(dst *relation.Batch) (int, error) {
+	n, err := FillBatch(p.Child, dst)
+	if err != nil || n == 0 {
+		return 0, err
+	}
+	p.ctx.chargeN(p.ctx.Costs.ProjectMs, n)
+	w := len(p.Ords)
+	vals := p.arena.Alloc(n * w)
+	for i, t := range dst.Tuples {
+		out := vals[i*w : (i+1)*w : (i+1)*w]
+		for k, o := range p.Ords {
+			out[k] = t[o]
+		}
+		dst.Tuples[i] = out
+	}
+	return n, nil
+}
+
 // Close implements Iterator.
-func (p *Project) Close() error { return p.Child.Close() }
+func (p *Project) Close() error {
+	return p.Child.Close()
+}
 
 // OperationCall invokes a Web Service operation per tuple and appends the
 // result column — OGSA-DQP's operation_call operator, the expensive step of
@@ -117,9 +211,10 @@ type OperationCall struct {
 	ArgOrds []int
 	Child   Iterator
 
-	ctx  *ExecContext
-	svc  ws.Service
-	args []relation.Value
+	ctx   *ExecContext
+	svc   ws.Service
+	args  []relation.Value
+	arena relation.Arena
 }
 
 // Open implements Iterator.
@@ -157,8 +252,37 @@ func (o *OperationCall) Next() (relation.Tuple, bool, error) {
 	return out, true, nil
 }
 
+// NextBatch implements BatchIterator. Invocations stay one per tuple — each
+// WS call is one unit of perturbable work, which the paper's Q1 experiments
+// inflate per call — but the cost accounting and output construction are
+// batched.
+func (o *OperationCall) NextBatch(dst *relation.Batch) (int, error) {
+	n, err := FillBatch(o.Child, dst)
+	if err != nil || n == 0 {
+		return 0, err
+	}
+	o.ctx.chargeN(o.svc.BaseCostMs(), n)
+	for i, t := range dst.Tuples {
+		for k, ord := range o.ArgOrds {
+			o.args[k] = t[ord]
+		}
+		v, err := o.svc.Invoke(o.args)
+		if err != nil {
+			dst.Tuples = dst.Tuples[:i]
+			return i, fmt.Errorf("engine: %s: %w", o.Fn, err)
+		}
+		out := o.arena.Alloc(len(t) + 1)
+		copy(out, t)
+		out[len(t)] = v
+		dst.Tuples[i] = out
+	}
+	return n, nil
+}
+
 // Close implements Iterator.
-func (o *OperationCall) Close() error { return o.Child.Close() }
+func (o *OperationCall) Close() error {
+	return o.Child.Close()
+}
 
 // sliceIterator feeds a fixed tuple slice; tests and examples use it as a
 // lightweight source.
@@ -191,6 +315,25 @@ func (s *sliceIterator) Next() (relation.Tuple, bool, error) {
 		s.ctx.charge(s.costMs)
 	}
 	return t, true, nil
+}
+
+// NextBatch implements BatchIterator.
+func (s *sliceIterator) NextBatch(dst *relation.Batch) (int, error) {
+	dst.Rewind()
+	n := len(s.tuples) - s.pos
+	if n <= 0 {
+		return 0, nil
+	}
+	if c := dst.Cap(); n > c {
+		n = c
+	}
+	chunk := s.tuples[s.pos : s.pos+n]
+	s.pos += n
+	if s.costMs > 0 {
+		s.ctx.chargeN(s.costMs, n)
+	}
+	dst.AppendAll(chunk)
+	return n, nil
 }
 
 func (s *sliceIterator) Close() error { return nil }

@@ -17,6 +17,10 @@ type DistPolicy interface {
 	// Route picks the consumer instance for a tuple. bucket is the routing
 	// bucket for hash policies and -1 for weighted ones.
 	Route(t relation.Tuple) (consumer int, bucket int32)
+	// RouteBatch routes ts[i] into consumers[i] and buckets[i] under a
+	// single policy-lock acquisition; the three slices share one length.
+	// Routing decisions are identical to len(ts) sequential Route calls.
+	RouteBatch(ts []relation.Tuple, consumers []int, buckets []int32)
 	// RouteBucket picks the owner of a bucket (hash policies only).
 	RouteBucket(bucket int32) int
 	// Weights returns the current distribution vector W.
@@ -88,6 +92,23 @@ func (p *WeightedPolicy) Route(relation.Tuple) (int, int32) {
 	}
 	p.credit[best] -= 1
 	return best, -1
+}
+
+// RouteBatch implements DistPolicy.
+func (p *WeightedPolicy) RouteBatch(ts []relation.Tuple, consumers []int, buckets []int32) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for k := range ts {
+		best := 0
+		for i := range p.credit {
+			p.credit[i] += p.weights[i]
+			if p.credit[i] > p.credit[best] {
+				best = i
+			}
+		}
+		p.credit[best] -= 1
+		consumers[k], buckets[k] = best, -1
+	}
 }
 
 // RouteBucket implements DistPolicy; weighted policies have no buckets.
@@ -180,6 +201,17 @@ func (p *HashPolicy) Route(t relation.Tuple) (int, int32) {
 	c := p.owner[b]
 	p.mu.Unlock()
 	return int(c), b
+}
+
+// RouteBatch implements DistPolicy.
+func (p *HashPolicy) RouteBatch(ts []relation.Tuple, consumers []int, buckets []int32) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := uint64(len(p.owner))
+	for k, t := range ts {
+		b := int32(t.Hash(p.keyOrds) % n)
+		consumers[k], buckets[k] = int(p.owner[b]), b
+	}
 }
 
 // RouteBucket implements DistPolicy.

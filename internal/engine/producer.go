@@ -72,6 +72,9 @@ type Producer struct {
 	eosSent   bool
 	// buffersSent counts transmitted buffers, for overhead reporting.
 	buffersSent int64
+	// routeConsumers/routeBuckets are SendBatch's reusable routing scratch.
+	routeConsumers []int
+	routeBuckets   []int32
 }
 
 type bufEntry struct {
@@ -152,6 +155,45 @@ func (p *Producer) Send(t relation.Tuple) error {
 	p.routed++
 	if len(p.buffers[consumer]) >= p.bufferTuples {
 		return p.flushLocked(consumer, false)
+	}
+	return nil
+}
+
+// SendBatch routes a whole batch of tuples under one producer-lock and one
+// policy-lock acquisition. Everything else — per-tuple sequence numbers,
+// recovery-log entries, buffer boundaries, checkpoint insertion, and the
+// per-buffer M2 monitoring events — is identical to len(ts) sequential Send
+// calls, so the R1/R2 redistribution protocols and the monitoring cadence
+// are unaffected by batching. It blocks while the producer is paused.
+func (p *Producer) SendBatch(ts []relation.Tuple) error {
+	if len(ts) == 0 {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.paused {
+		p.ctx.Meter.Flush()
+		p.sendCond.Wait()
+	}
+	if p.ctx != nil && p.ctx.Costs.LogAppendMs > 0 {
+		p.ctx.chargeFlat(p.ctx.Costs.LogAppendMs * float64(len(ts)))
+	}
+	if cap(p.routeConsumers) < len(ts) {
+		p.routeConsumers = make([]int, len(ts))
+		p.routeBuckets = make([]int32, len(ts))
+	}
+	consumers := p.routeConsumers[:len(ts)]
+	buckets := p.routeBuckets[:len(ts)]
+	p.policy.RouteBatch(ts, consumers, buckets)
+	for i, t := range ts {
+		consumer := consumers[i]
+		p.appendLocked(consumer, buckets[i], t)
+		p.routed++
+		if len(p.buffers[consumer]) >= p.bufferTuples {
+			if err := p.flushLocked(consumer, false); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }

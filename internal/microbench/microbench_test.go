@@ -1,0 +1,34 @@
+package microbench
+
+import "testing"
+
+func BenchmarkTupleEncode(b *testing.B)       { TupleEncode(b) }
+func BenchmarkTupleDecode(b *testing.B)       { TupleDecode(b) }
+func BenchmarkProducerSendBatch(b *testing.B) { ProducerSendBatch(b) }
+
+// BenchmarkVolcanoVsBatch runs the same scan→select→project drain through
+// both execution models; compare the subbenchmarks' ns/op, allocs/op and
+// tuples/sec directly.
+func BenchmarkVolcanoVsBatch(b *testing.B) {
+	b.Run("volcano", VolcanoChain)
+	b.Run("batch", BatchChain)
+}
+
+// TestBatchBeatsVolcano pins the PR's acceptance bar: the batch path must be
+// at least 2x the throughput of the volcano path with at least 5x fewer
+// allocations per drained chain.
+func TestBatchBeatsVolcano(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark comparison")
+	}
+	v := testing.Benchmark(VolcanoChain)
+	bt := testing.Benchmark(BatchChain)
+	vNs := float64(v.T.Nanoseconds()) / float64(v.N)
+	bNs := float64(bt.T.Nanoseconds()) / float64(bt.N)
+	if bNs*2 > vNs {
+		t.Errorf("batch path %.0f ns/op vs volcano %.0f ns/op: want >=2x faster", bNs, vNs)
+	}
+	if bt.AllocsPerOp()*5 > v.AllocsPerOp() {
+		t.Errorf("batch path %d allocs/op vs volcano %d: want >=5x fewer", bt.AllocsPerOp(), v.AllocsPerOp())
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // The binary tuple codec is used by the TCP transport when shipping buffers
@@ -22,6 +23,47 @@ import (
 
 // ErrCorrupt is returned (wrapped) when decoding malformed bytes.
 var ErrCorrupt = errors.New("relation: corrupt tuple encoding")
+
+// maxPrealloc caps capacity pre-allocations derived from wire-controlled
+// counts. A corrupt (or hostile) header can still claim a huge element
+// count, but decoders grow by append from at most this capacity instead of
+// trusting the count, so the allocation is bounded by the actual input size.
+const maxPrealloc = 4096
+
+// preallocCount bounds a wire-announced element count for use as an initial
+// slice capacity.
+func preallocCount(n uint64) int {
+	if n > maxPrealloc {
+		return maxPrealloc
+	}
+	return int(n)
+}
+
+// encBufPool recycles encode buffers so steady-state encoding of buffers and
+// messages allocates nothing. Pooled as *[]byte to avoid the slice-header
+// allocation on Put.
+var encBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// GetEncodeBuffer returns an empty pooled byte buffer for encoding. Return
+// it with PutEncodeBuffer once its contents have been copied out or written.
+func GetEncodeBuffer() []byte {
+	return (*encBufPool.Get().(*[]byte))[:0]
+}
+
+// PutEncodeBuffer recycles a buffer obtained from GetEncodeBuffer (or any
+// other buffer the caller no longer needs). The caller must not use b again.
+func PutEncodeBuffer(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	encBufPool.Put(&b)
+}
 
 // AppendTuple appends the binary encoding of t to dst and returns the
 // extended slice.
@@ -64,7 +106,7 @@ func DecodeTuple(b []byte) (Tuple, []byte, error) {
 		return nil, b, fmt.Errorf("%w: value count %d exceeds input", ErrCorrupt, n)
 	}
 	b = b[sz:]
-	t := make(Tuple, 0, n)
+	t := make(Tuple, 0, preallocCount(n))
 	for i := uint64(0); i < n; i++ {
 		if len(b) == 0 {
 			return nil, b, fmt.Errorf("%w: truncated value", ErrCorrupt)
@@ -102,22 +144,28 @@ func DecodeTuple(b []byte) (Tuple, []byte, error) {
 	return t, b, nil
 }
 
+// AppendTuples appends the count-prefixed encoding of a tuple batch to dst
+// and returns the extended slice — the batch encode entry point; combine
+// with GetEncodeBuffer/PutEncodeBuffer to encode without allocating.
+func AppendTuples(dst []byte, ts []Tuple) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ts)))
+	for _, t := range ts {
+		dst = AppendTuple(dst, t)
+	}
+	return dst
+}
+
 // EncodeTuples encodes a slice of tuples back to back, prefixed by a count.
 func EncodeTuples(ts []Tuple) []byte {
 	size := 4
 	for _, t := range ts {
 		size += t.ByteSize()
 	}
-	b := make([]byte, 0, size)
-	b = binary.AppendUvarint(b, uint64(len(ts)))
-	for _, t := range ts {
-		b = AppendTuple(b, t)
-	}
-	return b
+	return AppendTuples(make([]byte, 0, size), ts)
 }
 
 // DecodeTuples decodes a count-prefixed tuple sequence produced by
-// EncodeTuples.
+// EncodeTuples or AppendTuples.
 func DecodeTuples(b []byte) ([]Tuple, error) {
 	n, sz := binary.Uvarint(b)
 	if sz <= 0 {
@@ -127,7 +175,7 @@ func DecodeTuples(b []byte) ([]Tuple, error) {
 		return nil, fmt.Errorf("%w: tuple count %d exceeds input", ErrCorrupt, n)
 	}
 	b = b[sz:]
-	out := make([]Tuple, 0, n)
+	out := make([]Tuple, 0, preallocCount(n))
 	for i := uint64(0); i < n; i++ {
 		t, rest, err := DecodeTuple(b)
 		if err != nil {
@@ -140,4 +188,29 @@ func DecodeTuples(b []byte) ([]Tuple, error) {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(b))
 	}
 	return out, nil
+}
+
+// DecodeTuplesInto decodes a count-prefixed tuple sequence from the front of
+// b into the batch, returning the remaining bytes — the batch decode entry
+// point. Unlike DecodeTuples it tolerates trailing bytes, so it composes
+// inside larger wire messages.
+func DecodeTuplesInto(dst *Batch, b []byte) ([]byte, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return b, fmt.Errorf("%w: bad tuple count", ErrCorrupt)
+	}
+	if n > uint64(len(b)) {
+		return b, fmt.Errorf("%w: tuple count %d exceeds input", ErrCorrupt, n)
+	}
+	b = b[sz:]
+	dst.Reset()
+	for i := uint64(0); i < n; i++ {
+		t, rest, err := DecodeTuple(b)
+		if err != nil {
+			return b, fmt.Errorf("tuple %d: %w", i, err)
+		}
+		dst.Append(t)
+		b = rest
+	}
+	return b, nil
 }

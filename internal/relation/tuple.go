@@ -51,18 +51,27 @@ func (t Tuple) Equal(u Tuple) bool {
 // Hash combines the hashes of the values at the given key ordinals. It is
 // the partitioning hash used by hash-distribution policies and hash joins:
 // equal keys always land in the same partition regardless of the values in
-// non-key columns.
+// non-key columns. Each column hash is folded with a single splitmix64
+// round rather than a per-byte FNV loop, so the combine step costs three
+// multiplies per column instead of eight shift/xor/multiply rounds.
 func (t Tuple) Hash(keyOrdinals []int) uint64 {
 	var h uint64 = 14695981039346656037 // FNV offset basis
 	for _, o := range keyOrdinals {
-		vh := t[o].Hash()
-		for i := 0; i < 8; i++ {
-			h ^= vh & 0xff
-			h *= 1099511628211 // FNV prime
-			vh >>= 8
-		}
+		h = mix64(h ^ t[o].Hash())
 	}
 	return h
+}
+
+// mix64 is the splitmix64 finalizer: a full-avalanche bijection on uint64,
+// so low-bit bucket assignment (h % buckets) stays uniform even for
+// sequential or low-entropy value hashes.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // Format renders the tuple as "(v1, v2, ...)" for logs and examples.

@@ -98,7 +98,11 @@ type comparison struct {
 }
 
 // Compare builds a type-checked comparison predicate. String operands may
-// only meet string operands; numeric types mix freely.
+// only meet string operands; numeric types mix freely. The dominant shape —
+// column <op> literal — compiles to a specialized predicate with the operand
+// evaluation resolved at build time, since the engine's filter loop runs it
+// once per tuple and the two interface dispatches (each copying a Value out)
+// are measurable there.
 func Compare(left Expr, op Op, right Expr) (Predicate, error) {
 	if op < Eq || op > Ge {
 		return nil, fmt.Errorf("scalar: invalid operator %v", op)
@@ -108,7 +112,89 @@ func Compare(left Expr, op Op, right Expr) (Predicate, error) {
 		return nil, fmt.Errorf("scalar: cannot compare %v with %v in %s %s %s",
 			left.Type(), right.Type(), left, op, right)
 	}
+	if l, ok := left.(col); ok {
+		if r, ok := right.(constant); ok {
+			if l.typ == relation.TInt && r.v.Type() == relation.TInt {
+				return colConstInt{col: l, v: r.v, i: r.v.AsInt(), op: op}, nil
+			}
+			return colConst{col: l, v: r.v, op: op}, nil
+		}
+	}
 	return comparison{left: left, right: right, op: op}, nil
+}
+
+// colConstInt further specializes "int column <op> int literal": when the
+// runtime value is indeed TInt the comparison is a machine compare, with no
+// Value copies or float conversions. Other runtime types (schemas are advice,
+// not proof) fall back to the generic path.
+type colConstInt struct {
+	col col
+	v   relation.Value
+	i   int64
+	op  Op
+}
+
+func (c colConstInt) Matches(t relation.Tuple) bool {
+	l := &t[c.col.ord]
+	if l.Type() != relation.TInt {
+		return colConst{col: c.col, v: c.v, op: c.op}.Matches(t)
+	}
+	li := l.AsInt()
+	switch c.op {
+	case Eq:
+		return li == c.i
+	case Ne:
+		return li != c.i
+	case Lt:
+		return li < c.i
+	case Le:
+		return li <= c.i
+	case Gt:
+		return li > c.i
+	case Ge:
+		return li >= c.i
+	}
+	return false
+}
+
+func (c colConstInt) String() string {
+	return fmt.Sprintf("%s %s %s", c.col, c.op, constant{v: c.v})
+}
+
+// colConst is the compiled form of "column <op> literal".
+type colConst struct {
+	col col
+	v   relation.Value
+	op  Op
+}
+
+func (c colConst) Matches(t relation.Tuple) bool {
+	l := t[c.col.ord]
+	if l.IsNull() || c.v.IsNull() {
+		return false
+	}
+	switch c.op {
+	case Eq:
+		return l.Equal(c.v)
+	case Ne:
+		return !l.Equal(c.v)
+	}
+	cmp := l.Compare(c.v)
+	switch c.op {
+	case Lt:
+		return cmp < 0
+	case Le:
+		return cmp <= 0
+	case Gt:
+		return cmp > 0
+	case Ge:
+		return cmp >= 0
+	}
+	return false
+}
+
+func (c colConst) String() string {
+	return fmt.Sprintf("%s %s %s", c.col, c.op, constant{v: c.v})
 }
 
 func (c comparison) Matches(t relation.Tuple) bool {

@@ -67,6 +67,40 @@ func (n *Node) PerturbedCost(baseMs float64) float64 {
 	return p.Apply(baseMs, i)
 }
 
+// PerturbedCostN maps count units of work with a uniform base cost to their
+// total perturbed cost under one lock acquisition. Each unit keeps its own
+// work index, so index-based perturbations (vtime.Step, the per-tuple random
+// draws of vtime.NormalMultiplier) behave exactly as count separate
+// PerturbedCost calls — the batched engine relies on this equivalence.
+func (n *Node) PerturbedCostN(baseMs float64, count int) float64 {
+	if count <= 0 {
+		return 0
+	}
+	n.mu.Lock()
+	p, i := n.perturb, n.workIndex
+	n.workIndex += count
+	n.mu.Unlock()
+	return vtime.ApplyN(p, baseMs, i, count)
+}
+
+// PerturbedCostBatch maps one unit of work per base cost to the total
+// perturbed cost under one lock acquisition, for batches whose per-unit base
+// costs differ (e.g. size-dependent scan costs).
+func (n *Node) PerturbedCostBatch(baseMs []float64) float64 {
+	if len(baseMs) == 0 {
+		return 0
+	}
+	n.mu.Lock()
+	p, i := n.perturb, n.workIndex
+	n.workIndex += len(baseMs)
+	n.mu.Unlock()
+	total := 0.0
+	for k, base := range baseMs {
+		total += p.Apply(base, i+k)
+	}
+	return total
+}
+
 // Link models a directed network path between two nodes.
 type Link struct {
 	// LatencyMs is the fixed per-message cost in paper milliseconds. It

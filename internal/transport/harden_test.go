@@ -1,0 +1,79 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// dataHeader builds the fixed prefix of a KindData message up to (and
+// excluding) the tuple count, matching AppendMessage's layout.
+func dataHeader() []byte {
+	b := []byte{byte(KindData)}
+	b = appendString(b, "E")
+	b = binary.AppendVarint(b, 0) // producer
+	b = binary.AppendVarint(b, 0) // consumer
+	b = binary.AppendVarint(b, 0) // epoch
+	b = binary.AppendVarint(b, 0) // startSeq
+	b = binary.AppendVarint(b, 0) // checkpoint
+	b = appendBool(b, false)      // replay
+	return b
+}
+
+// TestWireHugeCountRejected feeds corrupt headers whose element counts claim
+// far more data than the frame carries: the decoder must return an error
+// instead of trusting the count.
+func TestWireHugeCountRejected(t *testing.T) {
+	// A tuple count of 1<<30 with no payload behind it.
+	b := binary.AppendUvarint(dataHeader(), 1<<30)
+	if _, err := UnmarshalMessage(b); !errors.Is(err, ErrWire) {
+		t.Fatalf("huge tuple count: err = %v, want ErrWire", err)
+	}
+	// Same for the bucket count, after a valid empty tuple section.
+	b = binary.AppendUvarint(dataHeader(), 0)
+	b = binary.AppendUvarint(b, 1<<40)
+	if _, err := UnmarshalMessage(b); !errors.Is(err, ErrWire) {
+		t.Fatalf("huge bucket count: err = %v, want ErrWire", err)
+	}
+}
+
+// TestWirePreallocBounded: a count that passes the remaining-input sanity
+// bound can still be orders of magnitude larger than the elements the
+// payload actually holds. The decoder must allocate proportionally to the
+// input, not to the claim — preallocN caps the initial capacity at 4096.
+func TestWirePreallocBounded(t *testing.T) {
+	// Announce 64k buckets backed by 64k bytes of varint zeros minus the
+	// tail, so count() accepts it but decoding runs out of input. An
+	// uncapped make([]int32, 64k) here would commit 256KiB up front on a
+	// frame that proves to hold nothing useful.
+	const claim = 1 << 16
+	b := binary.AppendUvarint(dataHeader(), 0) // no tuples
+	b = binary.AppendUvarint(b, claim)
+	b = append(b, make([]byte, claim-1)...) // one element short
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := UnmarshalMessage(b); err == nil {
+			t.Fatal("truncated bucket section accepted")
+		}
+	})
+	// The exact count is not pinned, but an uncapped prealloc plus append
+	// growth from 4096 to 64k would add several large allocations; the
+	// capped decoder stays small. This guards against reintroducing
+	// count-trusting makes.
+	if allocs > 32 {
+		t.Fatalf("decoder made %.0f allocations on a truncated frame", allocs)
+	}
+}
+
+// TestWireRelationCountCap covers the same property at the tuple codec
+// level: DecodeTuple must reject value counts beyond the input.
+func TestWireRelationCountCap(t *testing.T) {
+	b := binary.AppendUvarint(nil, 1<<50)
+	if _, _, err := relation.DecodeTuple(b); !errors.Is(err, relation.ErrCorrupt) {
+		t.Fatalf("huge value count: err = %v, want ErrCorrupt", err)
+	}
+	if _, err := relation.DecodeTuples(b); !errors.Is(err, relation.ErrCorrupt) {
+		t.Fatalf("huge tuple count: err = %v, want ErrCorrupt", err)
+	}
+}

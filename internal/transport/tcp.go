@@ -8,6 +8,7 @@ import (
 	"net"
 	"sync"
 
+	"repro/internal/relation"
 	"repro/internal/simnet"
 )
 
@@ -112,11 +113,14 @@ func (t *TCP) Send(from, to simnet.NodeID, service string, msg *Message) (float6
 	if err != nil {
 		return 0, err
 	}
-	payload := MarshalMessage(msg)
-	frame := make([]byte, 0, 8+len(service)+len(payload))
+	// Encode the routing header and message directly into one pooled frame
+	// buffer; the bytes are fully flushed to the bufio writer before the
+	// buffer is recycled, so nothing retains it.
+	frame := relation.GetEncodeBuffer()
+	defer func() { relation.PutEncodeBuffer(frame) }()
 	frame = appendString(frame, service)
 	frame = appendString(frame, string(from))
-	frame = append(frame, payload...)
+	frame = AppendMessage(frame, msg)
 
 	conn.mu.Lock()
 	defer conn.mu.Unlock()
@@ -201,6 +205,10 @@ func (t *TCP) readLoop(conn net.Conn) {
 	defer conn.Close()
 	r := bufio.NewReader(conn)
 	var lenBuf [4]byte
+	// One growable frame buffer per connection: UnmarshalMessage copies every
+	// string and tuple payload out of the frame, so the buffer can be reused
+	// for the next message.
+	var frame []byte
 	for {
 		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
 			return
@@ -209,7 +217,10 @@ func (t *TCP) readLoop(conn net.Conn) {
 		if n == 0 || n > maxFrame {
 			return
 		}
-		frame := make([]byte, n)
+		if uint32(cap(frame)) < n {
+			frame = make([]byte, n)
+		}
+		frame = frame[:n]
 		if _, err := io.ReadFull(r, frame); err != nil {
 			return
 		}

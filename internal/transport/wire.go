@@ -28,9 +28,32 @@ import (
 // ErrWire is wrapped by unmarshalling errors.
 var ErrWire = errors.New("transport: corrupt wire message")
 
-// MarshalMessage encodes a message.
+// maxWirePrealloc caps slice capacities derived from wire-announced counts.
+// The decoder's count() already bounds counts by the remaining input, but a
+// large frame can still announce element counts whose slice would dwarf the
+// payload (e.g. 8-byte int64s announced one-per-input-byte); growing by
+// append from a capped capacity keeps allocation proportional to the bytes
+// actually decoded.
+const maxWirePrealloc = 4096
+
+// preallocN bounds a wire-announced count for use as an initial capacity.
+func preallocN(n int) int {
+	if n > maxWirePrealloc {
+		return maxWirePrealloc
+	}
+	return n
+}
+
+// MarshalMessage encodes a message into a fresh buffer.
 func MarshalMessage(m *Message) []byte {
-	b := make([]byte, 0, 256+32*len(m.Tuples))
+	return AppendMessage(make([]byte, 0, 256+32*len(m.Tuples)), m)
+}
+
+// AppendMessage appends the encoding of m to dst and returns the extended
+// slice. Combined with relation.GetEncodeBuffer/PutEncodeBuffer this lets
+// senders encode whole messages without allocating.
+func AppendMessage(dst []byte, m *Message) []byte {
+	b := dst
 	b = append(b, byte(m.Kind))
 	b = appendString(b, m.Exchange)
 	b = binary.AppendVarint(b, int64(m.ProducerIdx))
@@ -125,7 +148,7 @@ func UnmarshalMessage(b []byte) (*Message, error) {
 	m.Checkpoint = d.varint()
 	m.Replay = d.bool()
 	if n := d.count(); n > 0 {
-		m.Tuples = make([]relation.Tuple, 0, n)
+		m.Tuples = make([]relation.Tuple, 0, preallocN(n))
 		for i := 0; i < n && d.err == nil; i++ {
 			t, rest, err := relation.DecodeTuple(d.b)
 			if err != nil {
@@ -136,15 +159,15 @@ func UnmarshalMessage(b []byte) (*Message, error) {
 		}
 	}
 	if n := d.count(); n > 0 {
-		m.Buckets = make([]int32, n)
-		for i := range m.Buckets {
-			m.Buckets[i] = int32(d.varint())
+		m.Buckets = make([]int32, 0, preallocN(n))
+		for i := 0; i < n; i++ {
+			m.Buckets = append(m.Buckets, int32(d.varint()))
 		}
 	}
 	if n := d.count(); n > 0 {
-		m.Except = make([]int64, n)
-		for i := range m.Except {
-			m.Except[i] = d.varint()
+		m.Except = make([]int64, 0, preallocN(n))
+		for i := 0; i < n; i++ {
+			m.Except = append(m.Except, d.varint())
 		}
 	}
 	m.Query = d.str()
@@ -172,27 +195,27 @@ func UnmarshalMessage(b []byte) (*Message, error) {
 		c.ReplyTo = simnet.NodeID(d.str())
 		c.ReplyService = d.str()
 		if n := d.count(); n > 0 {
-			c.Weights = make([]float64, n)
-			for i := range c.Weights {
-				c.Weights[i] = d.float64()
+			c.Weights = make([]float64, 0, preallocN(n))
+			for i := 0; i < n; i++ {
+				c.Weights = append(c.Weights, d.float64())
 			}
 		}
 		if n := d.count(); n > 0 {
-			c.BucketMap = make([]int32, n)
-			for i := range c.BucketMap {
-				c.BucketMap[i] = int32(d.varint())
+			c.BucketMap = make([]int32, 0, preallocN(n))
+			for i := 0; i < n; i++ {
+				c.BucketMap = append(c.BucketMap, int32(d.varint()))
 			}
 		}
 		if n := d.count(); n > 0 {
-			c.Buckets = make([]int32, n)
-			for i := range c.Buckets {
-				c.Buckets[i] = int32(d.varint())
+			c.Buckets = make([]int32, 0, preallocN(n))
+			for i := 0; i < n; i++ {
+				c.Buckets = append(c.Buckets, int32(d.varint()))
 			}
 		}
 		if n := d.count(); n > 0 {
-			c.Seqs = make([]int64, n)
-			for i := range c.Seqs {
-				c.Seqs[i] = d.varint()
+			c.Seqs = make([]int64, 0, preallocN(n))
+			for i := 0; i < n; i++ {
+				c.Seqs = append(c.Seqs, d.varint())
 			}
 		}
 		c.Epoch = int(d.varint())
@@ -201,13 +224,13 @@ func UnmarshalMessage(b []byte) (*Message, error) {
 		c.Routed = d.varint()
 		c.Est = d.varint()
 		if n := d.count(); n > 0 {
-			c.DiscardedSeqs = make(map[string][]int64, n)
+			c.DiscardedSeqs = make(map[string][]int64, preallocN(n))
 			for i := 0; i < n && d.err == nil; i++ {
 				k := d.str()
 				cnt := d.count()
-				seqs := make([]int64, cnt)
-				for j := range seqs {
-					seqs[j] = d.varint()
+				seqs := make([]int64, 0, preallocN(cnt))
+				for j := 0; j < cnt; j++ {
+					seqs = append(seqs, d.varint())
 				}
 				c.DiscardedSeqs[k] = seqs
 			}

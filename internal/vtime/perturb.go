@@ -109,6 +109,43 @@ func (s Step) String() string {
 	return fmt.Sprintf("step@%d(%s->%s)", s.At, s.Before, s.After)
 }
 
+// ApplyN returns the total perturbed cost of count work units with a uniform
+// base cost, the first unit at work index start — exactly equivalent to
+// summing count sequential Apply calls with consecutive indices. Index- and
+// state-independent perturbations (None, Multiplier, Sleep) collapse to one
+// multiplication; Step splits at its boundary; everything else (random or
+// composed perturbations) falls back to the per-unit loop so stateful draws
+// happen once per unit, exactly as in the sequential engine.
+func ApplyN(p Perturbation, baseMs float64, start, count int) float64 {
+	if count <= 0 {
+		return 0
+	}
+	switch q := p.(type) {
+	case noneP:
+		return baseMs * float64(count)
+	case Multiplier:
+		return baseMs * float64(q) * float64(count)
+	case Sleep:
+		return (baseMs + float64(q)) * float64(count)
+	case Step:
+		if start >= q.At {
+			return ApplyN(q.After, baseMs, start-q.At, count)
+		}
+		if start+count <= q.At {
+			return ApplyN(q.Before, baseMs, start, count)
+		}
+		before := q.At - start
+		return ApplyN(q.Before, baseMs, start, before) +
+			ApplyN(q.After, baseMs, 0, count-before)
+	default:
+		total := 0.0
+		for k := 0; k < count; k++ {
+			total += p.Apply(baseMs, start+k)
+		}
+		return total
+	}
+}
+
 // Compose applies q to the result of p, so Compose(Multiplier(10),
 // Sleep(5)) costs base*10+5.
 func Compose(p, q Perturbation) Perturbation { return composed{p, q} }

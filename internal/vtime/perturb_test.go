@@ -116,3 +116,33 @@ func TestPerturbationNonNegativeProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestApplyNMatchesSequential pins the equivalence the batched engine relies
+// on: ApplyN over [start, start+count) must equal count sequential Apply
+// calls for every deterministic perturbation shape, including a Step whose
+// boundary falls inside the range.
+func TestApplyNMatchesSequential(t *testing.T) {
+	perts := []Perturbation{
+		None,
+		Multiplier(10),
+		Sleep(4),
+		Step{At: 7, Before: None, After: Multiplier(20)},
+		Step{At: 7, Before: Sleep(2), After: Step{At: 3, Before: Multiplier(2), After: Sleep(9)}},
+		Compose(Multiplier(3), Sleep(1)),
+	}
+	for _, p := range perts {
+		for _, span := range []struct{ start, count int }{
+			{0, 1}, {0, 5}, {0, 20}, {3, 8}, {6, 1}, {7, 4}, {9, 12}, {5, 0},
+		} {
+			want := 0.0
+			for k := 0; k < span.count; k++ {
+				want += p.Apply(1.5, span.start+k)
+			}
+			got := ApplyN(p, 1.5, span.start, span.count)
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("%s: ApplyN(start=%d,count=%d) = %v, sequential sum = %v",
+					p, span.start, span.count, got, want)
+			}
+		}
+	}
+}
