@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -57,7 +58,7 @@ func main() {
 	defer coord.Close()
 
 	start := time.Now()
-	res, err := coord.Execute(*query, *timeout)
+	res, err := coord.Execute(context.Background(), *query, *timeout)
 	if err != nil {
 		fatalf("%v", err)
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -77,7 +78,7 @@ func main() {
 
 	const q1 = "select EntropyAnalyser(p.sequence) from protein_sequences p"
 	fmt.Println("\nexecuting Q1 over TCP with ws1 perturbed 15x, adaptivity on (R1):")
-	res, err := coord.Execute(q1, 2*time.Minute)
+	res, err := coord.Execute(context.Background(), q1, 2*time.Minute)
 	if err != nil {
 		log.Fatal(err)
 	}

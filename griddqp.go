@@ -34,12 +34,14 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/engine"
+	"repro/internal/qerr"
 	"repro/internal/relation"
 	"repro/internal/services"
 	"repro/internal/simnet"
@@ -197,6 +199,15 @@ func QueryTimeout(d time.Duration) CoordinatorOption {
 	return func(c *services.GDQSConfig) { c.QueryTimeout = d }
 }
 
+// Typed query-failure sentinels, re-exported from the internal error layer
+// so callers can classify QueryContext failures with errors.Is. ErrCanceled
+// also unwraps to context.Canceled and ErrTimeout to
+// context.DeadlineExceeded.
+var (
+	ErrCanceled = qerr.ErrCanceled
+	ErrTimeout  = qerr.ErrTimeout
+)
+
 // Coordinator is a GDQS handle.
 type Coordinator struct {
 	gdqs *services.GDQS
@@ -226,9 +237,18 @@ type Result struct {
 	Stats services.QueryStats
 }
 
-// Query executes a SQL statement to completion.
+// Query executes a SQL statement to completion under the coordinator's
+// configured timeout.
 func (c *Coordinator) Query(sql string) (*Result, error) {
-	res, err := c.gdqs.Execute(sql)
+	return c.QueryContext(context.Background(), sql)
+}
+
+// QueryContext executes a SQL statement to completion under ctx: cancelling
+// it stops every fragment driver and adaptivity goroutine the query started.
+// Use errors.Is with qerr.ErrCanceled / qerr.ErrTimeout (or errors.As with
+// *qerr.Error) to classify failures.
+func (c *Coordinator) QueryContext(ctx context.Context, sql string) (*Result, error) {
+	res, err := c.gdqs.Execute(ctx, sql)
 	if err != nil {
 		return nil, err
 	}

@@ -6,9 +6,13 @@
 // and publishes proposed redistributions, and the Responder subscribes to
 // the Diagnoser.
 //
-// Delivery is asynchronous: every subscription owns a goroutine and an
-// unbounded FIFO queue, so publishers never block on slow subscribers and
-// per-subscription ordering is preserved. When the bus is built over a
+// Delivery is asynchronous: every subscription owns a goroutine and a
+// bounded ring queue, so publishers never block on slow subscribers in the
+// default configuration and per-subscription ordering is preserved. When a
+// queue fills, the configured Overflow policy decides whether the oldest
+// notification is dropped (counted in Stats.Dropped — monitoring traffic is
+// advisory, and a fresher reading supersedes a stale one) or the publisher
+// blocks until the subscriber catches up. When the bus is built over a
 // simulated network, deliveries between different nodes are charged the
 // modelled link cost, so notification traffic competes for the same fabric
 // as data buffers — which is what keeps the paper honest about "no flooding
@@ -16,6 +20,7 @@
 package bus
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/simnet"
@@ -46,10 +51,46 @@ type Handler func(Notification)
 // cost a frame.
 const notificationWireSize = 512
 
+// Overflow selects what a full subscription queue does with a new
+// notification.
+type Overflow uint8
+
+const (
+	// OverflowDropOldest evicts the oldest queued notification to make
+	// room, counting the drop in Stats.Dropped. This is the default:
+	// monitoring events are periodic readings, so under pressure the
+	// freshest data wins and memory stays bounded.
+	OverflowDropOldest Overflow = iota
+	// OverflowBlock makes the publisher wait for queue space, trading
+	// publisher progress for lossless delivery.
+	OverflowBlock
+	// OverflowGrow restores the pre-bounded behavior: the queue grows
+	// without limit. Kept for comparison benchmarks and as an escape
+	// hatch; not recommended for long-lived services.
+	OverflowGrow
+)
+
+// DefaultQueueCap is the per-subscription queue bound used when Options
+// leaves QueueCap unset. Sized well above the AQP components' steady-state
+// backlog (a MED aggregates its raw feed every period; Diagnoser and
+// Responder see a few notifications per adaptation), so drops only occur
+// under genuine overload.
+const DefaultQueueCap = 1024
+
+// Options configures a Bus.
+type Options struct {
+	// QueueCap bounds each subscription's queue; <= 0 selects
+	// DefaultQueueCap. Ignored under OverflowGrow.
+	QueueCap int
+	// Overflow is the full-queue policy for every subscription.
+	Overflow Overflow
+}
+
 // Bus routes notifications from publishers to subscribers.
 type Bus struct {
 	clock *vtime.Clock
 	net   *simnet.Network // may be nil: delivery is then free
+	opts  Options
 
 	mu     sync.Mutex
 	subs   map[Topic][]*Subscription
@@ -63,20 +104,36 @@ type Bus struct {
 type Stats struct {
 	Published map[Topic]int64
 	Delivered int64
+	// Dropped counts notifications evicted by OverflowDropOldest, per
+	// topic. A non-zero count means some subscriber could not keep up with
+	// its feed.
+	Dropped map[Topic]int64
 }
 
-// New builds a bus over the given clock. net may be nil, in which case
-// deliveries are instantaneous (used by unit tests).
+// New builds a bus with default options over the given clock. net may be
+// nil, in which case deliveries are instantaneous (used by unit tests).
 func New(clock *vtime.Clock, net *simnet.Network) *Bus {
+	return NewWithOptions(clock, net, Options{})
+}
+
+// NewWithOptions builds a bus with an explicit queue bound and overflow
+// policy.
+func NewWithOptions(clock *vtime.Clock, net *simnet.Network, opts Options) *Bus {
+	if opts.QueueCap <= 0 {
+		opts.QueueCap = DefaultQueueCap
+	}
 	return &Bus{
 		clock: clock,
 		net:   net,
+		opts:  opts,
 		subs:  make(map[Topic][]*Subscription),
-		stats: Stats{Published: make(map[Topic]int64)},
+		stats: Stats{Published: make(map[Topic]int64), Dropped: make(map[Topic]int64)},
 	}
 }
 
-// Subscription is one subscriber's registration on one topic.
+// Subscription is one subscriber's registration on one topic. Its queue is
+// a ring that grows geometrically up to the bus's bound, so an idle
+// subscription costs a few words, not a full-capacity buffer.
 type Subscription struct {
 	bus   *Bus
 	topic Topic
@@ -86,7 +143,9 @@ type Subscription struct {
 
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queue  []Notification
+	ring   []Notification
+	head   int
+	count  int
 	closed bool
 	done   chan struct{}
 }
@@ -111,8 +170,28 @@ func (b *Bus) Subscribe(name string, node simnet.NodeID, topic Topic, h Handler)
 	return s
 }
 
-// Publish sends payload to every subscription on topic. It never blocks on
-// subscribers.
+// SubscribeContext is Subscribe tied to a context: when ctx is done the
+// subscription cancels itself and its delivery goroutine exits after
+// draining. A nil ctx behaves like plain Subscribe. This is how a
+// QuerySession scopes its AQP components' subscriptions to the query's
+// lifetime.
+func (b *Bus) SubscribeContext(ctx context.Context, name string, node simnet.NodeID, topic Topic, h Handler) *Subscription {
+	s := b.Subscribe(name, node, topic, h)
+	if ctx != nil && ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				s.Cancel()
+			case <-s.done:
+			}
+		}()
+	}
+	return s
+}
+
+// Publish sends payload to every subscription on topic. Under the default
+// drop-oldest policy it never blocks on subscribers; under OverflowBlock it
+// waits for space in each full queue.
 func (b *Bus) Publish(from string, fromNode simnet.NodeID, topic Topic, payload any) {
 	n := Notification{
 		Topic:    topic,
@@ -139,9 +218,16 @@ func (b *Bus) Publish(from string, fromNode simnet.NodeID, topic Topic, payload 
 func (b *Bus) StatsSnapshot() Stats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	out := Stats{Published: make(map[Topic]int64, len(b.stats.Published)), Delivered: b.stats.Delivered}
+	out := Stats{
+		Published: make(map[Topic]int64, len(b.stats.Published)),
+		Delivered: b.stats.Delivered,
+		Dropped:   make(map[Topic]int64, len(b.stats.Dropped)),
+	}
 	for t, c := range b.stats.Published {
 		out.Published[t] = c
+	}
+	for t, c := range b.stats.Dropped {
+		out.Dropped[t] = c
 	}
 	return out
 }
@@ -173,30 +259,88 @@ func (b *Bus) countDelivered() {
 	b.mu.Unlock()
 }
 
+func (b *Bus) countDropped(topic Topic) {
+	b.mu.Lock()
+	b.stats.Dropped[topic]++
+	b.mu.Unlock()
+}
+
+// enqueue appends n to the subscription's ring, applying the bus's
+// overflow policy when the ring is at capacity.
 func (s *Subscription) enqueue(n Notification) {
+	dropped := false
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return
 	}
-	s.queue = append(s.queue, n)
-	s.cond.Signal()
+	switch {
+	case s.bus.opts.Overflow == OverflowGrow:
+		// Legacy unbounded behavior: always make room.
+	case s.count < s.bus.opts.QueueCap:
+		// Below the bound: room exists (the ring may still need to grow).
+	case s.bus.opts.Overflow == OverflowBlock:
+		for s.count >= s.bus.opts.QueueCap && !s.closed {
+			s.cond.Wait()
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+	default: // OverflowDropOldest
+		s.ring[s.head] = Notification{}
+		s.head = (s.head + 1) % len(s.ring)
+		s.count--
+		dropped = true
+	}
+	s.pushLocked(n)
+	s.cond.Broadcast()
 	s.mu.Unlock()
+	if dropped {
+		s.bus.countDropped(s.topic)
+	}
+}
+
+// pushLocked appends to the ring, growing it geometrically — up to the
+// bound for bounded policies, indefinitely under OverflowGrow. Callers hold
+// s.mu and have already ensured capacity exists under the policy.
+func (s *Subscription) pushLocked(n Notification) {
+	if s.count == len(s.ring) {
+		newCap := len(s.ring) * 2
+		if newCap == 0 {
+			newCap = 16
+		}
+		if s.bus.opts.Overflow != OverflowGrow && newCap > s.bus.opts.QueueCap {
+			newCap = s.bus.opts.QueueCap
+		}
+		newRing := make([]Notification, newCap)
+		for i := 0; i < s.count; i++ {
+			newRing[i] = s.ring[(s.head+i)%len(s.ring)]
+		}
+		s.ring = newRing
+		s.head = 0
+	}
+	s.ring[(s.head+s.count)%len(s.ring)] = n
+	s.count++
 }
 
 func (s *Subscription) deliverLoop() {
 	defer close(s.done)
 	for {
 		s.mu.Lock()
-		for len(s.queue) == 0 && !s.closed {
+		for s.count == 0 && !s.closed {
 			s.cond.Wait()
 		}
-		if s.closed && len(s.queue) == 0 {
+		if s.closed && s.count == 0 {
 			s.mu.Unlock()
 			return
 		}
-		n := s.queue[0]
-		s.queue = s.queue[1:]
+		n := s.ring[s.head]
+		s.ring[s.head] = Notification{}
+		s.head = (s.head + 1) % len(s.ring)
+		s.count--
+		// Wake publishers blocked on a full queue (OverflowBlock).
+		s.cond.Broadcast()
 		s.mu.Unlock()
 
 		// Charge the cross-node delivery cost on the receiving side, so a
@@ -232,7 +376,7 @@ func (s *Subscription) stop() {
 	s.mu.Lock()
 	if !s.closed {
 		s.closed = true
-		s.cond.Signal()
+		s.cond.Broadcast()
 	}
 	s.mu.Unlock()
 }

@@ -1,6 +1,7 @@
 package bus
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -170,7 +171,9 @@ func TestCrossNodeDeliveryChargesLink(t *testing.T) {
 }
 
 func TestConcurrentPublishers(t *testing.T) {
-	b := testBus()
+	// Block policy: every publish must land, so the count is exact even
+	// when publishers outpace the delivery goroutine.
+	b := NewWithOptions(vtime.NewClock(time.Microsecond), nil, Options{Overflow: OverflowBlock})
 	defer b.Close()
 	const pubs, each = 8, 200
 	var count atomic.Int64
@@ -190,6 +193,155 @@ func TestConcurrentPublishers(t *testing.T) {
 	waitDone(t, &wg)
 	if count.Load() != pubs*each {
 		t.Fatalf("delivered %d, want %d", count.Load(), pubs*each)
+	}
+}
+
+func TestDropOldestBoundsQueueAndCounts(t *testing.T) {
+	b := NewWithOptions(vtime.NewClock(time.Microsecond), nil, Options{QueueCap: 4, Overflow: OverflowDropOldest})
+	defer b.Close()
+	gate := make(chan struct{})
+	var recv []int
+	done := make(chan struct{})
+	s := b.Subscribe("slow", "n1", "t", func(n Notification) {
+		<-gate
+		recv = append(recv, n.Payload.(int))
+	})
+	// The delivery goroutine dequeues the first notification and parks in
+	// the handler; publish until the 4-slot queue has been overrun.
+	const total = 10
+	for i := 0; i < total; i++ {
+		b.Publish("p", "n0", "t", i)
+	}
+	// Drops are counted synchronously in Publish: at most cap 4 queued plus
+	// one possibly in-flight survive, so at least total-5 were dropped.
+	st := b.StatsSnapshot()
+	if st.Dropped["t"] < total-5 {
+		t.Fatalf("dropped = %d, want ≥ %d", st.Dropped["t"], total-5)
+	}
+	close(gate)
+	go func() { s.Cancel(); s.Drain(); close(done) }()
+	<-done
+	if len(recv) < 4 || int64(len(recv))+st.Dropped["t"] != total {
+		t.Fatalf("delivered %d, dropped %d: survivors + drops must equal %d published, with ≥ cap survivors",
+			len(recv), st.Dropped["t"], total)
+	}
+	// Drop-oldest keeps the freshest tail: the last queued survivors must
+	// be the most recently published values, in order.
+	for i := 1; i < len(recv); i++ {
+		if recv[i] <= recv[i-1] {
+			t.Fatalf("out of order after drops: %v", recv)
+		}
+	}
+	if recv[len(recv)-1] != total-1 {
+		t.Fatalf("newest notification lost: got tail %d, want %d", recv[len(recv)-1], total-1)
+	}
+}
+
+func TestBlockExertsBackpressure(t *testing.T) {
+	b := NewWithOptions(vtime.NewClock(time.Microsecond), nil, Options{QueueCap: 2, Overflow: OverflowBlock})
+	defer b.Close()
+	gate := make(chan struct{})
+	var count atomic.Int64
+	b.Subscribe("slow", "n1", "t", func(Notification) {
+		<-gate
+		count.Add(1)
+	})
+	published := make(chan struct{})
+	go func() {
+		// 1 in-flight + 2 queued fit; the 4th publish must block.
+		for i := 0; i < 4; i++ {
+			b.Publish("p", "n0", "t", i)
+		}
+		close(published)
+	}()
+	select {
+	case <-published:
+		t.Fatal("publisher finished against a full queue: no backpressure")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(gate) // subscriber drains, freeing space
+	select {
+	case <-published:
+	case <-time.After(5 * time.Second):
+		t.Fatal("publisher never unblocked")
+	}
+	waitFor(t, func() bool { return count.Load() == 4 }, "all 4 delivered")
+	if d := b.StatsSnapshot().Dropped["t"]; d != 0 {
+		t.Fatalf("block policy dropped %d notifications", d)
+	}
+}
+
+func TestBlockedPublisherReleasedOnClose(t *testing.T) {
+	b := NewWithOptions(vtime.NewClock(time.Microsecond), nil, Options{QueueCap: 1, Overflow: OverflowBlock})
+	gate := make(chan struct{})
+	defer close(gate)
+	b.Subscribe("slow", "n1", "t", func(Notification) { <-gate })
+	unblocked := make(chan struct{})
+	go func() {
+		for i := 0; i < 4; i++ {
+			b.Publish("p", "n0", "t", i)
+		}
+		close(unblocked)
+	}()
+	time.Sleep(20 * time.Millisecond) // let the publisher hit the full queue
+	b.Close()
+	select {
+	case <-unblocked:
+	case <-time.After(5 * time.Second):
+		t.Fatal("publisher still blocked after Close")
+	}
+}
+
+func TestGrowPolicyNeverDrops(t *testing.T) {
+	b := NewWithOptions(vtime.NewClock(time.Microsecond), nil, Options{QueueCap: 2, Overflow: OverflowGrow})
+	defer b.Close()
+	gate := make(chan struct{})
+	var count atomic.Int64
+	b.Subscribe("slow", "n1", "t", func(Notification) {
+		<-gate
+		count.Add(1)
+	})
+	const total = 64 // far past QueueCap: the queue must grow instead
+	for i := 0; i < total; i++ {
+		b.Publish("p", "n0", "t", i)
+	}
+	close(gate)
+	waitFor(t, func() bool { return count.Load() == total }, "all delivered")
+	if d := b.StatsSnapshot().Dropped["t"]; d != 0 {
+		t.Fatalf("grow policy dropped %d notifications", d)
+	}
+}
+
+func TestSubscribeContextCancelStopsDelivery(t *testing.T) {
+	b := testBus()
+	defer b.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	var count atomic.Int64
+	s := b.SubscribeContext(ctx, "s", "n1", "t", func(Notification) { count.Add(1) })
+	hit := make(chan struct{}, 1)
+	b.Subscribe("probe", "n1", "t", func(Notification) { hit <- struct{}{} })
+	b.Publish("p", "n0", "t", 1)
+	<-hit
+	cancel()
+	s.Drain() // the watcher cancels the subscription; Drain must return
+	after := count.Load()
+	b.Publish("p", "n0", "t", 2)
+	<-hit
+	time.Sleep(10 * time.Millisecond)
+	if count.Load() != after {
+		t.Fatal("delivery continued after context cancellation")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for !cond() {
+		select {
+		case <-deadline:
+			t.Fatalf("timed out waiting for %s", what)
+		case <-time.After(time.Millisecond):
+		}
 	}
 }
 

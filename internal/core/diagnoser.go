@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sync"
 
@@ -64,6 +65,8 @@ type Diagnoser struct {
 	fragments map[string]*diagState
 	subs      []*bus.Subscription
 
+	stopOnce sync.Once
+
 	notificationsIn int64
 	proposalsOut    int64
 }
@@ -80,8 +83,9 @@ type diagState struct {
 }
 
 // NewDiagnoser builds the diagnoser on the given node and subscribes it to
-// the detectors and to the Responder's policy updates.
-func NewDiagnoser(b *bus.Bus, node simnet.NodeID, cfg DiagnoserConfig) *Diagnoser {
+// the detectors and to the Responder's policy updates. Subscriptions are
+// scoped to ctx (nil leaves the lifetime to Stop).
+func NewDiagnoser(ctx context.Context, b *bus.Bus, node simnet.NodeID, cfg DiagnoserConfig) *Diagnoser {
 	if cfg.Assessment == 0 {
 		cfg.Assessment = A1
 	}
@@ -92,17 +96,20 @@ func NewDiagnoser(b *bus.Bus, node simnet.NodeID, cfg DiagnoserConfig) *Diagnose
 		fragments: make(map[string]*diagState),
 	}
 	d.subs = append(d.subs,
-		b.Subscribe("diagnoser", node, TopicMED, d.onCost),
-		b.Subscribe("diagnoser", node, TopicPolicy, d.onPolicy),
+		b.SubscribeContext(ctx, "diagnoser", node, TopicMED, d.onCost),
+		b.SubscribeContext(ctx, "diagnoser", node, TopicPolicy, d.onPolicy),
 	)
 	return d
 }
 
-// Stop cancels the subscriptions.
+// Stop cancels the subscriptions. Idempotent and safe from multiple
+// goroutines.
 func (d *Diagnoser) Stop() {
-	for _, s := range d.subs {
-		s.Cancel()
-	}
+	d.stopOnce.Do(func() {
+		for _, s := range d.subs {
+			s.Cancel()
+		}
+	})
 }
 
 // Register makes the diagnoser monitor one partitioned fragment. The GDQS

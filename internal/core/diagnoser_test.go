@@ -71,7 +71,7 @@ func publishCost(b *bus.Bus, frag string, inst int, cost float64) {
 func TestDiagnoserProposesInverseCostWeights(t *testing.T) {
 	b := testBus()
 	defer b.Close()
-	d := NewDiagnoser(b, "coord", DefaultDiagnoserConfig())
+	d := NewDiagnoser(nil, b, "coord", DefaultDiagnoserConfig())
 	defer d.Stop()
 	d.Register(twoInstanceTopo())
 	col := &proposalCollector{}
@@ -93,7 +93,7 @@ func TestDiagnoserProposesInverseCostWeights(t *testing.T) {
 func TestDiagnoserWaitsForAllInstances(t *testing.T) {
 	b := testBus()
 	defer b.Close()
-	d := NewDiagnoser(b, "coord", DefaultDiagnoserConfig())
+	d := NewDiagnoser(nil, b, "coord", DefaultDiagnoserConfig())
 	defer d.Stop()
 	d.Register(twoInstanceTopo())
 	col := &proposalCollector{}
@@ -109,7 +109,7 @@ func TestDiagnoserWaitsForAllInstances(t *testing.T) {
 func TestDiagnoserThresholdSuppressesBalancedLoad(t *testing.T) {
 	b := testBus()
 	defer b.Close()
-	d := NewDiagnoser(b, "coord", DefaultDiagnoserConfig())
+	d := NewDiagnoser(nil, b, "coord", DefaultDiagnoserConfig())
 	defer d.Stop()
 	d.Register(twoInstanceTopo())
 	col := &proposalCollector{}
@@ -127,7 +127,7 @@ func TestDiagnoserThresholdSuppressesBalancedLoad(t *testing.T) {
 func TestDiagnoserPolicyUpdateStopsRepeatProposals(t *testing.T) {
 	b := testBus()
 	defer b.Close()
-	d := NewDiagnoser(b, "coord", DefaultDiagnoserConfig())
+	d := NewDiagnoser(nil, b, "coord", DefaultDiagnoserConfig())
 	defer d.Stop()
 	d.Register(twoInstanceTopo())
 	col := &proposalCollector{}
@@ -152,7 +152,7 @@ func TestDiagnoserA2AddsCommunicationCost(t *testing.T) {
 	b := testBus()
 	defer b.Close()
 	cfg := DiagnoserConfig{ThresA: 0.2, Assessment: A2}
-	d := NewDiagnoser(b, "coord", cfg)
+	d := NewDiagnoser(nil, b, "coord", cfg)
 	defer d.Stop()
 	d.Register(twoInstanceTopo())
 	col := &proposalCollector{}
@@ -177,7 +177,7 @@ func TestDiagnoserA2AddsCommunicationCost(t *testing.T) {
 func TestDiagnoserA2SameNodeCommIsZero(t *testing.T) {
 	b := testBus()
 	defer b.Close()
-	d := NewDiagnoser(b, "coord", DiagnoserConfig{ThresA: 0.2, Assessment: A2})
+	d := NewDiagnoser(nil, b, "coord", DiagnoserConfig{ThresA: 0.2, Assessment: A2})
 	defer d.Stop()
 	d.Register(twoInstanceTopo())
 	col := &proposalCollector{}
@@ -198,7 +198,7 @@ func TestDiagnoserA2SameNodeCommIsZero(t *testing.T) {
 func TestDiagnoserA1IgnoresCommunication(t *testing.T) {
 	b := testBus()
 	defer b.Close()
-	d := NewDiagnoser(b, "coord", DefaultDiagnoserConfig()) // A1
+	d := NewDiagnoser(nil, b, "coord", DefaultDiagnoserConfig()) // A1
 	defer d.Stop()
 	d.Register(twoInstanceTopo())
 	col := &proposalCollector{}

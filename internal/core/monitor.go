@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -66,6 +67,8 @@ type MonitoringEventDetector struct {
 	groups map[string]*window
 	sub    *bus.Subscription
 
+	stopOnce sync.Once
+
 	rawSeen  int64
 	notified int64
 }
@@ -77,8 +80,10 @@ type window struct {
 	everNotified bool
 }
 
-// NewMED builds and subscribes the detector for one node.
-func NewMED(b *bus.Bus, node simnet.NodeID, cfg MEDConfig) *MonitoringEventDetector {
+// NewMED builds and subscribes the detector for one node. The subscription
+// is scoped to ctx: when the owning query's context ends, the detector's
+// delivery goroutine ends with it. A nil ctx leaves the lifetime to Stop.
+func NewMED(ctx context.Context, b *bus.Bus, node simnet.NodeID, cfg MEDConfig) *MonitoringEventDetector {
 	if cfg.Window <= 0 {
 		cfg.Window = 25
 	}
@@ -91,13 +96,14 @@ func NewMED(b *bus.Bus, node simnet.NodeID, cfg MEDConfig) *MonitoringEventDetec
 		cfg:    cfg,
 		groups: make(map[string]*window),
 	}
-	m.sub = b.Subscribe("med@"+string(node), node, bus.Topic(TopicRawPrefix+string(node)), m.onRaw)
+	m.sub = b.SubscribeContext(ctx, "med@"+string(node), node, bus.Topic(TopicRawPrefix+string(node)), m.onRaw)
 	return m
 }
 
-// Stop cancels the subscription.
+// Stop cancels the subscription. Idempotent and safe from multiple
+// goroutines.
 func (m *MonitoringEventDetector) Stop() {
-	m.sub.Cancel()
+	m.stopOnce.Do(func() { m.sub.Cancel() })
 }
 
 // Stats reports how many raw events arrived and how many notifications were

@@ -62,7 +62,7 @@ func emitM1(a *MonitorAdapter, frag string, inst int, cost float64) {
 func TestMEDFirstNotificationAfterMinEvents(t *testing.T) {
 	b := testBus()
 	defer b.Close()
-	med := NewMED(b, "ws0", DefaultMEDConfig())
+	med := NewMED(nil, b, "ws0", DefaultMEDConfig())
 	defer med.Stop()
 	col := &costCollector{}
 	b.Subscribe("test", "coord", TopicMED, col.handler)
@@ -84,7 +84,7 @@ func TestMEDFirstNotificationAfterMinEvents(t *testing.T) {
 func TestMEDThresholdFiltersSmallChanges(t *testing.T) {
 	b := testBus()
 	defer b.Close()
-	med := NewMED(b, "ws0", MEDConfig{Window: 25, ThresM: 0.2, MinEvents: 3})
+	med := NewMED(nil, b, "ws0", MEDConfig{Window: 25, ThresM: 0.2, MinEvents: 3})
 	defer med.Stop()
 	col := &costCollector{}
 	b.Subscribe("test", "coord", TopicMED, col.handler)
@@ -118,7 +118,7 @@ func TestMEDThresholdFiltersSmallChanges(t *testing.T) {
 func TestMEDGroupsByOperator(t *testing.T) {
 	b := testBus()
 	defer b.Close()
-	med := NewMED(b, "ws0", MEDConfig{Window: 5, ThresM: 0.2, MinEvents: 1})
+	med := NewMED(nil, b, "ws0", MEDConfig{Window: 5, ThresM: 0.2, MinEvents: 1})
 	defer med.Stop()
 	col := &costCollector{}
 	b.Subscribe("test", "coord", TopicMED, col.handler)
@@ -139,7 +139,7 @@ func TestMEDGroupsByOperator(t *testing.T) {
 func TestMEDM2PerTupleAndSameNode(t *testing.T) {
 	b := testBus()
 	defer b.Close()
-	med := NewMED(b, "data1", MEDConfig{Window: 5, ThresM: 0.2, MinEvents: 1})
+	med := NewMED(nil, b, "data1", MEDConfig{Window: 5, ThresM: 0.2, MinEvents: 1})
 	defer med.Stop()
 	col := &costCollector{}
 	b.Subscribe("test", "coord", TopicMED, col.handler)
@@ -177,7 +177,7 @@ func TestMEDM2PerTupleAndSameNode(t *testing.T) {
 func TestMEDWindowSlides(t *testing.T) {
 	b := testBus()
 	defer b.Close()
-	med := NewMED(b, "ws0", MEDConfig{Window: 4, ThresM: 0.2, MinEvents: 3})
+	med := NewMED(nil, b, "ws0", MEDConfig{Window: 4, ThresM: 0.2, MinEvents: 3})
 	defer med.Stop()
 	col := &costCollector{}
 	b.Subscribe("test", "coord", TopicMED, col.handler)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -100,12 +101,18 @@ type Responder struct {
 	cfg   ResponderConfig
 	rpc   *rpcClient
 	clock *vtime.Clock
+	// ctx scopes every control RPC to the owning query: a cancellation
+	// releases an adaptation parked mid-protocol instead of letting it wait
+	// out the RPC timeout against a torn-down fragment.
+	ctx context.Context
 
 	mu        sync.Mutex
 	fragments map[string]*respState
 	stats     ResponderStats
 	timeline  []AdaptationEvent
 	sub       *bus.Subscription
+
+	stopOnce sync.Once
 }
 
 type respState struct {
@@ -118,9 +125,11 @@ type respState struct {
 	mirror *engine.HashPolicy
 }
 
-// NewResponder builds the responder on the given node. The clock stamps
-// the adaptation timeline; nil uses a private clock at the default scale.
-func NewResponder(b *bus.Bus, tr transport.Transport, node simnet.NodeID, cfg ResponderConfig) *Responder {
+// NewResponder builds the responder on the given node. Its subscription and
+// control RPCs are scoped to ctx (nil leaves the lifetime to Stop). The
+// clock stamps the adaptation timeline; nil uses a private clock at the
+// default scale.
+func NewResponder(ctx context.Context, b *bus.Bus, tr transport.Transport, node simnet.NodeID, cfg ResponderConfig) *Responder {
 	if cfg.Response == 0 {
 		cfg.Response = R2
 	}
@@ -135,18 +144,22 @@ func NewResponder(b *bus.Bus, tr transport.Transport, node simnet.NodeID, cfg Re
 		tr:        tr,
 		node:      node,
 		cfg:       cfg,
+		ctx:       ctx,
 		clock:     vtime.NewClock(vtime.DefaultScale),
 		fragments: make(map[string]*respState),
 		rpc:       newRPCClient(tr, node, "aqp/responder@"+string(node)),
 	}
-	r.sub = b.Subscribe("responder", node, TopicDiagnosis, r.onProposal)
+	r.sub = b.SubscribeContext(ctx, "responder", node, TopicDiagnosis, r.onProposal)
 	return r
 }
 
-// Stop cancels the subscription and releases the RPC endpoint.
+// Stop cancels the subscription and releases the RPC endpoint. Idempotent
+// and safe from multiple goroutines.
 func (r *Responder) Stop() {
-	r.sub.Cancel()
-	r.rpc.close()
+	r.stopOnce.Do(func() {
+		r.sub.Cancel()
+		r.rpc.close()
+	})
 }
 
 // Register makes the responder manage one partitioned fragment.
@@ -252,7 +265,7 @@ func (r *Responder) adapt(st *respState, p Proposal) error {
 	for _, ex := range st.topo.Inputs {
 		var exEst int64
 		for _, prod := range ex.Producers {
-			reply, err := r.rpc.call(prod, ctrlMsg(ex.Exchange, &transport.Ctrl{Op: transport.CtrlProgress}))
+			reply, err := r.rpc.call(r.ctx, prod, ctrlMsg(ex.Exchange, &transport.Ctrl{Op: transport.CtrlProgress}))
 			if err != nil {
 				return err
 			}
@@ -262,7 +275,7 @@ func (r *Responder) adapt(st *respState, p Proposal) error {
 		}
 		est += exEst
 		for _, cons := range st.topo.Instances {
-			reply, err := r.rpc.call(cons, ctrlMsg(ex.Exchange, &transport.Ctrl{Op: transport.CtrlProgress}))
+			reply, err := r.rpc.call(r.ctx, cons, ctrlMsg(ex.Exchange, &transport.Ctrl{Op: transport.CtrlProgress}))
 			if err != nil {
 				return err
 			}
@@ -315,7 +328,7 @@ func (r *Responder) adapt(st *respState, p Proposal) error {
 func (r *Responder) adaptStatelessR2(st *respState, p Proposal) error {
 	for _, ex := range st.topo.Inputs {
 		for _, prod := range ex.Producers {
-			if _, err := r.rpc.call(prod, ctrlMsg(ex.Exchange,
+			if _, err := r.rpc.call(r.ctx, prod, ctrlMsg(ex.Exchange,
 				&transport.Ctrl{Op: transport.CtrlSetWeights, Weights: p.Weights})); err != nil {
 				return err
 			}
@@ -343,7 +356,7 @@ func (r *Responder) adaptStatelessR1(st *respState, p Proposal) error {
 	}
 	var recalls []recalled
 	for _, cons := range st.topo.Instances {
-		reply, err := r.rpc.call(cons, ctrlMsg("", &transport.Ctrl{Op: transport.CtrlDiscard}))
+		reply, err := r.rpc.call(r.ctx, cons, ctrlMsg("", &transport.Ctrl{Op: transport.CtrlDiscard}))
 		if err != nil {
 			return err
 		}
@@ -358,7 +371,7 @@ func (r *Responder) adaptStatelessR1(st *respState, p Proposal) error {
 	// Install the new weights, then re-route the recalled tuples.
 	for _, ex := range st.topo.Inputs {
 		for _, prod := range ex.Producers {
-			if _, err := r.rpc.call(prod, ctrlMsg(ex.Exchange,
+			if _, err := r.rpc.call(r.ctx, prod, ctrlMsg(ex.Exchange,
 				&transport.Ctrl{Op: transport.CtrlSetWeights, Weights: p.Weights})); err != nil {
 				return err
 			}
@@ -374,7 +387,7 @@ func (r *Responder) adaptStatelessR1(st *respState, p Proposal) error {
 		}
 		msg := ctrlMsg(rc.exchange, &transport.Ctrl{Op: transport.CtrlResend, Seqs: rc.seqs})
 		msg.ConsumerIdx = rc.consIdx
-		if _, err := r.rpc.call(prod, msg); err != nil {
+		if _, err := r.rpc.call(r.ctx, prod, msg); err != nil {
 			return err
 		}
 		r.mu.Lock()
@@ -437,7 +450,7 @@ func (r *Responder) adaptStateful(st *respState, p Proposal) error {
 	}
 	var resends []resend
 	for _, cons := range st.topo.Instances {
-		reply, err := r.rpc.call(cons, ctrlMsg("",
+		reply, err := r.rpc.call(r.ctx, cons, ctrlMsg("",
 			&transport.Ctrl{Op: transport.CtrlDiscard, Buckets: moved}))
 		if err != nil {
 			return err
@@ -452,7 +465,7 @@ func (r *Responder) adaptStateful(st *respState, p Proposal) error {
 			}
 			resends = append(resends, resend{exchange: ex, prodIdx: prodIdx, consIdx: cons.Index, seqs: seqs})
 		}
-		if _, err := r.rpc.call(cons, ctrlMsg("", &transport.Ctrl{Op: transport.CtrlEvict, Buckets: moved})); err != nil {
+		if _, err := r.rpc.call(r.ctx, cons, ctrlMsg("", &transport.Ctrl{Op: transport.CtrlEvict, Buckets: moved})); err != nil {
 			return err
 		}
 	}
@@ -460,7 +473,7 @@ func (r *Responder) adaptStateful(st *respState, p Proposal) error {
 	// recalled probes.
 	for _, ex := range st.topo.Inputs {
 		for _, prod := range ex.Producers {
-			if _, err := r.rpc.call(prod, ctrlMsg(ex.Exchange,
+			if _, err := r.rpc.call(r.ctx, prod, ctrlMsg(ex.Exchange,
 				&transport.Ctrl{Op: transport.CtrlSetBucketMap, BucketMap: newMap})); err != nil {
 				return err
 			}
@@ -471,7 +484,7 @@ func (r *Responder) adaptStateful(st *respState, p Proposal) error {
 			continue
 		}
 		for _, prod := range ex.Producers {
-			if _, err := r.rpc.call(prod, ctrlMsg(ex.Exchange,
+			if _, err := r.rpc.call(r.ctx, prod, ctrlMsg(ex.Exchange,
 				&transport.Ctrl{Op: transport.CtrlReplay, Buckets: moved})); err != nil {
 				return err
 			}
@@ -490,7 +503,7 @@ func (r *Responder) adaptStateful(st *respState, p Proposal) error {
 		}
 		msg := ctrlMsg(rs.exchange, &transport.Ctrl{Op: transport.CtrlResend, Seqs: rs.seqs})
 		msg.ConsumerIdx = rs.consIdx
-		if _, err := r.rpc.call(prod, msg); err != nil {
+		if _, err := r.rpc.call(r.ctx, prod, msg); err != nil {
 			return err
 		}
 		r.mu.Lock()
@@ -509,7 +522,7 @@ func (r *Responder) pauseAll(st *respState, pause bool) error {
 	var firstErr error
 	for _, ex := range st.topo.Inputs {
 		for _, prod := range ex.Producers {
-			if _, err := r.rpc.call(prod, ctrlMsg(ex.Exchange, &transport.Ctrl{Op: op})); err != nil && firstErr == nil {
+			if _, err := r.rpc.call(r.ctx, prod, ctrlMsg(ex.Exchange, &transport.Ctrl{Op: op})); err != nil && firstErr == nil {
 				firstErr = err
 			}
 		}

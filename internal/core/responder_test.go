@@ -80,7 +80,7 @@ func responderHarness(t *testing.T, cfg ResponderConfig) (*Responder, *bus.Bus, 
 	tr := transport.NewInProc(net)
 	b := bus.New(clock, nil)
 	t.Cleanup(b.Close)
-	r := NewResponder(b, tr, "coord", cfg)
+	r := NewResponder(nil, b, tr, "coord", cfg)
 	t.Cleanup(r.Stop)
 
 	prod := newFakeInstance(tr, "data1", "frag/F1#0")

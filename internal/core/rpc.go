@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
+	"repro/internal/qerr"
 	"repro/internal/simnet"
 	"repro/internal/transport"
 )
@@ -53,8 +55,13 @@ func (c *rpcClient) onReply(_ simnet.NodeID, msg *transport.Message) {
 }
 
 // call sends a control request to a fragment instance and waits for its
-// reply.
-func (c *rpcClient) call(to InstanceRef, msg *transport.Message) (*transport.Ctrl, error) {
+// reply, the client timeout, or ctx — whichever comes first. A canceled
+// query must not leave an adaptation goroutine parked here for the full
+// timeout. A nil ctx waits only on the timeout.
+func (c *rpcClient) call(ctx context.Context, to InstanceRef, msg *transport.Message) (*transport.Ctrl, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	c.mu.Lock()
 	c.nextID++
 	id := c.nextID
@@ -69,7 +76,7 @@ func (c *rpcClient) call(to InstanceRef, msg *transport.Message) (*transport.Ctr
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
-		return nil, err
+		return nil, qerr.Transport(fmt.Sprintf("%v to %s", msg.Ctrl.Op, to.Service), err)
 	}
 	select {
 	case reply := <-ch:
@@ -77,10 +84,16 @@ func (c *rpcClient) call(to InstanceRef, msg *transport.Message) (*transport.Ctr
 			return reply, fmt.Errorf("core: %v on %s: %s", msg.Ctrl.Op, to.Service, reply.Err)
 		}
 		return reply, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, qerr.FromContext(ctx)
 	case <-time.After(c.timeout):
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
-		return nil, fmt.Errorf("core: %v on %s timed out", msg.Ctrl.Op, to.Service)
+		return nil, qerr.Transport(fmt.Sprintf("%v on %s", msg.Ctrl.Op, to.Service),
+			fmt.Errorf("core: reply timed out after %v", c.timeout))
 	}
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -135,7 +136,7 @@ func (c *testCluster) deploy(plan *physical.Plan) {
 		c.wg.Add(1)
 		go func() {
 			defer c.wg.Done()
-			if err := rt.Run(); err != nil {
+			if err := rt.Run(context.Background()); err != nil {
 				c.errMu.Lock()
 				c.errs = append(c.errs, err)
 				c.errMu.Unlock()

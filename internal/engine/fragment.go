@@ -1,11 +1,13 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"repro/internal/logical"
 	"repro/internal/physical"
+	"repro/internal/qerr"
 	"repro/internal/relation"
 	"repro/internal/simnet"
 	"repro/internal/transport"
@@ -60,6 +62,8 @@ type FragmentRuntime struct {
 	mu       sync.Mutex
 	err      error
 	produced int64
+
+	stopOnce sync.Once
 }
 
 // NewFragmentRuntime compiles the fragment's operator tree, wires its
@@ -277,30 +281,57 @@ func (r *FragmentRuntime) Err() error {
 // tuples. When monitoring is active, each batch is clamped to the remaining
 // M1 window, so events fire at exactly the same produced-tuple counts — and
 // attribute exactly the same cost windows — as the tuple-at-a-time driver
-// did. It returns when the input is exhausted or on the first error.
-func (r *FragmentRuntime) Run() error {
-	ctx := r.cfg.Ctx
-	if ctx.Costs.StartupMs > 0 {
-		ctx.chargeFlat(ctx.Costs.StartupMs)
+// did. It returns when the input is exhausted, on the first error, or when
+// ctx is canceled — cancellation interrupts the driver even while it is
+// blocked in a consumer wait or a paused exchange. A nil ctx means run
+// unconstrained.
+func (r *FragmentRuntime) Run(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	if ctx.Monitor != nil && ctx.Costs.AdaptStartupMs > 0 {
-		ctx.chargeFlat(ctx.Costs.AdaptStartupMs)
+	ectx := r.cfg.Ctx
+	if ectx.Costs.StartupMs > 0 {
+		ectx.chargeFlat(ectx.Costs.StartupMs)
 	}
-	if err := r.root.Open(ctx); err != nil {
+	if ectx.Monitor != nil && ectx.Costs.AdaptStartupMs > 0 {
+		ectx.chargeFlat(ectx.Costs.AdaptStartupMs)
+	}
+	if err := r.root.Open(ectx); err != nil {
 		return r.fail(err)
+	}
+	// The watcher translates a context cancellation into an interrupt of
+	// the driver's two blocking edges (consumer waits and paused
+	// exchanges); it must not outlive Run, so Run closes done on exit.
+	if ctx.Done() != nil {
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			select {
+			case <-ctx.Done():
+				r.interrupt(qerr.FromContext(ctx))
+			case <-done:
+			}
+		}()
 	}
 	// Monitoring baselines exclude startup and build-phase costs only in
 	// the sense that per-interval deltas start here.
-	lastCharged := ctx.Meter.ChargedMs()
+	lastCharged := ectx.Meter.ChargedMs()
 	lastWait := r.waitMs()
 	var sinceM1 int64
-	monitoring := ctx.Monitor != nil && ctx.MonitorEvery > 0
+	monitoring := ectx.Monitor != nil && ectx.MonitorEvery > 0
 
 	batch := relation.GetBatch()
 	defer batch.Release()
 	for {
+		// The interrupt path unblocks the driver by making consumers report
+		// a clean end-of-stream; this check converts that into the typed
+		// cancellation error instead of a truncated "success".
+		if ctx.Err() != nil {
+			_ = r.root.Close()
+			return r.fail(qerr.FromContext(ctx))
+		}
 		if monitoring {
-			batch.SetLimit(ctx.MonitorEvery - int(sinceM1))
+			batch.SetLimit(ectx.MonitorEvery - int(sinceM1))
 		}
 		n, err := FillBatch(r.root, batch)
 		if err != nil {
@@ -326,15 +357,15 @@ func (r *FragmentRuntime) Run() error {
 		produced := r.produced
 		r.mu.Unlock()
 		sinceM1 += int64(n)
-		if monitoring && sinceM1 >= int64(ctx.MonitorEvery) {
-			charged := ctx.Meter.ChargedMs()
+		if monitoring && sinceM1 >= int64(ectx.MonitorEvery) {
+			charged := ectx.Meter.ChargedMs()
 			wait := r.waitMs()
 			consumed := r.consumedTuples()
 			sel := 1.0
 			if consumed > 0 {
 				sel = float64(produced) / float64(consumed)
 			}
-			ctx.Monitor.EmitM1(M1Event{
+			ectx.Monitor.EmitM1(M1Event{
 				Fragment:       r.cfg.Fragment.ID,
 				Instance:       r.cfg.Instance,
 				Node:           r.cfg.Node,
@@ -346,6 +377,10 @@ func (r *FragmentRuntime) Run() error {
 			lastCharged, lastWait, sinceM1 = charged, wait, 0
 		}
 	}
+	if ctx.Err() != nil {
+		_ = r.root.Close()
+		return r.fail(qerr.FromContext(ctx))
+	}
 	if err := r.root.Close(); err != nil {
 		return r.fail(err)
 	}
@@ -356,8 +391,22 @@ func (r *FragmentRuntime) Run() error {
 	} else if err := r.cfg.Sink.Close(); err != nil {
 		return r.fail(err)
 	}
-	ctx.Meter.Flush()
+	ectx.Meter.Flush()
 	return nil
+}
+
+// interrupt aborts a running driver from outside: it records the cause,
+// releases a driver blocked in a consumer wait (Close makes Next report
+// end-of-stream, which the driver's ctx check reclassifies), and aborts a
+// driver blocked in a paused output exchange.
+func (r *FragmentRuntime) interrupt(cause error) {
+	r.fail(cause)
+	for _, c := range r.consumers {
+		_ = c.Close()
+	}
+	if r.producer != nil {
+		r.producer.Cancel(cause)
+	}
 }
 
 func (r *FragmentRuntime) waitMs() float64 {
@@ -395,15 +444,18 @@ func (r *FragmentRuntime) fail(err error) error {
 }
 
 // Stop unregisters the instance and releases resources. Call after the
-// whole query has completed.
+// whole query has completed. Stop is idempotent and safe to call from
+// multiple goroutines; only the first call does the work.
 func (r *FragmentRuntime) Stop() {
-	r.cfg.Tr.Unregister(r.cfg.Node, r.service)
-	for _, c := range r.consumers {
-		_ = c.Close()
-	}
-	if r.producer != nil {
-		r.producer.Release()
-	}
+	r.stopOnce.Do(func() {
+		r.cfg.Tr.Unregister(r.cfg.Node, r.service)
+		for _, c := range r.consumers {
+			_ = c.Close()
+		}
+		if r.producer != nil {
+			r.producer.Release()
+		}
+	})
 }
 
 // handle is the transport entry point for everything addressed to this
@@ -516,7 +568,7 @@ func (r *FragmentRuntime) handleControl(msg *transport.Message) {
 	}
 	out := &transport.Message{Kind: transport.KindReply, Exchange: msg.Exchange, Ctrl: reply}
 	if _, err := r.cfg.Tr.Send(r.cfg.Node, ctrl.ReplyTo, ctrl.ReplyService, out); err != nil {
-		r.fail(err)
+		r.fail(qerr.Transport("control reply from "+r.service, err))
 	}
 }
 

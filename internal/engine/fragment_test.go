@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -103,7 +104,7 @@ func TestRuntimeRunScanToSink(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer rt.Stop()
-	if err := rt.Run(); err != nil {
+	if err := rt.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if sink.rows != 10 || rt.Produced() != 10 {
@@ -126,7 +127,7 @@ func TestRuntimeRunErrorPath(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer rt.Stop()
-	if err := rt.Run(); err == nil {
+	if err := rt.Run(context.Background()); err == nil {
 		t.Fatal("Run over a missing table succeeded")
 	}
 	if rt.Err() == nil {

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/qerr"
 	"repro/internal/relation"
 	"repro/internal/simnet"
 	"repro/internal/transport"
@@ -62,6 +63,7 @@ type Producer struct {
 	mu        sync.Mutex
 	sendCond  *sync.Cond
 	paused    bool
+	cancelErr error
 	epoch     int
 	buffers   [][]bufEntry
 	logs      []map[int64]logEntry
@@ -139,13 +141,17 @@ func NewProducer(cfg ProducerConfig) *Producer {
 func (p *Producer) Bind(ctx *ExecContext) { p.ctx = ctx }
 
 // Send routes one tuple. It blocks while the producer is paused by the
-// control plane.
+// control plane and returns the cancellation cause if the exchange is
+// canceled (before or while blocked).
 func (p *Producer) Send(t relation.Tuple) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for p.paused {
+	for p.paused && p.cancelErr == nil {
 		p.ctx.Meter.Flush()
 		p.sendCond.Wait()
+	}
+	if p.cancelErr != nil {
+		return p.cancelErr
 	}
 	if p.ctx != nil && p.ctx.Costs.LogAppendMs > 0 {
 		p.ctx.chargeFlat(p.ctx.Costs.LogAppendMs)
@@ -171,9 +177,12 @@ func (p *Producer) SendBatch(ts []relation.Tuple) error {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for p.paused {
+	for p.paused && p.cancelErr == nil {
 		p.ctx.Meter.Flush()
 		p.sendCond.Wait()
+	}
+	if p.cancelErr != nil {
+		return p.cancelErr
 	}
 	if p.ctx != nil && p.ctx.Costs.LogAppendMs > 0 {
 		p.ctx.chargeFlat(p.ctx.Costs.LogAppendMs * float64(len(ts)))
@@ -248,7 +257,7 @@ func (p *Producer) flushLocked(consumer int, replay bool) error {
 	addr := p.Consumers[consumer]
 	cost, err := p.tr.Send(p.node, addr.Node, addr.Service, msg)
 	if err != nil {
-		return fmt.Errorf("engine: exchange %s flush to %s: %w", p.Exchange, addr.Service, err)
+		return qerr.Transport(fmt.Sprintf("exchange %s flush to %s", p.Exchange, addr.Service), err)
 	}
 	p.buffersSent++
 	if p.ctx != nil && p.ctx.Monitor != nil {
@@ -268,10 +277,15 @@ func (p *Producer) flushLocked(consumer int, replay bool) error {
 }
 
 // Close flushes everything and marks the driver done; the exchange is
-// closed towards consumers as soon as the recovery log permits.
+// closed towards consumers as soon as the recovery log permits. A canceled
+// exchange refuses to close normally — no EOS must reach consumers that the
+// cancellation is tearing down.
 func (p *Producer) Close() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.cancelErr != nil {
+		return p.cancelErr
+	}
 	for i := range p.buffers {
 		if err := p.flushLocked(i, false); err != nil {
 			return err
@@ -306,7 +320,7 @@ func (p *Producer) finalizeCheckpointsLocked() error {
 		}
 		addr := p.Consumers[c]
 		if _, err := p.tr.Send(p.node, addr.Node, addr.Service, msg); err != nil {
-			return fmt.Errorf("engine: exchange %s checkpoint to %s: %w", p.Exchange, addr.Service, err)
+			return qerr.Transport(fmt.Sprintf("exchange %s checkpoint to %s", p.Exchange, addr.Service), err)
 		}
 	}
 	return nil
@@ -338,10 +352,27 @@ func (p *Producer) maybeFinishLocked() error {
 			ConsumerIdx: i,
 		}
 		if _, err := p.tr.Send(p.node, addr.Node, addr.Service, msg); err != nil {
-			return err
+			return qerr.Transport(fmt.Sprintf("exchange %s EOS to %s", p.Exchange, addr.Service), err)
 		}
 	}
 	return nil
+}
+
+// Cancel aborts the exchange: any Send/SendBatch blocked on a pause — and
+// every future one — returns cause immediately, and Close becomes a no-op
+// that reports cause instead of signalling EOS. First cause wins; Cancel is
+// idempotent. This is how a context cancellation reaches a driver parked
+// inside a paused exchange mid-adaptation.
+func (p *Producer) Cancel(cause error) {
+	if cause == nil {
+		cause = qerr.ErrCanceled
+	}
+	p.mu.Lock()
+	if p.cancelErr == nil {
+		p.cancelErr = cause
+		p.sendCond.Broadcast()
+	}
+	p.mu.Unlock()
 }
 
 // HandleAck releases acknowledged log entries (stateless exchanges only;

@@ -15,6 +15,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -198,7 +199,7 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := g.Execute(cfg.Query)
+	res, err := g.Execute(context.Background(), cfg.Query)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,47 @@
+package microbench
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bus"
+	"repro/internal/vtime"
+)
+
+// busPublishDeliver measures end-to-end notification throughput — Publish
+// on one goroutine, handler execution on the subscription's delivery
+// goroutine — for a given queue policy (per-op = one notification,
+// published and delivered). Both measured policies are lossless, so the
+// drain wait at the end is bounded.
+func busPublishDeliver(b *testing.B, opts bus.Options) {
+	clock := vtime.NewClock(time.Nanosecond)
+	bu := bus.NewWithOptions(clock, nil, opts)
+	defer bu.Close()
+	var delivered atomic.Int64
+	sub := bu.Subscribe("bench", "n0", "bench.topic", func(bus.Notification) {
+		delivered.Add(1)
+	})
+	defer sub.Cancel()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bu.Publish("bench", "n0", "bench.topic", i)
+	}
+	for delivered.Load() < int64(b.N) {
+		time.Sleep(10 * time.Microsecond)
+	}
+}
+
+// BusPublishDeliverBounded uses the bounded ring with the blocking overflow
+// policy: a full queue exerts backpressure on the publisher instead of
+// growing, so memory stays capped at QueueCap notifications.
+func BusPublishDeliverBounded(b *testing.B) {
+	busPublishDeliver(b, bus.Options{Overflow: bus.OverflowBlock})
+}
+
+// BusPublishDeliverUnbounded uses the legacy grow-without-bound policy the
+// bounded ring replaced; kept as the benchmark baseline.
+func BusPublishDeliverUnbounded(b *testing.B) {
+	busPublishDeliver(b, bus.Options{Overflow: bus.OverflowGrow})
+}

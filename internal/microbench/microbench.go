@@ -239,6 +239,8 @@ func All() []Result {
 		{"ProducerSendBatch", ProducerSendBatch, sendBatchSize},
 		{"VolcanoChain", VolcanoChain, chainRows},
 		{"BatchChain", BatchChain, chainRows},
+		{"BusPublishDeliverBounded", BusPublishDeliverBounded, 1},
+		{"BusPublishDeliverUnbounded", BusPublishDeliverUnbounded, 1},
 	}
 	var out []Result
 	for _, s := range specs {

@@ -6,6 +6,13 @@ func BenchmarkTupleEncode(b *testing.B)       { TupleEncode(b) }
 func BenchmarkTupleDecode(b *testing.B)       { TupleDecode(b) }
 func BenchmarkProducerSendBatch(b *testing.B) { ProducerSendBatch(b) }
 
+// BenchmarkBusPublishDeliver compares the bounded subscription ring (block
+// overflow policy) against the legacy unbounded grow policy it replaced.
+func BenchmarkBusPublishDeliver(b *testing.B) {
+	b.Run("bounded", BusPublishDeliverBounded)
+	b.Run("unbounded", BusPublishDeliverUnbounded)
+}
+
 // BenchmarkVolcanoVsBatch runs the same scan→select→project drain through
 // both execution models; compare the subbenchmarks' ns/op, allocs/op and
 // tuples/sec directly.

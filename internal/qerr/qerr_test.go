@@ -1,0 +1,131 @@
+package qerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestSentinelsWrapContextSentinels(t *testing.T) {
+	if !errors.Is(ErrCanceled, context.Canceled) {
+		t.Error("ErrCanceled should wrap context.Canceled")
+	}
+	if !errors.Is(ErrTimeout, context.DeadlineExceeded) {
+		t.Error("ErrTimeout should wrap context.DeadlineExceeded")
+	}
+	if errors.Is(ErrCanceled, context.DeadlineExceeded) || errors.Is(ErrTimeout, context.Canceled) {
+		t.Error("sentinels must not cross-match")
+	}
+}
+
+func TestKindWrapping(t *testing.T) {
+	base := errors.New("boom")
+	err := Exec("fragment f1#0", base)
+	if !errors.Is(err, base) {
+		t.Error("wrapped error should match base via errors.Is")
+	}
+	var qe *Error
+	if !errors.As(err, &qe) {
+		t.Fatal("errors.As should find *Error")
+	}
+	if qe.Kind != KindExec || qe.Op != "fragment f1#0" {
+		t.Errorf("got kind=%v op=%q", qe.Kind, qe.Op)
+	}
+	if KindOf(err) != KindExec {
+		t.Errorf("KindOf = %v, want KindExec", KindOf(err))
+	}
+	if KindOf(base) != KindUnknown {
+		t.Errorf("KindOf(base) = %v, want KindUnknown", KindOf(base))
+	}
+}
+
+func TestNewNilAndIdempotent(t *testing.T) {
+	if Plan("parse", nil) != nil {
+		t.Error("wrapping nil should stay nil")
+	}
+	inner := Transport("send", errors.New("conn reset"))
+	outer := Transport("publish", inner)
+	if outer != inner {
+		t.Error("re-wrapping with the same kind should be a no-op")
+	}
+	cross := Exec("drive", inner)
+	if cross == inner {
+		t.Error("wrapping with a different kind should add a layer")
+	}
+	if KindOf(cross) != KindExec {
+		t.Errorf("outermost kind = %v, want KindExec", KindOf(cross))
+	}
+}
+
+func TestErrorString(t *testing.T) {
+	err := Schedule("validate", errors.New("no such node"))
+	want := "schedule validate: no such node"
+	if err.Error() != want {
+		t.Errorf("Error() = %q, want %q", err.Error(), want)
+	}
+	anon := New(KindPlan, "", errors.New("syntax"))
+	if anon.Error() != "plan: syntax" {
+		t.Errorf("Error() = %q", anon.Error())
+	}
+}
+
+func TestFromContextLive(t *testing.T) {
+	if err := FromContext(context.Background()); err != nil {
+		t.Errorf("live context should yield nil, got %v", err)
+	}
+}
+
+func TestFromContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := FromContext(ctx); !errors.Is(err, ErrCanceled) {
+		t.Errorf("got %v, want ErrCanceled", err)
+	}
+}
+
+func TestFromContextTimeout(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done()
+	if err := FromContext(ctx); !errors.Is(err, ErrTimeout) {
+		t.Errorf("got %v, want ErrTimeout", err)
+	}
+}
+
+func TestFromContextFirstErrorWins(t *testing.T) {
+	ctx, cancel := context.WithCancelCause(context.Background())
+	frag := Exec("fragment f2#1", errors.New("ws unavailable"))
+	cancel(frag)
+	err := FromContext(ctx)
+	if !errors.Is(err, frag) {
+		t.Errorf("got %v, want the fragment failure cause", err)
+	}
+	if errors.Is(err, ErrCanceled) {
+		t.Error("a caused cancellation must not read as a plain ErrCanceled")
+	}
+}
+
+func TestFromContextCauseTimeout(t *testing.T) {
+	// A deadline layered over a cancel-cause parent: deadline fires first.
+	parent, pcancel := context.WithCancelCause(context.Background())
+	defer pcancel(nil)
+	ctx, cancel := context.WithTimeout(parent, time.Nanosecond)
+	defer cancel()
+	<-ctx.Done()
+	if err := FromContext(ctx); !errors.Is(err, ErrTimeout) {
+		t.Errorf("got %v, want ErrTimeout", err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindUnknown: "unknown", KindPlan: "plan", KindSchedule: "schedule",
+		KindExec: "exec", KindTransport: "transport", Kind(99): "unknown",
+	} {
+		if got := fmt.Sprint(k); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}

@@ -1,19 +1,19 @@
 package services
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/engine"
 	"repro/internal/logical"
 	"repro/internal/physical"
+	"repro/internal/qerr"
 	"repro/internal/relation"
 	"repro/internal/simnet"
 	"repro/internal/sqlparse"
-	"repro/internal/vtime"
 )
 
 // GDQSConfig configures a Grid Distributed Query Service instance.
@@ -31,7 +31,8 @@ type GDQSConfig struct {
 	Responder core.ResponderConfig
 	// MaxParallelism caps the compute resources used per query.
 	MaxParallelism int
-	// QueryTimeout bounds one query's real execution time.
+	// QueryTimeout bounds one query's real execution time; it becomes the
+	// deadline of the session context every query runs under.
 	QueryTimeout time.Duration
 }
 
@@ -108,215 +109,61 @@ type QueryResult struct {
 	Stats   QueryStats
 }
 
-// Execute runs one SQL query to completion.
-func (g *GDQS) Execute(query string) (*QueryResult, error) {
+// Execute runs one SQL query to completion under ctx. Cancelling ctx stops
+// every fragment driver and adaptivity goroutine the query started and
+// returns qerr.ErrCanceled; the configured QueryTimeout yields
+// qerr.ErrTimeout the same way. A nil ctx runs under only the timeout.
+//
+// Errors carry a qerr.Kind: compilation failures are KindPlan, scheduling
+// and deployment failures KindSchedule, and runtime failures KindExec or
+// KindTransport — use errors.As with *qerr.Error (or errors.Is with the
+// sentinels) to classify.
+func (g *GDQS) Execute(ctx context.Context, query string) (*QueryResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
 
 	stmt, err := sqlparse.Parse(query)
 	if err != nil {
-		return nil, err
+		return nil, qerr.Plan("parse", err)
 	}
 	lplan, err := logical.Plan(stmt, g.cluster.catalog)
 	if err != nil {
-		return nil, err
+		return nil, qerr.Plan("plan", err)
 	}
 	pplan, err := physical.Schedule(lplan, g.cluster.registry, physical.Options{
 		Coordinator:    g.node,
 		MaxParallelism: g.cfg.MaxParallelism,
 	})
 	if err != nil {
-		return nil, err
+		return nil, qerr.Schedule("schedule", err)
 	}
 	pplan.Tag(fmt.Sprintf("q%d", queryCounter.Add(1)))
 	if err := pplan.Validate(); err != nil {
-		return nil, err
+		return nil, qerr.Schedule("validate", err)
 	}
-	return g.run(pplan)
+	return g.run(ctx, pplan)
 }
 
-// run deploys and executes a scheduled plan.
-func (g *GDQS) run(plan *physical.Plan) (*QueryResult, error) {
-	cluster := g.cluster
+// run deploys and executes a scheduled plan inside a QuerySession.
+func (g *GDQS) run(ctx context.Context, plan *physical.Plan) (*QueryResult, error) {
 	start := time.Now()
+	s, err := newQuerySession(ctx, g, plan)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
 
-	// Adaptivity components: one MED per evaluating site, one Diagnoser
-	// and one Responder (paper §3.1), hosted at the coordinator.
-	var (
-		meds      []*core.MonitoringEventDetector
-		diagnoser *core.Diagnoser
-		responder *core.Responder
-	)
-	if g.cfg.Adaptive {
-		seen := map[simnet.NodeID]bool{}
-		for _, frag := range plan.Fragments {
-			for _, node := range frag.Instances {
-				if !seen[node] {
-					seen[node] = true
-					meds = append(meds, core.NewMED(cluster.bus, node, g.cfg.MED))
-				}
-			}
-		}
-		diagnoser = core.NewDiagnoser(cluster.bus, g.node, g.cfg.Diagnoser)
-		responder = core.NewResponder(cluster.bus, cluster.tr, g.node, g.cfg.Responder)
-		responder.SetClock(cluster.clock)
-		for _, topo := range core.TopologyOf(plan, cluster.cfg.Buckets) {
-			diagnoser.Register(topo)
-			if err := responder.Register(topo); err != nil {
-				return nil, err
-			}
-		}
-	}
-	defer func() {
-		for _, m := range meds {
-			m.Stop()
-		}
-		if diagnoser != nil {
-			diagnoser.Stop()
-		}
-		if responder != nil {
-			responder.Stop()
-		}
-	}()
-
-	// Dynamically create an evaluation service per fragment instance.
-	sink := &rowSink{ch: make(chan relation.Tuple, 4096)}
-	runtimes := make(map[string]*engine.FragmentRuntime)
-	defer func() {
-		for _, rt := range runtimes {
-			rt.Stop()
-		}
-	}()
-	for _, frag := range plan.Fragments {
-		for i, nodeID := range frag.Instances {
-			node := cluster.net.Node(nodeID)
-			if node == nil {
-				return nil, fmt.Errorf("services: plan references unknown node %q", nodeID)
-			}
-			ctx := &engine.ExecContext{
-				Clock:        cluster.clock,
-				Node:         node,
-				Meter:        vtime.NewMeter(cluster.clock),
-				Store:        cluster.storeOf(nodeID),
-				Services:     cluster.servicesOf(nodeID),
-				Costs:        cluster.cfg.Costs,
-				MonitorEvery: g.cfg.MonitorEvery,
-				Buckets:      cluster.cfg.Buckets,
-				Fragment:     frag.ID,
-				Instance:     i,
-			}
-			if g.cfg.Adaptive && g.cfg.MonitorEvery > 0 {
-				ctx.Monitor = &core.MonitorAdapter{Bus: cluster.bus, Node: nodeID}
-			}
-			cfg := engine.RuntimeConfig{
-				Plan:            plan,
-				Fragment:        frag,
-				Instance:        i,
-				Ctx:             ctx,
-				Tr:              cluster.tr,
-				Node:            nodeID,
-				BufferTuples:    cluster.cfg.BufferTuples,
-				CheckpointEvery: cluster.cfg.CheckpointEvery,
-			}
-			if frag.Output == nil {
-				cfg.Sink = sink
-			}
-			rt, err := engine.NewFragmentRuntime(cfg)
-			if err != nil {
-				return nil, err
-			}
-			runtimes[frag.InstanceID(i)] = rt
-		}
-	}
-
-	// Start all drivers; collect rows until the sink closes.
-	var wg sync.WaitGroup
-	errCh := make(chan error, len(runtimes))
-	for _, rt := range runtimes {
-		rt := rt
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			if err := rt.Run(); err != nil {
-				errCh <- err
-			}
-		}()
-	}
-
-	var rows []relation.Tuple
-	collectDone := make(chan struct{})
-	go func() {
-		defer close(collectDone)
-		for t := range sink.ch {
-			rows = append(rows, t)
-		}
-	}()
-
-	driversDone := make(chan struct{})
-	go func() {
-		wg.Wait()
-		close(driversDone)
-	}()
-
-	var execErr error
-	select {
-	case <-driversDone:
-	case err := <-errCh:
-		execErr = err
-		for _, rt := range runtimes {
-			rt.Stop() // unblocks consumers so remaining drivers exit
-		}
-		<-driversDone
-	case <-time.After(g.cfg.QueryTimeout):
-		execErr = fmt.Errorf("services: query exceeded timeout %v", g.cfg.QueryTimeout)
-		for _, rt := range runtimes {
-			rt.Stop()
-		}
-		<-driversDone
-	}
-	_ = sink.Close() // idempotent: drains the collector on error paths
-	<-collectDone
-	if execErr == nil {
-		select {
-		case err := <-errCh:
-			execErr = err
-		default:
-		}
-	}
-	if execErr != nil {
-		return nil, execErr
-	}
-
-	stats := QueryStats{
-		ResponseMs:         cluster.clock.MsOf(time.Since(start)),
-		Rows:               len(rows),
-		Plan:               plan,
-		ConsumedByInstance: make(map[string]int64),
-	}
-	for id, rt := range runtimes {
-		stats.ConsumedByInstance[id] = rt.ConsumedTuples()
-	}
-	for _, m := range meds {
-		raw, notif := m.Stats()
-		stats.RawEvents += raw
-		stats.MEDNotifications += notif
-	}
-	if diagnoser != nil {
-		_, proposals := diagnoser.Stats()
-		stats.Proposals = proposals
-	}
-	if responder != nil {
-		rs := responder.Stats()
-		stats.Adaptations = rs.Adaptations
-		stats.SkippedLate = rs.SkippedLate
-		stats.TuplesMoved = rs.TuplesMoved
-		stats.StateReplays = rs.StateReplays
-		stats.Timeline = responder.Timeline()
+	rows, err := s.run()
+	if err != nil {
+		return nil, err
 	}
 	return &QueryResult{
 		Columns: plan.Top().Root.OutSchema().Columns(),
 		Rows:    rows,
-		Stats:   stats,
+		Stats:   s.stats(g.cluster.clock.MsOf(time.Since(start)), len(rows)),
 	}, nil
 }
 

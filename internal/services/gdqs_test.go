@@ -1,6 +1,7 @@
 package services
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -57,7 +58,7 @@ func testGrid(t *testing.T, adaptive bool, seqs, ints int) (*Cluster, *GDQS) {
 
 func TestExecuteQ1Static(t *testing.T) {
 	_, g := testGrid(t, false, 150, 200)
-	res, err := g.Execute(q1)
+	res, err := g.Execute(context.Background(), q1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestExecuteQ1Static(t *testing.T) {
 
 func TestExecuteQ1Adaptive(t *testing.T) {
 	_, g := testGrid(t, true, 150, 200)
-	res, err := g.Execute(q1)
+	res, err := g.Execute(context.Background(), q1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestExecuteQ1Adaptive(t *testing.T) {
 
 func TestExecuteQ2Correctness(t *testing.T) {
 	cluster, g := testGrid(t, true, 150, 250)
-	res, err := g.Execute(q2)
+	res, err := g.Execute(context.Background(), q2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestAdaptiveRebalancesUnderPerturbation(t *testing.T) {
 	// shifts work to the fast machine and beats the static run.
 	staticCluster, staticG := testGrid(t, false, 300, 100)
 	staticCluster.Node("ws1").SetPerturbation(vtime.Multiplier(10))
-	staticRes, err := staticG.Execute(q1)
+	staticRes, err := staticG.Execute(context.Background(), q1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestAdaptiveRebalancesUnderPerturbation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	adRes, err := adG.Execute(q1)
+	adRes, err := adG.Execute(context.Background(), q1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +175,7 @@ func TestAdaptiveQ2Retrospective(t *testing.T) {
 	// still produce the correct result.
 	cluster, g := testGrid(t, true, 150, 600)
 	cluster.Node("ws1").SetPerturbation(vtime.Sleep(3))
-	res, err := g.Execute(q2)
+	res, err := g.Execute(context.Background(), q2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +204,7 @@ func TestExecuteErrors(t *testing.T) {
 		"select nope from protein_sequences",
 		"select * from missing",
 	} {
-		if _, err := g.Execute(q); err == nil {
+		if _, err := g.Execute(context.Background(), q); err == nil {
 			t.Errorf("Execute(%q): expected error", q)
 		}
 	}
@@ -231,7 +232,7 @@ func TestMonitorFrequencyZeroDisablesMonitoring(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := g.Execute(q1)
+	res, err := g.Execute(context.Background(), q1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +253,7 @@ func TestClusterValidation(t *testing.T) {
 
 func TestExecuteGroupByAggregation(t *testing.T) {
 	cluster, g := testGrid(t, false, 150, 400)
-	res, err := g.Execute("select i.ORF1, count(*) AS n from protein_interactions i group by i.ORF1 order by n desc, i.ORF1 limit 10")
+	res, err := g.Execute(context.Background(), "select i.ORF1, count(*) AS n from protein_interactions i group by i.ORF1 order by n desc, i.ORF1 limit 10")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +284,7 @@ func TestExecuteGroupByAggregation(t *testing.T) {
 
 func TestExecuteGlobalAggregate(t *testing.T) {
 	_, g := testGrid(t, false, 123, 77)
-	res, err := g.Execute("select count(*) AS total, min(i.ORF1) AS lo from protein_interactions i")
+	res, err := g.Execute(context.Background(), "select count(*) AS total, min(i.ORF1) AS lo from protein_interactions i")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +312,7 @@ func TestAdaptiveAggregationCorrectUnderRebalance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := g.Execute("select i.ORF1, count(*) AS n from protein_interactions i group by i.ORF1")
+	res, err := g.Execute(context.Background(), "select i.ORF1, count(*) AS n from protein_interactions i group by i.ORF1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -339,7 +340,7 @@ func TestAdaptiveAggregationCorrectUnderRebalance(t *testing.T) {
 
 func TestExecuteOrderByLimitPlain(t *testing.T) {
 	_, g := testGrid(t, false, 60, 40)
-	res, err := g.Execute("select p.ORF from protein_sequences p order by p.ORF desc limit 3")
+	res, err := g.Execute(context.Background(), "select p.ORF from protein_sequences p order by p.ORF desc limit 3")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -397,7 +398,7 @@ func TestRandomPerturbationsNeverCorruptResults(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := g.Execute(q.sql)
+		res, err := g.Execute(context.Background(), q.sql)
 		if err != nil {
 			t.Fatalf("trial %d (%s on %s, %v): %v", trial, q.sql[:20], node, pert, err)
 		}
@@ -434,7 +435,7 @@ func TestStepPerturbationMidQuery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := g.Execute(q1)
+	res, err := g.Execute(context.Background(), q1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -448,7 +449,7 @@ func TestStepPerturbationMidQuery(t *testing.T) {
 
 func TestExecuteHaving(t *testing.T) {
 	cluster, g := testGrid(t, false, 150, 500)
-	res, err := g.Execute("select i.ORF1, count(*) AS n from protein_interactions i group by i.ORF1 having count(*) >= 5 order by n desc, i.ORF1")
+	res, err := g.Execute(context.Background(), "select i.ORF1, count(*) AS n from protein_interactions i group by i.ORF1 having count(*) >= 5 order by n desc, i.ORF1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -501,7 +502,7 @@ func TestConcurrentQueriesShareOneGrid(t *testing.T) {
 	res1 := make(chan outcome, 1)
 	res2 := make(chan outcome, 1)
 	go func() {
-		r, err := g1.Execute(q1)
+		r, err := g1.Execute(context.Background(), q1)
 		if err != nil {
 			res1 <- outcome{err: err}
 			return
@@ -509,7 +510,7 @@ func TestConcurrentQueriesShareOneGrid(t *testing.T) {
 		res1 <- outcome{rows: len(r.Rows)}
 	}()
 	go func() {
-		r, err := g2.Execute(q2)
+		r, err := g2.Execute(context.Background(), q2)
 		if err != nil {
 			res2 <- outcome{err: err}
 			return
@@ -541,7 +542,7 @@ func TestPlanValidateOnExecute(t *testing.T) {
 		"select count(*) from protein_sequences",
 		"select i.ORF1, count(*) n from protein_interactions i group by i.ORF1 having count(*) > 1 order by n limit 3",
 	} {
-		if _, err := g.Execute(q); err != nil {
+		if _, err := g.Execute(context.Background(), q); err != nil {
 			t.Errorf("Execute(%q): %v", q, err)
 		}
 	}
@@ -574,7 +575,7 @@ func TestSkewedAggregationUnderRebalance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := g.Execute("select i.ORF1, count(*) AS n from protein_interactions i group by i.ORF1")
+	res, err := g.Execute(context.Background(), "select i.ORF1, count(*) AS n from protein_interactions i group by i.ORF1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -598,7 +599,7 @@ func TestJoinFeedingAggregation(t *testing.T) {
 	// fragments, each hash-partitioned on its own keys, both adaptable.
 	cluster, g := testGrid(t, true, 100, 400)
 	cluster.Node("ws1").SetPerturbation(vtime.Multiplier(8))
-	res, err := g.Execute("select p.ORF, count(*) AS n from protein_sequences p, protein_interactions i where i.ORF1 = p.ORF group by p.ORF order by n desc, p.ORF limit 5")
+	res, err := g.Execute(context.Background(), "select p.ORF, count(*) AS n from protein_sequences p, protein_interactions i where i.ORF1 = p.ORF group by p.ORF order by n desc, p.ORF limit 5")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -659,7 +660,7 @@ func TestTablesOnSeparateDataNodes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := g.Execute(q2)
+	res, err := g.Execute(context.Background(), q2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,353 @@
+package services
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/logical"
+	"repro/internal/physical"
+	"repro/internal/qerr"
+	"repro/internal/relation"
+	"repro/internal/simnet"
+	"repro/internal/sqlparse"
+	"repro/internal/vtime"
+	"repro/internal/ws"
+)
+
+// queryGoroutines captures the stacks of every goroutine currently inside
+// this module's code, excluding the test runner and this file's own
+// helpers. It is the leak detector: after a query ends — however it ends —
+// no driver, delivery, adaptation or collector goroutine may remain.
+func queryGoroutines() []string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	var out []string
+	for _, g := range strings.Split(string(buf[:n]), "\n\n") {
+		if !strings.Contains(g, "repro/internal") {
+			continue
+		}
+		if strings.Contains(g, "testing.tRunner") || strings.Contains(g, "lifecycle_test.go") {
+			continue
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// waitNoExtraGoroutines polls until the module goroutine count returns to
+// the pre-query baseline. Polling (rather than a single check) tolerates
+// teardown that is in flight when the query call returns.
+func waitNoExtraGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var gs []string
+	for {
+		gs = queryGoroutines()
+		if len(gs) <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("%d goroutine(s) leaked past the query (baseline %d):\n\n%s",
+		len(gs)-baseline, baseline, strings.Join(gs, "\n\n"))
+}
+
+// gateService blocks its first invocation until released, signalling the
+// test when a fragment driver is genuinely inside a web-service call.
+type gateService struct {
+	started   chan struct{}
+	release   chan struct{}
+	startOnce sync.Once
+}
+
+func newGateService() *gateService {
+	return &gateService{started: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (g *gateService) Name() string              { return "GateAnalyser" }
+func (g *gateService) ArgTypes() []relation.Type { return []relation.Type{relation.TString} }
+func (g *gateService) ResultType() relation.Type { return relation.TFloat }
+func (g *gateService) BaseCostMs() float64       { return 1 }
+func (g *gateService) Invoke(args []relation.Value) (relation.Value, error) {
+	g.startOnce.Do(func() { close(g.started) })
+	<-g.release
+	return relation.Float(1), nil
+}
+
+// slowService really sleeps per call, so a short QueryTimeout expires while
+// fragments are still mid-stream.
+type slowService struct{ d time.Duration }
+
+func (s slowService) Name() string              { return "SlowAnalyser" }
+func (s slowService) ArgTypes() []relation.Type { return []relation.Type{relation.TString} }
+func (s slowService) ResultType() relation.Type { return relation.TFloat }
+func (s slowService) BaseCostMs() float64       { return 1 }
+func (s slowService) Invoke(args []relation.Value) (relation.Value, error) {
+	time.Sleep(s.d)
+	return relation.Float(1), nil
+}
+
+// failService fails every invocation — the fragment-error exit path.
+type failService struct{}
+
+func (failService) Name() string              { return "FailAnalyser" }
+func (failService) ArgTypes() []relation.Type { return []relation.Type{relation.TString} }
+func (failService) ResultType() relation.Type { return relation.TFloat }
+func (failService) BaseCostMs() float64       { return 1 }
+func (failService) Invoke(args []relation.Value) (relation.Value, error) {
+	return relation.Null, fmt.Errorf("ws: FailAnalyser always fails")
+}
+
+// lifecycleGrid is testGrid plus extra web services on the compute nodes.
+func lifecycleGrid(t *testing.T, adaptive bool, seqs, ints int, extra ...ws.Service) (*Cluster, *GDQS) {
+	t.Helper()
+	cluster := NewCluster(ClusterConfig{
+		Scale: 10 * time.Microsecond,
+		Costs: engine.Costs{ScanMs: 0.5, FilterMs: 0.01, ProjectMs: 0.01,
+			JoinBuildMs: 0.05, JoinProbeMs: 0.3, StartupMs: 50},
+		BufferTuples:    25,
+		CheckpointEvery: 25,
+		Buckets:         64,
+	})
+	if err := cluster.AddDataNode("data1", dataset.DemoSized(seqs, ints)); err != nil {
+		t.Fatal(err)
+	}
+	svcs := append([]ws.Service{ws.Entropy{CostMs: 5}, ws.SequenceLength{}}, extra...)
+	for _, n := range []simnet.NodeID{"ws0", "ws1"} {
+		if err := cluster.AddComputeNode(n, 1.0, ws.NewRegistry(svcs...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := DefaultGDQSConfig()
+	cfg.Adaptive = adaptive
+	cfg.QueryTimeout = 60 * time.Second
+	g, err := NewGDQS(cluster, "coord", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Close)
+	return cluster, g
+}
+
+func TestLifecycleSuccessReleasesGoroutines(t *testing.T) {
+	_, g := lifecycleGrid(t, true, 120, 60)
+	baseline := len(queryGoroutines())
+	res, err := g.Execute(context.Background(), q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 120 {
+		t.Fatalf("rows = %d, want 120", len(res.Rows))
+	}
+	waitNoExtraGoroutines(t, baseline)
+}
+
+func TestLifecycleCancelReleasesGoroutines(t *testing.T) {
+	gate := newGateService()
+	_, g := lifecycleGrid(t, true, 120, 60, gate)
+	baseline := len(queryGoroutines())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := g.Execute(ctx, "select GateAnalyser(p.sequence) from protein_sequences p")
+		errCh <- err
+	}()
+
+	// Cancel while a fragment driver is provably inside a service call.
+	<-gate.started
+	cancel()
+	close(gate.release)
+
+	err := <-errCh
+	if !errors.Is(err, qerr.ErrCanceled) {
+		t.Fatalf("err = %v, want qerr.ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v does not unwrap to context.Canceled", err)
+	}
+	waitNoExtraGoroutines(t, baseline)
+
+	// Released state: the same coordinator runs the next query cleanly.
+	res, err := g.Execute(context.Background(), q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 120 {
+		t.Fatalf("follow-up rows = %d, want 120", len(res.Rows))
+	}
+	waitNoExtraGoroutines(t, baseline)
+}
+
+func TestLifecycleTimeoutReleasesGoroutines(t *testing.T) {
+	cluster, _ := lifecycleGrid(t, true, 120, 60, slowService{d: time.Millisecond})
+	cfg := DefaultGDQSConfig()
+	cfg.QueryTimeout = 30 * time.Millisecond
+	g, err := NewGDQS(cluster, "coordT", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := len(queryGoroutines())
+	_, err = g.Execute(context.Background(), "select SlowAnalyser(p.sequence) from protein_sequences p")
+	if !errors.Is(err, qerr.ErrTimeout) {
+		t.Fatalf("err = %v, want qerr.ErrTimeout", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v does not unwrap to context.DeadlineExceeded", err)
+	}
+	waitNoExtraGoroutines(t, baseline)
+}
+
+func TestLifecycleFragmentErrorReleasesGoroutines(t *testing.T) {
+	_, g := lifecycleGrid(t, true, 120, 60, failService{})
+	baseline := len(queryGoroutines())
+	_, err := g.Execute(context.Background(), "select FailAnalyser(p.sequence) from protein_sequences p")
+	if err == nil {
+		t.Fatal("expected fragment error")
+	}
+	var qe *qerr.Error
+	if !errors.As(err, &qe) || qe.Kind != qerr.KindExec {
+		t.Fatalf("err = %v, want *qerr.Error with KindExec", err)
+	}
+	if errors.Is(err, qerr.ErrCanceled) || errors.Is(err, qerr.ErrTimeout) {
+		t.Fatalf("fragment failure misclassified as cancellation: %v", err)
+	}
+	if !strings.Contains(err.Error(), "FailAnalyser") {
+		t.Fatalf("err = %v does not name the failing service", err)
+	}
+	waitNoExtraGoroutines(t, baseline)
+}
+
+// cancelOnTopic cancels ctx the first time anything is published on the
+// topic, optionally after a delay — pinning cancellation to a precise phase
+// of the adaptivity protocol.
+func cancelOnTopic(t *testing.T, cluster *Cluster, topic bus.Topic, delay time.Duration, cancel context.CancelFunc) *bus.Subscription {
+	t.Helper()
+	var once sync.Once
+	sub := cluster.bus.Subscribe("lifecycle-watch", "coord", topic, func(bus.Notification) {
+		once.Do(func() {
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			cancel()
+		})
+	})
+	t.Cleanup(sub.Cancel)
+	return sub
+}
+
+func TestLifecycleCancelMidAdaptation(t *testing.T) {
+	// Cancel exactly when the Diagnoser hands the Responder a rebalancing
+	// proposal: the Responder is about to (or has just started to) run the
+	// quiesce/redistribute protocol against live fragments.
+	cluster, _ := lifecycleGrid(t, true, 300, 60)
+	cluster.Node("ws1").SetPerturbation(vtime.Multiplier(10))
+	cfg := DefaultGDQSConfig()
+	cfg.Responder.Response = core.R1
+	cfg.QueryTimeout = 60 * time.Second
+	g, err := NewGDQS(cluster, "coordA", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cancelOnTopic(t, cluster, core.TopicDiagnosis, 0, cancel)
+	baseline := len(queryGoroutines())
+
+	_, err = g.Execute(ctx, q1)
+	if !errors.Is(err, qerr.ErrCanceled) {
+		t.Fatalf("err = %v, want qerr.ErrCanceled", err)
+	}
+	waitNoExtraGoroutines(t, baseline)
+
+	// Released state: a full adaptive run on the same cluster still works.
+	res, err := g.Execute(context.Background(), q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 300 {
+		t.Fatalf("follow-up rows = %d, want 300", len(res.Rows))
+	}
+	waitNoExtraGoroutines(t, baseline)
+}
+
+func TestLifecycleCancelMidReplay(t *testing.T) {
+	// Q2's expensive operator is a stateful hash join: rebalancing it goes
+	// through the R1 state-replay path. Cancelling shortly after the first
+	// proposal lands inside (or racing with) that replay; either way the
+	// query must come back ErrCanceled with nothing left running.
+	cluster, g := lifecycleGrid(t, true, 150, 600)
+	cluster.Node("ws1").SetPerturbation(vtime.Sleep(3))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cancelOnTopic(t, cluster, core.TopicDiagnosis, 300*time.Microsecond, cancel)
+	baseline := len(queryGoroutines())
+
+	_, err := g.Execute(ctx, q2)
+	if !errors.Is(err, qerr.ErrCanceled) {
+		t.Fatalf("err = %v, want qerr.ErrCanceled", err)
+	}
+	waitNoExtraGoroutines(t, baseline)
+
+	// Released state: the same join, uncancelled, still yields correct rows.
+	res, err := g.Execute(context.Background(), q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("follow-up join returned no rows")
+	}
+	waitNoExtraGoroutines(t, baseline)
+}
+
+func TestLifecycleSessionCloseIdempotent(t *testing.T) {
+	_, g := lifecycleGrid(t, true, 50, 30)
+	stmt, err := sqlparse.Parse(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lplan, err := logical.Plan(stmt, g.cluster.catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pplan, err := physical.Schedule(lplan, g.cluster.registry, physical.Options{Coordinator: g.node})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pplan.Tag("qlifecycle")
+	if err := pplan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := newQuerySession(context.Background(), g, pplan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Close must be safe to call repeatedly and concurrently with the
+	// per-resource Stops it performs itself.
+	s.Close()
+	s.Close()
+	for _, rt := range s.runtimes {
+		rt.Stop()
+		rt.Stop()
+	}
+	for _, m := range s.meds {
+		m.Stop()
+	}
+	s.diagnoser.Stop()
+	s.responder.Stop()
+	waitNoExtraGoroutines(t, 0)
+}

@@ -1,6 +1,8 @@
 package services
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -12,6 +14,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/logical"
 	"repro/internal/physical"
+	"repro/internal/qerr"
 	"repro/internal/registry"
 	"repro/internal/relation"
 	"repro/internal/simnet"
@@ -211,6 +214,9 @@ type Evaluator struct {
 
 	mu       sync.Mutex
 	runtimes []*engine.FragmentRuntime
+	// cancel ends the context of the active deployment's drivers; teardown
+	// uses it to interrupt runtimes that are still blocked mid-query.
+	cancel context.CancelFunc
 }
 
 // NewEvaluator builds and registers the evaluator for the local node.
@@ -317,8 +323,10 @@ func (e *Evaluator) deploy(sql string) error {
 		}
 	}
 	e.runtimes = started
+	dctx, cancel := context.WithCancel(context.Background())
+	e.cancel = cancel
 	for _, rt := range started {
-		go func(rt *engine.FragmentRuntime) { _ = rt.Run() }(rt)
+		go func(rt *engine.FragmentRuntime) { _ = rt.Run(dctx) }(rt)
 	}
 	return nil
 }
@@ -326,6 +334,10 @@ func (e *Evaluator) deploy(sql string) error {
 func (e *Evaluator) teardown() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.cancel != nil {
+		e.cancel()
+		e.cancel = nil
+	}
 	for _, rt := range e.runtimes {
 		rt.Stop()
 	}
@@ -373,8 +385,13 @@ func (c *RemoteCoordinator) Close() {
 	c.bus.Close()
 }
 
-// rpcWait sends a request to a remote service and waits for the ack.
-func (c *RemoteCoordinator) rpcWait(to simnet.NodeID, service string, msg *transport.Message, timeout time.Duration) error {
+// rpcWait sends a request to a remote service and waits for the ack, the
+// timeout, or ctx — whichever comes first. A nil ctx waits only on the
+// timeout (teardown must complete even for a canceled query).
+func (c *RemoteCoordinator) rpcWait(ctx context.Context, to simnet.NodeID, service string, msg *transport.Message, timeout time.Duration) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	replyCh := make(chan *transport.Ctrl, 1)
 	replyService := fmt.Sprintf("deploy-reply/%d", time.Now().UnixNano())
 	c.tr.Register(c.manifest.Coordinator, replyService, func(_ simnet.NodeID, m *transport.Message) {
@@ -388,7 +405,7 @@ func (c *RemoteCoordinator) rpcWait(to simnet.NodeID, service string, msg *trans
 	defer c.tr.Unregister(c.manifest.Coordinator, replyService)
 	msg.Ctrl = &transport.Ctrl{RequestID: 1, ReplyTo: c.manifest.Coordinator, ReplyService: replyService}
 	if _, err := c.tr.Send(c.manifest.Coordinator, to, service, msg); err != nil {
-		return err
+		return qerr.Transport(fmt.Sprintf("%s to %s", msg.Kind, to), err)
 	}
 	select {
 	case reply := <-replyCh:
@@ -396,8 +413,11 @@ func (c *RemoteCoordinator) rpcWait(to simnet.NodeID, service string, msg *trans
 			return fmt.Errorf("services: %s on %s: %s", msg.Kind, to, reply.Err)
 		}
 		return nil
+	case <-ctx.Done():
+		return qerr.FromContext(ctx)
 	case <-time.After(timeout):
-		return fmt.Errorf("services: %s on %s timed out", msg.Kind, to)
+		return qerr.Transport(fmt.Sprintf("%s on %s", msg.Kind, to),
+			fmt.Errorf("services: reply timed out after %v", timeout))
 	}
 }
 
@@ -432,8 +452,15 @@ func (c *RemoteCoordinator) evaluatorNodes(plan *physical.Plan) []simnet.NodeID 
 	return out
 }
 
-// Execute plans, deploys and runs one query across the remote evaluators.
-func (c *RemoteCoordinator) Execute(sql string, timeout time.Duration) (*QueryResult, error) {
+// Execute plans, deploys and runs one query across the remote evaluators
+// under ctx: cancelling it interrupts the local drivers (and the teardown
+// defers reclaim the remote ones), returning qerr.ErrCanceled; exceeding
+// the timeout returns qerr.ErrTimeout. A nil ctx runs under only the
+// timeout.
+func (c *RemoteCoordinator) Execute(ctx context.Context, sql string, timeout time.Duration) (*QueryResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if timeout <= 0 {
@@ -441,9 +468,16 @@ func (c *RemoteCoordinator) Execute(sql string, timeout time.Duration) (*QueryRe
 	}
 	plan, err := c.manifest.plan(sql)
 	if err != nil {
-		return nil, err
+		return nil, qerr.Plan("plan", err)
 	}
 	start := time.Now()
+
+	// First failure — local fragment, deadline, or external cancellation —
+	// cancels sctx, which interrupts every local driver.
+	runCtx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	sctx, stopTimeout := context.WithTimeout(runCtx, timeout)
+	defer stopTimeout()
 
 	// Adaptivity components, all hosted here; raw events arrive over the
 	// transport and are republished on the local bus.
@@ -458,19 +492,19 @@ func (c *RemoteCoordinator) Execute(sql string, timeout time.Duration) (*QueryRe
 			for _, node := range frag.Instances {
 				if !seen[node] {
 					seen[node] = true
-					meds = append(meds, core.NewMED(c.bus, node, core.DefaultMEDConfig()))
+					meds = append(meds, core.NewMED(sctx, c.bus, node, core.DefaultMEDConfig()))
 				}
 			}
 		}
-		diagnoser = core.NewDiagnoser(c.bus, c.manifest.Coordinator,
+		diagnoser = core.NewDiagnoser(sctx, c.bus, c.manifest.Coordinator,
 			core.DiagnoserConfig{ThresA: 0.2, Assessment: c.manifest.Assessment})
-		responder = core.NewResponder(c.bus, c.tr, c.manifest.Coordinator,
+		responder = core.NewResponder(sctx, c.bus, c.tr, c.manifest.Coordinator,
 			core.ResponderConfig{Response: c.manifest.Response, MaxProgress: 0.9})
 		responder.SetClock(c.clock)
 		for _, topo := range core.TopologyOf(plan, c.manifest.Buckets) {
 			diagnoser.Register(topo)
 			if err := responder.Register(topo); err != nil {
-				return nil, err
+				return nil, qerr.Schedule("register topology", err)
 			}
 		}
 		c.tr.Register(c.manifest.Coordinator, monitorService, func(_ simnet.NodeID, m *transport.Message) {
@@ -513,6 +547,7 @@ func (c *RemoteCoordinator) Execute(sql string, timeout time.Duration) (*QueryRe
 	// remote producers start), then deploy outward.
 	sink := &rowSink{ch: make(chan relation.Tuple, 4096)}
 	var local []*engine.FragmentRuntime
+	var localIDs []string
 	defer func() {
 		for _, rt := range local {
 			rt.Stop()
@@ -543,9 +578,10 @@ func (c *RemoteCoordinator) Execute(sql string, timeout time.Duration) (*QueryRe
 			}
 			rt, err := engine.NewFragmentRuntime(cfg)
 			if err != nil {
-				return nil, err
+				return nil, qerr.Schedule("deploy "+frag.InstanceID(i), err)
 			}
 			local = append(local, rt)
+			localIDs = append(localIDs, frag.InstanceID(i))
 		}
 	}
 
@@ -553,28 +589,47 @@ func (c *RemoteCoordinator) Execute(sql string, timeout time.Duration) (*QueryRe
 	deployed := evaluators[:0:0]
 	defer func() {
 		for _, node := range deployed {
-			_ = c.rpcWait(node, gqesService, &transport.Message{Kind: transport.KindTeardown}, 10*time.Second)
+			// Teardown runs under its own deadline, not sctx: remote
+			// runtimes must be reclaimed even when the query was canceled.
+			_ = c.rpcWait(nil, node, gqesService, &transport.Message{Kind: transport.KindTeardown}, 10*time.Second)
 		}
 	}()
 	for _, node := range evaluators {
-		if err := c.rpcWait(node, gqesService,
+		if err := c.rpcWait(sctx, node, gqesService,
 			&transport.Message{Kind: transport.KindDeploy, Query: sql}, 30*time.Second); err != nil {
 			return nil, err
 		}
 		deployed = append(deployed, node)
 	}
 
+	// First-error-wins: a failing driver cancels sctx, interrupting its
+	// local siblings; context-derived errors from the interrupted drivers
+	// are not new failures.
+	var failMu sync.Mutex
+	var firstErr error
+	fail := func(op string, err error) {
+		if err == nil {
+			return
+		}
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			err = qerr.Exec(op, err)
+		}
+		failMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		failMu.Unlock()
+		cancel(err)
+	}
 	var wg sync.WaitGroup
-	errCh := make(chan error, len(local))
-	for _, rt := range local {
-		rt := rt
+	for i, rt := range local {
 		wg.Add(1)
-		go func() {
+		go func(id string, rt *engine.FragmentRuntime) {
 			defer wg.Done()
-			if err := rt.Run(); err != nil {
-				errCh <- err
+			if err := rt.Run(sctx); err != nil {
+				fail("fragment "+id, err)
 			}
-		}()
+		}(localIDs[i], rt)
 	}
 
 	var rows []relation.Tuple
@@ -585,37 +640,25 @@ func (c *RemoteCoordinator) Execute(sql string, timeout time.Duration) (*QueryRe
 			rows = append(rows, t)
 		}
 	}()
-	finished := make(chan struct{})
-	go func() {
-		wg.Wait()
-		close(finished)
-	}()
-	var execErr error
-	select {
-	case <-finished:
-	case err := <-errCh:
-		execErr = err
-		for _, rt := range local {
-			rt.Stop()
-		}
-		<-finished
-	case <-time.After(timeout):
-		execErr = fmt.Errorf("services: remote query exceeded timeout %v", timeout)
-		for _, rt := range local {
-			rt.Stop()
-		}
-		<-finished
-	}
-	_ = sink.Close()
+	// The deadline lives on sctx, whose cancellation interrupts every local
+	// driver, so waiting for them is bounded.
+	wg.Wait()
+	sinkErr := sink.Close()
 	<-done
-	if execErr == nil {
-		select {
-		case execErr = <-errCh:
-		default:
-		}
-	}
+
+	failMu.Lock()
+	execErr := firstErr
+	failMu.Unlock()
 	if execErr != nil {
+		// Classify through the context: a deadline outranks the derived
+		// cancellation errors the interrupted drivers reported.
+		if err := qerr.FromContext(sctx); err != nil {
+			return nil, err
+		}
 		return nil, execErr
+	}
+	if sinkErr != nil {
+		return nil, qerr.Exec("result sink close", sinkErr)
 	}
 
 	stats := QueryStats{

@@ -1,6 +1,7 @@
 package services
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -67,7 +68,7 @@ func remoteCluster(t *testing.T, adaptive bool) (*RemoteCoordinator, map[simnet.
 
 func TestRemoteQ1OverTCP(t *testing.T) {
 	coord, _ := remoteCluster(t, false)
-	res, err := coord.Execute(q1, time.Minute)
+	res, err := coord.Execute(context.Background(), q1, time.Minute)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestRemoteQ1OverTCP(t *testing.T) {
 
 func TestRemoteQ2OverTCP(t *testing.T) {
 	coord, _ := remoteCluster(t, false)
-	res, err := coord.Execute(q2, time.Minute)
+	res, err := coord.Execute(context.Background(), q2, time.Minute)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestRemoteQ2OverTCP(t *testing.T) {
 func TestRemoteAdaptiveOverTCP(t *testing.T) {
 	coord, evaluators := remoteCluster(t, true)
 	evaluators["ws1"].SetPerturbation(vtime.Multiplier(50))
-	res, err := coord.Execute(q1, 2*time.Minute)
+	res, err := coord.Execute(context.Background(), q1, 2*time.Minute)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestRemoteAdaptiveOverTCP(t *testing.T) {
 func TestRemoteSequentialQueries(t *testing.T) {
 	coord, _ := remoteCluster(t, false)
 	for i := 0; i < 2; i++ {
-		res, err := coord.Execute(q1, time.Minute)
+		res, err := coord.Execute(context.Background(), q1, time.Minute)
 		if err != nil {
 			t.Fatalf("query %d: %v", i, err)
 		}
@@ -122,7 +123,7 @@ func TestRemoteSequentialQueries(t *testing.T) {
 
 func TestRemoteBadQuery(t *testing.T) {
 	coord, _ := remoteCluster(t, false)
-	if _, err := coord.Execute("select nope from nothing", time.Minute); err == nil {
+	if _, err := coord.Execute(context.Background(), "select nope from nothing", time.Minute); err == nil {
 		t.Fatal("bad query accepted")
 	}
 }

@@ -1,0 +1,268 @@
+package services
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/physical"
+	"repro/internal/qerr"
+	"repro/internal/relation"
+	"repro/internal/simnet"
+	"repro/internal/vtime"
+)
+
+// QuerySession owns every resource one query execution creates: the
+// fragment runtimes (and through them the transport registrations and
+// exchange endpoints), the AQP components with their bus subscriptions, and
+// the result sink. The session's context is the single lifecycle mechanism:
+// it carries the query deadline, the first failure cancels it (taking every
+// sibling fragment down with it), and Close — idempotent, called exactly
+// once per resource no matter how many paths race to it — releases the
+// whole tree.
+//
+// Ownership tree:
+//
+//	QuerySession
+//	├── ctx (deadline + first-error-wins cancellation)
+//	├── fragment runtimes → transport registrations, producers, consumers
+//	├── MEDs, Diagnoser, Responder → bus subscriptions, responder RPC endpoint
+//	└── result sink → collector goroutine
+type QuerySession struct {
+	cluster *Cluster
+	plan    *physical.Plan
+
+	// ctx is canceled when the query is done — by deadline, by external
+	// cancellation, or by the first fragment failure (recorded as the
+	// cancellation cause).
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+	// stopTimeout releases the deadline timer backing ctx.
+	stopTimeout context.CancelFunc
+
+	meds      []*core.MonitoringEventDetector
+	diagnoser *core.Diagnoser
+	responder *core.Responder
+	runtimes  map[string]*engine.FragmentRuntime
+	sink      *rowSink
+
+	failMu   sync.Mutex
+	firstErr error
+
+	closeOnce sync.Once
+}
+
+// newQuerySession assembles the session for a scheduled plan: AQP
+// components first (their subscriptions are scoped to the session context),
+// then one fragment runtime per instance. On any assembly error the
+// half-built session is fully closed before returning.
+func newQuerySession(ctx context.Context, g *GDQS, plan *physical.Plan) (*QuerySession, error) {
+	cluster := g.cluster
+	runCtx, cancel := context.WithCancelCause(ctx)
+	sctx, stopTimeout := context.WithTimeout(runCtx, g.cfg.QueryTimeout)
+	s := &QuerySession{
+		cluster:     cluster,
+		plan:        plan,
+		ctx:         sctx,
+		cancel:      cancel,
+		stopTimeout: stopTimeout,
+		runtimes:    make(map[string]*engine.FragmentRuntime),
+		sink:        &rowSink{ch: make(chan relation.Tuple, 4096)},
+	}
+
+	// Adaptivity components: one MED per evaluating site, one Diagnoser
+	// and one Responder (paper §3.1), hosted at the coordinator.
+	if g.cfg.Adaptive {
+		seen := map[simnet.NodeID]bool{}
+		for _, frag := range plan.Fragments {
+			for _, node := range frag.Instances {
+				if !seen[node] {
+					seen[node] = true
+					s.meds = append(s.meds, core.NewMED(sctx, cluster.bus, node, g.cfg.MED))
+				}
+			}
+		}
+		s.diagnoser = core.NewDiagnoser(sctx, cluster.bus, g.node, g.cfg.Diagnoser)
+		s.responder = core.NewResponder(sctx, cluster.bus, cluster.tr, g.node, g.cfg.Responder)
+		s.responder.SetClock(cluster.clock)
+		for _, topo := range core.TopologyOf(plan, cluster.cfg.Buckets) {
+			s.diagnoser.Register(topo)
+			if err := s.responder.Register(topo); err != nil {
+				s.Close()
+				return nil, qerr.Schedule("register topology", err)
+			}
+		}
+	}
+
+	// Dynamically create an evaluation service per fragment instance.
+	for _, frag := range plan.Fragments {
+		for i, nodeID := range frag.Instances {
+			node := cluster.net.Node(nodeID)
+			if node == nil {
+				s.Close()
+				return nil, qerr.Schedule("deploy", fmt.Errorf("services: plan references unknown node %q", nodeID))
+			}
+			ectx := &engine.ExecContext{
+				Clock:        cluster.clock,
+				Node:         node,
+				Meter:        vtime.NewMeter(cluster.clock),
+				Store:        cluster.storeOf(nodeID),
+				Services:     cluster.servicesOf(nodeID),
+				Costs:        cluster.cfg.Costs,
+				MonitorEvery: g.cfg.MonitorEvery,
+				Buckets:      cluster.cfg.Buckets,
+				Fragment:     frag.ID,
+				Instance:     i,
+			}
+			if g.cfg.Adaptive && g.cfg.MonitorEvery > 0 {
+				ectx.Monitor = &core.MonitorAdapter{Bus: cluster.bus, Node: nodeID}
+			}
+			cfg := engine.RuntimeConfig{
+				Plan:            plan,
+				Fragment:        frag,
+				Instance:        i,
+				Ctx:             ectx,
+				Tr:              cluster.tr,
+				Node:            nodeID,
+				BufferTuples:    cluster.cfg.BufferTuples,
+				CheckpointEvery: cluster.cfg.CheckpointEvery,
+			}
+			if frag.Output == nil {
+				cfg.Sink = s.sink
+			}
+			rt, err := engine.NewFragmentRuntime(cfg)
+			if err != nil {
+				s.Close()
+				return nil, qerr.Schedule("deploy "+frag.InstanceID(i), err)
+			}
+			s.runtimes[frag.InstanceID(i)] = rt
+		}
+	}
+	return s, nil
+}
+
+// fail records the first failure and cancels the session, taking every
+// sibling fragment driver and AQP goroutine down. Context-derived errors
+// pass through unclassified (a driver reporting its own interruption is not
+// a new failure); anything else becomes a typed exec error and the
+// cancellation cause.
+func (s *QuerySession) fail(op string, err error) {
+	if err == nil {
+		return
+	}
+	if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		err = qerr.Exec(op, err)
+	}
+	s.failMu.Lock()
+	if s.firstErr == nil {
+		s.firstErr = err
+	}
+	s.failMu.Unlock()
+	s.cancel(err)
+}
+
+// run starts every fragment driver and collects result rows until the sink
+// closes, then reports the query's outcome: rows on success, or the typed
+// error for the first failure, the deadline, or an external cancellation.
+func (s *QuerySession) run() ([]relation.Tuple, error) {
+	var wg sync.WaitGroup
+	for id, rt := range s.runtimes {
+		wg.Add(1)
+		go func(id string, rt *engine.FragmentRuntime) {
+			defer wg.Done()
+			if err := rt.Run(s.ctx); err != nil {
+				s.fail("fragment "+id, err)
+			}
+		}(id, rt)
+	}
+
+	var rows []relation.Tuple
+	collectDone := make(chan struct{})
+	go func() {
+		defer close(collectDone)
+		for t := range s.sink.ch {
+			rows = append(rows, t)
+		}
+	}()
+
+	// No timeout select here: the deadline lives on s.ctx, whose
+	// cancellation interrupts every driver — including ones blocked in
+	// consumer waits or paused exchanges — so waiting for them is bounded.
+	wg.Wait()
+	sinkErr := s.sink.Close()
+	<-collectDone
+
+	s.failMu.Lock()
+	firstErr := s.firstErr
+	s.failMu.Unlock()
+	if firstErr != nil {
+		// Classify through the context: a deadline outranks the derived
+		// cancellation errors the interrupted drivers reported.
+		if err := qerr.FromContext(s.ctx); err != nil {
+			return nil, err
+		}
+		return nil, firstErr
+	}
+	if sinkErr != nil {
+		return nil, qerr.Exec("result sink close", sinkErr)
+	}
+	return rows, nil
+}
+
+// Close tears the session down: it cancels the context first — releasing
+// parked drivers, adaptation RPCs, and subscription watchers — then stops
+// every owned resource. Idempotent and safe to call from multiple
+// goroutines (success path and error paths may race to it).
+func (s *QuerySession) Close() {
+	s.closeOnce.Do(func() {
+		s.cancel(nil)
+		s.stopTimeout()
+		for _, rt := range s.runtimes {
+			rt.Stop()
+		}
+		for _, m := range s.meds {
+			m.Stop()
+		}
+		if s.diagnoser != nil {
+			s.diagnoser.Stop()
+		}
+		if s.responder != nil {
+			s.responder.Stop()
+		}
+		_ = s.sink.Close()
+	})
+}
+
+// stats gathers what the execution observed from every owned component.
+func (s *QuerySession) stats(responseMs float64, rows int) QueryStats {
+	st := QueryStats{
+		ResponseMs:         responseMs,
+		Rows:               rows,
+		Plan:               s.plan,
+		ConsumedByInstance: make(map[string]int64),
+	}
+	for id, rt := range s.runtimes {
+		st.ConsumedByInstance[id] = rt.ConsumedTuples()
+	}
+	for _, m := range s.meds {
+		raw, notif := m.Stats()
+		st.RawEvents += raw
+		st.MEDNotifications += notif
+	}
+	if s.diagnoser != nil {
+		_, proposals := s.diagnoser.Stats()
+		st.Proposals = proposals
+	}
+	if s.responder != nil {
+		rs := s.responder.Stats()
+		st.Adaptations = rs.Adaptations
+		st.SkippedLate = rs.SkippedLate
+		st.TuplesMoved = rs.TuplesMoved
+		st.StateReplays = rs.StateReplays
+		st.Timeline = s.responder.Timeline()
+	}
+	return st
+}
