@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/cliutil"
+	"repro/internal/obs"
 	"repro/internal/services"
 	"repro/internal/simnet"
 	"repro/internal/transport"
@@ -33,9 +34,18 @@ func main() {
 		query   = flag.String("query", "select EntropyAnalyser(p.sequence) from protein_sequences p", "SQL query to execute")
 		rows    = flag.Int("rows", 5, "result rows to print (-1 for all)")
 		timeout = flag.Duration("timeout", 5*time.Minute, "query timeout")
+		metrics = flag.String("metrics", "", "HTTP listen address for /metrics and /timeline (e.g. :9090; empty disables)")
 	)
 	manifestFlags := cliutil.NewManifestFlags()
 	flag.Parse()
+	if *metrics != "" {
+		srv, bound, err := obs.Serve(*metrics, obs.Default())
+		if err != nil {
+			fatalf("metrics listener: %v", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "observability: http://%s/metrics and /timeline\n", bound)
+	}
 	manifest, peers, err := manifestFlags.Build()
 	if err != nil {
 		fatalf("%v", err)

@@ -27,13 +27,25 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/microbench"
+	"repro/internal/obs"
 )
 
 func main() {
 	out := flag.String("o", "EXPERIMENTS.md", "output file ('-' for stdout)")
 	only := flag.String("only", "", "comma-separated experiment subset (Table1,Fig2a,Fig2b,Fig3a,Fig3b,Fig4,Fig5,Overheads,MonitoringFrequency)")
 	micro := flag.String("micro", "", "run the engine micro-benchmarks and write JSON results to this file ('-' for stdout), skipping the experiments")
+	metrics := flag.String("metrics", "", "HTTP listen address for /metrics and /timeline while the suite runs (e.g. :9090; empty disables)")
 	flag.Parse()
+
+	if *metrics != "" {
+		srv, bound, err := obs.Serve(*metrics, obs.Default())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dqp-experiments: metrics listener: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "observability: http://%s/metrics and /timeline\n", bound)
+	}
 
 	if *micro != "" {
 		if err := runMicro(*micro); err != nil {

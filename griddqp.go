@@ -36,11 +36,13 @@ package repro
 import (
 	"context"
 	"fmt"
+	"net/http"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/qerr"
 	"repro/internal/relation"
 	"repro/internal/services"
@@ -264,4 +266,15 @@ func (c *Coordinator) QueryContext(ctx context.Context, sql string) (*Result, er
 // without executing it.
 func (c *Coordinator) Explain(sql string) (string, error) {
 	return c.gdqs.Explain(sql)
+}
+
+// MetricsHandler serves the process-wide observability layer over HTTP:
+// GET /metrics is the Prometheus text exposition of every engine and
+// adaptivity counter, and GET /timeline is the JSON adaptation timeline
+// (med-notify → proposal → outcome events; ?fragment= and ?since= filter).
+// Mount it on any listener, e.g.
+//
+//	go http.ListenAndServe(":9090", repro.MetricsHandler())
+func MetricsHandler() http.Handler {
+	return obs.Handler(obs.Default())
 }

@@ -23,6 +23,7 @@ import (
 	"context"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/simnet"
 	"repro/internal/vtime"
 )
@@ -96,11 +97,26 @@ type Bus struct {
 	subs   map[Topic][]*Subscription
 	closed bool
 
-	stats Stats
+	// statsMu guards the per-topic counter maps separately from the
+	// subscription table, so hot publishers and StatsSnapshot readers never
+	// contend with Subscribe/Cancel. The process-wide aggregates live in the
+	// obs registry; the maps keep the per-topic breakdown the Overheads
+	// experiment reports.
+	statsMu sync.Mutex
+	stats   Stats
+
+	// Registry-backed aggregate counters and the queue-depth distribution
+	// (nil when instrumentation is disabled; all methods are nil-safe).
+	obsPublished *obs.Counter
+	obsDelivered *obs.Counter
+	obsDropped   *obs.Counter
+	obsDepth     *obs.Histogram
 }
 
 // Stats counts bus traffic; the Overheads experiment reports these to show
-// the system is not flooded by messages.
+// the system is not flooded by messages. StatsSnapshot returns a deep copy;
+// the process-wide aggregates are also mirrored into the obs registry as
+// bus_published_total / bus_delivered_total / bus_dropped_total.
 type Stats struct {
 	Published map[Topic]int64
 	Delivered int64
@@ -122,12 +138,17 @@ func NewWithOptions(clock *vtime.Clock, net *simnet.Network, opts Options) *Bus 
 	if opts.QueueCap <= 0 {
 		opts.QueueCap = DefaultQueueCap
 	}
+	o := obs.Default()
 	return &Bus{
-		clock: clock,
-		net:   net,
-		opts:  opts,
-		subs:  make(map[Topic][]*Subscription),
-		stats: Stats{Published: make(map[Topic]int64), Dropped: make(map[Topic]int64)},
+		clock:        clock,
+		net:          net,
+		opts:         opts,
+		subs:         make(map[Topic][]*Subscription),
+		stats:        Stats{Published: make(map[Topic]int64), Dropped: make(map[Topic]int64)},
+		obsPublished: o.Counter(obs.MBusPublished),
+		obsDelivered: o.Counter(obs.MBusDelivered),
+		obsDropped:   o.Counter(obs.MBusDropped),
+		obsDepth:     o.Histogram(obs.MBusQueueDepth, obs.DefBucketsSize),
 	}
 }
 
@@ -205,19 +226,24 @@ func (b *Bus) Publish(from string, fromNode simnet.NodeID, topic Topic, payload 
 		b.mu.Unlock()
 		return
 	}
-	b.stats.Published[topic]++
 	targets := make([]*Subscription, len(b.subs[topic]))
 	copy(targets, b.subs[topic])
 	b.mu.Unlock()
+	b.statsMu.Lock()
+	b.stats.Published[topic]++
+	b.statsMu.Unlock()
+	b.obsPublished.Inc()
 	for _, s := range targets {
 		s.enqueue(n)
 	}
 }
 
-// StatsSnapshot returns a copy of the traffic counters.
+// StatsSnapshot returns a deep copy of the traffic counters: the maps are
+// cloned under the stats lock, so the caller can read them freely while
+// publishers keep running.
 func (b *Bus) StatsSnapshot() Stats {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.statsMu.Lock()
+	defer b.statsMu.Unlock()
 	out := Stats{
 		Published: make(map[Topic]int64, len(b.stats.Published)),
 		Delivered: b.stats.Delivered,
@@ -254,15 +280,17 @@ func (b *Bus) Close() {
 }
 
 func (b *Bus) countDelivered() {
-	b.mu.Lock()
+	b.statsMu.Lock()
 	b.stats.Delivered++
-	b.mu.Unlock()
+	b.statsMu.Unlock()
+	b.obsDelivered.Inc()
 }
 
 func (b *Bus) countDropped(topic Topic) {
-	b.mu.Lock()
+	b.statsMu.Lock()
 	b.stats.Dropped[topic]++
-	b.mu.Unlock()
+	b.statsMu.Unlock()
+	b.obsDropped.Inc()
 }
 
 // enqueue appends n to the subscription's ring, applying the bus's
@@ -294,11 +322,13 @@ func (s *Subscription) enqueue(n Notification) {
 		dropped = true
 	}
 	s.pushLocked(n)
+	depth := s.count
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	if dropped {
 		s.bus.countDropped(s.topic)
 	}
+	s.bus.obsDepth.Observe(float64(depth))
 }
 
 // pushLocked appends to the ring, growing it geometrically — up to the

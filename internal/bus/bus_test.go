@@ -355,3 +355,62 @@ func waitDone(t *testing.T, wg *sync.WaitGroup) {
 		t.Fatal("timed out waiting for deliveries")
 	}
 }
+
+// TestStatsSnapshotConcurrent is the race-audit test for the monitoring
+// path: publishers, snapshot readers, and subscribe/cancel churn all run at
+// once. Run under -race (make race / the CI race job), it proves the
+// per-topic counter maps and the aggregate counters are safely shared.
+func TestStatsSnapshotConcurrent(t *testing.T) {
+	b := NewWithOptions(vtime.NewClock(time.Microsecond), nil, Options{QueueCap: 8})
+	defer b.Close()
+
+	var publishers sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		publishers.Add(1)
+		go func(i int) {
+			defer publishers.Done()
+			topic := Topic([]string{"t0", "t1"}[i%2])
+			for j := 0; j < 500; j++ {
+				b.Publish("pub", "n", topic, j)
+			}
+		}(i)
+	}
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := b.StatsSnapshot()
+			// Mutating the returned copy must not affect the bus.
+			st.Published["t0"] = -1
+			st.Dropped["t0"] = -1
+		}
+	}()
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for i := 0; i < 50; i++ {
+			sub := b.Subscribe("churn", "n", "t0", func(Notification) {})
+			sub.Cancel()
+		}
+	}()
+
+	waitDone(t, &publishers)
+	close(stop)
+	readers.Wait()
+
+	st := b.StatsSnapshot()
+	if st.Published["t0"]+st.Published["t1"] != 2000 {
+		t.Fatalf("published = %v, want 2000 total", st.Published)
+	}
+	if st.Published["t0"] < 0 || st.Dropped["t0"] < 0 {
+		t.Fatal("snapshot mutation leaked into the bus")
+	}
+}

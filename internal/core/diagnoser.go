@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/bus"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 )
 
@@ -45,11 +46,23 @@ type DiagnoserConfig struct {
 	ThresA float64
 	// Assessment selects A1 or A2.
 	Assessment Assessment
+	// CostFloorMs clamps the per-instance cost c(p_i) from below. A clone
+	// whose window reports zero (or negative, NaN or Inf, possible with an
+	// empty M1 window or degenerate timing) would otherwise dominate the
+	// inverse-cost weights and starve every other instance. Zero selects
+	// DefaultCostFloorMs.
+	CostFloorMs float64
 }
+
+// DefaultCostFloorMs is the default lower clamp on assessed per-tuple cost.
+// One microsecond of paper time is far below any real per-tuple cost in the
+// experiments (which are O(0.1–10 ms)), so the clamp only engages on
+// degenerate inputs.
+const DefaultCostFloorMs = 1e-3
 
 // DefaultDiagnoserConfig returns the paper's defaults.
 func DefaultDiagnoserConfig() DiagnoserConfig {
-	return DiagnoserConfig{ThresA: 0.20, Assessment: A1}
+	return DiagnoserConfig{ThresA: 0.20, Assessment: A1, CostFloorMs: DefaultCostFloorMs}
 }
 
 // Diagnoser gathers the MonitoringEventDetectors' notifications, maintains
@@ -67,8 +80,11 @@ type Diagnoser struct {
 
 	stopOnce sync.Once
 
-	notificationsIn int64
-	proposalsOut    int64
+	notificationsIn obs.Counter
+	proposalsOut    obs.Counter
+	obsIn           *obs.Counter
+	obsProposals    *obs.Counter
+	timeline        *obs.Timeline
 }
 
 type diagState struct {
@@ -89,11 +105,18 @@ func NewDiagnoser(ctx context.Context, b *bus.Bus, node simnet.NodeID, cfg Diagn
 	if cfg.Assessment == 0 {
 		cfg.Assessment = A1
 	}
+	if cfg.CostFloorMs <= 0 {
+		cfg.CostFloorMs = DefaultCostFloorMs
+	}
+	o := obs.Default()
 	d := &Diagnoser{
-		bus:       b,
-		node:      node,
-		cfg:       cfg,
-		fragments: make(map[string]*diagState),
+		bus:          b,
+		node:         node,
+		cfg:          cfg,
+		fragments:    make(map[string]*diagState),
+		obsIn:        o.Counter(obs.MDiagNotificationsIn),
+		obsProposals: o.Counter(obs.MDiagProposals),
+		timeline:     o.Timeline(),
 	}
 	d.subs = append(d.subs,
 		b.SubscribeContext(ctx, "diagnoser", node, TopicMED, d.onCost),
@@ -128,9 +151,7 @@ func (d *Diagnoser) Register(topo FragmentTopology) {
 // Stats reports notification and proposal counts for the overhead
 // experiments.
 func (d *Diagnoser) Stats() (notificationsIn, proposalsOut int64) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.notificationsIn, d.proposalsOut
+	return d.notificationsIn.Value(), d.proposalsOut.Value()
 }
 
 func (d *Diagnoser) onPolicy(n bus.Notification) {
@@ -150,8 +171,9 @@ func (d *Diagnoser) onCost(n bus.Notification) {
 	if !ok {
 		return
 	}
+	d.notificationsIn.Inc()
+	d.obsIn.Inc()
 	d.mu.Lock()
-	d.notificationsIn++
 	var target *diagState
 	if c.IsComm {
 		// Communication cost counts against the consuming instance.
@@ -202,8 +224,11 @@ func (d *Diagnoser) assessLocked(st *diagState) *Proposal {
 				c += comm
 			}
 		}
-		if c <= 0 {
-			c = 1e-9
+		// NaN and ±Inf come out of degenerate windows (0/0 per-tuple
+		// divisions upstream); note that a NaN passes no ordered
+		// comparison, so it must be tested explicitly before clamping.
+		if math.IsNaN(c) || math.IsInf(c, 0) || c < d.cfg.CostFloorMs {
+			c = d.cfg.CostFloorMs
 		}
 		costs[i] = c
 	}
@@ -218,7 +243,16 @@ func (d *Diagnoser) assessLocked(st *diagState) *Proposal {
 	if !trigger {
 		return nil
 	}
-	d.proposalsOut++
+	d.proposalsOut.Inc()
+	d.obsProposals.Inc()
+	d.timeline.Append(obs.Event{
+		Kind:       obs.KindProposal,
+		Node:       string(d.node),
+		Fragment:   st.topo.Fragment,
+		OldWeights: append([]float64(nil), st.weights...),
+		NewWeights: append([]float64(nil), weights...),
+		Costs:      append([]float64(nil), costs...),
+	})
 	return &Proposal{Fragment: st.topo.Fragment, Weights: weights, Costs: costs}
 }
 

@@ -237,3 +237,76 @@ func TestAssessmentAndResponseStrings(t *testing.T) {
 		t.Error("response strings")
 	}
 }
+
+func TestDiagnoserCostFloorClampsDegenerateCosts(t *testing.T) {
+	// A clone reporting zero cost (empty M1 window, degenerate timing) used
+	// to receive an inverse weight of 1e9, i.e. essentially the whole
+	// distribution. With the cost floor it gets the floor cost instead, so
+	// the proposal stays within the floor-bounded ratio.
+	b := testBus()
+	defer b.Close()
+	d := NewDiagnoser(nil, b, "coord", DiagnoserConfig{ThresA: 0.2, CostFloorMs: 1})
+	defer d.Stop()
+	d.Register(twoInstanceTopo())
+	col := &proposalCollector{}
+	b.Subscribe("test", "coord", TopicDiagnosis, col.handler)
+
+	publishCost(b, "F2", 0, 0) // degenerate: clamped to the 1ms floor
+	publishCost(b, "F2", 1, 3)
+	got := col.wait(t, 1)
+	w := got[0].Weights
+	// Floored costs (1, 3) → weights (0.75, 0.25), not (≈1, ≈0).
+	if math.Abs(w[0]-0.75) > 1e-6 || math.Abs(w[1]-0.25) > 1e-6 {
+		t.Fatalf("W' = %v, want [0.75 0.25]", w)
+	}
+	if got[0].Costs[0] != 1 {
+		t.Fatalf("cost[0] = %v, want clamped to 1", got[0].Costs[0])
+	}
+}
+
+func TestDiagnoserSanitisesNaNAndInfCosts(t *testing.T) {
+	b := testBus()
+	defer b.Close()
+	d := NewDiagnoser(nil, b, "coord", DiagnoserConfig{ThresA: 0.2, CostFloorMs: 1})
+	defer d.Stop()
+	d.Register(twoInstanceTopo())
+	col := &proposalCollector{}
+	b.Subscribe("test", "coord", TopicDiagnosis, col.handler)
+
+	// NaN passes every ordered comparison as false, so the old `c <= 0`
+	// clamp let it through and the weights became NaN — which also defeated
+	// the thresA trigger check. Both NaN and Inf must clamp to the floor.
+	publishCost(b, "F2", 0, math.NaN())
+	publishCost(b, "F2", 1, math.Inf(1))
+	time.Sleep(20 * time.Millisecond)
+	// Both clamp to the same floor → balanced weights → no proposal.
+	if col.count() != 0 {
+		t.Fatalf("degenerate equal costs proposed: %+v", col.seen)
+	}
+	// Now a real imbalance against a NaN report must produce finite weights.
+	publishCost(b, "F2", 0, math.NaN()) // floor = 1
+	publishCost(b, "F2", 1, 4)
+	got := col.wait(t, 1)
+	for i, w := range got[0].Weights {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			t.Fatalf("weight[%d] = %v not finite", i, w)
+		}
+	}
+	if math.Abs(got[0].Weights[0]-0.8) > 1e-6 {
+		t.Fatalf("W' = %v, want [0.8 0.2]", got[0].Weights)
+	}
+}
+
+func TestDefaultDiagnoserConfigHasCostFloor(t *testing.T) {
+	if DefaultDiagnoserConfig().CostFloorMs != DefaultCostFloorMs {
+		t.Fatal("default config must carry the cost floor")
+	}
+	// The zero config gets the floor defaulted at construction.
+	b := testBus()
+	defer b.Close()
+	d := NewDiagnoser(nil, b, "coord", DiagnoserConfig{ThresA: 0.2})
+	defer d.Stop()
+	if d.cfg.CostFloorMs != DefaultCostFloorMs {
+		t.Fatalf("constructed floor = %v, want %v", d.cfg.CostFloorMs, DefaultCostFloorMs)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/bus"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 )
 
@@ -69,8 +70,13 @@ type MonitoringEventDetector struct {
 
 	stopOnce sync.Once
 
-	rawSeen  int64
-	notified int64
+	// Instance-local counters (the Stats compatibility view) and the
+	// process-wide registry aggregates they mirror into.
+	rawSeen  obs.Counter
+	notified obs.Counter
+	obsRaw   *obs.Counter
+	obsNotif *obs.Counter
+	timeline *obs.Timeline
 }
 
 // window is the per-group running state.
@@ -90,11 +96,20 @@ func NewMED(ctx context.Context, b *bus.Bus, node simnet.NodeID, cfg MEDConfig) 
 	if cfg.MinEvents <= 0 {
 		cfg.MinEvents = 3
 	}
+	// A MinEvents above the window can never be reached (the window is
+	// trimmed to cfg.Window values), which would silence the group forever.
+	if cfg.MinEvents > cfg.Window {
+		cfg.MinEvents = cfg.Window
+	}
+	o := obs.Default()
 	m := &MonitoringEventDetector{
-		node:   node,
-		bus:    b,
-		cfg:    cfg,
-		groups: make(map[string]*window),
+		node:     node,
+		bus:      b,
+		cfg:      cfg,
+		groups:   make(map[string]*window),
+		obsRaw:   o.Counter(obs.MMEDRawEvents),
+		obsNotif: o.Counter(obs.MMEDNotifications),
+		timeline: o.Timeline(),
 	}
 	m.sub = b.SubscribeContext(ctx, "med@"+string(node), node, bus.Topic(TopicRawPrefix+string(node)), m.onRaw)
 	return m
@@ -110,9 +125,7 @@ func (m *MonitoringEventDetector) Stop() {
 // forwarded; the paper's overhead analysis shows the detector filtering
 // 100–300 raw events down to about 10 notifications.
 func (m *MonitoringEventDetector) Stats() (raw, notifications int64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.rawSeen, m.notified
+	return m.rawSeen.Value(), m.notified.Value()
 }
 
 func (m *MonitoringEventDetector) onRaw(n bus.Notification) {
@@ -158,9 +171,10 @@ func (m *MonitoringEventDetector) onRaw(n bus.Notification) {
 // observe folds one value into its group window and decides whether to
 // notify.
 func (m *MonitoringEventDetector) observe(key string, value float64) (avg float64, fire bool) {
+	m.rawSeen.Inc()
+	m.obsRaw.Inc()
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.rawSeen++
 	w := m.groups[key]
 	if w == nil {
 		w = &window{}
@@ -189,17 +203,33 @@ func (m *MonitoringEventDetector) observe(key string, value float64) (avg float6
 	if fire {
 		w.everNotified = true
 		w.lastNotified = avg
-		m.notified++
+		m.notified.Inc()
+		m.obsNotif.Inc()
 	}
 	return avg, fire
 }
 
 func (m *MonitoringEventDetector) publish(n CostNotification) {
+	fragment := n.Fragment
+	if n.IsComm {
+		fragment = n.ProducerFragment
+	}
+	m.timeline.Append(obs.Event{
+		Kind:      obs.KindMEDNotify,
+		Node:      string(m.node),
+		Fragment:  fragment,
+		Key:       n.Key,
+		AvgCostMs: n.AvgCostMs,
+	})
 	m.bus.Publish("med@"+string(m.node), m.node, TopicMED, n)
 }
 
-// trimmedMean averages the values, discarding one minimum and one maximum
-// when at least three values are present (paper §3.1).
+// trimmedMean averages the values, discarding exactly one occurrence of the
+// minimum and one of the maximum when at least three values are present
+// (paper §3.1). The discarded entries are excluded by index rather than by
+// subtracting min and max from the total, so duplicate extremes are kept
+// (only one copy of each is dropped) and the result cannot drift negative
+// through floating-point cancellation when the extremes dominate the sum.
 func trimmedMean(values []float64) float64 {
 	if len(values) == 0 {
 		return 0
@@ -211,16 +241,25 @@ func trimmedMean(values []float64) float64 {
 		}
 		return sum / float64(len(values))
 	}
-	minV, maxV := values[0], values[0]
-	sum := 0.0
-	for _, v := range values {
-		if v < minV {
-			minV = v
+	minIdx, maxIdx := 0, 0
+	for i, v := range values {
+		if v < values[minIdx] {
+			minIdx = i
 		}
-		if v > maxV {
-			maxV = v
+		if v > values[maxIdx] {
+			maxIdx = i
+		}
+	}
+	if minIdx == maxIdx {
+		// All values equal: the trimmed mean is that value.
+		return values[minIdx]
+	}
+	sum := 0.0
+	for i, v := range values {
+		if i == minIdx || i == maxIdx {
+			continue
 		}
 		sum += v
 	}
-	return (sum - minV - maxV) / float64(len(values)-2)
+	return sum / float64(len(values)-2)
 }

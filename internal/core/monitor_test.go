@@ -208,10 +208,70 @@ func TestTrimmedMean(t *testing.T) {
 		{[]float64{2, 4}, 3},
 		{[]float64{1, 10, 100}, 10},          // min and max discarded
 		{[]float64{0, 10, 10, 10, 1000}, 10}, // outliers discarded
+		// Duplicate extremes: only ONE occurrence of min and of max is
+		// discarded; the remaining copies stay in the average.
+		{[]float64{1, 1, 10, 100, 100}, 37},  // (1+10+100)/3
+		{[]float64{5, 5, 5, 9}, 5},           // (5+5)/2 after dropping one 5 and the 9
+		{[]float64{0, 0, 0, 12}, 0},          // (0+0)/2
+		{[]float64{7, 7, 7}, 7},              // all equal: the value itself
+		{[]float64{0, 0, 0, 0}, 0},           // all equal at zero
+		{[]float64{-4, -4, -1, -10}, -4},     // negatives: (-4-4)/2
+		// Huge duplicate extremes must not cancel to garbage: one 9e15 stays.
+		{[]float64{9e15, 3, 3, 3, 9e15}, 3e15 + 2},
 	}
 	for _, tc := range tests {
-		if got := trimmedMean(tc.in); math.Abs(got-tc.want) > 1e-9 {
+		got := trimmedMean(tc.in)
+		if math.Abs(got-tc.want) > math.Abs(tc.want)*1e-12+1e-9 {
 			t.Errorf("trimmedMean(%v) = %v, want %v", tc.in, got, tc.want)
 		}
+	}
+	// Regression: the former sum-minus-extremes formula could return a
+	// (meaningless) tiny negative for non-negative inputs through float
+	// cancellation. Index-based discarding keeps the result in range.
+	vals := []float64{1e16, 1e-3, 1e-3, 1e16}
+	if got := trimmedMean(vals); got < 1e-3 || got > 1e16 {
+		t.Errorf("trimmedMean(%v) = %v, out of input range", vals, got)
+	}
+}
+
+func TestMEDMinEventsClampedToWindow(t *testing.T) {
+	b := testBus()
+	defer b.Close()
+	// MinEvents above the window used to make the group unreachable: the
+	// window holds at most Window values, so len(values) < MinEvents held
+	// forever. The constructor now clamps it.
+	med := NewMED(nil, b, "ws0", MEDConfig{Window: 2, ThresM: 0.2, MinEvents: 10})
+	defer med.Stop()
+	col := &costCollector{}
+	b.Subscribe("test", "coord", TopicMED, col.handler)
+	a := &MonitorAdapter{Bus: b, Node: "ws0"}
+
+	emitM1(a, "F2", 0, 10)
+	emitM1(a, "F2", 0, 10)
+	got := col.wait(t, 1)
+	if math.Abs(got[0].AvgCostMs-10) > 1e-9 {
+		t.Fatalf("avg = %v, want 10", got[0].AvgCostMs)
+	}
+}
+
+func TestMEDSmallMinEvents(t *testing.T) {
+	// MinEvents below the 3 needed for the min/max discard must still work:
+	// the average over 1 or 2 values is the plain mean.
+	for _, minEvents := range []int{1, 2} {
+		b := testBus()
+		med := NewMED(nil, b, "ws0", MEDConfig{Window: 25, ThresM: 0.2, MinEvents: minEvents})
+		col := &costCollector{}
+		b.Subscribe("test", "coord", TopicMED, col.handler)
+		a := &MonitorAdapter{Bus: b, Node: "ws0"}
+
+		for i := 0; i < minEvents; i++ {
+			emitM1(a, "F2", 0, 8)
+		}
+		got := col.wait(t, 1)
+		if math.Abs(got[0].AvgCostMs-8) > 1e-9 {
+			t.Errorf("MinEvents=%d: avg = %v, want 8", minEvents, got[0].AvgCostMs)
+		}
+		med.Stop()
+		b.Close()
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/bus"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/physical"
 	"repro/internal/simnet"
 	"repro/internal/transport"
@@ -63,13 +64,18 @@ func DefaultResponderConfig() ResponderConfig {
 	return ResponderConfig{Response: R2, MaxProgress: 0.9}
 }
 
-// ResponderStats counts response activity for the overhead experiments.
+// ResponderStats counts response activity for the overhead experiments. It
+// is a point-in-time view assembled from the responder's registry-backed
+// counters.
 type ResponderStats struct {
 	ProposalsIn  int64
 	Adaptations  int64
 	SkippedLate  int64 // vetoed by progress estimation
 	TuplesMoved  int64 // recalled or replayed retrospectively
 	StateReplays int64
+	// ProgressFallbacks counts progress checks that had no cardinality
+	// estimate and fell back to routing progress.
+	ProgressFallbacks int64
 }
 
 // AdaptationEvent is one entry of the Responder's timeline: what it decided
@@ -97,22 +103,41 @@ type AdaptationEvent struct {
 type Responder struct {
 	bus   *bus.Bus
 	tr    transport.Transport
-	node  simnet.NodeID
-	cfg   ResponderConfig
-	rpc   *rpcClient
-	clock *vtime.Clock
+	node simnet.NodeID
+	cfg  ResponderConfig
+	rpc  *rpcClient
 	// ctx scopes every control RPC to the owning query: a cancellation
 	// releases an adaptation parked mid-protocol instead of letting it wait
 	// out the RPC timeout against a torn-down fragment.
 	ctx context.Context
 
+	// clockMu guards clock: SetClock is called from the session goroutine
+	// while the subscription's delivery goroutine reads it to stamp events.
+	clockMu sync.Mutex
+	clock   *vtime.Clock
+
 	mu        sync.Mutex
 	fragments map[string]*respState
-	stats     ResponderStats
 	timeline  []AdaptationEvent
 	sub       *bus.Subscription
 
 	stopOnce sync.Once
+
+	// Instance-local counters behind the ResponderStats view.
+	proposalsIn       obs.Counter
+	adaptations       obs.Counter
+	skippedLate       obs.Counter
+	tuplesMoved       obs.Counter
+	stateReplays      obs.Counter
+	progressFallbacks obs.Counter
+
+	// Process-wide registry handles, resolved at construction.
+	outcomeCounters map[string]*obs.Counter
+	obsTuplesMoved  *obs.Counter
+	obsReplays      *obs.Counter
+	obsFallbacks    *obs.Counter
+	obsDuration     *obs.Histogram
+	otl             *obs.Timeline
 }
 
 type respState struct {
@@ -139,6 +164,7 @@ func NewResponder(ctx context.Context, b *bus.Bus, tr transport.Transport, node 
 	if cfg.MinChange <= 0 {
 		cfg.MinChange = 0.05
 	}
+	o := obs.Default()
 	r := &Responder{
 		bus:       b,
 		tr:        tr,
@@ -148,6 +174,17 @@ func NewResponder(ctx context.Context, b *bus.Bus, tr transport.Transport, node 
 		clock:     vtime.NewClock(vtime.DefaultScale),
 		fragments: make(map[string]*respState),
 		rpc:       newRPCClient(tr, node, "aqp/responder@"+string(node)),
+		outcomeCounters: map[string]*obs.Counter{
+			"adapted":      o.Counter(obs.Label(obs.MAdaptations, "outcome", "adapted")),
+			"skipped-late": o.Counter(obs.Label(obs.MAdaptations, "outcome", "skipped-late")),
+			"redundant":    o.Counter(obs.Label(obs.MAdaptations, "outcome", "redundant")),
+			"failed":       o.Counter(obs.Label(obs.MAdaptations, "outcome", "failed")),
+		},
+		obsTuplesMoved: o.Counter(obs.MTuplesMoved),
+		obsReplays:     o.Counter(obs.MStateReplays),
+		obsFallbacks:   o.Counter(obs.MProgressFallbacks),
+		obsDuration:    o.Histogram(obs.MAdaptationDuration, obs.DefBucketsLatencyMs),
+		otl:            o.Timeline(),
 	}
 	r.sub = b.SubscribeContext(ctx, "responder", node, TopicDiagnosis, r.onProposal)
 	return r
@@ -185,14 +222,31 @@ func (r *Responder) Register(topo FragmentTopology) error {
 	return nil
 }
 
-// SetClock replaces the timeline clock (call before any query runs).
-func (r *Responder) SetClock(c *vtime.Clock) { r.clock = c }
+// SetClock replaces the timeline clock. Safe against concurrently recorded
+// events (the delivery goroutine reads the clock through the same lock).
+func (r *Responder) SetClock(c *vtime.Clock) {
+	r.clockMu.Lock()
+	r.clock = c
+	r.clockMu.Unlock()
+}
+
+// nowMs stamps paper time under the clock lock.
+func (r *Responder) nowMs() float64 {
+	r.clockMu.Lock()
+	defer r.clockMu.Unlock()
+	return r.clock.NowMs()
+}
 
 // Stats returns a snapshot of the activity counters.
 func (r *Responder) Stats() ResponderStats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.stats
+	return ResponderStats{
+		ProposalsIn:       r.proposalsIn.Value(),
+		Adaptations:       r.adaptations.Value(),
+		SkippedLate:       r.skippedLate.Value(),
+		TuplesMoved:       r.tuplesMoved.Value(),
+		StateReplays:      r.stateReplays.Value(),
+		ProgressFallbacks: r.progressFallbacks.Value(),
+	}
 }
 
 // Timeline returns the recorded adaptation events in order.
@@ -206,6 +260,20 @@ func (r *Responder) record(e AdaptationEvent) {
 	r.mu.Lock()
 	r.timeline = append(r.timeline, e)
 	r.mu.Unlock()
+	r.outcomeCounters[e.Outcome].Inc()
+	if e.Outcome == "adapted" {
+		r.obsDuration.Observe(e.DurationMs)
+	}
+	r.otl.Append(obs.Event{
+		Kind:          obs.KindOutcome,
+		AtMs:          e.AtMs,
+		Node:          string(r.node),
+		Fragment:      e.Fragment,
+		Outcome:       e.Outcome,
+		Retrospective: e.Retrospective,
+		NewWeights:    append([]float64(nil), e.Weights...),
+		DurationMs:    e.DurationMs,
+	})
 }
 
 // onProposal handles one Diagnoser proposal. Proposals are processed
@@ -218,18 +286,18 @@ func (r *Responder) onProposal(n bus.Notification) {
 	}
 	r.mu.Lock()
 	st := r.fragments[p.Fragment]
-	r.stats.ProposalsIn++
 	r.mu.Unlock()
+	r.proposalsIn.Inc()
 	if st == nil {
 		return
 	}
-	start := r.clock.NowMs()
+	start := r.nowMs()
 	if err := r.adapt(st, p); err != nil {
 		// An adaptation failure must not kill the query; execution simply
 		// continues under the old distribution. Surface it on the bus for
 		// observability.
 		r.record(AdaptationEvent{AtMs: start, Fragment: p.Fragment, Outcome: "failed",
-			DurationMs: r.clock.NowMs() - start})
+			DurationMs: r.nowMs() - start})
 		r.bus.Publish("responder", r.node, "responder.error", err.Error())
 	}
 }
@@ -251,7 +319,7 @@ func (r *Responder) adapt(st *respState, p Proposal) error {
 	}
 	r.mu.Unlock()
 	if redundant {
-		r.record(AdaptationEvent{AtMs: r.clock.NowMs(), Fragment: p.Fragment, Outcome: "redundant"})
+		r.record(AdaptationEvent{AtMs: r.nowMs(), Fragment: p.Fragment, Outcome: "redundant"})
 		return nil
 	}
 
@@ -261,7 +329,7 @@ func (r *Responder) adapt(st *respState, p Proposal) error {
 	// would overestimate badly: a fast data source can finish distributing
 	// long before the slow machine's queue drains, which is precisely when
 	// retrospective redistribution pays off.
-	var processed, est int64
+	var processed, est, routed int64
 	for _, ex := range st.topo.Inputs {
 		var exEst int64
 		for _, prod := range ex.Producers {
@@ -272,6 +340,7 @@ func (r *Responder) adapt(st *respState, p Proposal) error {
 			if reply.Est > exEst {
 				exEst = reply.Est
 			}
+			routed += reply.Routed
 		}
 		est += exEst
 		for _, cons := range st.topo.Instances {
@@ -282,11 +351,30 @@ func (r *Responder) adapt(st *respState, p Proposal) error {
 			processed += reply.Routed
 		}
 	}
-	startMs := r.clock.NowMs()
-	if est > 0 && float64(processed)/float64(est) >= r.cfg.MaxProgress {
-		r.mu.Lock()
-		r.stats.SkippedLate++
-		r.mu.Unlock()
+	startMs := r.nowMs()
+	progressDenom := est
+	if est <= 0 {
+		// No cardinality estimate (the optimiser could not produce one, or
+		// the producers have not reported yet). Silently waiving the
+		// MaxProgress veto here would let near-complete executions pay the
+		// full redistribution cost for no remaining benefit, so fall back to
+		// routing progress: processed over tuples routed so far. It can only
+		// understate the denominator, making the veto fire earlier, which is
+		// the safe direction for a fallback.
+		progressDenom = routed
+		r.progressFallbacks.Inc()
+		r.obsFallbacks.Inc()
+		r.otl.Append(obs.Event{
+			Kind:     obs.KindProgressFallback,
+			AtMs:     startMs,
+			Node:     string(r.node),
+			Fragment: p.Fragment,
+			Tuples:   processed,
+			Detail:   fmt.Sprintf("no estimate; routed=%d", routed),
+		})
+	}
+	if progressDenom > 0 && float64(processed)/float64(progressDenom) >= r.cfg.MaxProgress {
+		r.skippedLate.Inc()
 		r.record(AdaptationEvent{AtMs: startMs, Fragment: p.Fragment, Outcome: "skipped-late"})
 		return nil
 	}
@@ -306,13 +394,13 @@ func (r *Responder) adapt(st *respState, p Proposal) error {
 
 	r.mu.Lock()
 	copy(st.weights, p.Weights)
-	r.stats.Adaptations++
 	r.mu.Unlock()
+	r.adaptations.Inc()
 	r.record(AdaptationEvent{
 		AtMs: startMs, Fragment: p.Fragment, Outcome: "adapted",
 		Retrospective: retrospective,
 		Weights:       append([]float64(nil), p.Weights...),
-		DurationMs:    r.clock.NowMs() - startMs,
+		DurationMs:    r.nowMs() - startMs,
 	})
 	// Notify the Diagnosers that need to update the current distribution.
 	r.bus.Publish("responder", r.node, TopicPolicy, PolicyUpdate{
@@ -390,11 +478,22 @@ func (r *Responder) adaptStatelessR1(st *respState, p Proposal) error {
 		if _, err := r.rpc.call(r.ctx, prod, msg); err != nil {
 			return err
 		}
-		r.mu.Lock()
-		r.stats.TuplesMoved += int64(len(rc.seqs))
-		r.mu.Unlock()
+		r.countMoved(st.topo.Fragment, int64(len(rc.seqs)))
 	}
 	return nil
+}
+
+// countMoved accounts one batch of retrospectively re-routed tuples.
+func (r *Responder) countMoved(fragment string, n int64) {
+	r.tuplesMoved.Add(n)
+	r.obsTuplesMoved.Add(n)
+	r.otl.Append(obs.Event{
+		Kind:     obs.KindReplay,
+		AtMs:     r.nowMs(),
+		Node:     string(r.node),
+		Fragment: fragment,
+		Tuples:   n,
+	})
 }
 
 // producerRef resolves a producer instance of one of the fragment's input
@@ -488,9 +587,16 @@ func (r *Responder) adaptStateful(st *respState, p Proposal) error {
 				&transport.Ctrl{Op: transport.CtrlReplay, Buckets: moved})); err != nil {
 				return err
 			}
-			r.mu.Lock()
-			r.stats.StateReplays++
-			r.mu.Unlock()
+			r.stateReplays.Inc()
+			r.obsReplays.Inc()
+			r.otl.Append(obs.Event{
+				Kind:          obs.KindReplay,
+				AtMs:          r.nowMs(),
+				Node:          string(r.node),
+				Fragment:      st.topo.Fragment,
+				Retrospective: true,
+				Detail:        "state replay " + ex.Exchange,
+			})
 		}
 	}
 	for _, rs := range resends {
@@ -506,9 +612,7 @@ func (r *Responder) adaptStateful(st *respState, p Proposal) error {
 		if _, err := r.rpc.call(r.ctx, prod, msg); err != nil {
 			return err
 		}
-		r.mu.Lock()
-		r.stats.TuplesMoved += int64(len(rs.seqs))
-		r.mu.Unlock()
+		r.countMoved(st.topo.Fragment, int64(len(rs.seqs)))
 	}
 	return nil
 }

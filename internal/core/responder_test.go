@@ -43,8 +43,9 @@ func (f *fakeInstance) handle(from simnet.NodeID, msg *transport.Message) {
 	switch msg.Ctrl.Op {
 	case transport.CtrlProgress:
 		// Producers report routed/est; consumers (addressed with their
-		// input exchange) report consumed via Routed.
-		if f.est > 0 {
+		// input exchange) report consumed via Routed. A producer may have
+		// routed tuples without an estimate (the fallback-path scenario).
+		if f.est > 0 || f.routed > 0 {
 			reply.Routed, reply.Est = f.routed, f.est
 		} else {
 			reply.Routed = f.consumed
@@ -216,5 +217,113 @@ func TestResponderIgnoresUnknownFragment(t *testing.T) {
 func TestTopologyOfEmptyPlan(t *testing.T) {
 	if got := TopologyOf(&physical.Plan{}, 64); len(got) != 0 {
 		t.Fatalf("empty plan topology = %v", got)
+	}
+}
+
+func TestResponderProgressFallbackWithoutEstimate(t *testing.T) {
+	// No cardinality estimate used to disable the MaxProgress veto
+	// entirely (`est > 0 && ...` short-circuited false). The responder now
+	// falls back to routing progress: processed over tuples routed so far.
+	r, b, prod, cons := responderHarness(t, ResponderConfig{Response: R2, MaxProgress: 0.9})
+	prod.mu.Lock()
+	prod.est = 0
+	prod.routed = 1000
+	prod.mu.Unlock()
+	for _, c := range cons {
+		c.mu.Lock()
+		c.consumed = 480 // 960/1000 routed: nearly drained
+		c.mu.Unlock()
+	}
+	b.Publish("diagnoser", "coord", TopicDiagnosis, Proposal{
+		Fragment: "F2", Weights: []float64{0.9, 0.1},
+	})
+	st := waitStats(t, r, func(s ResponderStats) bool { return s.SkippedLate == 1 })
+	if st.Adaptations != 0 {
+		t.Fatalf("adaptation ran without estimate at 96%% progress: %+v", st)
+	}
+	if st.ProgressFallbacks != 1 {
+		t.Fatalf("fallback not counted: %+v", st)
+	}
+	if prod.sawOp(transport.CtrlSetWeights) {
+		t.Fatal("weights changed despite fallback veto")
+	}
+}
+
+func TestResponderProgressFallbackAllowsEarlyAdaptation(t *testing.T) {
+	// The fallback must veto only near-complete executions; early ones
+	// still adapt (and the fallback is still counted for observability).
+	r, b, prod, cons := responderHarness(t, ResponderConfig{Response: R2, MaxProgress: 0.9})
+	prod.mu.Lock()
+	prod.est = 0
+	prod.routed = 1000
+	prod.mu.Unlock()
+	for _, c := range cons {
+		c.mu.Lock()
+		c.consumed = 100 // 200/1000: early
+		c.mu.Unlock()
+	}
+	b.Publish("diagnoser", "coord", TopicDiagnosis, Proposal{
+		Fragment: "F2", Weights: []float64{0.9, 0.1},
+	})
+	st := waitStats(t, r, func(s ResponderStats) bool { return s.Adaptations == 1 })
+	if st.ProgressFallbacks != 1 || st.SkippedLate != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if !prod.sawOp(transport.CtrlSetWeights) {
+		t.Fatal("producer never received the new weights")
+	}
+}
+
+func TestResponderStatsAndClockConcurrent(t *testing.T) {
+	// Stats(), Timeline() and SetClock() are documented as callable from
+	// other goroutines while proposals are being processed; run them against
+	// a stream of adaptations so `go test -race` can check the claim.
+	r, b, prod, _ := responderHarness(t, ResponderConfig{Response: R2, MaxProgress: 0.9, MinChange: 0.01})
+	prod.mu.Lock()
+	prod.routed = 100
+	prod.mu.Unlock()
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(2)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = r.Stats()
+				_ = r.Timeline()
+			}
+		}
+	}()
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				r.SetClock(vtime.NewClock(time.Microsecond))
+			}
+		}
+	}()
+
+	// Pace the publisher on the delivery counter: the bus's bounded
+	// subscription ring would drop a burst faster than the adapt RPCs drain.
+	for i := 0; i < 25; i++ {
+		w := 0.3 + 0.4*float64(i%2) // alternate 0.3/0.7 so none is redundant
+		b.Publish("diagnoser", "coord", TopicDiagnosis, Proposal{
+			Fragment: "F2", Weights: []float64{w, 1 - w},
+		})
+		want := int64(i + 1)
+		waitStats(t, r, func(s ResponderStats) bool { return s.ProposalsIn == want })
+	}
+	close(stop)
+	readers.Wait()
+	st := r.Stats()
+	if st.Adaptations == 0 {
+		t.Fatalf("no adaptations processed: %+v", st)
 	}
 }

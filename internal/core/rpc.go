@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/qerr"
 	"repro/internal/simnet"
 	"repro/internal/transport"
@@ -23,15 +24,21 @@ type rpcClient struct {
 	mu      sync.Mutex
 	nextID  uint64
 	pending map[uint64]chan *transport.Ctrl
+
+	latency *obs.Histogram
+	errors  *obs.Counter
 }
 
 func newRPCClient(tr transport.Transport, node simnet.NodeID, service string) *rpcClient {
+	o := obs.Default()
 	c := &rpcClient{
 		tr:      tr,
 		node:    node,
 		service: service,
 		timeout: 60 * time.Second,
 		pending: make(map[uint64]chan *transport.Ctrl),
+		latency: o.Histogram(obs.MRPCLatency, obs.DefBucketsLatencyMs),
+		errors:  o.Counter(obs.MRPCErrors),
 	}
 	tr.Register(node, service, c.onReply)
 	return c
@@ -62,6 +69,8 @@ func (c *rpcClient) call(ctx context.Context, to InstanceRef, msg *transport.Mes
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	begun := time.Now()
+	defer func() { c.latency.Observe(float64(time.Since(begun)) / float64(time.Millisecond)) }()
 	c.mu.Lock()
 	c.nextID++
 	id := c.nextID
@@ -76,11 +85,13 @@ func (c *rpcClient) call(ctx context.Context, to InstanceRef, msg *transport.Mes
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
+		c.errors.Inc()
 		return nil, qerr.Transport(fmt.Sprintf("%v to %s", msg.Ctrl.Op, to.Service), err)
 	}
 	select {
 	case reply := <-ch:
 		if !reply.OK && reply.Err != "" {
+			c.errors.Inc()
 			return reply, fmt.Errorf("core: %v on %s: %s", msg.Ctrl.Op, to.Service, reply.Err)
 		}
 		return reply, nil
@@ -88,11 +99,13 @@ func (c *rpcClient) call(ctx context.Context, to InstanceRef, msg *transport.Mes
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
+		c.errors.Inc()
 		return nil, qerr.FromContext(ctx)
 	case <-time.After(c.timeout):
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
+		c.errors.Inc()
 		return nil, qerr.Transport(fmt.Sprintf("%v on %s", msg.Ctrl.Op, to.Service),
 			fmt.Errorf("core: reply timed out after %v", c.timeout))
 	}

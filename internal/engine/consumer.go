@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/simnet"
 	"repro/internal/transport"
@@ -68,6 +69,8 @@ type Consumer struct {
 	waitMs   float64
 	closed   bool
 
+	obsConsumed *obs.Counter
+
 	// stateTarget receives replayed state tuples (hash-join build side).
 	stateTarget StateTarget
 }
@@ -85,6 +88,7 @@ func newConsumer(exchange string, consumerIdx int, producers []Addr, stateful bo
 		tr:          tr,
 		node:        node,
 		streams:     make([]*streamState, len(producers)),
+		obsConsumed: obs.Default().Counter(obs.Label(obs.MExchangeTuplesConsumed, "exchange", exchange)),
 	}
 	for i := range c.streams {
 		c.streams[i] = &streamState{
@@ -120,6 +124,7 @@ func (c *Consumer) Next() (relation.Tuple, bool, error) {
 			c.gate.inflight++
 			c.consumed++
 			c.gate.mu.Unlock()
+			c.obsConsumed.Inc()
 			return e.tuple, true, nil
 		}
 		if c.closed || (c.eos == len(c.Producers) && len(c.queue) == 0 && !c.gate.paused) {
@@ -167,6 +172,7 @@ func (c *Consumer) NextBatch(dst *relation.Batch) (int, error) {
 			c.gate.inflight += n
 			c.consumed += int64(n)
 			c.gate.mu.Unlock()
+			c.obsConsumed.Add(int64(n))
 			return n, nil
 		}
 		if c.closed || (c.eos == len(c.Producers) && len(c.queue) == 0 && !c.gate.paused) {

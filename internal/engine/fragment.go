@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/logical"
+	"repro/internal/obs"
 	"repro/internal/physical"
 	"repro/internal/qerr"
 	"repro/internal/relation"
@@ -63,6 +64,11 @@ type FragmentRuntime struct {
 	err      error
 	produced int64
 
+	// Registry handles, resolved once per instance; the driver's inner loop
+	// touches them with one atomic op per batch.
+	obsProduced  *obs.Counter
+	obsBatchSize *obs.Histogram
+
 	stopOnce sync.Once
 }
 
@@ -70,11 +76,14 @@ type FragmentRuntime struct {
 // exchanges, and registers the instance's transport service. Call Run to
 // start the driver and Stop to tear the instance down.
 func NewFragmentRuntime(cfg RuntimeConfig) (*FragmentRuntime, error) {
+	o := obs.Default()
 	r := &FragmentRuntime{
-		cfg:       cfg,
-		gate:      newFlowGate(),
-		consumers: make(map[string]*Consumer),
-		service:   "frag/" + cfg.Fragment.InstanceID(cfg.Instance),
+		cfg:          cfg,
+		gate:         newFlowGate(),
+		consumers:    make(map[string]*Consumer),
+		service:      "frag/" + cfg.Fragment.InstanceID(cfg.Instance),
+		obsProduced:  o.Counter(obs.Label(obs.MEngineTuplesProduced, "fragment", cfg.Fragment.ID)),
+		obsBatchSize: o.Histogram(obs.MEngineBatchSize, obs.DefBucketsSize),
 	}
 	root, err := r.compile(cfg.Fragment.Root)
 	if err != nil {
@@ -356,6 +365,8 @@ func (r *FragmentRuntime) Run(ctx context.Context) error {
 		r.produced += int64(n)
 		produced := r.produced
 		r.mu.Unlock()
+		r.obsProduced.Add(int64(n))
+		r.obsBatchSize.Observe(float64(n))
 		sinceM1 += int64(n)
 		if monitoring && sinceM1 >= int64(ectx.MonitorEvery) {
 			charged := ectx.Meter.ChargedMs()

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/qerr"
 	"repro/internal/relation"
 	"repro/internal/simnet"
@@ -77,6 +78,9 @@ type Producer struct {
 	// routeConsumers/routeBuckets are SendBatch's reusable routing scratch.
 	routeConsumers []int
 	routeBuckets   []int32
+
+	obsRouted  *obs.Counter
+	obsBuffers *obs.Counter
 }
 
 type bufEntry struct {
@@ -121,6 +125,8 @@ func NewProducer(cfg ProducerConfig) *Producer {
 		logs:             make([]map[int64]logEntry, n),
 		nextSeq:          make([]int64, n),
 		sinceCkpt:        make([]int, n),
+		obsRouted:        obs.Default().Counter(obs.Label(obs.MExchangeTuplesRouted, "exchange", cfg.Exchange)),
+		obsBuffers:       obs.Default().Counter(obs.Label(obs.MExchangeBuffersSent, "exchange", cfg.Exchange)),
 	}
 	if p.bufferTuples <= 0 {
 		p.bufferTuples = DefaultBufferTuples
@@ -204,6 +210,7 @@ func (p *Producer) SendBatch(ts []relation.Tuple) error {
 			}
 		}
 	}
+	p.obsRouted.Add(int64(len(ts)))
 	return nil
 }
 
@@ -260,6 +267,7 @@ func (p *Producer) flushLocked(consumer int, replay bool) error {
 		return qerr.Transport(fmt.Sprintf("exchange %s flush to %s", p.Exchange, addr.Service), err)
 	}
 	p.buffersSent++
+	p.obsBuffers.Inc()
 	if p.ctx != nil && p.ctx.Monitor != nil {
 		p.ctx.Monitor.EmitM2(M2Event{
 			Exchange:         p.Exchange,

@@ -241,6 +241,8 @@ func All() []Result {
 		{"BatchChain", BatchChain, chainRows},
 		{"BusPublishDeliverBounded", BusPublishDeliverBounded, 1},
 		{"BusPublishDeliverUnbounded", BusPublishDeliverUnbounded, 1},
+		{"ObsMonitoringOverhead", ObsMonitoringOverhead, chainRows},
+		{"ObsMonitoringOverheadBaseline", ObsMonitoringOverheadBaseline, chainRows},
 	}
 	var out []Result
 	for _, s := range specs {

@@ -21,6 +21,29 @@ func BenchmarkVolcanoVsBatch(b *testing.B) {
 	b.Run("batch", BatchChain)
 }
 
+// BenchmarkObsMonitoringOverhead compares the batch drain with live registry
+// handles against the same drain with instrumentation disabled.
+func BenchmarkObsMonitoringOverhead(b *testing.B) {
+	b.Run("instrumented", ObsMonitoringOverhead)
+	b.Run("baseline", ObsMonitoringOverheadBaseline)
+}
+
+// TestObsOverheadWithinBudget pins the observability acceptance bar: the
+// instrumented hot path must regress the uninstrumented drain by at most 5%.
+func TestObsOverheadWithinBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark comparison")
+	}
+	base := testing.Benchmark(ObsMonitoringOverheadBaseline)
+	inst := testing.Benchmark(ObsMonitoringOverhead)
+	baseNs := float64(base.T.Nanoseconds()) / float64(base.N)
+	instNs := float64(inst.T.Nanoseconds()) / float64(inst.N)
+	if instNs > baseNs*1.05 {
+		t.Errorf("instrumented drain %.0f ns/op vs baseline %.0f ns/op: overhead %.1f%%, budget 5%%",
+			instNs, baseNs, (instNs/baseNs-1)*100)
+	}
+}
+
 // TestBatchBeatsVolcano pins the PR's acceptance bar: the batch path must be
 // at least 2x the throughput of the volcano path with at least 5x fewer
 // allocations per drained chain.

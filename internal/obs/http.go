@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"strconv"
+)
+
+// Handler serves the observability layer over HTTP:
+//
+//	GET /metrics   — Prometheus text exposition of the registry
+//	GET /timeline  — JSON dump of the adaptation timeline, oldest first;
+//	                 ?fragment=F filters to one fragment's events,
+//	                 ?since=SEQ returns only events with Seq > SEQ
+//
+// A nil Obs serves empty documents, so the endpoint can be mounted
+// unconditionally.
+func Handler(o *Obs) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		o.Registry().WritePrometheus(w)
+	})
+	mux.HandleFunc("/timeline", func(w http.ResponseWriter, r *http.Request) {
+		events := o.Timeline().Events()
+		if frag := r.URL.Query().Get("fragment"); frag != "" {
+			kept := events[:0]
+			for _, e := range events {
+				if e.Fragment == frag {
+					kept = append(kept, e)
+				}
+			}
+			events = kept
+		}
+		if s := r.URL.Query().Get("since"); s != "" {
+			since, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			kept := events[:0]
+			for _, e := range events {
+				if e.Seq > since {
+					kept = append(kept, e)
+				}
+			}
+			events = kept
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Evicted int64   `json:"evicted"`
+			Events  []Event `json:"events"`
+		}{Evicted: o.Timeline().Evicted(), Events: events})
+	})
+	return mux
+}
+
+// Serve mounts Handler(o) on addr in a background goroutine, returning the
+// server (for Close) and the bound address (useful with ":0"), or an error
+// if the listener cannot bind. It is the one-liner the cmd/ binaries use
+// behind their -metrics flags.
+func Serve(addr string, o *Obs) (*http.Server, string, error) {
+	srv := &http.Server{Addr: addr, Handler: Handler(o)}
+	// Bind synchronously so a bad address fails here, not inside the
+	// goroutine.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}

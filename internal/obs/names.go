@@ -1,0 +1,44 @@
+package obs
+
+// Canonical metric names, so the packages instrumenting them and the tests
+// asserting on /metrics output agree on spelling. Label sets are noted per
+// metric.
+const (
+	// Engine (label: fragment).
+	MEngineTuplesProduced = "engine_tuples_produced_total"
+	MEngineBatchSize      = "engine_batch_size"
+
+	// Exchanges (label: exchange).
+	MExchangeTuplesRouted   = "exchange_tuples_routed_total"
+	MExchangeBuffersSent    = "exchange_buffers_sent_total"
+	MExchangeTuplesConsumed = "exchange_tuples_consumed_total"
+
+	// Bus (no labels; per-topic detail stays in bus.Stats).
+	MBusPublished  = "bus_published_total"
+	MBusDelivered  = "bus_delivered_total"
+	MBusDropped    = "bus_dropped_total"
+	MBusQueueDepth = "bus_queue_depth"
+
+	// Monitoring components.
+	MMEDRawEvents        = "med_raw_events_total"
+	MMEDNotifications    = "med_notifications_total"
+	MDiagNotificationsIn = "diagnoser_notifications_in_total"
+	MDiagProposals       = "diagnoser_proposals_total"
+	// Responder outcomes (label: outcome = adapted|skipped-late|redundant|failed).
+	MAdaptations        = "adaptations_total"
+	MTuplesMoved        = "adaptation_tuples_moved_total"
+	MStateReplays       = "adaptation_state_replays_total"
+	MProgressFallbacks  = "adaptation_progress_fallbacks_total"
+	MAdaptationDuration = "adaptation_duration_ms"
+
+	// Control-plane RPC.
+	MRPCLatency = "rpc_latency_ms"
+	MRPCErrors  = "rpc_errors_total"
+
+	// Transport (label: kind = local|remote for tcp; none for inproc).
+	MTransportMessages = "transport_messages_total"
+
+	// Query lifecycle (label: outcome = ok|error).
+	MQueries      = "queries_total"
+	MSessionsOpen = "sessions_open"
+)

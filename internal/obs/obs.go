@@ -1,0 +1,67 @@
+package obs
+
+import "sync/atomic"
+
+// Obs bundles the metrics registry and the adaptation timeline — the two
+// halves of the observability layer — behind one handle. All methods are
+// safe on a nil *Obs: they return nil sub-handles whose operations are
+// no-ops, which is how instrumentation is disabled for overhead baselines.
+type Obs struct {
+	reg *Registry
+	tl  *Timeline
+}
+
+// New builds a fresh, empty observability layer.
+func New() *Obs {
+	return &Obs{reg: NewRegistry(), tl: NewTimeline(0)}
+}
+
+// Registry exposes the metrics registry (nil on a nil Obs).
+func (o *Obs) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Timeline exposes the adaptation timeline (nil on a nil Obs).
+func (o *Obs) Timeline() *Timeline {
+	if o == nil {
+		return nil
+	}
+	return o.tl
+}
+
+// Counter resolves a counter handle (nil, and so no-op, on a nil Obs).
+func (o *Obs) Counter(name string) *Counter { return o.Registry().Counter(name) }
+
+// Gauge resolves a gauge handle.
+func (o *Obs) Gauge(name string) *Gauge { return o.Registry().Gauge(name) }
+
+// Histogram resolves a histogram handle.
+func (o *Obs) Histogram(name string, bounds []float64) *Histogram {
+	return o.Registry().Histogram(name, bounds)
+}
+
+// Record appends a timeline event.
+func (o *Obs) Record(e Event) { o.Timeline().Append(e) }
+
+// def is the process-wide default, swapped atomically so benchmarks can
+// disable instrumentation without synchronising with running components
+// (components resolve handles at construction, so a swap affects only
+// components built afterwards).
+var def atomic.Pointer[Obs]
+
+func init() {
+	def.Store(New())
+}
+
+// Default returns the process-wide observability layer. It may be nil after
+// SetDefault(nil); every use is nil-safe.
+func Default() *Obs { return def.Load() }
+
+// SetDefault replaces the process-wide layer and returns the previous one.
+// Passing nil disables instrumentation for components constructed
+// afterwards; passing New() gives a fresh, empty layer (used by tests and
+// overhead benchmarks).
+func SetDefault(o *Obs) *Obs { return def.Swap(o) }

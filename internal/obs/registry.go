@@ -1,0 +1,342 @@
+// Package obs is the process-wide observability layer: a low-overhead
+// metrics registry (atomic counters, gauges, bounded histograms) plus a
+// structured adaptation timeline (see timeline.go) that together make the
+// monitoring→diagnosis→response loop of the AQP architecture visible from
+// outside the process. R-GMA's lesson — that grid monitoring should itself
+// be a uniformly queryable data source — is applied here in miniature: every
+// component publishes into one registry, and one endpoint (see http.go)
+// exposes it in the Prometheus text format.
+//
+// Hot-path discipline: components resolve metric handles once, at
+// construction, and instrument with plain atomic operations per event or per
+// batch. Every handle method is safe on a nil receiver and compiles to a
+// single branch when instrumentation is disabled, so the engine's inner
+// loops carry no conditional wiring.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. Safe on a nil receiver (no-op).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. Safe on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the current count. A nil counter reads zero.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down (queue depths, open sessions).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v. Safe on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by delta. Safe on a nil receiver.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value reads the gauge. A nil gauge reads zero.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bound, cumulative-bucket histogram. Bounds are set at
+// registration and immutable afterwards, so Observe is lock-free: one atomic
+// add on the bucket plus a CAS loop folding the value into the sum.
+type Histogram struct {
+	bounds []float64      // upper bounds, ascending; +Inf bucket is implicit
+	counts []atomic.Int64 // len(bounds)+1
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// Observe records one value. Safe on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count reads the total number of observations. A nil histogram reads zero.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reads the sum of observed values. A nil histogram reads zero.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// DefBucketsLatencyMs suits RPC and adaptation latencies in paper
+// milliseconds.
+var DefBucketsLatencyMs = []float64{0.1, 0.5, 1, 5, 10, 50, 100, 500, 1000, 5000, 10000}
+
+// DefBucketsSize suits tuple counts per batch/buffer and queue depths.
+var DefBucketsSize = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096}
+
+// Registry holds the process's metrics. The zero value is not usable; use
+// NewRegistry. Lookups take a mutex; the returned handles are lock-free.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+	// help records optional HELP strings per metric family.
+	help map[string]string
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
+		hists:  make(map[string]*Histogram),
+		help:   make(map[string]string),
+	}
+}
+
+// Counter returns (registering on first use) the counter named name. The
+// name may carry a label suffix built with Label. A nil registry returns a
+// nil handle, whose methods are no-ops.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counts[name]
+	if c == nil {
+		c = &Counter{}
+		r.counts[name] = c
+	}
+	return c
+}
+
+// Gauge returns (registering on first use) the gauge named name. A nil
+// registry returns a nil handle.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (registering on first use) the histogram named name with
+// the given ascending upper bounds; bounds are fixed by the first
+// registration. A nil registry returns a nil handle.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]atomic.Int64, len(bounds)+1),
+		}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Help attaches a HELP string to a metric family (the name without labels).
+func (r *Registry) Help(family, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.help[family] = help
+	r.mu.Unlock()
+}
+
+// Label appends a {k="v",...} label suffix to a metric name. Values are
+// escaped per the Prometheus text format.
+func Label(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// family splits a possibly-labeled metric name into its family and label
+// suffix ("x{a=\"b\"}" → "x", `{a="b"}`).
+func family(name string) (fam, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], name[i:]
+	}
+	return name, ""
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format, grouped by family and sorted, so the output is diff-stable.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	type sample struct {
+		name  string
+		value string
+	}
+	families := make(map[string][]sample)
+	kinds := make(map[string]string)
+	add := func(name, kind, value string) {
+		fam, _ := family(name)
+		families[fam] = append(families[fam], sample{name: name, value: value})
+		kinds[fam] = kind
+	}
+	for name, c := range r.counts {
+		add(name, "counter", fmt.Sprintf("%d", c.Value()))
+	}
+	for name, g := range r.gauges {
+		add(name, "gauge", fmt.Sprintf("%d", g.Value()))
+	}
+	type histDump struct {
+		name   string
+		bounds []float64
+		counts []int64
+		count  int64
+		sum    float64
+	}
+	var hists []histDump
+	for name, h := range r.hists {
+		d := histDump{name: name, bounds: h.bounds, count: h.Count(), sum: h.Sum()}
+		d.counts = make([]int64, len(h.counts))
+		for i := range h.counts {
+			d.counts[i] = h.counts[i].Load()
+		}
+		hists = append(hists, d)
+	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+
+	var fams []string
+	for fam := range families {
+		fams = append(fams, fam)
+	}
+	sort.Strings(fams)
+	for _, fam := range fams {
+		if h := help[fam]; h != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", fam, h)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", fam, kinds[fam])
+		samples := families[fam]
+		sort.Slice(samples, func(i, j int) bool { return samples[i].name < samples[j].name })
+		for _, s := range samples {
+			fmt.Fprintf(w, "%s %s\n", s.name, s.value)
+		}
+	}
+
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+	for _, h := range hists {
+		fam, labels := family(h.name)
+		if hs := help[fam]; hs != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", fam, hs)
+		}
+		fmt.Fprintf(w, "# TYPE %s histogram\n", fam)
+		cum := int64(0)
+		for i, bound := range h.bounds {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "%s %d\n", bucketName(fam, labels, fmt.Sprintf("%g", bound)), cum)
+		}
+		fmt.Fprintf(w, "%s %d\n", bucketName(fam, labels, "+Inf"), h.count)
+		fmt.Fprintf(w, "%s%s %g\n", fam+"_sum", labels, h.sum)
+		fmt.Fprintf(w, "%s%s %d\n", fam+"_count", labels, h.count)
+	}
+}
+
+// bucketName builds fam_bucket{...,le="bound"} merging any existing labels.
+func bucketName(fam, labels, le string) string {
+	if labels == "" {
+		return fmt.Sprintf(`%s_bucket{le="%s"}`, fam, le)
+	}
+	// labels is `{...}`: splice le in before the closing brace.
+	return fmt.Sprintf(`%s_bucket%s,le="%s"}`, fam, labels[:len(labels)-1], le)
+}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/logical"
+	"repro/internal/obs"
 	"repro/internal/physical"
 	"repro/internal/qerr"
 	"repro/internal/relation"
@@ -98,6 +99,9 @@ type QueryStats struct {
 	SkippedLate      int64
 	TuplesMoved      int64
 	StateReplays     int64
+	// ProgressFallbacks counts progress checks that used routing progress
+	// because no cardinality estimate was available.
+	ProgressFallbacks int64
 	// Timeline records every Responder decision with timestamps.
 	Timeline []core.AdaptationEvent
 }
@@ -149,17 +153,24 @@ func (g *GDQS) Execute(ctx context.Context, query string) (*QueryResult, error) 
 
 // run deploys and executes a scheduled plan inside a QuerySession.
 func (g *GDQS) run(ctx context.Context, plan *physical.Plan) (*QueryResult, error) {
+	o := obs.Default()
+	open := o.Gauge(obs.MSessionsOpen)
+	open.Add(1)
+	defer open.Add(-1)
 	start := time.Now()
 	s, err := newQuerySession(ctx, g, plan)
 	if err != nil {
+		o.Counter(obs.Label(obs.MQueries, "outcome", "error")).Inc()
 		return nil, err
 	}
 	defer s.Close()
 
 	rows, err := s.run()
 	if err != nil {
+		o.Counter(obs.Label(obs.MQueries, "outcome", "error")).Inc()
 		return nil, err
 	}
+	o.Counter(obs.Label(obs.MQueries, "outcome", "ok")).Inc()
 	return &QueryResult{
 		Columns: plan.Top().Root.OutSchema().Columns(),
 		Rows:    rows,

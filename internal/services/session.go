@@ -262,6 +262,7 @@ func (s *QuerySession) stats(responseMs float64, rows int) QueryStats {
 		st.SkippedLate = rs.SkippedLate
 		st.TuplesMoved = rs.TuplesMoved
 		st.StateReplays = rs.StateReplays
+		st.ProgressFallbacks = rs.ProgressFallbacks
 		st.Timeline = s.responder.Timeline()
 	}
 	return st

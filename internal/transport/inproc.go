@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/simnet"
 )
 
@@ -16,6 +17,8 @@ type InProc struct {
 
 	mu        sync.RWMutex
 	endpoints map[endpointKey]Handler
+
+	obsSent *obs.Counter
 }
 
 type endpointKey struct {
@@ -25,7 +28,11 @@ type endpointKey struct {
 
 // NewInProc builds an in-process transport over the simulated network.
 func NewInProc(net *simnet.Network) *InProc {
-	return &InProc{net: net, endpoints: make(map[endpointKey]Handler)}
+	return &InProc{
+		net:       net,
+		endpoints: make(map[endpointKey]Handler),
+		obsSent:   obs.Default().Counter(obs.Label(obs.MTransportMessages, "kind", "inproc")),
+	}
 }
 
 // Register implements Transport.
@@ -52,6 +59,7 @@ func (t *InProc) Send(from, to simnet.NodeID, service string, msg *Message) (flo
 		return 0, fmt.Errorf("transport: no endpoint %q on node %q", service, to)
 	}
 	cost := t.net.Link(from, to).Transmit(t.net.Clock(), msg.WireSize())
+	t.obsSent.Inc()
 	h(from, msg)
 	return cost, nil
 }

@@ -8,6 +8,7 @@ import (
 	"net"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/simnet"
 )
@@ -31,6 +32,9 @@ type TCP struct {
 	accepted  []net.Conn
 	closed    bool
 	wg        sync.WaitGroup
+
+	obsLocal  *obs.Counter
+	obsRemote *obs.Counter
 }
 
 type tcpConn struct {
@@ -52,6 +56,8 @@ func NewTCP(local simnet.NodeID, listenAddr string) (*TCP, error) {
 		peers:     make(map[simnet.NodeID]string),
 		conns:     make(map[simnet.NodeID]*tcpConn),
 		endpoints: make(map[string]Handler),
+		obsLocal:  obs.Default().Counter(obs.Label(obs.MTransportMessages, "kind", "local")),
+		obsRemote: obs.Default().Counter(obs.Label(obs.MTransportMessages, "kind", "remote")),
 	}
 	if listenAddr != "" {
 		ln, err := net.Listen("tcp", listenAddr)
@@ -106,6 +112,7 @@ func (t *TCP) Send(from, to simnet.NodeID, service string, msg *Message) (float6
 		if h == nil {
 			return 0, fmt.Errorf("transport: no local endpoint %q", service)
 		}
+		t.obsLocal.Inc()
 		h(from, msg)
 		return 0, nil
 	}
@@ -138,6 +145,7 @@ func (t *TCP) Send(from, to simnet.NodeID, service string, msg *Message) (float6
 		t.dropConn(to)
 		return 0, err
 	}
+	t.obsRemote.Inc()
 	return 0, nil
 }
 
