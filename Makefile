@@ -1,9 +1,10 @@
 GO ?= go
 
-.PHONY: check vet build test race bench micro experiments fuzz
+.PHONY: check vet build test race bench benchgate micro experiments fuzz
 
-## check: the full tier-1 gate — vet, build, and the test suite under -race.
-check: vet build race
+## check: the full tier-1 gate — vet, build, the test suite under -race, and
+## the benchmark regression gate (SKIP_BENCH_GATE=1 skips it on noisy runners).
+check: vet build race benchgate
 
 vet:
 	$(GO) vet ./...
@@ -20,6 +21,11 @@ race:
 ## bench: the engine micro-benchmarks (codec, producer, volcano vs batch).
 bench:
 	$(GO) test ./internal/microbench/ -bench . -benchmem -run xxx
+
+## benchgate: fail if any micro-benchmark ns_per_op regresses >25% against
+## the committed BENCH_micro.json baseline.
+benchgate:
+	$(GO) run ./cmd/dqp-experiments -benchgate BENCH_micro.json
 
 ## micro: write the micro-benchmark results to BENCH_micro.json.
 micro:

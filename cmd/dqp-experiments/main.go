@@ -34,8 +34,11 @@ func main() {
 	out := flag.String("o", "EXPERIMENTS.md", "output file ('-' for stdout)")
 	only := flag.String("only", "", "comma-separated experiment subset (Table1,Fig2a,Fig2b,Fig3a,Fig3b,Fig4,Fig5,Overheads,MonitoringFrequency)")
 	micro := flag.String("micro", "", "run the engine micro-benchmarks and write JSON results to this file ('-' for stdout), skipping the experiments")
+	benchgate := flag.String("benchgate", "", "rerun the micro-benchmarks and exit non-zero if any ns_per_op regresses >25% against this baseline JSON (set SKIP_BENCH_GATE=1 to skip on noisy runners)")
+	parallel := flag.Int("parallel", 0, "morsel worker-pool width per fragment driver (0/1 serial, negative = GOMAXPROCS)")
 	metrics := flag.String("metrics", "", "HTTP listen address for /metrics and /timeline while the suite runs (e.g. :9090; empty disables)")
 	flag.Parse()
+	exp.DefaultParallelism = *parallel
 
 	if *metrics != "" {
 		srv, bound, err := obs.Serve(*metrics, obs.Default())
@@ -50,6 +53,18 @@ func main() {
 	if *micro != "" {
 		if err := runMicro(*micro); err != nil {
 			fmt.Fprintf(os.Stderr, "dqp-experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *benchgate != "" {
+		ok, err := runBenchGate(*benchgate)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dqp-experiments: %v\n", err)
+			os.Exit(1)
+		}
+		if !ok {
 			os.Exit(1)
 		}
 		return
@@ -111,6 +126,50 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}
+
+// runBenchGate reruns the micro-benchmarks and compares ns_per_op against
+// the recorded baseline; regressions beyond the tolerance fail the gate.
+func runBenchGate(baselinePath string) (bool, error) {
+	if os.Getenv("SKIP_BENCH_GATE") != "" {
+		fmt.Fprintln(os.Stderr, "bench gate: skipped (SKIP_BENCH_GATE set)")
+		return true, nil
+	}
+	baseline, err := microbench.LoadBaseline(baselinePath)
+	if err != nil {
+		return false, err
+	}
+	fmt.Fprintln(os.Stderr, "bench gate: rerunning micro-benchmarks ...")
+	current := microbench.All()
+	regs := microbench.Gate(baseline, current, microbench.DefaultGateTolerance)
+	// A single testing.Benchmark measurement can come in 30%+ slow on a shared
+	// runner; retry each flagged benchmark and keep its fastest time, so only a
+	// reproducible slowdown fails the gate.
+	for attempt := 0; attempt < 2 && len(regs) > 0; attempt++ {
+		retried := make([]microbench.Result, 0, len(regs))
+		for _, reg := range regs {
+			fmt.Fprintf(os.Stderr, "bench gate: retrying %s (%.1f ns/op vs baseline %.1f)\n",
+				reg.Name, reg.CurrentNs, reg.BaselineNs)
+			r, ok := microbench.Run(reg.Name)
+			if !ok {
+				continue
+			}
+			if reg.CurrentNs < r.NsPerOp {
+				r.NsPerOp = reg.CurrentNs
+			}
+			retried = append(retried, r)
+		}
+		regs = microbench.Gate(baseline, retried, microbench.DefaultGateTolerance)
+	}
+	if len(regs) == 0 {
+		fmt.Fprintf(os.Stderr, "bench gate: ok (%d benchmarks within %.0f%% of %s)\n",
+			len(current), microbench.DefaultGateTolerance*100, baselinePath)
+		return true, nil
+	}
+	for _, r := range regs {
+		fmt.Fprintf(os.Stderr, "bench gate: REGRESSION %s\n", r)
+	}
+	return false, nil
 }
 
 // runMicro executes the micro-benchmark suite and writes the results as

@@ -32,6 +32,7 @@ func main() {
 		sequences    = flag.Int("sequences", 3000, "protein_sequences cardinality")
 		interactions = flag.Int("interactions", 4700, "protein_interactions cardinality")
 		monitorEvery = flag.Int("monitor-every", 10, "M1 frequency in tuples (0 disables)")
+		parallel     = flag.Int("parallel", 0, "morsel worker-pool width per fragment driver (0/1 serial, negative = GOMAXPROCS)")
 		scale        = flag.Duration("scale", 10*time.Microsecond, "real duration of one paper millisecond")
 		showRows     = flag.Int("rows", 5, "result rows to print (-1 for all)")
 		explain      = flag.Bool("explain", false, "print the plan instead of executing")
@@ -65,6 +66,9 @@ func main() {
 	}
 
 	var opts []repro.CoordinatorOption
+	if *parallel != 0 {
+		opts = append(opts, repro.Parallel(*parallel))
+	}
 	if *adaptive {
 		opts = append(opts, repro.Adaptive())
 		if *retro {

@@ -169,12 +169,24 @@ func (g *Grid) Perturb(node string, p Perturbation) error {
 type CoordinatorOption func(*services.GDQSConfig)
 
 // Adaptive enables the AQP components with the paper's default parameters.
+// Options that tune orthogonal knobs (QueryTimeout, Parallel) survive in
+// either order.
 func Adaptive() CoordinatorOption {
 	return func(c *services.GDQSConfig) {
 		def := services.DefaultGDQSConfig()
 		def.QueryTimeout = c.QueryTimeout
+		def.Parallelism = c.Parallelism
 		*c = def
 	}
+}
+
+// Parallel sets the morsel worker-pool width of every fragment driver:
+// parallel-eligible fragments (those feeding an exchange, with no sort or
+// limit) run their operator chain on n workers over shared operator state.
+// n <= 1 keeps the classic serial drivers; pass a negative n to use the
+// machine's GOMAXPROCS.
+func Parallel(n int) CoordinatorOption {
+	return func(c *services.GDQSConfig) { c.Parallelism = n }
 }
 
 // Retrospective selects R1 response: recovery-log tuples (and hash-join

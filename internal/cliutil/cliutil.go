@@ -30,6 +30,7 @@ type ManifestFlags struct {
 	Retro        *bool
 	A2           *bool
 	EntropyCost  *float64
+	Parallel     *int
 }
 
 // NewManifestFlags registers the shared flags on the default flag set.
@@ -46,6 +47,7 @@ func NewManifestFlags() *ManifestFlags {
 		Retro:        flag.Bool("retrospective", false, "use R1 response instead of R2"),
 		A2:           flag.Bool("a2", false, "use A2 assessment instead of A1"),
 		EntropyCost:  flag.Float64("entropy-cost", 10, "EntropyAnalyser cost in paper-ms per call"),
+		Parallel:     flag.Int("parallel", 0, "morsel worker-pool width per fragment driver (0/1 serial, negative = GOMAXPROCS)"),
 	}
 }
 
@@ -55,6 +57,7 @@ func (f *ManifestFlags) Build() (services.Manifest, map[string]string, error) {
 		Scale:       *f.Scale,
 		Coordinator: simnet.NodeID(*f.Coordinator),
 		Adaptive:    *f.Adaptive,
+		Parallelism: *f.Parallel,
 	}
 	if *f.Retro {
 		m.Response = core.R1

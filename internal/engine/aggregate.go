@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/logical"
 	"repro/internal/relation"
@@ -16,6 +17,13 @@ import (
 // are replayed from the exchange recovery logs and re-absorbed at the new
 // owner. The aggregate is the second stateful operator of the engine and
 // demonstrates that the paper's architecture extends beyond hash joins.
+//
+// Under morsel parallelism each worker clone absorbs into a private partial
+// table — aggregation is commutative, so no locks on the hot path — and the
+// partials are merged into the shared table once all workers reach the
+// absorb barrier. Replayed tuples (R1) always land in the shared table, and
+// evictions sweep the partials too, so a bucket moved mid-absorb loses its
+// partial contributions exactly as the replayed history recreates them.
 type HashAggregate struct {
 	Child     Iterator
 	GroupOrds []int
@@ -26,20 +34,77 @@ type HashAggregate struct {
 
 	ctx     *ExecContext
 	buckets int
+	shared  *aggState
+	// part is this clone's private absorb table.
+	part *aggPartial
 
-	mu    sync.Mutex
-	state map[int32]map[uint64][]*groupState
-
-	// emit phase.
+	// emitting flips once this clone has drained and the merged output is
+	// frozen; the emit cursor itself lives in the shared state.
 	emitting bool
-	out      []relation.Tuple
-	pos      int
 
 	// in is the owned input batch for the vectorized absorb phase.
 	in *relation.Batch
+}
 
-	mon         *opMonitor
+// aggPartial is one worker's lock-private slice of group state. Its mutex is
+// uncontended on the absorb path; only R1 evictions and the final merge
+// touch it from outside.
+type aggPartial struct {
+	mu    sync.Mutex
+	state map[int32]map[uint64][]*groupState
+}
+
+// aggState is shared by every worker clone of one HashAggregate. Its state
+// map holds replayed tuples during the absorb phase and the fully merged
+// groups afterwards; out/pos are the frozen emit output and shared cursor.
+type aggState struct {
+	initOnce sync.Once
+	ready    atomic.Bool
+	ctx      *ExecContext // first opener's context; shared fields only
+	buckets  int
+
 	insertMeter *opInsertMeter
+	mon         *opMonitor
+	barrier     buildBarrier
+	mergeOnce   sync.Once
+	refs        atomic.Int32
+
+	mu       sync.Mutex
+	state    map[int32]map[uint64][]*groupState
+	partials []*aggPartial
+	out      []relation.Tuple
+	pos      int
+}
+
+func newAggState() *aggState {
+	s := &aggState{}
+	s.refs.Store(1)
+	s.barrier.reset(1)
+	return s
+}
+
+func (s *aggState) init(ctx *ExecContext) {
+	s.initOnce.Do(func() {
+		s.ctx = ctx
+		s.buckets = ctx.Buckets
+		if s.buckets <= 0 {
+			s.buckets = DefaultBuckets
+		}
+		s.state = make(map[int32]map[uint64][]*groupState)
+		s.insertMeter = newOpInsertMeter(ctx)
+		s.mon = newOpMonitor(ctx)
+		s.ready.Store(true)
+	})
+}
+
+func (s *aggState) release() {
+	if s.refs.Add(-1) != 0 {
+		return
+	}
+	s.mu.Lock()
+	s.state = nil
+	s.out = nil
+	s.mu.Unlock()
 }
 
 // groupState is one group's accumulators.
@@ -56,64 +121,158 @@ type accumulator struct {
 	seen   bool
 }
 
+// merge folds another accumulator for the same group and kind into acc.
+func (acc *accumulator) merge(other accumulator, kind logical.AggKind) {
+	switch kind {
+	case logical.AggCount, logical.AggSum, logical.AggAvg:
+		acc.count += other.count
+		acc.sum += other.sum
+	case logical.AggMin:
+		if other.seen && (!acc.seen || other.minmax.Compare(acc.minmax) < 0) {
+			acc.minmax = other.minmax
+			acc.seen = true
+		}
+	case logical.AggMax:
+		if other.seen && (!acc.seen || other.minmax.Compare(acc.minmax) > 0) {
+			acc.minmax = other.minmax
+			acc.seen = true
+		}
+	}
+}
+
+// ensureShared lazily creates the shared state. Not safe for concurrent
+// callers: it runs during plan compilation / worker-chain construction,
+// strictly before workers start.
+func (a *HashAggregate) ensureShared() *aggState {
+	if a.shared == nil {
+		a.shared = newAggState()
+	}
+	return a.shared
+}
+
+// WorkerClone returns an aggregate over the given per-worker input that
+// shares this aggregate's merged state, barrier, and monitoring state.
+func (a *HashAggregate) WorkerClone(child Iterator) *HashAggregate {
+	return &HashAggregate{
+		Child:     child,
+		GroupOrds: a.GroupOrds, Kinds: a.Kinds, ArgOrds: a.ArgOrds,
+		shared: a.ensureShared(),
+	}
+}
+
+// SetWorkers declares how many clones will Open and Close this aggregate's
+// shared state. Call before any worker starts; the default is 1.
+func (a *HashAggregate) SetWorkers(n int) {
+	s := a.ensureShared()
+	s.refs.Store(int32(n))
+	s.barrier.reset(n)
+}
+
+// Abort releases sibling workers blocked at the absorb barrier; the worker
+// pool calls it when a worker fails before reaching this aggregate.
+func (a *HashAggregate) Abort() {
+	if a.shared != nil {
+		a.shared.barrier.cancel()
+	}
+}
+
 // Open implements Iterator. Unlike the join's build phase, absorption
 // happens lazily in Next so that it interleaves with control operations.
 func (a *HashAggregate) Open(ctx *ExecContext) error {
 	a.ctx = ctx
-	a.buckets = ctx.Buckets
-	if a.buckets <= 0 {
-		a.buckets = DefaultBuckets
-	}
-	a.state = make(map[int32]map[uint64][]*groupState)
-	a.mon = newOpMonitor(ctx)
-	a.insertMeter = newOpInsertMeter(ctx)
+	s := a.ensureShared()
+	s.init(ctx)
+	a.buckets = s.buckets
+	a.part = &aggPartial{state: make(map[int32]map[uint64][]*groupState)}
+	s.mu.Lock()
+	s.partials = append(s.partials, a.part)
+	s.mu.Unlock()
 	a.in = relation.GetBatch()
 	return a.Child.Open(ctx)
 }
 
-// drain absorbs the entire child input batch-at-a-time (clamped to the M1
-// window so absorb-phase monitoring cadence is unchanged) and freezes the
-// emit-phase output.
+// drain absorbs this clone's share of the child input, waits for every
+// sibling worker, then (once, in whichever worker gets there first) merges
+// the partials and freezes the emit-phase output.
 func (a *HashAggregate) drain() error {
+	s := a.shared
+	if err := a.drainChild(); err != nil {
+		return err
+	}
+	if err := s.barrier.wait(); err != nil {
+		return err
+	}
+	s.mergeOnce.Do(func() { s.mergeAndFreeze(a) })
+	a.emitting = true
+	return nil
+}
+
+// absorb folds one input tuple into this clone's partial — the same path
+// the drain loop takes per batch. Tests use it to script mid-absorb
+// evict/replay interleavings.
+func (a *HashAggregate) absorb(t relation.Tuple) {
+	a.part.mu.Lock()
+	if a.part.state != nil {
+		absorbTuple(a.part.state, t, a.buckets, a)
+	}
+	a.part.mu.Unlock()
+}
+
+// drainChild absorbs the child batch-at-a-time (clamped to the M1 window so
+// absorb-phase monitoring cadence is unchanged) into this clone's partial.
+func (a *HashAggregate) drainChild() error {
+	s := a.shared
+	defer s.barrier.arrive()
 	a.in.SetLimit(batchLimit(a.ctx, relation.DefaultBatchSize))
+	prev := a.ctx.Meter.ChargedMs()
 	for {
 		n, err := FillBatch(a.Child, a.in)
 		if err != nil {
 			return err
 		}
 		if n == 0 {
-			break
+			return nil
 		}
 		a.ctx.chargeN(a.ctx.Costs.AggMs, n)
-		a.absorbBatch(a.in.Tuples)
-		for i := 0; i < n; i++ {
-			a.mon.tick()
+		a.part.mu.Lock()
+		if a.part.state != nil {
+			for _, t := range a.in.Tuples {
+				absorbTuple(a.part.state, t, a.buckets, a)
+			}
 		}
+		a.part.mu.Unlock()
+		// Each worker attributes its own meter's delta for the batch; the
+		// shared monitor merges the windows into one M1 stream.
+		cur := a.ctx.Meter.ChargedMs()
+		s.mon.tickN(n, cur-prev)
+		prev = cur
 	}
-	a.beginEmit()
-	return nil
 }
 
 // Next implements Iterator: it drains the child (absorbing every tuple into
-// group state), then emits one row per group.
+// group state), then emits one row per group from the shared cursor.
 func (a *HashAggregate) Next() (relation.Tuple, bool, error) {
 	if !a.emitting {
 		if err := a.drain(); err != nil {
 			return nil, false, err
 		}
 	}
-	if a.pos >= len(a.out) {
+	s := a.shared
+	s.mu.Lock()
+	if s.pos >= len(s.out) {
+		s.mu.Unlock()
 		return nil, false, nil
 	}
-	t := a.out[a.pos]
-	a.pos++
+	t := s.out[s.pos]
+	s.pos++
+	s.mu.Unlock()
 	a.ctx.chargeFlat(a.ctx.Costs.ProjectMs)
 	return t, true, nil
 }
 
 // NextBatch implements BatchIterator: the absorb phase consumes whole input
-// batches with one lock acquisition and one charge bundle per batch; the
-// emit phase hands out result rows by reference.
+// batches with one charge bundle per batch; the emit phase hands out result
+// rows by reference, workers pulling disjoint runs from the shared cursor.
 func (a *HashAggregate) NextBatch(dst *relation.Batch) (int, error) {
 	if !a.emitting {
 		if err := a.drain(); err != nil {
@@ -121,59 +280,32 @@ func (a *HashAggregate) NextBatch(dst *relation.Batch) (int, error) {
 		}
 	}
 	dst.Rewind()
-	n := len(a.out) - a.pos
+	s := a.shared
+	s.mu.Lock()
+	n := len(s.out) - s.pos
 	if n <= 0 {
+		s.mu.Unlock()
 		return 0, nil
 	}
 	if c := dst.Cap(); n > c {
 		n = c
 	}
-	for _, t := range a.out[a.pos : a.pos+n] {
+	for _, t := range s.out[s.pos : s.pos+n] {
 		dst.Append(t)
 	}
-	a.pos += n
+	s.pos += n
+	s.mu.Unlock()
 	a.ctx.chargeFlat(a.ctx.Costs.ProjectMs * float64(n))
 	return n, nil
 }
 
-// absorb folds one input tuple into its group.
-func (a *HashAggregate) absorb(t relation.Tuple) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.absorbLocked(t)
-}
-
-// absorbBatch folds a batch of input tuples under one lock acquisition.
-func (a *HashAggregate) absorbBatch(ts []relation.Tuple) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	for _, t := range ts {
-		a.absorbLocked(t)
-	}
-}
-
-func (a *HashAggregate) absorbLocked(t relation.Tuple) {
+// absorbTuple folds one input tuple into its group within state. The caller
+// holds whatever lock guards state; a carries the column metadata (identical
+// across clones).
+func absorbTuple(state map[int32]map[uint64][]*groupState, t relation.Tuple, buckets int, a *HashAggregate) {
 	h := t.Hash(a.GroupOrds)
-	b := int32(h % uint64(a.buckets))
-	if a.state == nil {
-		return // closed; replay raced completion
-	}
-	m := a.state[b]
-	if m == nil {
-		m = make(map[uint64][]*groupState)
-		a.state[b] = m
-	}
-	var g *groupState
-	for _, cand := range m[h] {
-		if a.sameKey(cand.key, t) {
-			g = cand
-			break
-		}
-	}
-	if g == nil {
-		g = &groupState{key: t.Project(a.GroupOrds), accs: make([]accumulator, len(a.Kinds))}
-		m[h] = append(m[h], g)
-	}
+	b := int32(h % uint64(buckets))
+	g := findOrCreateGroup(state, b, h, t, a)
 	for i, kind := range a.Kinds {
 		acc := &g.accs[i]
 		ord := a.ArgOrds[i]
@@ -204,6 +336,24 @@ func (a *HashAggregate) absorbLocked(t relation.Tuple) {
 	}
 }
 
+// findOrCreateGroup locates t's group in the (bucket, hash) chain of state,
+// creating it if absent.
+func findOrCreateGroup(state map[int32]map[uint64][]*groupState, b int32, h uint64, t relation.Tuple, a *HashAggregate) *groupState {
+	m := state[b]
+	if m == nil {
+		m = make(map[uint64][]*groupState)
+		state[b] = m
+	}
+	for _, cand := range m[h] {
+		if a.sameKey(cand.key, t) {
+			return cand
+		}
+	}
+	g := &groupState{key: t.Project(a.GroupOrds), accs: make([]accumulator, len(a.Kinds))}
+	m[h] = append(m[h], g)
+	return g
+}
+
 func (a *HashAggregate) sameKey(key relation.Tuple, t relation.Tuple) bool {
 	for i, ord := range a.GroupOrds {
 		if !key[i].Equal(t[ord]) {
@@ -213,14 +363,62 @@ func (a *HashAggregate) sameKey(key relation.Tuple, t relation.Tuple) bool {
 	return true
 }
 
-// beginEmit freezes the state into output rows, sorted by group key for
-// deterministic per-instance output.
-func (a *HashAggregate) beginEmit() {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.emitting = true
+// keyTuplesEqual compares two group-key tuples (both in GroupOrds order).
+func keyTuplesEqual(x, y relation.Tuple) bool {
+	for i := range x {
+		if !x[i].Equal(y[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeAndFreeze folds every partial into the shared table (which already
+// holds any replayed groups) and freezes the emit output, sorted by group
+// key for deterministic per-instance output.
+func (s *aggState) mergeAndFreeze(a *HashAggregate) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range s.partials {
+		p.mu.Lock()
+		for b, m := range p.state {
+			for h, chain := range m {
+				for _, g := range chain {
+					dst := s.findOrCreateMergedLocked(b, h, g.key, len(a.Kinds))
+					for i, kind := range a.Kinds {
+						dst.accs[i].merge(g.accs[i], kind)
+					}
+				}
+			}
+		}
+		p.state = nil // absorbed into the shared table
+		p.mu.Unlock()
+	}
+	s.freezeLocked(a)
+}
+
+// findOrCreateMergedLocked is findOrCreateGroup for the merge path, where
+// the probe is a ready-made key tuple rather than an input tuple.
+func (s *aggState) findOrCreateMergedLocked(b int32, h uint64, key relation.Tuple, nAccs int) *groupState {
+	m := s.state[b]
+	if m == nil {
+		m = make(map[uint64][]*groupState)
+		s.state[b] = m
+	}
+	for _, cand := range m[h] {
+		if keyTuplesEqual(cand.key, key) {
+			return cand
+		}
+	}
+	g := &groupState{key: key, accs: make([]accumulator, nAccs)}
+	m[h] = append(m[h], g)
+	return g
+}
+
+// freezeLocked freezes the state into output rows.
+func (s *aggState) freezeLocked(a *HashAggregate) {
 	var groups []*groupState
-	for _, m := range a.state {
+	for _, m := range s.state {
 		for _, chain := range m {
 			groups = append(groups, chain...)
 		}
@@ -228,14 +426,14 @@ func (a *HashAggregate) beginEmit() {
 	sort.Slice(groups, func(i, j int) bool {
 		return groups[i].key.Key() < groups[j].key.Key()
 	})
-	a.out = a.out[:0]
+	s.out = s.out[:0]
 	for _, g := range groups {
 		row := make(relation.Tuple, 0, len(g.key)+len(g.accs))
 		row = append(row, g.key...)
 		for i, kind := range a.Kinds {
 			row = append(row, g.accs[i].result(kind))
 		}
-		a.out = append(a.out, row)
+		s.out = append(s.out, row)
 	}
 	// A global aggregate emits exactly one row even over empty input.
 	if len(a.GroupOrds) == 0 && len(groups) == 0 {
@@ -244,7 +442,7 @@ func (a *HashAggregate) beginEmit() {
 		for _, kind := range a.Kinds {
 			row = append(row, empty.result(kind))
 		}
-		a.out = append(a.out, row)
+		s.out = append(s.out, row)
 	}
 }
 
@@ -273,12 +471,18 @@ func (acc *accumulator) result(kind logical.AggKind) relation.Value {
 	}
 }
 
-// Close implements Iterator.
+// Close implements Iterator. The shared state survives until the last
+// sibling clone closes.
 func (a *HashAggregate) Close() error {
 	err := a.Child.Close()
-	a.mu.Lock()
-	a.state = nil
-	a.mu.Unlock()
+	if a.part != nil {
+		a.part.mu.Lock()
+		a.part.state = nil
+		a.part.mu.Unlock()
+	}
+	if a.shared != nil {
+		a.shared.release()
+	}
 	if a.in != nil {
 		a.in.Release()
 		a.in = nil
@@ -287,35 +491,74 @@ func (a *HashAggregate) Close() error {
 }
 
 // InsertState implements StateTarget: replayed raw input tuples are
-// re-absorbed into group state on this clone.
+// re-absorbed into the shared table on this clone. It may run concurrently
+// with absorbing workers and with other replay deliveries.
 func (a *HashAggregate) InsertState(tuples []relation.Tuple) {
-	for _, t := range tuples {
-		a.insertMeter.charge(a.ctx.Node.PerturbedCost(a.ctx.Costs.AggMs))
-		a.absorb(t)
-	}
-}
-
-// EvictBuckets implements StateTarget.
-func (a *HashAggregate) EvictBuckets(buckets []int32) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if a.state == nil {
+	s := a.shared
+	if s == nil || !s.ready.Load() {
 		return
 	}
-	for _, b := range buckets {
-		delete(a.state, b)
+	for _, t := range tuples {
+		s.insertMeter.charge(s.ctx.Node.PerturbedCost(s.ctx.Costs.AggMs))
+		s.mu.Lock()
+		if s.state != nil {
+			absorbTuple(s.state, t, s.buckets, a)
+		}
+		s.mu.Unlock()
 	}
 }
 
-// StateSize implements StateTarget: the number of groups held.
+// EvictBuckets implements StateTarget: the bucket vanishes from the shared
+// table and from every worker partial, so partial contributions cannot
+// double-count against the replayed history at the new owner.
+func (a *HashAggregate) EvictBuckets(buckets []int32) {
+	s := a.shared
+	if s == nil || !s.ready.Load() {
+		return
+	}
+	s.mu.Lock()
+	if s.state != nil {
+		for _, b := range buckets {
+			delete(s.state, b)
+		}
+	}
+	partials := append([]*aggPartial(nil), s.partials...)
+	s.mu.Unlock()
+	for _, p := range partials {
+		p.mu.Lock()
+		if p.state != nil {
+			for _, b := range buckets {
+				delete(p.state, b)
+			}
+		}
+		p.mu.Unlock()
+	}
+}
+
+// StateSize implements StateTarget: the number of groups held across the
+// shared table and all partials.
 func (a *HashAggregate) StateSize() int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	s := a.shared
+	if s == nil || !s.ready.Load() {
+		return 0
+	}
 	n := 0
-	for _, m := range a.state {
+	s.mu.Lock()
+	for _, m := range s.state {
 		for _, chain := range m {
 			n += len(chain)
 		}
+	}
+	partials := append([]*aggPartial(nil), s.partials...)
+	s.mu.Unlock()
+	for _, p := range partials {
+		p.mu.Lock()
+		for _, m := range p.state {
+			for _, chain := range m {
+				n += len(chain)
+			}
+		}
+		p.mu.Unlock()
 	}
 	return n
 }

@@ -164,10 +164,10 @@ func TestHashAggregateEvictReplay(t *testing.T) {
 	for _, tp := range input[100:] {
 		agg.absorb(tp)
 	}
-	agg.beginEmit()
+	agg.shared.mergeAndFreeze(agg)
 	totalCount := int64(0)
 	totalSum := 0.0
-	for _, row := range agg.out {
+	for _, row := range agg.shared.out {
 		totalCount += row[1].AsInt()
 		totalSum += row[2].AsFloat()
 	}

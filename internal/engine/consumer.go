@@ -8,6 +8,7 @@ import (
 	"repro/internal/relation"
 	"repro/internal/simnet"
 	"repro/internal/transport"
+	"repro/internal/vtime"
 )
 
 // Addr is a transport endpoint of a fragment instance.
@@ -160,17 +161,7 @@ func (c *Consumer) NextBatch(dst *relation.Batch) (int, error) {
 	flushed := false
 	for {
 		if len(c.queue) > 0 && !c.gate.paused {
-			n := len(c.queue)
-			if cp := dst.Cap(); n > cp {
-				n = cp
-			}
-			for _, e := range c.queue[:n] {
-				c.lastPop = append(c.lastPop, e)
-				dst.Append(e.tuple)
-			}
-			c.queue = c.queue[n:]
-			c.gate.inflight += n
-			c.consumed += int64(n)
+			n := c.popLocked(&c.lastPop, dst)
 			c.gate.mu.Unlock()
 			c.obsConsumed.Add(int64(n))
 			return n, nil
@@ -194,6 +185,24 @@ func (c *Consumer) NextBatch(dst *relation.Batch) (int, error) {
 	}
 }
 
+// popLocked pops up to dst.Cap() queued entries into dst, recording them in
+// *pending and marking them in flight. Caller holds gate.mu and has checked
+// that the queue is non-empty and the gate unpaused.
+func (c *Consumer) popLocked(pending *[]queueEntry, dst *relation.Batch) int {
+	n := len(c.queue)
+	if cp := dst.Cap(); n > cp {
+		n = cp
+	}
+	for _, e := range c.queue[:n] {
+		*pending = append(*pending, e)
+		dst.Append(e.tuple)
+	}
+	c.queue = c.queue[n:]
+	c.gate.inflight += n
+	c.consumed += int64(n)
+	return n
+}
+
 // ackItem is one checkpoint acknowledgement to transmit: everything at or
 // below the checkpoint is processed, except the listed recalled sequences.
 type ackItem struct {
@@ -202,20 +211,28 @@ type ackItem struct {
 	except     []int64
 }
 
+// finishEntriesLocked marks entries processed, releasing the flow gate, and
+// returns the checkpoint acks that became complete. The caller must send
+// them only after dropping gate.mu: transmission sleeps, and the ack
+// handler may park on the producer's flow barrier.
+func (c *Consumer) finishEntriesLocked(entries []queueEntry) []ackItem {
+	for _, e := range entries {
+		st := c.streams[e.producer]
+		delete(st.outstanding, e.seq)
+		c.gate.inflight--
+	}
+	c.gate.cond.Broadcast()
+	return c.ackableLocked()
+}
+
 // finishInflightLocked marks the previously popped entries processed,
 // releasing the gate and acknowledging completed checkpoints.
 func (c *Consumer) finishInflightLocked() {
 	if len(c.lastPop) == 0 {
 		return
 	}
-	for _, e := range c.lastPop {
-		st := c.streams[e.producer]
-		delete(st.outstanding, e.seq)
-		c.gate.inflight--
-	}
+	acks := c.finishEntriesLocked(c.lastPop)
 	c.lastPop = c.lastPop[:0]
-	c.gate.cond.Broadcast()
-	acks := c.ackableLocked()
 	if len(acks) == 0 {
 		return
 	}
@@ -225,6 +242,70 @@ func (c *Consumer) finishInflightLocked() {
 		c.sendAck(a)
 	}
 	c.gate.mu.Lock()
+}
+
+// ConsumerWorker is one morsel worker's handle on a shared Consumer: the
+// worker's popped tuples stay in flight — and its completed checkpoint acks
+// unsent — until the worker calls Finish, so the flow gate's quiesce waits
+// on every worker's current morsel exactly as it waits on the serial
+// driver's current batch, and no worker can finish another's morsel.
+type ConsumerWorker struct {
+	c       *Consumer
+	pending []queueEntry
+}
+
+// NewWorker returns a fresh worker handle.
+func (c *Consumer) NewWorker() *ConsumerWorker { return &ConsumerWorker{c: c} }
+
+// Finish marks the worker's previously popped entries processed. Call with
+// no locks held: completed checkpoint acks are transmitted inline.
+func (w *ConsumerWorker) Finish() {
+	if len(w.pending) == 0 {
+		return
+	}
+	c := w.c
+	c.gate.mu.Lock()
+	acks := c.finishEntriesLocked(w.pending)
+	c.gate.mu.Unlock()
+	w.pending = w.pending[:0]
+	for _, a := range acks {
+		c.sendAck(a)
+	}
+}
+
+// NextBatchFor pops a batch for worker w, flushing the worker's own meter m
+// before parking (a vtime.Meter is goroutine-confined, so the consumer's
+// bound context meter must not be flushed from worker goroutines). Unlike
+// NextBatch it does not finish w's previous batch on entry — the worker
+// does that explicitly, with no locks held, before asking for more input.
+func (c *Consumer) NextBatchFor(w *ConsumerWorker, dst *relation.Batch, m *vtime.Meter) (int, error) {
+	dst.Rewind()
+	c.gate.mu.Lock()
+	flushed := false
+	for {
+		if len(c.queue) > 0 && !c.gate.paused {
+			n := c.popLocked(&w.pending, dst)
+			c.gate.mu.Unlock()
+			c.obsConsumed.Add(int64(n))
+			return n, nil
+		}
+		if c.closed || (c.eos == len(c.Producers) && len(c.queue) == 0 && !c.gate.paused) {
+			c.gate.mu.Unlock()
+			return 0, nil
+		}
+		if !flushed {
+			flushed = true
+			c.gate.mu.Unlock()
+			if m != nil {
+				m.Flush()
+			}
+			c.gate.mu.Lock()
+			continue
+		}
+		start := c.ctx.Clock.NowMs()
+		c.gate.cond.Wait()
+		c.waitMs += c.ctx.Clock.NowMs() - start
+	}
 }
 
 // ackableLocked pops every pending checkpoint that is complete: no sequence

@@ -66,6 +66,9 @@ type testCluster struct {
 	store   *dataset.Store
 	monitor *countingMonitor
 	costs   Costs
+	// parallelism, when > 1, runs every parallel-eligible fragment under
+	// the morsel worker pool.
+	parallelism int
 
 	runtimes map[string]*FragmentRuntime
 	results  chan relation.Tuple
@@ -112,6 +115,7 @@ func (c *testCluster) deploy(plan *physical.Plan) {
 				Monitor:      c.monitor,
 				MonitorEvery: 10,
 				Buckets:      64,
+				Parallelism:  c.parallelism,
 			}
 			cfg := RuntimeConfig{
 				Plan:     plan,

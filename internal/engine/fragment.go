@@ -60,6 +60,12 @@ type FragmentRuntime struct {
 	stateTarget StateTarget
 	service     string
 
+	// joinBySpec/aggBySpec map plan specs to their compiled stateful
+	// operators, so the parallel driver's worker chains can clone them
+	// around the same shared state.
+	joinBySpec map[*physical.OpSpec]*HashJoin
+	aggBySpec  map[*physical.OpSpec]*HashAggregate
+
 	mu       sync.Mutex
 	err      error
 	produced int64
@@ -81,6 +87,8 @@ func NewFragmentRuntime(cfg RuntimeConfig) (*FragmentRuntime, error) {
 		cfg:          cfg,
 		gate:         newFlowGate(),
 		consumers:    make(map[string]*Consumer),
+		joinBySpec:   make(map[*physical.OpSpec]*HashJoin),
+		aggBySpec:    make(map[*physical.OpSpec]*HashAggregate),
 		service:      "frag/" + cfg.Fragment.InstanceID(cfg.Instance),
 		obsProduced:  o.Counter(obs.Label(obs.MEngineTuplesProduced, "fragment", cfg.Fragment.ID)),
 		obsBatchSize: o.Histogram(obs.MEngineBatchSize, obs.DefBucketsSize),
@@ -193,6 +201,7 @@ func (r *FragmentRuntime) compile(spec *physical.OpSpec) (Iterator, error) {
 			BuildKeys: spec.BuildKeys, ProbeKeys: spec.ProbeKeys,
 		}
 		r.join = join
+		r.joinBySpec[spec] = join
 		// The build-side consumer feeds replayed state directly into the
 		// join; the scheduler always places the consume leaf directly
 		// below the join.
@@ -217,6 +226,7 @@ func (r *FragmentRuntime) compile(spec *physical.OpSpec) (Iterator, error) {
 			Kinds:     kinds,
 			ArgOrds:   spec.AggArgs,
 		}
+		r.aggBySpec[spec] = agg
 		// The consume leaf feeds replayed state straight into the
 		// aggregate, as with the join's build side.
 		if c, ok := child.(*Consumer); ok {
@@ -304,6 +314,9 @@ func (r *FragmentRuntime) Run(ctx context.Context) error {
 	}
 	if ectx.Monitor != nil && ectx.Costs.AdaptStartupMs > 0 {
 		ectx.chargeFlat(ectx.Costs.AdaptStartupMs)
+	}
+	if ectx.Parallelism > 1 && r.parallelOK() {
+		return r.runParallel(ctx, ectx.Parallelism)
 	}
 	if err := r.root.Open(ectx); err != nil {
 		return r.fail(err)

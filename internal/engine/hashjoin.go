@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/relation"
 )
@@ -20,23 +21,173 @@ type StateTarget interface {
 	StateSize() int
 }
 
+// joinPartitions is the lock-striping factor of the shared build table. A
+// routing bucket maps to partition bucket%joinPartitions, so an R1 eviction
+// of a bucket touches exactly one partition and morsel workers building or
+// probing different partitions never contend.
+const joinPartitions = 16
+
+type joinPart struct {
+	mu    sync.Mutex
+	state map[int32]map[uint64][]relation.Tuple
+	held  int
+}
+
+// joinState is the build-side hash table shared by every worker clone of one
+// HashJoin (and by the serial join, which is simply a one-worker pool). It
+// is the unit the R1 protocol targets: evict/replay address buckets here, so
+// repartitioning is oblivious to how many workers built the table.
+type joinState struct {
+	initOnce sync.Once
+	ready    atomic.Bool
+	ctx      *ExecContext // first opener's context; shared fields only
+	buckets  int
+
+	insertMeter *opInsertMeter
+	mon         *opMonitor
+	barrier     buildBarrier
+	// refs counts unclosed clones; the last Close releases the table.
+	refs  atomic.Int32
+	parts [joinPartitions]joinPart
+}
+
+func newJoinState() *joinState {
+	s := &joinState{}
+	s.refs.Store(1)
+	s.barrier.reset(1)
+	return s
+}
+
+func (s *joinState) init(ctx *ExecContext) {
+	s.initOnce.Do(func() {
+		s.ctx = ctx
+		s.buckets = ctx.Buckets
+		if s.buckets <= 0 {
+			s.buckets = DefaultBuckets
+		}
+		s.insertMeter = newOpInsertMeter(ctx)
+		s.mon = newOpMonitor(ctx)
+		for i := range s.parts {
+			s.parts[i].state = make(map[int32]map[uint64][]relation.Tuple)
+		}
+		s.ready.Store(true)
+	})
+}
+
+func (s *joinState) part(b int32) *joinPart {
+	return &s.parts[int(b)%joinPartitions]
+}
+
+// insertBatch adds build tuples, locking each partition at most once per
+// distinct partition touched by the batch.
+func (s *joinState) insertBatch(keys []int, ts []relation.Tuple) {
+	for _, t := range ts {
+		h := t.Hash(keys)
+		b := int32(h % uint64(s.buckets))
+		p := s.part(b)
+		p.mu.Lock()
+		if p.state != nil {
+			m := p.state[b]
+			if m == nil {
+				m = make(map[uint64][]relation.Tuple)
+				p.state[b] = m
+			}
+			m[h] = append(m[h], t)
+			p.held++
+		}
+		p.mu.Unlock()
+	}
+}
+
+// release drops one clone reference; the last one frees the table. Inserts
+// arriving after release (a replay racing query completion) become benign
+// no-ops, as before.
+func (s *joinState) release() {
+	if s.refs.Add(-1) != 0 {
+		return
+	}
+	for i := range s.parts {
+		p := &s.parts[i]
+		p.mu.Lock()
+		p.state = nil
+		p.held = 0
+		p.mu.Unlock()
+	}
+}
+
+// buildBarrier holds probers back until every worker has finished building
+// (or absorbing, for the aggregate). A worker that fails mid-build still
+// arrives — the drain loops arrive via defer — and an interrupted fragment
+// closes the shared source so remaining drains return 0 and arrive promptly.
+// cancel covers the one remaining hang: a worker that errors before ever
+// reaching the barrier operator's Open.
+type buildBarrier struct {
+	mu        sync.Mutex
+	remaining int
+	cancelled bool
+	done      chan struct{}
+}
+
+func (b *buildBarrier) reset(n int) {
+	b.mu.Lock()
+	b.remaining = n
+	b.cancelled = false
+	b.done = make(chan struct{})
+	b.mu.Unlock()
+}
+
+func (b *buildBarrier) arrive() {
+	b.mu.Lock()
+	b.remaining--
+	if b.remaining == 0 && !b.cancelled {
+		close(b.done)
+	}
+	b.mu.Unlock()
+}
+
+// cancel releases all waiters with an error; used when a sibling worker
+// fails before arriving.
+func (b *buildBarrier) cancel() {
+	b.mu.Lock()
+	if !b.cancelled && b.remaining > 0 {
+		b.cancelled = true
+		close(b.done)
+	}
+	b.mu.Unlock()
+}
+
+func (b *buildBarrier) wait() error {
+	b.mu.Lock()
+	done := b.done
+	b.mu.Unlock()
+	<-done
+	b.mu.Lock()
+	cancelled := b.cancelled
+	b.mu.Unlock()
+	if cancelled {
+		return fmt.Errorf("engine: build barrier cancelled by failed worker")
+	}
+	return nil
+}
+
 // HashJoin is the partitioned equi-join: it drains its build input into a
 // bucketed hash table during Open, then streams the probe input, emitting
 // one concatenated tuple per match. Each clone of the join holds only the
 // buckets the current distribution policy routes to it; moving a bucket to
 // another clone moves the corresponding state.
+//
+// Under morsel parallelism several worker clones share one joinState: all
+// workers drain the shared build source into the striped table, meet at a
+// barrier, then probe concurrently. Build order across workers is immaterial
+// — the table is a bag per (bucket, hash) and probing starts only after the
+// barrier, so the probe sees the same complete table a serial build yields.
 type HashJoin struct {
 	Build, Probe         Iterator
 	BuildKeys, ProbeKeys []int
 
 	ctx     *ExecContext
 	buckets int
-
-	// mu guards state: the probe path mutates nothing but reads it, while
-	// the control path (evict/replay) mutates it concurrently.
-	mu    sync.Mutex
-	state map[int32]map[uint64][]relation.Tuple
-	held  int
+	shared  *joinState
 
 	// pending holds overflow outputs that did not fit the current output
 	// batch (a single probe tuple can match many build tuples).
@@ -45,89 +196,80 @@ type HashJoin struct {
 	// allocation.
 	in    *relation.Batch
 	arena relation.Arena
-	// insertMeter charges replay-insert work happening on control
-	// goroutines (the driver's meter is goroutine-confined).
-	insertMeter *opInsertMeter
-	mon         *opMonitor
-
-	buildDone bool
 }
 
-// Open implements Iterator: it fully drains the build input, batch-at-a-time
-// (clamped to the M1 window so build-phase monitoring cadence is unchanged).
+// ensureShared lazily creates the shared state. Not safe for concurrent
+// callers: it runs during plan compilation / worker-chain construction,
+// strictly before workers start.
+func (j *HashJoin) ensureShared() *joinState {
+	if j.shared == nil {
+		j.shared = newJoinState()
+	}
+	return j.shared
+}
+
+// WorkerClone returns a join over the given per-worker inputs that shares
+// this join's build table, barrier, and monitoring state.
+func (j *HashJoin) WorkerClone(build, probe Iterator) *HashJoin {
+	return &HashJoin{
+		Build: build, Probe: probe,
+		BuildKeys: j.BuildKeys, ProbeKeys: j.ProbeKeys,
+		shared: j.ensureShared(),
+	}
+}
+
+// SetWorkers declares how many clones (including any that is itself run)
+// will Open and Close this join's shared state. Call before any worker
+// starts; the default is 1, the serial contract.
+func (j *HashJoin) SetWorkers(n int) {
+	s := j.ensureShared()
+	s.refs.Store(int32(n))
+	s.barrier.reset(n)
+}
+
+// Open implements Iterator: it drains the build input batch-at-a-time
+// (clamped to the M1 window so build-phase monitoring cadence is unchanged)
+// into the shared table, then waits for every sibling worker's build before
+// opening the probe side.
 func (j *HashJoin) Open(ctx *ExecContext) error {
 	j.ctx = ctx
-	j.buckets = ctx.Buckets
-	if j.buckets <= 0 {
-		j.buckets = DefaultBuckets
-	}
-	j.state = make(map[int32]map[uint64][]relation.Tuple)
-	j.insertMeter = newOpInsertMeter(ctx)
-	j.mon = newOpMonitor(ctx)
+	s := j.ensureShared()
+	s.init(ctx)
+	j.buckets = s.buckets
 	j.in = relation.GetBatch()
+	if err := j.openBuild(ctx, s); err != nil {
+		return err
+	}
+	if err := s.barrier.wait(); err != nil {
+		return err
+	}
+	return j.Probe.Open(ctx)
+}
+
+func (j *HashJoin) openBuild(ctx *ExecContext, s *joinState) error {
+	defer s.barrier.arrive()
 	if err := j.Build.Open(ctx); err != nil {
 		return err
 	}
 	j.in.SetLimit(batchLimit(ctx, relation.DefaultBatchSize))
+	prev := ctx.Meter.ChargedMs()
 	for {
 		n, err := FillBatch(j.Build, j.in)
 		if err != nil {
 			return err
 		}
 		if n == 0 {
-			break
+			return nil
 		}
-		j.ctx.chargeN(j.ctx.Costs.JoinBuildMs, n)
-		j.insertBatch(j.in.Tuples)
+		ctx.chargeN(ctx.Costs.JoinBuildMs, n)
+		s.insertBatch(j.BuildKeys, j.in.Tuples)
 		// The build phase produces nothing, so the driver's M1 emission is
 		// silent; emit operator-level events so the Diagnoser can already
-		// rebalance a perturbed build.
-		for i := 0; i < n; i++ {
-			j.mon.tick()
-		}
-	}
-	j.buildDone = true
-	return j.Probe.Open(ctx)
-}
-
-// insert adds one build tuple to its bucket. Inserts after Close (a replay
-// racing query completion) are benign no-ops: the join has already produced
-// its full output from complete state.
-func (j *HashJoin) insert(t relation.Tuple) {
-	h := t.Hash(j.BuildKeys)
-	b := int32(h % uint64(j.buckets))
-	j.mu.Lock()
-	if j.state == nil {
-		j.mu.Unlock()
-		return
-	}
-	m := j.state[b]
-	if m == nil {
-		m = make(map[uint64][]relation.Tuple)
-		j.state[b] = m
-	}
-	m[h] = append(m[h], t)
-	j.held++
-	j.mu.Unlock()
-}
-
-// insertBatch adds a batch of build tuples under one lock acquisition.
-func (j *HashJoin) insertBatch(ts []relation.Tuple) {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.state == nil {
-		return
-	}
-	for _, t := range ts {
-		h := t.Hash(j.BuildKeys)
-		b := int32(h % uint64(j.buckets))
-		m := j.state[b]
-		if m == nil {
-			m = make(map[uint64][]relation.Tuple)
-			j.state[b] = m
-		}
-		m[h] = append(m[h], t)
-		j.held++
+		// rebalance a perturbed build. Each worker attributes its own
+		// meter's delta for the batch, which the shared monitor merges.
+		cur := ctx.Meter.ChargedMs()
+		s.mon.tickN(n, cur-prev)
+		prev = cur
 	}
 }
 
@@ -148,19 +290,20 @@ func (j *HashJoin) Next() (relation.Tuple, bool, error) {
 		j.ctx.charge(j.ctx.Costs.JoinProbeMs)
 		h := t.Hash(j.ProbeKeys)
 		b := int32(h % uint64(j.buckets))
-		j.mu.Lock()
-		for _, cand := range j.state[b][h] {
+		p := j.shared.part(b)
+		p.mu.Lock()
+		for _, cand := range p.state[b][h] {
 			if j.keysEqual(cand, t) {
 				j.pending = append(j.pending, cand.Concat(t))
 			}
 		}
-		j.mu.Unlock()
+		p.mu.Unlock()
 	}
 }
 
-// NextBatch implements BatchIterator: it probes whole input batches under
-// one state-lock acquisition, emitting concatenated matches carved from an
-// arena. Matches overflowing dst spill to pending and lead the next batch.
+// NextBatch implements BatchIterator: it probes whole input batches,
+// emitting concatenated matches carved from an arena. Matches overflowing
+// dst spill to pending and lead the next batch.
 func (j *HashJoin) NextBatch(dst *relation.Batch) (int, error) {
 	dst.Rewind()
 	for len(j.pending) > 0 && !dst.Full() {
@@ -177,11 +320,12 @@ func (j *HashJoin) NextBatch(dst *relation.Batch) (int, error) {
 			return dst.Len(), nil
 		}
 		j.ctx.chargeN(j.ctx.Costs.JoinProbeMs, n)
-		j.mu.Lock()
 		for _, t := range j.in.Tuples {
 			h := t.Hash(j.ProbeKeys)
 			b := int32(h % uint64(j.buckets))
-			for _, cand := range j.state[b][h] {
+			p := j.shared.part(b)
+			p.mu.Lock()
+			for _, cand := range p.state[b][h] {
 				if !j.keysEqual(cand, t) {
 					continue
 				}
@@ -194,8 +338,8 @@ func (j *HashJoin) NextBatch(dst *relation.Batch) (int, error) {
 					dst.Append(out)
 				}
 			}
+			p.mu.Unlock()
 		}
-		j.mu.Unlock()
 	}
 	return dst.Len(), nil
 }
@@ -210,17 +354,17 @@ func (j *HashJoin) keysEqual(build, probe relation.Tuple) bool {
 	return true
 }
 
-// Close implements Iterator.
+// Close implements Iterator. The shared table survives until the last
+// sibling clone closes.
 func (j *HashJoin) Close() error {
 	errB := j.Build.Close()
 	errP := j.Probe.Close()
-	j.mu.Lock()
-	j.state = nil
-	j.held = 0
-	j.mu.Unlock()
 	if j.in != nil {
 		j.in.Release()
 		j.in = nil
+	}
+	if j.shared != nil {
+		j.shared.release()
 	}
 	if errB != nil {
 		return errB
@@ -229,42 +373,67 @@ func (j *HashJoin) Close() error {
 }
 
 // InsertState implements StateTarget: replayed build tuples recreate bucket
-// state on this clone. It may run concurrently with probing.
+// state on this clone. It may run concurrently with probing, and with
+// several transport goroutines delivering replay buffers at once.
 func (j *HashJoin) InsertState(tuples []relation.Tuple) {
+	s := j.shared
+	if s == nil || !s.ready.Load() {
+		return
+	}
 	for _, t := range tuples {
-		j.insertMeter.charge(j.ctx.Node.PerturbedCost(j.ctx.Costs.JoinBuildMs))
-		j.insert(t)
+		s.insertMeter.charge(s.ctx.Node.PerturbedCost(s.ctx.Costs.JoinBuildMs))
+		s.insertBatch(j.BuildKeys, []relation.Tuple{t})
 	}
 }
 
 // EvictBuckets implements StateTarget.
 func (j *HashJoin) EvictBuckets(buckets []int32) {
-	j.mu.Lock()
-	if j.state == nil {
-		j.mu.Unlock()
+	s := j.shared
+	if s == nil || !s.ready.Load() {
 		return
 	}
 	for _, b := range buckets {
-		for _, tuples := range j.state[b] {
-			j.held -= len(tuples)
+		p := s.part(b)
+		p.mu.Lock()
+		if p.state != nil {
+			for _, tuples := range p.state[b] {
+				p.held -= len(tuples)
+			}
+			delete(p.state, b)
 		}
-		delete(j.state, b)
+		p.mu.Unlock()
 	}
-	j.mu.Unlock()
 }
 
 // StateSize implements StateTarget.
 func (j *HashJoin) StateSize() int {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.held
+	s := j.shared
+	if s == nil || !s.ready.Load() {
+		return 0
+	}
+	held := 0
+	for i := range s.parts {
+		p := &s.parts[i]
+		p.mu.Lock()
+		held += p.held
+		p.mu.Unlock()
+	}
+	return held
+}
+
+// Abort releases sibling workers blocked at the build barrier; the worker
+// pool calls it when a worker fails before reaching this join's Open.
+func (j *HashJoin) Abort() {
+	if j.shared != nil {
+		j.shared.barrier.cancel()
+	}
 }
 
 // BucketOf reports the bucket a build-side tuple belongs to; tests use it
 // to cross-check alignment with the distribution policy.
 func (j *HashJoin) BucketOf(t relation.Tuple) (int32, error) {
-	if j.buckets == 0 {
+	if j.shared == nil || !j.shared.ready.Load() {
 		return 0, fmt.Errorf("engine: join not opened")
 	}
-	return int32(t.Hash(j.BuildKeys) % uint64(j.buckets)), nil
+	return int32(t.Hash(j.BuildKeys) % uint64(j.shared.buckets)), nil
 }

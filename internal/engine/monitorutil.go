@@ -1,56 +1,78 @@
 package engine
 
-import "repro/internal/vtime"
+import (
+	"sync"
+
+	"repro/internal/vtime"
+)
 
 // opMonitor lets a blocking operator emit M1 self-monitoring events while
 // it absorbs input. The fragment driver's own M1 emission is keyed to
 // *produced* tuples, so a hash join's build phase or a hash aggregate's
 // absorb phase would otherwise be invisible to the Diagnoser — and the
 // machine could not be rebalanced until the operator started emitting.
+//
+// The monitor is safe for concurrent use: morsel workers absorbing in
+// parallel merge their per-worker cost windows here, and events are emitted
+// under the lock so Produced stays monotonic in the event stream MED sees.
 type opMonitor struct {
-	ctx         *ExecContext
-	count       int64
-	lastCharged float64
-	lastCount   int64
+	ctx *ExecContext
+
+	mu        sync.Mutex
+	count     int64
+	lastCount int64
+	// windowMs accumulates the cost charged for absorbed tuples since the
+	// last emission. Callers measure their own meter's delta (meters are
+	// goroutine-confined) and pass it in, so the merged window attributes
+	// exactly what the serial driver's meter reading attributed.
+	windowMs float64
 }
 
 func newOpMonitor(ctx *ExecContext) *opMonitor {
-	return &opMonitor{ctx: ctx, lastCharged: ctx.Meter.ChargedMs()}
+	return &opMonitor{ctx: ctx}
 }
 
-// tick records one absorbed tuple and emits an M1 event every MonitorEvery
-// tuples.
-func (m *opMonitor) tick() {
-	if m.ctx.Monitor == nil || m.ctx.MonitorEvery <= 0 {
+// tickN records n absorbed tuples that cost chargedMs, emitting an M1 event
+// whenever the MonitorEvery window fills. Emission boundaries, per-event
+// intervals, and cost attribution are identical to n sequential per-tuple
+// ticks with the batch's charges applied up front — the serial cadence —
+// because absorb batches are clamped to the MonitorEvery window (at most
+// one boundary crossing per call).
+func (m *opMonitor) tickN(n int, chargedMs float64) {
+	if m.ctx.Monitor == nil || m.ctx.MonitorEvery <= 0 || n <= 0 {
 		return
 	}
-	m.count++
-	if m.count-m.lastCount < int64(m.ctx.MonitorEvery) {
+	every := int64(m.ctx.MonitorEvery)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.windowMs += chargedMs
+	m.count += int64(n)
+	if m.count-m.lastCount < every {
 		return
 	}
-	charged := m.ctx.Meter.ChargedMs()
-	interval := m.count - m.lastCount
+	produced := m.lastCount + every
 	m.ctx.Monitor.EmitM1(M1Event{
 		Fragment:       m.ctx.Fragment,
 		Instance:       m.ctx.Instance,
 		Node:           m.ctx.Node.ID(),
-		CostPerTupleMs: (charged - m.lastCharged) / float64(interval),
+		CostPerTupleMs: m.windowMs / float64(every),
 		Selectivity:    1,
-		Produced:       m.count,
+		Produced:       produced,
 	})
-	m.lastCharged = charged
-	m.lastCount = m.count
+	m.lastCount = produced
+	m.windowMs = 0
 }
 
 // opInsertMeter charges replay-insert work happening on control-plane
-// goroutines, where the driver's goroutine-confined meter must not be
-// touched.
+// goroutines, where a driver's or worker's goroutine-confined meter must
+// not be touched. Backed by a SharedMeter: remote transports may deliver
+// replay buffers from several connection goroutines at once.
 type opInsertMeter struct {
-	meter *vtime.Meter
+	meter *vtime.SharedMeter
 }
 
 func newOpInsertMeter(ctx *ExecContext) *opInsertMeter {
-	return &opInsertMeter{meter: vtime.NewMeter(ctx.Clock)}
+	return &opInsertMeter{meter: vtime.NewSharedMeter(ctx.Clock)}
 }
 
 func (m *opInsertMeter) charge(ms float64) { m.meter.Charge(ms) }

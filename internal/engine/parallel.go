@@ -1,0 +1,483 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/logical"
+	"repro/internal/obs"
+	"repro/internal/physical"
+	"repro/internal/qerr"
+	"repro/internal/relation"
+	"repro/internal/vtime"
+)
+
+// This file implements the fragment runtime's morsel-driven execution mode:
+// the fragment's operator chain is replicated once per worker, the chains
+// share their leaves (a scan handing out batch-sized morsels under a mutex,
+// or the fragment's exchange Consumer handing each worker its own in-flight
+// window), stateful operators share their partitioned state behind a build
+// barrier, and every worker pushes its results into the sharded output
+// exchange independently. The serial driver remains the default
+// (Parallelism <= 1) and the only mode for fragments whose sink is
+// order-sensitive (result sinks, sorts, limits).
+
+// sharedSource hands morsels from one underlying input to all workerLeaf
+// clones. Exactly one of src/cons is set: a scan-backed source serializes
+// FillBatch calls under its mutex, a consumer-backed source just fans out
+// per-worker handles (the Consumer is internally synchronized and keeps
+// per-worker in-flight accounting).
+type sharedSource struct {
+	ctx  *ExecContext // dedicated context; its meter takes scan charges
+	src  Iterator
+	cons *Consumer
+
+	mu      sync.Mutex
+	opened  bool
+	openErr error
+	eos     bool
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+func newScanSource(src Iterator, ctx *ExecContext) *sharedSource {
+	return &sharedSource{src: src, ctx: ctx}
+}
+
+func newConsumerSource(cons *Consumer, ctx *ExecContext) *sharedSource {
+	return &sharedSource{cons: cons, ctx: ctx}
+}
+
+// open opens the underlying input once, under the source's own context, so
+// its charges never race a worker's meter.
+func (ss *sharedSource) open() error {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if !ss.opened {
+		ss.opened = true
+		if ss.cons != nil {
+			ss.openErr = ss.cons.Open(ss.ctx)
+		} else {
+			ss.openErr = ss.src.Open(ss.ctx)
+		}
+	}
+	return ss.openErr
+}
+
+func (ss *sharedSource) close() error {
+	ss.closeOnce.Do(func() {
+		if ss.cons != nil {
+			ss.closeErr = ss.cons.Close()
+		} else {
+			ss.closeErr = ss.src.Close()
+		}
+	})
+	return ss.closeErr
+}
+
+// workerLeaf is one worker's view of a sharedSource, placed at the leaf of
+// the worker's operator chain.
+type workerLeaf struct {
+	ss    *sharedSource
+	cw    *ConsumerWorker
+	meter *vtime.Meter
+
+	// nb/npos adapt NextBatch to the tuple-at-a-time Iterator contract for
+	// operators that drive their input through Next.
+	nb   *relation.Batch
+	npos int
+}
+
+// Open implements Iterator.
+func (l *workerLeaf) Open(ctx *ExecContext) error {
+	l.meter = ctx.Meter
+	if err := l.ss.open(); err != nil {
+		return err
+	}
+	if l.ss.cons != nil && l.cw == nil {
+		l.cw = l.ss.cons.NewWorker()
+	}
+	return nil
+}
+
+// NextBatch implements BatchIterator: it fetches this worker's next morsel.
+// In consumer mode the worker's previous morsel is finished first, with no
+// locks held — finishing releases the flow gate and may transmit checkpoint
+// acks, which can park on a paused producer's barrier, so it must never run
+// inside the consumer's own lock.
+func (l *workerLeaf) NextBatch(dst *relation.Batch) (int, error) {
+	if l.cw != nil {
+		l.cw.Finish()
+		return l.ss.cons.NextBatchFor(l.cw, dst, l.meter)
+	}
+	ss := l.ss
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.eos {
+		dst.Rewind()
+		return 0, nil
+	}
+	n, err := FillBatch(ss.src, dst)
+	if err == nil && n == 0 {
+		ss.eos = true
+	}
+	return n, err
+}
+
+// Next implements Iterator through an internal batch.
+func (l *workerLeaf) Next() (relation.Tuple, bool, error) {
+	if l.nb == nil {
+		l.nb = relation.GetBatch()
+	}
+	for l.npos >= l.nb.Len() {
+		n, err := l.NextBatch(l.nb)
+		if err != nil {
+			return nil, false, err
+		}
+		if n == 0 {
+			return nil, false, nil
+		}
+		l.npos = 0
+	}
+	t := l.nb.Tuples[l.npos]
+	l.npos++
+	return t, true, nil
+}
+
+// Close implements Iterator: it finishes the worker's outstanding morsel and
+// closes the underlying input once across all workers.
+func (l *workerLeaf) Close() error {
+	if l.cw != nil {
+		l.cw.Finish()
+	}
+	if l.nb != nil {
+		l.nb.Release()
+		l.nb = nil
+	}
+	return l.ss.close()
+}
+
+// parallelOK reports whether the fragment may run under the worker pool:
+// its output must be an exchange (producers are order-insensitive across
+// workers; a result sink is not) and its chain must not contain an
+// order-sensitive operator.
+func (r *FragmentRuntime) parallelOK() bool {
+	return r.producer != nil && specParallelOK(r.cfg.Fragment.Root)
+}
+
+func specParallelOK(s *physical.OpSpec) bool {
+	switch s.Kind {
+	case physical.KSort, physical.KLimit:
+		return false
+	}
+	for _, c := range s.Children {
+		if !specParallelOK(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// buildWorkerChain mirrors compile() for one worker: stateless operators are
+// fresh per worker, stateful operators are clones sharing the compiled
+// instance's state, and leaves attach to the shared sources in leaves.
+func (r *FragmentRuntime) buildWorkerChain(spec *physical.OpSpec, leaves map[*physical.OpSpec]*sharedSource) (Iterator, error) {
+	switch spec.Kind {
+	case physical.KScan:
+		return &workerLeaf{ss: leaves[spec]}, nil
+
+	case physical.KFilter:
+		child, err := r.buildWorkerChain(spec.Children[0], leaves)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := logical.CompilePredicate(spec.Pred, spec.Children[0].OutSchema())
+		if err != nil {
+			return nil, err
+		}
+		return &Select{Child: child, Pred: pred}, nil
+
+	case physical.KProject:
+		child, err := r.buildWorkerChain(spec.Children[0], leaves)
+		if err != nil {
+			return nil, err
+		}
+		return &Project{Child: child, Ords: spec.Ords}, nil
+
+	case physical.KOpCall:
+		child, err := r.buildWorkerChain(spec.Children[0], leaves)
+		if err != nil {
+			return nil, err
+		}
+		return &OperationCall{Fn: spec.Fn, ArgOrds: spec.ArgOrds, Child: child}, nil
+
+	case physical.KJoin:
+		build, err := r.buildWorkerChain(spec.Children[0], leaves)
+		if err != nil {
+			return nil, err
+		}
+		probe, err := r.buildWorkerChain(spec.Children[1], leaves)
+		if err != nil {
+			return nil, err
+		}
+		base := r.joinBySpec[spec]
+		if base == nil {
+			return nil, fmt.Errorf("engine: no compiled join for spec")
+		}
+		return base.WorkerClone(build, probe), nil
+
+	case physical.KAggregate:
+		child, err := r.buildWorkerChain(spec.Children[0], leaves)
+		if err != nil {
+			return nil, err
+		}
+		base := r.aggBySpec[spec]
+		if base == nil {
+			return nil, fmt.Errorf("engine: no compiled aggregate for spec")
+		}
+		return base.WorkerClone(child), nil
+
+	case physical.KConsume:
+		return &workerLeaf{ss: leaves[spec]}, nil
+
+	default:
+		return nil, fmt.Errorf("engine: operator kind %v not parallel-eligible", spec.Kind)
+	}
+}
+
+// collectLeaves creates one sharedSource per leaf spec, each with its own
+// worker-style context.
+func (r *FragmentRuntime) collectLeaves(spec *physical.OpSpec, ectx *ExecContext, leaves map[*physical.OpSpec]*sharedSource) error {
+	switch spec.Kind {
+	case physical.KScan:
+		leaves[spec] = newScanSource(&TableScan{Table: spec.Table}, ectx.workerContext())
+	case physical.KConsume:
+		c := r.consumers[spec.Exchange]
+		if c == nil {
+			return fmt.Errorf("engine: no consumer for exchange %s", spec.Exchange)
+		}
+		leaves[spec] = newConsumerSource(c, ectx.workerContext())
+	}
+	for _, child := range spec.Children {
+		if err := r.collectLeaves(child, ectx, leaves); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parMonitor merges the workers' per-meter cost windows into the fragment's
+// M1 event stream: same event contents as the serial driver (cost and wait
+// per tuple over the window, cumulative selectivity and produced count),
+// with windows closing on the first batch that crosses the MonitorEvery
+// boundary. Emission happens under the lock so Produced stays monotonic.
+type parMonitor struct {
+	r    *FragmentRuntime
+	ectx *ExecContext
+
+	mu       sync.Mutex
+	meters   []*vtime.Meter
+	offsets  []float64
+	count    int64
+	lastN    int64
+	lastCost float64
+	lastWait float64
+}
+
+func newParMonitor(r *FragmentRuntime, ectx *ExecContext) *parMonitor {
+	return &parMonitor{r: r, ectx: ectx, lastWait: r.waitMs()}
+}
+
+// track registers a meter whose charges from this point on belong to the
+// fragment's processing cost. Workers register after opening their chain, so
+// startup and build-phase charges stay outside the windows — exactly where
+// the serial driver's baseline puts them.
+func (pm *parMonitor) track(m *vtime.Meter) {
+	pm.mu.Lock()
+	pm.meters = append(pm.meters, m)
+	pm.offsets = append(pm.offsets, m.ChargedMs())
+	pm.mu.Unlock()
+}
+
+func (pm *parMonitor) chargedLocked() float64 {
+	total := 0.0
+	for i, m := range pm.meters {
+		total += m.ChargedMs() - pm.offsets[i]
+	}
+	return total
+}
+
+// produced records n emitted tuples and closes the M1 window if it filled.
+func (pm *parMonitor) produced(n int) {
+	ectx := pm.ectx
+	if ectx.Monitor == nil || ectx.MonitorEvery <= 0 {
+		return
+	}
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	pm.count += int64(n)
+	interval := pm.count - pm.lastN
+	if interval < int64(ectx.MonitorEvery) {
+		return
+	}
+	charged := pm.chargedLocked()
+	wait := pm.r.waitMs()
+	consumed := pm.r.consumedTuples()
+	sel := 1.0
+	if consumed > 0 {
+		sel = float64(pm.count) / float64(consumed)
+	}
+	ectx.Monitor.EmitM1(M1Event{
+		Fragment:       ectx.Fragment,
+		Instance:       ectx.Instance,
+		Node:           pm.r.cfg.Node,
+		CostPerTupleMs: (charged - pm.lastCost) / float64(interval),
+		WaitPerTupleMs: (wait - pm.lastWait) / float64(interval),
+		Selectivity:    sel,
+		Produced:       pm.count,
+	})
+	pm.lastN, pm.lastCost, pm.lastWait = pm.count, charged, wait
+}
+
+// abortBarriers releases workers blocked on a stateful operator's build
+// barrier when a sibling failed before arriving there.
+func (r *FragmentRuntime) abortBarriers() {
+	for _, j := range r.joinBySpec {
+		j.Abort()
+	}
+	for _, a := range r.aggBySpec {
+		a.Abort()
+	}
+}
+
+// runParallel is the morsel-driven counterpart of the serial Run body: it
+// builds one operator chain per worker over shared leaves and shared
+// operator state, runs them concurrently, and lets each worker push its
+// batches into the sharded producer independently. Startup costs have
+// already been charged by Run.
+func (r *FragmentRuntime) runParallel(ctx context.Context, workers int) error {
+	ectx := r.cfg.Ctx
+	leaves := make(map[*physical.OpSpec]*sharedSource)
+	if err := r.collectLeaves(r.cfg.Fragment.Root, ectx, leaves); err != nil {
+		return r.fail(err)
+	}
+	chains := make([]Iterator, workers)
+	wctxs := make([]*ExecContext, workers)
+	for w := range chains {
+		chain, err := r.buildWorkerChain(r.cfg.Fragment.Root, leaves)
+		if err != nil {
+			return r.fail(err)
+		}
+		chains[w] = chain
+		wctxs[w] = ectx.workerContext()
+	}
+	for _, j := range r.joinBySpec {
+		j.SetWorkers(workers)
+	}
+	for _, a := range r.aggBySpec {
+		a.SetWorkers(workers)
+	}
+
+	o := obs.Default()
+	gauge := o.Gauge(obs.MEngineParallelWorkers)
+	morselMs := o.Histogram(obs.MEngineMorselMs, obs.DefBucketsLatencyMs)
+	gauge.Add(int64(workers))
+	defer gauge.Add(int64(-workers))
+
+	if ctx.Done() != nil {
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			select {
+			case <-ctx.Done():
+				r.interrupt(qerr.FromContext(ctx))
+				r.abortBarriers()
+			case <-done:
+			}
+		}()
+	}
+
+	pm := newParMonitor(r, ectx)
+	for _, ss := range leaves {
+		if ss.src != nil {
+			pm.track(ss.ctx.Meter)
+		}
+	}
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	failWorker := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			r.fail(err)
+			// Unblock siblings parked in consumer waits, producer barriers,
+			// or a build barrier the failed worker never reached.
+			r.interrupt(err)
+			r.abortBarriers()
+		})
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(chain Iterator, wctx *ExecContext) {
+			defer wg.Done()
+			if err := r.workerLoop(ctx, chain, wctx, pm, morselMs); err != nil {
+				failWorker(err)
+			}
+		}(chains[w], wctxs[w])
+	}
+	wg.Wait()
+
+	if ctx.Err() != nil {
+		return r.fail(qerr.FromContext(ctx))
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	if err := r.producer.Close(); err != nil {
+		return r.fail(err)
+	}
+	ectx.Meter.Flush()
+	return nil
+}
+
+// workerLoop drives one worker's chain: open, pull morsels, send each to the
+// output exchange charging this worker's meter, close.
+func (r *FragmentRuntime) workerLoop(ctx context.Context, chain Iterator, wctx *ExecContext, pm *parMonitor, morselMs *obs.Histogram) error {
+	if err := chain.Open(wctx); err != nil {
+		_ = chain.Close()
+		return err
+	}
+	pm.track(wctx.Meter)
+	batch := relation.GetBatch()
+	batch.SetLimit(batchLimit(wctx, relation.DefaultBatchSize))
+	defer batch.Release()
+	defer func() { _ = chain.Close() }()
+	for {
+		if ctx.Err() != nil {
+			return nil // the driver reports the cancellation once
+		}
+		start := wctx.Clock.NowMs()
+		n, err := FillBatch(chain, batch)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			return nil
+		}
+		if err := r.producer.SendBatchMeter(batch.Tuples, wctx.Meter); err != nil {
+			return err
+		}
+		morselMs.Observe(wctx.Clock.NowMs() - start)
+		r.mu.Lock()
+		r.produced += int64(n)
+		r.mu.Unlock()
+		r.obsProduced.Add(int64(n))
+		r.obsBatchSize.Observe(float64(n))
+		pm.produced(n)
+	}
+}

@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/obs"
 	"repro/internal/qerr"
 	"repro/internal/relation"
 	"repro/internal/simnet"
 	"repro/internal/transport"
+	"repro/internal/vtime"
 )
 
 // DefaultBufferTuples is how many tuples a producer batches per buffer; the
@@ -29,6 +31,152 @@ type logEntry struct {
 	bucket int32
 }
 
+type bufEntry struct {
+	seq    int64
+	bucket int32
+	tuple  relation.Tuple
+}
+
+// producerShard is the per-consumer slice of the producer's mutable state:
+// the pending buffer, the recovery log, the stream sequence counter and the
+// checkpoint interval position. Concurrent senders routing to different
+// consumers touch disjoint shards and never contend; everything that must
+// observe a consistent cross-shard picture (Pause, Replay, Resend, Close)
+// goes through the flow barrier instead.
+type producerShard struct {
+	mu        sync.Mutex
+	buf       []bufEntry
+	log       map[int64]logEntry
+	nextSeq   int64
+	sinceCkpt int
+}
+
+// flowBarrier coordinates the producer's data plane (Send/SendBatch, from
+// one driver or many morsel workers) with its control plane. Data-plane
+// calls enter as "active" and are blocked while the producer is paused or a
+// control operation holds the barrier exclusively; acknowledgements enter
+// too but are blocked only by exclusive sections — acks must keep flowing
+// during an R1 pause, or a downstream quiesce waiting on a worker whose ack
+// is in flight would deadlock. Exclusive acquisition waits for every active
+// call to drain, giving Pause/Replay/Resend/Close the same atomicity the
+// old single producer mutex provided: no ack can delete a log entry between
+// a replay's snapshot and its migration, and no sender can slip a tuple
+// into a half-flushed picture.
+type flowBarrier struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	active    int
+	paused    bool
+	exclusive bool
+	cancelErr error
+}
+
+func (b *flowBarrier) init() { b.cond = sync.NewCond(&b.mu) }
+
+// enter admits a data-plane call, blocking while paused or exclusive. The
+// caller's meter is flushed before parking so the modelled cost of already
+// processed tuples is fully paid (mirroring the consumer-side convention).
+func (b *flowBarrier) enter(m *vtime.Meter) error {
+	b.mu.Lock()
+	for (b.paused || b.exclusive) && b.cancelErr == nil {
+		if m != nil {
+			m.Flush()
+		}
+		b.cond.Wait()
+	}
+	if b.cancelErr != nil {
+		err := b.cancelErr
+		b.mu.Unlock()
+		return err
+	}
+	b.active++
+	b.mu.Unlock()
+	return nil
+}
+
+// enterAck admits an acknowledgement, blocking only on exclusive sections.
+func (b *flowBarrier) enterAck() {
+	b.mu.Lock()
+	for b.exclusive {
+		b.cond.Wait()
+	}
+	b.active++
+	b.mu.Unlock()
+}
+
+func (b *flowBarrier) exit() {
+	b.mu.Lock()
+	b.active--
+	if b.active == 0 {
+		b.cond.Broadcast()
+	}
+	b.mu.Unlock()
+}
+
+// lockExclusive blocks new entries and waits until the data plane drains.
+func (b *flowBarrier) lockExclusive() {
+	b.mu.Lock()
+	for b.exclusive {
+		b.cond.Wait()
+	}
+	b.exclusive = true
+	for b.active > 0 {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+func (b *flowBarrier) unlockExclusive() {
+	b.mu.Lock()
+	b.exclusive = false
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+func (b *flowBarrier) setPaused(v bool) {
+	b.mu.Lock()
+	b.paused = v
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+func (b *flowBarrier) cancel(cause error) {
+	b.mu.Lock()
+	if b.cancelErr == nil {
+		b.cancelErr = cause
+		b.cond.Broadcast()
+	}
+	b.mu.Unlock()
+}
+
+func (b *flowBarrier) err() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.cancelErr
+}
+
+// routeScratch is SendBatch's pooled routing scratch.
+type routeScratch struct {
+	consumers []int
+	buckets   []int32
+}
+
+var routeScratchPool = sync.Pool{New: func() any { return new(routeScratch) }}
+
+// sendFrame is a pooled outgoing-buffer frame: the message header plus the
+// tuple and bucket slices it points at. Both transports release the frame
+// synchronously — the in-proc transport runs the handler before Send
+// returns, and the TCP transport fully encodes the message into its own
+// wire buffer — so the frame is reusable as soon as flushShardLocked is
+// done with it.
+type sendFrame struct {
+	msg     transport.Message
+	tuples  []relation.Tuple
+	buckets []int32
+}
+
+var framePool = sync.Pool{New: func() any { return new(sendFrame) }}
+
 // Producer is the sending half of an exchange: it routes the fragment's
 // output tuples to the consumer instances under the current distribution
 // policy, batches them into buffers, inserts checkpoints, and keeps every
@@ -36,6 +184,12 @@ type logEntry struct {
 // substrate of retrospective adaptation: it contains, at any point, the
 // in-transit tuples plus the tuples making up downstream operator state
 // (paper §3.1, Response).
+//
+// State is sharded per consumer so that concurrent morsel workers calling
+// SendBatch serialize only when routing to the same consumer; routed and
+// buffer counters are atomic (exact, no sampling), and the control plane
+// takes the flow barrier to retain the R1/R2 protocol semantics of the
+// previous single-mutex design.
 type Producer struct {
 	Exchange string
 	// Fragment and Instance identify the producing subplan clone.
@@ -61,32 +215,20 @@ type Producer struct {
 	bufferTuples    int
 	checkpointEvery int
 
-	mu        sync.Mutex
-	sendCond  *sync.Cond
-	paused    bool
-	cancelErr error
-	epoch     int
-	buffers   [][]bufEntry
-	logs      []map[int64]logEntry
-	nextSeq   []int64
-	sinceCkpt []int
-	routed    int64
+	barrier flowBarrier
+	shards  []*producerShard
+
+	routed      atomic.Int64
+	buffersSent atomic.Int64
+	epoch       atomic.Int64
+
+	// finMu guards the end-of-stream protocol (driver EOS seen, EOS sent).
+	finMu     sync.Mutex
 	driverEOS bool
 	eosSent   bool
-	// buffersSent counts transmitted buffers, for overhead reporting.
-	buffersSent int64
-	// routeConsumers/routeBuckets are SendBatch's reusable routing scratch.
-	routeConsumers []int
-	routeBuckets   []int32
 
 	obsRouted  *obs.Counter
 	obsBuffers *obs.Counter
-}
-
-type bufEntry struct {
-	seq    int64
-	bucket int32
-	tuple  relation.Tuple
 }
 
 // ProducerConfig collects construction parameters.
@@ -121,10 +263,7 @@ func NewProducer(cfg ProducerConfig) *Producer {
 		node:             cfg.Node,
 		bufferTuples:     cfg.BufferTuples,
 		checkpointEvery:  cfg.CheckpointEvery,
-		buffers:          make([][]bufEntry, n),
-		logs:             make([]map[int64]logEntry, n),
-		nextSeq:          make([]int64, n),
-		sinceCkpt:        make([]int, n),
+		shards:           make([]*producerShard, n),
 		obsRouted:        obs.Default().Counter(obs.Label(obs.MExchangeTuplesRouted, "exchange", cfg.Exchange)),
 		obsBuffers:       obs.Default().Counter(obs.Label(obs.MExchangeBuffersSent, "exchange", cfg.Exchange)),
 	}
@@ -134,11 +273,10 @@ func NewProducer(cfg ProducerConfig) *Producer {
 	if p.checkpointEvery <= 0 {
 		p.checkpointEvery = DefaultCheckpointEvery
 	}
-	for i := range p.logs {
-		p.logs[i] = make(map[int64]logEntry)
-		p.nextSeq[i] = 1
+	for i := range p.shards {
+		p.shards[i] = &producerShard{log: make(map[int64]logEntry), nextSeq: 1}
 	}
-	p.sendCond = sync.NewCond(&p.mu)
+	p.barrier.init()
 	return p
 }
 
@@ -146,127 +284,191 @@ func NewProducer(cfg ProducerConfig) *Producer {
 // before the driver starts).
 func (p *Producer) Bind(ctx *ExecContext) { p.ctx = ctx }
 
+func (p *Producer) driverMeter() *vtime.Meter {
+	if p.ctx == nil {
+		return nil
+	}
+	return p.ctx.Meter
+}
+
 // Send routes one tuple. It blocks while the producer is paused by the
 // control plane and returns the cancellation cause if the exchange is
 // canceled (before or while blocked).
 func (p *Producer) Send(t relation.Tuple) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for p.paused && p.cancelErr == nil {
-		p.ctx.Meter.Flush()
-		p.sendCond.Wait()
+	m := p.driverMeter()
+	if err := p.barrier.enter(m); err != nil {
+		return err
 	}
-	if p.cancelErr != nil {
-		return p.cancelErr
-	}
-	if p.ctx != nil && p.ctx.Costs.LogAppendMs > 0 {
-		p.ctx.chargeFlat(p.ctx.Costs.LogAppendMs)
+	defer p.barrier.exit()
+	if p.ctx != nil && p.ctx.Costs.LogAppendMs > 0 && m != nil {
+		m.Charge(p.ctx.Costs.LogAppendMs)
 	}
 	consumer, bucket := p.policy.Route(t)
-	p.appendLocked(consumer, bucket, t)
-	p.routed++
-	if len(p.buffers[consumer]) >= p.bufferTuples {
-		return p.flushLocked(consumer, false)
+	s := p.shards[consumer]
+	s.mu.Lock()
+	p.appendShardLocked(s, bucket, t)
+	var err error
+	if len(s.buf) >= p.bufferTuples {
+		err = p.flushShardLocked(consumer, s, false)
 	}
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	p.routed.Add(1)
 	return nil
 }
 
-// SendBatch routes a whole batch of tuples under one producer-lock and one
-// policy-lock acquisition. Everything else — per-tuple sequence numbers,
-// recovery-log entries, buffer boundaries, checkpoint insertion, and the
-// per-buffer M2 monitoring events — is identical to len(ts) sequential Send
-// calls, so the R1/R2 redistribution protocols and the monitoring cadence
-// are unaffected by batching. It blocks while the producer is paused.
+// SendBatch routes a whole batch of tuples under one policy-lock and one
+// shard-lock acquisition per consumer. Per consumer, everything — tuple
+// order, sequence numbers, recovery-log entries, buffer boundaries,
+// checkpoint insertion, and the per-buffer M2 monitoring events — is
+// identical to len(ts) sequential Send calls, so the R1/R2 redistribution
+// protocols and the monitoring cadence are unaffected by batching. It
+// blocks while the producer is paused.
 func (p *Producer) SendBatch(ts []relation.Tuple) error {
+	return p.sendBatch(ts, p.driverMeter())
+}
+
+// SendBatchMeter is SendBatch with the modelled log-management cost charged
+// to m instead of the bound context's meter. Morsel workers use it: a
+// vtime.Meter is goroutine-confined, so each worker passes its own while
+// all of them share one producer.
+func (p *Producer) SendBatchMeter(ts []relation.Tuple, m *vtime.Meter) error {
+	return p.sendBatch(ts, m)
+}
+
+func (p *Producer) sendBatch(ts []relation.Tuple, m *vtime.Meter) error {
 	if len(ts) == 0 {
 		return nil
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for p.paused && p.cancelErr == nil {
-		p.ctx.Meter.Flush()
-		p.sendCond.Wait()
+	if err := p.barrier.enter(m); err != nil {
+		return err
 	}
-	if p.cancelErr != nil {
-		return p.cancelErr
+	defer p.barrier.exit()
+	if p.ctx != nil && p.ctx.Costs.LogAppendMs > 0 && m != nil {
+		m.Charge(p.ctx.Costs.LogAppendMs * float64(len(ts)))
 	}
-	if p.ctx != nil && p.ctx.Costs.LogAppendMs > 0 {
-		p.ctx.chargeFlat(p.ctx.Costs.LogAppendMs * float64(len(ts)))
+	sc := routeScratchPool.Get().(*routeScratch)
+	if cap(sc.consumers) < len(ts) {
+		sc.consumers = make([]int, len(ts))
+		sc.buckets = make([]int32, len(ts))
 	}
-	if cap(p.routeConsumers) < len(ts) {
-		p.routeConsumers = make([]int, len(ts))
-		p.routeBuckets = make([]int32, len(ts))
-	}
-	consumers := p.routeConsumers[:len(ts)]
-	buckets := p.routeBuckets[:len(ts)]
+	consumers := sc.consumers[:len(ts)]
+	buckets := sc.buckets[:len(ts)]
 	p.policy.RouteBatch(ts, consumers, buckets)
-	for i, t := range ts {
-		consumer := consumers[i]
-		p.appendLocked(consumer, buckets[i], t)
-		p.routed++
-		if len(p.buffers[consumer]) >= p.bufferTuples {
-			if err := p.flushLocked(consumer, false); err != nil {
-				return err
+	// Two passes: for each consumer with routed tuples, take its shard lock
+	// once and append that consumer's tuples in batch order. Per-consumer
+	// relative order (and hence sequence assignment and checkpoint
+	// positions) matches the interleaved serial walk exactly; only the
+	// cross-consumer interleaving of M2 events differs, which carries no
+	// protocol meaning.
+	var err error
+outer:
+	for c, s := range p.shards {
+		locked := false
+		for i, target := range consumers {
+			if target != c {
+				continue
+			}
+			if !locked {
+				s.mu.Lock()
+				locked = true
+			}
+			p.appendShardLocked(s, buckets[i], ts[i])
+			if len(s.buf) >= p.bufferTuples {
+				if err = p.flushShardLocked(c, s, false); err != nil {
+					s.mu.Unlock()
+					break outer
+				}
 			}
 		}
+		if locked {
+			s.mu.Unlock()
+		}
 	}
+	routeScratchPool.Put(sc)
+	if err != nil {
+		return err
+	}
+	p.routed.Add(int64(len(ts)))
 	p.obsRouted.Add(int64(len(ts)))
 	return nil
 }
 
-// appendLocked assigns the next stream sequence and records the tuple in
-// buffer and recovery log.
-func (p *Producer) appendLocked(consumer int, bucket int32, t relation.Tuple) {
-	seq := p.nextSeq[consumer]
-	p.nextSeq[consumer]++
-	p.buffers[consumer] = append(p.buffers[consumer], bufEntry{seq: seq, bucket: bucket, tuple: t})
-	p.logs[consumer][seq] = logEntry{tuple: t, bucket: bucket}
+// appendShardLocked assigns the next stream sequence and records the tuple
+// in the shard's buffer and recovery log. Caller holds s.mu.
+func (p *Producer) appendShardLocked(s *producerShard, bucket int32, t relation.Tuple) {
+	seq := s.nextSeq
+	s.nextSeq++
+	s.buf = append(s.buf, bufEntry{seq: seq, bucket: bucket, tuple: t})
+	s.log[seq] = logEntry{tuple: t, bucket: bucket}
 }
 
-// flushLocked transmits consumer's pending buffer, inserting a checkpoint
-// when the interval is due, and emits the M2 monitoring event.
-func (p *Producer) flushLocked(consumer int, replay bool) error {
-	buf := p.buffers[consumer]
+// flushShardLocked transmits the shard's pending buffer through a pooled
+// frame, inserting a checkpoint when the interval is due, and emits the M2
+// monitoring event. Caller holds s.mu.
+func (p *Producer) flushShardLocked(consumer int, s *producerShard, replay bool) error {
+	buf := s.buf
 	if len(buf) == 0 {
 		return nil
 	}
-	p.buffers[consumer] = nil
-	msg := &transport.Message{
-		Kind:        transport.KindData,
-		Exchange:    p.Exchange,
-		ProducerIdx: p.Instance,
-		ConsumerIdx: consumer,
-		Epoch:       p.epoch,
-		StartSeq:    buf[0].seq,
-		Replay:      replay,
-	}
-	msg.Tuples = make([]relation.Tuple, len(buf))
+	fr := framePool.Get().(*sendFrame)
+	tuples := fr.tuples[:0]
 	hasBuckets := false
-	for i, e := range buf {
-		msg.Tuples[i] = e.tuple
+	for _, e := range buf {
+		tuples = append(tuples, e.tuple)
 		if e.bucket >= 0 {
 			hasBuckets = true
 		}
 	}
+	msg := &fr.msg
+	*msg = transport.Message{
+		Kind:        transport.KindData,
+		Exchange:    p.Exchange,
+		ProducerIdx: p.Instance,
+		ConsumerIdx: consumer,
+		Epoch:       int(p.epoch.Load()),
+		StartSeq:    buf[0].seq,
+		Replay:      replay,
+		Tuples:      tuples,
+	}
+	bks := fr.buckets[:0]
 	if hasBuckets {
-		msg.Buckets = make([]int32, len(buf))
-		for i, e := range buf {
-			msg.Buckets[i] = e.bucket
+		for _, e := range buf {
+			bks = append(bks, e.bucket)
 		}
+		msg.Buckets = bks
 	}
 	if !replay {
-		p.sinceCkpt[consumer] += len(buf)
-		if p.sinceCkpt[consumer] >= p.checkpointEvery {
+		s.sinceCkpt += len(buf)
+		if s.sinceCkpt >= p.checkpointEvery {
 			msg.Checkpoint = buf[len(buf)-1].seq
-			p.sinceCkpt[consumer] = 0
+			s.sinceCkpt = 0
 		}
 	}
+	// Drop the tuple references before reusing the backing array.
+	for i := range buf {
+		buf[i] = bufEntry{}
+	}
+	s.buf = buf[:0]
+	count := len(tuples)
 	addr := p.Consumers[consumer]
 	cost, err := p.tr.Send(p.node, addr.Node, addr.Service, msg)
+	// Both transports are done with the frame once Send returns (in-proc
+	// dispatches synchronously, TCP encodes into its own wire buffer), so
+	// it can be cleared and recycled.
+	for i := range tuples {
+		tuples[i] = nil
+	}
+	fr.tuples = tuples[:0]
+	fr.buckets = bks[:0]
+	fr.msg = transport.Message{}
+	framePool.Put(fr)
 	if err != nil {
 		return qerr.Transport(fmt.Sprintf("exchange %s flush to %s", p.Exchange, addr.Service), err)
 	}
-	p.buffersSent++
+	p.buffersSent.Add(1)
 	p.obsBuffers.Inc()
 	if p.ctx != nil && p.ctx.Monitor != nil {
 		p.ctx.Monitor.EmitM2(M2Event{
@@ -278,8 +480,21 @@ func (p *Producer) flushLocked(consumer int, replay bool) error {
 			ConsumerInstance: consumer,
 			ConsumerNode:     addr.Node,
 			SendCostMs:       cost,
-			TupleCount:       len(msg.Tuples),
+			TupleCount:       count,
 		})
+	}
+	return nil
+}
+
+// flushAll flushes every shard. Call with the barrier held exclusively.
+func (p *Producer) flushAll(replay bool) error {
+	for c, s := range p.shards {
+		s.mu.Lock()
+		err := p.flushShardLocked(c, s, replay)
+		s.mu.Unlock()
+		if err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -289,16 +504,16 @@ func (p *Producer) flushLocked(consumer int, replay bool) error {
 // exchange refuses to close normally — no EOS must reach consumers that the
 // cancellation is tearing down.
 func (p *Producer) Close() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.cancelErr != nil {
-		return p.cancelErr
+	p.barrier.lockExclusive()
+	defer p.barrier.unlockExclusive()
+	if err := p.barrier.err(); err != nil {
+		return err
 	}
-	for i := range p.buffers {
-		if err := p.flushLocked(i, false); err != nil {
-			return err
-		}
+	if err := p.flushAll(false); err != nil {
+		return err
 	}
+	p.finMu.Lock()
+	defer p.finMu.Unlock()
 	p.driverEOS = true
 	if err := p.finalizeCheckpointsLocked(); err != nil {
 		return err
@@ -308,23 +523,30 @@ func (p *Producer) Close() error {
 
 // finalizeCheckpointsLocked closes the open checkpoint interval of every
 // stream once the driver is done: without it the tail tuples would never be
-// acknowledged and the recovery log would never drain.
+// acknowledged and the recovery log would never drain. Caller holds finMu.
 func (p *Producer) finalizeCheckpointsLocked() error {
 	if !p.driverEOS || p.Stateful {
 		return nil
 	}
-	for c := range p.Consumers {
-		if p.sinceCkpt[c] == 0 || p.nextSeq[c] == 1 {
+	for c, s := range p.shards {
+		s.mu.Lock()
+		skip := s.sinceCkpt == 0 || s.nextSeq == 1
+		var ck int64
+		if !skip {
+			s.sinceCkpt = 0
+			ck = s.nextSeq - 1
+		}
+		s.mu.Unlock()
+		if skip {
 			continue
 		}
-		p.sinceCkpt[c] = 0
 		msg := &transport.Message{
 			Kind:        transport.KindData,
 			Exchange:    p.Exchange,
 			ProducerIdx: p.Instance,
 			ConsumerIdx: c,
-			Epoch:       p.epoch,
-			Checkpoint:  p.nextSeq[c] - 1,
+			Epoch:       int(p.epoch.Load()),
+			Checkpoint:  ck,
 		}
 		addr := p.Consumers[c]
 		if _, err := p.tr.Send(p.node, addr.Node, addr.Service, msg); err != nil {
@@ -339,14 +561,17 @@ func (p *Producer) finalizeCheckpointsLocked() error {
 // build phase must terminate; the log stays for replay). For a stateless
 // exchange the signal is deferred until the recovery log drains, because
 // logged tuples may yet be recalled and re-routed to consumers that would
-// otherwise have finished.
+// otherwise have finished. Caller holds finMu.
 func (p *Producer) maybeFinishLocked() error {
 	if !p.driverEOS || p.eosSent {
 		return nil
 	}
 	if !p.Stateful {
-		for _, log := range p.logs {
-			if len(log) > 0 {
+		for _, s := range p.shards {
+			s.mu.Lock()
+			n := len(s.log)
+			s.mu.Unlock()
+			if n > 0 {
 				return nil
 			}
 		}
@@ -375,24 +600,23 @@ func (p *Producer) Cancel(cause error) {
 	if cause == nil {
 		cause = qerr.ErrCanceled
 	}
-	p.mu.Lock()
-	if p.cancelErr == nil {
-		p.cancelErr = cause
-		p.sendCond.Broadcast()
-	}
-	p.mu.Unlock()
+	p.barrier.cancel(cause)
 }
 
 // HandleAck releases acknowledged log entries (stateless exchanges only;
 // stateful logs persist until Release). Sequences listed in Except were
 // discarded by a recall: they stay logged until the resend step migrates
-// them to their new consumer.
+// them to their new consumer. Acks pass the flow barrier in ack mode: they
+// keep flowing while the producer is paused (blocking them would deadlock a
+// downstream quiesce waiting on a worker whose ack is in flight) but are
+// excluded from exclusive control sections, so an ack can never delete a
+// log entry between a Replay's snapshot and its migration.
 func (p *Producer) HandleAck(msg *transport.Message) {
 	if p.Stateful {
 		return
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.barrier.enterAck()
+	defer p.barrier.exit()
 	var keep map[int64]bool
 	if len(msg.Except) > 0 {
 		keep = make(map[int64]bool, len(msg.Except))
@@ -400,51 +624,55 @@ func (p *Producer) HandleAck(msg *transport.Message) {
 			keep[s] = true
 		}
 	}
-	log := p.logs[msg.ConsumerIdx]
-	for seq := range log {
+	s := p.shards[msg.ConsumerIdx]
+	s.mu.Lock()
+	for seq := range s.log {
 		if seq <= msg.Checkpoint && !keep[seq] {
-			delete(log, seq)
+			delete(s.log, seq)
 		}
 	}
+	s.mu.Unlock()
+	p.finMu.Lock()
 	_ = p.maybeFinishLocked()
+	p.finMu.Unlock()
 }
 
 // Pause stops the normal flow after flushing pending buffers, so that when
 // it returns every routed tuple is at (or on the wire to) its consumer and
-// the retrospective protocol sees a consistent picture.
+// the retrospective protocol sees a consistent picture. The paused flag is
+// raised inside the exclusive section, so no sender can slip a tuple in
+// between the flush and the pause taking effect.
 func (p *Producer) Pause() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for i := range p.buffers {
-		if err := p.flushLocked(i, false); err != nil {
-			return err
-		}
+	p.barrier.lockExclusive()
+	if err := p.flushAll(false); err != nil {
+		p.barrier.unlockExclusive()
+		return err
 	}
-	p.paused = true
+	p.barrier.setPaused(true)
+	p.barrier.unlockExclusive()
 	return nil
 }
 
 // Resume restarts the normal flow.
 func (p *Producer) Resume() {
-	p.mu.Lock()
-	p.paused = false
-	p.epoch++
-	p.sendCond.Broadcast()
-	p.mu.Unlock()
+	p.epoch.Add(1)
+	p.barrier.setPaused(false)
 }
 
-// SetWeights installs a new distribution vector (prospective, R2).
+// SetWeights installs a new distribution vector (prospective, R2). It takes
+// the barrier so the swap is atomic with respect to in-flight batches: every
+// batch routes entirely under the old vector or entirely under the new one.
 func (p *Producer) SetWeights(w []float64) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.barrier.lockExclusive()
+	defer p.barrier.unlockExclusive()
 	_, err := p.policy.SetWeights(w)
 	return err
 }
 
 // SetOwnerMap installs a new bucket→owner map (hash policies).
 func (p *Producer) SetOwnerMap(m []int32) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.barrier.lockExclusive()
+	defer p.barrier.unlockExclusive()
 	return p.policy.SetOwnerMap(m)
 }
 
@@ -453,9 +681,7 @@ func (p *Producer) Weights() []float64 { return p.policy.Weights() }
 
 // Progress reports routed tuples and the optimiser's estimate.
 func (p *Producer) Progress() (routed, est int64) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.routed, p.Est
+	return p.routed.Load(), p.Est
 }
 
 // Replay retransmits every logged tuple belonging to the given buckets,
@@ -467,8 +693,8 @@ func (p *Producer) Replay(buckets []int32) (int, error) {
 	for _, b := range buckets {
 		set[b] = true
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.barrier.lockExclusive()
+	defer p.barrier.unlockExclusive()
 	// Snapshot every affected entry across all logs BEFORE migrating any:
 	// entries appended to the new owner's log during migration must not be
 	// replayed a second time when the iteration reaches that log, or the
@@ -479,12 +705,14 @@ func (p *Producer) Replay(buckets []int32) (int, error) {
 		e        logEntry
 	}
 	var pending []movedEntry
-	for consumer, log := range p.logs {
-		for seq, e := range log {
+	for consumer, s := range p.shards {
+		s.mu.Lock()
+		for seq, e := range s.log {
 			if set[e.bucket] {
 				pending = append(pending, movedEntry{consumer: consumer, seq: seq, e: e})
 			}
 		}
+		s.mu.Unlock()
 	}
 	sort.Slice(pending, func(i, j int) bool {
 		if pending[i].consumer != pending[j].consumer {
@@ -493,21 +721,27 @@ func (p *Producer) Replay(buckets []int32) (int, error) {
 		return pending[i].seq < pending[j].seq
 	})
 	moved := 0
-	for _, m := range pending {
-		delete(p.logs[m.consumer], m.seq)
-		target := p.policy.RouteBucket(m.e.bucket)
-		p.appendLocked(target, m.e.bucket, m.e.tuple)
+	for _, mv := range pending {
+		src := p.shards[mv.consumer]
+		src.mu.Lock()
+		delete(src.log, mv.seq)
+		src.mu.Unlock()
+		target := p.policy.RouteBucket(mv.e.bucket)
+		dst := p.shards[target]
+		dst.mu.Lock()
+		p.appendShardLocked(dst, mv.e.bucket, mv.e.tuple)
 		moved++
-		if len(p.buffers[target]) >= p.bufferTuples {
-			if err := p.flushLocked(target, true); err != nil {
-				return moved, err
-			}
+		var err error
+		if len(dst.buf) >= p.bufferTuples {
+			err = p.flushShardLocked(target, dst, true)
 		}
-	}
-	for i := range p.buffers {
-		if err := p.flushLocked(i, true); err != nil {
+		dst.mu.Unlock()
+		if err != nil {
 			return moved, err
 		}
+	}
+	if err := p.flushAll(true); err != nil {
+		return moved, err
 	}
 	return moved, nil
 }
@@ -515,37 +749,46 @@ func (p *Producer) Replay(buckets []int32) (int, error) {
 // Resend re-routes previously discarded tuples (reported by a consumer
 // recall) under the current policy as normal flow. Call while paused.
 func (p *Producer) Resend(fromConsumer int, seqs []int64) (int, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	log := p.logs[fromConsumer]
+	p.barrier.lockExclusive()
+	defer p.barrier.unlockExclusive()
+	src := p.shards[fromConsumer]
 	sorted := append([]int64(nil), seqs...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	n := 0
 	for _, seq := range sorted {
-		e, ok := log[seq]
+		src.mu.Lock()
+		e, ok := src.log[seq]
+		if ok {
+			delete(src.log, seq)
+		}
+		src.mu.Unlock()
 		if !ok {
 			return n, fmt.Errorf("engine: resend of unknown seq %d on %s/consumer %d", seq, p.Exchange, fromConsumer)
 		}
-		delete(log, seq)
 		var target int
 		if e.bucket >= 0 {
 			target = p.policy.RouteBucket(e.bucket)
 		} else {
 			target, _ = p.policy.Route(e.tuple)
 		}
-		p.appendLocked(target, e.bucket, e.tuple)
+		dst := p.shards[target]
+		dst.mu.Lock()
+		p.appendShardLocked(dst, e.bucket, e.tuple)
 		n++
-		if len(p.buffers[target]) >= p.bufferTuples {
-			if err := p.flushLocked(target, false); err != nil {
-				return n, err
-			}
+		var err error
+		if len(dst.buf) >= p.bufferTuples {
+			err = p.flushShardLocked(target, dst, false)
 		}
-	}
-	for i := range p.buffers {
-		if err := p.flushLocked(i, false); err != nil {
+		dst.mu.Unlock()
+		if err != nil {
 			return n, err
 		}
 	}
+	if err := p.flushAll(false); err != nil {
+		return n, err
+	}
+	p.finMu.Lock()
+	defer p.finMu.Unlock()
 	if err := p.finalizeCheckpointsLocked(); err != nil {
 		return n, err
 	}
@@ -555,33 +798,33 @@ func (p *Producer) Resend(fromConsumer int, seqs []int64) (int, error) {
 
 // Release drops a stateful exchange's log at query end.
 func (p *Producer) Release() {
-	p.mu.Lock()
-	for i := range p.logs {
-		p.logs[i] = make(map[int64]logEntry)
+	for _, s := range p.shards {
+		s.mu.Lock()
+		s.log = make(map[int64]logEntry)
+		s.mu.Unlock()
 	}
-	p.mu.Unlock()
 }
 
 // Stats reports counters for the overhead experiments.
 func (p *Producer) Stats() (routed int64, buffers int64, logSize int) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	size := 0
-	for _, l := range p.logs {
-		size += len(l)
+	for _, s := range p.shards {
+		s.mu.Lock()
+		size += len(s.log)
+		s.mu.Unlock()
 	}
-	return p.routed, p.buffersSent, size
+	return p.routed.Load(), p.buffersSent.Load(), size
 }
 
 // ConsumerTupleCounts reports how many tuples were routed to each consumer
 // (cumulative, including resends); the paper reports the slow/fast ratio in
 // its overhead analysis.
 func (p *Producer) ConsumerTupleCounts() []int64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	counts := make([]int64, len(p.nextSeq))
-	for i, next := range p.nextSeq {
-		counts[i] = next - 1
+	counts := make([]int64, len(p.shards))
+	for i, s := range p.shards {
+		s.mu.Lock()
+		counts[i] = s.nextSeq - 1
+		s.mu.Unlock()
 	}
 	return counts
 }

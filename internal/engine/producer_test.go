@@ -40,8 +40,14 @@ func newProducerHarness(t *testing.T, consumers int, stateful bool, policy DistP
 		}
 		svc := "cons/" + string(rune('0'+i))
 		h.tr.Register(node, svc, func(_ simnet.NodeID, m *transport.Message) {
+			// The producer recycles data frames once Send returns, so the
+			// harness snapshots the message instead of retaining it — the
+			// same no-retention contract real consumers follow.
+			cp := *m
+			cp.Tuples = append([]relation.Tuple(nil), m.Tuples...)
+			cp.Buckets = append([]int32(nil), m.Buckets...)
 			h.mu.Lock()
-			h.received[i] = append(h.received[i], m)
+			h.received[i] = append(h.received[i], &cp)
 			h.mu.Unlock()
 		})
 		addrs[i] = Addr{Node: node, Service: svc}

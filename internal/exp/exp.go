@@ -78,6 +78,9 @@ type Config struct {
 	MonitorEvery int
 	// Perturb assigns an artificial load to WS node i.
 	Perturb map[int]vtime.Perturbation
+	// Parallelism is the morsel worker-pool width of every fragment driver
+	// (0 falls back to the package-level DefaultParallelism; 1 is serial).
+	Parallelism int
 	// Scale is the real duration of a paper millisecond (default 10µs).
 	Scale time.Duration
 	// Calibration overrides the default testbed parameters when non-nil.
@@ -122,6 +125,11 @@ func (c Config) withDefaults() Config {
 	}
 	return c
 }
+
+// DefaultParallelism is applied to every run whose Config leaves Parallelism
+// unset — the hook for the dqp-experiments -parallel flag (negative values
+// resolve to GOMAXPROCS inside the services layer).
+var DefaultParallelism int
 
 // WSNodeID names the i-th compute machine.
 func WSNodeID(i int) simnet.NodeID { return simnet.NodeID(fmt.Sprintf("ws%d", i)) }
@@ -187,12 +195,17 @@ func Run(cfg Config) (*Result, error) {
 	if thresA == 0 {
 		thresA = 0.20
 	}
+	parallelism := cfg.Parallelism
+	if parallelism == 0 {
+		parallelism = DefaultParallelism
+	}
 	gcfg := services.GDQSConfig{
 		Adaptive:     cfg.Adaptive,
 		MonitorEvery: cfg.MonitorEvery,
 		MED:          med,
 		Diagnoser:    core.DiagnoserConfig{ThresA: thresA, Assessment: cfg.Assessment},
 		Responder:    core.ResponderConfig{Response: cfg.Response, MaxProgress: 0.9},
+		Parallelism:  parallelism,
 		QueryTimeout: 10 * time.Minute,
 	}
 	g, err := services.NewGDQS(cluster, "coord", gcfg)

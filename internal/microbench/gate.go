@@ -1,0 +1,63 @@
+package microbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// DefaultGateTolerance is the allowed fractional ns_per_op regression before
+// the benchmark gate fails (25%: wide enough to absorb shared-runner noise,
+// tight enough to catch real hot-path regressions).
+const DefaultGateTolerance = 0.25
+
+// Regression is one benchmark whose current ns_per_op exceeds the recorded
+// baseline by more than the gate tolerance.
+type Regression struct {
+	Name       string
+	BaselineNs float64
+	CurrentNs  float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %.1f ns/op vs baseline %.1f ns/op (+%.0f%%)",
+		r.Name, r.CurrentNs, r.BaselineNs, (r.CurrentNs/r.BaselineNs-1)*100)
+}
+
+// Gate compares current results against a recorded baseline and returns
+// every regression beyond tolerance. Benchmarks present on only one side are
+// ignored: a new benchmark has no baseline to regress from, and a retired
+// baseline entry gates nothing.
+func Gate(baseline, current []Result, tolerance float64) []Regression {
+	if tolerance <= 0 {
+		tolerance = DefaultGateTolerance
+	}
+	base := make(map[string]float64, len(baseline))
+	for _, r := range baseline {
+		base[r.Name] = r.NsPerOp
+	}
+	var out []Regression
+	for _, r := range current {
+		b, ok := base[r.Name]
+		if !ok || b <= 0 {
+			continue
+		}
+		if r.NsPerOp > b*(1+tolerance) {
+			out = append(out, Regression{Name: r.Name, BaselineNs: b, CurrentNs: r.NsPerOp})
+		}
+	}
+	return out
+}
+
+// LoadBaseline reads a BENCH_micro.json produced by cmd/dqp-experiments.
+func LoadBaseline(path string) ([]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []Result
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("microbench: parse baseline %s: %w", path, err)
+	}
+	return out, nil
+}

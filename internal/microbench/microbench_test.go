@@ -1,6 +1,9 @@
 package microbench
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 func BenchmarkTupleEncode(b *testing.B)       { TupleEncode(b) }
 func BenchmarkTupleDecode(b *testing.B)       { TupleDecode(b) }
@@ -28,16 +31,29 @@ func BenchmarkObsMonitoringOverhead(b *testing.B) {
 	b.Run("baseline", ObsMonitoringOverheadBaseline)
 }
 
+// bestNs runs a benchmark three times, alternating with nothing in between,
+// and returns the fastest ns/op: on shared single-core runners a background
+// burst can slow any one run by 10%+, and the minimum is the standard robust
+// estimator for "how fast does this code actually go".
+func bestNs(fn func(*testing.B)) float64 {
+	best := math.Inf(1)
+	for i := 0; i < 3; i++ {
+		r := testing.Benchmark(fn)
+		if ns := float64(r.T.Nanoseconds()) / float64(r.N); ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
 // TestObsOverheadWithinBudget pins the observability acceptance bar: the
 // instrumented hot path must regress the uninstrumented drain by at most 5%.
 func TestObsOverheadWithinBudget(t *testing.T) {
 	if testing.Short() {
 		t.Skip("benchmark comparison")
 	}
-	base := testing.Benchmark(ObsMonitoringOverheadBaseline)
-	inst := testing.Benchmark(ObsMonitoringOverhead)
-	baseNs := float64(base.T.Nanoseconds()) / float64(base.N)
-	instNs := float64(inst.T.Nanoseconds()) / float64(inst.N)
+	baseNs := bestNs(ObsMonitoringOverheadBaseline)
+	instNs := bestNs(ObsMonitoringOverhead)
 	if instNs > baseNs*1.05 {
 		t.Errorf("instrumented drain %.0f ns/op vs baseline %.0f ns/op: overhead %.1f%%, budget 5%%",
 			instNs, baseNs, (instNs/baseNs-1)*100)
@@ -60,5 +76,64 @@ func TestBatchBeatsVolcano(t *testing.T) {
 	}
 	if bt.AllocsPerOp()*5 > v.AllocsPerOp() {
 		t.Errorf("batch path %d allocs/op vs volcano %d: want >=5x fewer", bt.AllocsPerOp(), v.AllocsPerOp())
+	}
+}
+
+// BenchmarkParallelChain sweeps the morsel pool width over the same chain
+// BatchChain drains serially.
+func BenchmarkParallelChain(b *testing.B) {
+	b.Run("w1", ParallelChain1)
+	b.Run("w2", ParallelChain2)
+	b.Run("w4", ParallelChain4)
+	b.Run("w8", ParallelChain8)
+}
+
+// BenchmarkPartitionedJoin sweeps the worker count over the shared-state
+// partitioned hash join.
+func BenchmarkPartitionedJoin(b *testing.B) {
+	b.Run("w1", PartitionedJoin1)
+	b.Run("w2", PartitionedJoin2)
+	b.Run("w4", PartitionedJoin4)
+	b.Run("w8", PartitionedJoin8)
+}
+
+func BenchmarkTupleDecodeIntoArena(b *testing.B) { TupleDecodeInto(b) }
+
+// TestParallelChainSerialParity pins the morsel mode's acceptance bar: a
+// single-worker pool must stay within 5% of the serial batch drain, so
+// Parallelism=1 never taxes configurations that don't opt in.
+func TestParallelChainSerialParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark comparison")
+	}
+	serial := bestNs(BatchChain)
+	pool := bestNs(ParallelChain1)
+	if pool > serial*1.05 {
+		t.Errorf("1-worker pool %.0f ns/op vs serial batch %.0f ns/op: overhead %.1f%%, budget 5%%",
+			pool, serial, (pool/serial-1)*100)
+	}
+}
+
+// TestGate exercises the benchmark regression gate's comparison rules.
+func TestGate(t *testing.T) {
+	baseline := []Result{
+		{Name: "A", NsPerOp: 100},
+		{Name: "B", NsPerOp: 100},
+		{Name: "Retired", NsPerOp: 50},
+	}
+	current := []Result{
+		{Name: "A", NsPerOp: 124},  // +24%: within tolerance
+		{Name: "B", NsPerOp: 130},  // +30%: regression
+		{Name: "New", NsPerOp: 10}, // no baseline: ignored
+	}
+	regs := Gate(baseline, current, 0.25)
+	if len(regs) != 1 || regs[0].Name != "B" {
+		t.Fatalf("regressions = %v, want exactly B", regs)
+	}
+	if regs[0].String() == "" {
+		t.Error("empty regression description")
+	}
+	if got := Gate(baseline, baseline, 0); got != nil {
+		t.Fatalf("identical results flagged: %v", got)
 	}
 }

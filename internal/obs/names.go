@@ -7,6 +7,10 @@ const (
 	// Engine (label: fragment).
 	MEngineTuplesProduced = "engine_tuples_produced_total"
 	MEngineBatchSize      = "engine_batch_size"
+	// Morsel-driven parallel drivers: currently live worker goroutines and
+	// per-morsel (fill+send) latency in paper milliseconds.
+	MEngineParallelWorkers = "engine_parallel_workers"
+	MEngineMorselMs        = "engine_morsel_ms"
 
 	// Exchanges (label: exchange).
 	MExchangeTuplesRouted   = "exchange_tuples_routed_total"

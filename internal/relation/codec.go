@@ -98,15 +98,40 @@ func EncodeTuple(t Tuple) []byte {
 // DecodeTuple decodes one tuple from the front of b, returning the tuple and
 // the remaining bytes.
 func DecodeTuple(b []byte) (Tuple, []byte, error) {
+	n, b, err := tupleHeader(b)
+	if err != nil {
+		return nil, b, err
+	}
+	return decodeValues(make(Tuple, 0, preallocCount(n)), n, b)
+}
+
+// DecodeTupleInto decodes one tuple from the front of b like DecodeTuple,
+// carving the tuple's backing storage from the caller's arena instead of
+// allocating it. The decoded tuple is an ordinary immutable tuple and may
+// outlive the arena. Receive paths that decode many tuples per frame use
+// this to batch the per-tuple allocations.
+func DecodeTupleInto(a *Arena, b []byte) (Tuple, []byte, error) {
+	n, b, err := tupleHeader(b)
+	if err != nil {
+		return nil, b, err
+	}
+	return decodeValues(a.Alloc(preallocCount(n))[:0], n, b)
+}
+
+// tupleHeader reads and sanity-bounds a tuple's value count.
+func tupleHeader(b []byte) (uint64, []byte, error) {
 	n, sz := binary.Uvarint(b)
 	if sz <= 0 {
-		return nil, b, fmt.Errorf("%w: bad value count", ErrCorrupt)
+		return 0, b, fmt.Errorf("%w: bad value count", ErrCorrupt)
 	}
 	if n > uint64(len(b)) { // cheap sanity bound: ≥1 byte per value
-		return nil, b, fmt.Errorf("%w: value count %d exceeds input", ErrCorrupt, n)
+		return 0, b, fmt.Errorf("%w: value count %d exceeds input", ErrCorrupt, n)
 	}
-	b = b[sz:]
-	t := make(Tuple, 0, preallocCount(n))
+	return n, b[sz:], nil
+}
+
+// decodeValues appends n decoded values to t (pre-sized by the caller).
+func decodeValues(t Tuple, n uint64, b []byte) (Tuple, []byte, error) {
 	for i := uint64(0); i < n; i++ {
 		if len(b) == 0 {
 			return nil, b, fmt.Errorf("%w: truncated value", ErrCorrupt)

@@ -125,3 +125,55 @@ func BenchmarkDecodeTuple(b *testing.B) {
 		}
 	}
 }
+
+func TestDecodeTupleIntoMatchesDecodeTuple(t *testing.T) {
+	var a Arena
+	r := rand.New(rand.NewSource(17))
+	var enc []byte
+	var want []Tuple
+	for i := 0; i < 200; i++ {
+		tp := randTuple(r)
+		want = append(want, tp)
+		enc = AppendTuple(enc, tp)
+	}
+	b := enc
+	got := make([]Tuple, 0, len(want))
+	for i := range want {
+		dec, rest, err := DecodeTupleInto(&a, b)
+		if err != nil {
+			t.Fatalf("tuple %d: %v", i, err)
+		}
+		got = append(got, dec)
+		b = rest
+	}
+	if len(b) != 0 {
+		t.Fatalf("%d trailing bytes", len(b))
+	}
+	// Checked only after the full run: later arena decodes must never
+	// touch the storage of earlier decoded tuples.
+	for i, tp := range want {
+		if !got[i].Equal(tp) {
+			t.Fatalf("tuple %d: arena round trip %v != %v", i, got[i].Format(), tp.Format())
+		}
+	}
+}
+
+func TestDecodeTupleIntoCorrupt(t *testing.T) {
+	var a Arena
+	for _, b := range [][]byte{nil, {255}, {2, 1}, {1, 3, 200}, {1, 9}} {
+		if _, _, err := DecodeTupleInto(&a, b); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("input %v: err = %v, want ErrCorrupt", b, err)
+		}
+	}
+}
+
+func BenchmarkDecodeTupleInto(b *testing.B) {
+	enc := EncodeTuple(Tuple{Int(42), String("YAL00001C"), Float(3.25), Null})
+	var a Arena
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecodeTupleInto(&a, enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

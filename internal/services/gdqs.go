@@ -3,6 +3,7 @@ package services
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,6 +33,11 @@ type GDQSConfig struct {
 	Responder core.ResponderConfig
 	// MaxParallelism caps the compute resources used per query.
 	MaxParallelism int
+	// Parallelism is the morsel worker-pool width of each fragment driver:
+	// 0 (or 1) keeps the classic serial drivers, negative resolves to the
+	// machine's GOMAXPROCS, and larger values run parallel-eligible
+	// fragments on that many workers.
+	Parallelism int
 	// QueryTimeout bounds one query's real execution time; it becomes the
 	// deadline of the session context every query runs under.
 	QueryTimeout time.Duration
@@ -48,6 +54,19 @@ func DefaultGDQSConfig() GDQSConfig {
 		Responder:    core.DefaultResponderConfig(),
 		QueryTimeout: 5 * time.Minute,
 	}
+}
+
+// resolveParallelism maps the configured worker-pool width to a concrete
+// count: non-positive means serial except that a negative value asks for the
+// machine's GOMAXPROCS.
+func resolveParallelism(p int) int {
+	if p < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if p == 0 {
+		return 1
+	}
+	return p
 }
 
 // queryCounter hands out process-wide query tags, so plans of concurrently

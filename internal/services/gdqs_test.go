@@ -678,3 +678,112 @@ func TestTablesOnSeparateDataNodes(t *testing.T) {
 		t.Fatalf("scan placement: %v\n%s", nodes, res.Stats.Plan.Explain())
 	}
 }
+
+// parallelGDQS builds a coordinator over an existing test cluster with the
+// morsel worker pool enabled.
+func parallelGDQS(t *testing.T, cluster *Cluster, node simnet.NodeID, workers int, mutate func(*GDQSConfig)) *GDQS {
+	t.Helper()
+	cfg := DefaultGDQSConfig()
+	cfg.QueryTimeout = 60 * time.Second
+	cfg.Parallelism = workers
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	g, err := NewGDQS(cluster, node, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestParallelismQ2Correctness(t *testing.T) {
+	// End-to-end Q2 with every parallel-eligible fragment on a 2-worker
+	// morsel pool: the join result must match the reference exactly.
+	cluster, _ := testGrid(t, true, 150, 250)
+	g := parallelGDQS(t, cluster, "coordPar", 2, nil)
+	res, err := g.Execute(context.Background(), q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := cluster.storeOf("data1")
+	seqs, _ := store.Table("protein_sequences")
+	valid := make(map[string]bool)
+	for _, tp := range seqs.Tuples {
+		valid[tp[0].AsString()] = true
+	}
+	ints, _ := store.Table("protein_interactions")
+	want := 0
+	for _, tp := range ints.Tuples {
+		if valid[tp[0].AsString()] {
+			want++
+		}
+	}
+	if len(res.Rows) != want {
+		t.Fatalf("join rows = %d, want %d", len(res.Rows), want)
+	}
+}
+
+func TestParallelismAdaptiveQ2Retrospective(t *testing.T) {
+	// A perturbed parallel join instance must survive a retrospective (R1)
+	// state repartitioning mid-query: pool workers share the partitioned
+	// join state the Responder evicts and replays.
+	cluster, _ := testGrid(t, true, 150, 600)
+	cluster.Node("ws1").SetPerturbation(vtime.Sleep(3))
+	g := parallelGDQS(t, cluster, "coordParR1", 2, func(cfg *GDQSConfig) {
+		cfg.Responder.Response = core.R1
+	})
+	res, err := g.Execute(context.Background(), q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := cluster.storeOf("data1")
+	seqs, _ := store.Table("protein_sequences")
+	valid := make(map[string]bool)
+	for _, tp := range seqs.Tuples {
+		valid[tp[0].AsString()] = true
+	}
+	ints, _ := store.Table("protein_interactions")
+	want := 0
+	for _, tp := range ints.Tuples {
+		if valid[tp[0].AsString()] {
+			want++
+		}
+	}
+	if len(res.Rows) != want {
+		t.Fatalf("join rows = %d, want %d (adaptation corrupted parallel results)", len(res.Rows), want)
+	}
+}
+
+func TestParallelismAggregationUnderRebalance(t *testing.T) {
+	// Grouped aggregation with per-worker partial states, merged at the
+	// drain barrier, while the Responder repartitions group state.
+	cluster, _ := testGrid(t, true, 150, 1200)
+	cluster.Node("ws1").SetPerturbation(vtime.Sleep(2))
+	g := parallelGDQS(t, cluster, "coordParAgg", 2, func(cfg *GDQSConfig) {
+		cfg.Responder.Response = core.R1
+	})
+	res, err := g.Execute(context.Background(), "select i.ORF1, count(*) AS n from protein_interactions i group by i.ORF1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := cluster.storeOf("data1")
+	ints, _ := store.Table("protein_interactions")
+	counts := map[string]int64{}
+	for _, tp := range ints.Tuples {
+		counts[tp[0].AsString()]++
+	}
+	if len(res.Rows) != len(counts) {
+		t.Fatalf("groups = %d, want %d", len(res.Rows), len(counts))
+	}
+	var total int64
+	for _, row := range res.Rows {
+		k, n := row[0].AsString(), row[1].AsInt()
+		if counts[k] != n {
+			t.Fatalf("group %q: count %d, want %d (parallel partial merge corrupted the aggregate)", k, n, counts[k])
+		}
+		total += n
+	}
+	if total != 1200 {
+		t.Fatalf("total = %d, want 1200", total)
+	}
+}

@@ -51,6 +51,10 @@ type Manifest struct {
 	MonitorEvery int
 	Assessment   core.Assessment
 	Response     core.Response
+
+	// Parallelism is the morsel worker-pool width of each fragment driver
+	// (0/1 serial, negative resolves to the host's GOMAXPROCS).
+	Parallelism int
 }
 
 // DataNodeSpec describes one data machine.
@@ -299,6 +303,7 @@ func (e *Evaluator) deploy(sql string) error {
 				Buckets:      e.manifest.Buckets,
 				Fragment:     frag.ID,
 				Instance:     i,
+				Parallelism:  resolveParallelism(e.manifest.Parallelism),
 			}
 			if e.manifest.Adaptive && e.manifest.MonitorEvery > 0 {
 				ctx.Monitor = &remoteMonitorSink{tr: e.tr, local: e.node, coord: e.manifest.Coordinator}
@@ -559,13 +564,14 @@ func (c *RemoteCoordinator) Execute(ctx context.Context, sql string, timeout tim
 				continue
 			}
 			ctx := &engine.ExecContext{
-				Clock:    c.clock,
-				Node:     c.machine,
-				Meter:    vtime.NewMeter(c.clock),
-				Costs:    c.manifest.Costs,
-				Buckets:  c.manifest.Buckets,
-				Fragment: frag.ID,
-				Instance: i,
+				Clock:       c.clock,
+				Node:        c.machine,
+				Meter:       vtime.NewMeter(c.clock),
+				Costs:       c.manifest.Costs,
+				Buckets:     c.manifest.Buckets,
+				Fragment:    frag.ID,
+				Instance:    i,
+				Parallelism: resolveParallelism(c.manifest.Parallelism),
 			}
 			cfg := engine.RuntimeConfig{
 				Plan: plan, Fragment: frag, Instance: i, Ctx: ctx,

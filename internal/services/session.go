@@ -116,6 +116,7 @@ func newQuerySession(ctx context.Context, g *GDQS, plan *physical.Plan) (*QueryS
 				Buckets:      cluster.cfg.Buckets,
 				Fragment:     frag.ID,
 				Instance:     i,
+				Parallelism:  resolveParallelism(g.cfg.Parallelism),
 			}
 			if g.cfg.Adaptive && g.cfg.MonitorEvery > 0 {
 				ectx.Monitor = &core.MonitorAdapter{Bus: cluster.bus, Node: nodeID}

@@ -179,6 +179,19 @@ func (t *TCP) connTo(node simnet.NodeID) (*tcpConn, error) {
 	return c, nil
 }
 
+// evictConn removes conn from the dial cache if it is cached there (it may
+// instead be an accepted inbound connection, which is never cached).
+func (t *TCP) evictConn(conn net.Conn) {
+	t.mu.Lock()
+	for node, c := range t.conns {
+		if c.c == conn {
+			delete(t.conns, node)
+			break
+		}
+	}
+	t.mu.Unlock()
+}
+
 func (t *TCP) dropConn(node simnet.NodeID) {
 	t.mu.Lock()
 	if c, ok := t.conns[node]; ok {
@@ -211,12 +224,19 @@ func (t *TCP) acceptLoop(ln net.Listener) {
 func (t *TCP) readLoop(conn net.Conn) {
 	defer t.wg.Done()
 	defer conn.Close()
+	// A dead connection must leave the dial cache with it: when a peer
+	// process exits, the first write to the stale socket can still succeed
+	// silently (the RST arrives later), so waiting for a write error loses
+	// messages. Evicting here makes the next Send re-dial the peer.
+	defer t.evictConn(conn)
 	r := bufio.NewReader(conn)
 	var lenBuf [4]byte
-	// One growable frame buffer per connection: UnmarshalMessage copies every
+	// One growable frame buffer per connection: unmarshalling copies every
 	// string and tuple payload out of the frame, so the buffer can be reused
-	// for the next message.
+	// for the next message. The arena batches the copies' allocations; the
+	// decoded tuples own their values and safely outlive it.
 	var frame []byte
+	var arena relation.Arena
 	for {
 		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
 			return
@@ -240,7 +260,7 @@ func (t *TCP) readLoop(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		msg, err := UnmarshalMessage(rest)
+		msg, err := UnmarshalMessageArena(&arena, rest)
 		if err != nil {
 			continue // drop corrupt message, keep the connection
 		}

@@ -159,6 +159,64 @@ func TestTCPManyMessagesOrdered(t *testing.T) {
 	}
 }
 
+// TestTCPPeerRestart reproduces the multi-process deployment sequence: the
+// evaluator keeps a cached dial connection to the coordinator, the
+// coordinator process exits, a new one binds the same address, and the
+// evaluator must reach it — the dead connection's read loop has to evict
+// the cache entry so the next Send re-dials (a write to the stale socket
+// can succeed silently, so waiting for a write error loses the message).
+func TestTCPPeerRestart(t *testing.T) {
+	a, err := NewTCP("nodeA", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = a.Close() })
+	b1, err := NewTCP("nodeB", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := b1.Addr()
+	a.AddPeer("nodeB", addr)
+	var mu sync.Mutex
+	hits := 0
+	b1.Register("nodeB", "svc", func(simnet.NodeID, *Message) {
+		mu.Lock()
+		hits++
+		mu.Unlock()
+	})
+	if _, err := a.Send("nodeA", "nodeB", "svc", &Message{Kind: KindEOS}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { mu.Lock(); defer mu.Unlock(); return hits == 1 })
+
+	// Restart the peer on the same address; a's cached connection is dead.
+	if err := b1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := NewTCP("nodeB", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = b2.Close() })
+	got := make(chan struct{}, 16)
+	b2.Register("nodeB", "svc", func(simnet.NodeID, *Message) { got <- struct{}{} })
+
+	// The eviction races with the resend, so retry: once the read loop has
+	// dropped the stale connection, a Send dials b2 and must get through.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, _ = a.Send("nodeA", "nodeB", "svc", &Message{Kind: KindEOS})
+		select {
+		case <-got:
+			return
+		case <-time.After(50 * time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("restarted peer never reached: stale connection still cached")
+		}
+	}
+}
+
 func TestTCPCloseIdempotent(t *testing.T) {
 	a, err := NewTCP("x", "127.0.0.1:0")
 	if err != nil {

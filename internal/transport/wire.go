@@ -137,6 +137,15 @@ func AppendMessage(dst []byte, m *Message) []byte {
 
 // UnmarshalMessage decodes a message produced by MarshalMessage.
 func UnmarshalMessage(b []byte) (*Message, error) {
+	return UnmarshalMessageArena(nil, b)
+}
+
+// UnmarshalMessageArena decodes like UnmarshalMessage but carves tuple
+// storage from the caller's arena (nil falls back to per-tuple allocation).
+// Long-lived receive loops pass a per-connection arena so decoding a data
+// frame costs one Value-block allocation per ~1k values instead of one
+// allocation per tuple.
+func UnmarshalMessageArena(a *relation.Arena, b []byte) (*Message, error) {
 	d := &decoder{b: b}
 	m := &Message{}
 	m.Kind = Kind(d.byte())
@@ -150,7 +159,16 @@ func UnmarshalMessage(b []byte) (*Message, error) {
 	if n := d.count(); n > 0 {
 		m.Tuples = make([]relation.Tuple, 0, preallocN(n))
 		for i := 0; i < n && d.err == nil; i++ {
-			t, rest, err := relation.DecodeTuple(d.b)
+			var (
+				t    relation.Tuple
+				rest []byte
+				err  error
+			)
+			if a != nil {
+				t, rest, err = relation.DecodeTupleInto(a, d.b)
+			} else {
+				t, rest, err = relation.DecodeTuple(d.b)
+			}
 			if err != nil {
 				return nil, fmt.Errorf("%w: tuple %d: %v", ErrWire, i, err)
 			}

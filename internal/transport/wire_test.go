@@ -193,3 +193,21 @@ func TestWireRandomDataMessages(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestUnmarshalMessageArenaEquivalent(t *testing.T) {
+	var a relation.Arena
+	for i, m := range sampleMessages() {
+		enc := MarshalMessage(m)
+		plain, err := UnmarshalMessage(enc)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		arena, err := UnmarshalMessageArena(&a, enc)
+		if err != nil {
+			t.Fatalf("message %d (arena): %v", i, err)
+		}
+		if !reflect.DeepEqual(plain, arena) {
+			t.Fatalf("message %d: arena decode differs:\n%+v\n%+v", i, plain, arena)
+		}
+	}
+}

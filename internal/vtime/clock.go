@@ -17,6 +17,8 @@ package vtime
 
 import (
 	"fmt"
+	"math"
+	"sync/atomic"
 	"time"
 )
 
@@ -70,13 +72,14 @@ func (c *Clock) Sleep(ms float64) {
 }
 
 // Meter accumulates fine-grained virtual costs and converts them to real
-// sleeps in coarser quanta. It is goroutine-confined: each fragment driver
-// owns one.
+// sleeps in coarser quanta. Charging is goroutine-confined — each fragment
+// driver or pool worker owns one — but ChargedMs may be read from any
+// goroutine (the parallel driver's monitor sums live worker meters).
 type Meter struct {
 	clock   *Clock
 	quantum time.Duration // sleep once debt exceeds this
 	debt    time.Duration
-	charged float64 // total paper ms ever charged
+	charged atomic.Uint64 // total paper ms ever charged, as float64 bits
 }
 
 // DefaultQuantum is the real-time granularity at which a Meter converts
@@ -95,7 +98,7 @@ func (m *Meter) Charge(ms float64) {
 	if ms <= 0 {
 		return
 	}
-	m.charged += ms
+	m.charged.Store(math.Float64bits(m.ChargedMs() + ms))
 	m.debt += m.clock.DurationOf(ms)
 	if m.debt >= m.quantum {
 		m.settle()
@@ -112,7 +115,7 @@ func (m *Meter) Flush() {
 }
 
 // ChargedMs returns the total paper milliseconds ever charged to the meter.
-func (m *Meter) ChargedMs() float64 { return m.charged }
+func (m *Meter) ChargedMs() float64 { return math.Float64frombits(m.charged.Load()) }
 
 func (m *Meter) settle() {
 	begin := time.Now()
