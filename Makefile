@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check vet build test race bench benchgate micro experiments fuzz
+.PHONY: check vet build test race bench benchgate micro serve servegate experiments fuzz
 
-## check: the full tier-1 gate — vet, build, the test suite under -race, and
-## the benchmark regression gate (SKIP_BENCH_GATE=1 skips it on noisy runners).
-check: vet build race benchgate
+## check: the full tier-1 gate — vet, build, the test suite under -race, the
+## benchmark regression gate, and the sustained-load serving gate
+## (SKIP_BENCH_GATE=1 skips both gates on noisy runners).
+check: vet build race benchgate servegate
 
 vet:
 	$(GO) vet ./...
@@ -31,10 +32,21 @@ benchgate:
 micro:
 	$(GO) run ./cmd/dqp-experiments -micro BENCH_micro.json
 
+## serve: write the sustained-load serving benchmark (plan cache on vs off)
+## to BENCH_serving.json.
+serve:
+	$(GO) run ./cmd/dqp-experiments -serve BENCH_serving.json -clients 16 -duration 3s
+
+## servegate: a short sustained-load smoke run; fail if QPS or cache hit rate
+## regresses against the committed BENCH_serving.json baseline.
+servegate:
+	$(GO) run ./cmd/dqp-experiments -servegate BENCH_serving.json
+
 ## experiments: regenerate EXPERIMENTS.md (several minutes).
 experiments:
 	$(GO) run ./cmd/dqp-experiments
 
-## fuzz: a short fuzzing pass over the tuple codec.
+## fuzz: a short fuzzing pass over the normalizer and the tuple codec.
 fuzz:
+	$(GO) test ./internal/sqlparse/ -fuzz FuzzNormalizeSQL -fuzztime 30s
 	$(GO) test ./internal/relation/ -fuzz FuzzTupleCodecRoundTrip -fuzztime 30s

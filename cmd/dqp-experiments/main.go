@@ -7,6 +7,8 @@
 //
 //	dqp-experiments [-o EXPERIMENTS.md] [-only Table1,Fig2a]
 //	dqp-experiments -micro BENCH_micro.json
+//	dqp-experiments -serve BENCH_serving.json [-clients 16] [-duration 2s]
+//	dqp-experiments -servegate BENCH_serving.json
 //
 // The full suite takes several minutes of real time: the simulated testbed
 // actually executes every query, including the heavily perturbed static
@@ -15,6 +17,13 @@
 // With -micro, the command instead runs the engine micro-benchmarks (tuple
 // codec, exchange producer, volcano-vs-batch operator chain) and writes the
 // results as JSON to the given file.
+//
+// With -serve, it runs the sustained-load serving benchmark — N concurrent
+// clients firing repeated-shape queries for a fixed duration, once with the
+// plan cache on and once off — and writes QPS, latency percentiles and cache
+// hit rates as JSON. With -servegate, it reruns a short serving benchmark
+// and fails if throughput or hit rate regresses against the recorded
+// baseline (SKIP_BENCH_GATE=1 skips, as with -benchgate).
 package main
 
 import (
@@ -28,6 +37,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/microbench"
 	"repro/internal/obs"
+	"repro/internal/servebench"
 )
 
 func main() {
@@ -35,6 +45,10 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment subset (Table1,Fig2a,Fig2b,Fig3a,Fig3b,Fig4,Fig5,Overheads,MonitoringFrequency)")
 	micro := flag.String("micro", "", "run the engine micro-benchmarks and write JSON results to this file ('-' for stdout), skipping the experiments")
 	benchgate := flag.String("benchgate", "", "rerun the micro-benchmarks and exit non-zero if any ns_per_op regresses >25% against this baseline JSON (set SKIP_BENCH_GATE=1 to skip on noisy runners)")
+	serve := flag.String("serve", "", "run the sustained-load serving benchmark (cache on vs off) and write JSON results to this file ('-' for stdout)")
+	servegate := flag.String("servegate", "", "rerun a short serving benchmark and exit non-zero if QPS or cache hit rate regresses against this baseline JSON (SKIP_BENCH_GATE=1 skips)")
+	clients := flag.Int("clients", 16, "concurrent clients for -serve / -servegate")
+	duration := flag.Duration("duration", 2*time.Second, "load duration per -serve run")
 	parallel := flag.Int("parallel", 0, "morsel worker-pool width per fragment driver (0/1 serial, negative = GOMAXPROCS)")
 	metrics := flag.String("metrics", "", "HTTP listen address for /metrics and /timeline while the suite runs (e.g. :9090; empty disables)")
 	flag.Parse()
@@ -60,6 +74,26 @@ func main() {
 
 	if *benchgate != "" {
 		ok, err := runBenchGate(*benchgate)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dqp-experiments: %v\n", err)
+			os.Exit(1)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *serve != "" {
+		if err := runServe(*serve, *clients, *duration); err != nil {
+			fmt.Fprintf(os.Stderr, "dqp-experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *servegate != "" {
+		ok, err := runServeGate(*servegate, *clients)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dqp-experiments: %v\n", err)
 			os.Exit(1)
@@ -170,6 +204,81 @@ func runBenchGate(baselinePath string) (bool, error) {
 		fmt.Fprintf(os.Stderr, "bench gate: REGRESSION %s\n", r)
 	}
 	return false, nil
+}
+
+// runServe executes the sustained-load serving benchmark — the same workload
+// with the plan cache on and off — and writes the paired results as JSON.
+func runServe(path string, clients int, duration time.Duration) error {
+	fmt.Fprintf(os.Stderr, "running serving benchmark: %d clients, %s per run (cache on, then off) ...\n",
+		clients, duration)
+	rep, err := servebench.Compare(servebench.Config{Clients: clients, Duration: duration})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "cache on:  %8.0f qps  p50 %.2fms  p99 %.2fms  hit rate %.3f\n",
+		rep.CacheOn.QPS, rep.CacheOn.P50Ms, rep.CacheOn.P99Ms, rep.CacheOn.HitRate)
+	fmt.Fprintf(os.Stderr, "cache off: %8.0f qps  p50 %.2fms  p99 %.2fms\n",
+		rep.CacheOff.QPS, rep.CacheOff.P50Ms, rep.CacheOff.P99Ms)
+	fmt.Fprintf(os.Stderr, "speedup:   %.2fx\n", rep.Speedup)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
+// runServeGate reruns a short serving benchmark and compares it against the
+// recorded baseline: the gate fails when cache-on throughput halves or the
+// hit rate drops materially — either means the serving layer stopped serving
+// from cache.
+func runServeGate(baselinePath string, clients int) (bool, error) {
+	if os.Getenv("SKIP_BENCH_GATE") != "" {
+		fmt.Fprintln(os.Stderr, "serve gate: skipped (SKIP_BENCH_GATE set)")
+		return true, nil
+	}
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return false, err
+	}
+	var baseline servebench.Report
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		return false, fmt.Errorf("serve gate: parse %s: %w", baselinePath, err)
+	}
+	fmt.Fprintln(os.Stderr, "serve gate: rerunning sustained-load benchmark ...")
+	cur, err := servebench.Run(servebench.Config{Clients: clients, Duration: time.Second})
+	if err != nil {
+		return false, err
+	}
+	const qpsFloorFrac, hitSlack = 0.5, 0.05
+	ok := true
+	if floor := baseline.CacheOn.QPS * qpsFloorFrac; cur.QPS < floor {
+		fmt.Fprintf(os.Stderr, "serve gate: REGRESSION qps %.0f < floor %.0f (baseline %.0f)\n",
+			cur.QPS, floor, baseline.CacheOn.QPS)
+		ok = false
+	}
+	if floor := baseline.CacheOn.HitRate - hitSlack; cur.HitRate < floor {
+		fmt.Fprintf(os.Stderr, "serve gate: REGRESSION hit rate %.3f < floor %.3f (baseline %.3f)\n",
+			cur.HitRate, floor, baseline.CacheOn.HitRate)
+		ok = false
+	}
+	if cur.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "serve gate: REGRESSION %d/%d queries errored\n", cur.Errors, cur.Queries)
+		ok = false
+	}
+	if ok {
+		fmt.Fprintf(os.Stderr, "serve gate: ok (%.0f qps, hit rate %.3f vs baseline %.0f qps, %.3f)\n",
+			cur.QPS, cur.HitRate, baseline.CacheOn.QPS, baseline.CacheOn.HitRate)
+	}
+	return ok, nil
 }
 
 // runMicro executes the micro-benchmark suite and writes the results as

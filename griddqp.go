@@ -43,6 +43,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/plancache"
 	"repro/internal/qerr"
 	"repro/internal/relation"
 	"repro/internal/services"
@@ -213,6 +214,31 @@ func QueryTimeout(d time.Duration) CoordinatorOption {
 	return func(c *services.GDQSConfig) { c.QueryTimeout = d }
 }
 
+// PlanCacheSize bounds the coordinator's normalized-SQL plan cache: queries
+// differing only in comparison literals share one cached plan template,
+// re-bound per execution. 0 keeps the default capacity; pass a negative size
+// to disable caching entirely.
+func PlanCacheSize(n int) CoordinatorOption {
+	return func(c *services.GDQSConfig) { c.PlanCacheSize = n }
+}
+
+// MaxConcurrentQueries bounds how many queries the coordinator runs at once;
+// arrivals beyond the bound wait in FIFO order, and arrivals beyond queueCap
+// are rejected immediately with ErrQueryRejected. Zero values keep the
+// service defaults.
+func MaxConcurrentQueries(n, queueCap int) CoordinatorOption {
+	return func(c *services.GDQSConfig) {
+		c.MaxConcurrent = n
+		c.MaxQueue = queueCap
+	}
+}
+
+// QueueTimeout bounds how long one query may wait for admission before
+// failing with ErrTimeout (0: bounded only by the query's context).
+func QueueTimeout(d time.Duration) CoordinatorOption {
+	return func(c *services.GDQSConfig) { c.QueueTimeout = d }
+}
+
 // Typed query-failure sentinels, re-exported from the internal error layer
 // so callers can classify QueryContext failures with errors.Is. ErrCanceled
 // also unwraps to context.Canceled and ErrTimeout to
@@ -220,6 +246,9 @@ func QueryTimeout(d time.Duration) CoordinatorOption {
 var (
 	ErrCanceled = qerr.ErrCanceled
 	ErrTimeout  = qerr.ErrTimeout
+	// ErrQueryRejected reports that the coordinator's admission queue was
+	// full when the query arrived.
+	ErrQueryRejected = qerr.ErrRejected
 )
 
 // Coordinator is a GDQS handle.
@@ -278,6 +307,53 @@ func (c *Coordinator) QueryContext(ctx context.Context, sql string) (*Result, er
 // without executing it.
 func (c *Coordinator) Explain(sql string) (string, error) {
 	return c.gdqs.Explain(sql)
+}
+
+// Stmt is a prepared statement: parsed, normalized and planned once, then
+// executed repeatedly with different arguments. Safe for concurrent Execute.
+type Stmt struct {
+	stmt *services.Stmt
+}
+
+// Prepare compiles a SQL statement for repeated execution. The statement may
+// contain `?` parameter markers in WHERE/HAVING comparisons; each Execute
+// supplies one Go value (int, float64 or string) per marker, in statement
+// order. Repeated Queries with literal-only differences share the same
+// cached plan even without Prepare — preparing simply skips the per-call
+// parse and normalize and surfaces planning errors early.
+func (c *Coordinator) Prepare(sql string) (*Stmt, error) {
+	s, err := c.gdqs.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{stmt: s}, nil
+}
+
+// NumParams reports how many `?` arguments Execute expects.
+func (s *Stmt) NumParams() int { return s.stmt.NumParams() }
+
+// Execute runs the prepared statement under ctx with the given arguments.
+// Admission, cancellation and error semantics match QueryContext.
+func (s *Stmt) Execute(ctx context.Context, args ...any) (*Result, error) {
+	res, err := s.stmt.Execute(ctx, args...)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Columns:    res.Columns,
+		Rows:       res.Rows,
+		ResponseMs: res.Stats.ResponseMs,
+		Stats:      res.Stats,
+	}, nil
+}
+
+// PlanCacheStats snapshots the coordinator's plan-cache counters: hits,
+// misses, evictions and current size (zeros when caching is disabled).
+type PlanCacheStats = plancache.Stats
+
+// PlanCacheStats reports how the coordinator's plan cache is doing.
+func (c *Coordinator) PlanCacheStats() PlanCacheStats {
+	return c.gdqs.PlanCacheStats()
 }
 
 // MetricsHandler serves the process-wide observability layer over HTTP:

@@ -1,7 +1,10 @@
 package repro_test
 
 import (
+	"context"
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -106,6 +109,59 @@ func TestFacadePerturbationKinds(t *testing.T) {
 		if got := p.Apply(1, 0); got <= 0 {
 			t.Errorf("%s: non-positive cost %v", p, got)
 		}
+	}
+}
+
+func TestFacadePreparedStatement(t *testing.T) {
+	_, coord := demoGrid(t)
+	stmt, err := coord.Prepare("select p.ORF from protein_sequences p where p.ORF = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.NumParams() != 1 {
+		t.Fatalf("NumParams = %d, want 1", stmt.NumParams())
+	}
+	for _, orf := range []string{"YAL00004C", "YAL00042C"} {
+		res, err := stmt.Execute(context.Background(), orf)
+		if err != nil {
+			t.Fatalf("Execute(%q): %v", orf, err)
+		}
+		if len(res.Rows) != 1 || res.Rows[0][0].AsString() != orf {
+			t.Fatalf("Execute(%q) rows = %v", orf, res.Rows)
+		}
+	}
+	stats := coord.PlanCacheStats()
+	if stats.Hits == 0 {
+		t.Errorf("prepared executions never hit the plan cache: %+v", stats)
+	}
+	if _, err := stmt.Execute(context.Background()); err == nil {
+		t.Error("missing argument accepted")
+	}
+}
+
+func TestFacadeConcurrentClients(t *testing.T) {
+	_, coord := demoGrid(t, repro.MaxConcurrentQueries(4, 64))
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			q := fmt.Sprintf("select p.ORF from protein_sequences p where p.ORF = 'YAL%05dC'", i)
+			res, err := coord.Query(q)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(res.Rows) != 1 {
+				errs <- fmt.Errorf("client %d: %d rows", i, len(res.Rows))
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }
 

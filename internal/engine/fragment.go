@@ -199,6 +199,7 @@ func (r *FragmentRuntime) compile(spec *physical.OpSpec) (Iterator, error) {
 		join := &HashJoin{
 			Build: build, Probe: probe,
 			BuildKeys: spec.BuildKeys, ProbeKeys: spec.ProbeKeys,
+			BuildEst: spec.BuildEst,
 		}
 		r.join = join
 		r.joinBySpec[spec] = join

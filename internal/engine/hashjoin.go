@@ -27,10 +27,28 @@ type StateTarget interface {
 // probing different partitions never contend.
 const joinPartitions = 16
 
+// joinEntry is one build tuple in a partition's entry arena. Chains thread
+// entries of the same (bucket, hash) together in insertion order, so
+// duplicate build keys keep the FIFO match order the old per-key slices had.
+type joinEntry struct {
+	t    relation.Tuple
+	next int32 // arena index of the next entry in the chain; -1 ends it
+}
+
+// chainRef locates one (bucket, hash) chain in the arena.
+type chainRef struct {
+	head, tail int32
+	n          int32
+}
+
 type joinPart struct {
-	mu    sync.Mutex
-	state map[int32]map[uint64][]relation.Tuple
-	held  int
+	mu sync.Mutex
+	// entries is the partition's build-tuple arena, pre-sized from the
+	// optimiser's cardinality estimate: inserting appends here instead of
+	// growing one slice per distinct key.
+	entries []joinEntry
+	chains  map[int32]map[uint64]chainRef // bucket → hash → chain
+	held    int
 }
 
 // joinState is the build-side hash table shared by every worker clone of one
@@ -42,6 +60,9 @@ type joinState struct {
 	ready    atomic.Bool
 	ctx      *ExecContext // first opener's context; shared fields only
 	buckets  int
+	// hashHint sizes each bucket's chain map: expected distinct hashes per
+	// bucket, from the build-side cardinality estimate.
+	hashHint int
 
 	insertMeter *opInsertMeter
 	mon         *opMonitor
@@ -58,7 +79,7 @@ func newJoinState() *joinState {
 	return s
 }
 
-func (s *joinState) init(ctx *ExecContext) {
+func (s *joinState) init(ctx *ExecContext, est int) {
 	s.initOnce.Do(func() {
 		s.ctx = ctx
 		s.buckets = ctx.Buckets
@@ -67,8 +88,22 @@ func (s *joinState) init(ctx *ExecContext) {
 		}
 		s.insertMeter = newOpInsertMeter(ctx)
 		s.mon = newOpMonitor(ctx)
+		// Pre-size from the optimiser's build-side estimate: each partition
+		// arena gets its uniform share plus 25% headroom for skew, and each
+		// bucket's chain map expects est/buckets distinct hashes. est <= 0
+		// (no estimate) falls back to grow-on-demand.
+		perPart := 0
+		if est > 0 {
+			perPart = est/joinPartitions + est/(4*joinPartitions) + 8
+			s.hashHint = est/s.buckets + 1
+		}
+		bucketsPerPart := s.buckets/joinPartitions + 1
 		for i := range s.parts {
-			s.parts[i].state = make(map[int32]map[uint64][]relation.Tuple)
+			p := &s.parts[i]
+			p.chains = make(map[int32]map[uint64]chainRef, bucketsPerPart)
+			if perPart > 0 {
+				p.entries = make([]joinEntry, 0, perPart)
+			}
 		}
 		s.ready.Store(true)
 	})
@@ -78,25 +113,38 @@ func (s *joinState) part(b int32) *joinPart {
 	return &s.parts[int(b)%joinPartitions]
 }
 
-// insertBatch adds build tuples, locking each partition at most once per
-// distinct partition touched by the batch.
+// insertBatch adds build tuples one partition lock at a time.
 func (s *joinState) insertBatch(keys []int, ts []relation.Tuple) {
 	for _, t := range ts {
-		h := t.Hash(keys)
-		b := int32(h % uint64(s.buckets))
-		p := s.part(b)
-		p.mu.Lock()
-		if p.state != nil {
-			m := p.state[b]
-			if m == nil {
-				m = make(map[uint64][]relation.Tuple)
-				p.state[b] = m
-			}
-			m[h] = append(m[h], t)
-			p.held++
-		}
-		p.mu.Unlock()
+		s.insertOne(keys, t)
 	}
+}
+
+// insertOne appends one build tuple to its partition's entry arena and links
+// it onto the (bucket, hash) chain.
+func (s *joinState) insertOne(keys []int, t relation.Tuple) {
+	h := t.Hash(keys)
+	b := int32(h % uint64(s.buckets))
+	p := s.part(b)
+	p.mu.Lock()
+	if p.chains != nil {
+		m := p.chains[b]
+		if m == nil {
+			m = make(map[uint64]chainRef, s.hashHint)
+			p.chains[b] = m
+		}
+		idx := int32(len(p.entries))
+		p.entries = append(p.entries, joinEntry{t: t, next: -1})
+		if c, ok := m[h]; ok {
+			p.entries[c.tail].next = idx
+			c.tail, c.n = idx, c.n+1
+			m[h] = c
+		} else {
+			m[h] = chainRef{head: idx, tail: idx, n: 1}
+		}
+		p.held++
+	}
+	p.mu.Unlock()
 }
 
 // release drops one clone reference; the last one frees the table. Inserts
@@ -109,7 +157,8 @@ func (s *joinState) release() {
 	for i := range s.parts {
 		p := &s.parts[i]
 		p.mu.Lock()
-		p.state = nil
+		p.chains = nil
+		p.entries = nil
 		p.held = 0
 		p.mu.Unlock()
 	}
@@ -184,14 +233,21 @@ func (b *buildBarrier) wait() error {
 type HashJoin struct {
 	Build, Probe         Iterator
 	BuildKeys, ProbeKeys []int
+	// BuildEst is the optimiser's build-side cardinality estimate; when
+	// positive, the shared table's partition arenas and chain maps are
+	// pre-sized for it instead of growing on demand.
+	BuildEst int
 
 	ctx     *ExecContext
 	buckets int
 	shared  *joinState
 
 	// pending holds overflow outputs that did not fit the current output
-	// batch (a single probe tuple can match many build tuples).
-	pending []relation.Tuple
+	// batch (a single probe tuple can match many build tuples); pendHead
+	// indexes the next undelivered one, so draining keeps the slice's
+	// capacity as a reusable scratch buffer instead of reslicing it away.
+	pending  []relation.Tuple
+	pendHead int
 	// in is the owned probe-side input batch; arena amortizes output-tuple
 	// allocation.
 	in    *relation.Batch
@@ -214,7 +270,8 @@ func (j *HashJoin) WorkerClone(build, probe Iterator) *HashJoin {
 	return &HashJoin{
 		Build: build, Probe: probe,
 		BuildKeys: j.BuildKeys, ProbeKeys: j.ProbeKeys,
-		shared: j.ensureShared(),
+		BuildEst: j.BuildEst,
+		shared:   j.ensureShared(),
 	}
 }
 
@@ -234,7 +291,7 @@ func (j *HashJoin) SetWorkers(n int) {
 func (j *HashJoin) Open(ctx *ExecContext) error {
 	j.ctx = ctx
 	s := j.ensureShared()
-	s.init(ctx)
+	s.init(ctx, j.BuildEst)
 	j.buckets = s.buckets
 	j.in = relation.GetBatch()
 	if err := j.openBuild(ctx, s); err != nil {
@@ -276,11 +333,12 @@ func (j *HashJoin) openBuild(ctx *ExecContext, s *joinState) error {
 // Next implements Iterator.
 func (j *HashJoin) Next() (relation.Tuple, bool, error) {
 	for {
-		if len(j.pending) > 0 {
-			out := j.pending[0]
-			j.pending = j.pending[1:]
+		if j.pendHead < len(j.pending) {
+			out := j.pending[j.pendHead]
+			j.pendHead++
 			return out, true, nil
 		}
+		j.pending, j.pendHead = j.pending[:0], 0
 		t, ok, err := j.Probe.Next()
 		if err != nil || !ok {
 			return nil, false, err
@@ -292,9 +350,11 @@ func (j *HashJoin) Next() (relation.Tuple, bool, error) {
 		b := int32(h % uint64(j.buckets))
 		p := j.shared.part(b)
 		p.mu.Lock()
-		for _, cand := range p.state[b][h] {
-			if j.keysEqual(cand, t) {
-				j.pending = append(j.pending, cand.Concat(t))
+		if c, ok := p.chains[b][h]; ok {
+			for e := c.head; e >= 0; e = p.entries[e].next {
+				if cand := p.entries[e].t; j.keysEqual(cand, t) {
+					j.pending = append(j.pending, cand.Concat(t))
+				}
 			}
 		}
 		p.mu.Unlock()
@@ -306,9 +366,12 @@ func (j *HashJoin) Next() (relation.Tuple, bool, error) {
 // dst spill to pending and lead the next batch.
 func (j *HashJoin) NextBatch(dst *relation.Batch) (int, error) {
 	dst.Rewind()
-	for len(j.pending) > 0 && !dst.Full() {
-		dst.Append(j.pending[0])
-		j.pending = j.pending[1:]
+	for j.pendHead < len(j.pending) && !dst.Full() {
+		dst.Append(j.pending[j.pendHead])
+		j.pendHead++
+	}
+	if j.pendHead == len(j.pending) {
+		j.pending, j.pendHead = j.pending[:0], 0
 	}
 	j.in.SetLimit(dst.Cap())
 	for dst.Len() == 0 {
@@ -325,7 +388,13 @@ func (j *HashJoin) NextBatch(dst *relation.Batch) (int, error) {
 			b := int32(h % uint64(j.buckets))
 			p := j.shared.part(b)
 			p.mu.Lock()
-			for _, cand := range p.state[b][h] {
+			c, ok := p.chains[b][h]
+			if !ok {
+				p.mu.Unlock()
+				continue
+			}
+			for e := c.head; e >= 0; e = p.entries[e].next {
+				cand := p.entries[e].t
 				if !j.keysEqual(cand, t) {
 					continue
 				}
@@ -382,7 +451,7 @@ func (j *HashJoin) InsertState(tuples []relation.Tuple) {
 	}
 	for _, t := range tuples {
 		s.insertMeter.charge(s.ctx.Node.PerturbedCost(s.ctx.Costs.JoinBuildMs))
-		s.insertBatch(j.BuildKeys, []relation.Tuple{t})
+		s.insertOne(j.BuildKeys, t)
 	}
 }
 
@@ -392,14 +461,20 @@ func (j *HashJoin) EvictBuckets(buckets []int32) {
 	if s == nil || !s.ready.Load() {
 		return
 	}
+	// Eviction unlinks the bucket's chains; the arena entries behind them
+	// stay allocated until the query releases the table. That is deliberate:
+	// evictions are rare (one R1 adaptation each) and the arena's bound is
+	// the build side's size either way.
 	for _, b := range buckets {
 		p := s.part(b)
 		p.mu.Lock()
-		if p.state != nil {
-			for _, tuples := range p.state[b] {
-				p.held -= len(tuples)
+		if p.chains != nil {
+			if m, ok := p.chains[b]; ok {
+				for _, c := range m {
+					p.held -= int(c.n)
+				}
+				delete(p.chains, b)
 			}
-			delete(p.state, b)
 		}
 		p.mu.Unlock()
 	}

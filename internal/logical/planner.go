@@ -15,6 +15,25 @@ import (
 // Project(OpCall*(Filter?(Join*(Filter?(Scan))))) left-deep tree with
 // single-table predicates pushed below the joins.
 func Plan(stmt *sqlparse.SelectStmt, cat *catalog.Catalog) (Node, error) {
+	node, _, err := PlanParams(stmt, cat)
+	return node, err
+}
+
+// PlanParams is Plan for parameterised statements (plan templates): untyped
+// parameter slots (explicit `?` markers) are typed by inference against the
+// column they are compared with, and the inferred slot types are returned
+// keyed by slot ordinal so the serving layer can type-check arguments before
+// execution rather than deep inside an evaluator.
+func PlanParams(stmt *sqlparse.SelectStmt, cat *catalog.Catalog) (Node, map[int]sqlparse.ParamType, error) {
+	hints := make(map[int]sqlparse.ParamType)
+	node, err := planStmt(stmt, cat, hints)
+	if err != nil {
+		return nil, nil, err
+	}
+	return node, hints, nil
+}
+
+func planStmt(stmt *sqlparse.SelectStmt, cat *catalog.Catalog, hints map[int]sqlparse.ParamType) (Node, error) {
 	if len(stmt.From) == 0 {
 		return nil, fmt.Errorf("logical: query has no FROM clause")
 	}
@@ -98,7 +117,7 @@ func Plan(stmt *sqlparse.SelectStmt, cat *catalog.Catalog) (Node, error) {
 	for i, s := range sources {
 		var node Node = s.scan
 		if conjs := tableFilter[i]; len(conjs) > 0 {
-			pred, err := compileConjunction(conjs, node.Schema(), cat)
+			pred, err := compileConjunction(conjs, node.Schema(), hints)
 			if err != nil {
 				return nil, err
 			}
@@ -164,7 +183,7 @@ func Plan(stmt *sqlparse.SelectStmt, cat *catalog.Catalog) (Node, error) {
 	}
 
 	if len(postJoin) > 0 {
-		pred, err := compileConjunction(postJoin, current.Schema(), cat)
+		pred, err := compileConjunction(postJoin, current.Schema(), hints)
 		if err != nil {
 			return nil, err
 		}
@@ -173,7 +192,7 @@ func Plan(stmt *sqlparse.SelectStmt, cat *catalog.Catalog) (Node, error) {
 
 	// Aggregation path: GROUP BY present or any aggregate in the list.
 	if isAggregateQuery(stmt) {
-		agg, err := planAggregate(stmt, current)
+		agg, err := planAggregate(stmt, current, hints)
 		if err != nil {
 			return nil, err
 		}
@@ -251,7 +270,7 @@ func isAggregateQuery(stmt *sqlparse.SelectStmt) bool {
 // planAggregate lowers the GROUP BY / aggregate select list onto current.
 // Every non-aggregate select item must be one of the grouping columns, as
 // in standard SQL.
-func planAggregate(stmt *sqlparse.SelectStmt, current Node) (Node, error) {
+func planAggregate(stmt *sqlparse.SelectStmt, current Node, hints map[int]sqlparse.ParamType) (Node, error) {
 	schema := current.Schema()
 	groupOrds := make([]int, len(stmt.GroupBy))
 	for i, col := range stmt.GroupBy {
@@ -342,7 +361,7 @@ func planAggregate(stmt *sqlparse.SelectStmt, current Node) (Node, error) {
 	if len(stmt.Having) > 0 {
 		rewrite := func(e sqlparse.Expr) (sqlparse.Expr, error) {
 			switch v := e.(type) {
-			case sqlparse.IntLit, sqlparse.FloatLit, sqlparse.StringLit:
+			case sqlparse.IntLit, sqlparse.FloatLit, sqlparse.StringLit, sqlparse.Param:
 				return e, nil
 			case sqlparse.ColumnRef:
 				ord, err := schema.IndexOf(v.Table, v.Name)
@@ -408,7 +427,7 @@ func planAggregate(stmt *sqlparse.SelectStmt, current Node) (Node, error) {
 
 	var node Node = NewAggregate(current, groupOrds, aggs)
 	if len(havingRewritten) > 0 {
-		pred, err := compileConjunction(havingRewritten, node.Schema(), nil)
+		pred, err := compileConjunction(havingRewritten, node.Schema(), hints)
 		if err != nil {
 			return nil, err
 		}
@@ -471,6 +490,20 @@ func compileExpr(e sqlparse.Expr, schema *relation.Schema) (scalar.Expr, error) 
 		return scalar.Const(relation.Float(v.Value)), nil
 	case sqlparse.StringLit:
 		return scalar.Const(relation.String(v.Value)), nil
+	case sqlparse.Param:
+		// Parameter slots compile to a typed placeholder constant: template
+		// plans are never executed directly, only after BindParams replaces
+		// the slots with literals, so only the type matters here.
+		switch v.Hint {
+		case sqlparse.PInt:
+			return scalar.Const(relation.Int(0)), nil
+		case sqlparse.PFloat:
+			return scalar.Const(relation.Float(0)), nil
+		case sqlparse.PString:
+			return scalar.Const(relation.String("")), nil
+		default:
+			return nil, fmt.Errorf("logical: cannot infer type of parameter ?%d", v.Ord)
+		}
 	case sqlparse.FuncCall:
 		return nil, fmt.Errorf("logical: operation calls are not allowed in predicates (%s)", v.SQL())
 	default:
@@ -487,14 +520,73 @@ var opMap = map[sqlparse.CompareOp]scalar.Op{
 	sqlparse.OpGe: scalar.Ge,
 }
 
-func compileConjunction(conjs []sqlparse.Comparison, schema *relation.Schema, _ *catalog.Catalog) (scalar.Predicate, error) {
+// inferHint derives the parameter type an untyped slot must carry from the
+// expression on the other side of its comparison.
+func inferHint(opposite sqlparse.Expr, schema *relation.Schema) (sqlparse.ParamType, error) {
+	switch v := opposite.(type) {
+	case sqlparse.ColumnRef:
+		ord, err := schema.IndexOf(v.Table, v.Name)
+		if err != nil {
+			return sqlparse.PAny, fmt.Errorf("logical: %w", err)
+		}
+		switch schema.Column(ord).Type {
+		case relation.TInt:
+			return sqlparse.PInt, nil
+		case relation.TFloat:
+			return sqlparse.PFloat, nil
+		case relation.TString:
+			return sqlparse.PString, nil
+		}
+	case sqlparse.IntLit:
+		return sqlparse.PInt, nil
+	case sqlparse.FloatLit:
+		return sqlparse.PFloat, nil
+	case sqlparse.StringLit:
+		return sqlparse.PString, nil
+	case sqlparse.Param:
+		if v.Hint != sqlparse.PAny {
+			return v.Hint, nil
+		}
+	}
+	return sqlparse.PAny, fmt.Errorf("logical: cannot infer parameter type from %s", opposite.SQL())
+}
+
+// typeParam resolves an untyped parameter slot against the other side of its
+// comparison, recording the inferred type in hints.
+func typeParam(e, opposite sqlparse.Expr, schema *relation.Schema, hints map[int]sqlparse.ParamType) (sqlparse.Expr, error) {
+	p, ok := e.(sqlparse.Param)
+	if !ok {
+		return e, nil
+	}
+	if p.Hint == sqlparse.PAny {
+		hint, err := inferHint(opposite, schema)
+		if err != nil {
+			return nil, fmt.Errorf("%w (parameter ?%d)", err, p.Ord)
+		}
+		p.Hint = hint
+	}
+	if hints != nil {
+		hints[p.Ord] = p.Hint
+	}
+	return p, nil
+}
+
+func compileConjunction(conjs []sqlparse.Comparison, schema *relation.Schema, hints map[int]sqlparse.ParamType) (scalar.Predicate, error) {
 	preds := make([]scalar.Predicate, 0, len(conjs))
 	for _, c := range conjs {
-		l, err := compileExpr(c.Left, schema)
+		lhs, err := typeParam(c.Left, c.Right, schema, hints)
 		if err != nil {
 			return nil, err
 		}
-		r, err := compileExpr(c.Right, schema)
+		rhs, err := typeParam(c.Right, c.Left, schema, hints)
+		if err != nil {
+			return nil, err
+		}
+		l, err := compileExpr(lhs, schema)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileExpr(rhs, schema)
 		if err != nil {
 			return nil, err
 		}

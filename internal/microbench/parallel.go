@@ -165,7 +165,7 @@ func partitionedJoin(b *testing.B, workers int) {
 	for i := 0; i < b.N; i++ {
 		buildSrc := &morselSource{src: engine.NewSliceSource(joinBuildRelation, 0)}
 		probeSrc := &morselSource{src: engine.NewSliceSource(joinProbeRelation, 0)}
-		base := &engine.HashJoin{BuildKeys: []int{0}, ProbeKeys: []int{0}}
+		base := &engine.HashJoin{BuildKeys: []int{0}, ProbeKeys: []int{0}, BuildEst: joinBuildRows}
 		base.SetWorkers(workers)
 		var (
 			wg    sync.WaitGroup

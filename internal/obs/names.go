@@ -45,4 +45,18 @@ const (
 	// Query lifecycle (label: outcome = ok|error).
 	MQueries      = "queries_total"
 	MSessionsOpen = "sessions_open"
+
+	// Serving front: plan cache.
+	MPlanCacheHits      = "plan_cache_hits_total"
+	MPlanCacheMisses    = "plan_cache_misses_total"
+	MPlanCacheEvictions = "plan_cache_evictions_total"
+	MPlanCacheSize      = "plan_cache_size"
+
+	// Serving front: admission control. The queue-time histogram is in
+	// real (wall-clock) milliseconds — queueing happens before any
+	// simulated execution starts.
+	MAdmissionQueued   = "admission_queued_total"
+	MAdmissionRejected = "admission_rejected_total"
+	MAdmissionWaiting  = "admission_waiting"
+	MAdmissionQueueMs  = "admission_queue_ms"
 )

@@ -1,0 +1,86 @@
+package physical
+
+import (
+	"repro/internal/relation"
+	"repro/internal/simnet"
+	"repro/internal/sqlparse"
+)
+
+// Clone deep-copies the plan. Cached plan templates must be cloned before
+// every execution: Tag rewrites identifiers in place and BindParams rewrites
+// predicates in place, and the template is shared by concurrent executions.
+func (p *Plan) Clone() *Plan {
+	out := &Plan{
+		Coordinator: p.Coordinator,
+		Fragments:   make([]*FragmentSpec, len(p.Fragments)),
+	}
+	for i, f := range p.Fragments {
+		out.Fragments[i] = f.clone()
+	}
+	return out
+}
+
+func (f *FragmentSpec) clone() *FragmentSpec {
+	out := *f
+	out.Instances = append([]simnet.NodeID(nil), f.Instances...)
+	out.InitialWeights = append([]float64(nil), f.InitialWeights...)
+	if f.Output != nil {
+		o := *f.Output
+		o.KeyOrds = append([]int(nil), f.Output.KeyOrds...)
+		out.Output = &o
+	}
+	out.Root = f.Root.clone()
+	return &out
+}
+
+func (o *OpSpec) clone() *OpSpec {
+	out := *o
+	out.OutCols = append([]relation.Column(nil), o.OutCols...)
+	out.Pred = append([]sqlparse.Comparison(nil), o.Pred...)
+	out.Ords = append([]int(nil), o.Ords...)
+	out.ArgOrds = append([]int(nil), o.ArgOrds...)
+	out.BuildKeys = append([]int(nil), o.BuildKeys...)
+	out.ProbeKeys = append([]int(nil), o.ProbeKeys...)
+	out.GroupOrds = append([]int(nil), o.GroupOrds...)
+	out.AggKinds = append([]uint8(nil), o.AggKinds...)
+	out.AggArgs = append([]int(nil), o.AggArgs...)
+	out.SortOrds = append([]int(nil), o.SortOrds...)
+	out.SortDesc = append([]bool(nil), o.SortDesc...)
+	if len(o.Children) > 0 {
+		out.Children = make([]*OpSpec, len(o.Children))
+		for i, c := range o.Children {
+			out.Children[i] = c.clone()
+		}
+	}
+	return &out
+}
+
+// BindParams substitutes args[ord] for every Param placeholder in the plan's
+// filter predicates, in place. Call it on a Clone of a cached template, never
+// on the template itself. Comparison values inside Pred slices are replaced
+// wholesale, so the clone shares no predicate state with the template.
+func (p *Plan) BindParams(args []sqlparse.Expr) error {
+	if len(args) == 0 {
+		return nil
+	}
+	for _, f := range p.Fragments {
+		var err error
+		var walk func(o *OpSpec)
+		walk = func(o *OpSpec) {
+			if err != nil {
+				return
+			}
+			if o.Kind == KFilter {
+				o.Pred, err = sqlparse.BindComparisons(o.Pred, args)
+			}
+			for _, c := range o.Children {
+				walk(c)
+			}
+		}
+		walk(f.Root)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package physical
+
+import (
+	"testing"
+
+	"repro/internal/logical"
+	"repro/internal/sqlparse"
+)
+
+// scheduleTemplate plans a normalized (literal-stripped) statement into a
+// physical plan template, returning the slots to bind.
+func scheduleTemplate(t *testing.T, q string) (*Plan, []sqlparse.Slot) {
+	t.Helper()
+	stmt, err := sqlparse.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpl, slots := sqlparse.Normalize(stmt)
+	ln, _, err := logical.PlanParams(tpl, demoCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Schedule(ln, demoRegistry(), Options{Coordinator: "coord"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, slots
+}
+
+func TestCloneIsolatesTagAndBind(t *testing.T) {
+	q := "select p.ORF from protein_sequences p where p.sequence <> 'AA'"
+	tpl, slots := scheduleTemplate(t, q)
+	if err := tpl.Validate(); err != nil {
+		t.Fatalf("template invalid: %v", err)
+	}
+	before := tpl.Explain()
+
+	c1 := tpl.Clone()
+	args, err := sqlparse.BindSlots(slots, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.BindParams(args); err != nil {
+		t.Fatal(err)
+	}
+	c1.Tag("q1")
+	c2 := tpl.Clone()
+	if err := c2.BindParams(args); err != nil {
+		t.Fatal(err)
+	}
+	c2.Tag("q2")
+
+	if tpl.Explain() != before {
+		t.Fatalf("Clone did not isolate template:\n%s\nvs\n%s", before, tpl.Explain())
+	}
+	if c1.Fragments[0].ID == c2.Fragments[0].ID {
+		t.Fatalf("tags collided: %s", c1.Fragments[0].ID)
+	}
+	if err := c1.Validate(); err != nil {
+		t.Fatalf("bound clone invalid: %v", err)
+	}
+}
+
+func TestBindParamsRewritesFilters(t *testing.T) {
+	tpl, slots := scheduleTemplate(t, "select p.ORF from protein_sequences p where p.sequence <> 'AA'")
+	args, err := sqlparse.BindSlots(slots, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := tpl.Clone()
+	if err := bound.BindParams(args); err != nil {
+		t.Fatal(err)
+	}
+	countParams := func(p *Plan) int {
+		n := 0
+		for _, f := range p.Fragments {
+			var walk func(o *OpSpec)
+			walk = func(o *OpSpec) {
+				for _, c := range o.Pred {
+					if _, ok := c.Left.(sqlparse.Param); ok {
+						n++
+					}
+					if _, ok := c.Right.(sqlparse.Param); ok {
+						n++
+					}
+				}
+				for _, ch := range o.Children {
+					walk(ch)
+				}
+			}
+			walk(f.Root)
+		}
+		return n
+	}
+	if countParams(tpl) == 0 {
+		t.Fatal("template should carry parameter placeholders")
+	}
+	if countParams(bound) != 0 {
+		t.Fatal("bound plan still carries parameter placeholders")
+	}
+}
+
+func TestBuildEstSetForJoins(t *testing.T) {
+	p := schedule(t, "select i.ORF2 from protein_sequences p, protein_interactions i where i.ORF1 = p.ORF",
+		Options{Coordinator: "coord"})
+	found := false
+	for _, f := range p.Fragments {
+		var walk func(o *OpSpec)
+		walk = func(o *OpSpec) {
+			if o.Kind == KJoin {
+				found = true
+				if o.BuildEst <= 0 {
+					t.Errorf("KJoin BuildEst = %d, want > 0", o.BuildEst)
+				}
+			}
+			for _, c := range o.Children {
+				walk(c)
+			}
+		}
+		walk(f.Root)
+	}
+	if !found {
+		t.Fatal("no join in plan")
+	}
+}
+
+func TestPlanParamsInfersExplicitMarkerTypes(t *testing.T) {
+	stmt, err := sqlparse.Parse("select p.ORF from protein_sequences p where p.sequence = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpl, slots := sqlparse.Normalize(stmt)
+	_, hints, err := logical.PlanParams(tpl, demoCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hints[0] != sqlparse.PString {
+		t.Fatalf("inferred hint = %v, want PString", hints[0])
+	}
+	if slots[0].Hint != sqlparse.PAny || slots[0].UserOrd != 0 {
+		t.Fatalf("slot = %+v", slots[0])
+	}
+}

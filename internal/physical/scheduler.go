@@ -270,6 +270,7 @@ func (b *builder) build(n logical.Node) (buildResult, error) {
 			OutCols:   v.Schema().Columns(),
 			BuildKeys: v.LeftKeys,
 			ProbeKeys: v.RightKeys,
+			BuildEst:  int(left.est),
 		}
 		return buildResult{spec: spec, frag: f, est: right.est}, nil
 

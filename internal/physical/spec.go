@@ -81,6 +81,10 @@ type OpSpec struct {
 	ResultName string
 	// KJoin: key ordinals into the respective child schemas.
 	BuildKeys, ProbeKeys []int
+	// BuildEst is the optimiser's estimate of the build-side cardinality
+	// (total across instances); evaluators pre-size the join hash table
+	// from it.
+	BuildEst int
 	// KConsume.
 	Exchange     string
 	NumProducers int

@@ -1,0 +1,145 @@
+// Package plancache is a bounded LRU cache for compiled query artifacts,
+// keyed by normalized SQL (see sqlparse.Normalize). The serving front caches
+// physical plan templates under it, so repeated queries skip parsing,
+// logical planning, scheduling and validation and only clone + bind the
+// cached template.
+//
+// Entries carry the topology epoch they were planned under: when the Grid
+// gains or loses resources the scheduler's placement decisions go stale, so
+// lookups pass the current epoch and entries from older epochs miss (and are
+// dropped lazily). Hit/miss/eviction counts mirror into the obs registry as
+// plan_cache_* metrics.
+package plancache
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// DefaultCapacity bounds the cache when the caller does not choose one.
+const DefaultCapacity = 128
+
+// Cache is a bounded, epoch-aware LRU map from normalized SQL to a cached
+// value. All methods are safe for concurrent use.
+type Cache[V any] struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits, misses, evictions *obs.Counter
+	size                    *obs.Gauge
+}
+
+type entry[V any] struct {
+	key   string
+	epoch uint64
+	val   V
+}
+
+// New builds a cache holding at most capacity entries (DefaultCapacity when
+// capacity <= 0), reporting its counters into reg (a private registry when
+// nil, so Stats always works).
+func New[V any](capacity int, reg *obs.Registry) *Cache[V] {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Cache[V]{
+		cap:       capacity,
+		ll:        list.New(),
+		items:     make(map[string]*list.Element),
+		hits:      reg.Counter(obs.MPlanCacheHits),
+		misses:    reg.Counter(obs.MPlanCacheMisses),
+		evictions: reg.Counter(obs.MPlanCacheEvictions),
+		size:      reg.Gauge(obs.MPlanCacheSize),
+	}
+}
+
+// Get returns the value cached under key if it exists and was stored under
+// the same epoch. A stale-epoch entry is dropped and reported as a miss.
+func (c *Cache[V]) Get(key string, epoch uint64) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var zero V
+	el, ok := c.items[key]
+	if !ok {
+		c.misses.Inc()
+		return zero, false
+	}
+	ent := el.Value.(*entry[V])
+	if ent.epoch != epoch {
+		c.removeLocked(el)
+		c.evictions.Inc()
+		c.misses.Inc()
+		return zero, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Inc()
+	return ent.val, true
+}
+
+// Put stores val under key for the given epoch, evicting the least recently
+// used entry when the cache is full. A concurrent Put for the same key wins
+// by last-writer.
+func (c *Cache[V]) Put(key string, epoch uint64, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*entry[V])
+		ent.epoch = epoch
+		ent.val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	for c.ll.Len() >= c.cap {
+		c.removeLocked(c.ll.Back())
+		c.evictions.Inc()
+	}
+	c.items[key] = c.ll.PushFront(&entry[V]{key: key, epoch: epoch, val: val})
+	c.size.Set(int64(c.ll.Len()))
+}
+
+func (c *Cache[V]) removeLocked(el *list.Element) {
+	ent := c.ll.Remove(el).(*entry[V])
+	delete(c.items, ent.key)
+	c.size.Set(int64(c.ll.Len()))
+}
+
+// Len reports the number of cached entries (stale-epoch entries included
+// until a Get touches them).
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits, Misses, Evictions int64
+	Size                    int
+}
+
+// Stats snapshots the counters.
+func (c *Cache[V]) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Value(),
+		Misses:    c.misses.Value(),
+		Evictions: c.evictions.Value(),
+		Size:      c.Len(),
+	}
+}
+
+// HitRate is the fraction of lookups served from the cache; 0 before any
+// lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}

@@ -1,0 +1,121 @@
+package plancache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestGetPut(t *testing.T) {
+	c := New[int](4, nil)
+	if _, ok := c.Get("a", 1); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put("a", 1, 10)
+	v, ok := c.Get("a", 1)
+	if !ok || v != 10 {
+		t.Fatalf("Get = %v, %v", v, ok)
+	}
+	c.Put("a", 1, 11) // overwrite
+	if v, _ := c.Get("a", 1); v != 11 {
+		t.Fatalf("overwrite lost: %v", v)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Size != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := st.HitRate(); got < 0.66 || got > 0.67 {
+		t.Fatalf("hit rate = %v", got)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New[int](2, nil)
+	c.Put("a", 1, 1)
+	c.Put("b", 1, 2)
+	c.Get("a", 1) // a is now most recent
+	c.Put("c", 1, 3)
+	if _, ok := c.Get("b", 1); ok {
+		t.Fatal("b should have been evicted (LRU)")
+	}
+	if _, ok := c.Get("a", 1); !ok {
+		t.Fatal("a should have survived")
+	}
+	if _, ok := c.Get("c", 1); !ok {
+		t.Fatal("c should be present")
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Size != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestEpochInvalidation(t *testing.T) {
+	c := New[int](4, nil)
+	c.Put("a", 1, 1)
+	if _, ok := c.Get("a", 2); ok {
+		t.Fatal("stale epoch should miss")
+	}
+	if c.Len() != 0 {
+		t.Fatal("stale entry should be dropped")
+	}
+	// Re-plan under the new epoch.
+	c.Put("a", 2, 9)
+	if v, ok := c.Get("a", 2); !ok || v != 9 {
+		t.Fatalf("Get after re-plan = %v, %v", v, ok)
+	}
+}
+
+func TestMetricsMirrored(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New[int](1, reg)
+	c.Put("a", 1, 1)
+	c.Get("a", 1)
+	c.Get("x", 1)
+	c.Put("b", 1, 2)
+	if reg.Counter(obs.MPlanCacheHits).Value() != 1 {
+		t.Error("hits not mirrored")
+	}
+	if reg.Counter(obs.MPlanCacheMisses).Value() != 1 {
+		t.Error("misses not mirrored")
+	}
+	if reg.Counter(obs.MPlanCacheEvictions).Value() != 1 {
+		t.Error("evictions not mirrored")
+	}
+	if reg.Gauge(obs.MPlanCacheSize).Value() != 1 {
+		t.Error("size not mirrored")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New[int](16, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("q%d", (g+i)%32)
+				if v, ok := c.Get(key, 1); ok && v != (g+i)%32 {
+					t.Errorf("corrupt value %d for %s", v, key)
+				}
+				c.Put(key, 1, (g+i)%32)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Fatalf("capacity exceeded: %d", c.Len())
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	c := New[int](0, nil)
+	for i := 0; i < DefaultCapacity+10; i++ {
+		c.Put(fmt.Sprintf("q%d", i), 1, i)
+	}
+	if c.Len() != DefaultCapacity {
+		t.Fatalf("len = %d, want %d", c.Len(), DefaultCapacity)
+	}
+}

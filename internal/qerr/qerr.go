@@ -30,6 +30,11 @@ var ErrCanceled = fmt.Errorf("query canceled: %w", context.Canceled)
 // errors.Is(ErrTimeout, context.DeadlineExceeded) holds.
 var ErrTimeout = fmt.Errorf("query timed out: %w", context.DeadlineExceeded)
 
+// ErrRejected reports that the admission controller turned the query away
+// without queueing it (queue at capacity). Clients should back off and
+// retry; the error is always wrapped with KindAdmission.
+var ErrRejected = errors.New("query rejected: admission queue full")
+
 // Kind classifies a query error by the lifecycle phase that produced it.
 type Kind uint8
 
@@ -48,6 +53,10 @@ const (
 	// KindTransport covers message movement between services: failed
 	// buffer shipping, unreachable endpoints, control RPC failures.
 	KindTransport
+	// KindAdmission covers the serving front: the query was well-formed but
+	// never started because the admission controller's queue was full or the
+	// queue-time budget expired.
+	KindAdmission
 )
 
 // String names the kind.
@@ -61,6 +70,8 @@ func (k Kind) String() string {
 		return "exec"
 	case KindTransport:
 		return "transport"
+	case KindAdmission:
+		return "admission"
 	default:
 		return "unknown"
 	}
@@ -111,6 +122,9 @@ func Exec(op string, err error) error { return New(KindExec, op, err) }
 
 // Transport wraps a message-transport error.
 func Transport(op string, err error) error { return New(KindTransport, op, err) }
+
+// Admission wraps an admission-control error.
+func Admission(op string, err error) error { return New(KindAdmission, op, err) }
 
 // KindOf reports the kind of the outermost *Error in err's chain, or
 // KindUnknown.

@@ -1,0 +1,252 @@
+// Package servebench measures the multi-query serving layer under sustained
+// concurrent load: N closed-loop clients fire repeated-shape queries (point
+// lookups and a filtered join whose literals rotate) at one coordinator for a
+// fixed wall-clock duration, and the harness reports throughput, latency
+// percentiles, plan-cache hit rate, and admission behaviour. Comparing the
+// same workload with the plan cache on and off isolates what template reuse
+// buys — the workload re-plans every statement when caching is disabled, and
+// binds a cached template otherwise.
+package servebench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/qerr"
+	"repro/internal/services"
+	"repro/internal/simnet"
+	"repro/internal/ws"
+)
+
+// Config shapes one sustained-load run.
+type Config struct {
+	// Clients is the number of closed-loop client goroutines (default 16).
+	Clients int
+	// Duration is how long the load runs in real time (default 2s).
+	Duration time.Duration
+	// Sequences / Interactions size the stored tables (defaults 24 / 36 —
+	// small on purpose: the workload stresses the serving path, not scans).
+	Sequences, Interactions int
+	// CacheSize is the plan-cache capacity: 0 means the default, negative
+	// disables caching so every query is planned from scratch.
+	CacheSize int
+	// MaxConcurrent / MaxQueue bound admission (0 = service defaults).
+	MaxConcurrent int
+	MaxQueue      int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clients <= 0 {
+		c.Clients = 16
+	}
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.Sequences <= 0 {
+		c.Sequences = 24
+	}
+	if c.Interactions <= 0 {
+		c.Interactions = 36
+	}
+	return c
+}
+
+// Result is one sustained-load measurement.
+type Result struct {
+	Clients    int     `json:"clients"`
+	DurationS  float64 `json:"duration_s"`
+	Queries    int64   `json:"queries"`
+	Errors     int64   `json:"errors"`
+	Rejected   int64   `json:"rejected"`
+	QPS        float64 `json:"qps"`
+	P50Ms      float64 `json:"p50_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	CacheHits  int64   `json:"cache_hits"`
+	CacheMiss  int64   `json:"cache_misses"`
+	HitRate    float64 `json:"hit_rate"`
+	CacheOn    bool    `json:"cache_on"`
+	RowsServed int64   `json:"rows_served"`
+}
+
+// Report pairs the cache-on and cache-off runs of one workload.
+type Report struct {
+	GeneratedAt string  `json:"generated_at"`
+	CacheOn     Result  `json:"cache_on"`
+	CacheOff    Result  `json:"cache_off"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// orf formats the i-th ORF key, matching dataset generation.
+func orf(i int) string { return fmt.Sprintf("YAL%05dC", i) }
+
+// Run executes one sustained-load measurement.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+
+	// The serving benchmark measures real wall-clock throughput on a Grid
+	// whose compile-and-schedule step carries its modeled OGSA-DQP cost
+	// (PlanMs below): registry and factory consultations made query
+	// preparation a second-scale affair in the measured system. Operator
+	// costs stay tiny — the workload stresses the serving path (parse,
+	// normalize, plan or bind, admit, deploy), not scans.
+	prev := obs.SetDefault(obs.New())
+	defer obs.SetDefault(prev)
+	cluster := services.NewCluster(services.ClusterConfig{
+		Scale: 2 * time.Microsecond,
+		Costs: engine.Costs{ScanMs: 0.001, FilterMs: 0.001, ProjectMs: 0.001,
+			JoinBuildMs: 0.001, JoinProbeMs: 0.001, StartupMs: 0.001},
+		BufferTuples:    64,
+		CheckpointEvery: 64,
+		Buckets:         64,
+	})
+	defer cluster.Close()
+	if err := cluster.AddDataNode("data1", dataset.DemoSized(cfg.Sequences, cfg.Interactions)); err != nil {
+		return nil, err
+	}
+	for _, n := range []simnet.NodeID{"ws0", "ws1"} {
+		if err := cluster.AddComputeNode(n, 1.0,
+			ws.NewRegistry(ws.Entropy{CostMs: 0.001}, ws.SequenceLength{})); err != nil {
+			return nil, err
+		}
+	}
+	gcfg := services.GDQSConfig{
+		Adaptive:      false,
+		QueryTimeout:  time.Minute,
+		PlanCacheSize: cfg.CacheSize,
+		MaxConcurrent: cfg.MaxConcurrent,
+		MaxQueue:      cfg.MaxQueue,
+		// One simulated second of compile+schedule per cold plan —
+		// conservative against OGSA-DQP's measured multi-second preparation.
+		PlanMs: 1000,
+	}
+	g, err := services.NewGDQS(cluster, "coord", gcfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Two statement shapes with rotating literals: a point lookup and a
+	// filtered join. Few shapes, many literals — the cache serves everything
+	// from two templates while the uncached run plans every arrival.
+	pointQ := func(i int) string {
+		return fmt.Sprintf("select p.ORF, p.sequence from protein_sequences p where p.ORF = '%s'",
+			orf(i%cfg.Sequences))
+	}
+	joinQ := func(i int) string {
+		return fmt.Sprintf("select i.ORF2 from protein_sequences p, protein_interactions i"+
+			" where i.ORF1 = p.ORF and i.ORF2 = '%s'", orf(i%cfg.Sequences))
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		queries   int64
+		errCount  int64
+		rejected  int64
+		rows      int64
+	)
+	deadline := time.Now().Add(cfg.Duration)
+	ctx, cancel := context.WithDeadline(context.Background(), deadline.Add(30*time.Second))
+	defer cancel()
+
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			local := make([]float64, 0, 1024)
+			var n, errs, rej, r int64
+			for i := c; time.Now().Before(deadline); i++ {
+				q := pointQ(i)
+				if i%2 == 1 {
+					q = joinQ(i)
+				}
+				t0 := time.Now()
+				res, err := g.Execute(ctx, q)
+				local = append(local, float64(time.Since(t0))/float64(time.Millisecond))
+				n++
+				if err != nil {
+					errs++
+					if errors.Is(err, qerr.ErrRejected) {
+						rej++
+					}
+					continue
+				}
+				r += int64(len(res.Rows))
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			queries += n
+			errCount += errs
+			rejected += rej
+			rows += r
+			mu.Unlock()
+		}(c)
+	}
+	start := time.Now()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Float64s(latencies)
+	stats := g.PlanCacheStats()
+	res := &Result{
+		Clients:    cfg.Clients,
+		DurationS:  elapsed.Seconds(),
+		Queries:    queries,
+		Errors:     errCount,
+		Rejected:   rejected,
+		QPS:        float64(queries) / elapsed.Seconds(),
+		P50Ms:      percentile(latencies, 0.50),
+		P99Ms:      percentile(latencies, 0.99),
+		CacheHits:  stats.Hits,
+		CacheMiss:  stats.Misses,
+		HitRate:    stats.HitRate(),
+		CacheOn:    cfg.CacheSize >= 0,
+		RowsServed: rows,
+	}
+	return res, nil
+}
+
+// Compare runs the workload twice — plan cache on, then off — and reports
+// the throughput ratio.
+func Compare(cfg Config) (*Report, error) {
+	on := cfg
+	if on.CacheSize < 0 {
+		on.CacheSize = 0
+	}
+	off := cfg
+	off.CacheSize = -1
+
+	rOn, err := Run(on)
+	if err != nil {
+		return nil, fmt.Errorf("servebench: cache-on run: %w", err)
+	}
+	rOff, err := Run(off)
+	if err != nil {
+		return nil, fmt.Errorf("servebench: cache-off run: %w", err)
+	}
+	rep := &Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		CacheOn:     *rOn,
+		CacheOff:    *rOff,
+	}
+	if rOff.QPS > 0 {
+		rep.Speedup = rOn.QPS / rOff.QPS
+	}
+	return rep, nil
+}
+
+// percentile reads the p-quantile from sorted samples.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}

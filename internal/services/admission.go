@@ -1,0 +1,148 @@
+package services
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/qerr"
+)
+
+// Admission-control defaults: enough concurrency to load the parallel
+// engine, and a queue deep enough that short bursts from many clients wait
+// rather than fail.
+const (
+	DefaultMaxConcurrent = 8
+	DefaultMaxQueue      = 1024
+)
+
+// admission bounds the number of concurrently running QuerySessions per
+// coordinator. Arrivals beyond the concurrency bound wait in strict FIFO
+// order — a plain Go semaphore channel wakes waiters in unspecified order,
+// so fairness needs an explicit queue — and arrivals beyond the queue bound
+// are rejected immediately with a typed admission error. A released slot is
+// handed directly to the queue head, so the bound is never exceeded and no
+// waiter can be overtaken.
+type admission struct {
+	maxConcurrent int
+	maxQueue      int
+	queueTimeout  time.Duration // 0: bounded only by the caller's ctx
+
+	mu      sync.Mutex
+	inUse   int
+	waiters *list.List // of *waiter, front = longest waiting
+
+	queued   *obs.Counter
+	rejected *obs.Counter
+	waiting  *obs.Gauge
+	queueMs  *obs.Histogram
+}
+
+// waiter is one queued arrival; grant closes ch while holding the admission
+// lock, after removing the waiter from the queue.
+type waiter struct {
+	ch chan struct{}
+}
+
+func newAdmission(maxConcurrent, maxQueue int, queueTimeout time.Duration, reg *obs.Registry) *admission {
+	if maxConcurrent <= 0 {
+		maxConcurrent = DefaultMaxConcurrent
+	}
+	if maxQueue <= 0 {
+		maxQueue = DefaultMaxQueue
+	}
+	a := &admission{
+		maxConcurrent: maxConcurrent,
+		maxQueue:      maxQueue,
+		queueTimeout:  queueTimeout,
+		waiters:       list.New(),
+		queued:        reg.Counter(obs.MAdmissionQueued),
+		rejected:      reg.Counter(obs.MAdmissionRejected),
+		waiting:       reg.Gauge(obs.MAdmissionWaiting),
+		queueMs:       reg.Histogram(obs.MAdmissionQueueMs, obs.DefBucketsLatencyMs),
+	}
+	return a
+}
+
+// acquire blocks until the caller may start a session, the queue-time budget
+// runs out, or ctx is done. On success it returns the release function the
+// caller must run when its session ends.
+func (a *admission) acquire(ctx context.Context) (release func(), err error) {
+	start := time.Now()
+	a.mu.Lock()
+	if a.inUse < a.maxConcurrent {
+		a.inUse++
+		a.mu.Unlock()
+		a.queueMs.Observe(0)
+		return a.release, nil
+	}
+	if a.waiters.Len() >= a.maxQueue {
+		a.mu.Unlock()
+		a.rejected.Inc()
+		return nil, qerr.Admission("admit", fmt.Errorf("%w (%d running, %d queued)",
+			qerr.ErrRejected, a.maxConcurrent, a.maxQueue))
+	}
+	w := &waiter{ch: make(chan struct{})}
+	el := a.waiters.PushBack(w)
+	a.waiting.Set(int64(a.waiters.Len()))
+	a.mu.Unlock()
+	a.queued.Inc()
+
+	var timeout <-chan time.Time
+	if a.queueTimeout > 0 {
+		t := time.NewTimer(a.queueTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case <-w.ch:
+		a.queueMs.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+		return a.release, nil
+	case <-ctx.Done():
+		return nil, a.abandon(el, qerr.Admission("queue", qerr.FromContext(ctx)))
+	case <-timeout:
+		return nil, a.abandon(el, qerr.Admission("queue",
+			fmt.Errorf("queue wait exceeded %v: %w", a.queueTimeout, qerr.ErrTimeout)))
+	}
+}
+
+// abandon removes a waiter that gave up. If the slot was granted in the
+// window between the waiter's select losing and the lock being taken, the
+// grant is passed straight on, preserving the concurrency bound.
+func (a *admission) abandon(el *list.Element, err error) error {
+	a.mu.Lock()
+	w := el.Value.(*waiter)
+	select {
+	case <-w.ch:
+		// Granted concurrently (grants happen lock-held, so this is
+		// settled by now): hand the slot to the next waiter or free it.
+		a.releaseLocked()
+		a.mu.Unlock()
+	default:
+		a.waiters.Remove(el)
+		a.waiting.Set(int64(a.waiters.Len()))
+		a.mu.Unlock()
+	}
+	return err
+}
+
+// release frees one slot: the longest-waiting queued arrival inherits it
+// directly, otherwise the running count drops.
+func (a *admission) release() {
+	a.mu.Lock()
+	a.releaseLocked()
+	a.mu.Unlock()
+}
+
+func (a *admission) releaseLocked() {
+	if el := a.waiters.Front(); el != nil {
+		a.waiters.Remove(el)
+		a.waiting.Set(int64(a.waiters.Len()))
+		close(el.Value.(*waiter).ch)
+		return
+	}
+	a.inUse--
+}

@@ -1,0 +1,201 @@
+package services
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/qerr"
+)
+
+func TestAdmissionImmediateBelowBound(t *testing.T) {
+	a := newAdmission(2, 4, 0, obs.NewRegistry())
+	r1, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1()
+	r2()
+	r3, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3()
+}
+
+func TestAdmissionFIFOOrder(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := newAdmission(1, 16, 0, reg)
+	release, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 8
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		// Enqueue strictly one at a time, so queue order is known.
+		before := reg.Counter(obs.MAdmissionQueued).Value()
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := a.acquire(context.Background())
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			r()
+		}(i)
+		for reg.Counter(obs.MAdmissionQueued).Value() == before {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	release() // cascade: each waiter hands the slot to the next
+	wg.Wait()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("grant order = %v, want FIFO", order)
+		}
+	}
+	if w := reg.Gauge(obs.MAdmissionWaiting).Value(); w != 0 {
+		t.Fatalf("waiting gauge = %d after drain", w)
+	}
+}
+
+func TestAdmissionRejectsBeyondQueue(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := newAdmission(1, 1, 0, reg)
+	release, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	queued := make(chan struct{})
+	go func() {
+		close(queued)
+		r, err := a.acquire(context.Background())
+		if err == nil {
+			r()
+		}
+	}()
+	<-queued
+	for reg.Counter(obs.MAdmissionQueued).Value() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	_, err = a.acquire(context.Background())
+	if !errors.Is(err, qerr.ErrRejected) {
+		t.Fatalf("err = %v, want ErrRejected", err)
+	}
+	if qerr.KindOf(err) != qerr.KindAdmission {
+		t.Fatalf("kind = %v", qerr.KindOf(err))
+	}
+	if reg.Counter(obs.MAdmissionRejected).Value() != 1 {
+		t.Fatal("rejection not counted")
+	}
+	release()
+}
+
+func TestAdmissionHonorsContext(t *testing.T) {
+	a := newAdmission(1, 8, 0, obs.NewRegistry())
+	release, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.acquire(ctx)
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	err = <-done
+	if !errors.Is(err, qerr.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if qerr.KindOf(err) != qerr.KindAdmission {
+		t.Fatalf("kind = %v", qerr.KindOf(err))
+	}
+}
+
+func TestAdmissionQueueTimeout(t *testing.T) {
+	a := newAdmission(1, 8, 5*time.Millisecond, obs.NewRegistry())
+	release, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	_, err = a.acquire(context.Background())
+	if !errors.Is(err, qerr.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if qerr.KindOf(err) != qerr.KindAdmission {
+		t.Fatalf("kind = %v", qerr.KindOf(err))
+	}
+}
+
+func TestAdmissionBoundHeldUnderChurn(t *testing.T) {
+	// Hammer acquire/release with racing cancellations; the concurrency
+	// bound must never be exceeded and no slot may leak.
+	const bound = 4
+	a := newAdmission(bound, 64, 0, obs.NewRegistry())
+	var running, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				ctx, cancel := context.WithCancel(context.Background())
+				if i%4 == 0 {
+					// Cancel aggressively to race grant against abandon.
+					time.AfterFunc(time.Duration(j%3)*time.Millisecond, cancel)
+				}
+				r, err := a.acquire(ctx)
+				if err == nil {
+					n := running.Add(1)
+					for {
+						p := peak.Load()
+						if n <= p || peak.CompareAndSwap(p, n) {
+							break
+						}
+					}
+					time.Sleep(time.Millisecond)
+					running.Add(-1)
+					r()
+				}
+				cancel()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if p := peak.Load(); p > bound {
+		t.Fatalf("peak concurrency %d exceeds bound %d", p, bound)
+	}
+	// All slots must be free again.
+	for i := 0; i < bound; i++ {
+		r, err := a.acquire(context.Background())
+		if err != nil {
+			t.Fatalf("slot %d leaked: %v", i, err)
+		}
+		defer r()
+	}
+}

@@ -10,6 +10,7 @@ package services
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bus"
@@ -53,6 +54,10 @@ type Cluster struct {
 	mu       sync.Mutex
 	stores   map[simnet.NodeID]*dataset.Store
 	services map[simnet.NodeID]*ws.Registry
+
+	// version counts topology changes; cached plans are keyed to it, so a
+	// Grid gaining or losing resources invalidates every cached placement.
+	version atomic.Uint64
 }
 
 // NewCluster builds an empty simulated Grid.
@@ -131,8 +136,13 @@ func (c *Cluster) AddDataNode(id simnet.NodeID, store *dataset.Store) error {
 		tables = append(tables, tbl.Name)
 	}
 	c.registry.RegisterData(id, tables...)
+	c.version.Add(1)
 	return nil
 }
+
+// Version is the topology epoch: it changes whenever resources join the
+// Grid, invalidating plan-cache entries scheduled against the old topology.
+func (c *Cluster) Version() uint64 { return c.version.Load() }
 
 // AddComputeNode registers a machine able to host evaluation services, with
 // the given static speed claim and callable Web Service operations.
@@ -157,6 +167,7 @@ func (c *Cluster) AddComputeNode(id simnet.NodeID, relativeSpeed float64, servic
 			return err
 		}
 	}
+	c.version.Add(1)
 	return nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/logical"
 	"repro/internal/obs"
 	"repro/internal/physical"
+	"repro/internal/plancache"
 	"repro/internal/qerr"
 	"repro/internal/relation"
 	"repro/internal/simnet"
@@ -41,6 +42,26 @@ type GDQSConfig struct {
 	// QueryTimeout bounds one query's real execution time; it becomes the
 	// deadline of the session context every query runs under.
 	QueryTimeout time.Duration
+	// PlanCacheSize bounds the normalized-SQL plan cache: 0 means
+	// plancache.DefaultCapacity, negative disables caching (every query is
+	// planned from scratch).
+	PlanCacheSize int
+	// MaxConcurrent bounds the QuerySessions running at once
+	// (DefaultMaxConcurrent when 0); arrivals beyond it queue FIFO.
+	MaxConcurrent int
+	// MaxQueue bounds the admission queue (DefaultMaxQueue when 0); arrivals
+	// beyond it are rejected with qerr.ErrRejected.
+	MaxQueue int
+	// QueueTimeout bounds how long one query may wait for admission (real
+	// time); 0 means the wait is bounded only by the query's context.
+	QueueTimeout time.Duration
+	// PlanMs models the compile-and-schedule cost in paper milliseconds —
+	// the registry and factory consultations OGSA-DQP performs to prepare a
+	// query, which its measurements put at seconds per statement. It is
+	// charged (slept at the cluster's time scale) on every cold planning and
+	// skipped when the plan cache serves the template, so it is what the
+	// serving layer's template reuse saves. 0 disables the charge.
+	PlanMs float64
 }
 
 // DefaultGDQSConfig returns an adaptive configuration with the paper's
@@ -84,7 +105,14 @@ type GDQS struct {
 	node    simnet.NodeID
 	cfg     GDQSConfig
 
-	mu sync.Mutex // serialises Execute per coordinator
+	// cache maps normalized SQL to plan templates (nil when disabled); adm
+	// bounds concurrent sessions. Execute is safe for concurrent use.
+	cache *plancache.Cache[*cachedPlan]
+	adm   *admission
+	// planMu serializes the modeled compile cost: the GDQS is one
+	// coordinator service compiling one statement at a time, so concurrent
+	// cold plans queue on it (cache hits never touch it).
+	planMu sync.Mutex
 }
 
 // NewGDQS creates the coordinator on the given node.
@@ -95,7 +123,29 @@ func NewGDQS(cluster *Cluster, node simnet.NodeID, cfg GDQSConfig) (*GDQS, error
 	if cfg.QueryTimeout <= 0 {
 		cfg.QueryTimeout = 5 * time.Minute
 	}
-	return &GDQS{cluster: cluster, node: node, cfg: cfg}, nil
+	g := &GDQS{cluster: cluster, node: node, cfg: cfg}
+	if cfg.PlanCacheSize >= 0 {
+		g.cache = plancache.New[*cachedPlan](cfg.PlanCacheSize, obs.Default().Registry())
+	}
+	g.adm = newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.QueueTimeout, obs.Default().Registry())
+	return g, nil
+}
+
+// cachedPlan is one plan-cache entry: the untagged, unbound physical plan
+// template plus its parameter slots (untyped slots upgraded with the
+// planner's inference, so argument type errors surface at bind time).
+type cachedPlan struct {
+	template *physical.Plan
+	slots    []sqlparse.Slot
+}
+
+// PlanCacheStats snapshots the coordinator's plan-cache counters (zero when
+// caching is disabled).
+func (g *GDQS) PlanCacheStats() plancache.Stats {
+	if g.cache == nil {
+		return plancache.Stats{}
+	}
+	return g.cache.Stats()
 }
 
 // QueryStats aggregates what one execution observed; the experiment harness
@@ -132,26 +182,175 @@ type QueryResult struct {
 	Stats   QueryStats
 }
 
-// Execute runs one SQL query to completion under ctx. Cancelling ctx stops
-// every fragment driver and adaptivity goroutine the query started and
-// returns qerr.ErrCanceled; the configured QueryTimeout yields
-// qerr.ErrTimeout the same way. A nil ctx runs under only the timeout.
+// Execute runs one SQL query to completion under ctx. Execute is safe for
+// concurrent use: the admission controller bounds how many sessions run at
+// once, queueing the rest in FIFO order, and each repeated query reuses the
+// cached plan template of its normalized form. Cancelling ctx stops every
+// fragment driver and adaptivity goroutine the query started and returns
+// qerr.ErrCanceled; the configured QueryTimeout yields qerr.ErrTimeout the
+// same way. A nil ctx runs under only the timeout.
 //
 // Errors carry a qerr.Kind: compilation failures are KindPlan, scheduling
-// and deployment failures KindSchedule, and runtime failures KindExec or
-// KindTransport — use errors.As with *qerr.Error (or errors.Is with the
-// sentinels) to classify.
+// and deployment failures KindSchedule, admission failures KindAdmission
+// (errors.Is(err, qerr.ErrRejected) for a full queue), and runtime failures
+// KindExec or KindTransport — use errors.As with *qerr.Error (or errors.Is
+// with the sentinels) to classify.
 func (g *GDQS) Execute(ctx context.Context, query string) (*QueryResult, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	return g.execute(ctx, query, nil)
+}
 
-	stmt, err := sqlparse.Parse(query)
+func (g *GDQS) execute(ctx context.Context, query string, userArgs []sqlparse.Expr) (*QueryResult, error) {
+	key, template, slots, err := sqlparse.NormalizeSQL(query)
 	if err != nil {
 		return nil, qerr.Plan("parse", err)
 	}
+	return g.executeTemplate(ctx, key, template, slots, userArgs)
+}
+
+// executeTemplate is the serving pipeline every query goes through after
+// normalization: resolve the plan template (cache or planner), clone + bind
+// + tag it, pass admission, run the session.
+func (g *GDQS) executeTemplate(ctx context.Context, key string, template *sqlparse.SelectStmt,
+	slots []sqlparse.Slot, userArgs []sqlparse.Expr) (*QueryResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pplan, err := g.planFor(key, template, slots, userArgs)
+	if err != nil {
+		return nil, err
+	}
+	release, err := g.adm.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return g.run(ctx, pplan)
+}
+
+// planFor resolves a normalized statement into an execution-ready (bound and
+// tagged) physical plan, consulting the plan cache first.
+func (g *GDQS) planFor(key string, template *sqlparse.SelectStmt,
+	slots []sqlparse.Slot, userArgs []sqlparse.Expr) (*physical.Plan, error) {
+	cp, terr := g.templateFor(key, template, slots)
+	if terr != nil {
+		// Template planning can trip over parameterisation itself (e.g. a
+		// literal-only comparison with no column to infer types from). When
+		// every slot still carries its stripped literal, plan the original
+		// statement directly — uncached, but semantically identical — and
+		// let its (more concrete) error stand otherwise.
+		if sqlparse.NumUserParams(slots) > 0 {
+			return nil, terr
+		}
+		args, err := sqlparse.BindSlots(slots, nil)
+		if err != nil {
+			return nil, terr
+		}
+		stmt, err := sqlparse.Bind(template, args)
+		if err != nil {
+			return nil, terr
+		}
+		return g.planDirect(stmt)
+	}
+	// Bind THIS query's slots — they carry its stripped literals; the cached
+	// entry's slots hold whichever literals the template was first planned
+	// from and matter only for their inferred type hints.
+	eff := slots
+	if len(cp.slots) == len(slots) {
+		eff = append([]sqlparse.Slot(nil), slots...)
+		for i := range eff {
+			if eff[i].Hint == sqlparse.PAny {
+				eff[i].Hint = cp.slots[i].Hint
+			}
+		}
+	}
+	return g.bindPlan(cp, eff, userArgs)
+}
+
+// templateFor returns the cached plan template for key, planning and caching
+// it on a miss. Entries are keyed to the cluster topology epoch, so plans
+// scheduled against an outgrown Grid re-plan instead of hitting.
+func (g *GDQS) templateFor(key string, template *sqlparse.SelectStmt, slots []sqlparse.Slot) (*cachedPlan, error) {
+	epoch := g.cluster.Version()
+	if g.cache != nil {
+		if cp, ok := g.cache.Get(key, epoch); ok {
+			return cp, nil
+		}
+	}
+	cp, err := g.planTemplate(template, slots)
+	if err != nil {
+		return nil, err
+	}
+	if g.cache != nil {
+		g.cache.Put(key, epoch, cp)
+	}
+	return cp, nil
+}
+
+// planTemplate compiles, schedules and validates a normalized statement.
+// The resulting plan is a reusable template: it is never executed directly,
+// only cloned, bound and tagged per execution.
+func (g *GDQS) planTemplate(template *sqlparse.SelectStmt, slots []sqlparse.Slot) (*cachedPlan, error) {
+	g.chargePlanning()
+	lplan, hints, err := logical.PlanParams(template, g.cluster.catalog)
+	if err != nil {
+		return nil, qerr.Plan("plan", err)
+	}
+	pplan, err := physical.Schedule(lplan, g.cluster.registry, physical.Options{
+		Coordinator:    g.node,
+		MaxParallelism: g.cfg.MaxParallelism,
+	})
+	if err != nil {
+		return nil, qerr.Schedule("schedule", err)
+	}
+	if err := pplan.Validate(); err != nil {
+		return nil, qerr.Schedule("validate", err)
+	}
+	// Upgrade untyped (explicit `?`) slots with the planner's type
+	// inference, so a wrong-typed argument fails at bind time instead of
+	// deep inside an evaluator.
+	out := append([]sqlparse.Slot(nil), slots...)
+	for i := range out {
+		if out[i].Hint == sqlparse.PAny {
+			if h, ok := hints[i]; ok {
+				out[i].Hint = h
+			}
+		}
+	}
+	return &cachedPlan{template: pplan, slots: out}, nil
+}
+
+// bindPlan clones the template, substitutes the execution's parameters, and
+// tags the clone with a fresh query-scoped namespace. Validation is skipped:
+// binding and tagging cannot change plan structure, and the template was
+// validated when planned.
+func (g *GDQS) bindPlan(cp *cachedPlan, slots []sqlparse.Slot, userArgs []sqlparse.Expr) (*physical.Plan, error) {
+	args, err := sqlparse.BindSlots(slots, userArgs)
+	if err != nil {
+		return nil, qerr.Plan("bind", err)
+	}
+	pplan := cp.template.Clone()
+	if err := pplan.BindParams(args); err != nil {
+		return nil, qerr.Plan("bind", err)
+	}
+	pplan.Tag(fmt.Sprintf("q%d", queryCounter.Add(1)))
+	return pplan, nil
+}
+
+// chargePlanning sleeps the modeled compile-and-schedule cost at the
+// cluster's time scale (see GDQSConfig.PlanMs), holding the coordinator's
+// single compile thread for its duration.
+func (g *GDQS) chargePlanning() {
+	if g.cfg.PlanMs > 0 {
+		g.planMu.Lock()
+		g.cluster.clock.Sleep(g.cfg.PlanMs)
+		g.planMu.Unlock()
+	}
+}
+
+// planDirect is the uncached compilation path for statements the template
+// pipeline cannot parameterise.
+func (g *GDQS) planDirect(stmt *sqlparse.SelectStmt) (*physical.Plan, error) {
+	g.chargePlanning()
 	lplan, err := logical.Plan(stmt, g.cluster.catalog)
 	if err != nil {
 		return nil, qerr.Plan("plan", err)
@@ -167,7 +366,7 @@ func (g *GDQS) Execute(ctx context.Context, query string) (*QueryResult, error) 
 	if err := pplan.Validate(); err != nil {
 		return nil, qerr.Schedule("validate", err)
 	}
-	return g.run(ctx, pplan)
+	return pplan, nil
 }
 
 // run deploys and executes a scheduled plan inside a QuerySession.

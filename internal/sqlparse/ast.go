@@ -46,6 +46,53 @@ func (l StringLit) SQL() string {
 }
 func (StringLit) exprNode() {}
 
+// ParamType hints the relational type a parameter slot carries. Slots
+// minted by Normalize remember the type of the literal they replaced, so two
+// queries whose literals differ in type normalize to different keys; explicit
+// `?` markers written by the user carry PAny and are typed by inference
+// against the column they are compared with.
+type ParamType uint8
+
+// Parameter type hints.
+const (
+	PAny ParamType = iota
+	PInt
+	PFloat
+	PString
+)
+
+// String names the hint as rendered in normalized SQL.
+func (t ParamType) String() string {
+	switch t {
+	case PInt:
+		return "int"
+	case PFloat:
+		return "float"
+	case PString:
+		return "str"
+	default:
+		return "any"
+	}
+}
+
+// Param is an ordinal parameter slot: either an explicit `?` marker from a
+// prepared statement, or the placeholder Normalize substitutes for a stripped
+// literal. Ord is the 0-based slot index in statement order.
+type Param struct {
+	Ord  int
+	Hint ParamType
+}
+
+// SQL renders the slot; the hint is part of the rendering, so the normalized
+// key distinguishes literal types ("?3:int" vs "?3:float").
+func (p Param) SQL() string {
+	if p.Hint == PAny {
+		return fmt.Sprintf("?%d", p.Ord)
+	}
+	return fmt.Sprintf("?%d:%s", p.Ord, p.Hint)
+}
+func (Param) exprNode() {}
+
 // FuncCall invokes a Web Service operation on the given arguments, e.g.
 // EntropyAnalyser(p.sequence).
 type FuncCall struct {

@@ -1,0 +1,77 @@
+package sqlparse
+
+import (
+	"testing"
+)
+
+// FuzzNormalizeSQL checks the serving layer's core contract on arbitrary
+// inputs: normalization is a fixpoint (the template's own SQL normalizes to
+// the same key, so equal normalized forms always resolve to one cache entry
+// and therefore one plan), and binding the stripped literals back into the
+// template reproduces the original statement exactly — the cached-plan
+// execution path sees the same predicate the cold path would.
+func FuzzNormalizeSQL(f *testing.F) {
+	seeds := []string{
+		"select a from t",
+		"select a from t where a = 5",
+		"select a from t where a = 5 and b = 7 and c = 'z'",
+		"select a from t where a = 5.5 and b < 3",
+		"select a from t where a = ? and b = 7",
+		"select a, b from t, u where t.a = u.a and t.b = 'x'",
+		"select EntropyAnalyser(p.sequence) from protein_sequences p",
+		"select i.ORF2 from protein_sequences p, protein_interactions i where i.ORF1 = p.ORF and i.ORF2 = 'YAL00001C'",
+		"select count(a) from t group by b having count(a) > 3",
+		"select a from t where a > 1 order by a desc limit 10",
+		"select a from t where a = -3 and b = ?",
+		"select a from t where 1 = 1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, query string) {
+		stmt, err := Parse(query)
+		if err != nil {
+			t.Skip()
+		}
+		canonical := stmt.SQL()
+
+		key, template, slots, err := NormalizeSQL(query)
+		if err != nil {
+			t.Fatalf("parseable query failed to normalize: %v\n  query: %q", err, query)
+		}
+		if key != template.SQL() {
+			t.Fatalf("key %q != template SQL %q", key, template.SQL())
+		}
+
+		// Fixpoint: normalizing the template's own rendering must yield the
+		// same key (a template contains no literals left to strip), so equal
+		// normalized forms can never diverge into different cache entries.
+		key2, _, slots2, err := NormalizeSQL(key)
+		if err != nil {
+			t.Fatalf("template SQL does not re-normalize: %v\n  key: %q", err, key)
+		}
+		if key2 != key {
+			t.Fatalf("normalization not a fixpoint:\n  first:  %q\n  second: %q", key, key2)
+		}
+		if len(slots2) != len(slots) {
+			t.Fatalf("slot count changed across re-normalization: %d != %d", len(slots2), len(slots))
+		}
+
+		// Round trip: binding the stripped literals back must reproduce the
+		// original statement byte for byte. Only fully literal statements
+		// can be re-bound without caller arguments.
+		if NumUserParams(slots) == 0 {
+			args, err := BindSlots(slots, nil)
+			if err != nil {
+				t.Fatalf("BindSlots on stripped literals: %v", err)
+			}
+			bound, err := Bind(template, args)
+			if err != nil {
+				t.Fatalf("Bind: %v", err)
+			}
+			if got := bound.SQL(); got != canonical {
+				t.Fatalf("bind round trip diverged:\n  original: %q\n  rebound:  %q", canonical, got)
+			}
+		}
+	})
+}

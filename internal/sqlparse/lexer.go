@@ -29,7 +29,8 @@ const (
 	tokLParen
 	tokRParen
 	tokStar
-	tokOp // comparison operators
+	tokOp    // comparison operators
+	tokParam // `?` parameter marker
 )
 
 // token is one lexeme with its source position (byte offset) for error
@@ -95,6 +96,22 @@ func (l *lexer) next() (token, error) {
 	case c == '*':
 		l.pos++
 		return token{tokStar, "*", start}, nil
+	case c == '?':
+		// Bare `?` is the positional marker clients write; the rendered
+		// forms `?N` and `?N:hint` appear in normalized template SQL, and
+		// accepting them makes normalization a fixpoint (a template's own
+		// rendering re-parses to itself).
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.pos++
+		}
+		if l.pos > start+1 && l.pos < len(l.src) && l.src[l.pos] == ':' {
+			l.pos++
+			for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+				l.pos++
+			}
+		}
+		return token{tokParam, l.src[start:l.pos], start}, nil
 	case c == '=':
 		l.pos++
 		return token{tokOp, "=", start}, nil

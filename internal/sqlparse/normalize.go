@@ -1,0 +1,197 @@
+package sqlparse
+
+import "fmt"
+
+// Slot describes one parameter slot of a normalized statement template, in
+// statement order (WHERE conjuncts left-to-right, then HAVING).
+type Slot struct {
+	// Hint is the slot's type: the type of the stripped literal, or PAny for
+	// an explicit `?` marker.
+	Hint ParamType
+	// Lit is the literal Normalize stripped into this slot; nil for an
+	// explicit `?` marker, which the caller binds at execution.
+	Lit Expr
+	// UserOrd is the 0-based index among the statement's explicit `?`
+	// markers, or -1 for a stripped literal.
+	UserOrd int
+}
+
+// Normalize returns a literal-stripped copy of stmt — the statement's plan
+// template — plus the parameter slots in order. Every literal operand of a
+// WHERE or HAVING comparison becomes a Param placeholder; explicit `?`
+// markers are renumbered into the same slot space. LIMIT counts, select
+// lists, grouping and ordering columns are structural and stay in the
+// template (and therefore in the cache key). The input statement is not
+// modified.
+//
+// Two queries with equal normalized forms (template.SQL()) differ only in
+// the stripped literal values, so they share logical and physical plan
+// structure and can share one cached plan.
+func Normalize(stmt *SelectStmt) (*SelectStmt, []Slot) {
+	n := &normalizer{}
+	out := *stmt
+	out.Items = append([]SelectItem(nil), stmt.Items...)
+	out.From = append([]TableRef(nil), stmt.From...)
+	out.GroupBy = append([]ColumnRef(nil), stmt.GroupBy...)
+	out.OrderBy = append([]OrderItem(nil), stmt.OrderBy...)
+	out.Where = n.comparisons(stmt.Where)
+	out.Having = n.comparisons(stmt.Having)
+	if stmt.Limit != nil {
+		lim := *stmt.Limit
+		out.Limit = &lim
+	}
+	return &out, n.slots
+}
+
+// NormalizeSQL parses a query and returns its normalized cache key, the
+// template statement, and the parameter slots.
+func NormalizeSQL(query string) (key string, template *SelectStmt, slots []Slot, err error) {
+	stmt, err := Parse(query)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	template, slots = Normalize(stmt)
+	return template.SQL(), template, slots, nil
+}
+
+type normalizer struct {
+	slots []Slot
+	users int
+}
+
+func (n *normalizer) comparisons(conjs []Comparison) []Comparison {
+	if len(conjs) == 0 {
+		return nil
+	}
+	out := make([]Comparison, len(conjs))
+	for i, c := range conjs {
+		out[i] = Comparison{Left: n.operand(c.Left), Op: c.Op, Right: n.operand(c.Right)}
+	}
+	return out
+}
+
+// operand replaces a literal or explicit marker with the next Param slot;
+// every other expression (columns, calls) passes through structurally.
+func (n *normalizer) operand(e Expr) Expr {
+	var s Slot
+	switch v := e.(type) {
+	case IntLit:
+		s = Slot{Hint: PInt, Lit: v, UserOrd: -1}
+	case FloatLit:
+		s = Slot{Hint: PFloat, Lit: v, UserOrd: -1}
+	case StringLit:
+		s = Slot{Hint: PString, Lit: v, UserOrd: -1}
+	case Param:
+		s = Slot{Hint: v.Hint, UserOrd: n.users}
+		n.users++
+	default:
+		return e
+	}
+	ord := len(n.slots)
+	n.slots = append(n.slots, s)
+	return Param{Ord: ord, Hint: s.Hint}
+}
+
+// NumUserParams counts the slots the caller must bind at execution (explicit
+// `?` markers).
+func NumUserParams(slots []Slot) int {
+	n := 0
+	for _, s := range slots {
+		if s.UserOrd >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// BindSlots merges the stripped literals with the caller's arguments for the
+// explicit markers, yielding the full argument vector args[ord] the plan
+// binder substitutes for Param{Ord: ord}. userArgs[i] binds the i-th explicit
+// `?`; each argument must be an IntLit, FloatLit or StringLit matching the
+// slot's hint (PAny accepts any literal).
+func BindSlots(slots []Slot, userArgs []Expr) ([]Expr, error) {
+	if want := NumUserParams(slots); len(userArgs) != want {
+		return nil, fmt.Errorf("sql: statement has %d parameters, got %d arguments", want, len(userArgs))
+	}
+	args := make([]Expr, len(slots))
+	for i, s := range slots {
+		lit := s.Lit
+		if s.UserOrd >= 0 {
+			lit = userArgs[s.UserOrd]
+		}
+		if err := checkLit(lit, s.Hint, i); err != nil {
+			return nil, err
+		}
+		args[i] = lit
+	}
+	return args, nil
+}
+
+func checkLit(e Expr, hint ParamType, slot int) error {
+	var got ParamType
+	switch e.(type) {
+	case IntLit:
+		got = PInt
+	case FloatLit:
+		got = PFloat
+	case StringLit:
+		got = PString
+	case nil:
+		return fmt.Errorf("sql: parameter %d is unbound", slot)
+	default:
+		return fmt.Errorf("sql: parameter %d: %s is not a literal", slot, e.SQL())
+	}
+	if hint != PAny && hint != got {
+		return fmt.Errorf("sql: parameter %d: want %s, got %s", slot, hint, got)
+	}
+	return nil
+}
+
+// BindComparisons returns conjs with every Param replaced by args[Ord];
+// non-parameter operands are untouched. It is the statement-level form of
+// plan binding, used by tests and fallback paths.
+func BindComparisons(conjs []Comparison, args []Expr) ([]Comparison, error) {
+	if len(conjs) == 0 {
+		return nil, nil
+	}
+	out := make([]Comparison, len(conjs))
+	for i, c := range conjs {
+		l, err := bindOperand(c.Left, args)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bindOperand(c.Right, args)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = Comparison{Left: l, Op: c.Op, Right: r}
+	}
+	return out, nil
+}
+
+func bindOperand(e Expr, args []Expr) (Expr, error) {
+	p, ok := e.(Param)
+	if !ok {
+		return e, nil
+	}
+	if p.Ord < 0 || p.Ord >= len(args) || args[p.Ord] == nil {
+		return nil, fmt.Errorf("sql: no argument for parameter %d", p.Ord)
+	}
+	return args[p.Ord], nil
+}
+
+// Bind returns a copy of the template statement with every parameter slot
+// replaced by its literal argument (see BindSlots for constructing args).
+func Bind(template *SelectStmt, args []Expr) (*SelectStmt, error) {
+	out := *template
+	var err error
+	out.Where, err = BindComparisons(template.Where, args)
+	if err != nil {
+		return nil, err
+	}
+	out.Having, err = BindComparisons(template.Having, args)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

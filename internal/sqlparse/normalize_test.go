@@ -1,0 +1,171 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNormalizeStripsLiterals(t *testing.T) {
+	key1, _, slots1, err := NormalizeSQL("select a from t where a = 3 and b > 2.5 and c = 'x'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key2, _, slots2, err := NormalizeSQL("select a from t where a = 99 and b > 0.125 and c = 'other'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key1 != key2 {
+		t.Fatalf("keys differ:\n%q\n%q", key1, key2)
+	}
+	if len(slots1) != 3 || len(slots2) != 3 {
+		t.Fatalf("slots: %v / %v", slots1, slots2)
+	}
+	wantHints := []ParamType{PInt, PFloat, PString}
+	for i, s := range slots1 {
+		if s.Hint != wantHints[i] {
+			t.Errorf("slot %d hint = %v, want %v", i, s.Hint, wantHints[i])
+		}
+		if s.UserOrd != -1 {
+			t.Errorf("slot %d UserOrd = %d, want -1", i, s.UserOrd)
+		}
+	}
+	if v := slots2[0].Lit.(IntLit); v.Value != 99 {
+		t.Errorf("stripped literal = %v", v)
+	}
+	if !strings.Contains(key1, "?0:int") || !strings.Contains(key1, "?1:float") || !strings.Contains(key1, "?2:str") {
+		t.Errorf("key does not carry type hints: %q", key1)
+	}
+}
+
+func TestNormalizeTypeChangesKey(t *testing.T) {
+	keyInt, _, _, err := NormalizeSQL("select a from t where a = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyFloat, _, _, err := NormalizeSQL("select a from t where a = 3.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keyInt == keyFloat {
+		t.Fatalf("int and float literals should normalize to different keys: %q", keyInt)
+	}
+}
+
+func TestNormalizeKeepsStructure(t *testing.T) {
+	// LIMIT, grouping, ordering and select lists are structural: changing
+	// them must change the key.
+	distinct := []string{
+		"select a from t where a = 1",
+		"select a, b from t where a = 1",
+		"select a from t where a = 1 and b = 1",
+		"select a from t where a = 1 limit 5",
+		"select a from t where a = 1 limit 6",
+		"select a from t where a = 1 order by a",
+		"select a from u where a = 1",
+	}
+	seen := map[string]string{}
+	for _, q := range distinct {
+		key, _, _, err := NormalizeSQL(q)
+		if err != nil {
+			t.Fatalf("NormalizeSQL(%q): %v", q, err)
+		}
+		if prev, dup := seen[key]; dup {
+			t.Errorf("queries %q and %q share key %q", prev, q, key)
+		}
+		seen[key] = q
+	}
+}
+
+func TestNormalizeDoesNotMutateInput(t *testing.T) {
+	stmt := mustParse(t, "select a from t where a = 3 and b = 'x'")
+	before := stmt.SQL()
+	Normalize(stmt)
+	if stmt.SQL() != before {
+		t.Fatalf("Normalize mutated input: %q", stmt.SQL())
+	}
+}
+
+func TestNormalizeExplicitParams(t *testing.T) {
+	stmt := mustParse(t, "select a from t where a = ? and b = 7 and c = ?")
+	tpl, slots := Normalize(stmt)
+	if len(slots) != 3 {
+		t.Fatalf("slots = %v", slots)
+	}
+	if slots[0].UserOrd != 0 || slots[1].UserOrd != -1 || slots[2].UserOrd != 1 {
+		t.Fatalf("user ords: %+v", slots)
+	}
+	if slots[0].Hint != PAny || slots[2].Hint != PAny {
+		t.Fatalf("explicit markers must stay PAny: %+v", slots)
+	}
+	if NumUserParams(slots) != 2 {
+		t.Fatalf("NumUserParams = %d", NumUserParams(slots))
+	}
+	args, err := BindSlots(slots, []Expr{IntLit{Value: 5}, StringLit{Value: "z"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := Bind(tpl, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "SELECT a FROM t WHERE a = 5 AND b = 7 AND c = 'z'"
+	if bound.SQL() != want {
+		t.Fatalf("bound = %q, want %q", bound.SQL(), want)
+	}
+}
+
+func TestBindRoundTrip(t *testing.T) {
+	// Normalize then Bind with the stripped literals must reproduce the
+	// original statement exactly.
+	cases := []string{
+		"select a from t where a = 3 and b > 2.5 and c = 'x'",
+		"select i.ORF2 from protein_sequences p, protein_interactions i where i.ORF1 = p.ORF",
+		"select a, count(*) n from t where b <> 'y' group by a having count(*) > 2 order by a limit 9",
+	}
+	for _, q := range cases {
+		stmt := mustParse(t, q)
+		tpl, slots := Normalize(stmt)
+		args, err := BindSlots(slots, nil)
+		if err != nil {
+			t.Fatalf("BindSlots(%q): %v", q, err)
+		}
+		bound, err := Bind(tpl, args)
+		if err != nil {
+			t.Fatalf("Bind(%q): %v", q, err)
+		}
+		if bound.SQL() != stmt.SQL() {
+			t.Errorf("round trip:\n%q\n%q", stmt.SQL(), bound.SQL())
+		}
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	stmt := mustParse(t, "select a from t where a = 3 and b = ?")
+	_, slots := Normalize(stmt)
+	if _, err := BindSlots(slots, nil); err == nil {
+		t.Error("missing argument should fail")
+	}
+	if _, err := BindSlots(slots, []Expr{IntLit{}, IntLit{}}); err == nil {
+		t.Error("extra argument should fail")
+	}
+	if _, err := BindSlots(slots, []Expr{ColumnRef{Name: "c"}}); err == nil {
+		t.Error("non-literal argument should fail")
+	}
+	// Hint mismatch: slot 0 was minted from an int literal.
+	stmt2 := mustParse(t, "select a from t where a = 3")
+	_, slots2 := Normalize(stmt2)
+	slots2[0].Lit = StringLit{Value: "oops"}
+	if _, err := BindSlots(slots2, nil); err == nil {
+		t.Error("hint mismatch should fail")
+	}
+}
+
+func TestParseExplicitParamOrdinals(t *testing.T) {
+	stmt := mustParse(t, "select a from t where a = ? and b = ? and c = ?")
+	for i, c := range stmt.Where {
+		p, ok := c.Right.(Param)
+		if !ok || p.Ord != i {
+			t.Fatalf("where[%d].Right = %#v, want Param{Ord:%d}", i, c.Right, i)
+		}
+	}
+}

@@ -12,6 +12,8 @@ type parser struct {
 	tok  token // current token
 	err  error
 	done bool
+	// nParams numbers explicit `?` markers in statement order.
+	nParams int
 }
 
 // Parse parses a single SELECT statement.
@@ -275,6 +277,42 @@ func (p *parser) parseExpr() (Expr, error) {
 		v := p.tok.text
 		p.advance()
 		return StringLit{Value: v}, p.err
+	case tokParam:
+		text := p.tok.text
+		pos := p.tok.pos
+		p.advance()
+		if text == "?" {
+			prm := Param{Ord: p.nParams}
+			p.nParams++
+			return prm, p.err
+		}
+		// Rendered template form `?N` or `?N:hint` (see Param.SQL): the
+		// ordinal and hint are explicit, so a normalized key re-parses to
+		// the exact Params it was rendered from.
+		numS, hintS, hasHint := strings.Cut(text[1:], ":")
+		ord, err := strconv.Atoi(numS)
+		if err != nil {
+			return nil, errAt(pos, "bad parameter marker %q", text)
+		}
+		prm := Param{Ord: ord}
+		if hasHint {
+			switch hintS {
+			case "any":
+				prm.Hint = PAny
+			case "int":
+				prm.Hint = PInt
+			case "float":
+				prm.Hint = PFloat
+			case "str":
+				prm.Hint = PString
+			default:
+				return nil, errAt(pos, "unknown parameter type hint in %q", text)
+			}
+		}
+		if ord >= p.nParams {
+			p.nParams = ord + 1
+		}
+		return prm, p.err
 	case tokIdent:
 		if reserved[strings.ToLower(p.tok.text)] {
 			return nil, errAt(p.tok.pos, "unexpected keyword %s in expression", p.tok)
