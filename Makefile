@@ -1,14 +1,19 @@
 GO ?= go
 
-.PHONY: check vet build test race bench benchgate micro serve servegate experiments fuzz
+.PHONY: check vet doclint build test race chaos bench benchgate micro serve servegate experiments fuzz
 
-## check: the full tier-1 gate — vet, build, the test suite under -race, the
-## benchmark regression gate, and the sustained-load serving gate
-## (SKIP_BENCH_GATE=1 skips both gates on noisy runners).
-check: vet build race benchgate servegate
+## check: the full tier-1 gate — vet, the doc-comment lint, build, the test
+## suite under -race, the chaos (kill/join) suite, the benchmark regression
+## gate, and the sustained-load serving gate (SKIP_BENCH_GATE=1 skips both
+## gates on noisy runners).
+check: vet doclint build race chaos benchgate servegate
 
 vet:
 	$(GO) vet ./...
+
+## doclint: fail on exported identifiers without doc comments.
+doclint:
+	$(GO) run ./cmd/doclint ./...
 
 build:
 	$(GO) build ./...
@@ -18,6 +23,11 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+## chaos: the elastic-cluster regression suite — evaluators killed and added
+## mid-query under the race detector, twice, asserting exact results.
+chaos:
+	$(GO) test ./internal/chaos/ -race -count=2
 
 ## bench: the engine micro-benchmarks (codec, producer, volcano vs batch).
 bench:

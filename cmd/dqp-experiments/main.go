@@ -42,7 +42,7 @@ import (
 
 func main() {
 	out := flag.String("o", "EXPERIMENTS.md", "output file ('-' for stdout)")
-	only := flag.String("only", "", "comma-separated experiment subset (Table1,Fig2a,Fig2b,Fig3a,Fig3b,Fig4,Fig5,Overheads,MonitoringFrequency)")
+	only := flag.String("only", "", "comma-separated experiment subset (Table1,Fig2a,Fig2b,Fig3a,Fig3b,Fig4,Fig5,Overheads,MonitoringFrequency,Recovery)")
 	micro := flag.String("micro", "", "run the engine micro-benchmarks and write JSON results to this file ('-' for stdout), skipping the experiments")
 	benchgate := flag.String("benchgate", "", "rerun the micro-benchmarks and exit non-zero if any ns_per_op regresses >25% against this baseline JSON (set SKIP_BENCH_GATE=1 to skip on noisy runners)")
 	serve := flag.String("serve", "", "run the sustained-load serving benchmark (cache on vs off) and write JSON results to this file ('-' for stdout)")
@@ -118,6 +118,7 @@ func main() {
 		{"Fig5", exp.Fig5},
 		{"Overheads", exp.Overheads},
 		{"MonitoringFrequency", exp.MonitoringFrequency},
+		{"Recovery", exp.Recovery},
 	}
 	selected := all
 	if *only != "" {

@@ -9,16 +9,28 @@
 // coordinator), the adaptivity policies (A1/A2 assessment, R1/R2 response),
 // and per-node perturbations in the syntax of vtime.Parse (x10, sleep:10,
 // normal:20,40, x10@500).
+//
+// With -elastic, faults can be scripted against the running query:
+//
+//	dqpctl -elastic -kill ws1@5ms -add ws9@10ms:1.5 \
+//	   -query "select EntropyAnalyser(p.sequence) from protein_sequences p"
+//
+// kills evaluator ws1 five milliseconds (real time) into the run and
+// registers a new 1.5x-speed evaluator ws9 at ten — the query recovers the
+// dead machine's work onto survivors, admits the newcomer, and completes
+// with exact results. See docs/OPERATIONS.md.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	repro "repro"
+	"repro/internal/obs"
 	"repro/internal/vtime"
 )
 
@@ -37,10 +49,25 @@ func main() {
 		showRows     = flag.Int("rows", 5, "result rows to print (-1 for all)")
 		explain      = flag.Bool("explain", false, "print the plan instead of executing")
 		trace        = flag.Bool("trace", false, "print the adaptation timeline")
+		metrics      = flag.String("metrics", "", "HTTP listen address for /metrics and /timeline during the run (e.g. :9090; empty disables)")
+		elastic      = flag.Bool("elastic", false, "enable crash recovery and live membership (implies -adaptive)")
 		perturbs     multiFlag
+		kills        multiFlag
+		adds         multiFlag
 	)
 	flag.Var(&perturbs, "perturb", "node perturbation as node=SPEC (repeatable), e.g. ws1=x10, ws0=sleep:10")
+	flag.Var(&kills, "kill", "crash-stop a node mid-run as node@DELAY (repeatable), e.g. ws1@5ms")
+	flag.Var(&adds, "add", "register a compute node mid-run as node@DELAY[:SPEED] (repeatable), e.g. ws9@10ms:1.5")
 	flag.Parse()
+
+	if *metrics != "" {
+		srv, bound, err := obs.Serve(*metrics, obs.Default())
+		if err != nil {
+			fatalf("metrics listener: %v", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "observability: http://%s/metrics and /timeline\n", bound)
+	}
 
 	grid := repro.NewGrid(repro.WithScale(*scale))
 	if err := grid.AddDemoDatabaseSized("data1", *sequences, *interactions); err != nil {
@@ -69,7 +96,7 @@ func main() {
 	if *parallel != 0 {
 		opts = append(opts, repro.Parallel(*parallel))
 	}
-	if *adaptive {
+	if *adaptive || *elastic {
 		opts = append(opts, repro.Adaptive())
 		if *retro {
 			opts = append(opts, repro.Retrospective())
@@ -79,10 +106,49 @@ func main() {
 		}
 		opts = append(opts, repro.MonitorEvery(*monitorEvery))
 	}
+	if *elastic {
+		opts = append(opts, repro.Elastic())
+	}
 	coord, err := grid.NewCoordinator("coord", opts...)
 	if err != nil {
 		fatalf("%v", err)
 	}
+
+	if (len(kills) > 0 || len(adds) > 0) && !*elastic {
+		fatalf("-kill/-add require -elastic (a static run cannot recover)")
+	}
+	var timers []*time.Timer
+	for _, spec := range kills {
+		node, delay, _, err := parseFaultSpec(spec, false)
+		if err != nil {
+			fatalf("bad -kill %q: %v", spec, err)
+		}
+		timers = append(timers, time.AfterFunc(delay, func() {
+			if err := grid.KillNode(node); err != nil {
+				fmt.Fprintf(os.Stderr, "dqpctl: kill %s: %v\n", node, err)
+			} else {
+				fmt.Fprintf(os.Stderr, "dqpctl: killed %s\n", node)
+			}
+		}))
+	}
+	for _, spec := range adds {
+		node, delay, speed, err := parseFaultSpec(spec, true)
+		if err != nil {
+			fatalf("bad -add %q: %v", spec, err)
+		}
+		timers = append(timers, time.AfterFunc(delay, func() {
+			if err := grid.AddComputeNode(node, speed); err != nil {
+				fmt.Fprintf(os.Stderr, "dqpctl: add %s: %v\n", node, err)
+			} else {
+				fmt.Fprintf(os.Stderr, "dqpctl: added %s (speed %.2g)\n", node, speed)
+			}
+		}))
+	}
+	defer func() {
+		for _, t := range timers {
+			t.Stop()
+		}
+	}()
 
 	if *explain {
 		out, err := coord.Explain(*query)
@@ -100,12 +166,15 @@ func main() {
 	}
 	fmt.Printf("response time: %.0f paper-ms (%.2fs real)\n", res.ResponseMs, time.Since(start).Seconds())
 	fmt.Printf("rows: %d\n", len(res.Rows))
-	if *adaptive {
+	if *adaptive || *elastic {
 		s := res.Stats
 		fmt.Printf("raw monitoring events: %d, MED notifications: %d, proposals: %d\n",
 			s.RawEvents, s.MEDNotifications, s.Proposals)
 		fmt.Printf("adaptations: %d (skipped late: %d), tuples moved: %d, state replays: %d\n",
 			s.Adaptations, s.SkippedLate, s.TuplesMoved, s.StateReplays)
+		if *elastic {
+			fmt.Printf("failovers: %d, nodes joined: %d\n", s.Failovers, s.NodesJoined)
+		}
 		if *trace {
 			fmt.Println("adaptation timeline:")
 			for _, e := range s.Timeline {
@@ -154,6 +223,31 @@ func (m *multiFlag) String() string { return strings.Join(*m, ",") }
 func (m *multiFlag) Set(v string) error {
 	*m = append(*m, v)
 	return nil
+}
+
+// parseFaultSpec parses node@DELAY (and, with withSpeed, an optional
+// :SPEED suffix defaulting to 1.0) into its parts.
+func parseFaultSpec(spec string, withSpeed bool) (node string, delay time.Duration, speed float64, err error) {
+	at := strings.Index(spec, "@")
+	if at <= 0 {
+		return "", 0, 0, fmt.Errorf("want node@DELAY")
+	}
+	node, rest := spec[:at], spec[at+1:]
+	speed = 1.0
+	if withSpeed {
+		if colon := strings.LastIndex(rest, ":"); colon >= 0 {
+			speed, err = strconv.ParseFloat(rest[colon+1:], 64)
+			if err != nil || speed <= 0 {
+				return "", 0, 0, fmt.Errorf("bad speed %q", rest[colon+1:])
+			}
+			rest = rest[:colon]
+		}
+	}
+	delay, err = time.ParseDuration(rest)
+	if err != nil {
+		return "", 0, 0, err
+	}
+	return node, delay, speed, nil
 }
 
 func roundWeights(ws []float64) []float64 {

@@ -166,18 +166,65 @@ func (g *Grid) Perturb(node string, p Perturbation) error {
 	return nil
 }
 
+// KillNode crash-stops a machine, mid-query or not. Against an Elastic
+// coordinator, running queries detect the death, replay the machine's
+// unacknowledged work onto surviving evaluators, and complete with exact
+// results; against a non-elastic coordinator they fail. Idempotent; the
+// machine cannot be revived (register a new one instead).
+func (g *Grid) KillNode(node string) error {
+	return g.cluster.KillNode(simnet.NodeID(node))
+}
+
+// Alive reports whether a machine is registered and has not been killed.
+func (g *Grid) Alive(node string) bool {
+	return g.cluster.Alive(simnet.NodeID(node))
+}
+
 // CoordinatorOption customises NewCoordinator.
 type CoordinatorOption func(*services.GDQSConfig)
 
 // Adaptive enables the AQP components with the paper's default parameters.
-// Options that tune orthogonal knobs (QueryTimeout, Parallel) survive in
-// either order.
+// Options that tune orthogonal knobs (QueryTimeout, Parallel, Elastic,
+// Heartbeat) survive in either order.
 func Adaptive() CoordinatorOption {
 	return func(c *services.GDQSConfig) {
 		def := services.DefaultGDQSConfig()
 		def.QueryTimeout = c.QueryTimeout
 		def.Parallelism = c.Parallelism
+		def.Elastic = c.Elastic
+		def.HeartbeatEvery = c.HeartbeatEvery
+		def.HeartbeatMisses = c.HeartbeatMisses
 		*c = def
+	}
+}
+
+// Elastic enables crash recovery and live cluster membership, implying
+// Adaptive: evaluator death mid-query (see Grid.KillNode) is detected —
+// through membership events, heartbeat probes, and peer-loss discoveries —
+// and the dead machine's unacknowledged partitions are replayed from
+// exchange recovery logs onto survivors, preserving exact results; compute
+// nodes registered while a query runs are admitted into its stateless
+// partitioned fragments with a nonzero work share, no restart. Result
+// stats report Failovers and NodesJoined. Elastic runs the engine's
+// commit/acknowledgement protocol on every exchange and forces serial
+// fragment drivers, so it costs some throughput; see docs/OPERATIONS.md.
+func Elastic() CoordinatorOption {
+	return func(c *services.GDQSConfig) {
+		if !c.Adaptive {
+			Adaptive()(c)
+		}
+		c.Elastic = true
+	}
+}
+
+// Heartbeat tunes the elastic failure detector: every is the real-time
+// probe interval, and misses is how many consecutive probe failures
+// diagnose a machine as dead (unreachable-machine errors are definitive
+// and bypass the count). Zero values keep the service defaults.
+func Heartbeat(every time.Duration, misses int) CoordinatorOption {
+	return func(c *services.GDQSConfig) {
+		c.HeartbeatEvery = every
+		c.HeartbeatMisses = misses
 	}
 }
 

@@ -171,3 +171,34 @@ func TestFacadeValues(t *testing.T) {
 		t.Errorf("tuple format %q", tp.Format())
 	}
 }
+
+func TestFacadeElasticSurvivesKill(t *testing.T) {
+	g := repro.NewGrid(repro.WithScale(10 * time.Microsecond))
+	if err := g.AddDemoDatabaseSized("data1", 300, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"ws0", "ws1", "ws2"} {
+		if err := g.AddComputeNode(n, 1.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	coord, err := g.NewCoordinator("coord", repro.Elastic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	killer := time.AfterFunc(2*time.Millisecond, func() { _ = g.KillNode("ws1") })
+	defer killer.Stop()
+	res, err := coord.Query("select EntropyAnalyser(p.sequence) from protein_sequences p")
+	if err != nil {
+		t.Fatalf("elastic query with mid-flight kill: %v", err)
+	}
+	if len(res.Rows) != 300 {
+		t.Fatalf("rows = %d, want 300", len(res.Rows))
+	}
+	if g.Alive("ws1") {
+		t.Skip("query finished before the kill landed")
+	}
+	if res.Stats.Failovers < 1 {
+		t.Errorf("failovers = %d, want >= 1", res.Stats.Failovers)
+	}
+}

@@ -96,6 +96,10 @@ type diagState struct {
 	// commCost is the latest per-tuple communication cost per instance and
 	// producer key (M2), used by A2.
 	commCost map[int]map[string]float64
+	// dead marks instances whose evaluator crashed. They are excluded from
+	// the completeness gate (a dead clone never reports again) and their
+	// proposed weight is forced to zero.
+	dead map[int]bool
 }
 
 // NewDiagnoser builds the diagnoser on the given node and subscribes it to
@@ -145,7 +149,42 @@ func (d *Diagnoser) Register(topo FragmentTopology) {
 		weights:  append([]float64(nil), topo.Weights...),
 		procCost: make(map[int]float64),
 		commCost: make(map[int]map[string]float64),
+		dead:     make(map[int]bool),
 	}
+}
+
+// MarkNodeDead records that an evaluator crashed: every fragment instance it
+// hosted is excluded from future assessments and proposed at weight zero.
+// Stale cost observations of the dead instances are dropped so they cannot
+// skew the next proposal.
+func (d *Diagnoser) MarkNodeDead(node simnet.NodeID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, st := range d.fragments {
+		for _, inst := range st.topo.Instances {
+			if inst.Node != node {
+				continue
+			}
+			st.dead[inst.Index] = true
+			delete(st.procCost, inst.Index)
+			delete(st.commCost, inst.Index)
+		}
+	}
+}
+
+// Extend admits a newly joined instance to a monitored fragment: the
+// topology gains the instance and the diagnoser's view of W is replaced by
+// weights, which must cover the grown instance count. Assessment resumes
+// once the new clone reports its first cost window.
+func (d *Diagnoser) Extend(fragment string, inst InstanceRef, weights []float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.fragments[fragment]
+	if st == nil {
+		return
+	}
+	st.topo.Instances = append(st.topo.Instances, inst)
+	st.weights = append([]float64(nil), weights...)
 }
 
 // Stats reports notification and proposal counts for the overhead
@@ -213,10 +252,17 @@ func (d *Diagnoser) onCost(n bus.Notification) {
 func (d *Diagnoser) assessLocked(st *diagState) *Proposal {
 	n := len(st.topo.Instances)
 	costs := make([]float64, n)
+	alive := 0
 	for i := 0; i < n; i++ {
+		if st.dead[i] {
+			// A crashed clone takes no further load: cost stays zero as a
+			// marker and balancedWeights pins its weight to zero.
+			continue
+		}
+		alive++
 		proc, ok := st.procCost[i]
 		if !ok {
-			return nil // not all instances observed yet
+			return nil // not all live instances observed yet
 		}
 		c := proc
 		if d.cfg.Assessment == A2 {
@@ -232,7 +278,10 @@ func (d *Diagnoser) assessLocked(st *diagState) *Proposal {
 		}
 		costs[i] = c
 	}
-	weights := balancedWeights(costs)
+	if alive == 0 {
+		return nil
+	}
+	weights := balancedWeightsExcluding(costs, st.dead)
 	trigger := false
 	for i := range weights {
 		if math.Abs(weights[i]-st.weights[i]) >= d.cfg.ThresA {
@@ -258,18 +307,36 @@ func (d *Diagnoser) assessLocked(st *diagState) *Proposal {
 
 // balancedWeights computes w_i ∝ 1/c_i, normalised.
 func balancedWeights(costs []float64) []float64 {
+	return balancedWeightsExcluding(costs, nil)
+}
+
+// balancedWeightsExcluding computes w_i ∝ 1/c_i over the live instances,
+// normalised; dead instances get exactly zero.
+func balancedWeightsExcluding(costs []float64, dead map[int]bool) []float64 {
 	w := make([]float64, len(costs))
 	sum := 0.0
 	for i, c := range costs {
+		if dead[i] {
+			continue
+		}
 		w[i] = 1 / c
 		sum += w[i]
 	}
 	total := 0.0
+	first := -1
 	for i := range w {
+		if dead[i] {
+			continue
+		}
+		if first < 0 {
+			first = i
+		}
 		w[i] /= sum
 		total += w[i]
 	}
 	// Absorb float residue so the engine's weight validation passes.
-	w[0] += 1 - total
+	if first >= 0 {
+		w[first] += 1 - total
+	}
 	return w
 }

@@ -116,8 +116,14 @@ type Responder struct {
 	clockMu sync.Mutex
 	clock   *vtime.Clock
 
+	// protoMu serializes deployment protocols — proposal-driven
+	// adaptations, failure recovery and live-instance admission — so at
+	// most one pause/redistribute/resume cycle is in flight per responder.
+	protoMu sync.Mutex
+
 	mu        sync.Mutex
 	fragments map[string]*respState
+	deadNodes map[simnet.NodeID]bool
 	timeline  []AdaptationEvent
 	sub       *bus.Subscription
 
@@ -137,6 +143,9 @@ type Responder struct {
 	obsReplays      *obs.Counter
 	obsFallbacks    *obs.Counter
 	obsDuration     *obs.Histogram
+	obsFailovers    map[string]*obs.Counter
+	obsJoined       *obs.Counter
+	obsRecoveryMs   *obs.Histogram
 	otl             *obs.Timeline
 }
 
@@ -148,6 +157,9 @@ type respState struct {
 	// compute the canonical new owner map and the moved buckets (stateful
 	// fragments only).
 	mirror *engine.HashPolicy
+	// dead marks instance indices whose evaluator crashed; they are skipped
+	// by every control RPC and pinned to weight zero.
+	dead map[int]bool
 }
 
 // NewResponder builds the responder on the given node. Its subscription and
@@ -173,6 +185,7 @@ func NewResponder(ctx context.Context, b *bus.Bus, tr transport.Transport, node 
 		ctx:       ctx,
 		clock:     vtime.NewClock(vtime.DefaultScale),
 		fragments: make(map[string]*respState),
+		deadNodes: make(map[simnet.NodeID]bool),
 		rpc:       newRPCClient(tr, node, "aqp/responder@"+string(node)),
 		outcomeCounters: map[string]*obs.Counter{
 			"adapted":      o.Counter(obs.Label(obs.MAdaptations, "outcome", "adapted")),
@@ -184,7 +197,13 @@ func NewResponder(ctx context.Context, b *bus.Bus, tr transport.Transport, node 
 		obsReplays:     o.Counter(obs.MStateReplays),
 		obsFallbacks:   o.Counter(obs.MProgressFallbacks),
 		obsDuration:    o.Histogram(obs.MAdaptationDuration, obs.DefBucketsLatencyMs),
-		otl:            o.Timeline(),
+		obsFailovers: map[string]*obs.Counter{
+			"recovered": o.Counter(obs.Label(obs.MFailovers, "outcome", "recovered")),
+			"failed":    o.Counter(obs.Label(obs.MFailovers, "outcome", "failed")),
+		},
+		obsJoined:     o.Counter(obs.MNodesJoined),
+		obsRecoveryMs: o.Histogram(obs.MRecoveryDuration, obs.DefBucketsLatencyMs),
+		otl:           o.Timeline(),
 	}
 	r.sub = b.SubscribeContext(ctx, "responder", node, TopicDiagnosis, r.onProposal)
 	return r
@@ -204,6 +223,7 @@ func (r *Responder) Register(topo FragmentTopology) error {
 	st := &respState{
 		topo:    topo,
 		weights: append([]float64(nil), topo.Weights...),
+		dead:    make(map[int]bool),
 	}
 	if topo.Stateful {
 		buckets := topo.Buckets
@@ -291,6 +311,8 @@ func (r *Responder) onProposal(n bus.Notification) {
 	if st == nil {
 		return
 	}
+	r.protoMu.Lock()
+	defer r.protoMu.Unlock()
 	start := r.nowMs()
 	if err := r.adapt(st, p); err != nil {
 		// An adaptation failure must not kill the query; execution simply
@@ -303,6 +325,24 @@ func (r *Responder) onProposal(n bus.Notification) {
 }
 
 func (r *Responder) adapt(st *respState, p Proposal) error {
+	// A proposal racing a failure diagnosis or a live join can carry a
+	// stale view: reject arity mismatches, and pin dead components to zero
+	// with the rest renormalised before deciding anything else.
+	r.mu.Lock()
+	if len(p.Weights) != len(st.weights) {
+		r.mu.Unlock()
+		return fmt.Errorf("core: proposal for %s has %d weights, want %d",
+			p.Fragment, len(p.Weights), len(st.weights))
+	}
+	if len(st.dead) > 0 {
+		p.Weights = zeroDead(p.Weights, st.dead)
+		if p.Weights == nil {
+			r.mu.Unlock()
+			return fmt.Errorf("core: proposal for %s leaves no live weight", p.Fragment)
+		}
+	}
+	r.mu.Unlock()
+
 	// Drop proposals that would redeploy (nearly) the current distribution:
 	// they are stale duplicates from the asynchronous proposal pipeline.
 	r.mu.Lock()
@@ -333,6 +373,9 @@ func (r *Responder) adapt(st *respState, p Proposal) error {
 	for _, ex := range st.topo.Inputs {
 		var exEst int64
 		for _, prod := range ex.Producers {
+			if r.nodeDead(prod.Node) {
+				continue
+			}
 			reply, err := r.rpc.call(r.ctx, prod, ctrlMsg(ex.Exchange, &transport.Ctrl{Op: transport.CtrlProgress}))
 			if err != nil {
 				return err
@@ -344,6 +387,9 @@ func (r *Responder) adapt(st *respState, p Proposal) error {
 		}
 		est += exEst
 		for _, cons := range st.topo.Instances {
+			if r.deadInstance(st, cons) {
+				continue
+			}
 			reply, err := r.rpc.call(r.ctx, cons, ctrlMsg(ex.Exchange, &transport.Ctrl{Op: transport.CtrlProgress}))
 			if err != nil {
 				return err
@@ -416,6 +462,9 @@ func (r *Responder) adapt(st *respState, p Proposal) error {
 func (r *Responder) adaptStatelessR2(st *respState, p Proposal) error {
 	for _, ex := range st.topo.Inputs {
 		for _, prod := range ex.Producers {
+			if r.nodeDead(prod.Node) {
+				continue
+			}
 			if _, err := r.rpc.call(r.ctx, prod, ctrlMsg(ex.Exchange,
 				&transport.Ctrl{Op: transport.CtrlSetWeights, Weights: p.Weights})); err != nil {
 				return err
@@ -444,6 +493,9 @@ func (r *Responder) adaptStatelessR1(st *respState, p Proposal) error {
 	}
 	var recalls []recalled
 	for _, cons := range st.topo.Instances {
+		if r.deadInstance(st, cons) {
+			continue
+		}
 		reply, err := r.rpc.call(r.ctx, cons, ctrlMsg("", &transport.Ctrl{Op: transport.CtrlDiscard}))
 		if err != nil {
 			return err
@@ -459,6 +511,9 @@ func (r *Responder) adaptStatelessR1(st *respState, p Proposal) error {
 	// Install the new weights, then re-route the recalled tuples.
 	for _, ex := range st.topo.Inputs {
 		for _, prod := range ex.Producers {
+			if r.nodeDead(prod.Node) {
+				continue
+			}
 			if _, err := r.rpc.call(r.ctx, prod, ctrlMsg(ex.Exchange,
 				&transport.Ctrl{Op: transport.CtrlSetWeights, Weights: p.Weights})); err != nil {
 				return err
@@ -549,6 +604,9 @@ func (r *Responder) adaptStateful(st *respState, p Proposal) error {
 	}
 	var resends []resend
 	for _, cons := range st.topo.Instances {
+		if r.deadInstance(st, cons) {
+			continue
+		}
 		reply, err := r.rpc.call(r.ctx, cons, ctrlMsg("",
 			&transport.Ctrl{Op: transport.CtrlDiscard, Buckets: moved}))
 		if err != nil {
@@ -572,6 +630,9 @@ func (r *Responder) adaptStateful(st *respState, p Proposal) error {
 	// recalled probes.
 	for _, ex := range st.topo.Inputs {
 		for _, prod := range ex.Producers {
+			if r.nodeDead(prod.Node) {
+				continue
+			}
 			if _, err := r.rpc.call(r.ctx, prod, ctrlMsg(ex.Exchange,
 				&transport.Ctrl{Op: transport.CtrlSetBucketMap, BucketMap: newMap})); err != nil {
 				return err
@@ -583,6 +644,9 @@ func (r *Responder) adaptStateful(st *respState, p Proposal) error {
 			continue
 		}
 		for _, prod := range ex.Producers {
+			if r.nodeDead(prod.Node) {
+				continue
+			}
 			if _, err := r.rpc.call(r.ctx, prod, ctrlMsg(ex.Exchange,
 				&transport.Ctrl{Op: transport.CtrlReplay, Buckets: moved})); err != nil {
 				return err
@@ -626,12 +690,91 @@ func (r *Responder) pauseAll(st *respState, pause bool) error {
 	var firstErr error
 	for _, ex := range st.topo.Inputs {
 		for _, prod := range ex.Producers {
+			if r.nodeDead(prod.Node) {
+				continue
+			}
 			if _, err := r.rpc.call(r.ctx, prod, ctrlMsg(ex.Exchange, &transport.Ctrl{Op: op})); err != nil && firstErr == nil {
 				firstErr = err
 			}
 		}
 	}
 	return firstErr
+}
+
+// Ping probes one fragment instance's control endpoint and reports the
+// transport error when the hosting machine is unreachable; sessions use it
+// as the heartbeat primitive behind failure detection.
+func (r *Responder) Ping(ref InstanceRef) error {
+	_, err := r.rpc.call(r.ctx, ref, ctrlMsg("", &transport.Ctrl{Op: transport.CtrlPing}))
+	return err
+}
+
+// CurrentWeights reports the deployed distribution vector of a managed
+// fragment (dead instances at zero), or false for an unknown fragment.
+func (r *Responder) CurrentWeights(fragment string) ([]float64, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.fragments[fragment]
+	if st == nil {
+		return nil, false
+	}
+	return append([]float64(nil), st.weights...), true
+}
+
+// nodeDead reports whether an evaluator has been diagnosed as crashed.
+func (r *Responder) nodeDead(n simnet.NodeID) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.deadNodes[n]
+}
+
+// deadInstance reports whether one of st's instances is dead, by index or by
+// hosting node.
+func (r *Responder) deadInstance(st *respState, ref InstanceRef) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return st.dead[ref.Index] || r.deadNodes[ref.Node]
+}
+
+// zeroDead pins the dead components of w to zero and renormalises the rest
+// proportionally; it returns nil when no live weight remains.
+func zeroDead(w []float64, dead map[int]bool) []float64 {
+	out := append([]float64(nil), w...)
+	sum := 0.0
+	for i := range out {
+		if dead[i] {
+			out[i] = 0
+		} else {
+			sum += out[i]
+		}
+	}
+	alive := len(out) - len(dead)
+	if alive <= 0 {
+		return nil
+	}
+	if sum <= 0 {
+		// Degenerate: every survivor proposed at zero — spread evenly.
+		for i := range out {
+			if !dead[i] {
+				out[i] = 1 / float64(alive)
+			}
+		}
+		return out
+	}
+	total := 0.0
+	first := -1
+	for i := range out {
+		if dead[i] {
+			continue
+		}
+		if first < 0 {
+			first = i
+		}
+		out[i] /= sum
+		total += out[i]
+	}
+	out[first] += 1 - total
+	return out
 }
 
 func ctrlMsg(exchange string, ctrl *transport.Ctrl) *transport.Message {
@@ -657,6 +800,19 @@ func TopologyOf(plan *physical.Plan, buckets int) []FragmentTopology {
 			topo.Instances = append(topo.Instances, InstanceRef{
 				Index: i, Node: node, Service: "frag/" + frag.InstanceID(i),
 			})
+		}
+		if frag.Output != nil {
+			topo.Output = frag.Output.ID
+			for _, cons := range plan.Fragments {
+				if cons.ID != frag.Output.ConsumerFragment {
+					continue
+				}
+				for i, node := range cons.Instances {
+					topo.Downstream = append(topo.Downstream, InstanceRef{
+						Index: i, Node: node, Service: "frag/" + cons.InstanceID(i),
+					})
+				}
+			}
 		}
 		for _, other := range plan.Fragments {
 			if other.Output == nil || other.Output.ConsumerFragment != frag.ID {

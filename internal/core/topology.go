@@ -36,7 +36,19 @@ const (
 	// TopicPolicy announces applied redistributions, so Diagnosers update
 	// their view of the current distribution W.
 	TopicPolicy = "policy"
+	// TopicMembership announces evaluator joins and leaves; sessions use it
+	// to admit new instances and to confirm failure diagnoses.
+	TopicMembership = "membership"
 )
+
+// NodeEvent is a cluster membership change published on TopicMembership.
+type NodeEvent struct {
+	// Kind is "join" or "leave".
+	Kind string
+	Node simnet.NodeID
+	// Speed is the evaluator's relative processing speed (joins only).
+	Speed float64
+}
 
 // InstanceRef addresses one fragment instance.
 type InstanceRef struct {
@@ -70,6 +82,12 @@ type FragmentTopology struct {
 	Inputs  []ExchangeTopology
 	// Buckets is the hash-policy bucket count (stateful fragments).
 	Buckets int
+	// Output names the exchange this fragment produces into ("" for the
+	// root fragment), and Downstream addresses that exchange's consumer
+	// instances. Failure recovery uses them to detach a dead instance's
+	// output stream so consumers do not wait on its end-of-stream.
+	Output     string
+	Downstream []InstanceRef
 }
 
 // CostNotification is what a MonitoringEventDetector sends to subscribed

@@ -39,6 +39,19 @@ type streamState struct {
 	discarded map[int64]bool
 	// pending are checkpoint sequences awaiting acknowledgement, ascending.
 	pending []int64
+	// eosSeen makes end-of-stream idempotent: a detach after a real EOS
+	// (or a duplicate EOS) must not double-count towards termination.
+	eosSeen bool
+	// detached marks a stream whose producer instance died; no further
+	// data or acks flow on it. Queued tuples stay valid — they derive
+	// from inputs the dead instance had acknowledged before dying.
+	detached bool
+	// maxProcessed / lastAcked drive fault-tolerant acknowledgement:
+	// instead of waiting for producer-inserted checkpoints, the consumer
+	// acknowledges every processed prefix at each batch boundary, inside
+	// the commit section that also flushes the outputs derived from it.
+	maxProcessed int64
+	lastAcked    int64
 }
 
 // Consumer is the receiving half of an exchange: a queue of tuples arriving
@@ -74,6 +87,12 @@ type Consumer struct {
 
 	// stateTarget receives replayed state tuples (hash-join build side).
 	stateTarget StateTarget
+
+	// ft enables eager processed-prefix acknowledgements; ftCommit runs
+	// them (with the matching output flush) in a node commit section. See
+	// SetFaultTolerant.
+	ft       bool
+	ftCommit func(acks []ackItem)
 }
 
 // newConsumer wires a consumer; the fragment runtime constructs these while
@@ -102,6 +121,20 @@ func newConsumer(exchange string, consumerIdx int, producers []Addr, stateful bo
 
 // SetStateTarget registers the stateful operator absorbing replayed state.
 func (c *Consumer) SetStateTarget(t StateTarget) { c.stateTarget = t }
+
+// SetFaultTolerant switches the consumer to elastic-recovery
+// acknowledgement (set once by the fragment runtime before the driver
+// starts): at every batch boundary the consumer acknowledges its whole
+// processed prefix per stream, and commit delivers those acks — paired
+// with the flush of the outputs derived from them — inside one
+// crash-atomic node commit section. An input is therefore acknowledged if
+// and only if its effects are durably downstream, which makes the
+// producer-side recovery log of a dead instance exactly the set of tuples
+// that must be replayed onto survivors.
+func (c *Consumer) SetFaultTolerant(commit func(acks []ackItem)) {
+	c.ft = true
+	c.ftCommit = commit
+}
 
 // Open implements Iterator.
 func (c *Consumer) Open(ctx *ExecContext) error {
@@ -219,10 +252,43 @@ func (c *Consumer) finishEntriesLocked(entries []queueEntry) []ackItem {
 	for _, e := range entries {
 		st := c.streams[e.producer]
 		delete(st.outstanding, e.seq)
+		if e.seq > st.maxProcessed {
+			st.maxProcessed = e.seq
+		}
 		c.gate.inflight--
 	}
 	c.gate.cond.Broadcast()
+	if c.ft {
+		return c.ftAckableLocked()
+	}
 	return c.ackableLocked()
+}
+
+// ftAckableLocked emits one ack per stream whose processed prefix advanced:
+// the checkpoint is the highest processed sequence, with every discarded
+// sequence at or below it re-listed as exempt (discards are released by the
+// resend step, never by acks). Per-stream delivery and serial processing
+// are in sequence order, so "maxProcessed" is equivalent to "all below it
+// processed or discarded".
+func (c *Consumer) ftAckableLocked() []ackItem {
+	if c.Stateful {
+		return nil
+	}
+	var acks []ackItem
+	for p, st := range c.streams {
+		if st.detached || st.maxProcessed <= st.lastAcked {
+			continue
+		}
+		var except []int64
+		for s := range st.discarded {
+			if s <= st.maxProcessed {
+				except = append(except, s)
+			}
+		}
+		acks = append(acks, ackItem{producer: p, checkpoint: st.maxProcessed, except: except})
+		st.lastAcked = st.maxProcessed
+	}
+	return acks
 }
 
 // finishInflightLocked marks the previously popped entries processed,
@@ -238,8 +304,12 @@ func (c *Consumer) finishInflightLocked() {
 	}
 	// Send acks outside the gate lock: transmission sleeps.
 	c.gate.mu.Unlock()
-	for _, a := range acks {
-		c.sendAck(a)
+	if c.ft && c.ftCommit != nil {
+		c.ftCommit(acks)
+	} else {
+		for _, a := range acks {
+			c.sendAck(a)
+		}
 	}
 	c.gate.mu.Lock()
 }
@@ -313,7 +383,10 @@ func (c *Consumer) NextBatchFor(w *ConsumerWorker, dst *relation.Batch, m *vtime
 // count as satisfied but are reported in the ack's exclusion list so the
 // producer keeps their log entries for the resend step.
 func (c *Consumer) ackableLocked() []ackItem {
-	if c.Stateful {
+	if c.Stateful || c.ft {
+		// Fault-tolerant consumers acknowledge processed prefixes at batch
+		// boundaries instead; checkpoint arrival alone must not trigger an
+		// ack outside a commit section.
 		return nil
 	}
 	var acks []ackItem
@@ -346,7 +419,11 @@ func hasAtOrBelow(set map[int64]bool, ck int64) bool {
 }
 
 func (c *Consumer) sendAck(a ackItem) {
+	// Snapshot the address under the gate lock: a live join may grow the
+	// Producers slice concurrently.
+	c.gate.mu.Lock()
 	addr := c.Producers[a.producer]
+	c.gate.mu.Unlock()
 	msg := &transport.Message{
 		Kind:        transport.KindAck,
 		Exchange:    c.Exchange,
@@ -376,6 +453,13 @@ func (c *Consumer) Deliver(msg *transport.Message) error {
 	switch msg.Kind {
 	case transport.KindEOS:
 		c.gate.locked(func() {
+			if msg.ProducerIdx >= 0 && msg.ProducerIdx < len(c.streams) {
+				st := c.streams[msg.ProducerIdx]
+				if st.eosSeen {
+					return
+				}
+				st.eosSeen = true
+			}
 			c.eos++
 			c.gate.cond.Broadcast()
 		})
@@ -445,7 +529,9 @@ func (c *Consumer) discardLocked(buckets []int32) map[int][]int64 {
 	report := make(map[int][]int64)
 	kept := c.queue[:0]
 	for _, e := range c.queue {
-		if filter == nil || filter[e.bucket] {
+		// Tuples from a detached (dead) producer are never discarded: its
+		// recovery log is gone, so no resend could ever restore them.
+		if (filter == nil || filter[e.bucket]) && !c.streams[e.producer].detached {
 			st := c.streams[e.producer]
 			delete(st.outstanding, e.seq)
 			st.discarded[e.seq] = true
@@ -456,6 +542,43 @@ func (c *Consumer) discardLocked(buckets []int32) map[int][]int64 {
 	}
 	c.queue = kept
 	return report
+}
+
+// DetachProducer closes a stream whose producer instance died without
+// sending EOS: termination no longer waits on it, and no acks are
+// addressed to it. Queued tuples from the dead producer are kept — they
+// derive from inputs the dead instance had acknowledged upstream, so
+// dropping them would lose rows; replayed substitutes never exist for them
+// because acknowledged entries have left the upstream recovery logs.
+func (c *Consumer) DetachProducer(producer int) error {
+	var err error
+	c.gate.locked(func() {
+		if producer < 0 || producer >= len(c.streams) {
+			err = fmt.Errorf("engine: detach of unknown producer %d on exchange %s", producer, c.Exchange)
+			return
+		}
+		st := c.streams[producer]
+		st.detached = true
+		if !st.eosSeen {
+			st.eosSeen = true
+			c.eos++
+		}
+		c.gate.cond.Broadcast()
+	})
+	return err
+}
+
+// AddProducer extends the exchange with a newly joined upstream instance
+// (live join): termination now additionally waits for its EOS, and its
+// stream starts with fresh checkpoint state.
+func (c *Consumer) AddProducer(addr Addr) {
+	c.gate.locked(func() {
+		c.Producers = append(c.Producers, addr)
+		c.streams = append(c.streams, &streamState{
+			outstanding: make(map[int64]bool),
+			discarded:   make(map[int64]bool),
+		})
+	})
 }
 
 // Stats reports consumption counters for monitoring (M1 wait/selectivity).

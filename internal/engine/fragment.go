@@ -42,6 +42,14 @@ type RuntimeConfig struct {
 	// selects the defaults.
 	BufferTuples    int
 	CheckpointEvery int
+	// FT enables elastic crash recovery for this instance: consumers
+	// acknowledge processed prefixes inside node commit sections paired
+	// with the flush of derived outputs, producers survive peer death by
+	// parking the lost tuples in their recovery logs, and the driver is
+	// forced serial (the commit pairing relies on the serial pull order).
+	FT bool
+	// OnPeerDown is told when a flush discovers a dead peer (FT only).
+	OnPeerDown func(simnet.NodeID)
 }
 
 // FragmentRuntime hosts one fragment instance inside a query evaluation
@@ -127,8 +135,57 @@ func NewFragmentRuntime(cfg RuntimeConfig) (*FragmentRuntime, error) {
 		return nil, fmt.Errorf("engine: top fragment %s needs a result sink", cfg.Fragment.ID)
 	}
 
+	if cfg.FT {
+		r.wireFaultTolerance()
+	}
 	cfg.Tr.Register(cfg.Node, r.service, r.handle)
 	return r, nil
+}
+
+// wireFaultTolerance arms the exactly-once recovery protocol on this
+// instance. The output producer holds flushed buffers back whenever the
+// fragment has an acknowledging (stateless) input, and each stateless
+// consumer commits "flush held outputs, then ack processed inputs" as one
+// crash-atomic section on the hosting node — so an input is acknowledged
+// (and leaves the upstream recovery log) exactly when its derived outputs
+// are durably downstream. The soundness of acking at consumer pull
+// boundaries rests on an operator-tree invariant: every operator either
+// emits the outputs of a pulled batch before returning, or holds them in a
+// carry buffer that fully drains before the operator pulls its child again
+// (HashJoin.pending is the one carry buffer today, and it drains first).
+func (r *FragmentRuntime) wireFaultTolerance() {
+	hasStatelessInput := false
+	for _, c := range r.consumers {
+		if !c.Stateful {
+			hasStatelessInput = true
+		}
+	}
+	node := r.cfg.Ctx.Node
+	if r.producer != nil {
+		holdback := hasStatelessInput && !r.producer.Stateful
+		r.producer.SetFaultTolerant(holdback, r.cfg.OnPeerDown)
+	}
+	for _, c := range r.consumers {
+		if c.Stateful {
+			continue
+		}
+		consumer := c
+		consumer.SetFaultTolerant(func(acks []ackItem) {
+			// If the node died, the commit refuses to run: neither outputs
+			// nor acks escape, and the inputs stay replayable upstream.
+			node.Atomically(func() {
+				if r.producer != nil {
+					if err := r.producer.FlushHeld(); err != nil {
+						r.fail(err)
+						return
+					}
+				}
+				for _, a := range acks {
+					consumer.sendAck(a)
+				}
+			})
+		})
+	}
 }
 
 // buildPolicy instantiates the initial distribution policy of an exchange.
@@ -286,6 +343,12 @@ func (r *FragmentRuntime) Join() *HashJoin { return r.join }
 // Service returns the instance's transport service name.
 func (r *FragmentRuntime) Service() string { return r.service }
 
+// Node returns the machine hosting this instance.
+func (r *FragmentRuntime) Node() simnet.NodeID { return r.cfg.Node }
+
+// Instance returns this runtime's clone index within its fragment.
+func (r *FragmentRuntime) Instance() int { return r.cfg.Instance }
+
 // Err returns the first driver error.
 func (r *FragmentRuntime) Err() error {
 	r.mu.Lock()
@@ -316,7 +379,9 @@ func (r *FragmentRuntime) Run(ctx context.Context) error {
 	if ectx.Monitor != nil && ectx.Costs.AdaptStartupMs > 0 {
 		ectx.chargeFlat(ectx.Costs.AdaptStartupMs)
 	}
-	if ectx.Parallelism > 1 && r.parallelOK() {
+	if ectx.Parallelism > 1 && r.parallelOK() && !r.cfg.FT {
+		// Elastic recovery needs the serial driver: the commit pairing of
+		// held-output flushes with processed-prefix acks assumes one puller.
 		return r.runParallel(ctx, ectx.Parallelism)
 	}
 	if err := r.root.Open(ectx); err != nil {
@@ -419,6 +484,12 @@ func (r *FragmentRuntime) Run(ctx context.Context) error {
 	ectx.Meter.Flush()
 	return nil
 }
+
+// Interrupt aborts the running driver from outside with the given cause —
+// the session's recovery manager uses it to bring down the runtimes of a
+// crashed node with a typed node-loss error instead of letting them block
+// forever on dead exchanges.
+func (r *FragmentRuntime) Interrupt(cause error) { r.interrupt(cause) }
 
 // interrupt aborts a running driver from outside: it records the cause,
 // releases a driver blocked in a consumer wait (Close makes Next report
@@ -585,6 +656,40 @@ func (r *FragmentRuntime) handleControl(msg *transport.Message) {
 			break
 		}
 		r.stateTarget.EvictBuckets(ctrl.Buckets)
+	case transport.CtrlReplayLost:
+		if err := r.requireProducer(ctrl, func(p *Producer) error {
+			n, err := p.ReplayLost(ctrl.Peer)
+			reply.Routed = int64(n)
+			return err
+		}); err != nil {
+			reply.OK, reply.Err = false, err.Error()
+		}
+	case transport.CtrlDetachConsumer:
+		if err := r.requireProducer(ctrl, func(p *Producer) error { return p.DetachConsumer(ctrl.Peer) }); err != nil {
+			reply.OK, reply.Err = false, err.Error()
+		}
+	case transport.CtrlDetach:
+		if c := r.consumers[msg.Exchange]; c != nil {
+			if err := c.DetachProducer(ctrl.Peer); err != nil {
+				reply.OK, reply.Err = false, err.Error()
+			}
+		} else {
+			reply.OK, reply.Err = false, fmt.Sprintf("no consumer for exchange %s on %s", msg.Exchange, r.service)
+		}
+	case transport.CtrlAttach:
+		if err := r.requireProducer(ctrl, func(p *Producer) error {
+			return p.AddConsumer(Addr{Node: ctrl.PeerNode, Service: ctrl.PeerService}, ctrl.Weights)
+		}); err != nil {
+			reply.OK, reply.Err = false, err.Error()
+		}
+	case transport.CtrlExpectProducer:
+		if c := r.consumers[msg.Exchange]; c != nil {
+			c.AddProducer(Addr{Node: ctrl.PeerNode, Service: ctrl.PeerService})
+		} else {
+			reply.OK, reply.Err = false, fmt.Sprintf("no consumer for exchange %s on %s", msg.Exchange, r.service)
+		}
+	case transport.CtrlPing:
+		// Liveness probe: reaching this handler is the answer.
 	default:
 		reply.OK, reply.Err = false, fmt.Sprintf("unknown control op %v", ctrl.Op)
 	}

@@ -137,6 +137,19 @@ func (p *WeightedPolicy) SetWeights(w []float64) ([]int32, error) {
 	return nil, nil
 }
 
+// Extend grows the policy to cover one more consumer instance (live join),
+// installing w as the new distribution vector over len(old)+1 consumers.
+func (p *WeightedPolicy) Extend(w []float64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := validWeights(w, len(p.weights)+1); err != nil {
+		return err
+	}
+	p.weights = append([]float64(nil), w...)
+	p.credit = make([]float64, len(w))
+	return nil
+}
+
 // OwnerMap implements DistPolicy.
 func (p *WeightedPolicy) OwnerMap() []int32 { return nil }
 

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -49,6 +50,10 @@ type producerShard struct {
 	log       map[int64]logEntry
 	nextSeq   int64
 	sinceCkpt int
+	// dead marks the consumer instance as crash-stopped or detached:
+	// flushes drop the buffer (the log keeps the entries for failover
+	// replay), and checkpoints/EOS are not addressed to it.
+	dead bool
 }
 
 // flowBarrier coordinates the producer's data plane (Send/SendBatch, from
@@ -215,6 +220,18 @@ type Producer struct {
 	bufferTuples    int
 	checkpointEvery int
 
+	// ft enables the elastic-failover behaviour: a flush that fails
+	// because the TARGET node died marks the shard dead and reports the
+	// peer through onPeerDown instead of failing the driver; the logged
+	// tuples wait for the session's failover to replay them onto
+	// survivors. holdback additionally defers buffer-full flushes so the
+	// fragment runtime can flush outputs and acknowledge the inputs they
+	// derive from in one commit section — the exactly-once invariant of
+	// crash recovery (DESIGN.md §5h).
+	ft         bool
+	holdback   bool
+	onPeerDown func(simnet.NodeID)
+
 	barrier flowBarrier
 	shards  []*producerShard
 
@@ -284,6 +301,16 @@ func NewProducer(cfg ProducerConfig) *Producer {
 // before the driver starts).
 func (p *Producer) Bind(ctx *ExecContext) { p.ctx = ctx }
 
+// SetFaultTolerant enables elastic-failover behaviour (set once by the
+// fragment runtime before the driver starts). holdback defers buffer-full
+// flushes until FlushHeld; onPeerDown is told about peers whose death was
+// discovered by a failed flush.
+func (p *Producer) SetFaultTolerant(holdback bool, onPeerDown func(simnet.NodeID)) {
+	p.ft = true
+	p.holdback = holdback
+	p.onPeerDown = onPeerDown
+}
+
 func (p *Producer) driverMeter() *vtime.Meter {
 	if p.ctx == nil {
 		return nil
@@ -308,7 +335,7 @@ func (p *Producer) Send(t relation.Tuple) error {
 	s.mu.Lock()
 	p.appendShardLocked(s, bucket, t)
 	var err error
-	if len(s.buf) >= p.bufferTuples {
+	if len(s.buf) >= p.bufferTuples && !p.holdback {
 		err = p.flushShardLocked(consumer, s, false)
 	}
 	s.mu.Unlock()
@@ -376,7 +403,7 @@ outer:
 				locked = true
 			}
 			p.appendShardLocked(s, buckets[i], ts[i])
-			if len(s.buf) >= p.bufferTuples {
+			if len(s.buf) >= p.bufferTuples && !p.holdback {
 				if err = p.flushShardLocked(c, s, false); err != nil {
 					s.mu.Unlock()
 					break outer
@@ -410,6 +437,15 @@ func (p *Producer) appendShardLocked(s *producerShard, bucket int32, t relation.
 // monitoring event. Caller holds s.mu.
 func (p *Producer) flushShardLocked(consumer int, s *producerShard, replay bool) error {
 	buf := s.buf
+	if s.dead {
+		// The consumer instance is gone: drop the buffer (entries stay in
+		// the recovery log for failover replay) and keep the driver going.
+		for i := range buf {
+			buf[i] = bufEntry{}
+		}
+		s.buf = buf[:0]
+		return nil
+	}
 	if len(buf) == 0 {
 		return nil
 	}
@@ -466,6 +502,17 @@ func (p *Producer) flushShardLocked(consumer int, s *producerShard, replay bool)
 	fr.msg = transport.Message{}
 	framePool.Put(fr)
 	if err != nil {
+		var down *transport.NodeDownError
+		if p.ft && errors.As(err, &down) && down.Node == addr.Node && addr.Node != p.node {
+			// The peer died. Mark the shard dead and keep the driver
+			// flowing: the flushed entries are still in the recovery log,
+			// and the session's failover replays them onto survivors.
+			s.dead = true
+			if p.onPeerDown != nil {
+				p.onPeerDown(addr.Node)
+			}
+			return nil
+		}
 		return qerr.Transport(fmt.Sprintf("exchange %s flush to %s", p.Exchange, addr.Service), err)
 	}
 	p.buffersSent.Add(1)
@@ -530,7 +577,7 @@ func (p *Producer) finalizeCheckpointsLocked() error {
 	}
 	for c, s := range p.shards {
 		s.mu.Lock()
-		skip := s.sinceCkpt == 0 || s.nextSeq == 1
+		skip := s.sinceCkpt == 0 || s.nextSeq == 1 || s.dead
 		var ck int64
 		if !skip {
 			s.sinceCkpt = 0
@@ -550,10 +597,32 @@ func (p *Producer) finalizeCheckpointsLocked() error {
 		}
 		addr := p.Consumers[c]
 		if _, err := p.tr.Send(p.node, addr.Node, addr.Service, msg); err != nil {
+			if p.markDeadOnPeerLoss(c, addr, err) {
+				continue
+			}
 			return qerr.Transport(fmt.Sprintf("exchange %s checkpoint to %s", p.Exchange, addr.Service), err)
 		}
 	}
 	return nil
+}
+
+// markDeadOnPeerLoss handles a send error in fault-tolerant mode: if the
+// error reports that the TARGET consumer's node died, the shard is marked
+// dead (its logged tuples await failover replay) and the caller may carry
+// on. Self-death and other faults stay fatal.
+func (p *Producer) markDeadOnPeerLoss(consumer int, addr Addr, err error) bool {
+	var down *transport.NodeDownError
+	if !p.ft || !errors.As(err, &down) || down.Node != addr.Node || addr.Node == p.node {
+		return false
+	}
+	s := p.shards[consumer]
+	s.mu.Lock()
+	s.dead = true
+	s.mu.Unlock()
+	if p.onPeerDown != nil {
+		p.onPeerDown(addr.Node)
+	}
+	return true
 }
 
 // maybeFinishLocked sends the exchange-complete signal when allowed. For a
@@ -578,6 +647,13 @@ func (p *Producer) maybeFinishLocked() error {
 	}
 	p.eosSent = true
 	for i, addr := range p.Consumers {
+		s := p.shards[i]
+		s.mu.Lock()
+		dead := s.dead
+		s.mu.Unlock()
+		if dead {
+			continue
+		}
 		msg := &transport.Message{
 			Kind:        transport.KindEOS,
 			Exchange:    p.Exchange,
@@ -585,6 +661,9 @@ func (p *Producer) maybeFinishLocked() error {
 			ConsumerIdx: i,
 		}
 		if _, err := p.tr.Send(p.node, addr.Node, addr.Service, msg); err != nil {
+			if p.markDeadOnPeerLoss(i, addr, err) {
+				continue
+			}
 			return qerr.Transport(fmt.Sprintf("exchange %s EOS to %s", p.Exchange, addr.Service), err)
 		}
 	}
@@ -624,8 +703,17 @@ func (p *Producer) HandleAck(msg *transport.Message) {
 			keep[s] = true
 		}
 	}
+	if msg.ConsumerIdx < 0 || msg.ConsumerIdx >= len(p.shards) {
+		return
+	}
 	s := p.shards[msg.ConsumerIdx]
 	s.mu.Lock()
+	if s.dead {
+		// A late ack from an instance already failed over: its log was
+		// replayed onto survivors, so there is nothing left to release.
+		s.mu.Unlock()
+		return
+	}
 	for seq := range s.log {
 		if seq <= msg.Checkpoint && !keep[seq] {
 			delete(s.log, seq)
@@ -794,6 +882,148 @@ func (p *Producer) Resend(fromConsumer int, seqs []int64) (int, error) {
 	}
 	_ = p.maybeFinishLocked()
 	return n, nil
+}
+
+// FlushHeld transmits every held buffer. The fragment runtime calls it in
+// holdback mode, inside the commit section that also acknowledges the
+// consumed inputs those outputs derive from; it enters the barrier in ack
+// mode so it flows during an R1 pause but never overlaps an exclusive
+// control section.
+func (p *Producer) FlushHeld() error {
+	p.barrier.enterAck()
+	defer p.barrier.exit()
+	for c, s := range p.shards {
+		s.mu.Lock()
+		err := p.flushShardLocked(c, s, false)
+		s.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReplayLost re-routes every logged-but-unacknowledged tuple of a dead
+// consumer instance onto the surviving instances under the current
+// (already reweighted) policy as normal flow, then detaches the instance.
+// Because acknowledgements release log entries only when the consumer has
+// processed the tuples AND durably forwarded their outputs (the holdback
+// commit), the dead shard's log is exactly the set of tuples whose effects
+// are missing downstream — replaying them, and nothing else, preserves
+// exact results. It returns the number of tuples moved.
+func (p *Producer) ReplayLost(dead int) (int, error) {
+	p.barrier.lockExclusive()
+	defer p.barrier.unlockExclusive()
+	if dead < 0 || dead >= len(p.shards) {
+		return 0, fmt.Errorf("engine: replay-lost of unknown consumer %d on %s", dead, p.Exchange)
+	}
+	src := p.shards[dead]
+	src.mu.Lock()
+	type lost struct {
+		seq int64
+		e   logEntry
+	}
+	pending := make([]lost, 0, len(src.log))
+	for seq, e := range src.log {
+		pending = append(pending, lost{seq: seq, e: e})
+	}
+	src.log = make(map[int64]logEntry)
+	for i := range src.buf {
+		src.buf[i] = bufEntry{}
+	}
+	src.buf = src.buf[:0]
+	src.dead = true
+	src.mu.Unlock()
+	sort.Slice(pending, func(i, j int) bool { return pending[i].seq < pending[j].seq })
+	n := 0
+	for _, mv := range pending {
+		var target int
+		if mv.e.bucket >= 0 {
+			target = p.policy.RouteBucket(mv.e.bucket)
+		} else {
+			target, _ = p.policy.Route(mv.e.tuple)
+		}
+		if target == dead {
+			return n, fmt.Errorf("engine: replay-lost on %s still routes to dead consumer %d", p.Exchange, dead)
+		}
+		dst := p.shards[target]
+		dst.mu.Lock()
+		p.appendShardLocked(dst, mv.e.bucket, mv.e.tuple)
+		n++
+		var err error
+		if len(dst.buf) >= p.bufferTuples {
+			err = p.flushShardLocked(target, dst, false)
+		}
+		dst.mu.Unlock()
+		if err != nil {
+			return n, err
+		}
+	}
+	if err := p.flushAll(false); err != nil {
+		return n, err
+	}
+	p.finMu.Lock()
+	defer p.finMu.Unlock()
+	if err := p.finalizeCheckpointsLocked(); err != nil {
+		return n, err
+	}
+	_ = p.maybeFinishLocked()
+	return n, nil
+}
+
+// DetachConsumer marks a dead consumer instance as gone without replaying
+// its log. Stateful exchanges use it after CtrlReplay has migrated the dead
+// instance's buckets; it also re-checks end-of-stream, since a detached
+// shard no longer holds EOS back.
+func (p *Producer) DetachConsumer(dead int) error {
+	p.barrier.lockExclusive()
+	defer p.barrier.unlockExclusive()
+	if dead < 0 || dead >= len(p.shards) {
+		return fmt.Errorf("engine: detach of unknown consumer %d on %s", dead, p.Exchange)
+	}
+	s := p.shards[dead]
+	s.mu.Lock()
+	s.dead = true
+	for i := range s.buf {
+		s.buf[i] = bufEntry{}
+	}
+	s.buf = s.buf[:0]
+	if p.Stateful {
+		// Stateful logs exist to rebuild remote state; the dead instance's
+		// buckets were already replayed to their new owners.
+		s.log = make(map[int64]logEntry)
+	}
+	s.mu.Unlock()
+	p.finMu.Lock()
+	defer p.finMu.Unlock()
+	_ = p.maybeFinishLocked()
+	return nil
+}
+
+// AddConsumer extends the exchange with a newly joined consumer instance
+// (live join), installing w as the distribution vector over the grown
+// instance set. It fails if the exchange has already signalled EOS — the
+// newcomer would wait forever on a stream that will never close — or if the
+// policy cannot grow (hash policies pin state to buckets; hash fragments
+// join at the next query via the plan-cache epoch).
+func (p *Producer) AddConsumer(addr Addr, w []float64) error {
+	p.barrier.lockExclusive()
+	defer p.barrier.unlockExclusive()
+	p.finMu.Lock()
+	defer p.finMu.Unlock()
+	if p.eosSent {
+		return fmt.Errorf("engine: exchange %s already closed; too late to attach", p.Exchange)
+	}
+	wp, ok := p.policy.(*WeightedPolicy)
+	if !ok {
+		return fmt.Errorf("engine: exchange %s policy cannot grow live", p.Exchange)
+	}
+	if err := wp.Extend(w); err != nil {
+		return err
+	}
+	p.Consumers = append(p.Consumers, addr)
+	p.shards = append(p.shards, &producerShard{log: make(map[int64]logEntry), nextSeq: 1})
+	return nil
 }
 
 // Release drops a stateful exchange's log at query end.

@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/engine"
+	"repro/internal/relation"
 	"repro/internal/services"
 	"repro/internal/simnet"
 	"repro/internal/vtime"
@@ -85,6 +86,13 @@ type Config struct {
 	Scale time.Duration
 	// Calibration overrides the default testbed parameters when non-nil.
 	Calibration *Calibration
+	// Elastic enables evaluator crash recovery and live membership
+	// (DESIGN.md §5h); it only takes effect together with Adaptive.
+	Elastic bool
+	// OnCluster, when non-nil, runs against the assembled cluster after
+	// every node is registered and before the query starts — the hook the
+	// Recovery experiment uses to arm fault injection and mid-query joins.
+	OnCluster func(*services.Cluster)
 
 	// Ablation knobs (zero selects the paper defaults).
 	MED             *core.MEDConfig
@@ -141,6 +149,9 @@ type Result struct {
 	// ConsumedByWS reports, per WS node index, the tuples its partitioned
 	// fragment instance evaluated.
 	ConsumedByWS []int64
+	// Rows is the full result set, retained so the Recovery experiment can
+	// compare faulted runs against unfaulted ones tuple for tuple.
+	Rows []relation.Tuple
 }
 
 // Run executes one configuration to completion.
@@ -187,6 +198,9 @@ func Run(cfg Config) (*Result, error) {
 		}
 		node.SetPerturbation(p)
 	}
+	if cfg.OnCluster != nil {
+		cfg.OnCluster(cluster)
+	}
 	med := core.DefaultMEDConfig()
 	if cfg.MED != nil {
 		med = *cfg.MED
@@ -201,6 +215,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	gcfg := services.GDQSConfig{
 		Adaptive:     cfg.Adaptive,
+		Elastic:      cfg.Elastic,
 		MonitorEvery: cfg.MonitorEvery,
 		MED:          med,
 		Diagnoser:    core.DiagnoserConfig{ThresA: thresA, Assessment: cfg.Assessment},
@@ -220,6 +235,7 @@ func Run(cfg Config) (*Result, error) {
 		ResponseMs:   res.Stats.ResponseMs,
 		Stats:        res.Stats,
 		ConsumedByWS: make([]int64, cfg.WSNodes),
+		Rows:         res.Rows,
 	}
 	// Read the consumption split from the plan's partitioned fragment (the
 	// one evaluating the expensive operator across the WS nodes).

@@ -147,6 +147,7 @@ func All() ([]*Experiment, error) {
 		{"Fig5", Fig5},
 		{"Overheads", Overheads},
 		{"MonitoringFrequency", MonitoringFrequency},
+		{"Recovery", Recovery},
 	}
 	var out []*Experiment
 	for _, b := range builders {

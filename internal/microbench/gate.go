@@ -19,6 +19,7 @@ type Regression struct {
 	CurrentNs  float64
 }
 
+// String renders the regression for the gate's failure report.
 func (r Regression) String() string {
 	return fmt.Sprintf("%s: %.1f ns/op vs baseline %.1f ns/op (+%.0f%%)",
 		r.Name, r.CurrentNs, r.BaselineNs, (r.CurrentNs/r.BaselineNs-1)*100)

@@ -125,10 +125,16 @@ func parallelChain(b *testing.B, workers int) {
 	b.ReportMetric(float64(chainRows)*float64(b.N)/b.Elapsed().Seconds(), "tuples/sec")
 }
 
-// ParallelChain1..8 fix the pool widths recorded in BENCH_micro.json.
+// ParallelChain1 runs the operator-chain benchmark with a serial driver.
 func ParallelChain1(b *testing.B) { parallelChain(b, 1) }
+
+// ParallelChain2 runs the operator-chain benchmark on 2 workers.
 func ParallelChain2(b *testing.B) { parallelChain(b, 2) }
+
+// ParallelChain4 runs the operator-chain benchmark on 4 workers.
 func ParallelChain4(b *testing.B) { parallelChain(b, 4) }
+
+// ParallelChain8 runs the operator-chain benchmark on 8 workers.
 func ParallelChain8(b *testing.B) { parallelChain(b, 8) }
 
 // joinRows sizes the partitioned-join benchmark inputs.
@@ -218,8 +224,14 @@ func partitionedJoin(b *testing.B, workers int) {
 	b.ReportMetric(float64(joinProbeRows)*float64(b.N)/b.Elapsed().Seconds(), "tuples/sec")
 }
 
-// PartitionedJoin1..8 fix the pool widths recorded in BENCH_micro.json.
+// PartitionedJoin1 runs the partitioned-join benchmark with a serial driver.
 func PartitionedJoin1(b *testing.B) { partitionedJoin(b, 1) }
+
+// PartitionedJoin2 runs the partitioned-join benchmark on 2 workers.
 func PartitionedJoin2(b *testing.B) { partitionedJoin(b, 2) }
+
+// PartitionedJoin4 runs the partitioned-join benchmark on 4 workers.
 func PartitionedJoin4(b *testing.B) { partitionedJoin(b, 4) }
+
+// PartitionedJoin8 runs the partitioned-join benchmark on 8 workers.
 func PartitionedJoin8(b *testing.B) { partitionedJoin(b, 8) }

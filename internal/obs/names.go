@@ -59,4 +59,12 @@ const (
 	MAdmissionRejected = "admission_rejected_total"
 	MAdmissionWaiting  = "admission_waiting"
 	MAdmissionQueueMs  = "admission_queue_ms"
+
+	// Elastic cluster: evaluator liveness and recovery. Failovers are
+	// labelled by outcome (recovered|failed); the duration histogram covers
+	// detection-to-resume in paper milliseconds.
+	MEvaluatorsLive   = "evaluators_live"
+	MFailovers        = "failovers_total"
+	MNodesJoined      = "nodes_joined_total"
+	MRecoveryDuration = "recovery_duration_ms"
 )

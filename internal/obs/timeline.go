@@ -20,6 +20,13 @@ const (
 	// KindProgressFallback marks a progress estimate computed from routing
 	// progress because no cardinality estimate was available.
 	KindProgressFallback EventKind = "progress-fallback"
+	// KindFailure marks an evaluator classified as dead (crash-stop or
+	// unreachable) and the per-fragment recovery steps that follow; Outcome
+	// distinguishes "detected", "recovered" and "failed".
+	KindFailure EventKind = "failure"
+	// KindMembership marks a cluster membership change: Detail is "join" or
+	// "leave" and Node names the evaluator.
+	KindMembership EventKind = "membership"
 )
 
 // Event is one adaptation-timeline entry. Fields beyond Seq/AtMs/Kind are

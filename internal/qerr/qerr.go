@@ -57,6 +57,13 @@ const (
 	// never started because the admission controller's queue was full or the
 	// queue-time budget expired.
 	KindAdmission
+	// KindNodeLoss covers evaluator death: a machine hosting fragment
+	// instances crash-stopped or became unreachable mid-query. In elastic
+	// mode the session recovers from it when every affected fragment has
+	// surviving partitioned instances; otherwise the query fails with this
+	// kind so clients can distinguish "resubmit against the new topology"
+	// from a fault in the query itself.
+	KindNodeLoss
 )
 
 // String names the kind.
@@ -72,6 +79,8 @@ func (k Kind) String() string {
 		return "transport"
 	case KindAdmission:
 		return "admission"
+	case KindNodeLoss:
+		return "node-loss"
 	default:
 		return "unknown"
 	}
@@ -125,6 +134,12 @@ func Transport(op string, err error) error { return New(KindTransport, op, err) 
 
 // Admission wraps an admission-control error.
 func Admission(op string, err error) error { return New(KindAdmission, op, err) }
+
+// NodeLoss wraps an evaluator-death error.
+func NodeLoss(op string, err error) error { return New(KindNodeLoss, op, err) }
+
+// IsNodeLoss reports whether err is classified as evaluator death.
+func IsNodeLoss(err error) bool { return KindOf(err) == KindNodeLoss }
 
 // KindOf reports the kind of the outermost *Error in err's chain, or
 // KindUnknown.

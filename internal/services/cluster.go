@@ -15,8 +15,10 @@ import (
 
 	"repro/internal/bus"
 	"repro/internal/catalog"
+	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/relation"
 	"repro/internal/simnet"
@@ -168,7 +170,49 @@ func (c *Cluster) AddComputeNode(id simnet.NodeID, relativeSpeed float64, servic
 		}
 	}
 	c.version.Add(1)
+	obs.Default().Gauge(obs.MEvaluatorsLive).Add(1)
+	c.bus.Publish("cluster", id, core.TopicMembership,
+		core.NodeEvent{Kind: "join", Node: id, Speed: relativeSpeed})
 	return nil
+}
+
+// KillNode crash-stops a machine: from this moment every message to or from
+// it fails with transport.NodeDownError, and any commit section it had not
+// entered never runs. The topology epoch advances (cached plans scheduled
+// onto the dead machine re-plan instead of hitting) and a "leave" event is
+// published on core.TopicMembership, which elastic sessions treat as an
+// authoritative failure diagnosis. Idempotent: killing a dead node is a
+// no-op.
+func (c *Cluster) KillNode(id simnet.NodeID) error {
+	node := c.net.Node(id)
+	if node == nil {
+		return fmt.Errorf("services: kill of unknown node %q", id)
+	}
+	if !node.Alive() {
+		return nil
+	}
+	node.Fail()
+	c.version.Add(1)
+	c.mu.Lock()
+	_, isCompute := c.services[id]
+	c.mu.Unlock()
+	if isCompute {
+		obs.Default().Gauge(obs.MEvaluatorsLive).Add(-1)
+	}
+	obs.Default().Timeline().Append(obs.Event{
+		Kind:   obs.KindMembership,
+		AtMs:   c.clock.NowMs(),
+		Node:   string(id),
+		Detail: "leave",
+	})
+	c.bus.Publish("cluster", id, core.TopicMembership, core.NodeEvent{Kind: "leave", Node: id})
+	return nil
+}
+
+// Alive reports whether a machine is registered and has not crash-stopped.
+func (c *Cluster) Alive(id simnet.NodeID) bool {
+	node := c.net.Node(id)
+	return node != nil && node.Alive()
 }
 
 // storeOf returns the data store hosted on a node (nil if none).

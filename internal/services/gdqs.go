@@ -62,7 +62,28 @@ type GDQSConfig struct {
 	// skipped when the plan cache serves the template, so it is what the
 	// serving layer's template reuse saves. 0 disables the charge.
 	PlanMs float64
+	// Elastic enables crash recovery and live membership: the engine runs
+	// its exactly-once commit protocol, sessions watch for evaluator death
+	// (peer-loss, heartbeats, membership events) and fail work over to
+	// survivors, and evaluators registered mid-query are admitted into
+	// running stateless fragments. Requires Adaptive (recovery deploys
+	// through the Responder) and forces serial fragment drivers.
+	Elastic bool
+	// HeartbeatEvery is the real-time interval between liveness probes of
+	// the evaluating machines (DefaultHeartbeatEvery when 0; elastic only).
+	HeartbeatEvery time.Duration
+	// HeartbeatMisses is how many consecutive probe failures diagnose a
+	// node as dead (DefaultHeartbeatMisses when 0). Unreachable-node errors
+	// are definitive and bypass the count.
+	HeartbeatMisses int
 }
+
+// Heartbeat defaults: probes are cheap one-message RPCs, so a short real-time
+// interval keeps detection latency well under typical query durations.
+const (
+	DefaultHeartbeatEvery  = 25 * time.Millisecond
+	DefaultHeartbeatMisses = 2
+)
 
 // DefaultGDQSConfig returns an adaptive configuration with the paper's
 // default parameters.
@@ -171,6 +192,10 @@ type QueryStats struct {
 	// ProgressFallbacks counts progress checks that used routing progress
 	// because no cardinality estimate was available.
 	ProgressFallbacks int64
+	// Failovers counts evaluator deaths this query recovered from, and
+	// NodesJoined counts evaluators admitted into it mid-flight.
+	Failovers   int64
+	NodesJoined int64
 	// Timeline records every Responder decision with timestamps.
 	Timeline []core.AdaptationEvent
 }

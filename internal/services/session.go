@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -33,7 +34,11 @@ import (
 //	└── result sink → collector goroutine
 type QuerySession struct {
 	cluster *Cluster
+	gdqs    *GDQS
 	plan    *physical.Plan
+	// elastic enables the recovery manager: failure detection, failover
+	// onto survivors, and live admission of joining evaluators.
+	elastic bool
 
 	// ctx is canceled when the query is done — by deadline, by external
 	// cancellation, or by the first fragment failure (recorded as the
@@ -43,11 +48,27 @@ type QuerySession struct {
 	// stopTimeout releases the deadline timer backing ctx.
 	stopTimeout context.CancelFunc
 
-	meds      []*core.MonitoringEventDetector
 	diagnoser *core.Diagnoser
 	responder *core.Responder
-	runtimes  map[string]*engine.FragmentRuntime
 	sink      *rowSink
+
+	// rtMu guards the mutable execution membership: the runtime map and MED
+	// list (live joins grow them), the active-driver counter (rtCond signals
+	// it reaching zero), and the set of diagnosed-dead machines.
+	rtMu     sync.Mutex
+	rtCond   *sync.Cond
+	active   int
+	runtimes map[string]*engine.FragmentRuntime
+	meds     []*core.MonitoringEventDetector
+	medNodes map[simnet.NodeID]bool
+	dead     map[simnet.NodeID]bool
+
+	// deadCh and joinCh feed the recovery goroutine; failovers/joined count
+	// completed membership changes for QueryStats.
+	deadCh    chan simnet.NodeID
+	joinCh    chan core.NodeEvent
+	failovers atomic.Int64
+	joined    atomic.Int64
 
 	failMu   sync.Mutex
 	firstErr error
@@ -65,22 +86,28 @@ func newQuerySession(ctx context.Context, g *GDQS, plan *physical.Plan) (*QueryS
 	sctx, stopTimeout := context.WithTimeout(runCtx, g.cfg.QueryTimeout)
 	s := &QuerySession{
 		cluster:     cluster,
+		gdqs:        g,
 		plan:        plan,
+		elastic:     g.cfg.Adaptive && g.cfg.Elastic,
 		ctx:         sctx,
 		cancel:      cancel,
 		stopTimeout: stopTimeout,
 		runtimes:    make(map[string]*engine.FragmentRuntime),
+		medNodes:    make(map[simnet.NodeID]bool),
+		dead:        make(map[simnet.NodeID]bool),
+		deadCh:      make(chan simnet.NodeID, 64),
+		joinCh:      make(chan core.NodeEvent, 64),
 		sink:        &rowSink{ch: make(chan relation.Tuple, 4096)},
 	}
+	s.rtCond = sync.NewCond(&s.rtMu)
 
 	// Adaptivity components: one MED per evaluating site, one Diagnoser
 	// and one Responder (paper §3.1), hosted at the coordinator.
 	if g.cfg.Adaptive {
-		seen := map[simnet.NodeID]bool{}
 		for _, frag := range plan.Fragments {
 			for _, node := range frag.Instances {
-				if !seen[node] {
-					seen[node] = true
+				if !s.medNodes[node] {
+					s.medNodes[node] = true
 					s.meds = append(s.meds, core.NewMED(sctx, cluster.bus, node, g.cfg.MED))
 				}
 			}
@@ -131,6 +158,13 @@ func newQuerySession(ctx context.Context, g *GDQS, plan *physical.Plan) (*QueryS
 				BufferTuples:    cluster.cfg.BufferTuples,
 				CheckpointEvery: cluster.cfg.CheckpointEvery,
 			}
+			if s.elastic {
+				// Recovery replays from the producer-side logs, so every
+				// exchange must run the checkpoint/ack protocol; peer-loss
+				// discoveries during flushes feed the failure detector.
+				cfg.FT = true
+				cfg.OnPeerDown = s.reportDead
+			}
 			if frag.Output == nil {
 				cfg.Sink = s.sink
 			}
@@ -141,6 +175,13 @@ func newQuerySession(ctx context.Context, g *GDQS, plan *physical.Plan) (*QueryS
 			}
 			s.runtimes[frag.InstanceID(i)] = rt
 		}
+	}
+
+	if s.elastic {
+		// Membership events are the authoritative failure/join source: the
+		// cluster publishes them at the instant of KillNode/AddComputeNode,
+		// ahead of any heartbeat or peer-loss discovery.
+		cluster.bus.SubscribeContext(sctx, "session", g.node, core.TopicMembership, s.onMembership)
 	}
 	return s, nil
 }
@@ -169,15 +210,16 @@ func (s *QuerySession) fail(op string, err error) {
 // closes, then reports the query's outcome: rows on success, or the typed
 // error for the first failure, the deadline, or an external cancellation.
 func (s *QuerySession) run() ([]relation.Tuple, error) {
-	var wg sync.WaitGroup
+	s.rtMu.Lock()
 	for id, rt := range s.runtimes {
-		wg.Add(1)
-		go func(id string, rt *engine.FragmentRuntime) {
-			defer wg.Done()
-			if err := rt.Run(s.ctx); err != nil {
-				s.fail("fragment "+id, err)
-			}
-		}(id, rt)
+		s.active++
+		go s.drive(id, rt)
+	}
+	s.rtMu.Unlock()
+
+	if s.elastic {
+		go s.recoveryLoop()
+		go s.heartbeatLoop()
 	}
 
 	var rows []relation.Tuple
@@ -192,7 +234,7 @@ func (s *QuerySession) run() ([]relation.Tuple, error) {
 	// No timeout select here: the deadline lives on s.ctx, whose
 	// cancellation interrupts every driver — including ones blocked in
 	// consumer waits or paused exchanges — so waiting for them is bounded.
-	wg.Wait()
+	s.waitDrivers()
 	sinkErr := s.sink.Close()
 	<-collectDone
 
@@ -221,10 +263,20 @@ func (s *QuerySession) Close() {
 	s.closeOnce.Do(func() {
 		s.cancel(nil)
 		s.stopTimeout()
+		// Snapshot under rtMu: a live join may still be committing a new
+		// runtime (its commit path re-checks ctx under the same lock, so
+		// nothing is added after this point).
+		s.rtMu.Lock()
+		rts := make([]*engine.FragmentRuntime, 0, len(s.runtimes))
 		for _, rt := range s.runtimes {
+			rts = append(rts, rt)
+		}
+		meds := append([]*core.MonitoringEventDetector(nil), s.meds...)
+		s.rtMu.Unlock()
+		for _, rt := range rts {
 			rt.Stop()
 		}
-		for _, m := range s.meds {
+		for _, m := range meds {
 			m.Stop()
 		}
 		if s.diagnoser != nil {
@@ -245,10 +297,15 @@ func (s *QuerySession) stats(responseMs float64, rows int) QueryStats {
 		Plan:               s.plan,
 		ConsumedByInstance: make(map[string]int64),
 	}
+	st.Failovers = s.failovers.Load()
+	st.NodesJoined = s.joined.Load()
+	s.rtMu.Lock()
 	for id, rt := range s.runtimes {
 		st.ConsumedByInstance[id] = rt.ConsumedTuples()
 	}
-	for _, m := range s.meds {
+	meds := append([]*core.MonitoringEventDetector(nil), s.meds...)
+	s.rtMu.Unlock()
+	for _, m := range meds {
 		raw, notif := m.Stats()
 		st.RawEvents += raw
 		st.MEDNotifications += notif

@@ -13,6 +13,7 @@ package simnet
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/vtime"
 )
@@ -28,6 +29,16 @@ type Node struct {
 	mu        sync.Mutex
 	perturb   vtime.Perturbation
 	workIndex int
+
+	// down marks a fail-stopped node. commitMu serialises failure against
+	// commit sections (Atomically), giving the simulation fail-stop
+	// semantics at commit granularity: a crash never lands between the two
+	// halves of a flush-outputs-then-ack-inputs exchange commit, which is
+	// the invariant the elastic recovery protocol's exactly-once guarantee
+	// rests on (DESIGN.md §5h documents this as the simulated failure
+	// model; a real TCP deployment narrows but does not close that window).
+	down     atomic.Bool
+	commitMu sync.Mutex
 }
 
 // NewNode returns an unperturbed node.
@@ -99,6 +110,33 @@ func (n *Node) PerturbedCostBatch(baseMs []float64) float64 {
 		total += p.Apply(base, i+k)
 	}
 	return total
+}
+
+// Alive reports whether the node has not fail-stopped.
+func (n *Node) Alive() bool { return !n.down.Load() }
+
+// Fail crash-stops the node. It waits for any in-flight commit section
+// (Atomically) to finish, so a simulated crash is atomic with respect to
+// exchange commits. Failure is one-way: a machine that returns to the Grid
+// re-registers under a fresh identity.
+func (n *Node) Fail() {
+	n.commitMu.Lock()
+	n.down.Store(true)
+	n.commitMu.Unlock()
+}
+
+// Atomically runs fn as a commit section: fn executes only if the node is
+// alive, and a concurrent Fail is held off until fn returns. It reports
+// whether fn ran. Keep commit sections short — they serialise with node
+// failure, not with each other's work.
+func (n *Node) Atomically(fn func()) bool {
+	n.commitMu.Lock()
+	defer n.commitMu.Unlock()
+	if n.down.Load() {
+		return false
+	}
+	fn()
+	return true
 }
 
 // Link models a directed network path between two nodes.

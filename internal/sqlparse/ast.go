@@ -18,6 +18,7 @@ type ColumnRef struct {
 	Name  string
 }
 
+// SQL renders the reference in SQL syntax.
 func (c ColumnRef) SQL() string {
 	if c.Table == "" {
 		return c.Name
@@ -29,18 +30,21 @@ func (ColumnRef) exprNode() {}
 // IntLit is an integer literal.
 type IntLit struct{ Value int64 }
 
+// SQL renders the literal in SQL syntax.
 func (l IntLit) SQL() string { return fmt.Sprintf("%d", l.Value) }
 func (IntLit) exprNode()     {}
 
 // FloatLit is a floating-point literal.
 type FloatLit struct{ Value float64 }
 
+// SQL renders the literal in SQL syntax.
 func (l FloatLit) SQL() string { return fmt.Sprintf("%g", l.Value) }
 func (FloatLit) exprNode()     {}
 
 // StringLit is a string literal.
 type StringLit struct{ Value string }
 
+// SQL renders the literal in SQL syntax, escaping embedded quotes.
 func (l StringLit) SQL() string {
 	return "'" + strings.ReplaceAll(l.Value, "'", "''") + "'"
 }
@@ -100,6 +104,7 @@ type FuncCall struct {
 	Args []Expr
 }
 
+// SQL renders the call in SQL syntax.
 func (f FuncCall) SQL() string {
 	args := make([]string, len(f.Args))
 	for i, a := range f.Args {
@@ -112,6 +117,7 @@ func (FuncCall) exprNode() {}
 // Star is the bare `*` select item.
 type Star struct{}
 
+// SQL renders the star item.
 func (Star) SQL() string { return "*" }
 func (Star) exprNode()   {}
 

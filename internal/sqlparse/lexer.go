@@ -62,6 +62,7 @@ type Error struct {
 	Msg string
 }
 
+// Error formats the parse error with its byte offset.
 func (e *Error) Error() string {
 	return fmt.Sprintf("sql: %s (at offset %d)", e.Msg, e.Pos)
 }

@@ -7,6 +7,7 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -193,6 +194,34 @@ const (
 	// CtrlProgress asks a producer for its routed count and the
 	// optimiser's cardinality estimate, for progress estimation.
 	CtrlProgress
+	// CtrlReplayLost asks a producer to re-route every logged-but-unacked
+	// tuple of a dead consumer instance (Peer) onto the surviving
+	// instances under the current policy, then detach that instance
+	// (elastic failover of a stateless exchange).
+	CtrlReplayLost
+	// CtrlDetachConsumer asks a producer to stop addressing a dead
+	// consumer instance (Peer): no further flushes, checkpoints, or EOS to
+	// it. Used on stateful exchanges after CtrlReplay has migrated the
+	// dead instance's buckets.
+	CtrlDetachConsumer
+	// CtrlDetach tells a consumer that producer instance Peer is dead and
+	// will never send EOS; the stream is closed synthetically. Queued
+	// tuples from the dead producer stay valid — they derive from inputs
+	// the dead instance had acknowledged, so dropping them would lose
+	// rows.
+	CtrlDetach
+	// CtrlAttach asks a producer to add a new consumer instance (live
+	// join): PeerNode/PeerService address it, Weights is the extended
+	// distribution vector including the newcomer.
+	CtrlAttach
+	// CtrlExpectProducer tells a consumer to expect data from a new
+	// producer instance at PeerNode/PeerService (live join of the
+	// upstream fragment).
+	CtrlExpectProducer
+	// CtrlPing is a liveness probe; the endpoint replies OK. Heartbeat
+	// probing sends it one-way and relies on the transport-level
+	// reachability error for failure detection.
+	CtrlPing
 )
 
 // String names the operation.
@@ -216,6 +245,18 @@ func (o CtrlOp) String() string {
 		return "resend"
 	case CtrlProgress:
 		return "progress"
+	case CtrlReplayLost:
+		return "replay-lost"
+	case CtrlDetachConsumer:
+		return "detach-consumer"
+	case CtrlDetach:
+		return "detach"
+	case CtrlAttach:
+		return "attach"
+	case CtrlExpectProducer:
+		return "expect-producer"
+	case CtrlPing:
+		return "ping"
 	default:
 		return "invalid"
 	}
@@ -235,6 +276,13 @@ type Ctrl struct {
 	Buckets   []int32
 	Seqs      []int64
 	Epoch     int
+	// Peer is the instance index the membership operation targets
+	// (CtrlReplayLost, CtrlDetachConsumer, CtrlDetach); PeerNode and
+	// PeerService address a newly joined instance (CtrlAttach,
+	// CtrlExpectProducer).
+	Peer        int
+	PeerNode    simnet.NodeID
+	PeerService string
 
 	// Reply payload.
 	OK  bool
@@ -263,6 +311,26 @@ func ParseStreamKey(key string) (exchange string, producerIdx int, err error) {
 	}
 	return key[:i], idx, nil
 }
+
+// NodeDownError reports that a message could not be delivered because a
+// machine has crash-stopped or become unreachable. It is the typed signal
+// the elastic recovery path keys on: fault-tolerant producers treat it as
+// "peer died" rather than a query-fatal transport fault, and the session's
+// recovery manager uses Node to decide which evaluator to fail over.
+type NodeDownError struct {
+	Node simnet.NodeID
+}
+
+// Error implements error.
+func (e *NodeDownError) Error() string {
+	return fmt.Sprintf("transport: node %q is down", e.Node)
+}
+
+// Is lets errors.Is(err, ErrNodeDown) match any NodeDownError.
+func (e *NodeDownError) Is(target error) bool { return target == ErrNodeDown }
+
+// ErrNodeDown is the errors.Is target for NodeDownError.
+var ErrNodeDown = errors.New("transport: node down")
 
 // Handler consumes messages delivered to a registered service. Handlers
 // must be quick (enqueue and return): they run on the sender's goroutine in

@@ -36,6 +36,7 @@ type Multiplier float64
 // Apply implements Perturbation.
 func (m Multiplier) Apply(base float64, _ int) float64 { return base * float64(m) }
 
+// String renders the perturbation in the syntax Parse accepts.
 func (m Multiplier) String() string { return fmt.Sprintf("x%g", float64(m)) }
 
 // Sleep perturbs work by inserting a fixed extra cost before each unit,
@@ -46,6 +47,7 @@ type Sleep float64
 // Apply implements Perturbation.
 func (s Sleep) Apply(base float64, _ int) float64 { return base + float64(s) }
 
+// String renders the perturbation in the syntax Parse accepts.
 func (s Sleep) String() string { return fmt.Sprintf("sleep(%gms)", float64(s)) }
 
 // NormalMultiplier varies the multiplier per work unit in a normally
@@ -84,6 +86,7 @@ func (n *NormalMultiplier) Apply(base float64, _ int) float64 {
 	return base * k
 }
 
+// String renders the perturbation for logs.
 func (n *NormalMultiplier) String() string {
 	return fmt.Sprintf("normal[%g,%g]", n.lo, n.hi)
 }
@@ -105,6 +108,7 @@ func (s Step) Apply(base float64, i int) float64 {
 	return s.After.Apply(base, i-s.At)
 }
 
+// String renders the perturbation for logs.
 func (s Step) String() string {
 	return fmt.Sprintf("step@%d(%s->%s)", s.At, s.Before, s.After)
 }
