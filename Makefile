@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: check vet doclint build test race chaos bench benchgate micro serve servegate experiments fuzz
+.PHONY: check vet doclint build test race chaos lowmem bench benchgate micro serve servegate experiments fuzz
 
 ## check: the full tier-1 gate — vet, the doc-comment lint, build, the test
-## suite under -race, the chaos (kill/join) suite, the benchmark regression
-## gate, and the sustained-load serving gate (SKIP_BENCH_GATE=1 skips both
-## gates on noisy runners).
-check: vet doclint build race chaos benchgate servegate
+## suite under -race, the chaos (kill/join) suite, the low-memory suite, the
+## benchmark regression gate, and the sustained-load serving gate
+## (SKIP_BENCH_GATE=1 skips both gates on noisy runners).
+check: vet doclint build race chaos lowmem benchgate servegate
 
 vet:
 	$(GO) vet ./...
@@ -28,6 +28,12 @@ race:
 ## mid-query under the race detector, twice, asserting exact results.
 chaos:
 	$(GO) test ./internal/chaos/ -race -count=2
+
+## lowmem: the services and chaos suites with a 64KiB per-query memory
+## budget forced on every coordinator (GRIDDQP_FORCE_MEM_BUDGET), so every
+## stateful query in the suites exercises the grace-hash spill path.
+lowmem:
+	GRIDDQP_FORCE_MEM_BUDGET=65536 $(GO) test ./internal/services/ ./internal/chaos/ -count=1
 
 ## bench: the engine micro-benchmarks (codec, producer, volcano vs batch).
 bench:

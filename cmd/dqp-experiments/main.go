@@ -51,8 +51,12 @@ func main() {
 	duration := flag.Duration("duration", 2*time.Second, "load duration per -serve run")
 	parallel := flag.Int("parallel", 0, "morsel worker-pool width per fragment driver (0/1 serial, negative = GOMAXPROCS)")
 	metrics := flag.String("metrics", "", "HTTP listen address for /metrics and /timeline while the suite runs (e.g. :9090; empty disables)")
+	memBudget := flag.Int64("mem-budget", 0, "per-query stateful-operator memory budget in bytes; operators spill past it (0 unbudgeted)")
+	spillDir := flag.String("spill-dir", "", "directory for posix spill runs (empty spills to memory)")
 	flag.Parse()
 	exp.DefaultParallelism = *parallel
+	exp.DefaultMemoryBudget = *memBudget
+	exp.DefaultSpillDir = *spillDir
 
 	if *metrics != "" {
 		srv, bound, err := obs.Serve(*metrics, obs.Default())

@@ -51,6 +51,8 @@ func main() {
 		trace        = flag.Bool("trace", false, "print the adaptation timeline")
 		metrics      = flag.String("metrics", "", "HTTP listen address for /metrics and /timeline during the run (e.g. :9090; empty disables)")
 		elastic      = flag.Bool("elastic", false, "enable crash recovery and live membership (implies -adaptive)")
+		memBudget    = flag.Int64("mem-budget", 0, "per-query stateful-operator memory budget in bytes; joins/aggregates/sorts spill past it (0 unbudgeted)")
+		spillDir     = flag.String("spill-dir", "", "directory for posix spill runs (empty spills to memory)")
 		perturbs     multiFlag
 		kills        multiFlag
 		adds         multiFlag
@@ -95,6 +97,12 @@ func main() {
 	var opts []repro.CoordinatorOption
 	if *parallel != 0 {
 		opts = append(opts, repro.Parallel(*parallel))
+	}
+	if *memBudget != 0 {
+		opts = append(opts, repro.MemoryBudget(*memBudget))
+	}
+	if *spillDir != "" {
+		opts = append(opts, repro.SpillDir(*spillDir))
 	}
 	if *adaptive || *elastic {
 		opts = append(opts, repro.Adaptive())

@@ -185,7 +185,7 @@ type CoordinatorOption func(*services.GDQSConfig)
 
 // Adaptive enables the AQP components with the paper's default parameters.
 // Options that tune orthogonal knobs (QueryTimeout, Parallel, Elastic,
-// Heartbeat) survive in either order.
+// Heartbeat, MemoryBudget, SpillDir) survive in either order.
 func Adaptive() CoordinatorOption {
 	return func(c *services.GDQSConfig) {
 		def := services.DefaultGDQSConfig()
@@ -194,6 +194,8 @@ func Adaptive() CoordinatorOption {
 		def.Elastic = c.Elastic
 		def.HeartbeatEvery = c.HeartbeatEvery
 		def.HeartbeatMisses = c.HeartbeatMisses
+		def.MemoryBudgetBytes = c.MemoryBudgetBytes
+		def.SpillDir = c.SpillDir
 		*c = def
 	}
 }
@@ -284,6 +286,23 @@ func MaxConcurrentQueries(n, queueCap int) CoordinatorOption {
 // failing with ErrTimeout (0: bounded only by the query's context).
 func QueueTimeout(d time.Duration) CoordinatorOption {
 	return func(c *services.GDQSConfig) { c.QueueTimeout = d }
+}
+
+// MemoryBudget caps each query's stateful-operator memory in bytes: hash
+// joins and aggregates grace-hash-spill partitions to the coordinator's
+// storage backend when the budget is breached, and sorts switch to external
+// merge runs. Results are unchanged (joins and aggregates are order-free
+// multisets); only memory use and speed differ. 0 disables budgeting; see
+// also Coordinator.SetMemoryBudget and the GRIDDQP_FORCE_MEM_BUDGET
+// environment override.
+func MemoryBudget(bytes int64) CoordinatorOption {
+	return func(c *services.GDQSConfig) { c.MemoryBudgetBytes = bytes }
+}
+
+// SpillDir roots spill runs (and therefore larger-than-memory query state)
+// in a posix directory instead of the default in-memory backend.
+func SpillDir(dir string) CoordinatorOption {
+	return func(c *services.GDQSConfig) { c.SpillDir = dir }
 }
 
 // Typed query-failure sentinels, re-exported from the internal error layer
@@ -401,6 +420,13 @@ type PlanCacheStats = plancache.Stats
 // PlanCacheStats reports how the coordinator's plan cache is doing.
 func (c *Coordinator) PlanCacheStats() PlanCacheStats {
 	return c.gdqs.PlanCacheStats()
+}
+
+// SetMemoryBudget retunes the per-query memory budget (bytes; 0 disables
+// budgeting) on a live coordinator. Queries admitted after the call run
+// under the new budget; running queries keep the one they started with.
+func (c *Coordinator) SetMemoryBudget(bytes int64) {
+	c.gdqs.SetMemoryBudget(bytes)
 }
 
 // MetricsHandler serves the process-wide observability layer over HTTP:

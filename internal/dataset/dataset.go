@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"repro/internal/relation"
+	"repro/internal/storage"
 )
 
 // Default cardinalities from the paper (§3.2): Q1 retrieves 3000 sequence
@@ -35,19 +36,36 @@ const (
 // aminoAcids is the 20-letter residue alphabet.
 const aminoAcids = "ACDEFGHIKLMNPQRSTVWY"
 
-// Table is an immutable named relation.
+// Table is an immutable named relation: either an in-memory tuple slice or
+// a reference to a sealed storage run (see source.go). Streaming consumers
+// use Rows(); only the in-memory fast paths touch Tuples directly.
 type Table struct {
 	Name   string
 	Schema *relation.Schema
+	// Tuples is the in-memory representation; nil for stored tables.
 	Tuples []relation.Tuple
+
+	// Stored-table fields (see NewStoredTable).
+	backend  storage.Backend
+	run      string
+	card     int
+	avgBytes int
 }
 
 // Cardinality returns the number of tuples.
-func (t *Table) Cardinality() int { return len(t.Tuples) }
+func (t *Table) Cardinality() int {
+	if t.backend != nil {
+		return t.card
+	}
+	return len(t.Tuples)
+}
 
 // AvgTupleBytes returns the mean wire size of the table's tuples, used by
 // the optimiser's cost model.
 func (t *Table) AvgTupleBytes() int {
+	if t.backend != nil {
+		return t.avgBytes
+	}
 	if len(t.Tuples) == 0 {
 		return 0
 	}
@@ -61,17 +79,28 @@ func (t *Table) AvgTupleBytes() int {
 // orfName formats the i-th open-reading-frame identifier.
 func orfName(i int) string { return fmt.Sprintf("YAL%05dC", i) }
 
-// ProteinSequences generates the protein_sequences table with n tuples:
-// (ORF VARCHAR, sequence VARCHAR). Generation is deterministic in (n, seed).
-func ProteinSequences(n int, seed int64) *Table {
-	rng := rand.New(rand.NewSource(seed))
-	schema := relation.NewSchema(
+// sequencesSchema returns the protein_sequences schema.
+func sequencesSchema() *relation.Schema {
+	return relation.NewSchema(
 		relation.Column{Table: "protein_sequences", Name: "ORF", Type: relation.TString},
 		relation.Column{Table: "protein_sequences", Name: "sequence", Type: relation.TString},
 	)
-	tuples := make([]relation.Tuple, n)
+}
+
+// interactionsSchema returns the protein_interactions schema.
+func interactionsSchema() *relation.Schema {
+	return relation.NewSchema(
+		relation.Column{Table: "protein_interactions", Name: "ORF1", Type: relation.TString},
+		relation.Column{Table: "protein_interactions", Name: "ORF2", Type: relation.TString},
+	)
+}
+
+// sequencesGen returns the row generator behind ProteinSequences. Rows must
+// be requested in index order (the RNG stream is sequential).
+func sequencesGen(seed int64) func(i int) relation.Tuple {
+	rng := rand.New(rand.NewSource(seed))
 	var b strings.Builder
-	for i := 0; i < n; i++ {
+	return func(i int) relation.Tuple {
 		b.Reset()
 		b.Grow(SequenceLength)
 		// Real protein sequences start with methionine.
@@ -79,12 +108,37 @@ func ProteinSequences(n int, seed int64) *Table {
 		for j := 1; j < SequenceLength; j++ {
 			b.WriteByte(aminoAcids[rng.Intn(len(aminoAcids))])
 		}
-		tuples[i] = relation.Tuple{
+		return relation.Tuple{
 			relation.String(orfName(i)),
 			relation.String(b.String()),
 		}
 	}
-	return &Table{Name: "protein_sequences", Schema: schema, Tuples: tuples}
+}
+
+// interactionsGen returns the row generator behind ProteinInteractions.
+func interactionsGen(seqCount int, seed int64) func(i int) relation.Tuple {
+	rng := rand.New(rand.NewSource(seed + 1))
+	return func(int) relation.Tuple {
+		return relation.Tuple{
+			relation.String(orfName(rng.Intn(seqCount))),
+			relation.String(orfName(rng.Intn(seqCount))),
+		}
+	}
+}
+
+// materialize builds an in-memory table from a row generator.
+func materialize(name string, schema *relation.Schema, n int, gen func(i int) relation.Tuple) *Table {
+	tuples := make([]relation.Tuple, n)
+	for i := 0; i < n; i++ {
+		tuples[i] = gen(i)
+	}
+	return &Table{Name: name, Schema: schema, Tuples: tuples}
+}
+
+// ProteinSequences generates the protein_sequences table with n tuples:
+// (ORF VARCHAR, sequence VARCHAR). Generation is deterministic in (n, seed).
+func ProteinSequences(n int, seed int64) *Table {
+	return materialize("protein_sequences", sequencesSchema(), n, sequencesGen(seed))
 }
 
 // ProteinInteractions generates the protein_interactions table with n tuples
@@ -92,19 +146,7 @@ func ProteinSequences(n int, seed int64) *Table {
 // seqCount sequence ORFs so that the Q2 equi-join on i.ORF1 = p.ORF matches;
 // ORF2 is an arbitrary partner. Deterministic in (n, seqCount, seed).
 func ProteinInteractions(n, seqCount int, seed int64) *Table {
-	rng := rand.New(rand.NewSource(seed + 1))
-	schema := relation.NewSchema(
-		relation.Column{Table: "protein_interactions", Name: "ORF1", Type: relation.TString},
-		relation.Column{Table: "protein_interactions", Name: "ORF2", Type: relation.TString},
-	)
-	tuples := make([]relation.Tuple, n)
-	for i := 0; i < n; i++ {
-		tuples[i] = relation.Tuple{
-			relation.String(orfName(rng.Intn(seqCount))),
-			relation.String(orfName(rng.Intn(seqCount))),
-		}
-	}
-	return &Table{Name: "protein_interactions", Schema: schema, Tuples: tuples}
+	return materialize("protein_interactions", interactionsSchema(), n, interactionsGen(seqCount, seed))
 }
 
 // ProteinInteractionsZipf generates protein_interactions with a Zipf-skewed
@@ -116,18 +158,12 @@ func ProteinInteractions(n, seqCount int, seed int64) *Table {
 func ProteinInteractionsZipf(n, seqCount int, s float64, seed int64) *Table {
 	rng := rand.New(rand.NewSource(seed + 2))
 	zipf := rand.NewZipf(rng, s, 1, uint64(seqCount-1))
-	schema := relation.NewSchema(
-		relation.Column{Table: "protein_interactions", Name: "ORF1", Type: relation.TString},
-		relation.Column{Table: "protein_interactions", Name: "ORF2", Type: relation.TString},
-	)
-	tuples := make([]relation.Tuple, n)
-	for i := 0; i < n; i++ {
-		tuples[i] = relation.Tuple{
+	return materialize("protein_interactions", interactionsSchema(), n, func(int) relation.Tuple {
+		return relation.Tuple{
 			relation.String(orfName(int(zipf.Uint64()))),
 			relation.String(orfName(rng.Intn(seqCount))),
 		}
-	}
-	return &Table{Name: "protein_interactions", Schema: schema, Tuples: tuples}
+	})
 }
 
 // Demo builds the standard demo database at the paper's cardinalities.

@@ -1,0 +1,111 @@
+// Streaming table sources: tables no longer have to materialise their
+// tuples in memory. A Table either holds an in-memory tuple slice (the
+// classic path, preserved untouched for the paper-scale demo database) or
+// points at a sealed storage run, in which case scans stream it tuple at a
+// time and generators can write tables far larger than memory directly to a
+// posix backend.
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+	"repro/internal/storage"
+)
+
+// Cursor streams a table's tuples in storage order. Cursors are
+// single-goroutine objects; Close releases the underlying reader.
+type Cursor interface {
+	Next() (t relation.Tuple, ok bool, err error)
+	Close() error
+}
+
+// sliceCursor walks an in-memory tuple slice.
+type sliceCursor struct {
+	tuples []relation.Tuple
+	pos    int
+}
+
+func (c *sliceCursor) Next() (relation.Tuple, bool, error) {
+	if c.pos >= len(c.tuples) {
+		return nil, false, nil
+	}
+	t := c.tuples[c.pos]
+	c.pos++
+	return t, true, nil
+}
+
+func (c *sliceCursor) Close() error { return nil }
+
+// runCursor streams a stored table's run.
+type runCursor struct {
+	r storage.RunReader
+}
+
+func (c *runCursor) Next() (relation.Tuple, bool, error) { return c.r.Next() }
+func (c *runCursor) Close() error                        { return c.r.Close() }
+
+// Stored reports whether the table's tuples live in a storage run rather
+// than in memory.
+func (t *Table) Stored() bool { return t.backend != nil }
+
+// Rows returns a cursor over the table in storage order.
+func (t *Table) Rows() (Cursor, error) {
+	if t.backend == nil {
+		return &sliceCursor{tuples: t.Tuples}, nil
+	}
+	r, err := t.backend.Open(t.run)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: open stored table %q: %w", t.Name, err)
+	}
+	return &runCursor{r: r}, nil
+}
+
+// NewStoredTable wraps an already written, sealed run as a table. card and
+// avgBytes feed the catalog statistics the optimiser reads.
+func NewStoredTable(name string, schema *relation.Schema, backend storage.Backend, run string, card int, avgBytes int) *Table {
+	return &Table{Name: name, Schema: schema, backend: backend, run: run, card: card, avgBytes: avgBytes}
+}
+
+// writeRows streams rows produced by gen into a backend run and returns the
+// stored table. Nothing is materialised: memory use is one tuple plus the
+// writer's block buffer regardless of n.
+func writeRows(backend storage.Backend, run string, name string, schema *relation.Schema, n int, gen func(i int) relation.Tuple) (*Table, error) {
+	w, err := backend.Create(run)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: create table run: %w", err)
+	}
+	for i := 0; i < n; i++ {
+		if err := w.Append(gen(i)); err != nil {
+			_ = w.Close()
+			_ = backend.Remove(run)
+			return nil, fmt.Errorf("dataset: write table run: %w", err)
+		}
+	}
+	bytes := w.Bytes()
+	if err := w.Close(); err != nil {
+		_ = backend.Remove(run)
+		return nil, fmt.Errorf("dataset: seal table run: %w", err)
+	}
+	avg := 0
+	if n > 0 {
+		avg = int(bytes) / n
+	}
+	return NewStoredTable(name, schema, backend, run, n, avg), nil
+}
+
+// WriteProteinSequences generates protein_sequences straight into a backend
+// run — the path for tables larger than memory. Deterministic in (n, seed)
+// and tuple-for-tuple identical to ProteinSequences.
+func WriteProteinSequences(backend storage.Backend, run string, n int, seed int64) (*Table, error) {
+	gen := sequencesGen(seed)
+	return writeRows(backend, run, "protein_sequences", sequencesSchema(), n, gen)
+}
+
+// WriteProteinInteractions generates protein_interactions straight into a
+// backend run. Deterministic in (n, seqCount, seed) and tuple-for-tuple
+// identical to ProteinInteractions.
+func WriteProteinInteractions(backend storage.Backend, run string, n, seqCount int, seed int64) (*Table, error) {
+	gen := interactionsGen(seqCount, seed)
+	return writeRows(backend, run, "protein_interactions", interactionsSchema(), n, gen)
+}

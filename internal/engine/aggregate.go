@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/logical"
 	"repro/internal/relation"
+	"repro/internal/storage"
 )
 
 // HashAggregate groups its input by key columns and computes aggregates per
@@ -74,6 +75,28 @@ type aggState struct {
 	partials []*aggPartial
 	out      []relation.Tuple
 	pos      int
+
+	// Spill wiring (serial aggregates under a memory budget only; see
+	// spillagg.go). On breach every group — shared and partial — is dumped
+	// as a partial-aggregate record to one append-only run and the tables
+	// restart empty; the final merge reloads and re-merges the run.
+	spillOn bool
+	mem     *storage.Budget
+	backend storage.Backend
+	base    string
+	met     spillMetrics
+	// bytes is the accounted in-memory group footprint. Atomic because
+	// groups are created under either s.mu (replays, merge) or a partial's
+	// mu (absorb), never both.
+	bytes atomic.Int64
+
+	// Guarded by mu: the dump run and its R1 bookkeeping.
+	run       storage.RunWriter
+	runName   string
+	recCount  int64           // records appended to the run
+	evictedAt map[int32]int64 // bucket → record watermark at eviction
+	spillLive map[int32]int64 // live (unevicted) dumped records per bucket
+	mergeErr  error           // reload failure, surfaced by drain
 }
 
 func newAggState() *aggState {
@@ -93,6 +116,13 @@ func (s *aggState) init(ctx *ExecContext) {
 		s.state = make(map[int32]map[uint64][]*groupState)
 		s.insertMeter = newOpInsertMeter(ctx)
 		s.mon = newOpMonitor(ctx)
+		if ctx.spillEnabled() && s.refs.Load() == 1 {
+			s.spillOn = true
+			s.mem = ctx.Mem
+			s.backend = ctx.Spill
+			s.base = ctx.spillRunName("agg")
+			s.met = newSpillMetrics()
+		}
 		s.ready.Store(true)
 	})
 }
@@ -102,6 +132,15 @@ func (s *aggState) release() {
 		return
 	}
 	s.mu.Lock()
+	if s.run != nil {
+		_ = s.run.Close()
+		s.run = nil
+	}
+	if s.runName != "" {
+		_ = s.backend.Remove(s.runName)
+		s.runName = ""
+	}
+	s.mem.Release(s.bytes.Swap(0))
 	s.state = nil
 	s.out = nil
 	s.mu.Unlock()
@@ -203,6 +242,12 @@ func (a *HashAggregate) drain() error {
 		return err
 	}
 	s.mergeOnce.Do(func() { s.mergeAndFreeze(a) })
+	s.mu.Lock()
+	mergeErr := s.mergeErr
+	s.mu.Unlock()
+	if mergeErr != nil {
+		return mergeErr
+	}
 	a.emitting = true
 	return nil
 }
@@ -241,6 +286,13 @@ func (a *HashAggregate) drainChild() error {
 			}
 		}
 		a.part.mu.Unlock()
+		// Breach check outside the partial lock: dump takes s.mu then the
+		// partial locks, the same order the final merge uses.
+		if s.spillOn && s.mem.Over() {
+			if err := s.dump(a); err != nil {
+				return err
+			}
+		}
 		// Each worker attributes its own meter's delta for the batch; the
 		// shared monitor merges the windows into one M1 stream.
 		cur := a.ctx.Meter.ChargedMs()
@@ -351,6 +403,7 @@ func findOrCreateGroup(state map[int32]map[uint64][]*groupState, b int32, h uint
 	}
 	g := &groupState{key: t.Project(a.GroupOrds), accs: make([]accumulator, len(a.Kinds))}
 	m[h] = append(m[h], g)
+	a.shared.accountGroup(g)
 	return g
 }
 
@@ -394,6 +447,15 @@ func (s *aggState) mergeAndFreeze(a *HashAggregate) {
 		p.state = nil // absorbed into the shared table
 		p.mu.Unlock()
 	}
+	if s.runName != "" {
+		// Dumped partial-aggregate records re-merge into the freshly merged
+		// in-memory table; the distinct result groups this materialises are
+		// exactly what the emit buffer holds anyway (see spillagg.go).
+		if err := s.reloadLocked(a); err != nil {
+			s.mergeErr = err
+			return
+		}
+	}
 	s.freezeLocked(a)
 }
 
@@ -412,6 +474,7 @@ func (s *aggState) findOrCreateMergedLocked(b int32, h uint64, key relation.Tupl
 	}
 	g := &groupState{key: key, accs: make([]accumulator, nAccs)}
 	m[h] = append(m[h], g)
+	s.accountGroup(g)
 	return g
 }
 
@@ -522,6 +585,17 @@ func (a *HashAggregate) EvictBuckets(buckets []int32) {
 			delete(s.state, b)
 		}
 	}
+	if s.spillOn && s.runName != "" {
+		// Dumped records of the bucket die at the current watermark; groups
+		// replayed afterwards are dumped beyond it and survive the reload.
+		if s.evictedAt == nil {
+			s.evictedAt = make(map[int32]int64)
+		}
+		for _, b := range buckets {
+			s.evictedAt[b] = s.recCount
+			delete(s.spillLive, b)
+		}
+	}
 	partials := append([]*aggPartial(nil), s.partials...)
 	s.mu.Unlock()
 	for _, p := range partials {
@@ -549,6 +623,11 @@ func (a *HashAggregate) StateSize() int {
 			n += len(chain)
 		}
 	}
+	// Dumped records count as held state (an upper bound: a group dumped
+	// twice counts twice until the reload re-merges it).
+	for _, c := range s.spillLive {
+		n += int(c)
+	}
 	partials := append([]*aggPartial(nil), s.partials...)
 	s.mu.Unlock()
 	for _, p := range partials {
@@ -563,8 +642,11 @@ func (a *HashAggregate) StateSize() int {
 	return n
 }
 
-// Sort buffers its entire input, sorts it by the key ordinals, and emits in
-// order. It runs at the result-collection site.
+// Sort buffers its input, sorts it by the key ordinals, and emits in order.
+// It runs at the result-collection site. Under a memory budget the buffer is
+// accounted and, on breach, flushed as a sorted external run; the emit phase
+// then k-way-merges the runs with the in-memory tail (see spillagg.go),
+// byte-for-byte equivalent to the in-memory stable sort.
 type Sort struct {
 	Child Iterator
 	Ords  []int
@@ -574,6 +656,13 @@ type Sort struct {
 	sorted []relation.Tuple
 	pos    int
 	done   bool
+
+	// External-sort state (see spillagg.go).
+	base     string
+	met      spillMetrics
+	runs     []string
+	bufBytes int64
+	merge    []*sortSource
 }
 
 // Open implements Iterator.
@@ -585,6 +674,7 @@ func (s *Sort) Open(ctx *ExecContext) error {
 // Next implements Iterator.
 func (s *Sort) Next() (relation.Tuple, bool, error) {
 	if !s.done {
+		spill := s.ctx.spillEnabled()
 		for {
 			t, ok, err := s.Child.Next()
 			if err != nil {
@@ -595,9 +685,28 @@ func (s *Sort) Next() (relation.Tuple, bool, error) {
 			}
 			s.ctx.chargeFlat(s.ctx.Costs.SortMs)
 			s.sorted = append(s.sorted, t)
+			if spill {
+				sz := sortTupleBytes(t)
+				s.bufBytes += sz
+				s.ctx.Mem.Reserve(sz)
+				if s.ctx.Mem.Over() {
+					if err := s.flushRun(); err != nil {
+						return nil, false, err
+					}
+				}
+			}
 		}
-		sort.SliceStable(s.sorted, func(i, j int) bool { return s.less(s.sorted[i], s.sorted[j]) })
+		if len(s.runs) > 0 {
+			if err := s.startMerge(); err != nil {
+				return nil, false, err
+			}
+		} else {
+			sortBuffer(s)
+		}
 		s.done = true
+	}
+	if s.merge != nil {
+		return s.mergeNext()
 	}
 	if s.pos >= len(s.sorted) {
 		return nil, false, nil
@@ -622,6 +731,9 @@ func (s *Sort) less(a, b relation.Tuple) bool {
 
 // Close implements Iterator.
 func (s *Sort) Close() error {
+	if s.ctx != nil && (len(s.runs) > 0 || s.merge != nil || s.bufBytes > 0) {
+		s.closeSpill()
+	}
 	s.sorted = nil
 	return s.Child.Close()
 }

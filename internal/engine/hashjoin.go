@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/relation"
+	"repro/internal/storage"
 )
 
 // StateTarget is implemented by stateful operators whose state is organised
@@ -49,6 +50,21 @@ type joinPart struct {
 	entries []joinEntry
 	chains  map[int32]map[uint64]chainRef // bucket → hash → chain
 	held    int
+
+	// Grace-hash spill state (serial joins under a memory budget only; see
+	// spill.go). Once spilled, the partition's build tuples live in a build
+	// run, probe tuples route to a probe run, and matching is deferred to
+	// the post-probe drain.
+	bytes      int64 // accounted bytes of the in-memory entries
+	spilled    bool
+	build      storage.RunWriter
+	probe      storage.RunWriter
+	buildName  string
+	probeName  string
+	buildCount int64           // records appended to the build run
+	probeCount int64           // records appended to the probe run
+	spillLive  map[int32]int64 // live (unevicted) spilled tuples per bucket
+	evicts     []spillEvict    // R1 evictions recorded while spilled
 }
 
 // joinState is the build-side hash table shared by every worker clone of one
@@ -70,6 +86,17 @@ type joinState struct {
 	// refs counts unclosed clones; the last Close releases the table.
 	refs  atomic.Int32
 	parts [joinPartitions]joinPart
+
+	// Spill wiring (see spill.go). spillOn is decided once at init: a
+	// budget and backend are configured and the join is serial.
+	spillOn bool
+	mem     *storage.Budget
+	backend storage.Backend
+	base    string // run-name namespace for this join's partitions
+	met     spillMetrics
+
+	errMu    sync.Mutex
+	spillErr error // first spill I/O failure; surfaced before completion
 }
 
 func newJoinState() *joinState {
@@ -105,6 +132,13 @@ func (s *joinState) init(ctx *ExecContext, est int) {
 				p.entries = make([]joinEntry, 0, perPart)
 			}
 		}
+		if ctx.spillEnabled() && s.refs.Load() == 1 {
+			s.spillOn = true
+			s.mem = ctx.Mem
+			s.backend = ctx.Spill
+			s.base = ctx.spillRunName("join")
+			s.met = newSpillMetrics()
+		}
 		s.ready.Store(true)
 	})
 }
@@ -127,6 +161,12 @@ func (s *joinState) insertOne(keys []int, t relation.Tuple) {
 	b := int32(h % uint64(s.buckets))
 	p := s.part(b)
 	p.mu.Lock()
+	if p.spilled {
+		s.appendSpilledLocked(p, b, t)
+		p.mu.Unlock()
+		return
+	}
+	var reserve int64
 	if p.chains != nil {
 		m := p.chains[b]
 		if m == nil {
@@ -143,8 +183,18 @@ func (s *joinState) insertOne(keys []int, t relation.Tuple) {
 			m[h] = chainRef{head: idx, tail: idx, n: 1}
 		}
 		p.held++
+		if s.spillOn {
+			reserve = spillEntryBytes(t)
+			p.bytes += reserve
+		}
 	}
 	p.mu.Unlock()
+	if reserve > 0 {
+		s.mem.Reserve(reserve)
+		if s.mem.Over() {
+			s.spillVictims()
+		}
+	}
 }
 
 // release drops one clone reference; the last one frees the table. Inserts
@@ -157,6 +207,25 @@ func (s *joinState) release() {
 	for i := range s.parts {
 		p := &s.parts[i]
 		p.mu.Lock()
+		if p.build != nil {
+			_ = p.build.Close()
+			p.build = nil
+		}
+		if p.probe != nil {
+			_ = p.probe.Close()
+			p.probe = nil
+		}
+		if p.spilled {
+			_ = s.backend.Remove(p.buildName)
+			_ = s.backend.Remove(p.probeName)
+			p.spilled = false
+			p.spillLive = nil
+			p.evicts = nil
+		}
+		if p.bytes > 0 {
+			s.mem.Release(p.bytes)
+			p.bytes = 0
+		}
 		p.chains = nil
 		p.entries = nil
 		p.held = 0
@@ -252,6 +321,9 @@ type HashJoin struct {
 	// allocation.
 	in    *relation.Batch
 	arena relation.Arena
+	// drain matches probe tuples deferred to spilled partitions once the
+	// streaming probe phase is exhausted (see spill.go).
+	drain *joinSpillDrain
 }
 
 // ensureShared lazily creates the shared state. Not safe for concurrent
@@ -340,8 +412,20 @@ func (j *HashJoin) Next() (relation.Tuple, bool, error) {
 		}
 		j.pending, j.pendHead = j.pending[:0], 0
 		t, ok, err := j.Probe.Next()
-		if err != nil || !ok {
+		if err != nil {
 			return nil, false, err
+		}
+		if !ok {
+			if j.shared.spillOn {
+				more, derr := j.drainPending()
+				if derr != nil {
+					return nil, false, derr
+				}
+				if more {
+					continue
+				}
+			}
+			return nil, false, nil
 		}
 		// The probe is "the processing of each tuple by the join" that the
 		// paper's sleep() perturbation inflates.
@@ -350,6 +434,11 @@ func (j *HashJoin) Next() (relation.Tuple, bool, error) {
 		b := int32(h % uint64(j.buckets))
 		p := j.shared.part(b)
 		p.mu.Lock()
+		if p.spilled {
+			j.shared.routeProbeLocked(p, t)
+			p.mu.Unlock()
+			continue
+		}
 		if c, ok := p.chains[b][h]; ok {
 			for e := c.head; e >= 0; e = p.entries[e].next {
 				if cand := p.entries[e].t; j.keysEqual(cand, t) {
@@ -380,6 +469,22 @@ func (j *HashJoin) NextBatch(dst *relation.Batch) (int, error) {
 			return dst.Len(), err
 		}
 		if n == 0 {
+			if j.shared.spillOn {
+				more, derr := j.drainPending()
+				if derr != nil {
+					return dst.Len(), derr
+				}
+				if more {
+					for j.pendHead < len(j.pending) && !dst.Full() {
+						dst.Append(j.pending[j.pendHead])
+						j.pendHead++
+					}
+					if j.pendHead == len(j.pending) {
+						j.pending, j.pendHead = j.pending[:0], 0
+					}
+					continue
+				}
+			}
 			return dst.Len(), nil
 		}
 		j.ctx.chargeN(j.ctx.Costs.JoinProbeMs, n)
@@ -388,6 +493,11 @@ func (j *HashJoin) NextBatch(dst *relation.Batch) (int, error) {
 			b := int32(h % uint64(j.buckets))
 			p := j.shared.part(b)
 			p.mu.Lock()
+			if p.spilled {
+				j.shared.routeProbeLocked(p, t)
+				p.mu.Unlock()
+				continue
+			}
 			c, ok := p.chains[b][h]
 			if !ok {
 				p.mu.Unlock()
@@ -432,6 +542,10 @@ func (j *HashJoin) Close() error {
 		j.in.Release()
 		j.in = nil
 	}
+	if j.drain != nil {
+		j.drain.close()
+		j.drain = nil
+	}
 	if j.shared != nil {
 		j.shared.release()
 	}
@@ -468,6 +582,15 @@ func (j *HashJoin) EvictBuckets(buckets []int32) {
 	for _, b := range buckets {
 		p := s.part(b)
 		p.mu.Lock()
+		if p.spilled {
+			// The bucket's tuples live in the build run; record the kill
+			// window instead of unlinking (see spill.go).
+			p.evicts = append(p.evicts, spillEvict{bucket: b, buildIdx: p.buildCount, probeIdx: p.probeCount})
+			p.held -= int(p.spillLive[b])
+			delete(p.spillLive, b)
+			p.mu.Unlock()
+			continue
+		}
 		if p.chains != nil {
 			if m, ok := p.chains[b]; ok {
 				for _, c := range m {

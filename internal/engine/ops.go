@@ -3,17 +3,21 @@ package engine
 import (
 	"fmt"
 
+	"repro/internal/dataset"
 	"repro/internal/relation"
 	"repro/internal/scalar"
 	"repro/internal/ws"
 )
 
 // TableScan reads a base table from the node's Grid Data Service store.
+// In-memory tables keep the zero-copy slice fast path; stored tables stream
+// their run through a cursor, so scanning never materialises the table.
 type TableScan struct {
 	Table string
 
 	ctx    *ExecContext
 	tuples []relation.Tuple
+	cursor dataset.Cursor // non-nil for stored tables
 	pos    int
 	costs  []float64 // per-tuple base costs, reused across batches
 }
@@ -28,27 +32,60 @@ func (s *TableScan) Open(ctx *ExecContext) error {
 		return err
 	}
 	s.ctx = ctx
-	s.tuples = tbl.Tuples
 	s.pos = 0
+	if tbl.Stored() {
+		cur, err := tbl.Rows()
+		if err != nil {
+			return err
+		}
+		s.cursor = cur
+		return nil
+	}
+	s.tuples = tbl.Tuples
 	return nil
 }
 
 // Next implements Iterator.
 func (s *TableScan) Next() (relation.Tuple, bool, error) {
-	if s.pos >= len(s.tuples) {
-		return nil, false, nil
+	var t relation.Tuple
+	if s.cursor != nil {
+		var ok bool
+		var err error
+		t, ok, err = s.cursor.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+	} else {
+		if s.pos >= len(s.tuples) {
+			return nil, false, nil
+		}
+		t = s.tuples[s.pos]
+		s.pos++
 	}
-	t := s.tuples[s.pos]
-	s.pos++
 	s.ctx.charge(s.ctx.Costs.ScanMs + s.ctx.Costs.ScanByteMs*float64(t.ByteSize()))
 	return t, true, nil
 }
 
-// NextBatch implements BatchIterator: it hands out table tuples by
-// reference (zero copies, zero allocations) and charges the whole batch's
-// scan cost in one node/meter round trip.
+// NextBatch implements BatchIterator: in-memory tables hand out tuples by
+// reference (zero copies, zero allocations); stored tables fill the batch
+// from the cursor. Either way the batch's scan cost is charged in one
+// node/meter round trip.
 func (s *TableScan) NextBatch(dst *relation.Batch) (int, error) {
 	dst.Rewind()
+	if s.cursor != nil {
+		for !dst.Full() {
+			t, ok, err := s.cursor.Next()
+			if err != nil {
+				return dst.Len(), err
+			}
+			if !ok {
+				break
+			}
+			dst.Append(t)
+		}
+		s.chargeScan(dst.Tuples)
+		return dst.Len(), nil
+	}
 	n := len(s.tuples) - s.pos
 	if n <= 0 {
 		return 0, nil
@@ -58,27 +95,41 @@ func (s *TableScan) NextBatch(dst *relation.Batch) (int, error) {
 	}
 	chunk := s.tuples[s.pos : s.pos+n]
 	s.pos += n
-	if s.ctx.Costs.ScanByteMs == 0 {
-		s.ctx.chargeN(s.ctx.Costs.ScanMs, n)
-	} else {
-		if cap(s.costs) < n {
-			s.costs = make([]float64, n)
-		}
-		costs := s.costs[:n]
-		for i, t := range chunk {
-			costs[i] = s.ctx.Costs.ScanMs + s.ctx.Costs.ScanByteMs*float64(t.ByteSize())
-		}
-		s.ctx.chargeEach(costs)
-	}
+	s.chargeScan(chunk)
 	dst.AppendAll(chunk)
 	return n, nil
 }
 
+// chargeScan charges one batch's scan cost.
+func (s *TableScan) chargeScan(chunk []relation.Tuple) {
+	n := len(chunk)
+	if n == 0 {
+		return
+	}
+	if s.ctx.Costs.ScanByteMs == 0 {
+		s.ctx.chargeN(s.ctx.Costs.ScanMs, n)
+		return
+	}
+	if cap(s.costs) < n {
+		s.costs = make([]float64, n)
+	}
+	costs := s.costs[:n]
+	for i, t := range chunk {
+		costs[i] = s.ctx.Costs.ScanMs + s.ctx.Costs.ScanByteMs*float64(t.ByteSize())
+	}
+	s.ctx.chargeEach(costs)
+}
+
 // Close implements Iterator.
 func (s *TableScan) Close() error {
+	var err error
+	if s.cursor != nil {
+		err = s.cursor.Close()
+		s.cursor = nil
+	}
 	s.tuples = nil
 	s.costs = nil
-	return nil
+	return err
 }
 
 // Select filters tuples by a compiled predicate.

@@ -1,0 +1,559 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/relation"
+	"repro/internal/storage"
+)
+
+// Grace-hash spilling for the hash join (paper-era memory governance, see
+// DESIGN.md §5i). When a query runs under a memory budget with a spill
+// backend configured, the shared build table accounts the bytes it holds.
+// On a breach the largest in-memory partition is spilled wholesale: its
+// entries move to a build run, and probe tuples hashing into it are deferred
+// to a probe run instead of being matched inline. After the probe input is
+// exhausted the join drains each (build run, probe run) pair: the build run
+// is reloaded under the same budget — re-partitioned fan-ways and re-queued
+// if it alone breaches — and the deferred probe tuples are matched against
+// it, preserving the exact multiset of matches the in-memory join produces.
+//
+// Spilling is restricted to serial joins (one clone, refs == 1): morsel
+// worker clones share the table under lock striping, and pausing all of them
+// to migrate a partition to storage would serialise the very workers the
+// pool exists to parallelise — the same restriction the elastic runtime
+// places on mid-flight state migration. Parallel fragments therefore run
+// unbudgeted, which init detects and records by leaving spillOn false.
+//
+// Correctness under R1 (retrospective eviction + replay) relies on two
+// watermarks carried in run records:
+//
+//   - a build record is [Int(wm), Int(idx)] ++ tuple, where wm is the
+//     partition's probe-run length when the build tuple was appended (0 for
+//     tuples present before the spill) and idx its append position. A build
+//     tuple may only match probe tuples with j >= wm — exactly the probe
+//     tuples an in-memory table would have shown it to, since replayed
+//     inserts only meet probe tuples processed after the insert.
+//   - a probe record is [Int(j)] ++ tuple, its position in the probe run.
+//
+// An R1 eviction of bucket b while the partition is spilled appends an event
+// {b, buildIdx, probeIdx}: it kills matches between build tuples already in
+// the run (idx < buildIdx) and probe tuples not yet routed (j >= probeIdx),
+// mirroring what eviction does to an in-memory bucket — earlier probe tuples
+// already "saw" the state, later ones must not. Evictions recorded after the
+// drain seals the runs carry probeIdx == the final probe count and thus kill
+// nothing, so the snapshot taken at drain start is complete.
+const (
+	// spillFan is the re-partitioning fan-out when a reloaded build run
+	// still breaches the budget.
+	spillFan = 8
+	// maxSpillDepth caps recursive re-partitioning; beyond it the pair is
+	// processed in memory regardless of the budget (heavy duplicate keys
+	// cannot be split by their own hash).
+	maxSpillDepth = 6
+)
+
+// spillEntryBytes is the accounted in-memory footprint of one build tuple:
+// its wire size plus arena/chain bookkeeping overhead.
+func spillEntryBytes(t relation.Tuple) int64 {
+	return int64(t.ByteSize()) + 48
+}
+
+// spillMetrics bundles the process-wide spill counters.
+type spillMetrics struct {
+	bytes    *obs.Counter
+	parts    *obs.Counter
+	restarts *obs.Counter
+}
+
+func newSpillMetrics() spillMetrics {
+	o := obs.Default()
+	return spillMetrics{
+		bytes:    o.Counter(obs.MSpillBytes),
+		parts:    o.Counter(obs.MSpillPartitions),
+		restarts: o.Counter(obs.MSpillRestarts),
+	}
+}
+
+// recordSpillEvent puts one spill action on the adaptation timeline.
+func recordSpillEvent(ctx *ExecContext, detail string, tuples int64) {
+	obs.Default().Record(obs.Event{
+		AtMs:     ctx.Clock.NowMs(),
+		Kind:     obs.KindSpill,
+		Fragment: ctx.Fragment,
+		Tuples:   tuples,
+		Detail:   detail,
+	})
+}
+
+// spillEvent records a spill action against the join's context.
+func (s *joinState) spillEvent(detail string, tuples int64) {
+	recordSpillEvent(s.ctx, detail, tuples)
+}
+
+// spillEvict is one R1 bucket eviction recorded while a partition was
+// spilled; see the package comment above for its kill semantics.
+type spillEvict struct {
+	bucket   int32
+	buildIdx int64
+	probeIdx int64
+}
+
+func (s *joinState) setSpillErr(err error) {
+	if err == nil {
+		return
+	}
+	s.errMu.Lock()
+	if s.spillErr == nil {
+		s.spillErr = err
+	}
+	s.errMu.Unlock()
+}
+
+func (s *joinState) err() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.spillErr
+}
+
+// appendSpilledLocked routes a build tuple (insert or R1 replay) into a
+// spilled partition's build run. Called with p.mu held. After the drain has
+// sealed the runs the tuple is counted but dropped: its watermark would be
+// the final probe count, so it could never match a deferred probe tuple.
+func (s *joinState) appendSpilledLocked(p *joinPart, b int32, t relation.Tuple) {
+	p.held++
+	p.spillLive[b]++
+	if p.build == nil {
+		return
+	}
+	rec := make(relation.Tuple, 0, len(t)+2)
+	rec = append(rec, relation.Int(p.probeCount), relation.Int(p.buildCount))
+	rec = append(rec, t...)
+	if err := p.build.Append(rec); err != nil {
+		s.setSpillErr(fmt.Errorf("engine: spill build append: %w", err))
+		return
+	}
+	p.buildCount++
+	s.met.bytes.Add(int64(t.ByteSize()))
+}
+
+// routeProbeLocked defers a probe tuple of a spilled partition to its probe
+// run. Called with p.mu held.
+func (s *joinState) routeProbeLocked(p *joinPart, t relation.Tuple) {
+	if p.probe == nil {
+		return
+	}
+	rec := make(relation.Tuple, 0, len(t)+1)
+	rec = append(rec, relation.Int(p.probeCount))
+	rec = append(rec, t...)
+	if err := p.probe.Append(rec); err != nil {
+		s.setSpillErr(fmt.Errorf("engine: spill probe append: %w", err))
+		return
+	}
+	p.probeCount++
+	s.met.bytes.Add(int64(t.ByteSize()))
+}
+
+// spillVictims spills whole partitions, largest first, until the budget is
+// met or nothing spillable remains.
+func (s *joinState) spillVictims() {
+	for s.mem.Over() {
+		vi, vb := -1, int64(0)
+		for i := range s.parts {
+			p := &s.parts[i]
+			p.mu.Lock()
+			if !p.spilled && p.chains != nil && p.bytes > vb {
+				vi, vb = i, p.bytes
+			}
+			p.mu.Unlock()
+		}
+		if vi < 0 || !s.spillPartition(vi) {
+			return
+		}
+	}
+}
+
+// spillPartition moves partition i's in-memory entries to a build run and
+// marks it spilled, releasing the accounted bytes.
+func (s *joinState) spillPartition(i int) bool {
+	p := &s.parts[i]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.spilled || p.chains == nil {
+		return false
+	}
+	p.buildName = fmt.Sprintf("%s-p%d-build", s.base, i)
+	p.probeName = fmt.Sprintf("%s-p%d-probe", s.base, i)
+	bw, err := s.backend.Create(p.buildName)
+	if err != nil {
+		s.setSpillErr(fmt.Errorf("engine: spill create: %w", err))
+		return false
+	}
+	pw, err := s.backend.Create(p.probeName)
+	if err != nil {
+		s.setSpillErr(fmt.Errorf("engine: spill create: %w", err))
+		_ = bw.Close()
+		_ = s.backend.Remove(p.buildName)
+		return false
+	}
+	p.build, p.probe = bw, pw
+	p.spillLive = make(map[int32]int64)
+	var moved int64
+	// Entries are written chain by chain; order across chains is immaterial
+	// (matching is per hash chain, and every pre-spill entry precedes every
+	// post-spill append in build-index order, which is all eviction
+	// filtering depends on).
+	for b, m := range p.chains {
+		for _, c := range m {
+			for e := c.head; e >= 0; e = p.entries[e].next {
+				t := p.entries[e].t
+				rec := make(relation.Tuple, 0, len(t)+2)
+				rec = append(rec, relation.Int(0), relation.Int(p.buildCount))
+				rec = append(rec, t...)
+				if err := p.build.Append(rec); err != nil {
+					s.setSpillErr(fmt.Errorf("engine: spill build append: %w", err))
+				}
+				p.buildCount++
+				moved++
+			}
+			p.spillLive[b] += int64(c.n)
+		}
+	}
+	p.spilled = true
+	p.chains = nil
+	p.entries = nil
+	s.mem.Release(p.bytes)
+	s.met.bytes.Add(p.bytes)
+	p.bytes = 0
+	s.met.parts.Inc()
+	s.spillEvent(fmt.Sprintf("join partition %d -> %s", i, p.buildName), moved)
+	return true
+}
+
+// spillEntry is one reloaded build tuple during the drain.
+type spillEntry struct {
+	t   relation.Tuple
+	wm  int64 // first probe index this entry may match
+	idx int64 // build-run position, for eviction filtering
+}
+
+// spillPair is one (build run, probe run) pair awaiting drain.
+type spillPair struct {
+	build, probe string
+	part         int
+	depth        int
+	evicts       []spillEvict
+}
+
+// joinSpillDrain matches deferred probe tuples after the streaming probe
+// phase: it reloads one build run at a time into an in-memory table (under
+// the budget, re-partitioning on breach) and streams the paired probe run
+// through it. Single-goroutine, owned by the one serial join clone.
+type joinSpillDrain struct {
+	s     *joinState
+	j     *HashJoin
+	pairs []spillPair
+
+	table      map[uint64][]spillEntry
+	tableBytes int64
+	evicts     []spillEvict
+	reader     storage.RunReader
+	active     bool
+	cur        spillPair
+	closed     bool
+}
+
+// startSpillDrain seals every spilled partition's runs and queues the pairs
+// with deferred probe tuples; pairs nothing probed are removed outright.
+func (j *HashJoin) startSpillDrain() *joinSpillDrain {
+	s := j.shared
+	d := &joinSpillDrain{s: s, j: j}
+	for i := range s.parts {
+		p := &s.parts[i]
+		p.mu.Lock()
+		if !p.spilled {
+			p.mu.Unlock()
+			continue
+		}
+		if p.build != nil {
+			if err := p.build.Close(); err != nil {
+				s.setSpillErr(fmt.Errorf("engine: spill seal: %w", err))
+			}
+			if err := p.probe.Close(); err != nil {
+				s.setSpillErr(fmt.Errorf("engine: spill seal: %w", err))
+			}
+			p.build, p.probe = nil, nil
+		}
+		if p.probeCount == 0 {
+			_ = s.backend.Remove(p.buildName)
+			_ = s.backend.Remove(p.probeName)
+			p.mu.Unlock()
+			continue
+		}
+		d.pairs = append(d.pairs, spillPair{
+			build:  p.buildName,
+			probe:  p.probeName,
+			part:   i,
+			evicts: append([]spillEvict(nil), p.evicts...),
+		})
+		p.mu.Unlock()
+	}
+	return d
+}
+
+func decodeBuildRec(rec relation.Tuple) (wm, idx int64, t relation.Tuple, err error) {
+	if len(rec) < 2 || rec[0].Type() != relation.TInt || rec[1].Type() != relation.TInt {
+		return 0, 0, nil, fmt.Errorf("engine: malformed spill build record")
+	}
+	return rec[0].AsInt(), rec[1].AsInt(), rec[2:], nil
+}
+
+func decodeProbeRec(rec relation.Tuple) (jdx int64, t relation.Tuple, err error) {
+	if len(rec) < 1 || rec[0].Type() != relation.TInt {
+		return 0, nil, fmt.Errorf("engine: malformed spill probe record")
+	}
+	return rec[0].AsInt(), rec[1:], nil
+}
+
+// evicted reports whether a (build idx, probe idx) match is killed by one of
+// the bucket's recorded evictions.
+func evicted(evicts []spillEvict, b int32, idx, jdx int64) bool {
+	for _, ev := range evicts {
+		if ev.bucket == b && idx < ev.buildIdx && jdx >= ev.probeIdx {
+			return true
+		}
+	}
+	return false
+}
+
+// load reloads pr's build run into the drain table and opens its probe run.
+// If the reload alone breaches the budget the pair is re-partitioned
+// spillFan ways and re-queued instead (d stays inactive).
+func (d *joinSpillDrain) load(pr spillPair) error {
+	s := d.s
+	r, err := s.backend.Open(pr.build)
+	if err != nil {
+		return fmt.Errorf("engine: spill reload: %w", err)
+	}
+	d.table = make(map[uint64][]spillEntry)
+	d.tableBytes = 0
+	for {
+		rec, ok, rerr := r.Next()
+		if rerr != nil {
+			_ = r.Close()
+			return rerr
+		}
+		if !ok {
+			break
+		}
+		wm, idx, t, derr := decodeBuildRec(rec)
+		if derr != nil {
+			_ = r.Close()
+			return derr
+		}
+		h := t.Hash(d.j.BuildKeys)
+		b := int32(h % uint64(s.buckets))
+		// Entries only matchable at j >= wm that an eviction kills for all
+		// such j are dead for the whole pair: drop them at load.
+		if evicted(pr.evicts, b, idx, wm) {
+			continue
+		}
+		sz := spillEntryBytes(t)
+		d.tableBytes += sz
+		s.mem.Reserve(sz)
+		d.table[h] = append(d.table[h], spillEntry{t: t, wm: wm, idx: idx})
+		if s.mem.Over() && pr.depth < maxSpillDepth {
+			_ = r.Close()
+			return d.repartition(pr)
+		}
+	}
+	if err := r.Close(); err != nil {
+		return err
+	}
+	pj, err := s.backend.Open(pr.probe)
+	if err != nil {
+		return fmt.Errorf("engine: spill reload: %w", err)
+	}
+	d.reader = pj
+	d.evicts = pr.evicts
+	d.cur = pr
+	d.active = true
+	return nil
+}
+
+// repartition splits pr's build and probe runs spillFan ways by a hash-bit
+// slice untouched by bucket/partition selection and by shallower splits,
+// then queues the sub-pairs in front of the remaining work.
+func (d *joinSpillDrain) repartition(pr spillPair) error {
+	s := d.s
+	s.mem.Release(d.tableBytes)
+	d.tableBytes = 0
+	d.table = nil
+	shift := uint(40 + 3*pr.depth)
+	base := strings.TrimSuffix(pr.build, "-build")
+	seq := spillRunSeq.Add(1)
+
+	split := func(src string, metaLen int, keys []int, kind string) ([]storage.RunWriter, error) {
+		ws := make([]storage.RunWriter, spillFan)
+		for k := range ws {
+			w, err := s.backend.Create(fmt.Sprintf("%s-r%d-s%d-%s", base, seq, k, kind))
+			if err != nil {
+				return ws, err
+			}
+			ws[k] = w
+		}
+		r, err := s.backend.Open(src)
+		if err != nil {
+			return ws, err
+		}
+		defer r.Close()
+		for {
+			rec, ok, rerr := r.Next()
+			if rerr != nil {
+				return ws, rerr
+			}
+			if !ok {
+				return ws, nil
+			}
+			if len(rec) <= metaLen {
+				return ws, fmt.Errorf("engine: malformed spill record")
+			}
+			h := rec[metaLen:].Hash(keys)
+			if err := ws[(h>>shift)&(spillFan-1)].Append(rec); err != nil {
+				return ws, err
+			}
+		}
+	}
+
+	closeAll := func(ws []storage.RunWriter) {
+		for _, w := range ws {
+			if w != nil {
+				_ = w.Close()
+			}
+		}
+	}
+	bws, err := split(pr.build, 2, d.j.BuildKeys, "build")
+	if err != nil {
+		closeAll(bws)
+		return fmt.Errorf("engine: spill repartition: %w", err)
+	}
+	pws, err := split(pr.probe, 1, d.j.ProbeKeys, "probe")
+	if err != nil {
+		closeAll(bws)
+		closeAll(pws)
+		return fmt.Errorf("engine: spill repartition: %w", err)
+	}
+	var moved int64
+	subs := make([]spillPair, 0, spillFan)
+	for k := 0; k < spillFan; k++ {
+		bn := fmt.Sprintf("%s-r%d-s%d-build", base, seq, k)
+		pn := fmt.Sprintf("%s-r%d-s%d-probe", base, seq, k)
+		probeTuples := pws[k].Tuples()
+		if err := bws[k].Close(); err != nil {
+			return fmt.Errorf("engine: spill repartition: %w", err)
+		}
+		if err := pws[k].Close(); err != nil {
+			return fmt.Errorf("engine: spill repartition: %w", err)
+		}
+		if probeTuples == 0 || bws[k].Tuples() == 0 {
+			_ = s.backend.Remove(bn)
+			_ = s.backend.Remove(pn)
+			continue
+		}
+		moved += bws[k].Tuples()
+		subs = append(subs, spillPair{build: bn, probe: pn, part: pr.part, depth: pr.depth + 1, evicts: pr.evicts})
+	}
+	_ = s.backend.Remove(pr.build)
+	_ = s.backend.Remove(pr.probe)
+	d.pairs = append(subs, d.pairs...)
+	s.met.restarts.Inc()
+	s.spillEvent(fmt.Sprintf("join repartition %s depth %d", base, pr.depth+1), moved)
+	return nil
+}
+
+// finishPair releases the drained pair's table, reader and runs.
+func (d *joinSpillDrain) finishPair() {
+	if d.reader != nil {
+		_ = d.reader.Close()
+		d.reader = nil
+	}
+	if d.active {
+		_ = d.s.backend.Remove(d.cur.build)
+		_ = d.s.backend.Remove(d.cur.probe)
+	}
+	d.s.mem.Release(d.tableBytes)
+	d.tableBytes = 0
+	d.table = nil
+	d.active = false
+}
+
+// close releases everything the drain still holds, including queued pairs'
+// runs (a cancelled query may never drain them).
+func (d *joinSpillDrain) close() {
+	if d == nil || d.closed {
+		return
+	}
+	d.closed = true
+	d.finishPair()
+	for _, pr := range d.pairs {
+		_ = d.s.backend.Remove(pr.build)
+		_ = d.s.backend.Remove(pr.probe)
+	}
+	d.pairs = nil
+}
+
+// drainPending advances the spill drain until at least one deferred match
+// sits in j.pending, returning false once every pair is exhausted. No
+// operator cost is charged here: every probe tuple already paid JoinProbeMs
+// when it was routed, and every build tuple JoinBuildMs when inserted — the
+// drain is the deferred completion of work already accounted.
+func (j *HashJoin) drainPending() (bool, error) {
+	s := j.shared
+	if err := s.err(); err != nil {
+		return false, err
+	}
+	if j.drain == nil {
+		j.drain = j.startSpillDrain()
+	}
+	d := j.drain
+	for j.pendHead >= len(j.pending) {
+		j.pending, j.pendHead = j.pending[:0], 0
+		if !d.active {
+			if len(d.pairs) == 0 {
+				return false, nil
+			}
+			pr := d.pairs[0]
+			d.pairs = d.pairs[1:]
+			if err := d.load(pr); err != nil {
+				return false, err
+			}
+			continue // load may have re-partitioned; re-check
+		}
+		rec, ok, err := d.reader.Next()
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			d.finishPair()
+			continue
+		}
+		jdx, t, err := decodeProbeRec(rec)
+		if err != nil {
+			return false, err
+		}
+		h := t.Hash(j.ProbeKeys)
+		b := int32(h % uint64(s.buckets))
+		for _, e := range d.table[h] {
+			if e.wm > jdx || !j.keysEqual(e.t, t) {
+				continue
+			}
+			if len(d.evicts) > 0 && evicted(d.evicts, b, e.idx, jdx) {
+				continue
+			}
+			j.pending = append(j.pending, e.t.Concat(t))
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,314 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/logical"
+	"repro/internal/relation"
+	"repro/internal/storage"
+)
+
+// Aggregate spilling (see DESIGN.md §5i). Unlike the join, the aggregate
+// never defers input: on a budget breach every group — shared table and
+// worker partials alike — is dumped to one append-only run as a
+// partial-aggregate record and the in-memory tables restart empty.
+// Aggregation is commutative and associative, so the final merge simply
+// reloads the run and re-merges each record into the merged table; what that
+// merge materialises is the distinct result groups, i.e. the same memory the
+// emit buffer needs regardless of spilling. The budget therefore governs the
+// absorb phase — where raw-input skew, not result size, drives the
+// footprint.
+//
+// R1 correctness uses a per-bucket record watermark: an eviction of bucket b
+// records the run length at eviction time, and the reload drops the bucket's
+// records below it. Groups absorbed from replayed history afterwards are
+// dumped beyond the watermark and survive, mirroring the in-memory
+// delete-then-replay exactly. Like the join, spilling is restricted to
+// serial aggregates (one clone); parallel fragments run unbudgeted.
+
+// groupBytes is the accounted in-memory footprint of one group.
+func groupBytes(g *groupState) int64 {
+	return int64(g.key.ByteSize()) + 48*int64(len(g.accs)+1)
+}
+
+// accountGroup reserves a freshly created group against the budget.
+func (s *aggState) accountGroup(g *groupState) {
+	if !s.spillOn {
+		return
+	}
+	sz := groupBytes(g)
+	s.bytes.Add(sz)
+	s.mem.Reserve(sz)
+}
+
+// dump writes every group to the spill run and clears the in-memory tables.
+// Caller holds no locks; dump takes s.mu then the partial locks — the same
+// order mergeAndFreeze uses.
+func (s *aggState) dump(a *HashAggregate) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state == nil {
+		return nil
+	}
+	if s.run == nil {
+		s.runName = s.base + "-groups"
+		w, err := s.backend.Create(s.runName)
+		if err != nil {
+			return fmt.Errorf("engine: agg spill create: %w", err)
+		}
+		s.run = w
+		s.spillLive = make(map[int32]int64)
+	}
+	var dumped int64
+	emit := func(state map[int32]map[uint64][]*groupState) error {
+		for b, m := range state {
+			for _, chain := range m {
+				for _, g := range chain {
+					if err := s.run.Append(encodeGroupRec(b, g, a.Kinds)); err != nil {
+						return fmt.Errorf("engine: agg spill append: %w", err)
+					}
+					s.recCount++
+					s.spillLive[b]++
+					dumped++
+				}
+			}
+		}
+		return nil
+	}
+	if err := emit(s.state); err != nil {
+		return err
+	}
+	s.state = make(map[int32]map[uint64][]*groupState)
+	for _, p := range s.partials {
+		p.mu.Lock()
+		if p.state != nil {
+			if err := emit(p.state); err != nil {
+				p.mu.Unlock()
+				return err
+			}
+			p.state = make(map[int32]map[uint64][]*groupState)
+		}
+		p.mu.Unlock()
+	}
+	released := s.bytes.Swap(0)
+	s.mem.Release(released)
+	s.met.bytes.Add(released)
+	s.met.parts.Inc()
+	recordSpillEvent(s.ctx, fmt.Sprintf("agg dump -> %s", s.runName), dumped)
+	return nil
+}
+
+// encodeGroupRec flattens one group into a run record:
+// [Int(bucket), key..., per aggregate: Int(count), Float(sum), minmax, Int(seen)].
+func encodeGroupRec(b int32, g *groupState, kinds []logical.AggKind) relation.Tuple {
+	rec := make(relation.Tuple, 0, 1+len(g.key)+4*len(kinds))
+	rec = append(rec, relation.Int(int64(b)))
+	rec = append(rec, g.key...)
+	for i := range kinds {
+		acc := g.accs[i]
+		seen := int64(0)
+		if acc.seen {
+			seen = 1
+		}
+		rec = append(rec, relation.Int(acc.count), relation.Float(acc.sum), acc.minmax, relation.Int(seen))
+	}
+	return rec
+}
+
+// decodeGroupRec inverts encodeGroupRec.
+func decodeGroupRec(rec relation.Tuple, nKeys, nAccs int) (b int32, key relation.Tuple, accs []accumulator, err error) {
+	if len(rec) != 1+nKeys+4*nAccs || rec[0].Type() != relation.TInt {
+		return 0, nil, nil, fmt.Errorf("engine: malformed agg spill record")
+	}
+	b = int32(rec[0].AsInt())
+	key = rec[1 : 1+nKeys]
+	accs = make([]accumulator, nAccs)
+	for i := 0; i < nAccs; i++ {
+		f := rec[1+nKeys+4*i:]
+		if f[0].Type() != relation.TInt || f[1].Type() != relation.TFloat || f[3].Type() != relation.TInt {
+			return 0, nil, nil, fmt.Errorf("engine: malformed agg spill record")
+		}
+		accs[i] = accumulator{count: f[0].AsInt(), sum: f[1].AsFloat(), minmax: f[2], seen: f[3].AsInt() != 0}
+	}
+	return b, key, accs, nil
+}
+
+// reloadLocked re-merges the dumped records into the merged shared table.
+// Caller holds s.mu (the final merge).
+func (s *aggState) reloadLocked(a *HashAggregate) error {
+	if err := s.run.Close(); err != nil {
+		return fmt.Errorf("engine: agg spill seal: %w", err)
+	}
+	s.run = nil
+	r, err := s.backend.Open(s.runName)
+	if err != nil {
+		return fmt.Errorf("engine: agg spill reload: %w", err)
+	}
+	defer r.Close()
+	idOrds := make([]int, len(a.GroupOrds))
+	for i := range idOrds {
+		idOrds[i] = i
+	}
+	perBucket := make(map[int32]int64, len(s.spillLive))
+	for {
+		rec, ok, rerr := r.Next()
+		if rerr != nil {
+			return rerr
+		}
+		if !ok {
+			break
+		}
+		b, key, accs, derr := decodeGroupRec(rec, len(a.GroupOrds), len(a.Kinds))
+		if derr != nil {
+			return derr
+		}
+		idx := perBucket[b]
+		perBucket[b] = idx + 1
+		if idx < s.evictedAt[b] {
+			continue // evicted before this record's bucket watermark
+		}
+		g := s.findOrCreateMergedLocked(b, key.Hash(idOrds), key, len(a.Kinds))
+		for i, kind := range a.Kinds {
+			g.accs[i].merge(accs[i], kind)
+		}
+	}
+	_ = s.backend.Remove(s.runName)
+	s.runName = ""
+	s.spillLive = nil
+	return nil
+}
+
+// External merge sort (see DESIGN.md §5i). Sort is never parallel-eligible,
+// so no clone gating is needed: under a budget the buffer is accounted per
+// tuple and, on breach, sorted and flushed as one run. The emit phase merges
+// the sealed runs with the sorted in-memory tail; ties resolve to the
+// earlier source (runs in flush order, the tail last), which reproduces
+// sort.SliceStable over the full input byte for byte.
+
+// sortTupleBytes is the accounted footprint of one buffered sort tuple.
+func sortTupleBytes(t relation.Tuple) int64 {
+	return int64(t.ByteSize()) + 24
+}
+
+// flushRun sorts and spills the current buffer as one sealed run.
+func (s *Sort) flushRun() error {
+	if len(s.sorted) == 0 {
+		return nil
+	}
+	if s.base == "" {
+		s.base = s.ctx.spillRunName("sort")
+		s.met = newSpillMetrics()
+	}
+	name := fmt.Sprintf("%s-r%d", s.base, len(s.runs))
+	w, err := s.ctx.Spill.Create(name)
+	if err != nil {
+		return fmt.Errorf("engine: sort spill create: %w", err)
+	}
+	sortBuffer(s)
+	if err := w.AppendAll(s.sorted); err != nil {
+		_ = w.Close()
+		return fmt.Errorf("engine: sort spill append: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		return fmt.Errorf("engine: sort spill seal: %w", err)
+	}
+	s.runs = append(s.runs, name)
+	s.ctx.Mem.Release(s.bufBytes)
+	s.met.bytes.Add(s.bufBytes)
+	s.bufBytes = 0
+	s.met.parts.Inc()
+	recordSpillEvent(s.ctx, fmt.Sprintf("sort run %s", name), int64(len(s.sorted)))
+	s.sorted = s.sorted[:0]
+	return nil
+}
+
+// sortSource is one merge input: a sealed run or the in-memory tail.
+type sortSource struct {
+	reader storage.RunReader // nil for the in-memory tail
+	buf    []relation.Tuple
+	pos    int
+	head   relation.Tuple
+	ok     bool
+}
+
+func (src *sortSource) advance() error {
+	if src.reader != nil {
+		t, ok, err := src.reader.Next()
+		if err != nil {
+			return err
+		}
+		src.head, src.ok = t, ok
+		return nil
+	}
+	if src.pos < len(src.buf) {
+		src.head, src.ok = src.buf[src.pos], true
+		src.pos++
+	} else {
+		src.head, src.ok = nil, false
+	}
+	return nil
+}
+
+// startMerge seals the drain phase: the tail buffer is sorted and every
+// source is positioned on its first tuple.
+func (s *Sort) startMerge() error {
+	sortBuffer(s)
+	for _, name := range s.runs {
+		r, err := s.ctx.Spill.Open(name)
+		if err != nil {
+			return fmt.Errorf("engine: sort spill reload: %w", err)
+		}
+		s.merge = append(s.merge, &sortSource{reader: r})
+	}
+	s.merge = append(s.merge, &sortSource{buf: s.sorted})
+	for _, src := range s.merge {
+		if err := src.advance(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mergeNext pops the smallest head across sources (ties to the earliest
+// source, preserving stability).
+func (s *Sort) mergeNext() (relation.Tuple, bool, error) {
+	best := -1
+	for i, src := range s.merge {
+		if !src.ok {
+			continue
+		}
+		if best < 0 || s.less(src.head, s.merge[best].head) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil, false, nil
+	}
+	t := s.merge[best].head
+	if err := s.merge[best].advance(); err != nil {
+		return nil, false, err
+	}
+	return t, true, nil
+}
+
+// closeSpill releases every external-sort resource.
+func (s *Sort) closeSpill() {
+	for _, src := range s.merge {
+		if src.reader != nil {
+			_ = src.reader.Close()
+		}
+	}
+	s.merge = nil
+	for _, name := range s.runs {
+		_ = s.ctx.Spill.Remove(name)
+	}
+	s.runs = nil
+	s.ctx.Mem.Release(s.bufBytes)
+	s.bufBytes = 0
+}
+
+// sortBuffer stable-sorts the in-memory buffer by the sort keys.
+func sortBuffer(s *Sort) {
+	sort.SliceStable(s.sorted, func(i, j int) bool { return s.less(s.sorted[i], s.sorted[j]) })
+}

@@ -139,6 +139,14 @@ func (c Config) withDefaults() Config {
 // resolve to GOMAXPROCS inside the services layer).
 var DefaultParallelism int
 
+// DefaultMemoryBudget and DefaultSpillDir are applied to every run — the
+// hooks for the dqp-experiments -mem-budget and -spill-dir flags, so the
+// whole suite can be replayed under memory governance.
+var (
+	DefaultMemoryBudget int64
+	DefaultSpillDir     string
+)
+
 // WSNodeID names the i-th compute machine.
 func WSNodeID(i int) simnet.NodeID { return simnet.NodeID(fmt.Sprintf("ws%d", i)) }
 
@@ -214,14 +222,16 @@ func Run(cfg Config) (*Result, error) {
 		parallelism = DefaultParallelism
 	}
 	gcfg := services.GDQSConfig{
-		Adaptive:     cfg.Adaptive,
-		Elastic:      cfg.Elastic,
-		MonitorEvery: cfg.MonitorEvery,
-		MED:          med,
-		Diagnoser:    core.DiagnoserConfig{ThresA: thresA, Assessment: cfg.Assessment},
-		Responder:    core.ResponderConfig{Response: cfg.Response, MaxProgress: 0.9},
-		Parallelism:  parallelism,
-		QueryTimeout: 10 * time.Minute,
+		Adaptive:          cfg.Adaptive,
+		Elastic:           cfg.Elastic,
+		MonitorEvery:      cfg.MonitorEvery,
+		MED:               med,
+		Diagnoser:         core.DiagnoserConfig{ThresA: thresA, Assessment: cfg.Assessment},
+		Responder:         core.ResponderConfig{Response: cfg.Response, MaxProgress: 0.9},
+		Parallelism:       parallelism,
+		QueryTimeout:      10 * time.Minute,
+		MemoryBudgetBytes: DefaultMemoryBudget,
+		SpillDir:          DefaultSpillDir,
 	}
 	g, err := services.NewGDQS(cluster, "coord", gcfg)
 	if err != nil {

@@ -1,0 +1,165 @@
+package logical
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/relation"
+	"repro/internal/sqlparse"
+)
+
+// threeTableCatalog: annotations (100) — protein_sequences (3000) —
+// protein_interactions_small (50), with equi-join edges a–p and p–i only.
+// Cardinalities are arranged so that after the start (i, the global minimum)
+// the smallest unplaced table (a, 100) is NOT connected to the joined set:
+// the greedy order must respect connectivity, not just size.
+func threeTableCatalog() *catalog.Catalog {
+	c := demoCatalog()
+	_ = c.PutTable(catalog.TableMeta{
+		Name: "annotations",
+		Schema: relation.NewSchema(
+			relation.Column{Table: "annotations", Name: "ORF", Type: relation.TString},
+			relation.Column{Table: "annotations", Name: "note", Type: relation.TString},
+		),
+		Cardinality: 100, AvgTupleBytes: 40, Node: "data1",
+	})
+	_ = c.PutTable(catalog.TableMeta{
+		Name: "protein_interactions_small",
+		Schema: relation.NewSchema(
+			relation.Column{Table: "protein_interactions_small", Name: "ORF1", Type: relation.TString},
+			relation.Column{Table: "protein_interactions_small", Name: "ORF2", Type: relation.TString},
+		),
+		Cardinality: 50, AvgTupleBytes: 25, Node: "data1",
+	})
+	return c
+}
+
+func planWith(t *testing.T, cat *catalog.Catalog, q string) Node {
+	t.Helper()
+	stmt, err := sqlparse.Parse(q)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	n, err := Plan(stmt, cat)
+	if err != nil {
+		t.Fatalf("plan %q: %v", q, err)
+	}
+	return n
+}
+
+// leftmostScan walks the left spine of a plan down to its deepest scan (the
+// hash join's innermost build side), skipping pushed filters.
+func leftmostScan(t *testing.T, n Node) *Scan {
+	t.Helper()
+	for {
+		switch v := n.(type) {
+		case *Project:
+			n = v.Child
+		case *Filter:
+			n = v.Child
+		case *Join:
+			n = v.Left
+		case *Scan:
+			return v
+		default:
+			t.Fatalf("unexpected node on left spine: %T", n)
+		}
+	}
+}
+
+func TestGreedyStartsAtSmallestTable(t *testing.T) {
+	// FROM lists the big table first; the build side must still be the small
+	// one (3000 sequences vs 4700 interactions).
+	n := plan(t, "select p.ORF from protein_interactions i, protein_sequences p where i.ORF1 = p.ORF")
+	if s := leftmostScan(t, n); s.Alias != "p" {
+		t.Fatalf("build side = %q, want the smaller protein_sequences p", s.Alias)
+	}
+}
+
+func TestGreedyFilterSelectivityFlipsOrder(t *testing.T) {
+	// An equality filter on the bigger table scales its estimate by 0.1:
+	// 4700 * 0.1 = 470 < 3000, so the filtered interactions become the build
+	// side even though the raw table is larger.
+	n := plan(t, "select p.ORF from protein_sequences p, protein_interactions i where i.ORF1 = p.ORF and i.ORF2 = 'YAL00001C'")
+	if s := leftmostScan(t, n); s.Alias != "i" {
+		t.Fatalf("build side = %q, want the filtered protein_interactions i", s.Alias)
+	}
+}
+
+func TestGreedyRespectsConnectivity(t *testing.T) {
+	// The walk starts at the global minimum (i, 50). The smallest remaining
+	// table (a, 100) only connects through protein_sequences, so the order
+	// must be ((i join p) join a) — p joins before the smaller but
+	// unreachable a, and no cartesian step is ever taken.
+	n := planWith(t, threeTableCatalog(),
+		"select a.note from annotations a, protein_sequences p, protein_interactions_small i "+
+			"where a.ORF = p.ORF and i.ORF1 = p.ORF")
+	var outer *Join
+	switch v := n.(type) {
+	case *Project:
+		outer, _ = v.Child.(*Join)
+	}
+	if outer == nil {
+		t.Fatalf("root child is not a join: %T", n)
+	}
+	inner, ok := outer.Left.(*Join)
+	if !ok {
+		t.Fatalf("outer left = %T, want the i-p join", outer.Left)
+	}
+	if s, ok := inner.Left.(*Scan); !ok || s.Alias != "i" {
+		t.Fatalf("innermost build side = %#v, want protein_interactions_small i", inner.Left)
+	}
+	if s, ok := outer.Right.(*Scan); !ok || s.Alias != "a" {
+		t.Fatalf("outer probe side = %#v, want annotations a", outer.Right)
+	}
+}
+
+func TestGreedyTieBreaksOnFromOrder(t *testing.T) {
+	// Equal estimates: the declared FROM order must win, so estimate-free
+	// catalogs keep the pre-reordering plans.
+	c := catalog.New()
+	for _, name := range []string{"t1", "t2"} {
+		_ = c.PutTable(catalog.TableMeta{
+			Name: name,
+			Schema: relation.NewSchema(
+				relation.Column{Table: name, Name: "k", Type: relation.TString},
+			),
+			Cardinality: 1000, AvgTupleBytes: 10, Node: "data1",
+		})
+	}
+	n := planWith(t, c, "select a.k from t2 a, t1 b where a.k = b.k")
+	if s := leftmostScan(t, n); s.Alias != "a" {
+		t.Fatalf("build side = %q, want first FROM entry a on a tie", s.Alias)
+	}
+}
+
+func TestGreedyUnreachableTableStillErrors(t *testing.T) {
+	// Two tables joined, a third with no predicate touching it: the
+	// connectivity walk must report the cartesian product, not invent one.
+	stmt, err := sqlparse.Parse(
+		"select a.note from annotations a, protein_sequences p, protein_interactions_small i where a.ORF = p.ORF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Plan(stmt, threeTableCatalog())
+	if err == nil || !strings.Contains(err.Error(), "cartesian") {
+		t.Fatalf("err = %v, want cartesian-product rejection", err)
+	}
+}
+
+func TestStarExpandsInDeclaredOrderAfterReordering(t *testing.T) {
+	// Greedy reordering puts p on the build side, but SELECT * must still
+	// produce the declared FROM order: i's columns before p's.
+	n := plan(t, "select * from protein_interactions i, protein_sequences p where i.ORF1 = p.ORF")
+	want := []string{"i.ORF1", "i.ORF2", "p.ORF", "p.sequence"}
+	s := n.Schema()
+	if s.Len() != len(want) {
+		t.Fatalf("star schema = %v", s)
+	}
+	for k, w := range want {
+		if got := s.Column(k).QualifiedName(); got != w {
+			t.Fatalf("column %d = %q, want %q", k, got, w)
+		}
+	}
+}

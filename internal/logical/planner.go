@@ -126,12 +126,68 @@ func planStmt(stmt *sqlparse.SelectStmt, cat *catalog.Catalog, hints map[int]sql
 		inputs[i] = node
 	}
 
-	// Left-deep join tree in FROM order; every subsequent table must be
-	// reachable through at least one equi-join edge (no cartesian products,
-	// which the engine does not support and the paper does not use).
-	current := inputs[0]
-	joined := map[string]bool{strings.ToLower(sources[0].ref.EffectiveName()): true}
+	// Greedy join ordering: a left-deep tree built smallest-first from the
+	// catalog cardinalities scaled by the pushed filters' selectivity
+	// estimates, constrained to connected expansions (no cartesian products,
+	// which the engine does not support and the paper does not use). The
+	// build side of every hash join is the accumulated tree, so starting
+	// small and growing by the cheapest connected source keeps build tables
+	// — the memory-governed state — as small as the estimates allow. Ties
+	// break on FROM position, so estimate-free catalogs degrade to the old
+	// literal FROM order.
+	est := make([]float64, len(sources))
+	for i, s := range sources {
+		est[i] = float64(s.scan.Table.Cardinality) * estimateSelectivity(tableFilter[i])
+	}
+	// connected reports whether any edge links source i to the joined set.
+	connected := func(i int, joined map[string]bool) bool {
+		name := sources[i].ref.EffectiveName()
+		for _, ed := range edges {
+			switch {
+			case joined[strings.ToLower(ed.leftTable)] && strings.EqualFold(ed.rightTable, name):
+				return true
+			case joined[strings.ToLower(ed.rightTable)] && strings.EqualFold(ed.leftTable, name):
+				return true
+			}
+		}
+		return false
+	}
+	start := 0
 	for i := 1; i < len(sources); i++ {
+		if est[i] < est[start] {
+			start = i
+		}
+	}
+	order := []int{start}
+	placed := map[int]bool{start: true}
+	joined := map[string]bool{strings.ToLower(sources[start].ref.EffectiveName()): true}
+	for len(order) < len(sources) {
+		next := -1
+		for i := range sources {
+			if placed[i] || !connected(i, joined) {
+				continue
+			}
+			if next < 0 || est[i] < est[next] {
+				next = i
+			}
+		}
+		if next < 0 {
+			// Some source is unreachable through equi-join edges; report the
+			// first such table in FROM order.
+			for i := range sources {
+				if !placed[i] {
+					return nil, fmt.Errorf("logical: no join predicate connects %q (cartesian products unsupported)", sources[i].ref.EffectiveName())
+				}
+			}
+		}
+		order = append(order, next)
+		placed[next] = true
+		joined[strings.ToLower(sources[next].ref.EffectiveName())] = true
+	}
+
+	current := inputs[order[0]]
+	joined = map[string]bool{strings.ToLower(sources[order[0]].ref.EffectiveName()): true}
+	for _, i := range order[1:] {
 		name := sources[i].ref.EffectiveName()
 		var leftKeys, rightKeys []int
 		for e := range edges {
@@ -207,8 +263,18 @@ func planStmt(stmt *sqlparse.SelectStmt, cat *catalog.Catalog, hints map[int]sql
 			if item.Alias != "" {
 				return nil, fmt.Errorf("logical: cannot alias *")
 			}
-			for i := 0; i < current.Schema().Len(); i++ {
-				ords = append(ords, i)
+			// Expand in declared FROM order, not join-tree order: greedy
+			// join reordering must stay invisible in the output columns.
+			for _, s := range sources {
+				name := s.ref.EffectiveName()
+				ss := s.scan.Schema()
+				for ci := 0; ci < ss.Len(); ci++ {
+					ord, err := current.Schema().IndexOf(name, ss.Column(ci).Name)
+					if err != nil {
+						return nil, fmt.Errorf("logical: %w", err)
+					}
+					ords = append(ords, ord)
+				}
 			}
 		case sqlparse.FuncCall:
 			fn, err := cat.Function(e.Name)

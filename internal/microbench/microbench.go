@@ -269,6 +269,8 @@ func specs() []spec {
 		{"PartitionedJoin2", PartitionedJoin2, joinProbeRows},
 		{"PartitionedJoin4", PartitionedJoin4, joinProbeRows},
 		{"PartitionedJoin8", PartitionedJoin8, joinProbeRows},
+		{"SpillJoin", SpillJoin, joinProbeRows},
+		{"ExternalSort", ExternalSort, sortRows},
 		{"BusPublishDeliverBounded", BusPublishDeliverBounded, 1},
 		{"BusPublishDeliverUnbounded", BusPublishDeliverUnbounded, 1},
 		{"ObsMonitoringOverhead", ObsMonitoringOverhead, chainRows},

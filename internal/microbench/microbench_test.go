@@ -99,6 +99,13 @@ func BenchmarkPartitionedJoin(b *testing.B) {
 
 func BenchmarkTupleDecodeIntoArena(b *testing.B) { TupleDecodeInto(b) }
 
+// BenchmarkSpill prices the memory-governed paths: the grace-hash join and
+// the external merge sort with 3/4 of their state going through storage.
+func BenchmarkSpill(b *testing.B) {
+	b.Run("join", SpillJoin)
+	b.Run("sort", ExternalSort)
+}
+
 // TestParallelChainSerialParity pins the morsel mode's acceptance bar: a
 // single-worker pool must stay within 5% of the serial batch drain, so
 // Parallelism=1 never taxes configurations that don't opt in.

@@ -60,6 +60,13 @@ const (
 	MAdmissionWaiting  = "admission_waiting"
 	MAdmissionQueueMs  = "admission_queue_ms"
 
+	// Memory governance: per-query budget accounting and grace-hash /
+	// external-sort spilling (no labels; spill detail is on the timeline).
+	MMemInflight     = "mem_inflight_bytes"
+	MSpillBytes      = "spill_bytes_total"
+	MSpillPartitions = "spill_partitions_total"
+	MSpillRestarts   = "spill_restarts_total"
+
 	// Elastic cluster: evaluator liveness and recovery. Failovers are
 	// labelled by outcome (recovered|failed); the duration histogram covers
 	// detection-to-resume in paper milliseconds.

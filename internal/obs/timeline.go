@@ -27,6 +27,11 @@ const (
 	// KindMembership marks a cluster membership change: Detail is "join" or
 	// "leave" and Node names the evaluator.
 	KindMembership EventKind = "membership"
+	// KindSpill marks a memory-budget breach response: a join or aggregate
+	// partition grace-hash-spilled to storage, a sort run flushed, or a
+	// spilled partition re-partitioned on reload. Detail names the operator
+	// and partition, Tuples the spilled tuple count.
+	KindSpill EventKind = "spill"
 )
 
 // Event is one adaptation-timeline entry. Fields beyond Seq/AtMs/Kind are

@@ -189,6 +189,22 @@ func EncodeTuples(ts []Tuple) []byte {
 	return AppendTuples(make([]byte, 0, size), ts)
 }
 
+// TupleCount reads the count prefix of an AppendTuples/EncodeTuples
+// encoding, returning the announced tuple count and the remaining bytes
+// (the tuples themselves, decodable one at a time with DecodeTuple). It is
+// the streaming entry point storage run readers use to walk a block without
+// materializing every tuple first.
+func TupleCount(b []byte) (uint64, []byte, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return 0, b, fmt.Errorf("%w: bad tuple count", ErrCorrupt)
+	}
+	if n > uint64(len(b)) {
+		return 0, b, fmt.Errorf("%w: tuple count %d exceeds input", ErrCorrupt, n)
+	}
+	return n, b[sz:], nil
+}
+
 // DecodeTuples decodes a count-prefixed tuple sequence produced by
 // EncodeTuples or AppendTuples.
 func DecodeTuples(b []byte) ([]Tuple, error) {

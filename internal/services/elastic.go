@@ -480,6 +480,8 @@ func (s *QuerySession) admitInto(frag *physical.FragmentSpec, node simnet.NodeID
 		Fragment:     frag.ID,
 		Instance:     idx,
 		Parallelism:  resolveParallelism(g.cfg.Parallelism),
+		Mem:          s.mem,
+		Spill:        s.spill,
 	}
 	if g.cfg.MonitorEvery > 0 {
 		ectx.Monitor = &core.MonitorAdapter{Bus: s.cluster.bus, Node: node}

@@ -2,8 +2,12 @@ package services
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"os"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,6 +21,7 @@ import (
 	"repro/internal/relation"
 	"repro/internal/simnet"
 	"repro/internal/sqlparse"
+	"repro/internal/storage"
 )
 
 // GDQSConfig configures a Grid Distributed Query Service instance.
@@ -76,6 +81,17 @@ type GDQSConfig struct {
 	// node as dead (DefaultHeartbeatMisses when 0). Unreachable-node errors
 	// are definitive and bypass the count.
 	HeartbeatMisses int
+	// MemoryBudgetBytes caps each query's stateful-operator memory: on
+	// breach, hash joins and aggregates grace-hash-spill partitions to the
+	// storage backend and sorts switch to external merge runs. 0 means
+	// unbudgeted, unless the GRIDDQP_FORCE_MEM_BUDGET environment variable
+	// (bytes) overrides it — the low-memory CI lane's knob. The budget can
+	// be changed at runtime with SetMemoryBudget.
+	MemoryBudgetBytes int64
+	// SpillDir roots spill runs in a posix-backed directory; empty keeps
+	// spills in the in-memory storage backend (fine for tests and paper-scale
+	// runs, no use for actually relieving memory pressure).
+	SpillDir string
 }
 
 // Heartbeat defaults: probes are cheap one-message RPCs, so a short real-time
@@ -130,6 +146,11 @@ type GDQS struct {
 	// bounds concurrent sessions. Execute is safe for concurrent use.
 	cache *plancache.Cache[*cachedPlan]
 	adm   *admission
+	// spill is the storage backend every session spills to; memBudget is the
+	// per-query byte limit (atomic so SetMemoryBudget can retune a live
+	// service — running queries keep the budget they started with).
+	spill     storage.Backend
+	memBudget atomic.Int64
 	// planMu serializes the modeled compile cost: the GDQS is one
 	// coordinator service compiling one statement at a time, so concurrent
 	// cold plans queue on it (cache hits never touch it).
@@ -144,12 +165,56 @@ func NewGDQS(cluster *Cluster, node simnet.NodeID, cfg GDQSConfig) (*GDQS, error
 	if cfg.QueryTimeout <= 0 {
 		cfg.QueryTimeout = 5 * time.Minute
 	}
+	if cfg.MemoryBudgetBytes == 0 {
+		if v := os.Getenv("GRIDDQP_FORCE_MEM_BUDGET"); v != "" {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("services: GRIDDQP_FORCE_MEM_BUDGET=%q: %w", v, err)
+			}
+			cfg.MemoryBudgetBytes = n
+		}
+	}
 	g := &GDQS{cluster: cluster, node: node, cfg: cfg}
+	g.memBudget.Store(cfg.MemoryBudgetBytes)
+	if cfg.SpillDir != "" {
+		backend, err := storage.NewPosix(cfg.SpillDir)
+		if err != nil {
+			return nil, err
+		}
+		g.spill = backend
+	} else {
+		g.spill = storage.NewMemory()
+	}
 	if cfg.PlanCacheSize >= 0 {
 		g.cache = plancache.New[*cachedPlan](cfg.PlanCacheSize, obs.Default().Registry())
 	}
 	g.adm = newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.QueueTimeout, obs.Default().Registry())
 	return g, nil
+}
+
+// SetMemoryBudget retunes the per-query memory budget (bytes; 0 disables
+// budgeting). Sessions admitted after the call run under the new budget;
+// running queries keep the one they started with. The budget participates in
+// the plan-template epoch, so cached templates re-plan instead of hitting.
+func (g *GDQS) SetMemoryBudget(n int64) { g.memBudget.Store(n) }
+
+// MemoryBudget returns the current per-query memory budget in bytes.
+func (g *GDQS) MemoryBudget() int64 { return g.memBudget.Load() }
+
+// SpillBackend returns the storage backend sessions spill to.
+func (g *GDQS) SpillBackend() storage.Backend { return g.spill }
+
+// planEpoch is the plan-cache invalidation token: the cluster topology
+// version folded (FNV-64a) with the execution environment a template was
+// planned under — the memory budget and the spill backend's identity. Any
+// change to either makes every cached entry miss.
+func (g *GDQS) planEpoch() uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(g.memBudget.Load()))
+	_, _ = h.Write(b[:])
+	_, _ = h.Write([]byte(g.spill.Name()))
+	return h.Sum64() ^ g.cluster.Version()
 }
 
 // cachedPlan is one plan-cache entry: the untagged, unbound physical plan
@@ -292,10 +357,11 @@ func (g *GDQS) planFor(key string, template *sqlparse.SelectStmt,
 }
 
 // templateFor returns the cached plan template for key, planning and caching
-// it on a miss. Entries are keyed to the cluster topology epoch, so plans
-// scheduled against an outgrown Grid re-plan instead of hitting.
+// it on a miss. Entries are keyed to the plan epoch (cluster topology plus
+// memory budget and spill backend), so plans scheduled against an outgrown
+// Grid or a retuned execution environment re-plan instead of hitting.
 func (g *GDQS) templateFor(key string, template *sqlparse.SelectStmt, slots []sqlparse.Slot) (*cachedPlan, error) {
-	epoch := g.cluster.Version()
+	epoch := g.planEpoch()
 	if g.cache != nil {
 		if cp, ok := g.cache.Get(key, epoch); ok {
 			return cp, nil

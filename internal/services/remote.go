@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"path/filepath"
 	"repro/internal/bus"
 	"repro/internal/catalog"
 	"repro/internal/core"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/relation"
 	"repro/internal/simnet"
 	"repro/internal/sqlparse"
+	"repro/internal/storage"
 	"repro/internal/transport"
 	"repro/internal/vtime"
 	"repro/internal/ws"
@@ -55,6 +57,24 @@ type Manifest struct {
 	// Parallelism is the morsel worker-pool width of each fragment driver
 	// (0/1 serial, negative resolves to the host's GOMAXPROCS).
 	Parallelism int
+
+	// MemoryBudgetBytes caps each deployment's stateful-operator memory per
+	// machine (0 unbudgeted); SpillDir roots posix spill runs, with each
+	// process spilling under its own node-named subdirectory (empty keeps
+	// spills in memory).
+	MemoryBudgetBytes int64
+	SpillDir          string
+}
+
+// spillBackendFor builds the process-local spill backend for one manifest
+// participant: posix under a node-named subdirectory of SpillDir (so
+// co-hosted processes sharing one directory never collide), or the
+// in-memory backend when no directory is configured.
+func (m Manifest) spillBackendFor(node simnet.NodeID) (storage.Backend, error) {
+	if m.SpillDir == "" {
+		return storage.NewMemory(), nil
+	}
+	return storage.NewPosix(filepath.Join(m.SpillDir, string(node)))
 }
 
 // DataNodeSpec describes one data machine.
@@ -215,6 +235,7 @@ type Evaluator struct {
 	machine  *simnet.Node
 	store    *dataset.Store
 	services *ws.Registry
+	spill    storage.Backend
 
 	mu       sync.Mutex
 	runtimes []*engine.FragmentRuntime
@@ -243,6 +264,11 @@ func NewEvaluator(manifest Manifest, node simnet.NodeID, tr transport.Transport)
 			e.services = computeServices(c)
 		}
 	}
+	spill, err := manifest.spillBackendFor(node)
+	if err != nil {
+		return nil, err
+	}
+	e.spill = spill
 	tr.Register(node, gqesService, e.handle)
 	return e, nil
 }
@@ -286,6 +312,7 @@ func (e *Evaluator) deploy(sql string) error {
 	if len(e.runtimes) > 0 {
 		return fmt.Errorf("services: evaluator %s already has an active query", e.node)
 	}
+	mem := storage.NewBudget(e.manifest.MemoryBudgetBytes)
 	var started []*engine.FragmentRuntime
 	for _, frag := range plan.Fragments {
 		for i, nodeID := range frag.Instances {
@@ -304,6 +331,8 @@ func (e *Evaluator) deploy(sql string) error {
 				Fragment:     frag.ID,
 				Instance:     i,
 				Parallelism:  resolveParallelism(e.manifest.Parallelism),
+				Mem:          mem,
+				Spill:        e.spill,
 			}
 			if e.manifest.Adaptive && e.manifest.MonitorEvery > 0 {
 				ctx.Monitor = &remoteMonitorSink{tr: e.tr, local: e.node, coord: e.manifest.Coordinator}
@@ -347,12 +376,16 @@ func (e *Evaluator) teardown() {
 		rt.Stop()
 	}
 	e.runtimes = nil
+	// One query at a time, so sweeping the whole process-local namespace
+	// reclaims exactly this deployment's spill runs.
+	_, _ = e.spill.RemoveMatching("")
 }
 
 // Close tears down any active query and unregisters the evaluator.
 func (e *Evaluator) Close() {
 	e.teardown()
 	e.tr.Unregister(e.node, gqesService)
+	_ = e.spill.Close()
 }
 
 // RemoteCoordinator is the multi-process GDQS: it plans queries, deploys
@@ -366,6 +399,7 @@ type RemoteCoordinator struct {
 	clock    *vtime.Clock
 	machine  *simnet.Node
 	bus      *bus.Bus
+	spill    storage.Backend
 
 	mu sync.Mutex // serialises Execute
 }
@@ -382,12 +416,18 @@ func NewRemoteCoordinator(manifest Manifest, tr transport.Transport) (*RemoteCoo
 		machine:  simnet.NewNode(manifest.Coordinator),
 		bus:      bus.New(clock, nil),
 	}
+	spill, err := manifest.spillBackendFor(manifest.Coordinator)
+	if err != nil {
+		return nil, err
+	}
+	c.spill = spill
 	return c, nil
 }
 
 // Close shuts the coordinator's bus down.
 func (c *RemoteCoordinator) Close() {
 	c.bus.Close()
+	_ = c.spill.Close()
 }
 
 // rpcWait sends a request to a remote service and waits for the ack, the
@@ -476,6 +516,8 @@ func (c *RemoteCoordinator) Execute(ctx context.Context, sql string, timeout tim
 		return nil, qerr.Plan("plan", err)
 	}
 	start := time.Now()
+	mem := storage.NewBudget(c.manifest.MemoryBudgetBytes)
+	defer func() { _, _ = c.spill.RemoveMatching("") }()
 
 	// First failure — local fragment, deadline, or external cancellation —
 	// cancels sctx, which interrupts every local driver.
@@ -572,6 +614,8 @@ func (c *RemoteCoordinator) Execute(ctx context.Context, sql string, timeout tim
 				Fragment:    frag.ID,
 				Instance:    i,
 				Parallelism: resolveParallelism(c.manifest.Parallelism),
+				Mem:         mem,
+				Spill:       c.spill,
 			}
 			cfg := engine.RuntimeConfig{
 				Plan: plan, Fragment: frag, Instance: i, Ctx: ctx,

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -13,6 +14,7 @@ import (
 	"repro/internal/qerr"
 	"repro/internal/relation"
 	"repro/internal/simnet"
+	"repro/internal/storage"
 	"repro/internal/vtime"
 )
 
@@ -51,6 +53,12 @@ type QuerySession struct {
 	diagnoser *core.Diagnoser
 	responder *core.Responder
 	sink      *rowSink
+
+	// mem is this query's memory accountant and spill the backend its
+	// operators write runs to; Close sweeps the query's run namespace as a
+	// safety net against leaks on error paths.
+	mem   *storage.Budget
+	spill storage.Backend
 
 	// rtMu guards the mutable execution membership: the runtime map and MED
 	// list (live joins grow them), the active-driver counter (rtCond signals
@@ -98,6 +106,8 @@ func newQuerySession(ctx context.Context, g *GDQS, plan *physical.Plan) (*QueryS
 		deadCh:      make(chan simnet.NodeID, 64),
 		joinCh:      make(chan core.NodeEvent, 64),
 		sink:        &rowSink{ch: make(chan relation.Tuple, 4096)},
+		mem:         storage.NewBudget(g.memBudget.Load()),
+		spill:       g.spill,
 	}
 	s.rtCond = sync.NewCond(&s.rtMu)
 
@@ -144,6 +154,8 @@ func newQuerySession(ctx context.Context, g *GDQS, plan *physical.Plan) (*QueryS
 				Fragment:     frag.ID,
 				Instance:     i,
 				Parallelism:  resolveParallelism(g.cfg.Parallelism),
+				Mem:          s.mem,
+				Spill:        s.spill,
 			}
 			if g.cfg.Adaptive && g.cfg.MonitorEvery > 0 {
 				ectx.Monitor = &core.MonitorAdapter{Bus: cluster.bus, Node: nodeID}
@@ -286,7 +298,28 @@ func (s *QuerySession) Close() {
 			s.responder.Stop()
 		}
 		_ = s.sink.Close()
+		// Operators remove their own runs on Close; sweeping the query's tag
+		// namespace afterwards catches anything an error path left behind.
+		if s.spill != nil {
+			if tag := queryTagPrefix(s.plan); tag != "" {
+				_, _ = s.spill.RemoveMatching(tag)
+			}
+		}
 	})
+}
+
+// queryTagPrefix returns the query-scoped namespace ("q17.") stamped on the
+// plan's fragment IDs by Plan.Tag, or "" for untagged plans. Every spill run
+// name starts with its fragment ID, so the prefix covers the whole query.
+func queryTagPrefix(p *physical.Plan) string {
+	if p == nil || len(p.Fragments) == 0 {
+		return ""
+	}
+	id := p.Fragments[0].ID
+	if i := strings.IndexByte(id, '.'); i >= 0 {
+		return id[:i+1]
+	}
+	return ""
 }
 
 // stats gathers what the execution observed from every owned component.

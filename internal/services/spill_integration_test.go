@@ -1,0 +1,213 @@
+package services
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/relation"
+	"repro/internal/simnet"
+	"repro/internal/vtime"
+	"repro/internal/ws"
+)
+
+// qJoinAgg orders by the group key, so the result is fully deterministic and
+// row-for-row comparable across budgeted and unbudgeted runs.
+const qJoinAgg = "select p.ORF, count(*) AS n from protein_sequences p, protein_interactions i where i.ORF1 = p.ORF group by p.ORF order by p.ORF"
+
+// spillGrid is testGrid with a memory budget and optional posix spill dir.
+func spillGrid(t *testing.T, seqs, ints int, budget int64, spillDir string) (*Cluster, *GDQS) {
+	t.Helper()
+	cluster := NewCluster(ClusterConfig{
+		Scale: 10 * time.Microsecond,
+		Costs: engine.Costs{ScanMs: 0.5, FilterMs: 0.01, ProjectMs: 0.01,
+			JoinBuildMs: 0.05, JoinProbeMs: 0.3, StartupMs: 50},
+		BufferTuples:    25,
+		CheckpointEvery: 25,
+		Buckets:         64,
+	})
+	if err := cluster.AddDataNode("data1", dataset.DemoSized(seqs, ints)); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []simnet.NodeID{"ws0", "ws1"} {
+		if err := cluster.AddComputeNode(n, 1.0,
+			ws.NewRegistry(ws.Entropy{CostMs: 5}, ws.SequenceLength{})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := DefaultGDQSConfig()
+	cfg.Adaptive = false
+	cfg.QueryTimeout = 60 * time.Second
+	cfg.MemoryBudgetBytes = budget
+	cfg.SpillDir = spillDir
+	g, err := NewGDQS(cluster, "coord", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Close)
+	return cluster, g
+}
+
+// tableBytes sums the wire size of every tuple in the named demo table.
+func tableBytes(t *testing.T, c *Cluster, name string) int64 {
+	t.Helper()
+	tbl, err := c.storeOf("data1").Table(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, tp := range tbl.Tuples {
+		total += int64(len(relation.EncodeTuple(tp)))
+	}
+	return total
+}
+
+// TestBudgetedQueryMatchesUnbudgeted is the PR's acceptance scenario: a
+// join+aggregate query over tables at least 4x the memory budget completes on
+// both spill backends with rows byte-identical to the unbudgeted run, spills
+// for real (nonzero counters), and leaks no runs.
+func TestBudgetedQueryMatchesUnbudgeted(t *testing.T) {
+	const seqs, ints = 300, 900
+	_, ref := spillGrid(t, seqs, ints, 0, "")
+	want, err := ref.Execute(context.Background(), qJoinAgg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Rows) == 0 {
+		t.Fatal("reference run produced no rows")
+	}
+
+	for _, backend := range []string{"memory", "posix"} {
+		t.Run(backend, func(t *testing.T) {
+			dir := ""
+			if backend == "posix" {
+				dir = t.TempDir()
+			}
+			// Budget sized after the fact against the actual table bytes; the
+			// grid is rebuilt below with the real value.
+			probeCluster, _ := spillGrid(t, seqs, ints, 0, "")
+			total := tableBytes(t, probeCluster, "protein_sequences") +
+				tableBytes(t, probeCluster, "protein_interactions")
+			budget := total / 8
+			if total < 4*budget {
+				t.Fatalf("tables (%d bytes) not >= 4x budget (%d)", total, budget)
+			}
+
+			cluster, g := spillGrid(t, seqs, ints, budget, dir)
+			if got := tableBytes(t, cluster, "protein_sequences"); got == 0 {
+				t.Fatal("demo store empty")
+			}
+			o := obs.Default()
+			b0 := o.Counter(obs.MSpillBytes).Value()
+			p0 := o.Counter(obs.MSpillPartitions).Value()
+			got, err := g.Execute(context.Background(), qJoinAgg)
+			if err != nil {
+				t.Fatalf("budgeted execute: %v", err)
+			}
+			if len(got.Rows) != len(want.Rows) {
+				t.Fatalf("rows = %d, want %d", len(got.Rows), len(want.Rows))
+			}
+			for i := range want.Rows {
+				w := string(relation.EncodeTuple(want.Rows[i]))
+				gr := string(relation.EncodeTuple(got.Rows[i]))
+				if w != gr {
+					t.Fatalf("row %d diverged under budget:\n%v\n%v",
+						i, got.Rows[i].Format(), want.Rows[i].Format())
+				}
+			}
+			if o.Counter(obs.MSpillBytes).Value() == b0 ||
+				o.Counter(obs.MSpillPartitions).Value() == p0 {
+				t.Fatalf("budget of %d bytes over %d-byte tables never spilled", budget, total)
+			}
+			runs, err := g.SpillBackend().List()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(runs) != 0 {
+				t.Fatalf("spill backend leaks runs after query: %v", runs)
+			}
+		})
+	}
+}
+
+// TestBudgetedAdaptiveRetrospective re-runs the R1 acceptance scenario under
+// an active memory budget: retrospective bucket eviction and replay must stay
+// exact while the join is spilling.
+func TestBudgetedAdaptiveRetrospective(t *testing.T) {
+	_, ref := testGrid(t, false, 150, 500)
+	want, err := ref.Execute(context.Background(), q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cluster, _ := spillGrid(t, 150, 500, 2048, "")
+	// Second coordinator on the same grid, adaptive with R1 under the budget.
+	cfg := DefaultGDQSConfig()
+	cfg.QueryTimeout = 60 * time.Second
+	cfg.MemoryBudgetBytes = 2048
+	cfg.Responder.Response = core.R1
+	g2, err := NewGDQS(cluster, "coord", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Node("ws1").SetPerturbation(vtime.Multiplier(10))
+	o := obs.Default()
+	b0 := o.Counter(obs.MSpillBytes).Value()
+	got, err := g2.Execute(context.Background(), q2)
+	if err != nil {
+		t.Fatalf("adaptive budgeted execute: %v", err)
+	}
+	if strings.Join(sortedRows(got), "\n") != strings.Join(sortedRows(want), "\n") {
+		t.Fatal("R1 under spill diverged from the unbudgeted static run")
+	}
+	if o.Counter(obs.MSpillBytes).Value() == b0 {
+		t.Fatal("2KiB budget never spilled: scenario exercised nothing")
+	}
+	runs, err := g2.SpillBackend().List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 0 {
+		t.Fatalf("spill backend leaks runs after adaptive query: %v", runs)
+	}
+}
+
+// TestMemoryBudgetChangeInvalidatesPlanCache covers the plan-epoch fold: a
+// runtime budget change must re-plan, not reuse a template compiled for a
+// different memory envelope.
+func TestMemoryBudgetChangeInvalidatesPlanCache(t *testing.T) {
+	_, g := testGrid(t, false, 40, 60)
+	if _, err := g.Execute(context.Background(), qOrf(1)); err != nil {
+		t.Fatal(err)
+	}
+	d := statsDelta(g, func() {
+		if _, err := g.Execute(context.Background(), qOrf(2)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if d.Hits != 1 {
+		t.Fatalf("pre-change execute: %+v, want 1 hit", d)
+	}
+
+	g.SetMemoryBudget(1 << 20)
+	d = statsDelta(g, func() {
+		res, err := g.Execute(context.Background(), qOrf(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 1 {
+			t.Fatalf("rows = %d", len(res.Rows))
+		}
+	})
+	if d.Misses != 1 || d.Hits != 0 {
+		t.Fatalf("post-change execute: %+v, want 1 miss (epoch must fold the budget)", d)
+	}
+	if g.MemoryBudget() != 1<<20 {
+		t.Fatalf("MemoryBudget = %d", g.MemoryBudget())
+	}
+}

@@ -1,6 +1,10 @@
 package sqlparse
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
 
 // Slot describes one parameter slot of a normalized statement template, in
 // statement order (WHERE conjuncts left-to-right, then HAVING).
@@ -32,6 +36,7 @@ func Normalize(stmt *SelectStmt) (*SelectStmt, []Slot) {
 	out := *stmt
 	out.Items = append([]SelectItem(nil), stmt.Items...)
 	out.From = append([]TableRef(nil), stmt.From...)
+	sortFrom(&out)
 	out.GroupBy = append([]ColumnRef(nil), stmt.GroupBy...)
 	out.OrderBy = append([]OrderItem(nil), stmt.OrderBy...)
 	out.Where = n.comparisons(stmt.Where)
@@ -41,6 +46,31 @@ func Normalize(stmt *SelectStmt) (*SelectStmt, []Slot) {
 		out.Limit = &lim
 	}
 	return &out, n.slots
+}
+
+// sortFrom orders the template's FROM clause by effective name so that
+// queries differing only in source order share one cache key (the planner
+// reorders joins by cost anyway, so FROM order does not change the plan).
+// The one place FROM order is user-visible is `SELECT *`, whose output
+// columns expand in declared order — those statements keep their FROM
+// clause as written. Sorting is idempotent, so Normalize stays a fixpoint.
+func sortFrom(out *SelectStmt) {
+	if len(out.From) < 2 {
+		return
+	}
+	for _, it := range out.Items {
+		if _, ok := it.Expr.(Star); ok {
+			return
+		}
+	}
+	sort.SliceStable(out.From, func(i, j int) bool {
+		a := strings.ToLower(out.From[i].EffectiveName())
+		b := strings.ToLower(out.From[j].EffectiveName())
+		if a != b {
+			return a < b
+		}
+		return out.From[i].Table < out.From[j].Table
+	})
 }
 
 // NormalizeSQL parses a query and returns its normalized cache key, the

@@ -116,7 +116,8 @@ func TestNormalizeExplicitParams(t *testing.T) {
 
 func TestBindRoundTrip(t *testing.T) {
 	// Normalize then Bind with the stripped literals must reproduce the
-	// original statement exactly.
+	// original statement up to FROM canonicalization (Normalize sorts the
+	// FROM clause so equivalent join orderings share one cache key).
 	cases := []string{
 		"select a from t where a = 3 and b > 2.5 and c = 'x'",
 		"select i.ORF2 from protein_sequences p, protein_interactions i where i.ORF1 = p.ORF",
@@ -133,8 +134,11 @@ func TestBindRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Bind(%q): %v", q, err)
 		}
-		if bound.SQL() != stmt.SQL() {
-			t.Errorf("round trip:\n%q\n%q", stmt.SQL(), bound.SQL())
+		want := *stmt
+		want.From = append([]TableRef(nil), stmt.From...)
+		sortFrom(&want)
+		if bound.SQL() != want.SQL() {
+			t.Errorf("round trip:\n%q\n%q", want.SQL(), bound.SQL())
 		}
 	}
 }
@@ -167,5 +171,37 @@ func TestParseExplicitParamOrdinals(t *testing.T) {
 		if !ok || p.Ord != i {
 			t.Fatalf("where[%d].Right = %#v, want Param{Ord:%d}", i, c.Right, i)
 		}
+	}
+}
+
+func TestNormalizeFromOrderCanonical(t *testing.T) {
+	// Equivalent FROM orderings must normalize to one cache key.
+	a, _, _, err := NormalizeSQL("select i.ORF2 from protein_sequences p, protein_interactions i where i.ORF1 = p.ORF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, _, err := NormalizeSQL("select i.ORF2 from protein_interactions i, protein_sequences p where i.ORF1 = p.ORF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("equivalent FROM orders got distinct keys:\n%q\n%q", a, b)
+	}
+
+	// SELECT * expands columns in declared FROM order, so star statements
+	// must keep their FROM clause as written.
+	s1, _, _, err := NormalizeSQL("select * from protein_sequences p, protein_interactions i where i.ORF1 = p.ORF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _, _, err := NormalizeSQL("select * from protein_interactions i, protein_sequences p where i.ORF1 = p.ORF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 == s2 {
+		t.Fatal("star queries with different FROM orders must keep distinct keys")
+	}
+	if want := "SELECT * FROM protein_sequences p, protein_interactions i WHERE i.ORF1 = p.ORF"; s1 != want {
+		t.Fatalf("star FROM order not preserved: %q", s1)
 	}
 }

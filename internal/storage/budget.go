@@ -1,0 +1,59 @@
+package storage
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Budget is the per-query memory accountant: stateful operators reserve
+// bytes as they buffer tuples and release them when state is spilled,
+// drained or freed. A breach (Over) does not block — it is the signal for
+// the operator to grace-hash-spill a partition or flush a sort run. All
+// methods are safe on a nil *Budget (unbudgeted execution) and for
+// concurrent use.
+type Budget struct {
+	limit    int64
+	inflight atomic.Int64
+	gauge    *obs.Gauge
+}
+
+// NewBudget returns an accountant enforcing the given byte limit
+// (non-positive limits never report Over). Inflight bytes are mirrored to
+// the mem_inflight_bytes gauge.
+func NewBudget(limit int64) *Budget {
+	return &Budget{limit: limit, gauge: obs.Default().Gauge(obs.MMemInflight)}
+}
+
+// Reserve accounts n bytes of operator state.
+func (b *Budget) Reserve(n int64) {
+	if b == nil || n == 0 {
+		return
+	}
+	b.inflight.Add(n)
+	b.gauge.Add(n)
+}
+
+// Release returns n previously reserved bytes.
+func (b *Budget) Release(n int64) { b.Reserve(-n) }
+
+// Over reports whether reserved state exceeds the limit.
+func (b *Budget) Over() bool {
+	return b != nil && b.limit > 0 && b.inflight.Load() > b.limit
+}
+
+// Limit returns the configured byte limit (0 when unbudgeted).
+func (b *Budget) Limit() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.limit
+}
+
+// Inflight returns the currently reserved bytes.
+func (b *Budget) Inflight() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.inflight.Load()
+}

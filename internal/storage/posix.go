@@ -1,0 +1,207 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Posix is the filesystem Backend: each run is one file under a spill
+// directory, written through a buffered writer and read back with a
+// buffered reader. Run names are escaped into flat file names (the '/'
+// hierarchy separator becomes part of the escaped name), so prefix cleanup
+// stays a directory scan.
+type Posix struct {
+	dir string
+
+	mu     sync.Mutex
+	closed bool
+	open   map[string]bool // runs currently open for writing
+}
+
+// NewPosix returns a backend storing runs under dir, creating it if needed.
+func NewPosix(dir string) (*Posix, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: spill dir: %w", err)
+	}
+	return &Posix{dir: dir, open: make(map[string]bool)}, nil
+}
+
+// Name implements Backend.
+func (p *Posix) Name() string { return "posix:" + p.dir }
+
+// Dir returns the spill directory.
+func (p *Posix) Dir() string { return p.dir }
+
+// escapeRun maps a run name to a flat file name: every byte outside
+// [A-Za-z0-9.-] is rewritten as %XX, so distinct names stay distinct and
+// escaping preserves prefix relationships ('/' always escapes the same way).
+func escapeRun(name string) string {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '.', c == '-':
+			b.WriteByte(c)
+		default:
+			fmt.Fprintf(&b, "%%%02x", c)
+		}
+	}
+	return b.String() + ".run"
+}
+
+// unescapeRun inverts escapeRun.
+func unescapeRun(file string) (string, bool) {
+	name, ok := strings.CutSuffix(file, ".run")
+	if !ok {
+		return "", false
+	}
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		if name[i] != '%' {
+			b.WriteByte(name[i])
+			continue
+		}
+		if i+2 >= len(name) {
+			return "", false
+		}
+		var c byte
+		if _, err := fmt.Sscanf(name[i+1:i+3], "%02x", &c); err != nil {
+			return "", false
+		}
+		b.WriteByte(c)
+		i += 2
+	}
+	return b.String(), true
+}
+
+func (p *Posix) path(name string) string {
+	return filepath.Join(p.dir, escapeRun(name))
+}
+
+// Create implements Backend.
+func (p *Posix) Create(name string) (RunWriter, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("storage: posix backend closed")
+	}
+	p.open[name] = true
+	p.mu.Unlock()
+	f, err := os.OpenFile(p.path(name), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		p.mu.Lock()
+		delete(p.open, name)
+		p.mu.Unlock()
+		return nil, fmt.Errorf("storage: create run: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 128<<10)
+	sink := func(block []byte) error {
+		_, err := bw.Write(block)
+		return err
+	}
+	seal := func() error {
+		p.mu.Lock()
+		delete(p.open, name)
+		p.mu.Unlock()
+		if err := bw.Flush(); err != nil {
+			_ = f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return newBlockWriter(sink, seal), nil
+}
+
+// Open implements Backend.
+func (p *Posix) Open(name string) (RunReader, error) {
+	p.mu.Lock()
+	writing := p.open[name]
+	p.mu.Unlock()
+	if writing {
+		return nil, fmt.Errorf("storage: run %q is not sealed", name)
+	}
+	f, err := os.Open(p.path(name))
+	if err != nil {
+		return nil, fmt.Errorf("storage: open run: %w", err)
+	}
+	br := bufio.NewReaderSize(f, 128<<10)
+	var hdr [4]byte
+	var block []byte
+	fill := func() ([]byte, error) {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				return nil, nil
+			}
+			return nil, fmt.Errorf("storage: run %q: block header: %w", name, err)
+		}
+		n := binary.LittleEndian.Uint32(hdr[:])
+		if cap(block) < int(n) {
+			block = make([]byte, n)
+		}
+		block = block[:n]
+		if _, err := io.ReadFull(br, block); err != nil {
+			return nil, fmt.Errorf("storage: run %q: block body: %w", name, err)
+		}
+		return block, nil
+	}
+	return newBlockReader(fill, f.Close), nil
+}
+
+// Remove implements Backend.
+func (p *Posix) Remove(name string) error {
+	err := os.Remove(p.path(name))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("storage: remove run: %w", err)
+	}
+	return nil
+}
+
+// RemoveMatching implements Backend.
+func (p *Posix) RemoveMatching(prefix string) (int, error) {
+	names, err := p.List()
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, name := range listMatching(names, prefix) {
+		if err := p.Remove(name); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// List implements Backend.
+func (p *Posix) List() ([]string, error) {
+	entries, err := os.ReadDir(p.dir)
+	if err != nil {
+		return nil, fmt.Errorf("storage: list runs: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if name, ok := unescapeRun(e.Name()); ok {
+			names = append(names, name)
+		}
+	}
+	return listMatching(names, ""), nil
+}
+
+// Close implements Backend: it removes every run file (the directory itself
+// is left in place — it may be shared or user-provided).
+func (p *Posix) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	_, err := p.RemoveMatching("")
+	return err
+}

@@ -1,0 +1,215 @@
+// Package storage is the temporary-run layer under memory-governed
+// execution: a pluggable Backend hands out append-only runs of encoded
+// tuples that spilling operators (grace-hash join and aggregate partitions,
+// external-sort runs) write sequentially and read back sequentially. Runs
+// reuse the hardened wire tuple codec, framed in length-prefixed blocks, so
+// a spilled partition round-trips byte-exactly through the same code path
+// the transport already fuzzes.
+//
+// The package also provides Budget, the per-query memory accountant the
+// engine threads through ExecContext: operators reserve bytes as they buffer
+// state and spill partitions to a Backend when the budget is breached.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// RunWriter appends tuples to one named run. Writers are single-goroutine
+// objects; Close seals the run for reading.
+type RunWriter interface {
+	// Append encodes and buffers one tuple.
+	Append(t relation.Tuple) error
+	// AppendAll appends a batch of tuples.
+	AppendAll(ts []relation.Tuple) error
+	// Tuples reports how many tuples have been appended.
+	Tuples() int64
+	// Bytes reports the encoded size written (including buffered bytes).
+	Bytes() int64
+	// Close flushes buffered blocks and seals the run.
+	Close() error
+}
+
+// RunReader streams a sealed run back in append order. Readers are
+// single-goroutine objects.
+type RunReader interface {
+	// Next returns the next tuple; ok is false at end of run.
+	Next() (t relation.Tuple, ok bool, err error)
+	// Close releases the reader (the run itself stays until removed).
+	Close() error
+}
+
+// Backend creates, opens and removes named temporary runs. Implementations
+// are safe for concurrent use by multiple queries; individual writers and
+// readers are not. Run names use '/' as a hierarchy separator
+// ("q7.f1-i0/join-p5-build"), which is what prefix cleanup keys on.
+type Backend interface {
+	// Name identifies the backend configuration ("memory", "posix:<dir>");
+	// it participates in the plan-cache epoch so switching storage
+	// invalidates cached plans.
+	Name() string
+	// Create makes a new empty run, failing if the name already exists.
+	Create(name string) (RunWriter, error)
+	// Open returns a reader over a sealed run.
+	Open(name string) (RunReader, error)
+	// Remove deletes a run (idempotent: removing an absent run is not an
+	// error).
+	Remove(name string) error
+	// RemoveMatching deletes every run whose name starts with prefix and
+	// reports how many were removed — the per-query cleanup safety net.
+	RemoveMatching(prefix string) (int, error)
+	// List returns the sorted names of all existing runs.
+	List() ([]string, error)
+	// Close releases the backend and everything in it.
+	Close() error
+}
+
+// blockTarget is the run writers' flush threshold: buffered tuples are
+// encoded into one length-prefixed block once their encoded size passes it.
+const blockTarget = 64 << 10
+
+// blockWriter implements the shared run-writer framing over a byte sink:
+// each flush emits one block of the form len:uint32le ++ AppendTuples(batch).
+type blockWriter struct {
+	sink   func(block []byte) error
+	seal   func() error
+	batch  []relation.Tuple
+	pend   int // encoded size of the buffered batch
+	tuples int64
+	bytes  int64
+	closed bool
+}
+
+func newBlockWriter(sink func([]byte) error, seal func() error) *blockWriter {
+	return &blockWriter{sink: sink, seal: seal}
+}
+
+// Append implements RunWriter.
+func (w *blockWriter) Append(t relation.Tuple) error {
+	if w.closed {
+		return fmt.Errorf("storage: append to closed run")
+	}
+	w.batch = append(w.batch, t)
+	w.pend += t.ByteSize()
+	w.tuples++
+	if w.pend >= blockTarget {
+		return w.flush()
+	}
+	return nil
+}
+
+// AppendAll implements RunWriter.
+func (w *blockWriter) AppendAll(ts []relation.Tuple) error {
+	for _, t := range ts {
+		if err := w.Append(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Tuples implements RunWriter.
+func (w *blockWriter) Tuples() int64 { return w.tuples }
+
+// Bytes implements RunWriter.
+func (w *blockWriter) Bytes() int64 { return w.bytes + int64(w.pend) }
+
+func (w *blockWriter) flush() error {
+	if len(w.batch) == 0 {
+		return nil
+	}
+	buf := relation.GetEncodeBuffer()
+	buf = append(buf, 0, 0, 0, 0) // block length, patched below
+	buf = relation.AppendTuples(buf, w.batch)
+	n := len(buf) - 4
+	buf[0], buf[1], buf[2], buf[3] = byte(n), byte(n>>8), byte(n>>16), byte(n>>24)
+	err := w.sink(buf)
+	relation.PutEncodeBuffer(buf)
+	w.bytes += int64(w.pend)
+	w.batch = w.batch[:0]
+	w.pend = 0
+	return err
+}
+
+// Close implements RunWriter.
+func (w *blockWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	if err := w.flush(); err != nil {
+		w.closed = true
+		if w.seal != nil {
+			_ = w.seal()
+		}
+		return err
+	}
+	w.closed = true
+	if w.seal != nil {
+		return w.seal()
+	}
+	return nil
+}
+
+// blockReader implements the shared run-reader framing: fill hands it the
+// next whole block, and Next decodes tuples out of it one at a time.
+type blockReader struct {
+	fill  func() ([]byte, error) // next block payload; nil at end of run
+	done  func() error
+	rest  []byte // undecoded remainder of the current block
+	left  uint64 // tuples remaining in the current block
+	arena relation.Arena
+}
+
+func newBlockReader(fill func() ([]byte, error), done func() error) *blockReader {
+	return &blockReader{fill: fill, done: done}
+}
+
+// Next implements RunReader.
+func (r *blockReader) Next() (relation.Tuple, bool, error) {
+	for r.left == 0 {
+		block, err := r.fill()
+		if err != nil {
+			return nil, false, err
+		}
+		if block == nil {
+			return nil, false, nil
+		}
+		n, rest, err := relation.TupleCount(block)
+		if err != nil {
+			return nil, false, fmt.Errorf("storage: run block: %w", err)
+		}
+		r.left, r.rest = n, rest
+	}
+	t, rest, err := relation.DecodeTupleInto(&r.arena, r.rest)
+	if err != nil {
+		return nil, false, fmt.Errorf("storage: run tuple: %w", err)
+	}
+	r.rest = rest
+	r.left--
+	return t, true, nil
+}
+
+// Close implements RunReader.
+func (r *blockReader) Close() error {
+	r.rest, r.left = nil, 0
+	if r.done != nil {
+		return r.done()
+	}
+	return nil
+}
+
+// listMatching filters sorted names by prefix (shared by both backends).
+func listMatching(names []string, prefix string) []string {
+	out := names[:0:0]
+	for _, n := range names {
+		if strings.HasPrefix(n, prefix) {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
