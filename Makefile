@@ -31,9 +31,13 @@ chaos:
 
 ## lowmem: the services and chaos suites with a 64KiB per-query memory
 ## budget forced on every coordinator (GRIDDQP_FORCE_MEM_BUDGET), so every
-## stateful query in the suites exercises the grace-hash spill path.
+## stateful query in the suites exercises the grace-hash spill path — first
+## with the classic serial drivers, then again with width-4 morsel worker
+## pools (GRIDDQP_FORCE_PARALLEL), so every budgeted query also exercises the
+## striped-budget parallel spill path.
 lowmem:
 	GRIDDQP_FORCE_MEM_BUDGET=65536 $(GO) test ./internal/services/ ./internal/chaos/ -count=1
+	GRIDDQP_FORCE_MEM_BUDGET=65536 GRIDDQP_FORCE_PARALLEL=4 $(GO) test ./internal/services/ ./internal/chaos/ -count=1
 
 ## bench: the engine micro-benchmarks (codec, producer, volcano vs batch).
 bench:

@@ -36,6 +36,8 @@ type HashAggregate struct {
 	ctx     *ExecContext
 	buckets int
 	shared  *aggState
+	// acct is this clone's budget stripe handle (stripe 0 for serial runs).
+	acct *storage.BudgetAcct
 	// part is this clone's private absorb table.
 	part *aggPartial
 
@@ -76,12 +78,15 @@ type aggState struct {
 	out      []relation.Tuple
 	pos      int
 
-	// Spill wiring (serial aggregates under a memory budget only; see
-	// spillagg.go). On breach every group — shared and partial — is dumped
-	// as a partial-aggregate record to one append-only run and the tables
-	// restart empty; the final merge reloads and re-merges the run.
+	// Spill wiring (aggregates under a memory budget, serial or
+	// morsel-parallel; see spillagg.go). On breach every group — shared and
+	// partial — is dumped as a partial-aggregate record to one append-only
+	// run and the tables restart empty; the final merge reloads and
+	// re-merges the run. Workers account group creation through per-stripe
+	// budget handles; the dump itself serializes under mu.
 	spillOn bool
 	mem     *storage.Budget
+	acct0   *storage.BudgetAcct // stripe-0 handle for replay/merge paths
 	backend storage.Backend
 	base    string
 	met     spillMetrics
@@ -116,12 +121,15 @@ func (s *aggState) init(ctx *ExecContext) {
 		s.state = make(map[int32]map[uint64][]*groupState)
 		s.insertMeter = newOpInsertMeter(ctx)
 		s.mon = newOpMonitor(ctx)
-		if ctx.spillEnabled() && s.refs.Load() == 1 {
+		if ctx.spillEnabled() {
 			s.spillOn = true
 			s.mem = ctx.Mem
+			s.acct0 = ctx.Mem.Acct(0)
 			s.backend = ctx.Spill
 			s.base = ctx.spillRunName("agg")
 			s.met = newSpillMetrics()
+		} else {
+			recordUngoverned(ctx, "agg")
 		}
 		s.ready.Store(true)
 	})
@@ -222,6 +230,7 @@ func (a *HashAggregate) Open(ctx *ExecContext) error {
 	s := a.ensureShared()
 	s.init(ctx)
 	a.buckets = s.buckets
+	a.acct = ctx.memAcct()
 	a.part = &aggPartial{state: make(map[int32]map[uint64][]*groupState)}
 	s.mu.Lock()
 	s.partials = append(s.partials, a.part)
@@ -287,8 +296,10 @@ func (a *HashAggregate) drainChild() error {
 		}
 		a.part.mu.Unlock()
 		// Breach check outside the partial lock: dump takes s.mu then the
-		// partial locks, the same order the final merge uses.
-		if s.spillOn && s.mem.Over() {
+		// partial locks, the same order the final merge uses. Concurrent
+		// breaching workers serialize on s.mu inside dump; the second
+		// arrival dumps whatever trickled in since, which is cheap.
+		if s.spillOn && a.acct.Over() {
 			if err := s.dump(a); err != nil {
 				return err
 			}
@@ -403,7 +414,7 @@ func findOrCreateGroup(state map[int32]map[uint64][]*groupState, b int32, h uint
 	}
 	g := &groupState{key: t.Project(a.GroupOrds), accs: make([]accumulator, len(a.Kinds))}
 	m[h] = append(m[h], g)
-	a.shared.accountGroup(g)
+	a.shared.accountGroup(g, a.acct)
 	return g
 }
 
@@ -474,7 +485,7 @@ func (s *aggState) findOrCreateMergedLocked(b int32, h uint64, key relation.Tupl
 	}
 	g := &groupState{key: key, accs: make([]accumulator, nAccs)}
 	m[h] = append(m[h], g)
-	s.accountGroup(g)
+	s.accountGroup(g, s.acct0)
 	return g
 }
 
@@ -653,6 +664,7 @@ type Sort struct {
 	Desc  []bool
 
 	ctx    *ExecContext
+	acct   *storage.BudgetAcct
 	sorted []relation.Tuple
 	pos    int
 	done   bool
@@ -668,6 +680,8 @@ type Sort struct {
 // Open implements Iterator.
 func (s *Sort) Open(ctx *ExecContext) error {
 	s.ctx = ctx
+	s.acct = ctx.memAcct()
+	recordUngoverned(ctx, "sort")
 	return s.Child.Open(ctx)
 }
 
@@ -688,8 +702,8 @@ func (s *Sort) Next() (relation.Tuple, bool, error) {
 			if spill {
 				sz := sortTupleBytes(t)
 				s.bufBytes += sz
-				s.ctx.Mem.Reserve(sz)
-				if s.ctx.Mem.Over() {
+				s.acct.Reserve(sz)
+				if s.acct.Over() {
 					if err := s.flushRun(); err != nil {
 						return nil, false, err
 					}

@@ -385,8 +385,19 @@ func (r *FragmentRuntime) Run(ctx context.Context) error {
 		return r.runParallel(ctx, ectx.Parallelism)
 	}
 	if err := r.root.Open(ectx); err != nil {
+		_ = r.root.Close()
 		return r.fail(err)
 	}
+	// Every exit below must close the operator tree exactly once: stateful
+	// operators release their reserved memory (and spill runs) in Close, so
+	// an error return that skips it leaks mem_inflight_bytes for the rest of
+	// the process. The success path closes explicitly to surface the error.
+	rootClosed := false
+	defer func() {
+		if !rootClosed {
+			_ = r.root.Close()
+		}
+	}()
 	// The watcher translates a context cancellation into an interrupt of
 	// the driver's two blocking edges (consumer waits and paused
 	// exchanges); it must not outlive Run, so Run closes done on exit.
@@ -415,7 +426,6 @@ func (r *FragmentRuntime) Run(ctx context.Context) error {
 		// a clean end-of-stream; this check converts that into the typed
 		// cancellation error instead of a truncated "success".
 		if ctx.Err() != nil {
-			_ = r.root.Close()
 			return r.fail(qerr.FromContext(ctx))
 		}
 		if monitoring {
@@ -468,9 +478,9 @@ func (r *FragmentRuntime) Run(ctx context.Context) error {
 		}
 	}
 	if ctx.Err() != nil {
-		_ = r.root.Close()
 		return r.fail(qerr.FromContext(ctx))
 	}
+	rootClosed = true
 	if err := r.root.Close(); err != nil {
 		return r.fail(err)
 	}

@@ -2,15 +2,18 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/logical"
 	"repro/internal/physical"
 	"repro/internal/relation"
 	"repro/internal/simnet"
 	"repro/internal/sqlparse"
+	"repro/internal/storage"
 	"repro/internal/transport"
 	"repro/internal/vtime"
 	"repro/internal/ws"
@@ -115,6 +118,51 @@ func TestRuntimeRunScanToSink(t *testing.T) {
 	}
 	if rt.QueuedTuples() != 0 || rt.ConsumedTuples() != 0 {
 		t.Fatal("scan fragment has no consumers")
+	}
+}
+
+// failSink rejects every row, forcing the driver down its mid-stream error
+// return after stateful operators below the root have already buffered (and
+// reserved) state.
+type failSink struct{ err error }
+
+func (s *failSink) Send(relation.Tuple) error { return s.err }
+func (s *failSink) Close() error              { return nil }
+
+// TestRuntimeErrorPathReleasesBudget pins the driver's close-on-error
+// contract: a mid-stream failure (here the sink rejecting the first row)
+// must still close the operator tree, or a budgeted aggregate's reserved
+// bytes leak on mem_inflight_bytes for the rest of the process.
+func TestRuntimeErrorPathReleasesBudget(t *testing.T) {
+	scanCols := []relation.Column{
+		{Table: "protein_sequences", Name: "ORF", Type: relation.TString},
+	}
+	outCols := []relation.Column{
+		{Name: "ORF", Type: relation.TString},
+		{Name: "n", Type: relation.TInt},
+	}
+	spec := &physical.OpSpec{
+		Kind: physical.KAggregate, OutCols: outCols,
+		GroupOrds: []int{0},
+		AggKinds:  []uint8{uint8(logical.AggCount)},
+		AggArgs:   []int{-1},
+		Children: []*physical.OpSpec{{Kind: physical.KScan,
+			Table: "protein_sequences", OutCols: scanCols}},
+	}
+	sinkErr := errors.New("sink rejected row")
+	_, cfg := runtimeFixture(t, spec, &failSink{err: sinkErr})
+	cfg.Ctx.Mem = storage.NewBudget(1 << 20) // large: buffer, never spill
+	cfg.Ctx.Spill = storage.NewMemory()
+	rt, err := NewFragmentRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	if err := rt.Run(context.Background()); !errors.Is(err, sinkErr) {
+		t.Fatalf("Run = %v, want the sink error", err)
+	}
+	if n := cfg.Ctx.Mem.Inflight(); n != 0 {
+		t.Fatalf("inflight = %d bytes after failed run, want 0 (operator tree not closed)", n)
 	}
 }
 

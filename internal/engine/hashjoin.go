@@ -36,7 +36,11 @@ type joinEntry struct {
 	next int32 // arena index of the next entry in the chain; -1 ends it
 }
 
-// chainRef locates one (bucket, hash) chain in the arena.
+// chainRef locates one hash chain in the arena. The routing bucket is a
+// pure function of the hash (b = h % buckets), so chains are keyed by hash
+// alone: one map lookup per insert/probe instead of two, and no per-bucket
+// inner maps to allocate. R1 evictions — rare, one per adaptation — recover
+// the bucket by scanning the partition's chains.
 type chainRef struct {
 	head, tail int32
 	n          int32
@@ -48,13 +52,13 @@ type joinPart struct {
 	// optimiser's cardinality estimate: inserting appends here instead of
 	// growing one slice per distinct key.
 	entries []joinEntry
-	chains  map[int32]map[uint64]chainRef // bucket → hash → chain
+	chains  map[uint64]chainRef // hash → chain (bucket derivable from hash)
 	held    int
 
-	// Grace-hash spill state (serial joins under a memory budget only; see
-	// spill.go). Once spilled, the partition's build tuples live in a build
-	// run, probe tuples route to a probe run, and matching is deferred to
-	// the post-probe drain.
+	// Grace-hash spill state (joins under a memory budget, serial or
+	// morsel-parallel; see spill.go). Once spilled, the partition's build
+	// tuples live in a build run, probe tuples route to a probe run, and
+	// matching is deferred to the post-probe drain.
 	bytes      int64 // accounted bytes of the in-memory entries
 	spilled    bool
 	build      storage.RunWriter
@@ -76,9 +80,6 @@ type joinState struct {
 	ready    atomic.Bool
 	ctx      *ExecContext // first opener's context; shared fields only
 	buckets  int
-	// hashHint sizes each bucket's chain map: expected distinct hashes per
-	// bucket, from the build-side cardinality estimate.
-	hashHint int
 
 	insertMeter *opInsertMeter
 	mon         *opMonitor
@@ -88,12 +89,28 @@ type joinState struct {
 	parts [joinPartitions]joinPart
 
 	// Spill wiring (see spill.go). spillOn is decided once at init: a
-	// budget and backend are configured and the join is serial.
+	// budget and backend are configured. Both serial and morsel-parallel
+	// joins spill; workers account through per-stripe budget handles and
+	// coordinate partition eviction under spillMu.
 	spillOn bool
 	mem     *storage.Budget
+	acct0   *storage.BudgetAcct // stripe-0 handle for replay/release paths
 	backend storage.Backend
 	base    string // run-name namespace for this join's partitions
 	met     spillMetrics
+	// spillMu serializes victim selection and partition eviction across
+	// workers, so two breaching workers never race to spill partitions.
+	spillMu sync.Mutex
+
+	// Parallel drain coordination: probers meet at probeBarrier once their
+	// probe inputs are exhausted, one worker seals the spilled runs
+	// (sealOnce), and the resulting pairs queue in pairQ for any worker to
+	// drain — pairs are independent, so workers pull and match them
+	// concurrently, repartitioned sub-pairs re-queueing at the front.
+	probeBarrier buildBarrier
+	sealOnce     sync.Once
+	pairMu       sync.Mutex
+	pairQ        []spillPair
 
 	errMu    sync.Mutex
 	spillErr error // first spill I/O failure; surfaced before completion
@@ -103,6 +120,7 @@ func newJoinState() *joinState {
 	s := &joinState{}
 	s.refs.Store(1)
 	s.barrier.reset(1)
+	s.probeBarrier.reset(1)
 	return s
 }
 
@@ -116,28 +134,28 @@ func (s *joinState) init(ctx *ExecContext, est int) {
 		s.insertMeter = newOpInsertMeter(ctx)
 		s.mon = newOpMonitor(ctx)
 		// Pre-size from the optimiser's build-side estimate: each partition
-		// arena gets its uniform share plus 25% headroom for skew, and each
-		// bucket's chain map expects est/buckets distinct hashes. est <= 0
-		// (no estimate) falls back to grow-on-demand.
+		// arena and chain map gets its uniform share plus 25% headroom for
+		// skew. est <= 0 (no estimate) falls back to grow-on-demand.
 		perPart := 0
 		if est > 0 {
 			perPart = est/joinPartitions + est/(4*joinPartitions) + 8
-			s.hashHint = est/s.buckets + 1
 		}
-		bucketsPerPart := s.buckets/joinPartitions + 1
 		for i := range s.parts {
 			p := &s.parts[i]
-			p.chains = make(map[int32]map[uint64]chainRef, bucketsPerPart)
+			p.chains = make(map[uint64]chainRef, perPart)
 			if perPart > 0 {
 				p.entries = make([]joinEntry, 0, perPart)
 			}
 		}
-		if ctx.spillEnabled() && s.refs.Load() == 1 {
+		if ctx.spillEnabled() {
 			s.spillOn = true
 			s.mem = ctx.Mem
+			s.acct0 = ctx.Mem.Acct(0)
 			s.backend = ctx.Spill
 			s.base = ctx.spillRunName("join")
 			s.met = newSpillMetrics()
+		} else {
+			recordUngoverned(ctx, "join")
 		}
 		s.ready.Store(true)
 	})
@@ -147,54 +165,62 @@ func (s *joinState) part(b int32) *joinPart {
 	return &s.parts[int(b)%joinPartitions]
 }
 
-// insertBatch adds build tuples one partition lock at a time.
-func (s *joinState) insertBatch(keys []int, ts []relation.Tuple) {
+// insertBatch adds build tuples one partition lock at a time, accounting
+// through the calling worker's budget stripe. The breach check runs once
+// per batch: Over is a single shared load, and the bounded over-shoot of a
+// batch (at most one morsel of entries) just means the victim partition
+// spills marginally later.
+func (s *joinState) insertBatch(a *storage.BudgetAcct, keys []int, ts []relation.Tuple) {
 	for _, t := range ts {
-		s.insertOne(keys, t)
+		s.insertOne(a, keys, t)
+	}
+	if s.spillOn && a.Over() {
+		s.spillVictims()
 	}
 }
 
 // insertOne appends one build tuple to its partition's entry arena and links
-// it onto the (bucket, hash) chain.
-func (s *joinState) insertOne(keys []int, t relation.Tuple) {
+// it onto the hash chain. Bytes are reserved on a before the partition's
+// byte count is published, so a concurrent spiller releasing p.bytes is
+// always covered by completed reservations and the accountant never clamps
+// on a live partition.
+func (s *joinState) insertOne(a *storage.BudgetAcct, keys []int, t relation.Tuple) {
 	h := t.Hash(keys)
 	b := int32(h % uint64(s.buckets))
 	p := s.part(b)
+	var reserve int64
+	if s.spillOn {
+		reserve = spillEntryBytes(t)
+		a.Reserve(reserve)
+	}
 	p.mu.Lock()
 	if p.spilled {
 		s.appendSpilledLocked(p, b, t)
 		p.mu.Unlock()
+		if reserve > 0 {
+			a.Release(reserve) // routed to the build run, not held in memory
+		}
 		return
 	}
-	var reserve int64
-	if p.chains != nil {
-		m := p.chains[b]
-		if m == nil {
-			m = make(map[uint64]chainRef, s.hashHint)
-			p.chains[b] = m
+	if p.chains == nil {
+		p.mu.Unlock()
+		if reserve > 0 {
+			a.Release(reserve) // table already released (post-close replay)
 		}
-		idx := int32(len(p.entries))
-		p.entries = append(p.entries, joinEntry{t: t, next: -1})
-		if c, ok := m[h]; ok {
-			p.entries[c.tail].next = idx
-			c.tail, c.n = idx, c.n+1
-			m[h] = c
-		} else {
-			m[h] = chainRef{head: idx, tail: idx, n: 1}
-		}
-		p.held++
-		if s.spillOn {
-			reserve = spillEntryBytes(t)
-			p.bytes += reserve
-		}
+		return
 	}
+	idx := int32(len(p.entries))
+	p.entries = append(p.entries, joinEntry{t: t, next: -1})
+	if c, ok := p.chains[h]; ok {
+		p.entries[c.tail].next = idx
+		c.tail, c.n = idx, c.n+1
+		p.chains[h] = c
+	} else {
+		p.chains[h] = chainRef{head: idx, tail: idx, n: 1}
+	}
+	p.held++
+	p.bytes += reserve
 	p.mu.Unlock()
-	if reserve > 0 {
-		s.mem.Reserve(reserve)
-		if s.mem.Over() {
-			s.spillVictims()
-		}
-	}
 }
 
 // release drops one clone reference; the last one frees the table. Inserts
@@ -231,6 +257,15 @@ func (s *joinState) release() {
 		p.held = 0
 		p.mu.Unlock()
 	}
+	// Queued drain pairs no clone ever pulled (a cancelled or failed query)
+	// leave their runs behind; sweep them with the table.
+	s.pairMu.Lock()
+	for _, pr := range s.pairQ {
+		_ = s.backend.Remove(pr.build)
+		_ = s.backend.Remove(pr.probe)
+	}
+	s.pairQ = nil
+	s.pairMu.Unlock()
 }
 
 // buildBarrier holds probers back until every worker has finished building
@@ -310,6 +345,8 @@ type HashJoin struct {
 	ctx     *ExecContext
 	buckets int
 	shared  *joinState
+	// acct is this clone's budget stripe handle (stripe 0 for serial runs).
+	acct *storage.BudgetAcct
 
 	// pending holds overflow outputs that did not fit the current output
 	// batch (a single probe tuple can match many build tuples); pendHead
@@ -354,6 +391,7 @@ func (j *HashJoin) SetWorkers(n int) {
 	s := j.ensureShared()
 	s.refs.Store(int32(n))
 	s.barrier.reset(n)
+	s.probeBarrier.reset(n)
 }
 
 // Open implements Iterator: it drains the build input batch-at-a-time
@@ -365,6 +403,7 @@ func (j *HashJoin) Open(ctx *ExecContext) error {
 	s := j.ensureShared()
 	s.init(ctx, j.BuildEst)
 	j.buckets = s.buckets
+	j.acct = ctx.memAcct()
 	j.in = relation.GetBatch()
 	if err := j.openBuild(ctx, s); err != nil {
 		return err
@@ -391,7 +430,7 @@ func (j *HashJoin) openBuild(ctx *ExecContext, s *joinState) error {
 			return nil
 		}
 		ctx.chargeN(ctx.Costs.JoinBuildMs, n)
-		s.insertBatch(j.BuildKeys, j.in.Tuples)
+		s.insertBatch(j.acct, j.BuildKeys, j.in.Tuples)
 		// The build phase produces nothing, so the driver's M1 emission is
 		// silent; emit operator-level events so the Diagnoser can already
 		// rebalance a perturbed build. Each worker attributes its own
@@ -439,7 +478,7 @@ func (j *HashJoin) Next() (relation.Tuple, bool, error) {
 			p.mu.Unlock()
 			continue
 		}
-		if c, ok := p.chains[b][h]; ok {
+		if c, ok := p.chains[h]; ok {
 			for e := c.head; e >= 0; e = p.entries[e].next {
 				if cand := p.entries[e].t; j.keysEqual(cand, t) {
 					j.pending = append(j.pending, cand.Concat(t))
@@ -498,7 +537,7 @@ func (j *HashJoin) NextBatch(dst *relation.Batch) (int, error) {
 				p.mu.Unlock()
 				continue
 			}
-			c, ok := p.chains[b][h]
+			c, ok := p.chains[h]
 			if !ok {
 				p.mu.Unlock()
 				continue
@@ -565,7 +604,10 @@ func (j *HashJoin) InsertState(tuples []relation.Tuple) {
 	}
 	for _, t := range tuples {
 		s.insertMeter.charge(s.ctx.Node.PerturbedCost(s.ctx.Costs.JoinBuildMs))
-		s.insertOne(j.BuildKeys, t)
+		s.insertOne(s.acct0, j.BuildKeys, t)
+	}
+	if s.spillOn && s.acct0.Over() {
+		s.spillVictims()
 	}
 }
 
@@ -592,11 +634,14 @@ func (j *HashJoin) EvictBuckets(buckets []int32) {
 			continue
 		}
 		if p.chains != nil {
-			if m, ok := p.chains[b]; ok {
-				for _, c := range m {
+			// Chains are keyed by hash; recover the bucket's chains by
+			// scanning the partition. Evictions are rare (one per R1
+			// adaptation), so the scan is off every hot path.
+			for h, c := range p.chains {
+				if int32(h%uint64(s.buckets)) == b {
 					p.held -= int(c.n)
+					delete(p.chains, h)
 				}
-				delete(p.chains, b)
 			}
 		}
 		p.mu.Unlock()
@@ -619,11 +664,13 @@ func (j *HashJoin) StateSize() int {
 	return held
 }
 
-// Abort releases sibling workers blocked at the build barrier; the worker
-// pool calls it when a worker fails before reaching this join's Open.
+// Abort releases sibling workers blocked at the build or probe-completion
+// barrier; the worker pool calls it when a worker fails before reaching
+// this join's Open (or before finishing its probe share).
 func (j *HashJoin) Abort() {
 	if j.shared != nil {
 		j.shared.barrier.cancel()
+		j.shared.probeBarrier.cancel()
 	}
 }
 

@@ -222,7 +222,13 @@ func (p *Project) Next() (relation.Tuple, bool, error) {
 		return nil, false, err
 	}
 	p.ctx.charge(p.ctx.Costs.ProjectMs)
-	return t.Project(p.Ords), true, nil
+	// Carve the output from the arena like NextBatch does, so the scalar
+	// probe path amortises its projections the same way the batch path does.
+	out := p.arena.Alloc(len(p.Ords))
+	for k, o := range p.Ords {
+		out[k] = t[o]
+	}
+	return out, true, nil
 }
 
 // NextBatch implements BatchIterator: it fills dst from the child and
@@ -297,9 +303,9 @@ func (o *OperationCall) Next() (relation.Tuple, bool, error) {
 	if err != nil {
 		return nil, false, fmt.Errorf("engine: %s: %w", o.Fn, err)
 	}
-	out := make(relation.Tuple, 0, len(t)+1)
-	out = append(out, t...)
-	out = append(out, v)
+	out := o.arena.Alloc(len(t) + 1)
+	copy(out, t)
+	out[len(t)] = v
 	return out, true, nil
 }
 

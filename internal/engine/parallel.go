@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/logical"
 	"repro/internal/obs"
@@ -38,6 +39,11 @@ type sharedSource struct {
 	openErr error
 	eos     bool
 
+	// refs counts workerLeaf handles; the last leaf to close closes the
+	// underlying input. Closing on the first leaf instead would race: a
+	// worker that fails (or finishes) early tears the source down while a
+	// sibling is still mid-read in NextBatch.
+	refs      atomic.Int32
 	closeOnce sync.Once
 	closeErr  error
 }
@@ -66,6 +72,16 @@ func (ss *sharedSource) open() error {
 	return ss.openErr
 }
 
+// release drops one leaf's reference; the last one closes the underlying
+// input. closeOnce still guards the underlying Close so a leaf closed twice
+// cannot re-close it.
+func (ss *sharedSource) release() error {
+	if ss.refs.Add(-1) > 0 {
+		return nil
+	}
+	return ss.close()
+}
+
 func (ss *sharedSource) close() error {
 	ss.closeOnce.Do(func() {
 		if ss.cons != nil {
@@ -80,14 +96,21 @@ func (ss *sharedSource) close() error {
 // workerLeaf is one worker's view of a sharedSource, placed at the leaf of
 // the worker's operator chain.
 type workerLeaf struct {
-	ss    *sharedSource
-	cw    *ConsumerWorker
-	meter *vtime.Meter
+	ss     *sharedSource
+	cw     *ConsumerWorker
+	meter  *vtime.Meter
+	closed bool
 
 	// nb/npos adapt NextBatch to the tuple-at-a-time Iterator contract for
 	// operators that drive their input through Next.
 	nb   *relation.Batch
 	npos int
+}
+
+// newWorkerLeaf hands out one worker's reference on a shared source.
+func newWorkerLeaf(ss *sharedSource) *workerLeaf {
+	ss.refs.Add(1)
+	return &workerLeaf{ss: ss}
 }
 
 // Open implements Iterator.
@@ -147,8 +170,13 @@ func (l *workerLeaf) Next() (relation.Tuple, bool, error) {
 }
 
 // Close implements Iterator: it finishes the worker's outstanding morsel and
-// closes the underlying input once across all workers.
+// drops this worker's reference; the last sibling to close closes the
+// underlying input.
 func (l *workerLeaf) Close() error {
+	if l.closed {
+		return nil
+	}
+	l.closed = true
 	if l.cw != nil {
 		l.cw.Finish()
 	}
@@ -156,7 +184,7 @@ func (l *workerLeaf) Close() error {
 		l.nb.Release()
 		l.nb = nil
 	}
-	return l.ss.close()
+	return l.ss.release()
 }
 
 // parallelOK reports whether the fragment may run under the worker pool:
@@ -186,7 +214,7 @@ func specParallelOK(s *physical.OpSpec) bool {
 func (r *FragmentRuntime) buildWorkerChain(spec *physical.OpSpec, leaves map[*physical.OpSpec]*sharedSource) (Iterator, error) {
 	switch spec.Kind {
 	case physical.KScan:
-		return &workerLeaf{ss: leaves[spec]}, nil
+		return newWorkerLeaf(leaves[spec]), nil
 
 	case physical.KFilter:
 		child, err := r.buildWorkerChain(spec.Children[0], leaves)
@@ -240,7 +268,7 @@ func (r *FragmentRuntime) buildWorkerChain(spec *physical.OpSpec, leaves map[*ph
 		return base.WorkerClone(child), nil
 
 	case physical.KConsume:
-		return &workerLeaf{ss: leaves[spec]}, nil
+		return newWorkerLeaf(leaves[spec]), nil
 
 	default:
 		return nil, fmt.Errorf("engine: operator kind %v not parallel-eligible", spec.Kind)
@@ -368,10 +396,18 @@ func (r *FragmentRuntime) runParallel(ctx context.Context, workers int) error {
 	for w := range chains {
 		chain, err := r.buildWorkerChain(r.cfg.Fragment.Root, leaves)
 		if err != nil {
+			// Chains already built hold clone references on shared operator
+			// state; close them so the last reference frees the state.
+			for _, c := range chains[:w] {
+				_ = c.Close()
+			}
 			return r.fail(err)
 		}
 		chains[w] = chain
 		wctxs[w] = ectx.workerContext()
+		// Each worker accounts memory through its own budget stripe, so
+		// per-tuple reservations at full width never contend on one counter.
+		wctxs[w].MemAcct = ectx.Mem.Acct(w)
 	}
 	for _, j := range r.joinBySpec {
 		j.SetWorkers(workers)

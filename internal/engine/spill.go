@@ -20,12 +20,19 @@ import (
 // if it alone breaches — and the deferred probe tuples are matched against
 // it, preserving the exact multiset of matches the in-memory join produces.
 //
-// Spilling is restricted to serial joins (one clone, refs == 1): morsel
-// worker clones share the table under lock striping, and pausing all of them
-// to migrate a partition to storage would serialise the very workers the
-// pool exists to parallelise — the same restriction the elastic runtime
-// places on mid-flight state migration. Parallel fragments therefore run
-// unbudgeted, which init detects and records by leaving spillOn false.
+// Spilling works for serial and morsel-parallel joins alike. Workers
+// account build bytes through per-stripe budget handles (storage.Budget is
+// striped, so Over stays one shared load at width 8), victim selection and
+// partition eviction serialize under joinState.spillMu, and in-flight
+// inserts/probes of other partitions proceed untouched — eviction only
+// takes the victim partition's lock. The drain phase is coordinated by a
+// second barrier: every worker arrives at probeBarrier when its probe share
+// is exhausted, one worker seals the spilled runs (no probe tuple can
+// arrive after the barrier), and the sealed (build, probe) pairs queue in
+// the shared pairQ. Pairs are independent, so workers pull and drain them
+// concurrently, each against its own private reload table; a pair that
+// re-partitions pushes its sub-pairs back onto the front of the shared
+// queue for any worker to pick up.
 //
 // Correctness under R1 (retrospective eviction + replay) relies on two
 // watermarks carried in run records:
@@ -93,6 +100,24 @@ func (s *joinState) spillEvent(detail string, tuples int64) {
 	recordSpillEvent(s.ctx, detail, tuples)
 }
 
+// recordUngoverned traces the one remaining ungoverned path: a stateful
+// operator initialising under a memory budget with no spill backend grows
+// outside the budget. Instead of doing so silently it counts
+// mem_ungoverned_total and leaves a timeline event, so an operator staring
+// at a breached gauge can see which fragment escaped governance and why.
+func recordUngoverned(ctx *ExecContext, op string) {
+	if ctx.Mem == nil || ctx.Spill != nil {
+		return
+	}
+	obs.Default().Counter(obs.MMemUngoverned).Inc()
+	obs.Default().Record(obs.Event{
+		AtMs:     ctx.Clock.NowMs(),
+		Kind:     obs.KindSpill,
+		Fragment: ctx.Fragment,
+		Detail:   op + ": memory budget set but no spill backend; state grows ungoverned",
+	})
+}
+
 // spillEvict is one R1 bucket eviction recorded while a partition was
 // spilled; see the package comment above for its kill semantics.
 type spillEvict struct {
@@ -157,8 +182,11 @@ func (s *joinState) routeProbeLocked(p *joinPart, t relation.Tuple) {
 }
 
 // spillVictims spills whole partitions, largest first, until the budget is
-// met or nothing spillable remains.
+// met or nothing spillable remains. Concurrent breaching workers serialize
+// here: the second arrival re-checks Over and usually returns immediately.
 func (s *joinState) spillVictims() {
+	s.spillMu.Lock()
+	defer s.spillMu.Unlock()
 	for s.mem.Over() {
 		vi, vb := -1, int64(0)
 		for i := range s.parts {
@@ -205,21 +233,20 @@ func (s *joinState) spillPartition(i int) bool {
 	// (matching is per hash chain, and every pre-spill entry precedes every
 	// post-spill append in build-index order, which is all eviction
 	// filtering depends on).
-	for b, m := range p.chains {
-		for _, c := range m {
-			for e := c.head; e >= 0; e = p.entries[e].next {
-				t := p.entries[e].t
-				rec := make(relation.Tuple, 0, len(t)+2)
-				rec = append(rec, relation.Int(0), relation.Int(p.buildCount))
-				rec = append(rec, t...)
-				if err := p.build.Append(rec); err != nil {
-					s.setSpillErr(fmt.Errorf("engine: spill build append: %w", err))
-				}
-				p.buildCount++
-				moved++
+	for h, c := range p.chains {
+		b := int32(h % uint64(s.buckets))
+		for e := c.head; e >= 0; e = p.entries[e].next {
+			t := p.entries[e].t
+			rec := make(relation.Tuple, 0, len(t)+2)
+			rec = append(rec, relation.Int(0), relation.Int(p.buildCount))
+			rec = append(rec, t...)
+			if err := p.build.Append(rec); err != nil {
+				s.setSpillErr(fmt.Errorf("engine: spill build append: %w", err))
 			}
-			p.spillLive[b] += int64(c.n)
+			p.buildCount++
+			moved++
 		}
+		p.spillLive[b] += int64(c.n)
 	}
 	p.spilled = true
 	p.chains = nil
@@ -250,11 +277,14 @@ type spillPair struct {
 // joinSpillDrain matches deferred probe tuples after the streaming probe
 // phase: it reloads one build run at a time into an in-memory table (under
 // the budget, re-partitioning on breach) and streams the paired probe run
-// through it. Single-goroutine, owned by the one serial join clone.
+// through it. Each worker clone owns one drain — the reload table, reader
+// and current pair are goroutine-private — while the pending pairs live in
+// the joinState's shared queue, so clones drain independent pairs
+// concurrently.
 type joinSpillDrain struct {
-	s     *joinState
-	j     *HashJoin
-	pairs []spillPair
+	s    *joinState
+	j    *HashJoin
+	acct *storage.BudgetAcct
 
 	table      map[uint64][]spillEntry
 	tableBytes int64
@@ -265,11 +295,14 @@ type joinSpillDrain struct {
 	closed     bool
 }
 
-// startSpillDrain seals every spilled partition's runs and queues the pairs
-// with deferred probe tuples; pairs nothing probed are removed outright.
-func (j *HashJoin) startSpillDrain() *joinSpillDrain {
-	s := j.shared
-	d := &joinSpillDrain{s: s, j: j}
+// sealRuns seals every spilled partition's runs and queues the pairs with
+// deferred probe tuples; pairs nothing probed are removed outright. Exactly
+// one clone runs this (sealOnce), strictly after every clone has passed the
+// probe-completion barrier — no probe tuple can arrive afterwards, so the
+// snapshot is complete. Build tuples may still arrive via R1 replay; they
+// are counted but dropped, as their watermark (the final probe count) could
+// never match a deferred probe tuple.
+func (s *joinState) sealRuns() {
 	for i := range s.parts {
 		p := &s.parts[i]
 		p.mu.Lock()
@@ -292,15 +325,37 @@ func (j *HashJoin) startSpillDrain() *joinSpillDrain {
 			p.mu.Unlock()
 			continue
 		}
-		d.pairs = append(d.pairs, spillPair{
+		pr := spillPair{
 			build:  p.buildName,
 			probe:  p.probeName,
 			part:   i,
 			evicts: append([]spillEvict(nil), p.evicts...),
-		})
+		}
 		p.mu.Unlock()
+		s.pairMu.Lock()
+		s.pairQ = append(s.pairQ, pr)
+		s.pairMu.Unlock()
 	}
-	return d
+}
+
+// popPair pulls the next pending drain pair off the shared queue.
+func (s *joinState) popPair() (spillPair, bool) {
+	s.pairMu.Lock()
+	defer s.pairMu.Unlock()
+	if len(s.pairQ) == 0 {
+		return spillPair{}, false
+	}
+	pr := s.pairQ[0]
+	s.pairQ = s.pairQ[1:]
+	return pr, true
+}
+
+// pushPairsFront queues repartitioned sub-pairs ahead of the remaining
+// work, preserving the depth-first drain order of the serial path.
+func (s *joinState) pushPairsFront(prs []spillPair) {
+	s.pairMu.Lock()
+	s.pairQ = append(prs, s.pairQ...)
+	s.pairMu.Unlock()
 }
 
 func decodeBuildRec(rec relation.Tuple) (wm, idx int64, t relation.Tuple, err error) {
@@ -362,9 +417,9 @@ func (d *joinSpillDrain) load(pr spillPair) error {
 		}
 		sz := spillEntryBytes(t)
 		d.tableBytes += sz
-		s.mem.Reserve(sz)
+		d.acct.Reserve(sz)
 		d.table[h] = append(d.table[h], spillEntry{t: t, wm: wm, idx: idx})
-		if s.mem.Over() && pr.depth < maxSpillDepth {
+		if d.acct.Over() && pr.depth < maxSpillDepth {
 			_ = r.Close()
 			return d.repartition(pr)
 		}
@@ -388,7 +443,7 @@ func (d *joinSpillDrain) load(pr spillPair) error {
 // then queues the sub-pairs in front of the remaining work.
 func (d *joinSpillDrain) repartition(pr spillPair) error {
 	s := d.s
-	s.mem.Release(d.tableBytes)
+	d.acct.Release(d.tableBytes)
 	d.tableBytes = 0
 	d.table = nil
 	shift := uint(40 + 3*pr.depth)
@@ -467,7 +522,7 @@ func (d *joinSpillDrain) repartition(pr spillPair) error {
 	}
 	_ = s.backend.Remove(pr.build)
 	_ = s.backend.Remove(pr.probe)
-	d.pairs = append(subs, d.pairs...)
+	s.pushPairsFront(subs)
 	s.met.restarts.Inc()
 	s.spillEvent(fmt.Sprintf("join repartition %s depth %d", base, pr.depth+1), moved)
 	return nil
@@ -483,49 +538,55 @@ func (d *joinSpillDrain) finishPair() {
 		_ = d.s.backend.Remove(d.cur.build)
 		_ = d.s.backend.Remove(d.cur.probe)
 	}
-	d.s.mem.Release(d.tableBytes)
+	d.acct.Release(d.tableBytes)
 	d.tableBytes = 0
 	d.table = nil
 	d.active = false
 }
 
-// close releases everything the drain still holds, including queued pairs'
-// runs (a cancelled query may never drain them).
+// close releases what this clone's drain still holds. Queued pairs a
+// cancelled query never drained are swept by joinState.release — they
+// belong to the shared queue, not to any one clone.
 func (d *joinSpillDrain) close() {
 	if d == nil || d.closed {
 		return
 	}
 	d.closed = true
 	d.finishPair()
-	for _, pr := range d.pairs {
-		_ = d.s.backend.Remove(pr.build)
-		_ = d.s.backend.Remove(pr.probe)
-	}
-	d.pairs = nil
 }
 
 // drainPending advances the spill drain until at least one deferred match
-// sits in j.pending, returning false once every pair is exhausted. No
-// operator cost is charged here: every probe tuple already paid JoinProbeMs
-// when it was routed, and every build tuple JoinBuildMs when inserted — the
-// drain is the deferred completion of work already accounted.
+// sits in j.pending, returning false once every pair is exhausted. On first
+// entry the clone arrives at the probe-completion barrier and waits for its
+// siblings — only then are the runs sealed (once) and the pair queue
+// opened. No operator cost is charged here: every probe tuple already paid
+// JoinProbeMs when it was routed, and every build tuple JoinBuildMs when
+// inserted — the drain is the deferred completion of work already
+// accounted.
 func (j *HashJoin) drainPending() (bool, error) {
 	s := j.shared
 	if err := s.err(); err != nil {
 		return false, err
 	}
 	if j.drain == nil {
-		j.drain = j.startSpillDrain()
+		s.probeBarrier.arrive()
+		if err := s.probeBarrier.wait(); err != nil {
+			return false, err
+		}
+		s.sealOnce.Do(s.sealRuns)
+		j.drain = &joinSpillDrain{s: s, j: j, acct: j.acct}
 	}
 	d := j.drain
 	for j.pendHead >= len(j.pending) {
 		j.pending, j.pendHead = j.pending[:0], 0
+		if err := s.err(); err != nil {
+			return false, err
+		}
 		if !d.active {
-			if len(d.pairs) == 0 {
+			pr, ok := s.popPair()
+			if !ok {
 				return false, nil
 			}
-			pr := d.pairs[0]
-			d.pairs = d.pairs[1:]
 			if err := d.load(pr); err != nil {
 				return false, err
 			}

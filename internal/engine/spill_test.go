@@ -254,36 +254,110 @@ func TestHashJoinSpillEvictReplay(t *testing.T) {
 	assertClean(t, ctx)
 }
 
-func TestHashJoinParallelClonesDisableSpill(t *testing.T) {
-	// Morsel-parallel joins (refs > 1) must run unbudgeted: state migration
-	// under striped locks is the elastic runtime's job, not the spiller's.
-	ctx := budgetedCtx(1)
-	j := newJoin(buildTuples(10), probeTuples(10, 10))
-	j.SetWorkers(2)
-	clone := j.WorkerClone(NewSliceSource(nil, 0), NewSliceSource(nil, 0))
-	done := make(chan error, 1)
-	go func() {
-		if err := clone.Open(ctx); err != nil {
-			done <- err
-			return
+// runCloneWorkers drives n WorkerClone chains concurrently — one goroutine
+// per clone with its own worker context and budget stripe, mirroring
+// runParallel — and returns the union of their outputs.
+func runCloneWorkers(t *testing.T, ctx *ExecContext, n int, clone func(w int) Iterator) []relation.Tuple {
+	t.Helper()
+	type res struct {
+		out []relation.Tuple
+		err error
+	}
+	ch := make(chan res, n)
+	for w := 0; w < n; w++ {
+		it := clone(w)
+		wctx := ctx.workerContext()
+		wctx.MemAcct = ctx.Mem.Acct(w)
+		go func() {
+			if err := it.Open(wctx); err != nil {
+				ch <- res{err: err}
+				return
+			}
+			var out []relation.Tuple
+			for {
+				tp, ok, err := it.Next()
+				if err != nil {
+					_ = it.Close()
+					ch <- res{err: err}
+					return
+				}
+				if !ok {
+					break
+				}
+				out = append(out, tp)
+			}
+			ch <- res{out: out, err: it.Close()}
+		}()
+	}
+	var all []relation.Tuple
+	for i := 0; i < n; i++ {
+		r := <-ch
+		if r.err != nil {
+			t.Fatal(r.err)
 		}
-		done <- clone.Close()
-	}()
-	out := drain(t, j, ctx)
-	if err := <-done; err != nil {
-		t.Fatal(err)
+		all = append(all, r.out...)
 	}
-	if len(out) != 10 {
-		t.Fatalf("parallel join produced %d tuples, want 10", len(out))
+	return all
+}
+
+func TestHashJoinParallelSpillParity(t *testing.T) {
+	// Morsel-parallel joins spill under the same budget as serial ones: each
+	// clone inserts and probes through its own stripe handle, eviction is
+	// serialized under spillMu, and the spilled pairs drain cooperatively
+	// from the shared queue after the probe barrier. The union of the
+	// workers' outputs must equal the serial unbudgeted join's multiset.
+	build := buildTuples(200)
+	probe := probeTuples(600, 200)
+	want := drain(t, newJoin(build, probe), testCtx())
+
+	const workers = 4
+	b0, p0, _ := spillCounters()
+	ctx := budgetedCtx(2048) // far below the ~200-entry build side
+	base := newJoin(nil, nil)
+	base.SetWorkers(workers)
+	got := runCloneWorkers(t, ctx, workers, func(w int) Iterator {
+		return base.WorkerClone(
+			NewSliceSource(build[w*50:(w+1)*50], 0),
+			NewSliceSource(probe[w*150:(w+1)*150], 0))
+	})
+	b1, p1, _ := spillCounters()
+
+	sameMultiset(t, got, want)
+	if p1 == p0 || b1 == b0 {
+		t.Fatal("parallel join never spilled under a 2KiB budget")
 	}
-	if j.shared.spillOn {
-		t.Fatal("spill must stay off for multi-clone joins")
+	assertClean(t, ctx)
+}
+
+func TestHashAggregateParallelSpillParity(t *testing.T) {
+	// Parallel aggregate under budget: clones absorb disjoint input shares,
+	// account group creation through their stripe handles, and dump through
+	// the shared run. Workers pull disjoint slices of the merged output, so
+	// parity is over the union.
+	input := aggInput(500, 30)
+	groupOrds := []int{0}
+	kinds := []logical.AggKind{logical.AggCount, logical.AggSum, logical.AggMin, logical.AggMax}
+	args := []int{-1, 1, 1, 1}
+	want := drain(t, newAgg(input, groupOrds, kinds, args), testCtx())
+
+	const workers = 4
+	_, p0, _ := spillCounters()
+	ctx := budgetedCtx(512) // a handful of groups per dump
+	base := &HashAggregate{GroupOrds: groupOrds, Kinds: kinds, ArgOrds: args}
+	base.SetWorkers(workers)
+	share := len(input) / workers
+	got := runCloneWorkers(t, ctx, workers, func(w int) Iterator {
+		lo, hi := w*share, (w+1)*share
+		if w == workers-1 {
+			hi = len(input)
+		}
+		return base.WorkerClone(NewSliceSource(input[lo:hi], 0))
+	})
+	_, p1, _ := spillCounters()
+
+	sameMultiset(t, got, want)
+	if p1 == p0 {
+		t.Fatal("parallel aggregate never dumped under a 512-byte budget")
 	}
-	runs, err := ctx.Spill.List()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(runs) != 0 {
-		t.Fatalf("parallel join wrote spill runs: %v", runs)
-	}
+	assertClean(t, ctx)
 }

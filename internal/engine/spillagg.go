@@ -24,22 +24,29 @@ import (
 // records the run length at eviction time, and the reload drops the bucket's
 // records below it. Groups absorbed from replayed history afterwards are
 // dumped beyond the watermark and survive, mirroring the in-memory
-// delete-then-replay exactly. Like the join, spilling is restricted to
-// serial aggregates (one clone); parallel fragments run unbudgeted.
+// delete-then-replay exactly. Like the join, spilling works for serial and
+// morsel-parallel aggregates alike: workers account group creation through
+// per-stripe budget handles and dumps serialize under s.mu, which already
+// orders them against the final merge.
 
 // groupBytes is the accounted in-memory footprint of one group.
 func groupBytes(g *groupState) int64 {
 	return int64(g.key.ByteSize()) + 48*int64(len(g.accs)+1)
 }
 
-// accountGroup reserves a freshly created group against the budget.
-func (s *aggState) accountGroup(g *groupState) {
+// accountGroup reserves a freshly created group against the budget through
+// the creating worker's stripe handle (stripe 0 when the caller has none —
+// a replay landing before the receiving clone opened).
+func (s *aggState) accountGroup(g *groupState, a *storage.BudgetAcct) {
 	if !s.spillOn {
 		return
 	}
+	if a == nil {
+		a = s.acct0
+	}
 	sz := groupBytes(g)
 	s.bytes.Add(sz)
-	s.mem.Reserve(sz)
+	a.Reserve(sz)
 }
 
 // dump writes every group to the spill run and clears the in-memory tables.
@@ -179,9 +186,11 @@ func (s *aggState) reloadLocked(a *HashAggregate) error {
 	return nil
 }
 
-// External merge sort (see DESIGN.md §5i). Sort is never parallel-eligible,
-// so no clone gating is needed: under a budget the buffer is accounted per
-// tuple and, on breach, sorted and flushed as one run. The emit phase merges
+// External merge sort (see DESIGN.md §5i, §5j). Sort is never
+// parallel-eligible — it runs in the serial collector fragment — but it
+// shares the query's striped budget with any morsel-parallel joins and
+// aggregates upstream: under a budget the buffer is accounted per tuple
+// and, on breach, sorted and flushed as one run. The emit phase merges
 // the sealed runs with the sorted in-memory tail; ties resolve to the
 // earlier source (runs in flush order, the tail last), which reproduces
 // sort.SliceStable over the full input byte for byte.
@@ -214,7 +223,7 @@ func (s *Sort) flushRun() error {
 		return fmt.Errorf("engine: sort spill seal: %w", err)
 	}
 	s.runs = append(s.runs, name)
-	s.ctx.Mem.Release(s.bufBytes)
+	s.acct.Release(s.bufBytes)
 	s.met.bytes.Add(s.bufBytes)
 	s.bufBytes = 0
 	s.met.parts.Inc()
@@ -304,7 +313,7 @@ func (s *Sort) closeSpill() {
 		_ = s.ctx.Spill.Remove(name)
 	}
 	s.runs = nil
-	s.ctx.Mem.Release(s.bufBytes)
+	s.acct.Release(s.bufBytes)
 	s.bufBytes = 0
 }
 

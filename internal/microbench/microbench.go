@@ -236,7 +236,9 @@ func BatchChain(b *testing.B) {
 	b.ReportMetric(float64(chainRows)*float64(b.N)/b.Elapsed().Seconds(), "tuples/sec")
 }
 
-// Result is one benchmark outcome, shaped for BENCH_micro.json.
+// Result is one benchmark outcome, shaped for BENCH_micro.json. Every entry
+// records the runner's core budget at measurement time: without it the gate
+// cannot tell "no parallel speedup" from "one core" (see GateScaling).
 type Result struct {
 	Name        string  `json:"name"`
 	Iterations  int     `json:"iterations"`
@@ -244,6 +246,8 @@ type Result struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	TuplesPerOp int     `json:"tuples_per_op,omitempty"`
+	GOMAXPROCS  int     `json:"gomaxprocs,omitempty"`
+	NumCPU      int     `json:"num_cpu,omitempty"`
 }
 
 // spec names one benchmark and the tuples it processes per op.
@@ -287,6 +291,8 @@ func runSpec(s spec) Result {
 		AllocsPerOp: r.AllocsPerOp(),
 		BytesPerOp:  r.AllocedBytesPerOp(),
 		TuplesPerOp: s.tuples,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
 	}
 }
 

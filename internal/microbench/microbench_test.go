@@ -60,9 +60,12 @@ func TestObsOverheadWithinBudget(t *testing.T) {
 	}
 }
 
-// TestBatchBeatsVolcano pins the PR's acceptance bar: the batch path must be
-// at least 2x the throughput of the volcano path with at least 5x fewer
-// allocations per drained chain.
+// TestBatchBeatsVolcano pins the vectorization acceptance bar: the batch
+// path must be at least 2x the throughput of the volcano path without
+// allocating more. (The paths used to differ 5x on allocations too, but the
+// scalar Next paths now carve output tuples from the same operator arenas
+// the batch paths use, so the alloc counts converged — the win that remains
+// is per-tuple call overhead.)
 func TestBatchBeatsVolcano(t *testing.T) {
 	if testing.Short() {
 		t.Skip("benchmark comparison")
@@ -74,8 +77,8 @@ func TestBatchBeatsVolcano(t *testing.T) {
 	if bNs*2 > vNs {
 		t.Errorf("batch path %.0f ns/op vs volcano %.0f ns/op: want >=2x faster", bNs, vNs)
 	}
-	if bt.AllocsPerOp()*5 > v.AllocsPerOp() {
-		t.Errorf("batch path %d allocs/op vs volcano %d: want >=5x fewer", bt.AllocsPerOp(), v.AllocsPerOp())
+	if bt.AllocsPerOp() > v.AllocsPerOp() {
+		t.Errorf("batch path %d allocs/op vs volcano %d: must not allocate more", bt.AllocsPerOp(), v.AllocsPerOp())
 	}
 }
 

@@ -63,6 +63,8 @@ const (
 	// Memory governance: per-query budget accounting and grace-hash /
 	// external-sort spilling (no labels; spill detail is on the timeline).
 	MMemInflight     = "mem_inflight_bytes"
+	MMemOverrelease  = "mem_overrelease_total"
+	MMemUngoverned   = "mem_ungoverned_total"
 	MSpillBytes      = "spill_bytes_total"
 	MSpillPartitions = "spill_partitions_total"
 	MSpillRestarts   = "spill_restarts_total"

@@ -42,7 +42,10 @@ type GDQSConfig struct {
 	// Parallelism is the morsel worker-pool width of each fragment driver:
 	// 0 (or 1) keeps the classic serial drivers, negative resolves to the
 	// machine's GOMAXPROCS, and larger values run parallel-eligible
-	// fragments on that many workers.
+	// fragments on that many workers. 0 defers to the GRIDDQP_FORCE_PARALLEL
+	// environment variable when set — the CI knob that runs the whole
+	// services + chaos suite morsel-parallel (and, combined with
+	// GRIDDQP_FORCE_MEM_BUDGET, parallel under a spill budget).
 	Parallelism int
 	// QueryTimeout bounds one query's real execution time; it becomes the
 	// deadline of the session context every query runs under.
@@ -172,6 +175,15 @@ func NewGDQS(cluster *Cluster, node simnet.NodeID, cfg GDQSConfig) (*GDQS, error
 				return nil, fmt.Errorf("services: GRIDDQP_FORCE_MEM_BUDGET=%q: %w", v, err)
 			}
 			cfg.MemoryBudgetBytes = n
+		}
+	}
+	if cfg.Parallelism == 0 {
+		if v := os.Getenv("GRIDDQP_FORCE_PARALLEL"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("services: GRIDDQP_FORCE_PARALLEL=%q: %w", v, err)
+			}
+			cfg.Parallelism = n
 		}
 	}
 	g := &GDQS{cluster: cluster, node: node, cfg: cfg}

@@ -59,9 +59,11 @@ type Manifest struct {
 	Parallelism int
 
 	// MemoryBudgetBytes caps each deployment's stateful-operator memory per
-	// machine (0 unbudgeted); SpillDir roots posix spill runs, with each
-	// process spilling under its own node-named subdirectory (empty keeps
-	// spills in memory).
+	// machine (0 unbudgeted) at any Parallelism width — morsel workers
+	// account through per-stripe handles of one striped budget and spill
+	// concurrently. SpillDir roots posix spill runs, with each process
+	// spilling under its own node-named subdirectory (empty keeps spills in
+	// memory).
 	MemoryBudgetBytes int64
 	SpillDir          string
 }

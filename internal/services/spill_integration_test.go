@@ -177,6 +177,111 @@ func TestBudgetedAdaptiveRetrospective(t *testing.T) {
 	}
 }
 
+// TestParallelBudgetedQueryMatchesSerial runs the acceptance scenario with a
+// width-4 morsel worker pool AND a memory budget together: parallel joins and
+// aggregates spill through their per-worker budget stripes and must return
+// rows byte-identical to the serial unbudgeted run, leaking neither runs nor
+// inflight bytes.
+func TestParallelBudgetedQueryMatchesSerial(t *testing.T) {
+	const seqs, ints = 300, 900
+	cluster, ref := spillGrid(t, seqs, ints, 0, "")
+	want, err := ref.Execute(context.Background(), qJoinAgg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Rows) == 0 {
+		t.Fatal("reference run produced no rows")
+	}
+
+	total := tableBytes(t, cluster, "protein_sequences") +
+		tableBytes(t, cluster, "protein_interactions")
+	cfg := DefaultGDQSConfig()
+	cfg.Adaptive = false
+	cfg.QueryTimeout = 60 * time.Second
+	cfg.MemoryBudgetBytes = total / 8
+	cfg.Parallelism = 4
+	g, err := NewGDQS(cluster, "coord", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	o := obs.Default()
+	b0 := o.Counter(obs.MSpillBytes).Value()
+	got, err := g.Execute(context.Background(), qJoinAgg)
+	if err != nil {
+		t.Fatalf("parallel budgeted execute: %v", err)
+	}
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("rows = %d, want %d", len(got.Rows), len(want.Rows))
+	}
+	for i := range want.Rows {
+		w := string(relation.EncodeTuple(want.Rows[i]))
+		gr := string(relation.EncodeTuple(got.Rows[i]))
+		if w != gr {
+			t.Fatalf("row %d diverged under parallel budget:\n%v\n%v",
+				i, got.Rows[i].Format(), want.Rows[i].Format())
+		}
+	}
+	if o.Counter(obs.MSpillBytes).Value() == b0 {
+		t.Fatalf("budget of %d bytes never spilled at width 4", cfg.MemoryBudgetBytes)
+	}
+	runs, err := g.SpillBackend().List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 0 {
+		t.Fatalf("spill backend leaks runs after parallel budgeted query: %v", runs)
+	}
+	if n := o.Gauge(obs.MMemInflight).Value(); n != 0 {
+		t.Fatalf("mem_inflight_bytes = %d after parallel budgeted query, want 0", n)
+	}
+}
+
+// TestParallelBudgetedAdaptiveRetrospective is the R1 acceptance scenario at
+// width 4 under budget: retrospective evict/replay must stay exact while four
+// workers spill concurrently through the shared partition state.
+func TestParallelBudgetedAdaptiveRetrospective(t *testing.T) {
+	_, ref := testGrid(t, false, 150, 500)
+	want, err := ref.Execute(context.Background(), q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cluster, _ := spillGrid(t, 150, 500, 2048, "")
+	cfg := DefaultGDQSConfig()
+	cfg.QueryTimeout = 60 * time.Second
+	cfg.MemoryBudgetBytes = 2048
+	cfg.Parallelism = 4
+	cfg.Responder.Response = core.R1
+	g2, err := NewGDQS(cluster, "coord", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Node("ws1").SetPerturbation(vtime.Multiplier(10))
+	o := obs.Default()
+	b0 := o.Counter(obs.MSpillBytes).Value()
+	got, err := g2.Execute(context.Background(), q2)
+	if err != nil {
+		t.Fatalf("parallel adaptive budgeted execute: %v", err)
+	}
+	if strings.Join(sortedRows(got), "\n") != strings.Join(sortedRows(want), "\n") {
+		t.Fatal("R1 under parallel spill diverged from the unbudgeted static run")
+	}
+	if o.Counter(obs.MSpillBytes).Value() == b0 {
+		t.Fatal("2KiB budget never spilled at width 4: scenario exercised nothing")
+	}
+	runs, err := g2.SpillBackend().List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 0 {
+		t.Fatalf("spill backend leaks runs after parallel adaptive query: %v", runs)
+	}
+	if n := o.Gauge(obs.MMemInflight).Value(); n != 0 {
+		t.Fatalf("mem_inflight_bytes = %d after parallel adaptive query, want 0", n)
+	}
+}
+
 // TestMemoryBudgetChangeInvalidatesPlanCache covers the plan-epoch fold: a
 // runtime budget change must re-plan, not reuse a template compiled for a
 // different memory envelope.

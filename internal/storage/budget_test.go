@@ -1,0 +1,140 @@
+package storage
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestBudgetOverReleaseClamps is the regression test for the negative-
+// inflight bug: an operator error path releasing bytes it never reserved
+// (e.g. after a failed spill) must clamp the accountant at zero and count
+// mem_overrelease_total instead of driving inflight — and the
+// mem_inflight_bytes gauge — negative.
+func TestBudgetOverReleaseClamps(t *testing.T) {
+	before := obs.Default().Counter(obs.MMemOverrelease).Value()
+	b := NewBudget(1 << 20)
+	b.Reserve(100)
+	b.Release(250) // 150 bytes never reserved
+	if got := b.Inflight(); got != 0 {
+		t.Fatalf("inflight after over-release = %d, want 0", got)
+	}
+	if b.Over() {
+		t.Fatal("clamped budget must not report Over")
+	}
+	if got := obs.Default().Counter(obs.MMemOverrelease).Value() - before; got != 1 {
+		t.Fatalf("mem_overrelease_total delta = %d, want 1", got)
+	}
+	// A second over-release on an empty budget stays at zero.
+	b.Release(1 << 30)
+	if got := b.Inflight(); got != 0 {
+		t.Fatalf("inflight after second over-release = %d, want 0", got)
+	}
+	// The accountant still works after clamping.
+	b.Reserve(40)
+	if got := b.Inflight(); got != 40 {
+		t.Fatalf("inflight after recovery = %d, want 40", got)
+	}
+	b.Release(40)
+	if got := b.Inflight(); got != 0 {
+		t.Fatalf("final inflight = %d, want 0", got)
+	}
+}
+
+// TestBudgetAcctStripes exercises per-worker handles: reserves on one
+// stripe released through another must keep the cross-stripe total exact.
+func TestBudgetAcctStripes(t *testing.T) {
+	b := NewBudget(1 << 16)
+	a0, a5 := b.Acct(0), b.Acct(5)
+	a0.Reserve(1000)
+	a5.Reserve(500)
+	if got := b.Inflight(); got != 1500 {
+		t.Fatalf("inflight = %d, want 1500", got)
+	}
+	a5.Release(1000) // releases bytes a0 reserved: fine, total is the truth
+	if got := b.Inflight(); got != 500 {
+		t.Fatalf("inflight = %d, want 500", got)
+	}
+	a0.Release(500)
+	if got := b.Inflight(); got != 0 {
+		t.Fatalf("inflight = %d, want 0", got)
+	}
+	var nilA *BudgetAcct
+	nilA.Reserve(1 << 40)
+	nilA.Release(1)
+	if nilA.Over() || nilA.Budget() != nil {
+		t.Fatal("nil BudgetAcct must be inert")
+	}
+	if (*Budget)(nil).Acct(3) != nil {
+		t.Fatal("nil Budget must hand out nil handles")
+	}
+}
+
+// TestBudgetOverConservative pins the striping contract: Over may trigger
+// early (bounded slack) but never late.
+func TestBudgetOverConservative(t *testing.T) {
+	const limit = 1 << 16
+	b := NewBudget(limit)
+	slack := int64(budgetStripes) * b.chunk
+	b.Acct(1).Reserve(limit - slack - 1)
+	if b.Over() {
+		t.Fatalf("Over at limit-slack-1 (%d of %d, slack %d)", b.Inflight(), limit, slack)
+	}
+	b.Acct(2).Reserve(slack + 2)
+	if !b.Over() {
+		t.Fatalf("not Over at limit+1 (%d of %d)", b.Inflight(), limit)
+	}
+}
+
+// TestBudgetStripedStress hammers striped Reserve/Release/Over from 8
+// goroutines with randomized shares (run under -race). Throughout and at
+// the end the invariants hold: Inflight never observed negative, and after
+// every goroutine returns its reservations the accountant is exactly zero.
+func TestBudgetStripedStress(t *testing.T) {
+	const (
+		workers = budgetStripes
+		rounds  = 4000
+	)
+	b := NewBudget(1 << 20)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)*7919 + 1))
+			acct := b.Acct(w)
+			peer := b.Acct(w + 3) // cross-stripe releases are legal
+			held := int64(0)
+			for i := 0; i < rounds; i++ {
+				n := int64(rng.Intn(4096) + 1)
+				switch rng.Intn(4) {
+				case 0, 1:
+					acct.Reserve(n)
+					held += n
+				case 2:
+					if held > 0 {
+						rel := held
+						if rel > n {
+							rel = n
+						}
+						peer.Release(rel)
+						held -= rel
+					}
+				default:
+					acct.Over()
+					if got := b.Inflight(); got < 0 {
+						t.Errorf("Inflight went negative: %d", got)
+						return
+					}
+				}
+			}
+			acct.Release(held)
+		}(w)
+	}
+	wg.Wait()
+	if got := b.Inflight(); got != 0 {
+		t.Fatalf("final inflight = %d, want 0", got)
+	}
+}
