@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: check vet doclint build test race chaos lowmem bench benchgate micro serve servegate experiments fuzz
+.PHONY: check vet doclint build test race chaos lowmem bigtable bench benchgate micro serve servegate experiments fuzz
 
 ## check: the full tier-1 gate — vet, the doc-comment lint, build, the test
 ## suite under -race, the chaos (kill/join) suite, the low-memory suite, the
-## benchmark regression gate, and the sustained-load serving gate
-## (SKIP_BENCH_GATE=1 skips both gates on noisy runners).
-check: vet doclint build race chaos lowmem benchgate servegate
+## big-table streaming-scan scenario, the benchmark regression gate, and the
+## sustained-load serving gate (SKIP_BENCH_GATE=1 skips both bench gates on
+## noisy runners).
+check: vet doclint build race chaos lowmem bigtable benchgate servegate
 
 vet:
 	$(GO) vet ./...
@@ -38,6 +39,14 @@ chaos:
 lowmem:
 	GRIDDQP_FORCE_MEM_BUDGET=65536 $(GO) test ./internal/services/ ./internal/chaos/ -count=1
 	GRIDDQP_FORCE_MEM_BUDGET=65536 GRIDDQP_FORCE_PARALLEL=4 $(GO) test ./internal/services/ ./internal/chaos/ -count=1
+
+## bigtable: the streaming-scan acceptance scenario — posix-stored tables
+## at least 16x the query memory budget, drained through the join+aggregate
+## demo query, asserting byte-identical rows, zero leaked spill runs, and
+## zero inflight budget bytes. GRIDDQP_BIGTABLE_ROWS scales the stored
+## tables (default 3000 rows; set six or seven figures for a multi-GB run).
+bigtable:
+	$(GO) test ./internal/services/ -run 'TestBigTableStoredScan' -count=1
 
 ## bench: the engine micro-benchmarks (codec, producer, volcano vs batch).
 bench:

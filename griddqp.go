@@ -48,6 +48,7 @@ import (
 	"repro/internal/relation"
 	"repro/internal/services"
 	"repro/internal/simnet"
+	"repro/internal/storage"
 	"repro/internal/vtime"
 	"repro/internal/ws"
 )
@@ -145,6 +146,24 @@ func (g *Grid) AddDemoDatabaseSized(node string, sequences, interactions int) er
 	return g.cluster.AddDataNode(simnet.NodeID(node), dataset.DemoSized(sequences, interactions))
 }
 
+// AddStoredDatabaseSized adds a data node whose demo tables live as
+// block-framed runs under dir on disk rather than in memory, generated
+// streamingly at the given cardinalities — the tables may be far larger than
+// RAM. Scans read them batch-at-a-time with budget-governed readahead (see
+// ScanReadahead) and results are tuple-for-tuple identical to
+// AddDemoDatabaseSized at the same cardinalities.
+func (g *Grid) AddStoredDatabaseSized(node, dir string, sequences, interactions int) error {
+	backend, err := storage.NewPosix(dir)
+	if err != nil {
+		return err
+	}
+	store, err := dataset.DemoStored(backend, sequences, interactions)
+	if err != nil {
+		return err
+	}
+	return g.cluster.AddDataNode(simnet.NodeID(node), store)
+}
+
 // AddComputeNode registers a machine able to evaluate query fragments. It
 // hosts the demo Web Services plus any extra ones given.
 func (g *Grid) AddComputeNode(name string, relativeSpeed float64, extra ...WebService) error {
@@ -185,7 +204,7 @@ type CoordinatorOption func(*services.GDQSConfig)
 
 // Adaptive enables the AQP components with the paper's default parameters.
 // Options that tune orthogonal knobs (QueryTimeout, Parallel, Elastic,
-// Heartbeat, MemoryBudget, SpillDir) survive in either order.
+// Heartbeat, MemoryBudget, SpillDir, ScanReadahead) survive in either order.
 func Adaptive() CoordinatorOption {
 	return func(c *services.GDQSConfig) {
 		def := services.DefaultGDQSConfig()
@@ -196,6 +215,7 @@ func Adaptive() CoordinatorOption {
 		def.HeartbeatMisses = c.HeartbeatMisses
 		def.MemoryBudgetBytes = c.MemoryBudgetBytes
 		def.SpillDir = c.SpillDir
+		def.ScanReadahead = c.ScanReadahead
 		*c = def
 	}
 }
@@ -303,6 +323,16 @@ func MemoryBudget(bytes int64) CoordinatorOption {
 // in a posix directory instead of the default in-memory backend.
 func SpillDir(dir string) CoordinatorOption {
 	return func(c *services.GDQSConfig) { c.SpillDir = dir }
+}
+
+// ScanReadahead sets how many blocks a serial stored-table scan keeps in
+// flight: the scan decodes one block while an asynchronous reader fetches the
+// next n-1, every in-flight byte reserved against the query's memory budget
+// (the pipeline shrinks to a single block under budget pressure). 0 keeps the
+// default double buffering; a negative n disables the readahead goroutine
+// entirely, reading blocks synchronously.
+func ScanReadahead(n int) CoordinatorOption {
+	return func(c *services.GDQSConfig) { c.ScanReadahead = n }
 }
 
 // Typed query-failure sentinels, re-exported from the internal error layer

@@ -21,6 +21,11 @@ type TableMeta struct {
 	// AvgTupleBytes is the mean wire size of a tuple; the cost model uses
 	// it to estimate buffer transmission costs.
 	AvgTupleBytes int
+	// TotalBytes is the table's encoded volume (Cardinality ×
+	// AvgTupleBytes, exact for generator-written stored tables). It lets
+	// planners and operators reason about scan volume against memory
+	// budgets without touching the data.
+	TotalBytes int64
 	// Node is the data resource hosting the table.
 	Node simnet.NodeID
 }

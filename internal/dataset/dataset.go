@@ -149,6 +149,19 @@ func ProteinInteractions(n, seqCount int, seed int64) *Table {
 	return materialize("protein_interactions", interactionsSchema(), n, interactionsGen(seqCount, seed))
 }
 
+// interactionsZipfGen returns the row generator behind
+// ProteinInteractionsZipf. Rows must be requested in index order.
+func interactionsZipfGen(seqCount int, s float64, seed int64) func(i int) relation.Tuple {
+	rng := rand.New(rand.NewSource(seed + 2))
+	zipf := rand.NewZipf(rng, s, 1, uint64(seqCount-1))
+	return func(int) relation.Tuple {
+		return relation.Tuple{
+			relation.String(orfName(int(zipf.Uint64()))),
+			relation.String(orfName(rng.Intn(seqCount))),
+		}
+	}
+}
+
 // ProteinInteractionsZipf generates protein_interactions with a Zipf-skewed
 // ORF1 distribution (exponent s > 1): a few hub proteins dominate the
 // interaction list, as in real interaction networks. Skewed group sizes
@@ -156,14 +169,88 @@ func ProteinInteractions(n, seqCount int, seed int64) *Table {
 // keys carry far more state than the rest, so repartitioning them moves
 // visibly more work. Deterministic in (n, seqCount, s, seed).
 func ProteinInteractionsZipf(n, seqCount int, s float64, seed int64) *Table {
-	rng := rand.New(rand.NewSource(seed + 2))
-	zipf := rand.NewZipf(rng, s, 1, uint64(seqCount-1))
-	return materialize("protein_interactions", interactionsSchema(), n, func(int) relation.Tuple {
-		return relation.Tuple{
-			relation.String(orfName(int(zipf.Uint64()))),
-			relation.String(orfName(rng.Intn(seqCount))),
+	return materialize("protein_interactions", interactionsSchema(), n, interactionsZipfGen(seqCount, s, seed))
+}
+
+// SyntheticSpec parameterises the generic synthetic generator: a (key, val,
+// payload) table with a controllable key distribution — the knob set the
+// grid performance-analysis literature tunes scan- and join-bound workloads
+// with.
+type SyntheticSpec struct {
+	// Name is the table name ("synthetic" when empty).
+	Name string
+	// Rows is the cardinality.
+	Rows int
+	// KeyDomain is the number of distinct key values (defaults to Rows).
+	KeyDomain int
+	// ZipfS, when > 1, skews keys with a Zipf(s) distribution; otherwise
+	// keys are drawn uniformly from the domain.
+	ZipfS float64
+	// PayloadBytes pads every row with a fixed-width random string
+	// (defaults to 64), so table bytes scale independently of cardinality.
+	PayloadBytes int
+	// Seed makes generation deterministic in the whole spec.
+	Seed int64
+}
+
+// syntheticSchema returns the schema for a SyntheticSpec table.
+func syntheticSchema(name string) *relation.Schema {
+	return relation.NewSchema(
+		relation.Column{Table: name, Name: "key", Type: relation.TString},
+		relation.Column{Table: name, Name: "val", Type: relation.TInt},
+		relation.Column{Table: name, Name: "payload", Type: relation.TString},
+	)
+}
+
+// withDefaults fills a SyntheticSpec's zero fields.
+func (sp SyntheticSpec) withDefaults() SyntheticSpec {
+	if sp.Name == "" {
+		sp.Name = "synthetic"
+	}
+	if sp.KeyDomain <= 0 {
+		sp.KeyDomain = sp.Rows
+	}
+	if sp.KeyDomain <= 0 {
+		sp.KeyDomain = 1
+	}
+	if sp.PayloadBytes <= 0 {
+		sp.PayloadBytes = 64
+	}
+	return sp
+}
+
+// syntheticGen returns the row generator for a (defaulted) SyntheticSpec.
+// Rows must be requested in index order (the RNG stream is sequential).
+func syntheticGen(sp SyntheticSpec) func(i int) relation.Tuple {
+	rng := rand.New(rand.NewSource(sp.Seed))
+	var zipf *rand.Zipf
+	if sp.ZipfS > 1 && sp.KeyDomain > 1 {
+		zipf = rand.NewZipf(rng, sp.ZipfS, 1, uint64(sp.KeyDomain-1))
+	}
+	payload := make([]byte, sp.PayloadBytes)
+	return func(i int) relation.Tuple {
+		k := 0
+		if zipf != nil {
+			k = int(zipf.Uint64())
+		} else if sp.KeyDomain > 0 {
+			k = rng.Intn(sp.KeyDomain)
 		}
-	})
+		for j := range payload {
+			payload[j] = aminoAcids[rng.Intn(len(aminoAcids))]
+		}
+		return relation.Tuple{
+			relation.String(fmt.Sprintf("k%08d", k)),
+			relation.Int(int64(i)),
+			relation.String(string(payload)),
+		}
+	}
+}
+
+// Synthetic materialises a synthetic table in memory. Deterministic in the
+// spec. Use WriteSynthetic for tables that should not fit in memory.
+func Synthetic(sp SyntheticSpec) *Table {
+	sp = sp.withDefaults()
+	return materialize(sp.Name, syntheticSchema(sp.Name), sp.Rows, syntheticGen(sp))
 }
 
 // Demo builds the standard demo database at the paper's cardinalities.

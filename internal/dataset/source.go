@@ -61,6 +61,33 @@ func (t *Table) Rows() (Cursor, error) {
 	return &runCursor{r: r}, nil
 }
 
+// OpenBlocks returns a block-granular reader over a stored table's run when
+// its backend supports random block access. ok is false for in-memory
+// tables and for backends without block support — callers fall back to
+// Rows().
+func (t *Table) OpenBlocks() (r storage.BlockReader, ok bool, err error) {
+	if t.backend == nil {
+		return nil, false, nil
+	}
+	bb, isBlock := t.backend.(storage.BlockBackend)
+	if !isBlock {
+		return nil, false, nil
+	}
+	r, err = bb.OpenBlocks(t.run)
+	if err != nil {
+		return nil, false, fmt.Errorf("dataset: open stored table %q: %w", t.Name, err)
+	}
+	return r, true, nil
+}
+
+// TotalBytes returns the encoded size of the table — exact for stored
+// tables (cardinality × mean tuple size from the generator), estimated the
+// same way for in-memory ones. The catalog carries it so the optimiser and
+// admission control can see table volume, not just cardinality.
+func (t *Table) TotalBytes() int64 {
+	return int64(t.Cardinality()) * int64(t.AvgTupleBytes())
+}
+
 // NewStoredTable wraps an already written, sealed run as a table. card and
 // avgBytes feed the catalog statistics the optimiser reads.
 func NewStoredTable(name string, schema *relation.Schema, backend storage.Backend, run string, card int, avgBytes int) *Table {
@@ -108,4 +135,42 @@ func WriteProteinSequences(backend storage.Backend, run string, n int, seed int6
 func WriteProteinInteractions(backend storage.Backend, run string, n, seqCount int, seed int64) (*Table, error) {
 	gen := interactionsGen(seqCount, seed)
 	return writeRows(backend, run, "protein_interactions", interactionsSchema(), n, gen)
+}
+
+// WriteProteinInteractionsZipf generates Zipf-skewed protein_interactions
+// straight into a backend run. Deterministic in (n, seqCount, s, seed) and
+// tuple-for-tuple identical to ProteinInteractionsZipf.
+func WriteProteinInteractionsZipf(backend storage.Backend, run string, n, seqCount int, s float64, seed int64) (*Table, error) {
+	gen := interactionsZipfGen(seqCount, s, seed)
+	return writeRows(backend, run, "protein_interactions", interactionsSchema(), n, gen)
+}
+
+// WriteSynthetic streams a synthetic table into a backend run — the
+// multi-GB path: memory use is one tuple plus the writer's block buffer
+// regardless of sp.Rows. Deterministic in the spec and tuple-for-tuple
+// identical to Synthetic.
+func WriteSynthetic(backend storage.Backend, run string, sp SyntheticSpec) (*Table, error) {
+	sp = sp.withDefaults()
+	return writeRows(backend, run, sp.Name, syntheticSchema(sp.Name), sp.Rows, syntheticGen(sp))
+}
+
+// DemoStored builds the demo database with both protein tables written as
+// block-framed runs on the given backend instead of in-memory slices — the
+// configuration for larger-than-memory scans. Runs are named
+// "base/<table>", outside the "q<N>." query-tag namespace the per-query
+// spill sweeps delete. Tuple-for-tuple identical to DemoSized at the same
+// cardinalities.
+func DemoStored(backend storage.Backend, sequences, interactions int) (*Store, error) {
+	seqs, err := WriteProteinSequences(backend, "base/protein_sequences", sequences, 1)
+	if err != nil {
+		return nil, err
+	}
+	ints, err := WriteProteinInteractions(backend, "base/protein_interactions", interactions, sequences, 1)
+	if err != nil {
+		return nil, err
+	}
+	s := NewStore()
+	s.Add(seqs)
+	s.Add(ints)
+	return s, nil
 }

@@ -10,14 +10,17 @@ import (
 )
 
 // TableScan reads a base table from the node's Grid Data Service store.
-// In-memory tables keep the zero-copy slice fast path; stored tables stream
-// their run through a cursor, so scanning never materialises the table.
+// In-memory tables keep the zero-copy slice fast path. Stored tables on a
+// block-capable backend decode whole blocks at a time into the scan's
+// arena, with budget-governed readahead in front of the decoder (see
+// scan.go); other stored tables fall back to the tuple-at-a-time cursor.
 type TableScan struct {
 	Table string
 
 	ctx    *ExecContext
 	tuples []relation.Tuple
-	cursor dataset.Cursor // non-nil for stored tables
+	blocks *blockScan     // batched stored path (block-capable backend)
+	cursor dataset.Cursor // stored fallback path
 	pos    int
 	costs  []float64 // per-tuple base costs, reused across batches
 }
@@ -34,6 +37,14 @@ func (s *TableScan) Open(ctx *ExecContext) error {
 	s.ctx = ctx
 	s.pos = 0
 	if tbl.Stored() {
+		br, ok, err := tbl.OpenBlocks()
+		if err != nil {
+			return err
+		}
+		if ok {
+			s.blocks = newBlockScan(ctx, br)
+			return nil
+		}
 		cur, err := tbl.Rows()
 		if err != nil {
 			return err
@@ -48,14 +59,22 @@ func (s *TableScan) Open(ctx *ExecContext) error {
 // Next implements Iterator.
 func (s *TableScan) Next() (relation.Tuple, bool, error) {
 	var t relation.Tuple
-	if s.cursor != nil {
+	switch {
+	case s.blocks != nil:
+		var ok bool
+		var err error
+		t, ok, err = s.blocks.nextTuple()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+	case s.cursor != nil:
 		var ok bool
 		var err error
 		t, ok, err = s.cursor.Next()
 		if err != nil || !ok {
 			return nil, false, err
 		}
-	} else {
+	default:
 		if s.pos >= len(s.tuples) {
 			return nil, false, nil
 		}
@@ -67,10 +86,15 @@ func (s *TableScan) Next() (relation.Tuple, bool, error) {
 }
 
 // NextBatch implements BatchIterator: in-memory tables hand out tuples by
-// reference (zero copies, zero allocations); stored tables fill the batch
-// from the cursor. Either way the batch's scan cost is charged in one
-// node/meter round trip.
+// reference (zero copies, zero allocations); stored tables fill the batch a
+// block at a time (or from the fallback cursor). Either way the batch's
+// scan cost is charged in one node/meter round trip.
 func (s *TableScan) NextBatch(dst *relation.Batch) (int, error) {
+	if s.blocks != nil {
+		n, err := s.blocks.fill(dst)
+		chargeScanBatch(s.ctx, dst.Tuples, s.blocks.sizes, &s.costs)
+		return n, err
+	}
 	dst.Rewind()
 	if s.cursor != nil {
 		for !dst.Full() {
@@ -83,7 +107,7 @@ func (s *TableScan) NextBatch(dst *relation.Batch) (int, error) {
 			}
 			dst.Append(t)
 		}
-		s.chargeScan(dst.Tuples)
+		chargeScanBatch(s.ctx, dst.Tuples, nil, &s.costs)
 		return dst.Len(), nil
 	}
 	n := len(s.tuples) - s.pos
@@ -95,34 +119,18 @@ func (s *TableScan) NextBatch(dst *relation.Batch) (int, error) {
 	}
 	chunk := s.tuples[s.pos : s.pos+n]
 	s.pos += n
-	s.chargeScan(chunk)
+	chargeScanBatch(s.ctx, chunk, nil, &s.costs)
 	dst.AppendAll(chunk)
 	return n, nil
-}
-
-// chargeScan charges one batch's scan cost.
-func (s *TableScan) chargeScan(chunk []relation.Tuple) {
-	n := len(chunk)
-	if n == 0 {
-		return
-	}
-	if s.ctx.Costs.ScanByteMs == 0 {
-		s.ctx.chargeN(s.ctx.Costs.ScanMs, n)
-		return
-	}
-	if cap(s.costs) < n {
-		s.costs = make([]float64, n)
-	}
-	costs := s.costs[:n]
-	for i, t := range chunk {
-		costs[i] = s.ctx.Costs.ScanMs + s.ctx.Costs.ScanByteMs*float64(t.ByteSize())
-	}
-	s.ctx.chargeEach(costs)
 }
 
 // Close implements Iterator.
 func (s *TableScan) Close() error {
 	var err error
+	if s.blocks != nil {
+		err = s.blocks.close()
+		s.blocks = nil
+	}
 	if s.cursor != nil {
 		err = s.cursor.Close()
 		s.cursor = nil

@@ -11,6 +11,7 @@ import (
 	"repro/internal/physical"
 	"repro/internal/qerr"
 	"repro/internal/relation"
+	"repro/internal/storage"
 	"repro/internal/vtime"
 )
 
@@ -28,11 +29,22 @@ import (
 // clones. Exactly one of src/cons is set: a scan-backed source serializes
 // FillBatch calls under its mutex, a consumer-backed source just fans out
 // per-worker handles (the Consumer is internally synchronized and keeps
-// per-worker in-flight accounting).
+// per-worker in-flight accounting). A scan over a block-capable stored
+// table upgrades further: open() lifts the scan's BlockReader into blocks,
+// and workers then claim whole blocks off the nextBlock counter and decode
+// them privately, without ever taking mu (see workerLeaf.nextBlockBatch).
 type sharedSource struct {
 	ctx  *ExecContext // dedicated context; its meter takes scan charges
 	src  Iterator
 	cons *Consumer
+
+	// blocks is set when src is a TableScan over a block-capable stored
+	// table: workers bypass src entirely and share the reader, whose
+	// ReadBlock is safe for concurrent use. nextBlock is the morsel
+	// dispenser — each worker's block-range morsel is whatever indices it
+	// wins from the counter, so disjoint ranges are scanned concurrently.
+	blocks    storage.BlockReader
+	nextBlock atomic.Int64
 
 	mu      sync.Mutex
 	opened  bool
@@ -67,6 +79,14 @@ func (ss *sharedSource) open() error {
 			ss.openErr = ss.cons.Open(ss.ctx)
 		} else {
 			ss.openErr = ss.src.Open(ss.ctx)
+			if ss.openErr == nil {
+				if ts, ok := ss.src.(*TableScan); ok && ts.blocks != nil {
+					// Block-capable stored scan: workers claim blocks
+					// directly. The scan's own readahead never starts (it
+					// is lazy), so the reader is the only shared state.
+					ss.blocks = ts.blocks.reader()
+				}
+			}
 		}
 	}
 	return ss.openErr
@@ -98,8 +118,21 @@ func (ss *sharedSource) close() error {
 type workerLeaf struct {
 	ss     *sharedSource
 	cw     *ConsumerWorker
+	wctx   *ExecContext
 	meter  *vtime.Meter
 	closed bool
+
+	// Block-morsel decode state (ss.blocks mode): each worker decodes its
+	// claimed blocks on its own arena, reserving the block being decoded
+	// against its own budget stripe for exactly that long.
+	brest  []byte
+	bbase  string // block payload's string aliasing (see blockScan.base)
+	bleft  uint64
+	bsize  int64 // reservation held for the block being decoded
+	bsizes []int // encoded sizes of the last batch's tuples (see blockScan.fill)
+	barena relation.Arena
+	bcosts []float64
+	bmet   scanMetrics
 
 	// nb/npos adapt NextBatch to the tuple-at-a-time Iterator contract for
 	// operators that drive their input through Next.
@@ -115,12 +148,16 @@ func newWorkerLeaf(ss *sharedSource) *workerLeaf {
 
 // Open implements Iterator.
 func (l *workerLeaf) Open(ctx *ExecContext) error {
+	l.wctx = ctx
 	l.meter = ctx.Meter
 	if err := l.ss.open(); err != nil {
 		return err
 	}
 	if l.ss.cons != nil && l.cw == nil {
 		l.cw = l.ss.cons.NewWorker()
+	}
+	if l.ss.blocks != nil {
+		l.bmet = newScanMetrics()
 	}
 	return nil
 }
@@ -135,6 +172,9 @@ func (l *workerLeaf) NextBatch(dst *relation.Batch) (int, error) {
 		l.cw.Finish()
 		return l.ss.cons.NextBatchFor(l.cw, dst, l.meter)
 	}
+	if l.ss.blocks != nil {
+		return l.nextBlockBatch(dst)
+	}
 	ss := l.ss
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
@@ -147,6 +187,68 @@ func (l *workerLeaf) NextBatch(dst *relation.Batch) (int, error) {
 		ss.eos = true
 	}
 	return n, err
+}
+
+// nextBlockBatch fills dst from the worker's block-morsel stream: finish
+// the current block, claim the next index off the shared counter, reserve
+// it, read it through the shared reader, and decode lock-free on the
+// worker's own arena. Scan costs are charged to the worker's meter, so the
+// fragment's monitored cost totals match the serial driver's.
+func (l *workerLeaf) nextBlockBatch(dst *relation.Batch) (int, error) {
+	dst.Rewind()
+	l.bsizes = l.bsizes[:0]
+	needSizes := l.wctx.Costs.ScanByteMs != 0
+	ss := l.ss
+	for !dst.Full() {
+		if l.bleft == 0 {
+			if l.bsize > 0 {
+				l.wctx.memAcct().Release(l.bsize)
+				l.bsize = 0
+			}
+			i := int(ss.nextBlock.Add(1) - 1)
+			if i >= ss.blocks.Blocks() {
+				break
+			}
+			size := int64(ss.blocks.BlockSize(i))
+			l.wctx.memAcct().Reserve(size)
+			l.bsize = size
+			// Fresh buffer per block: decoded strings alias it via
+			// blockString, so it must never be written again.
+			data, err := ss.blocks.ReadBlock(i, nil)
+			l.bmet.blocksRead.Inc()
+			if err != nil {
+				l.wctx.memAcct().Release(l.bsize)
+				l.bsize = 0
+				return dst.Len(), err
+			}
+			n, rest, err := relation.TupleCount(data)
+			if err != nil {
+				l.wctx.memAcct().Release(l.bsize)
+				l.bsize = 0
+				return dst.Len(), qerr.Storage("scan block", err)
+			}
+			l.bleft, l.brest = n, rest
+			l.bbase = blockString(rest)
+			continue
+		}
+		var sizes []int
+		if needSizes {
+			if l.bsizes == nil {
+				l.bsizes = make([]int, 0, dst.Cap())
+			}
+			sizes = l.bsizes
+		}
+		var err error
+		l.brest, l.bleft, sizes, err = relation.DecodeTuplesShared(&l.barena, l.bbase, l.brest, l.bleft, dst, sizes)
+		if err != nil {
+			return dst.Len(), qerr.Storage("scan tuple", err)
+		}
+		if needSizes {
+			l.bsizes = sizes
+		}
+	}
+	chargeScanBatch(l.wctx, dst.Tuples, l.bsizes, &l.bcosts)
+	return dst.Len(), nil
 }
 
 // Next implements Iterator through an internal batch.
@@ -179,6 +281,10 @@ func (l *workerLeaf) Close() error {
 	l.closed = true
 	if l.cw != nil {
 		l.cw.Finish()
+	}
+	if l.bsize > 0 {
+		l.wctx.memAcct().Release(l.bsize)
+		l.bsize = 0
 	}
 	if l.nb != nil {
 		l.nb.Release()

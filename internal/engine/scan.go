@@ -1,0 +1,392 @@
+package engine
+
+import (
+	"sync"
+	"unsafe"
+
+	"repro/internal/obs"
+	"repro/internal/qerr"
+	"repro/internal/relation"
+	"repro/internal/storage"
+)
+
+// Streaming stored-table scans (DESIGN.md §5k). A stored table whose backend
+// supports block-granular access is scanned batch-at-a-time: whole
+// length-prefixed blocks are fetched, decoded into the scan's arena, and
+// appended to the caller's pooled batch — the scan-side mirror of the
+// operator vectorization, replacing the tuple-at-a-time runCursor path.
+//
+// Serial scans additionally read ahead: an async producer goroutine fetches
+// up to Readahead blocks (default 2 — double buffering) in front of the
+// decoder, reserving each in-flight block's bytes against the query's
+// memory budget before issuing the read. Under budget pressure the producer
+// shrinks to one block in flight — it waits for the decoder to drain
+// everything already fetched before reading on — so a scan never amplifies
+// a breach, and the transition lands on the adaptation timeline. Ownership
+// of a reservation moves with the block: the producer reserves, whoever
+// ends up holding the fetch (decoder, drain loop, or the producer itself on
+// a teardown race) releases, so cancel-mid-readahead zeroes
+// mem_inflight_bytes.
+//
+// Morsel-parallel scans skip the readahead goroutine: each worker claims
+// the next unread block off a shared atomic counter and decodes it on its
+// own arena, reserving the block against its own budget stripe for exactly
+// the time it is being decoded (see parallel.go). Serial scans decode
+// blocks strictly in run order, so R1 replay of a scan-rooted fragment
+// regenerates a byte-identical stream; the scan's watermark is the block
+// index.
+
+// defaultReadahead is the in-flight block cap of a serial stored scan when
+// ExecContext.Readahead is 0: one block being decoded, one being fetched.
+const defaultReadahead = 2
+
+// scanMetrics bundles the process-wide stored-scan counters.
+type scanMetrics struct {
+	blocksRead     *obs.Counter
+	readaheadBytes *obs.Counter
+}
+
+func newScanMetrics() scanMetrics {
+	o := obs.Default()
+	return scanMetrics{
+		blocksRead:     o.Counter(obs.MScanBlocksRead),
+		readaheadBytes: o.Counter(obs.MScanReadaheadBytes),
+	}
+}
+
+// recordScanEvent puts one readahead transition on the adaptation timeline.
+func recordScanEvent(ctx *ExecContext, detail string) {
+	obs.Default().Record(obs.Event{
+		AtMs:     ctx.Clock.NowMs(),
+		Kind:     obs.KindScan,
+		Fragment: ctx.Fragment,
+		Detail:   detail,
+	})
+}
+
+// blockFetch is one block handed from the readahead producer to the
+// decoder. size is the budget reservation travelling with it; whoever
+// consumes the fetch releases it.
+type blockFetch struct {
+	data []byte
+	// base is data's string aliasing (blockString) — the decoder carves
+	// every string value of the block from it (see
+	// relation.DecodeTupleShared).
+	base string
+	size int64
+	err  error
+}
+
+// blockString aliases a block buffer as a string without copying. Safe only
+// because stored scans read every block into a fresh buffer that is never
+// written again: the decoder reads the bytes — through the string for value
+// payloads, through the slice for frame headers — but nothing mutates them,
+// so the usual string-immutability guarantee holds. Decoded string values
+// share this backing, which removes both the per-block conversion memmove
+// and the per-value copies from the scan's hot path.
+func blockString(data []byte) string {
+	if len(data) == 0 {
+		return ""
+	}
+	return unsafe.String(unsafe.SliceData(data), len(data))
+}
+
+// blockScan is the serial stored-scan state: block-granular fetch (sync or
+// via the readahead producer) plus incremental decode. It is a
+// single-goroutine object except for the producer it may own.
+type blockScan struct {
+	ctx   *ExecContext
+	br    storage.BlockReader
+	acct  *storage.BudgetAcct
+	depth int // in-flight block cap; <= 0 reads synchronously
+	met   scanMetrics
+
+	// Decode state of the current block. base is the block payload's
+	// string aliasing (blockString); every string value decoded from the
+	// block is a substring of it, so the block costs no string allocations
+	// beyond its own read buffer.
+	rest    []byte
+	base    string
+	left    uint64
+	arena   relation.Arena
+	curSize int64 // reservation held for the current block
+	sizes   []int // encoded sizes of the last fill's tuples (see fill)
+
+	// Synchronous fetch state.
+	next int
+
+	// Readahead state (depth > 0). slots is the in-flight token pool: the
+	// producer takes one per fetch, the decoder returns one per finished
+	// block, and under pressure the producer reclaims them all to drain
+	// the pipeline.
+	started  bool
+	out      chan blockFetch
+	slots    chan struct{}
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// newBlockScan wraps a block reader for one serial scan under ctx.
+func newBlockScan(ctx *ExecContext, br storage.BlockReader) *blockScan {
+	depth := ctx.Readahead
+	if depth == 0 {
+		depth = defaultReadahead
+	}
+	return &blockScan{ctx: ctx, br: br, acct: ctx.memAcct(), depth: depth, met: newScanMetrics()}
+}
+
+// reader exposes the underlying BlockReader for the morsel-parallel path,
+// which claims blocks itself instead of driving this scan (see
+// sharedSource). Only valid before the first next/fill call.
+func (b *blockScan) reader() storage.BlockReader { return b.br }
+
+// start launches the readahead producer. Lazy — called on the first fetch —
+// so a scan that is immediately upgraded to morsel-parallel mode never
+// spawns it.
+func (b *blockScan) start() {
+	b.started = true
+	if b.depth <= 0 {
+		return
+	}
+	b.out = make(chan blockFetch, b.depth)
+	b.slots = make(chan struct{}, b.depth)
+	for i := 0; i < b.depth; i++ {
+		b.slots <- struct{}{}
+	}
+	b.stop = make(chan struct{})
+	b.wg.Add(1)
+	go b.produce()
+}
+
+// produce is the readahead goroutine: fetch blocks in order, each reserved
+// against the budget before the read, at most depth in flight — shrinking
+// to one while the budget is breached.
+func (b *blockScan) produce() {
+	defer b.wg.Done()
+	defer close(b.out)
+	shrunk := false
+	for i := 0; i < b.br.Blocks(); i++ {
+		select {
+		case <-b.slots:
+		case <-b.stop:
+			return
+		}
+		if b.acct.Over() && b.depth > 1 {
+			// Reclaim every other token: blocks until the decoder has
+			// finished everything already fetched, leaving one in flight
+			// at a time until pressure clears.
+			for reclaimed := 0; reclaimed < b.depth-1; reclaimed++ {
+				select {
+				case <-b.slots:
+				case <-b.stop:
+					return
+				}
+			}
+			for j := 0; j < b.depth-1; j++ {
+				b.slots <- struct{}{}
+			}
+			if !shrunk {
+				shrunk = true
+				recordScanEvent(b.ctx, "readahead shrunk to one in-flight block: memory budget breached")
+			}
+		} else if shrunk && !b.acct.Over() {
+			shrunk = false
+			recordScanEvent(b.ctx, "readahead restored: memory pressure cleared")
+		}
+		size := int64(b.br.BlockSize(i))
+		b.acct.Reserve(size)
+		// Every block gets a fresh buffer — the string aliasing below and
+		// the decoded values sharing it depend on the buffer never being
+		// written again.
+		data, err := b.br.ReadBlock(i, nil)
+		b.met.blocksRead.Inc()
+		b.met.readaheadBytes.Add(size)
+		var base string
+		if err == nil {
+			base = blockString(data)
+		}
+		select {
+		case b.out <- blockFetch{data: data, base: base, size: size, err: err}:
+		case <-b.stop:
+			b.acct.Release(size)
+			return
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// finishBlock releases the reservation of the fully decoded current block
+// and, in readahead mode, returns its in-flight token.
+func (b *blockScan) finishBlock() {
+	if b.curSize > 0 {
+		b.acct.Release(b.curSize)
+		b.curSize = 0
+		if b.out != nil {
+			b.slots <- struct{}{}
+		}
+	}
+}
+
+// advance fetches the next block and primes the decode state; ok is false
+// at end of table.
+func (b *blockScan) advance() (ok bool, err error) {
+	if !b.started {
+		b.start()
+	}
+	b.finishBlock()
+	var f blockFetch
+	if b.out != nil {
+		var live bool
+		f, live = <-b.out
+		if !live {
+			return false, nil
+		}
+		if f.err != nil {
+			b.acct.Release(f.size)
+			return false, f.err
+		}
+	} else {
+		if b.next >= b.br.Blocks() {
+			return false, nil
+		}
+		size := int64(b.br.BlockSize(b.next))
+		b.acct.Reserve(size)
+		data, err := b.br.ReadBlock(b.next, nil)
+		b.met.blocksRead.Inc()
+		if err != nil {
+			b.acct.Release(size)
+			return false, err
+		}
+		b.next++
+		f = blockFetch{data: data, base: blockString(data), size: size}
+	}
+	n, rest, err := relation.TupleCount(f.data)
+	if err != nil {
+		b.acct.Release(f.size)
+		return false, qerr.Storage("scan block", err)
+	}
+	b.curSize = f.size
+	b.left, b.rest = n, rest
+	b.base = f.base
+	return true, nil
+}
+
+// next decodes the next tuple; ok is false at end of table. Decoded tuples
+// carve their value slots from the scan's arena and their strings from the
+// block's immutable buffer — blocks are never overwritten, so tuples stay
+// valid indefinitely.
+func (b *blockScan) nextTuple() (relation.Tuple, bool, error) {
+	for b.left == 0 {
+		ok, err := b.advance()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+	}
+	t, rest, err := relation.DecodeTupleShared(&b.arena, b.base, b.rest)
+	if err != nil {
+		return nil, false, qerr.Storage("scan tuple", err)
+	}
+	b.rest = rest
+	b.left--
+	return t, true, nil
+}
+
+// fill appends decoded tuples to dst until it is full or the table ends,
+// crossing block boundaries as needed, decoding each block's run of tuples
+// with one fused relation.DecodeTuplesShared call. When the cost model has a
+// byte-dependent component, sizes[:n] afterwards holds the encoded byte size
+// of each appended tuple — measured by the decode's pointer advance, the
+// input chargeScanBatch would otherwise recompute by walking every value;
+// with a flat scan cost the bookkeeping is skipped entirely.
+func (b *blockScan) fill(dst *relation.Batch) (int, error) {
+	dst.Rewind()
+	b.sizes = b.sizes[:0]
+	needSizes := b.ctx.Costs.ScanByteMs != 0
+	for !dst.Full() {
+		if b.left == 0 {
+			ok, err := b.advance()
+			if err != nil {
+				return dst.Len(), err
+			}
+			if !ok {
+				break
+			}
+			continue
+		}
+		var sizes []int
+		if needSizes {
+			if b.sizes == nil {
+				b.sizes = make([]int, 0, dst.Cap())
+			}
+			sizes = b.sizes
+		}
+		var err error
+		b.rest, b.left, sizes, err = relation.DecodeTuplesShared(&b.arena, b.base, b.rest, b.left, dst, sizes)
+		if err != nil {
+			return dst.Len(), qerr.Storage("scan tuple", err)
+		}
+		if needSizes {
+			b.sizes = sizes
+		}
+	}
+	return dst.Len(), nil
+}
+
+// close tears the scan down: stop the producer, drain its in-flight fetches
+// (releasing the reservation travelling with each), release the current
+// block, and close the reader. Idempotent, and safe mid-readahead — after
+// it returns, the scan holds no reservations and no goroutine.
+func (b *blockScan) close() error {
+	if b.closed {
+		return nil
+	}
+	b.closed = true
+	if b.out != nil {
+		b.stopOnce.Do(func() { close(b.stop) })
+		for f := range b.out {
+			b.acct.Release(f.size)
+		}
+		b.wg.Wait()
+	}
+	if b.curSize > 0 {
+		b.acct.Release(b.curSize)
+		b.curSize = 0
+	}
+	b.rest, b.left = nil, 0
+	return b.br.Close()
+}
+
+// chargeScanBatch charges the scan cost of one decoded chunk against ctx:
+// one bundled charge when the byte-dependent component is off, a per-tuple
+// cost vector otherwise. sizes, when non-nil, carries the chunk's encoded
+// tuple sizes as measured by the decoder's pointer advance — exactly
+// Tuple.ByteSize without re-walking every value; a nil sizes falls back to
+// the walk. costs is a reusable scratch buffer threaded by the caller.
+func chargeScanBatch(ctx *ExecContext, chunk []relation.Tuple, sizes []int, costs *[]float64) {
+	n := len(chunk)
+	if n == 0 {
+		return
+	}
+	if ctx.Costs.ScanByteMs == 0 {
+		ctx.chargeN(ctx.Costs.ScanMs, n)
+		return
+	}
+	if cap(*costs) < n {
+		*costs = make([]float64, n)
+	}
+	cs := (*costs)[:n]
+	if sizes != nil {
+		for i, sz := range sizes[:n] {
+			cs[i] = ctx.Costs.ScanMs + ctx.Costs.ScanByteMs*float64(sz)
+		}
+	} else {
+		for i, t := range chunk {
+			cs[i] = ctx.Costs.ScanMs + ctx.Costs.ScanByteMs*float64(t.ByteSize())
+		}
+	}
+	ctx.chargeEach(cs)
+}

@@ -17,6 +17,7 @@ package exp
 import (
 	"context"
 	"fmt"
+	"os"
 	"time"
 
 	"repro/internal/core"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/relation"
 	"repro/internal/services"
 	"repro/internal/simnet"
+	"repro/internal/storage"
 	"repro/internal/vtime"
 	"repro/internal/ws"
 )
@@ -147,6 +149,65 @@ var (
 	DefaultSpillDir     string
 )
 
+// DefaultTableRows, DefaultTableBackend and DefaultScanReadahead are the
+// hooks for the dqp-experiments -table-rows, -table-backend and -readahead
+// flags. A nonzero DefaultTableRows overrides every run's protein_sequences
+// cardinality (protein_interactions scales proportionally), so the whole
+// suite can be replayed against much larger tables. A non-empty
+// DefaultTableBackend generates the tables as block-framed stored runs
+// instead of in-memory slices: "memory" stores them on the in-memory
+// backend, "posix" on a temporary on-disk directory removed after the run,
+// and any other value is taken as a posix directory path to reuse.
+// DefaultScanReadahead sets GDQSConfig.ScanReadahead for every run
+// (0 default double buffering, negative synchronous).
+var (
+	DefaultTableRows     int
+	DefaultTableBackend  string
+	DefaultScanReadahead int
+)
+
+// buildStore materialises the demo tables for one run, honouring the
+// -table-rows / -table-backend overrides. cleanup is non-nil when a
+// temporary on-disk backend must be removed after the run.
+func buildStore(sequences, interactions int) (store *dataset.Store, cleanup func(), err error) {
+	if DefaultTableRows > 0 {
+		ratio := float64(interactions) / float64(max(sequences, 1))
+		sequences = DefaultTableRows
+		interactions = int(float64(DefaultTableRows) * ratio)
+	}
+	if DefaultTableBackend == "" {
+		return dataset.DemoSized(sequences, interactions), nil, nil
+	}
+	var backend storage.Backend
+	switch DefaultTableBackend {
+	case "memory":
+		backend = storage.NewMemory()
+	case "posix":
+		dir, derr := os.MkdirTemp("", "dqp-tables-")
+		if derr != nil {
+			return nil, nil, fmt.Errorf("exp: table dir: %w", derr)
+		}
+		cleanup = func() { os.RemoveAll(dir) }
+		backend, err = storage.NewPosix(dir)
+	default:
+		backend, err = storage.NewPosix(DefaultTableBackend)
+	}
+	if err != nil {
+		if cleanup != nil {
+			cleanup()
+		}
+		return nil, nil, err
+	}
+	store, err = dataset.DemoStored(backend, sequences, interactions)
+	if err != nil {
+		if cleanup != nil {
+			cleanup()
+		}
+		return nil, nil, err
+	}
+	return store, cleanup, nil
+}
+
 // WSNodeID names the i-th compute machine.
 func WSNodeID(i int) simnet.NodeID { return simnet.NodeID(fmt.Sprintf("ws%d", i)) }
 
@@ -190,7 +251,14 @@ func Run(cfg Config) (*Result, error) {
 		CheckpointEvery: checkpointEvery,
 	})
 	defer cluster.Close()
-	if err := cluster.AddDataNode("data1", dataset.DemoSized(cfg.Sequences, cfg.Interactions)); err != nil {
+	store, storeCleanup, err := buildStore(cfg.Sequences, cfg.Interactions)
+	if err != nil {
+		return nil, err
+	}
+	if storeCleanup != nil {
+		defer storeCleanup()
+	}
+	if err := cluster.AddDataNode("data1", store); err != nil {
 		return nil, err
 	}
 	for i := 0; i < cfg.WSNodes; i++ {
@@ -232,6 +300,7 @@ func Run(cfg Config) (*Result, error) {
 		QueryTimeout:      10 * time.Minute,
 		MemoryBudgetBytes: DefaultMemoryBudget,
 		SpillDir:          DefaultSpillDir,
+		ScanReadahead:     DefaultScanReadahead,
 	}
 	g, err := services.NewGDQS(cluster, "coord", gcfg)
 	if err != nil {

@@ -275,6 +275,10 @@ func specs() []spec {
 		{"PartitionedJoin8", PartitionedJoin8, joinProbeRows},
 		{"SpillJoin", SpillJoin, joinProbeRows},
 		{"ExternalSort", ExternalSort, sortRows},
+		{"ScanStoredTuple", ScanStoredTuple, scanRows},
+		{"ScanStoredBatch", ScanStoredBatch, scanRows},
+		{"ScanReadaheadOn", ScanReadaheadOn, scanRows},
+		{"ScanReadaheadOff", ScanReadaheadOff, scanRows},
 		{"BusPublishDeliverBounded", BusPublishDeliverBounded, 1},
 		{"BusPublishDeliverUnbounded", BusPublishDeliverUnbounded, 1},
 		{"ObsMonitoringOverhead", ObsMonitoringOverhead, chainRows},

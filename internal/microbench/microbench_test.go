@@ -102,6 +102,16 @@ func BenchmarkPartitionedJoin(b *testing.B) {
 
 func BenchmarkTupleDecodeIntoArena(b *testing.B) { TupleDecodeInto(b) }
 
+// BenchmarkStoredScan prices the streaming scan engine: the posix table
+// drained tuple-at-a-time through the run cursor versus batch-at-a-time
+// through the block scan, and the readahead producer on versus off.
+func BenchmarkStoredScan(b *testing.B) {
+	b.Run("tuple", ScanStoredTuple)
+	b.Run("batch", ScanStoredBatch)
+	b.Run("readahead-on", ScanReadaheadOn)
+	b.Run("readahead-off", ScanReadaheadOff)
+}
+
 // BenchmarkSpill prices the memory-governed paths: the grace-hash join and
 // the external merge sort with 3/4 of their state going through storage.
 func BenchmarkSpill(b *testing.B) {

@@ -32,6 +32,11 @@ const (
 	// spilled partition re-partitioned on reload. Detail names the operator
 	// and partition, Tuples the spilled tuple count.
 	KindSpill EventKind = "spill"
+	// KindScan marks a stored-scan readahead transition: the async
+	// prefetcher shrank to one in-flight block because the query's memory
+	// budget was breached (or grew back when pressure cleared). Detail
+	// carries the direction.
+	KindScan EventKind = "scan"
 )
 
 // Event is one adaptation-timeline entry. Fields beyond Seq/AtMs/Kind are

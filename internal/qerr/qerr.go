@@ -64,6 +64,12 @@ const (
 	// kind so clients can distinguish "resubmit against the new topology"
 	// from a fault in the query itself.
 	KindNodeLoss
+	// KindStorage covers the temporary-run layer: truncated or corrupt
+	// block frames, unreadable spill files, readers opened on unsealed
+	// runs. It distinguishes "the stored bytes are damaged" from a fault
+	// in the query (KindExec) so operators can surface storage rot
+	// without misclassifying it as their own bug.
+	KindStorage
 )
 
 // String names the kind.
@@ -81,6 +87,8 @@ func (k Kind) String() string {
 		return "admission"
 	case KindNodeLoss:
 		return "node-loss"
+	case KindStorage:
+		return "storage"
 	default:
 		return "unknown"
 	}
@@ -137,6 +145,10 @@ func Admission(op string, err error) error { return New(KindAdmission, op, err) 
 
 // NodeLoss wraps an evaluator-death error.
 func NodeLoss(op string, err error) error { return New(KindNodeLoss, op, err) }
+
+// Storage wraps a temporary-run-layer error (corrupt or truncated block
+// frames, unreadable runs).
+func Storage(op string, err error) error { return New(KindStorage, op, err) }
 
 // IsNodeLoss reports whether err is classified as evaluator death.
 func IsNodeLoss(err error) bool { return KindOf(err) == KindNodeLoss }

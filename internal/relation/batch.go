@@ -118,10 +118,13 @@ type Arena struct {
 	buf []Value
 }
 
-// arenaChunk is the Values per allocation block; at 48 bytes per Value a
-// chunk is ~48KiB, large enough to amortize and small enough not to strand
-// much memory when mostly unused.
-const arenaChunk = 1024
+// arenaChunk is the Values per allocation block: large enough to amortize,
+// small enough not to strand much memory when mostly unused, and — at up to
+// 48 bytes per Value — sized to stay under the runtime's 32KiB small-object
+// threshold, so chunk allocation takes the malloc fast path instead of the
+// large-object path (block scans allocate a chunk every few hundred tuples;
+// the difference is visible in their profiles).
+const arenaChunk = 640
 
 // Alloc returns a zeroed tuple of n values carved from the arena.
 func (a *Arena) Alloc(n int) Tuple {

@@ -102,7 +102,7 @@ func DecodeTuple(b []byte) (Tuple, []byte, error) {
 	if err != nil {
 		return nil, b, err
 	}
-	return decodeValues(make(Tuple, 0, preallocCount(n)), n, b)
+	return decodeValues(make(Tuple, 0, preallocCount(n)), n, b, "")
 }
 
 // DecodeTupleInto decodes one tuple from the front of b like DecodeTuple,
@@ -115,7 +115,134 @@ func DecodeTupleInto(a *Arena, b []byte) (Tuple, []byte, error) {
 	if err != nil {
 		return nil, b, err
 	}
-	return decodeValues(a.Alloc(preallocCount(n))[:0], n, b)
+	return decodeValues(a.Alloc(preallocCount(n))[:0], n, b, "")
+}
+
+// DecodeTupleShared decodes one tuple from the front of b like
+// DecodeTupleInto, with one more allocation removed: string values are
+// carved as substrings of base — the enclosing block's one-time string
+// conversion — instead of being copied into fresh allocations. base must be
+// the string conversion of the byte sequence b is an unconsumed suffix of
+// (value offsets are derived as len(base)-len(b)). Carved tuples share
+// base's backing, so retaining a tuple keeps its whole block's string
+// alive; batch scans that decode hundreds of tuples per block and hand them
+// to consuming operators take that trade for a per-block rather than
+// per-value allocation count.
+func DecodeTupleShared(a *Arena, base string, b []byte) (Tuple, []byte, error) {
+	n, b, err := tupleHeader(b)
+	if err != nil {
+		return nil, b, err
+	}
+	return decodeValues(a.Alloc(preallocCount(n))[:0], n, b, base)
+}
+
+// DecodeTuplesShared is the vectorized form of DecodeTupleShared: it decodes
+// tuples from the front of b straight into dst until dst is full or left
+// tuples have been decoded, carving value slots from the arena and strings
+// from base. Unlike DecodeTupleShared, base is mandatory here: it must be
+// the string conversion of the byte sequence b is an unconsumed suffix of.
+// sizes, when non-nil, is extended with the encoded byte size of each
+// appended tuple (the scan cost model's per-tuple input) and returned; pass
+// nil when sizes are not needed. The whole header/value loop is fused and
+// index-based — one call and one bounds context per run of tuples instead
+// of a three-deep call chain per tuple, which a tuple-at-a-time reader
+// cannot amortize — so block scans use this as their hot path. Returns the
+// undecoded remainder and how many of left remain.
+func DecodeTuplesShared(a *Arena, base string, b []byte, left uint64, dst *Batch, sizes []int) ([]byte, uint64, []int, error) {
+	// pos indexes b; baseOff+pos is the same byte's offset in base.
+	baseOff := len(base) - len(b)
+	pos := 0
+	// The single-byte uvarint fast path is inlined by hand at each read
+	// site (uvarintAt's wrapper is past the compiler's inlining budget);
+	// it covers value counts, string lengths, and small ints — nearly
+	// every varint of a realistic schema.
+	for left > 0 && !dst.Full() {
+		start := pos
+		var n uint64
+		if uint(pos) < uint(len(b)) && b[pos] < 0x80 {
+			n, pos = uint64(b[pos]), pos+1
+		} else {
+			var p int
+			if n, p = uvarintAtSlow(b, pos); p < 0 {
+				return b[start:], left, sizes, fmt.Errorf("%w: bad value count", ErrCorrupt)
+			}
+			pos = p
+		}
+		if n > uint64(len(b)-pos) { // cheap sanity bound: ≥1 byte per value
+			return b[start:], left, sizes, fmt.Errorf("%w: bad value count", ErrCorrupt)
+		}
+		t := a.Alloc(preallocCount(n))[:0]
+		for i := uint64(0); i < n; i++ {
+			if pos >= len(b) {
+				return b[start:], left, sizes, fmt.Errorf("%w: truncated value", ErrCorrupt)
+			}
+			tag := b[pos]
+			pos++
+			switch tag {
+			case 0:
+				t = append(t, Null)
+			case 1:
+				var u uint64
+				if uint(pos) < uint(len(b)) && b[pos] < 0x80 {
+					u, pos = uint64(b[pos]), pos+1
+				} else {
+					var p int
+					if u, p = uvarintAtSlow(b, pos); p < 0 {
+						return b[start:], left, sizes, fmt.Errorf("%w: bad int", ErrCorrupt)
+					}
+					pos = p
+				}
+				v := int64(u >> 1) // inline zigzag decode (binary.Varint semantics)
+				if u&1 != 0 {
+					v = ^v
+				}
+				t = append(t, Int(v))
+			case 2:
+				if len(b)-pos < 8 {
+					return b[start:], left, sizes, fmt.Errorf("%w: truncated float", ErrCorrupt)
+				}
+				t = append(t, Float(math.Float64frombits(binary.LittleEndian.Uint64(b[pos:]))))
+				pos += 8
+			case 3:
+				var l uint64
+				p := -1
+				if uint(pos) < uint(len(b)) && b[pos] < 0x80 {
+					l, p = uint64(b[pos]), pos+1
+				} else {
+					l, p = uvarintAtSlow(b, pos)
+				}
+				if p < 0 || l > uint64(len(b)-p) {
+					return b[start:], left, sizes, fmt.Errorf("%w: bad string length", ErrCorrupt)
+				}
+				pos = p + int(l)
+				t = append(t, String(base[baseOff+p:baseOff+pos]))
+			default:
+				return b[start:], left, sizes, fmt.Errorf("%w: unknown value tag %d", ErrCorrupt, tag)
+			}
+		}
+		left--
+		dst.Append(t)
+		if sizes != nil {
+			sizes = append(sizes, pos-start)
+		}
+	}
+	return b[pos:], left, sizes, nil
+}
+
+// uvarintAtSlow is the multi-byte tail of the decode loop's hand-inlined
+// single-byte uvarint fast path: uvarint reading at offset pos of b,
+// returning the value and the offset just past it; a negative offset
+// signals a malformed or truncated encoding. Callers reach it only when
+// pos is out of range or b[pos] has the continuation bit set.
+func uvarintAtSlow(b []byte, pos int) (uint64, int) {
+	if pos+1 < len(b) && b[pos+1] < 0x80 && b[pos] >= 0x80 {
+		return uint64(b[pos]&0x7f) | uint64(b[pos+1])<<7, pos + 2
+	}
+	v, sz := binary.Uvarint(b[pos:])
+	if sz <= 0 {
+		return 0, -1
+	}
+	return v, pos + sz
 }
 
 // tupleHeader reads and sanity-bounds a tuple's value count.
@@ -131,7 +258,10 @@ func tupleHeader(b []byte) (uint64, []byte, error) {
 }
 
 // decodeValues appends n decoded values to t (pre-sized by the caller).
-func decodeValues(t Tuple, n uint64, b []byte) (Tuple, []byte, error) {
+// When base is non-empty it must be the string conversion of the sequence b
+// is a suffix of; string values are then carved from base instead of
+// allocated (see DecodeTupleShared).
+func decodeValues(t Tuple, n uint64, b []byte, base string) (Tuple, []byte, error) {
 	for i := uint64(0); i < n; i++ {
 		if len(b) == 0 {
 			return nil, b, fmt.Errorf("%w: truncated value", ErrCorrupt)
@@ -156,11 +286,16 @@ func decodeValues(t Tuple, n uint64, b []byte) (Tuple, []byte, error) {
 			b = b[8:]
 		case 3:
 			l, sz := binary.Uvarint(b)
-			if sz <= 0 || l > uint64(len(b[sz:])) {
+			if sz <= 0 || l > uint64(len(b)-sz) {
 				return nil, b, fmt.Errorf("%w: bad string length", ErrCorrupt)
 			}
 			b = b[sz:]
-			t = append(t, String(string(b[:l])))
+			if base != "" {
+				off := len(base) - len(b)
+				t = append(t, String(base[off:off+int(l)]))
+			} else {
+				t = append(t, String(string(b[:l])))
+			}
 			b = b[l:]
 		default:
 			return nil, b, fmt.Errorf("%w: unknown value tag %d", ErrCorrupt, tag)

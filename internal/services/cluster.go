@@ -131,6 +131,7 @@ func (c *Cluster) AddDataNode(id simnet.NodeID, store *dataset.Store) error {
 			Schema:        tbl.Schema,
 			Cardinality:   tbl.Cardinality(),
 			AvgTupleBytes: tbl.AvgTupleBytes(),
+			TotalBytes:    tbl.TotalBytes(),
 			Node:          id,
 		}); err != nil {
 			return err

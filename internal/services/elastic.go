@@ -480,6 +480,7 @@ func (s *QuerySession) admitInto(frag *physical.FragmentSpec, node simnet.NodeID
 		Fragment:     frag.ID,
 		Instance:     idx,
 		Parallelism:  resolveParallelism(g.cfg.Parallelism),
+		Readahead:    g.cfg.ScanReadahead,
 		Mem:          s.mem,
 		Spill:        s.spill,
 	}

@@ -66,6 +66,10 @@ type Manifest struct {
 	// memory).
 	MemoryBudgetBytes int64
 	SpillDir          string
+
+	// ScanReadahead is the stored-scan prefetch depth in blocks (0 default,
+	// negative synchronous); see GDQSConfig.ScanReadahead.
+	ScanReadahead int
 }
 
 // spillBackendFor builds the process-local spill backend for one manifest
@@ -145,6 +149,7 @@ func (m Manifest) metadata() (*catalog.Catalog, *registry.Registry, error) {
 				Schema:        tbl.Schema,
 				Cardinality:   tbl.Cardinality(),
 				AvgTupleBytes: tbl.AvgTupleBytes(),
+				TotalBytes:    tbl.TotalBytes(),
 				Node:          d.Node,
 			}); err != nil {
 				return nil, nil, err
@@ -333,6 +338,7 @@ func (e *Evaluator) deploy(sql string) error {
 				Fragment:     frag.ID,
 				Instance:     i,
 				Parallelism:  resolveParallelism(e.manifest.Parallelism),
+				Readahead:    e.manifest.ScanReadahead,
 				Mem:          mem,
 				Spill:        e.spill,
 			}
@@ -616,6 +622,7 @@ func (c *RemoteCoordinator) Execute(ctx context.Context, sql string, timeout tim
 				Fragment:    frag.ID,
 				Instance:    i,
 				Parallelism: resolveParallelism(c.manifest.Parallelism),
+				Readahead:   c.manifest.ScanReadahead,
 				Mem:         mem,
 				Spill:       c.spill,
 			}

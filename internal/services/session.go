@@ -154,6 +154,7 @@ func newQuerySession(ctx context.Context, g *GDQS, plan *physical.Plan) (*QueryS
 				Fragment:     frag.ID,
 				Instance:     i,
 				Parallelism:  resolveParallelism(g.cfg.Parallelism),
+				Readahead:    g.cfg.ScanReadahead,
 				Mem:          s.mem,
 				Spill:        s.spill,
 			}

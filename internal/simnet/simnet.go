@@ -105,11 +105,7 @@ func (n *Node) PerturbedCostBatch(baseMs []float64) float64 {
 	p, i := n.perturb, n.workIndex
 	n.workIndex += len(baseMs)
 	n.mu.Unlock()
-	total := 0.0
-	for k, base := range baseMs {
-		total += p.Apply(base, i+k)
-	}
-	return total
+	return vtime.ApplyBatch(p, baseMs, i)
 }
 
 // Alive reports whether the node has not fail-stopped.

@@ -1,0 +1,285 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"os"
+	"testing"
+
+	"repro/internal/qerr"
+	"repro/internal/relation"
+)
+
+// blockBackends returns one fresh instance of every BlockBackend
+// implementation.
+func blockBackends(t *testing.T) map[string]BlockBackend {
+	t.Helper()
+	posix, err := NewPosix(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]BlockBackend{"memory": NewMemory(), "posix": posix}
+}
+
+// writeRun writes and seals tuples as the named run.
+func writeRun(t *testing.T, b Backend, name string, tuples []relation.Tuple) {
+	t.Helper()
+	w, err := b.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendAll(tuples); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// decodeBlocks reads every block of r in order and decodes the tuples.
+func decodeBlocks(t *testing.T, r BlockReader) []relation.Tuple {
+	t.Helper()
+	var out []relation.Tuple
+	var buf []byte
+	for i := 0; i < r.Blocks(); i++ {
+		block, err := r.ReadBlock(i, buf)
+		if err != nil {
+			t.Fatalf("block %d: %v", i, err)
+		}
+		if len(block) != r.BlockSize(i) {
+			t.Fatalf("block %d: %d bytes, BlockSize says %d", i, len(block), r.BlockSize(i))
+		}
+		n, rest, err := relation.TupleCount(block)
+		if err != nil {
+			t.Fatalf("block %d count: %v", i, err)
+		}
+		for ; n > 0; n-- {
+			tp, tail, err := relation.DecodeTuple(rest)
+			if err != nil {
+				t.Fatalf("block %d tuple: %v", i, err)
+			}
+			out = append(out, tp)
+			rest = tail
+		}
+		buf = block
+	}
+	return out
+}
+
+func TestBlockReaderMatchesCursor(t *testing.T) {
+	for name, b := range blockBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			defer b.Close()
+			want := testTuples(5000) // several blocks at the 64KiB target
+			writeRun(t, b, "tbl", want)
+			r, err := b.OpenBlocks("tbl")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			if r.Blocks() < 2 {
+				t.Fatalf("expected a multi-block run, got %d blocks", r.Blocks())
+			}
+			got := decodeBlocks(t, r)
+			if len(got) != len(want) {
+				t.Fatalf("decoded %d of %d tuples", len(got), len(want))
+			}
+			for i := range want {
+				if !tuplesIdentical(want[i], got[i]) {
+					t.Fatalf("tuple %d diverged", i)
+				}
+			}
+		})
+	}
+}
+
+func TestBlockReaderCloseIdempotent(t *testing.T) {
+	for name, b := range blockBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			defer b.Close()
+			writeRun(t, b, "tbl", testTuples(10))
+			r, err := b.OpenBlocks("tbl")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Close(); err != nil {
+				t.Fatalf("second Close must be a no-op: %v", err)
+			}
+			// The cursor reader's Close must be idempotent too.
+			cur, err := b.Open("tbl")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cur.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := cur.Close(); err != nil {
+				t.Fatalf("second cursor Close must be a no-op: %v", err)
+			}
+		})
+	}
+}
+
+func TestBlockReaderUnsealedAndMissing(t *testing.T) {
+	for name, b := range blockBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			defer b.Close()
+			if _, err := b.OpenBlocks("absent"); err == nil {
+				t.Fatal("OpenBlocks of a missing run must fail")
+			}
+			w, err := b.Create("writing")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := b.OpenBlocks("writing"); err == nil {
+				t.Fatal("OpenBlocks before seal must fail")
+			}
+			_ = w.Close()
+		})
+	}
+}
+
+// corruptors mutate a sealed run's raw bytes in ways the readers must reject
+// with a typed storage error, not a panic or a silent short read.
+var corruptors = []struct {
+	name string
+	mut  func(data []byte) []byte
+}{
+	{"truncated-header", func(data []byte) []byte { return data[:len(data)-1] }},
+	{"truncated-body", func(data []byte) []byte {
+		// Keep the first frame's header but cut its body short.
+		return data[:4+2]
+	}},
+	{"oversized-length", func(data []byte) []byte {
+		binary.LittleEndian.PutUint32(data[:4], uint32(len(data)))
+		return data
+	}},
+}
+
+// corruptMemory rewrites a sealed memory run in place.
+func corruptMemory(t *testing.T, m *Memory, name string, mut func([]byte) []byte) {
+	t.Helper()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	run := m.runs[name]
+	if run == nil || !run.sealed {
+		t.Fatalf("run %q not sealed", name)
+	}
+	run.data = mut(bytes.Clone(run.data))
+}
+
+// corruptPosix rewrites a sealed posix run file.
+func corruptPosix(t *testing.T, p *Posix, name string, mut func([]byte) []byte) {
+	t.Helper()
+	data, err := os.ReadFile(p.path(name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p.path(name), mut(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// wantStorageErr asserts err is a typed qerr storage failure.
+func wantStorageErr(t *testing.T, err error) {
+	t.Helper()
+	if err == nil {
+		t.Fatal("corrupt run must surface an error")
+	}
+	var qe *qerr.Error
+	if !errors.As(err, &qe) || qe.Kind != qerr.KindStorage {
+		t.Fatalf("want qerr.KindStorage, got %T: %v", err, err)
+	}
+}
+
+func TestCorruptRunTypedErrors(t *testing.T) {
+	for _, c := range corruptors {
+		t.Run(c.name, func(t *testing.T) {
+			for backend, b := range blockBackends(t) {
+				t.Run(backend, func(t *testing.T) {
+					defer b.Close()
+					writeRun(t, b, "tbl", testTuples(500))
+					switch impl := b.(type) {
+					case *Memory:
+						corruptMemory(t, impl, "tbl", c.mut)
+					case *Posix:
+						corruptPosix(t, impl, "tbl", c.mut)
+					}
+					// The cursor reader hits the damage lazily on Next.
+					cur, err := b.Open("tbl")
+					if err != nil {
+						t.Fatal(err)
+					}
+					for err == nil {
+						var ok bool
+						_, ok, err = cur.Next()
+						if !ok && err == nil {
+							t.Fatal("cursor read a corrupt run to completion")
+						}
+					}
+					wantStorageErr(t, err)
+					_ = cur.Close()
+					// The block reader validates the frame chain up front.
+					r, err := b.OpenBlocks("tbl")
+					if err == nil {
+						_ = r.Close()
+						t.Fatal("OpenBlocks accepted a corrupt frame chain")
+					}
+					wantStorageErr(t, err)
+				})
+			}
+		})
+	}
+}
+
+func TestPosixReadBlockConcurrent(t *testing.T) {
+	p, err := NewPosix(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	want := testTuples(5000)
+	writeRun(t, p, "tbl", want)
+	r, err := p.OpenBlocks("tbl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	serial := make([][]byte, r.Blocks())
+	for i := range serial {
+		block, err := r.ReadBlock(i, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = bytes.Clone(block)
+	}
+	const workers = 4
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			var buf []byte
+			for i := 0; i < r.Blocks(); i++ {
+				block, err := r.ReadBlock(i, buf)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(block, serial[i]) {
+					errs <- errors.New("concurrent read diverged from serial")
+					return
+				}
+				buf = block
+			}
+			errs <- nil
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

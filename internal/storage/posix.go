@@ -138,7 +138,7 @@ func (p *Posix) Open(name string) (RunReader, error) {
 			if err == io.EOF {
 				return nil, nil
 			}
-			return nil, fmt.Errorf("storage: run %q: block header: %w", name, err)
+			return nil, corruptRun(name, "block header: %w", err)
 		}
 		n := binary.LittleEndian.Uint32(hdr[:])
 		if cap(block) < int(n) {
@@ -146,11 +146,114 @@ func (p *Posix) Open(name string) (RunReader, error) {
 		}
 		block = block[:n]
 		if _, err := io.ReadFull(br, block); err != nil {
-			return nil, fmt.Errorf("storage: run %q: block body: %w", name, err)
+			return nil, corruptRun(name, "block body: %w", err)
 		}
 		return block, nil
 	}
 	return newBlockReader(fill, f.Close), nil
+}
+
+// OpenBlocks implements BlockBackend. One sequential header scan validates
+// the frame chain and builds the offset index; ReadBlock then serves any
+// block via ReadAt, which is safe for concurrent calls on the shared file
+// handle — morsel workers share one reader.
+func (p *Posix) OpenBlocks(name string) (BlockReader, error) {
+	p.mu.Lock()
+	writing := p.open[name]
+	p.mu.Unlock()
+	if writing {
+		return nil, fmt.Errorf("storage: run %q is not sealed", name)
+	}
+	f, err := os.Open(p.path(name))
+	if err != nil {
+		return nil, fmt.Errorf("storage: open run: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("storage: stat run: %w", err)
+	}
+	size := st.Size()
+	var offs []int64
+	var sizes []int
+	var hdr [4]byte
+	for off := int64(0); off < size; {
+		if size-off < 4 {
+			_ = f.Close()
+			return nil, corruptRun(name, "truncated block header")
+		}
+		if _, err := f.ReadAt(hdr[:], off); err != nil {
+			_ = f.Close()
+			return nil, corruptRun(name, "block header: %w", err)
+		}
+		n := int64(binary.LittleEndian.Uint32(hdr[:]))
+		if n > size-off-4 {
+			_ = f.Close()
+			return nil, corruptRun(name, "bad block length %d", n)
+		}
+		offs = append(offs, off+4)
+		sizes = append(sizes, int(n))
+		off += 4 + n
+	}
+	return &posixBlockReader{name: name, f: f, offs: offs, sizes: sizes}, nil
+}
+
+// posixBlockReader serves block payloads of one sealed run file via ReadAt.
+// The index is immutable after construction; Close is idempotent and
+// guarded, so concurrent readers racing a teardown see either a served read
+// or a typed error, never a double-close.
+type posixBlockReader struct {
+	name  string
+	f     *os.File
+	offs  []int64
+	sizes []int
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Blocks implements BlockReader.
+func (r *posixBlockReader) Blocks() int { return len(r.offs) }
+
+// BlockSize implements BlockReader.
+func (r *posixBlockReader) BlockSize(i int) int {
+	if i < 0 || i >= len(r.sizes) {
+		return 0
+	}
+	return r.sizes[i]
+}
+
+// ReadBlock implements BlockReader.
+func (r *posixBlockReader) ReadBlock(i int, buf []byte) ([]byte, error) {
+	if i < 0 || i >= len(r.offs) {
+		return nil, corruptRun(r.name, "block %d out of range [0,%d)", i, len(r.offs))
+	}
+	r.mu.Lock()
+	closed := r.closed
+	r.mu.Unlock()
+	if closed {
+		return nil, fmt.Errorf("storage: run %q: read after close", r.name)
+	}
+	n := r.sizes[i]
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := r.f.ReadAt(buf, r.offs[i]); err != nil {
+		return nil, corruptRun(r.name, "block body: %w", err)
+	}
+	return buf, nil
+}
+
+// Close implements BlockReader; idempotent.
+func (r *posixBlockReader) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	return r.f.Close()
 }
 
 // Remove implements Backend.

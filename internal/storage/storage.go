@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/qerr"
 	"repro/internal/relation"
 )
 
@@ -66,6 +67,46 @@ type Backend interface {
 	List() ([]string, error)
 	// Close releases the backend and everything in it.
 	Close() error
+}
+
+// BlockReader gives random access to the sealed, length-prefixed blocks of
+// one run — the batch-at-a-time stored-scan path. Unlike RunReader, a
+// BlockReader is safe for concurrent ReadBlock calls from multiple
+// goroutines (morsel workers share one reader over disjoint block ranges),
+// and Close is idempotent.
+type BlockReader interface {
+	// Blocks reports how many framed blocks the run holds.
+	Blocks() int
+	// BlockSize reports the payload size in bytes of block i — known before
+	// the read, so readahead can reserve the bytes against a Budget first.
+	BlockSize(i int) int
+	// ReadBlock returns the payload of block i (length prefix stripped).
+	// buf is reused when it has the capacity; the returned slice is only
+	// valid until the next ReadBlock with the same buf.
+	ReadBlock(i int, buf []byte) ([]byte, error)
+	// Close releases the reader; safe to call more than once, including
+	// while ReadBlock calls are still completing on other goroutines'
+	// already-opened handles.
+	Close() error
+}
+
+// BlockBackend is implemented by backends whose sealed runs additionally
+// support random block-granular access. The engine type-asserts a stored
+// table's backend against it to choose the batched scan path, falling back
+// to the sequential RunReader cursor otherwise.
+type BlockBackend interface {
+	Backend
+	// OpenBlocks returns a block-granular reader over a sealed run. The
+	// whole frame chain is validated up front, so a truncated or corrupt
+	// run fails here with a typed storage error rather than mid-scan.
+	OpenBlocks(name string) (BlockReader, error)
+}
+
+// corruptRun classifies a damaged block frame as a typed storage error so
+// callers can branch on qerr.KindStorage instead of string-matching raw io
+// errors.
+func corruptRun(name, format string, args ...any) error {
+	return qerr.Storage("run "+name, fmt.Errorf(format, args...))
 }
 
 // blockTarget is the run writers' flush threshold: buffered tuples are
@@ -157,11 +198,12 @@ func (w *blockWriter) Close() error {
 // blockReader implements the shared run-reader framing: fill hands it the
 // next whole block, and Next decodes tuples out of it one at a time.
 type blockReader struct {
-	fill  func() ([]byte, error) // next block payload; nil at end of run
-	done  func() error
-	rest  []byte // undecoded remainder of the current block
-	left  uint64 // tuples remaining in the current block
-	arena relation.Arena
+	fill   func() ([]byte, error) // next block payload; nil at end of run
+	done   func() error
+	rest   []byte // undecoded remainder of the current block
+	left   uint64 // tuples remaining in the current block
+	arena  relation.Arena
+	closed bool
 }
 
 func newBlockReader(fill func() ([]byte, error), done func() error) *blockReader {
@@ -180,21 +222,27 @@ func (r *blockReader) Next() (relation.Tuple, bool, error) {
 		}
 		n, rest, err := relation.TupleCount(block)
 		if err != nil {
-			return nil, false, fmt.Errorf("storage: run block: %w", err)
+			return nil, false, qerr.Storage("run block", err)
 		}
 		r.left, r.rest = n, rest
 	}
 	t, rest, err := relation.DecodeTupleInto(&r.arena, r.rest)
 	if err != nil {
-		return nil, false, fmt.Errorf("storage: run tuple: %w", err)
+		return nil, false, qerr.Storage("run tuple", err)
 	}
 	r.rest = rest
 	r.left--
 	return t, true, nil
 }
 
-// Close implements RunReader.
+// Close implements RunReader. It is idempotent: closing a reader that was
+// already closed mid-scan is a no-op, so teardown paths that race a scan's
+// own cleanup never double-release the underlying handle.
 func (r *blockReader) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
 	r.rest, r.left = nil, 0
 	if r.done != nil {
 		return r.done()

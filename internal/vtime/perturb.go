@@ -150,6 +150,54 @@ func ApplyN(p Perturbation, baseMs float64, start, count int) float64 {
 	}
 }
 
+// ApplyBatch returns the total perturbed cost of one work unit per base
+// cost, the first unit at work index start — exactly equivalent to summing
+// len(baseMs) sequential Apply calls with consecutive indices. Like ApplyN
+// it collapses the index- and state-independent perturbations (None,
+// Multiplier, Sleep) to one summation pass, splits Step at its boundary,
+// and falls back to the per-unit loop for everything else.
+func ApplyBatch(p Perturbation, baseMs []float64, start int) float64 {
+	if len(baseMs) == 0 {
+		return 0
+	}
+	switch q := p.(type) {
+	case noneP:
+		total := 0.0
+		for _, base := range baseMs {
+			total += base
+		}
+		return total
+	case Multiplier:
+		total := 0.0
+		for _, base := range baseMs {
+			total += base
+		}
+		return total * float64(q)
+	case Sleep:
+		total := float64(q) * float64(len(baseMs))
+		for _, base := range baseMs {
+			total += base
+		}
+		return total
+	case Step:
+		if start >= q.At {
+			return ApplyBatch(q.After, baseMs, start-q.At)
+		}
+		if start+len(baseMs) <= q.At {
+			return ApplyBatch(q.Before, baseMs, start)
+		}
+		before := q.At - start
+		return ApplyBatch(q.Before, baseMs[:before], start) +
+			ApplyBatch(q.After, baseMs[before:], 0)
+	default:
+		total := 0.0
+		for k, base := range baseMs {
+			total += p.Apply(base, start+k)
+		}
+		return total
+	}
+}
+
 // Compose applies q to the result of p, so Compose(Multiplier(10),
 // Sleep(5)) costs base*10+5.
 func Compose(p, q Perturbation) Perturbation { return composed{p, q} }
